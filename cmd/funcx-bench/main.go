@@ -1,0 +1,39 @@
+// Command funcx-bench regenerates every table and figure of the funcX
+// paper's evaluation (§5). Run a single experiment with -experiment,
+// or everything with -experiment all.
+//
+// Usage:
+//
+//	funcx-bench -experiment all
+//	funcx-bench -experiment table1
+//	funcx-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"funcx/internal/experiments"
+)
+
+func main() {
+	var (
+		name  = flag.String("experiment", "all", "experiment id (see -list)")
+		quick = flag.Bool("quick", false, "shrink sample counts for a fast pass")
+		seed  = flag.Int64("seed", 42, "random seed (reproducible runs)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	if err := experiments.Run(*name, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "funcx-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+// Command funcx-endpoint deploys a funcX endpoint agent on this
+// machine (paper §4.3): it registers an endpoint with a running
+// funcx-service, connects the agent to its forwarder over TCP, and
+// launches managers with containerized workers.
+//
+// The worker runtime ships with the built-in functions (noop, sleep,
+// stress, echo, double, fail) and the six §2 case-study functions
+// pre-registered, so any client can exercise the endpoint immediately.
+//
+// Usage:
+//
+//	funcx-endpoint -service http://127.0.0.1:8080 -token <operator-token> \
+//	    -name my-laptop -managers 2 -workers 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"funcx/internal/container"
+	"funcx/internal/endpoint"
+	"funcx/internal/fx"
+	"funcx/internal/manager"
+	"funcx/internal/sdk"
+	"funcx/internal/types"
+	"funcx/internal/workload"
+)
+
+func main() {
+	var (
+		serviceURL = flag.String("service", "http://127.0.0.1:8080", "funcx-service base URL")
+		token      = flag.String("token", "", "bearer token (from funcx-service)")
+		name       = flag.String("name", "endpoint", "endpoint display name")
+		public     = flag.Bool("public", false, "allow any authenticated user to dispatch")
+		managers   = flag.Int("managers", 1, "manager (node) count")
+		workers    = flag.Int("workers", 4, "workers per manager")
+		prewarm    = flag.Int("prewarm", 0, "workers to deploy per manager at startup")
+		prefetch   = flag.Int("prefetch", 0, "per-manager prefetch depth")
+		system     = flag.String("system", "ec2", "container cold-start profile (ec2|theta|cori)")
+		heartbeat  = flag.Duration("heartbeat", time.Second, "heartbeat period")
+	)
+	flag.Parse()
+	if *token == "" {
+		log.Fatal("funcx-endpoint: -token is required (printed by funcx-service)")
+	}
+
+	ctx := context.Background()
+	client := sdk.New(*serviceURL, *token)
+	reg, err := client.RegisterEndpoint(ctx, *name, "funcx-endpoint CLI", *public)
+	if err != nil {
+		log.Fatalf("funcx-endpoint: registering: %v", err)
+	}
+	fmt.Printf("registered endpoint %s\n", reg.EndpointID)
+	fmt.Printf("forwarder at %s://%s\n", reg.ForwarderNetwork, reg.ForwarderAddr)
+
+	rt := fx.NewRuntime()
+	rt.RegisterBuiltins()
+	for _, cs := range workload.All() {
+		cs.Register(rt)
+	}
+	ctrs := container.NewRuntime(container.Config{System: *system, TimeScale: 1.0})
+
+	agent := endpoint.New(endpoint.Config{
+		ID:              reg.EndpointID,
+		ServiceNetwork:  reg.ForwarderNetwork,
+		ServiceAddr:     reg.ForwarderAddr,
+		Token:           reg.EndpointToken,
+		ListenNetwork:   "tcp",
+		HeartbeatPeriod: *heartbeat,
+		BatchDispatch:   true,
+	})
+	if err := agent.Start(ctx); err != nil {
+		log.Fatalf("funcx-endpoint: starting agent: %v", err)
+	}
+	defer agent.Stop()
+
+	network, addr := agent.ManagerAddr()
+	var mgrs []*manager.Manager
+	for i := 0; i < *managers; i++ {
+		m := manager.New(manager.Config{
+			ID:              types.ManagerID(fmt.Sprintf("%s-mgr-%d", *name, i+1)),
+			AgentNetwork:    network,
+			AgentAddr:       addr,
+			MaxWorkers:      *workers,
+			PrewarmWorkers:  *prewarm,
+			Prefetch:        *prefetch,
+			HeartbeatPeriod: *heartbeat,
+			Runtime:         rt,
+			Containers:      ctrs,
+		})
+		if err := m.Start(ctx); err != nil {
+			log.Fatalf("funcx-endpoint: starting manager %d: %v", i, err)
+		}
+		defer m.Stop()
+		mgrs = append(mgrs, m)
+	}
+	fmt.Printf("agent up: %d managers x %d workers; serving tasks (Ctrl-C to stop)\n",
+		*managers, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nfuncx-endpoint: draining and shutting down")
+	var done int64
+	for _, m := range mgrs {
+		done += m.Completed()
+	}
+	fmt.Printf("completed %d tasks this session\n", done)
+}

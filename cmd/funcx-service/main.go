@@ -1,0 +1,66 @@
+// Command funcx-service runs the cloud-hosted funcX service standalone:
+// the REST API on an HTTP port, with TCP forwarders for endpoint
+// agents (paper §4.1).
+//
+// On startup it mints an operator token with full scopes and prints
+// it; pass that token to funcx-endpoint and to SDK clients.
+//
+// Usage:
+//
+//	funcx-service -addr 127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"funcx/internal/auth"
+	"funcx/internal/service"
+	"funcx/internal/types"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		heartbeat = flag.Duration("heartbeat", time.Second, "forwarder heartbeat period")
+		misses    = flag.Int("misses", 3, "heartbeats missed before an endpoint is marked lost")
+		resultTTL = flag.Duration("result-ttl", time.Minute, "retention of retrieved results")
+		operator  = flag.String("operator", "operator", "user id for the minted operator token")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		ForwarderNetwork: "tcp",
+		HeartbeatPeriod:  *heartbeat,
+		HeartbeatMisses:  *misses,
+		ResultTTL:        *resultTTL,
+	})
+	defer svc.Close()
+
+	token := svc.MintUserToken(types.UserID(*operator), auth.ScopeAll)
+	fmt.Printf("funcx-service listening on http://%s\n", *addr)
+	fmt.Printf("operator token (%s, all scopes):\n%s\n", *operator, token)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("funcx-service: %v", err)
+	}
+	srv := &http.Server{Handler: svc}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("funcx-service: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nfuncx-service: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,110 @@
+// Quickstart mirrors Listing 1 of the paper: construct a client,
+// register a function, invoke it on an endpoint, and retrieve the
+// asynchronous result.
+//
+// The example boots a complete in-process federation (service +
+// endpoint + managers + workers) via the core fabric, then talks to it
+// exclusively through the public REST/SDK surface — exactly what a
+// script on a laptop would do against a hosted funcX service.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"funcx/internal/core"
+	"funcx/internal/serial"
+	"funcx/internal/service"
+	"funcx/internal/types"
+)
+
+// automoPreviewBody is the tomographic-preview function of Listing 1.
+// Its Go implementation (registered in the endpoint's runtime below)
+// "reads" the projection, normalizes it, and returns the preview file
+// name, standing in for the Automo/tomopy pipeline.
+var automoPreviewBody = []byte(`def automo_preview(fname, start, end, step):
+    import numpy, tomopy
+    from automo.util import read_adaptive, save_png
+    proj, flat, dark, _ = read_adaptive(fname, proj=(start, end, step))
+    proj_norm = tomopy.normalize(proj, flat, dark)
+    flat = flat.astype('float16')
+    save_png(flat.mean(axis=0), fname='prev.png')
+    return 'prev.png'
+`)
+
+// previewArgs are the invocation arguments of Listing 1.
+type previewArgs struct {
+	Fname string `json:"fname"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Step  int    `json:"step"`
+}
+
+func main() {
+	// Boot the federation: cloud service + one endpoint with two
+	// 4-worker nodes.
+	fab, err := core.NewFabric(core.FabricConfig{Service: service.Config{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fab.Close()
+	ep, err := fab.AddEndpoint(core.EndpointOptions{
+		Name: "tomo-endpoint", Owner: "ryan",
+		Managers: 2, WorkersPerManager: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Implement the function body in the endpoint's runtime (the
+	// stand-in for the Python interpreter inside the container).
+	ep.Runtime.Register(automoPreviewBody, func(ctx context.Context, payload []byte) ([]byte, error) {
+		var args previewArgs
+		if _, err := serial.Deserialize(payload, &args); err != nil {
+			return nil, err
+		}
+		// read_adaptive + normalize + save_png, abbreviated.
+		time.Sleep(50 * time.Millisecond)
+		return serial.Serialize("prev.png")
+	})
+
+	// --- Listing 1, in Go ---
+	fc := fab.Client("ryan")
+	ctx := context.Background()
+
+	funcID, err := fc.RegisterFunction(ctx, "automo_preview", automoPreviewBody, types.ContainerSpec{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("registered function:", funcID)
+
+	payload, err := serial.Serialize(previewArgs{Fname: "test.h5", Start: 0, End: 10, Step: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	taskID, err := fc.Run(ctx, funcID, ep.ID, payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("submitted task:", taskID)
+
+	res, err := fc.GetResult(ctx, taskID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	var preview string
+	if _, err := res.Value(&preview); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:", preview)
+	fmt.Printf("timing: ts=%v tf=%v te=%v tw=%v\n",
+		res.Timing.TS.Round(time.Microsecond), res.Timing.TF.Round(time.Microsecond),
+		res.Timing.TE.Round(time.Microsecond), res.Timing.TW.Round(time.Microsecond))
+}

@@ -1,0 +1,109 @@
+// Package funcx is a from-scratch Go reproduction of funcX — the
+// federated function-as-a-service fabric for science (Chard et al.,
+// HPDC 2020) — together with every substrate its evaluation depends
+// on and a harness that regenerates each table and figure of the
+// paper's §5.
+//
+// # Public surface
+//
+// This root package re-exports the three entry points a downstream
+// user needs:
+//
+//   - Client (the SDK of paper §3): register functions, run them on
+//     endpoints, retrieve results, and batch with Map.
+//   - Fabric (the deployment of §4): boot a cloud service plus any
+//     number of endpoints — in one process for development and
+//     experiments, or over TCP via the cmd/funcx-service and
+//     cmd/funcx-endpoint binaries.
+//   - The experiment drivers of §5 via cmd/funcx-bench.
+//
+// # Quickstart
+//
+//	fab, _ := funcx.NewFabric(funcx.FabricConfig{})
+//	defer fab.Close()
+//	ep, _ := fab.AddEndpoint(funcx.EndpointOptions{
+//		Name: "laptop", Owner: "me", Managers: 1, WorkersPerManager: 4,
+//	})
+//	fc := fab.Client("me")
+//	fnID, _ := fc.RegisterFunction(ctx, "echo", funcx.BodyEcho, funcx.ContainerSpec{}, nil)
+//	payload, _ := funcx.Serialize("hello-world")
+//	taskID, _ := fc.Run(ctx, fnID, ep.ID, payload)
+//	res, _ := fc.GetResult(ctx, taskID)
+//
+// See examples/ for complete programs mirroring the paper's case
+// studies, and DESIGN.md for the full system inventory.
+package funcx
+
+import (
+	"funcx/internal/core"
+	"funcx/internal/fx"
+	"funcx/internal/sdk"
+	"funcx/internal/serial"
+	"funcx/internal/types"
+)
+
+// Client is the funcX SDK client (paper §3 / Listing 1).
+type Client = sdk.Client
+
+// NewClient builds an SDK client for a service URL and bearer token.
+func NewClient(baseURL, token string) *Client { return sdk.New(baseURL, token) }
+
+// Result is a completed task outcome returned by the SDK.
+type Result = sdk.Result
+
+// RunOptions modify a submission (memoization, batch payloads).
+type RunOptions = sdk.RunOptions
+
+// Fabric is a running funcX federation: the cloud service plus its
+// registered endpoints (paper §4).
+type Fabric = core.Fabric
+
+// FabricConfig parameterizes a federation.
+type FabricConfig = core.FabricConfig
+
+// NewFabric boots a service and its REST listener.
+func NewFabric(cfg FabricConfig) (*Fabric, error) { return core.NewFabric(cfg) }
+
+// Endpoint is one deployed endpoint: agent, managers, containerized
+// workers.
+type Endpoint = core.Endpoint
+
+// EndpointOptions shape an endpoint deployment.
+type EndpointOptions = core.EndpointOptions
+
+// Identifiers and task records.
+type (
+	// TaskID identifies one function invocation.
+	TaskID = types.TaskID
+	// FunctionID identifies a registered function.
+	FunctionID = types.FunctionID
+	// EndpointID identifies a registered endpoint.
+	EndpointID = types.EndpointID
+	// UserID identifies a user.
+	UserID = types.UserID
+	// ContainerSpec names a function's execution environment.
+	ContainerSpec = types.ContainerSpec
+	// Timing is the per-hop latency breakdown (paper Figure 4).
+	Timing = types.Timing
+)
+
+// Built-in function bodies (the workloads of paper §5).
+var (
+	// BodyNoop is the 0-second no-op function.
+	BodyNoop = fx.BodyNoop
+	// BodySleep sleeps for its float64-seconds argument.
+	BodySleep = fx.BodySleep
+	// BodyStress busy-spins one core for its argument duration.
+	BodyStress = fx.BodyStress
+	// BodyEcho returns its payload unchanged ("hello-world").
+	BodyEcho = fx.BodyEcho
+	// BodyDouble sleeps 1 s and doubles its argument (Table 3).
+	BodyDouble = fx.BodyDouble
+)
+
+// Serialize encodes a value with the funcX serialization facade
+// (paper §4.6).
+func Serialize(v any) ([]byte, error) { return serial.Serialize(v) }
+
+// Deserialize decodes a facade buffer, optionally into out.
+func Deserialize(buf []byte, out any) (any, error) { return serial.Deserialize(buf, out) }

@@ -1,0 +1,147 @@
+// Package api defines the REST request/response shapes shared by the
+// funcX service (server side) and SDK (client side), mirroring the
+// JSON API of paper §3: register functions, register endpoints, submit
+// tasks, poll status, and retrieve results.
+package api
+
+import (
+	"time"
+
+	"funcx/internal/types"
+)
+
+// RegisterFunctionRequest registers a function (POST /v1/functions).
+type RegisterFunctionRequest struct {
+	Name string `json:"name"`
+	// Body is the serialized function body.
+	Body []byte `json:"body"`
+	// Container optionally pins an execution environment.
+	Container types.ContainerSpec `json:"container,omitempty"`
+	// SharedWith lists users permitted to invoke ("*" = public).
+	SharedWith []types.UserID `json:"shared_with,omitempty"`
+}
+
+// RegisterFunctionResponse returns the assigned identifiers.
+type RegisterFunctionResponse struct {
+	FunctionID types.FunctionID `json:"function_id"`
+	BodyHash   string           `json:"body_hash"`
+	Version    int              `json:"version"`
+}
+
+// UpdateFunctionRequest replaces a function body (PUT /v1/functions/{id}).
+type UpdateFunctionRequest struct {
+	Body []byte `json:"body"`
+}
+
+// ShareFunctionRequest extends a function's sharing list.
+type ShareFunctionRequest struct {
+	Users []types.UserID `json:"users"`
+}
+
+// RegisterEndpointRequest registers an endpoint (POST /v1/endpoints).
+type RegisterEndpointRequest struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Public      bool   `json:"public,omitempty"`
+}
+
+// RegisterEndpointResponse returns the endpoint identity and the
+// forwarder created for it (paper §4.1: a unique forwarder process is
+// created for each endpoint, and communication addresses are exchanged
+// during registration).
+type RegisterEndpointResponse struct {
+	EndpointID types.EndpointID `json:"endpoint_id"`
+	// ForwarderNetwork/ForwarderAddr locate the forwarder listener
+	// the endpoint agent must dial.
+	ForwarderNetwork string `json:"forwarder_network"`
+	ForwarderAddr    string `json:"forwarder_addr"`
+	// EndpointToken authenticates the agent to the forwarder (the
+	// endpoint's native-client credential).
+	EndpointToken string `json:"endpoint_token"`
+}
+
+// SubmitRequest submits one task (POST /v1/tasks).
+type SubmitRequest struct {
+	FunctionID types.FunctionID `json:"function_id"`
+	EndpointID types.EndpointID `json:"endpoint_id"`
+	// Payload is the serialized input arguments.
+	Payload []byte `json:"payload"`
+	// Memoize opts into result caching (§4.7).
+	Memoize bool `json:"memoize,omitempty"`
+	// BatchN marks a user-driven batch payload of N packed argument
+	// buffers (fmap, §4.7).
+	BatchN int `json:"batch_n,omitempty"`
+}
+
+// SubmitResponse returns the task id.
+type SubmitResponse struct {
+	TaskID types.TaskID `json:"task_id"`
+	// Memoized indicates the result was served from cache at submit
+	// time and is immediately available.
+	Memoized bool `json:"memoized,omitempty"`
+}
+
+// BatchSubmitRequest submits many tasks at once (POST /v1/tasks/batch).
+type BatchSubmitRequest struct {
+	Tasks []SubmitRequest `json:"tasks"`
+}
+
+// BatchSubmitResponse returns ids in submission order.
+type BatchSubmitResponse struct {
+	TaskIDs []types.TaskID `json:"task_ids"`
+}
+
+// StatusResponse reports a task's lifecycle state (GET /v1/tasks/{id}).
+type StatusResponse struct {
+	TaskID types.TaskID     `json:"task_id"`
+	Status types.TaskStatus `json:"status"`
+}
+
+// ResultResponse returns a completed task's outcome
+// (GET /v1/tasks/{id}/result).
+type ResultResponse struct {
+	TaskID types.TaskID `json:"task_id"`
+	// Output is the serialized return value (absent on failure).
+	Output []byte `json:"output,omitempty"`
+	// Error is the serialized traceback (absent on success).
+	Error string `json:"error,omitempty"`
+	// Memoized marks cache-served results.
+	Memoized bool `json:"memoized,omitempty"`
+	// Timing is the per-hop latency breakdown (Figure 4).
+	Timing TimingBreakdown `json:"timing"`
+}
+
+// TimingBreakdown mirrors types.Timing in JSON-friendly nanoseconds.
+type TimingBreakdown struct {
+	TSNanos int64 `json:"ts_ns"`
+	TFNanos int64 `json:"tf_ns"`
+	TENanos int64 `json:"te_ns"`
+	TWNanos int64 `json:"tw_ns"`
+}
+
+// FromTiming converts a types.Timing.
+func FromTiming(t types.Timing) TimingBreakdown {
+	return TimingBreakdown{
+		TSNanos: int64(t.TS), TFNanos: int64(t.TF),
+		TENanos: int64(t.TE), TWNanos: int64(t.TW),
+	}
+}
+
+// Timing converts back to types.Timing.
+func (tb TimingBreakdown) Timing() types.Timing {
+	return types.Timing{
+		TS: time.Duration(tb.TSNanos), TF: time.Duration(tb.TFNanos),
+		TE: time.Duration(tb.TENanos), TW: time.Duration(tb.TWNanos),
+	}
+}
+
+// EndpointStatusResponse reports endpoint health
+// (GET /v1/endpoints/{id}/status).
+type EndpointStatusResponse struct {
+	Status types.EndpointStatus `json:"status"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,70 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"funcx/internal/types"
+)
+
+func TestTimingConversionRoundTrip(t *testing.T) {
+	in := types.Timing{TS: time.Millisecond, TF: 2 * time.Millisecond, TE: 3 * time.Millisecond, TW: 4 * time.Millisecond}
+	out := FromTiming(in).Timing()
+	if out != in {
+		t.Fatalf("roundtrip = %+v, want %+v", out, in)
+	}
+}
+
+func TestPayloadBase64RoundTrip(t *testing.T) {
+	// encoding/json carries []byte as base64; binary payloads must
+	// survive the REST layer intact.
+	in := SubmitRequest{FunctionID: "f", EndpointID: "e", Payload: []byte{0, 1, 2, 0xff, '\n'}}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SubmitRequest
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Payload) != string(in.Payload) {
+		t.Fatalf("payload = %v", out.Payload)
+	}
+}
+
+func TestErrorResponseShape(t *testing.T) {
+	b, err := json.Marshal(ErrorResponse{Error: "nope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"error":"nope"}` {
+		t.Fatalf("error body = %s", b)
+	}
+}
+
+func TestResultResponseOmitsEmpty(t *testing.T) {
+	b, err := json.Marshal(ResultResponse{TaskID: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, forbidden := range []string{"output", "error", "memoized"} {
+		if containsField(s, forbidden) {
+			t.Fatalf("empty field %q serialized: %s", forbidden, s)
+		}
+	}
+}
+
+func containsField(s, field string) bool {
+	return len(s) > 0 && (json.Valid([]byte(s)) && stringContains(s, `"`+field+`"`))
+}
+
+func stringContains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package auth
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"funcx/internal/types"
+)
+
+func TestMintVerifyRoundTrip(t *testing.T) {
+	a := NewAuthority()
+	tok := a.Mint("alice", time.Hour, ScopeRun, ScopeRegisterFunction)
+	claims, err := a.Verify(tok)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if claims.Subject != "alice" {
+		t.Fatalf("subject = %q", claims.Subject)
+	}
+	if !claims.HasScope(ScopeRun) || !claims.HasScope(ScopeRegisterFunction) {
+		t.Fatal("granted scopes missing")
+	}
+	if claims.HasScope(ScopeManageEndpoints) {
+		t.Fatal("ungranted scope present")
+	}
+}
+
+func TestScopeAllGrantsEverything(t *testing.T) {
+	a := NewAuthority()
+	claims, err := a.Verify(a.Mint("root", time.Hour, ScopeAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scope{ScopeRun, ScopeRegisterFunction, ScopeManageEndpoints} {
+		if !claims.HasScope(s) {
+			t.Fatalf("ScopeAll does not grant %s", s)
+		}
+	}
+}
+
+func TestTamperedTokenRejected(t *testing.T) {
+	a := NewAuthority()
+	tok := a.Mint("alice", time.Hour, ScopeRun)
+	// Flip a payload character.
+	tampered := "A" + tok[1:]
+	if _, err := a.Verify(tampered); !errors.Is(err, ErrInvalidToken) {
+		t.Fatalf("tampered verify = %v, want ErrInvalidToken", err)
+	}
+	// Token signed by a different authority.
+	other := NewAuthority().Mint("alice", time.Hour, ScopeRun)
+	if _, err := a.Verify(other); !errors.Is(err, ErrInvalidToken) {
+		t.Fatalf("foreign token verify = %v", err)
+	}
+	if _, err := a.Verify("no-dot-here"); !errors.Is(err, ErrInvalidToken) {
+		t.Fatalf("malformed token verify = %v", err)
+	}
+}
+
+func TestExpiredTokenRejected(t *testing.T) {
+	a := NewAuthority()
+	now := time.Now()
+	a.SetClock(func() time.Time { return now })
+	tok := a.Mint("alice", time.Minute, ScopeRun)
+	now = now.Add(2 * time.Minute)
+	if _, err := a.Verify(tok); !errors.Is(err, ErrExpiredToken) {
+		t.Fatalf("expired verify = %v, want ErrExpiredToken", err)
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	a := NewAuthority()
+	tok := a.Mint("alice", time.Hour, ScopeRun)
+	if _, err := a.Verify(tok); err != nil {
+		t.Fatal(err)
+	}
+	a.Revoke(tok)
+	if _, err := a.Verify(tok); !errors.Is(err, ErrInvalidToken) {
+		t.Fatalf("revoked verify = %v", err)
+	}
+}
+
+func TestAuthorizeScopeEnforcement(t *testing.T) {
+	a := NewAuthority()
+	tok := a.Mint("alice", time.Hour, ScopeRun)
+	if _, err := a.Authorize(tok, ScopeRun); err != nil {
+		t.Fatalf("Authorize(run): %v", err)
+	}
+	if _, err := a.Authorize(tok, ScopeManageEndpoints); !errors.Is(err, ErrScope) {
+		t.Fatalf("Authorize(manage) = %v, want ErrScope", err)
+	}
+}
+
+func TestNativeClientFlow(t *testing.T) {
+	a := NewAuthority()
+	secret, err := a.RegisterClient("endpoint:ep-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RegisterClient("endpoint:ep-1"); err == nil {
+		t.Fatal("duplicate client registration succeeded")
+	}
+	tok, err := a.MintClient("endpoint:ep-1", secret, time.Hour, ScopeManageEndpoints)
+	if err != nil {
+		t.Fatalf("MintClient: %v", err)
+	}
+	claims, err := a.Authorize(tok, ScopeManageEndpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claims.ClientID != "endpoint:ep-1" {
+		t.Fatalf("client id = %q", claims.ClientID)
+	}
+	if claims.Subject != types.UserID("client:endpoint:ep-1") {
+		t.Fatalf("subject = %q", claims.Subject)
+	}
+	if _, err := a.MintClient("endpoint:ep-1", "wrong-secret", time.Hour); err == nil {
+		t.Fatal("MintClient accepted a bad secret")
+	}
+	if _, err := a.MintClient("unknown", secret, time.Hour); err == nil {
+		t.Fatal("MintClient accepted an unknown client")
+	}
+}
+
+func TestScopeURN(t *testing.T) {
+	if got := ScopeRegisterFunction.URN(); got != "urn:globus:auth:scope:funcx:register_function" {
+		t.Fatalf("URN = %q", got)
+	}
+}
+
+func TestMiddleware(t *testing.T) {
+	a := NewAuthority()
+	handler := a.Middleware(ScopeRun, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		claims, ok := ClaimsFrom(r.Context())
+		if !ok {
+			t.Error("no claims in context")
+		}
+		w.Write([]byte(claims.Subject)) //nolint:errcheck
+	}))
+
+	cases := []struct {
+		name   string
+		header string
+		want   int
+	}{
+		{"valid", "Bearer " + a.Mint("alice", time.Hour, ScopeRun), http.StatusOK},
+		{"missing", "", http.StatusUnauthorized},
+		{"malformed", "Bearer garbage", http.StatusUnauthorized},
+		{"wrong scheme", "Basic abc", http.StatusUnauthorized},
+		{"wrong scope", "Bearer " + a.Mint("bob", time.Hour, ScopeRegisterFunction), http.StatusForbidden},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodGet, "/", nil)
+			if tc.header != "" {
+				req.Header.Set("Authorization", tc.header)
+			}
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != tc.want {
+				t.Fatalf("status = %d, want %d (body %q)", rec.Code, tc.want, rec.Body)
+			}
+			if tc.want == http.StatusOK && strings.TrimSpace(rec.Body.String()) != "alice" {
+				t.Fatalf("body = %q", rec.Body)
+			}
+		})
+	}
+}
+
+func TestClaimsFromEmptyContext(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	if _, ok := ClaimsFrom(req.Context()); ok {
+		t.Fatal("claims found in unauthenticated context")
+	}
+}

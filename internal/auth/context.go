@@ -1,0 +1,15 @@
+package auth
+
+import "context"
+
+// WithClaims returns a context carrying verified claims.
+func WithClaims(ctx context.Context, c *Claims) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// ClaimsFrom extracts claims stored by Middleware; ok is false when the
+// request was not authenticated.
+func ClaimsFrom(ctx context.Context) (*Claims, bool) {
+	c, ok := ctx.Value(ctxKey{}).(*Claims)
+	return c, ok
+}

@@ -1,0 +1,296 @@
+// Package container models the container technologies funcX uses to
+// sandbox function execution (paper §4.2, §4.5, §5.5.1): Docker for
+// cloud and local deployments, Singularity (ALCF/Theta) and Shifter
+// (NERSC/Cori) for HPC facilities.
+//
+// What the evaluation measures is instantiation behaviour: cold starts
+// cost seconds (Table 2), warm containers cost nothing, and HPC shared
+// file systems make concurrent cold starts slower. This package
+// provides:
+//
+//   - Model: a cold-start latency distribution per (system, technology)
+//     calibrated to Table 2;
+//   - Runtime: a per-node container manager with on-demand deployment,
+//     a warm pool with TTL eviction (container warming, §4.7), and a
+//     concurrent-start contention model.
+//
+// Instantiation can either really sleep (scaled, for wall-clock
+// experiments) or merely report the sampled duration (for virtual-time
+// simulation).
+package container
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"funcx/internal/types"
+)
+
+// Model is the cold-start latency distribution for one container
+// technology on one system. Samples follow a lognormal distribution
+// with the given mean, clamped to [Min, Max] — matching the min/max/
+// mean rows of Table 2.
+type Model struct {
+	// System names the compute resource ("theta", "cori", "ec2").
+	System string
+	// Tech is the container technology.
+	Tech types.ContainerTech
+	// Min, Max, Mean describe the instantiation time distribution.
+	Min, Max, Mean time.Duration
+	// Sigma is the lognormal shape parameter; larger values give
+	// heavier tails (Cori's Shifter has a 31 s max on an 8.5 s mean).
+	Sigma float64
+}
+
+// Sample draws one cold-start duration.
+func (m Model) Sample(rng *rand.Rand) time.Duration {
+	if m.Mean <= 0 {
+		return 0
+	}
+	if m.Sigma <= 0 {
+		return m.Mean
+	}
+	// Lognormal with E[X] = Mean: mu = ln(Mean) - sigma^2/2.
+	mu := math.Log(float64(m.Mean)) - m.Sigma*m.Sigma/2
+	x := math.Exp(mu + m.Sigma*rng.NormFloat64())
+	d := time.Duration(x)
+	if m.Min > 0 && d < m.Min {
+		d = m.Min
+	}
+	if m.Max > 0 && d > m.Max {
+		d = m.Max
+	}
+	return d
+}
+
+// Profiles holds the Table 2 calibrations, keyed by "system/tech".
+var Profiles = map[string]Model{
+	"theta/singularity": {
+		System: "theta", Tech: types.ContainerSingularity,
+		Min: 9830 * time.Millisecond, Max: 14060 * time.Millisecond,
+		Mean: 10400 * time.Millisecond, Sigma: 0.10,
+	},
+	"cori/shifter": {
+		System: "cori", Tech: types.ContainerShifter,
+		Min: 7250 * time.Millisecond, Max: 31260 * time.Millisecond,
+		Mean: 8490 * time.Millisecond, Sigma: 0.30,
+	},
+	"ec2/docker": {
+		System: "ec2", Tech: types.ContainerDocker,
+		Min: 1740 * time.Millisecond, Max: 1880 * time.Millisecond,
+		Mean: 1790 * time.Millisecond, Sigma: 0.02,
+	},
+	"ec2/singularity": {
+		System: "ec2", Tech: types.ContainerSingularity,
+		Min: 1190 * time.Millisecond, Max: 1260 * time.Millisecond,
+		Mean: 1220 * time.Millisecond, Sigma: 0.015,
+	},
+}
+
+// ProfileFor returns the model for a system and technology, or a
+// zero-latency model for ContainerNone / unknown pairs.
+func ProfileFor(system string, tech types.ContainerTech) Model {
+	if tech == types.ContainerNone || tech == "" {
+		return Model{System: system, Tech: types.ContainerNone}
+	}
+	if m, ok := Profiles[system+"/"+string(tech)]; ok {
+		return m
+	}
+	// Unknown pairing: assume cloud-Docker-like costs.
+	return Model{
+		System: system, Tech: tech,
+		Min: 1500 * time.Millisecond, Max: 2500 * time.Millisecond,
+		Mean: 1800 * time.Millisecond, Sigma: 0.05,
+	}
+}
+
+// DefaultWarmTTL is how long an idle warm container is retained before
+// eviction. The paper keeps containers warm for 5–10 minutes (§4.7).
+const DefaultWarmTTL = 5 * time.Minute
+
+// Instance is one deployed container able to host a funcX worker.
+type Instance struct {
+	// ID uniquely names the instance on its node.
+	ID string
+	// Spec is the environment it provides.
+	Spec types.ContainerSpec
+	// Started is when instantiation finished.
+	Started time.Time
+	// ColdStart is the instantiation cost paid (0 for warm reuse).
+	ColdStart time.Duration
+	// Warm reports whether the instance was served from the warm pool.
+	Warm bool
+}
+
+// Config configures a per-node Runtime.
+type Config struct {
+	// System selects Table 2 calibrations ("theta", "cori", "ec2").
+	System string
+	// WarmTTL is the idle retention of warm containers
+	// (DefaultWarmTTL when zero).
+	WarmTTL time.Duration
+	// Seed seeds the cold-start sampler (deterministic experiments).
+	Seed int64
+	// TimeScale multiplies real sleeps during instantiation: 1.0
+	// sleeps the full sampled cold start, 0 disables sleeping
+	// entirely (virtual-time mode), 0.001 turns 10 s into 10 ms.
+	TimeScale float64
+	// ContentionFactor models shared-filesystem contention: each
+	// concurrent cold start on the node multiplies the sampled
+	// duration by (1 + ContentionFactor*ln(1+inflight)). Zero
+	// disables the effect (cloud nodes); HPC profiles use ~0.15.
+	ContentionFactor float64
+	// MaxWarmPerSpec bounds the warm pool size per container spec
+	// (0 = unbounded).
+	MaxWarmPerSpec int
+}
+
+// Runtime manages the containers of one compute node.
+type Runtime struct {
+	cfg Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	warm     map[string][]*Instance // spec key -> idle warm instances
+	inflight int                    // concurrent cold starts
+	nextID   int
+
+	// stats
+	coldStarts int
+	warmHits   int
+	evictions  int
+}
+
+// NewRuntime creates a node-local container runtime.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.WarmTTL == 0 {
+		cfg.WarmTTL = DefaultWarmTTL
+	}
+	return &Runtime{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		warm: make(map[string][]*Instance),
+	}
+}
+
+// Acquire obtains a container for spec: a warm instance when one is
+// pooled, otherwise a cold instantiation whose cost is sampled from the
+// system profile (and slept, scaled by TimeScale). The returned
+// Instance reports which path was taken.
+func (r *Runtime) Acquire(spec types.ContainerSpec) *Instance {
+	key := spec.Key()
+	r.mu.Lock()
+	if pool := r.warm[key]; len(pool) > 0 {
+		inst := pool[len(pool)-1]
+		r.warm[key] = pool[:len(pool)-1]
+		r.warmHits++
+		r.mu.Unlock()
+		inst.Warm = true
+		inst.ColdStart = 0
+		return inst
+	}
+	// Cold path: sample under lock (rng), sleep outside it.
+	model := ProfileFor(r.cfg.System, spec.Tech)
+	base := model.Sample(r.rng)
+	r.inflight++
+	contended := r.contendedLocked(base)
+	r.coldStarts++
+	r.nextID++
+	id := fmt.Sprintf("%s-ctr-%d", r.cfg.System, r.nextID)
+	r.mu.Unlock()
+
+	if r.cfg.TimeScale > 0 && contended > 0 {
+		time.Sleep(time.Duration(float64(contended) * r.cfg.TimeScale))
+	}
+
+	r.mu.Lock()
+	r.inflight--
+	r.mu.Unlock()
+
+	return &Instance{
+		ID:        id,
+		Spec:      spec,
+		Started:   time.Now(),
+		ColdStart: contended,
+		Warm:      false,
+	}
+}
+
+// contendedLocked applies the shared-filesystem contention multiplier.
+// Caller holds r.mu; r.inflight already counts this start.
+func (r *Runtime) contendedLocked(base time.Duration) time.Duration {
+	if r.cfg.ContentionFactor <= 0 || r.inflight <= 1 {
+		return base
+	}
+	mult := 1 + r.cfg.ContentionFactor*math.Log(float64(r.inflight))
+	return time.Duration(float64(base) * mult)
+}
+
+// SampleCold draws a cold-start duration without deploying anything —
+// the hook used by the discrete-event simulator and Table 2 harness.
+func (r *Runtime) SampleCold(tech types.ContainerTech) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ProfileFor(r.cfg.System, tech).Sample(r.rng)
+}
+
+// Release returns an instance to the warm pool, where it remains
+// reusable until WarmTTL elapses without use.
+func (r *Runtime) Release(inst *Instance) {
+	if inst == nil {
+		return
+	}
+	key := inst.Spec.Key()
+	inst.Started = time.Now() // reset idle clock
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pool := r.warm[key]
+	if r.cfg.MaxWarmPerSpec > 0 && len(pool) >= r.cfg.MaxWarmPerSpec {
+		r.evictions++ // pool full: drop (container torn down)
+		return
+	}
+	r.warm[key] = append(pool, inst)
+}
+
+// PruneExpired evicts warm instances idle longer than WarmTTL,
+// returning the count evicted. Callers run this periodically.
+func (r *Runtime) PruneExpired(now time.Time) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for key, pool := range r.warm {
+		keep := pool[:0]
+		for _, inst := range pool {
+			if now.Sub(inst.Started) > r.cfg.WarmTTL {
+				n++
+				continue
+			}
+			keep = append(keep, inst)
+		}
+		if len(keep) == 0 {
+			delete(r.warm, key)
+		} else {
+			r.warm[key] = keep
+		}
+	}
+	r.evictions += n
+	return n
+}
+
+// WarmCount returns the number of pooled warm instances for spec.
+func (r *Runtime) WarmCount(spec types.ContainerSpec) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.warm[spec.Key()])
+}
+
+// Stats reports cumulative counters: cold starts, warm-pool hits, and
+// evictions.
+func (r *Runtime) Stats() (cold, warm, evicted int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.coldStarts, r.warmHits, r.evictions
+}

@@ -1,0 +1,172 @@
+package container
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"funcx/internal/types"
+)
+
+func TestProfileSamplesWithinTable2Bounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, model := range Profiles {
+		var sum time.Duration
+		const n = 2000
+		for i := 0; i < n; i++ {
+			d := model.Sample(rng)
+			if d < model.Min || d > model.Max {
+				t.Fatalf("%s: sample %v outside [%v, %v]", name, d, model.Min, model.Max)
+			}
+			sum += d
+		}
+		mean := sum / n
+		// Sampled mean within 15% of the calibrated mean.
+		lo := time.Duration(float64(model.Mean) * 0.85)
+		hi := time.Duration(float64(model.Mean) * 1.15)
+		if mean < lo || mean > hi {
+			t.Fatalf("%s: sampled mean %v outside [%v, %v]", name, mean, lo, hi)
+		}
+	}
+}
+
+func TestProfileForFallbacks(t *testing.T) {
+	if m := ProfileFor("anything", types.ContainerNone); m.Mean != 0 {
+		t.Fatalf("ContainerNone mean = %v, want 0", m.Mean)
+	}
+	if m := ProfileFor("theta", types.ContainerSingularity); m.Mean != Profiles["theta/singularity"].Mean {
+		t.Fatal("known profile not found")
+	}
+	// Unknown pairing gets a cloud-like default.
+	if m := ProfileFor("unknown-system", types.ContainerDocker); m.Mean <= 0 {
+		t.Fatal("unknown pairing has no default cost")
+	}
+}
+
+func TestWarmPoolReuse(t *testing.T) {
+	r := NewRuntime(Config{System: "ec2", Seed: 1, TimeScale: 0})
+	spec := types.ContainerSpec{Tech: types.ContainerDocker, Image: "img"}
+
+	first := r.Acquire(spec)
+	if first.Warm {
+		t.Fatal("first acquire reported warm")
+	}
+	if first.ColdStart <= 0 {
+		t.Fatal("cold acquire has no cold-start cost")
+	}
+	r.Release(first)
+	if r.WarmCount(spec) != 1 {
+		t.Fatalf("WarmCount = %d", r.WarmCount(spec))
+	}
+	second := r.Acquire(spec)
+	if !second.Warm || second.ColdStart != 0 {
+		t.Fatalf("second acquire = %+v, want warm", second)
+	}
+	cold, warm, _ := r.Stats()
+	if cold != 1 || warm != 1 {
+		t.Fatalf("stats = cold %d warm %d", cold, warm)
+	}
+}
+
+func TestWarmPoolIsPerSpec(t *testing.T) {
+	r := NewRuntime(Config{System: "ec2", Seed: 1})
+	a := types.ContainerSpec{Tech: types.ContainerDocker, Image: "a"}
+	b := types.ContainerSpec{Tech: types.ContainerDocker, Image: "b"}
+	r.Release(r.Acquire(a))
+	got := r.Acquire(b)
+	if got.Warm {
+		t.Fatal("warm hit across different images")
+	}
+}
+
+func TestPruneExpired(t *testing.T) {
+	r := NewRuntime(Config{System: "ec2", Seed: 1, WarmTTL: 50 * time.Millisecond})
+	spec := types.ContainerSpec{Tech: types.ContainerDocker, Image: "img"}
+	r.Release(r.Acquire(spec))
+	if n := r.PruneExpired(time.Now()); n != 0 {
+		t.Fatalf("fresh instance pruned: %d", n)
+	}
+	if n := r.PruneExpired(time.Now().Add(time.Second)); n != 1 {
+		t.Fatalf("PruneExpired = %d, want 1", n)
+	}
+	if r.WarmCount(spec) != 0 {
+		t.Fatal("pruned instance still pooled")
+	}
+}
+
+func TestMaxWarmPerSpec(t *testing.T) {
+	r := NewRuntime(Config{System: "ec2", Seed: 1, MaxWarmPerSpec: 1})
+	spec := types.ContainerSpec{Tech: types.ContainerDocker, Image: "img"}
+	i1 := r.Acquire(spec)
+	i2 := r.Acquire(spec)
+	r.Release(i1)
+	r.Release(i2) // pool full: dropped
+	if r.WarmCount(spec) != 1 {
+		t.Fatalf("WarmCount = %d, want 1 (bounded)", r.WarmCount(spec))
+	}
+	_, _, evicted := r.Stats()
+	if evicted != 1 {
+		t.Fatalf("evictions = %d, want 1", evicted)
+	}
+}
+
+func TestContentionInflatesColdStarts(t *testing.T) {
+	base := 10 * time.Second
+	r := NewRuntime(Config{System: "theta", ContentionFactor: 0.5})
+	r.inflight = 8
+	got := r.contendedLocked(base)
+	if got <= base {
+		t.Fatalf("contended %v <= base %v", got, base)
+	}
+	r.inflight = 1
+	if got := r.contendedLocked(base); got != base {
+		t.Fatalf("single start contended: %v", got)
+	}
+	r2 := NewRuntime(Config{System: "ec2"}) // no contention factor
+	r2.inflight = 8
+	if got := r2.contendedLocked(base); got != base {
+		t.Fatalf("cloud runtime contended: %v", got)
+	}
+}
+
+func TestTimeScaleSleeps(t *testing.T) {
+	// With TimeScale, Acquire really sleeps (scaled) — measure one.
+	r := NewRuntime(Config{System: "ec2", Seed: 1, TimeScale: 0.002}) // 1.79s -> ~3.6ms
+	spec := types.ContainerSpec{Tech: types.ContainerDocker, Image: "img"}
+	start := time.Now()
+	inst := r.Acquire(spec)
+	elapsed := time.Since(start)
+	if elapsed < 2*time.Millisecond {
+		t.Fatalf("scaled cold start slept only %v", elapsed)
+	}
+	if inst.ColdStart < time.Second {
+		t.Fatalf("reported (unscaled) cold start = %v", inst.ColdStart)
+	}
+}
+
+func TestSampleColdMatchesProfile(t *testing.T) {
+	r := NewRuntime(Config{System: "cori", Seed: 3})
+	d := r.SampleCold(types.ContainerShifter)
+	m := Profiles["cori/shifter"]
+	if d < m.Min || d > m.Max {
+		t.Fatalf("SampleCold = %v outside profile bounds", d)
+	}
+}
+
+func TestSampleClampProperty(t *testing.T) {
+	m := Profiles["cori/shifter"]
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := m.Sample(rng)
+		return d >= m.Min && d <= m.Max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseNil(t *testing.T) {
+	r := NewRuntime(Config{System: "ec2"})
+	r.Release(nil) // must not panic
+}

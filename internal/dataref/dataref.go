@@ -1,0 +1,219 @@
+// Package dataref is the out-of-band data transfer substrate of paper
+// §4.6: funcX limits the data passed through its cloud service and
+// relies on Globus for large datasets — "data can be staged prior to
+// the invocation of a function (or after the completion of a function)
+// and a reference to the data's location can be passed to/from the
+// function as input/output arguments".
+//
+// The package models a federation of transfer endpoints (the Globus
+// collection role): each stores named objects, and transfers between
+// endpoints take time governed by a per-pair bandwidth and latency
+// model. A Ref names an object at an endpoint and serializes through
+// the standard facade, so functions receive references instead of
+// payloads exactly as the paper's early users did.
+package dataref
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Ref is a reference to a staged object: the value that crosses the
+// funcX service in place of large data.
+type Ref struct {
+	// Endpoint is the transfer endpoint holding the object.
+	Endpoint string `json:"endpoint"`
+	// Name is the object's path/name at that endpoint.
+	Name string `json:"name"`
+	// Size is the object size in bytes.
+	Size int64 `json:"size"`
+	// Checksum is the SHA-256 of the content (integrity check after
+	// transfer).
+	Checksum string `json:"checksum"`
+}
+
+// String renders the reference in a Globus-like URL form.
+func (r Ref) String() string { return fmt.Sprintf("globus://%s/%s", r.Endpoint, r.Name) }
+
+// Errors returned by the fabric.
+var (
+	// ErrNotFound is returned for unknown endpoints or objects.
+	ErrNotFound = errors.New("dataref: not found")
+	// ErrChecksum is returned when a transferred object fails its
+	// integrity check.
+	ErrChecksum = errors.New("dataref: checksum mismatch")
+)
+
+// LinkModel is the transfer cost between two endpoints.
+type LinkModel struct {
+	// Latency is the fixed per-transfer setup cost.
+	Latency time.Duration
+	// BytesPerSecond is the sustained bandwidth.
+	BytesPerSecond float64
+}
+
+// Duration returns the modeled transfer time for size bytes.
+func (l LinkModel) Duration(size int64) time.Duration {
+	d := l.Latency
+	if l.BytesPerSecond > 0 {
+		d += time.Duration(float64(size) / l.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}
+
+// DefaultLink approximates a well-tuned WAN transfer: 50 ms setup,
+// 1 GB/s sustained.
+var DefaultLink = LinkModel{Latency: 50 * time.Millisecond, BytesPerSecond: 1e9}
+
+// Fabric is a federation of transfer endpoints.
+type Fabric struct {
+	mu        sync.Mutex
+	endpoints map[string]map[string][]byte
+	links     map[string]LinkModel // "src->dst"
+	// TimeScale scales real sleeps during transfers (0 = no sleep).
+	TimeScale float64
+
+	transfers    int64
+	bytesMoved   int64
+	modeledDelay time.Duration
+}
+
+// NewFabric creates an empty transfer fabric. TimeScale defaults to 0
+// (transfers are accounted but not slept) — set it to make transfers
+// really take (scaled) time.
+func NewFabric() *Fabric {
+	return &Fabric{
+		endpoints: make(map[string]map[string][]byte),
+		links:     make(map[string]LinkModel),
+	}
+}
+
+// AddEndpoint registers a transfer endpoint (a Globus collection).
+func (f *Fabric) AddEndpoint(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.endpoints[name]; !ok {
+		f.endpoints[name] = make(map[string][]byte)
+	}
+}
+
+// SetLink installs a transfer model between two endpoints (both
+// directions use it unless overridden).
+func (f *Fabric) SetLink(src, dst string, m LinkModel) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[src+"->"+dst] = m
+	if _, ok := f.links[dst+"->"+src]; !ok {
+		f.links[dst+"->"+src] = m
+	}
+}
+
+func (f *Fabric) linkFor(src, dst string) LinkModel {
+	if m, ok := f.links[src+"->"+dst]; ok {
+		return m
+	}
+	return DefaultLink
+}
+
+// Put stores an object directly at an endpoint (data landing from an
+// instrument), returning its reference.
+func (f *Fabric) Put(endpoint, name string, data []byte) (Ref, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	store, ok := f.endpoints[endpoint]
+	if !ok {
+		return Ref{}, fmt.Errorf("%w: endpoint %q", ErrNotFound, endpoint)
+	}
+	store[name] = bytes.Clone(data)
+	sum := sha256.Sum256(data)
+	return Ref{
+		Endpoint: endpoint,
+		Name:     name,
+		Size:     int64(len(data)),
+		Checksum: hex.EncodeToString(sum[:]),
+	}, nil
+}
+
+// Stage transfers a referenced object to another endpoint, returning
+// the new reference. The transfer pays the link model's cost (slept,
+// scaled by TimeScale) — the out-of-band path that keeps large data
+// off the funcX service.
+func (f *Fabric) Stage(ref Ref, dst string) (Ref, error) {
+	f.mu.Lock()
+	src, ok := f.endpoints[ref.Endpoint]
+	if !ok {
+		f.mu.Unlock()
+		return Ref{}, fmt.Errorf("%w: endpoint %q", ErrNotFound, ref.Endpoint)
+	}
+	data, ok := src[ref.Name]
+	if !ok {
+		f.mu.Unlock()
+		return Ref{}, fmt.Errorf("%w: object %s", ErrNotFound, ref)
+	}
+	if _, ok := f.endpoints[dst]; !ok {
+		f.mu.Unlock()
+		return Ref{}, fmt.Errorf("%w: endpoint %q", ErrNotFound, dst)
+	}
+	cost := f.linkFor(ref.Endpoint, dst).Duration(int64(len(data)))
+	scale := f.TimeScale
+	f.transfers++
+	f.bytesMoved += int64(len(data))
+	f.modeledDelay += cost
+	f.mu.Unlock()
+
+	if scale > 0 && cost > 0 {
+		time.Sleep(time.Duration(float64(cost) * scale))
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.endpoints[dst][ref.Name] = bytes.Clone(data)
+	sum := sha256.Sum256(data)
+	out := Ref{Endpoint: dst, Name: ref.Name, Size: int64(len(data)), Checksum: hex.EncodeToString(sum[:])}
+	if out.Checksum != ref.Checksum {
+		return Ref{}, fmt.Errorf("%w: %s", ErrChecksum, ref)
+	}
+	return out, nil
+}
+
+// Fetch reads a referenced object at its endpoint (the function-side
+// read after staging), verifying integrity.
+func (f *Fabric) Fetch(ref Ref) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	store, ok := f.endpoints[ref.Endpoint]
+	if !ok {
+		return nil, fmt.Errorf("%w: endpoint %q", ErrNotFound, ref.Endpoint)
+	}
+	data, ok := store[ref.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: object %s", ErrNotFound, ref)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != ref.Checksum {
+		return nil, fmt.Errorf("%w: %s", ErrChecksum, ref)
+	}
+	return bytes.Clone(data), nil
+}
+
+// Delete removes a staged object (cleanup after retrieval).
+func (f *Fabric) Delete(ref Ref) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if store, ok := f.endpoints[ref.Endpoint]; ok {
+		delete(store, ref.Name)
+	}
+}
+
+// Stats reports cumulative transfers, bytes moved, and the modeled
+// (unscaled) transfer time.
+func (f *Fabric) Stats() (transfers, bytesMoved int64, modeled time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.transfers, f.bytesMoved, f.modeledDelay
+}

@@ -1,0 +1,144 @@
+package dataref
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestFabric() *Fabric {
+	f := NewFabric()
+	f.AddEndpoint("beamline")
+	f.AddEndpoint("hpc")
+	return f
+}
+
+func TestPutFetchRoundTrip(t *testing.T) {
+	f := newTestFabric()
+	data := []byte("detector frame bytes")
+	ref, err := f.Put("beamline", "frame-001.h5", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Size != int64(len(data)) || ref.Checksum == "" {
+		t.Fatalf("ref = %+v", ref)
+	}
+	got, err := f.Fetch(ref)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Fetch = %q, %v", got, err)
+	}
+	if ref.String() != "globus://beamline/frame-001.h5" {
+		t.Fatalf("String = %q", ref.String())
+	}
+}
+
+func TestStageMovesData(t *testing.T) {
+	f := newTestFabric()
+	data := bytes.Repeat([]byte{7}, 1024)
+	src, err := f.Put("beamline", "x", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := f.Stage(src, "hpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Endpoint != "hpc" || dst.Checksum != src.Checksum {
+		t.Fatalf("staged ref = %+v", dst)
+	}
+	got, err := f.Fetch(dst)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("fetch after stage = %v", err)
+	}
+	// Source copy remains (transfer, not move).
+	if _, err := f.Fetch(src); err != nil {
+		t.Fatalf("source lost after stage: %v", err)
+	}
+	transfers, moved, modeled := f.Stats()
+	if transfers != 1 || moved != 1024 || modeled <= 0 {
+		t.Fatalf("stats = %d, %d, %v", transfers, moved, modeled)
+	}
+}
+
+func TestStageSleepsScaledCost(t *testing.T) {
+	f := newTestFabric()
+	f.TimeScale = 1.0
+	f.SetLink("beamline", "hpc", LinkModel{Latency: 30 * time.Millisecond, BytesPerSecond: 1e12})
+	ref, _ := f.Put("beamline", "x", []byte("small"))
+	start := time.Now()
+	if _, err := f.Stage(ref, "hpc"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("transfer slept only %v", elapsed)
+	}
+}
+
+func TestLinkModelDuration(t *testing.T) {
+	m := LinkModel{Latency: 100 * time.Millisecond, BytesPerSecond: 1e6}
+	if got := m.Duration(2e6); got != 100*time.Millisecond+2*time.Second {
+		t.Fatalf("Duration = %v", got)
+	}
+	if got := (LinkModel{Latency: time.Second}).Duration(1 << 30); got != time.Second {
+		t.Fatalf("bandwidth-less Duration = %v", got)
+	}
+}
+
+func TestUnknownEndpointsAndObjects(t *testing.T) {
+	f := newTestFabric()
+	if _, err := f.Put("nowhere", "x", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Put = %v", err)
+	}
+	ref, _ := f.Put("beamline", "x", []byte("d"))
+	if _, err := f.Stage(ref, "nowhere"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stage to unknown = %v", err)
+	}
+	if _, err := f.Stage(Ref{Endpoint: "beamline", Name: "ghost"}, "hpc"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stage of ghost = %v", err)
+	}
+	if _, err := f.Fetch(Ref{Endpoint: "hpc", Name: "ghost"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Fetch ghost = %v", err)
+	}
+}
+
+func TestChecksumDetectsTamper(t *testing.T) {
+	f := newTestFabric()
+	ref, _ := f.Put("beamline", "x", []byte("original"))
+	// Overwrite the object behind the reference's back.
+	f.Put("beamline", "x", []byte("tampered")) //nolint:errcheck
+	if _, err := f.Fetch(ref); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Fetch of tampered object = %v, want ErrChecksum", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	f := newTestFabric()
+	ref, _ := f.Put("beamline", "x", []byte("d"))
+	f.Delete(ref)
+	if _, err := f.Fetch(ref); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Fetch after delete = %v", err)
+	}
+}
+
+func TestStageRoundTripProperty(t *testing.T) {
+	f := newTestFabric()
+	i := 0
+	prop := func(data []byte) bool {
+		i++
+		ref, err := f.Put("beamline", string(rune('a'+i%26))+"-obj", data)
+		if err != nil {
+			return false
+		}
+		staged, err := f.Stage(ref, "hpc")
+		if err != nil {
+			return false
+		}
+		got, err := f.Fetch(staged)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,667 @@
+// Package endpoint implements the funcX agent (paper §4.3): the
+// persistent process deployed on a resource's login node (or cloud
+// instance, or laptop) that turns it into a function-serving endpoint.
+//
+// The agent:
+//
+//   - registers with the funcX service's forwarder and relays tasks and
+//     results between the service and node managers;
+//   - provisions managers through a pilot-job provider, scaling the
+//     pool with the automatic scaling strategy (§4.4);
+//   - allocates tasks to suitable managers with available capacity
+//     using a greedy randomized scheduling algorithm (§4.5), routing on
+//     container type;
+//   - queues tasks internally so none are lost once delivered (§4.1);
+//   - watches manager heartbeats with a watchdog and re-executes tasks
+//     lost to failed managers (§4.3);
+//   - amortizes communication with executor-side batching and relays
+//     opportunistic prefetch capacity (§4.7).
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"funcx/internal/transport"
+	"funcx/internal/types"
+	"funcx/internal/wire"
+)
+
+// SchedulingPolicy selects how the agent picks among managers with
+// capacity. The paper uses the randomized policy; the alternatives
+// exist for the scheduling ablation.
+type SchedulingPolicy string
+
+// Scheduling policies.
+const (
+	// ScheduleRandom picks uniformly among suitable managers (§4.5).
+	ScheduleRandom SchedulingPolicy = "random"
+	// ScheduleRoundRobin cycles through suitable managers.
+	ScheduleRoundRobin SchedulingPolicy = "round-robin"
+	// ScheduleFirstFit always picks the first suitable manager.
+	ScheduleFirstFit SchedulingPolicy = "first-fit"
+)
+
+// Config parameterizes an endpoint agent.
+type Config struct {
+	// ID is the registered endpoint id.
+	ID types.EndpointID
+	// ServiceNetwork/ServiceAddr locate the forwarder's listener.
+	ServiceNetwork string
+	ServiceAddr    string
+	// Token authenticates the endpoint (native client token).
+	Token string
+	// ListenNetwork is the transport for manager connections
+	// ("inproc" default, "tcp" for multi-process deployments).
+	ListenNetwork string
+	// ListenAddr optionally pins the manager listener address.
+	ListenAddr string
+	// HeartbeatPeriod is the agent's heartbeat interval, both to the
+	// forwarder and expected from managers.
+	HeartbeatPeriod time.Duration
+	// HeartbeatMisses is how many missed manager heartbeats mark a
+	// manager lost.
+	HeartbeatMisses int
+	// Policy selects the scheduling policy (default random).
+	Policy SchedulingPolicy
+	// BatchDispatch enables executor-side batching (§4.7): fill each
+	// manager's full advertised capacity per scheduling round. When
+	// false, one task is dispatched per manager per capacity
+	// advertisement (the §5.5.2 "disabled" baseline).
+	BatchDispatch bool
+	// MaxAttempts bounds task re-executions after manager loss
+	// (0 = retry forever).
+	MaxAttempts int
+	// Seed seeds the randomized scheduler.
+	Seed int64
+}
+
+// managerState is the agent's view of one registered manager.
+type managerState struct {
+	id       types.ManagerID
+	conn     transport.Conn
+	capacity *types.Capacity
+	lastSeen time.Time
+	// dispatched is decremented capacity bookkeeping between
+	// advertisements.
+	budget int
+	// awaitingAdvert gates non-batched dispatch: one task per
+	// advertisement round-trip.
+	awaitingAdvert bool
+	// outstanding tasks at this manager, by id.
+	outstanding map[types.TaskID]*types.Task
+	suspended   bool
+}
+
+// inflightTask tracks a task between arrival at the agent and result
+// departure, for the TE timing component and loss recovery.
+type inflightTask struct {
+	task    *types.Task
+	arrived time.Time
+}
+
+// Agent is the funcX endpoint agent.
+type Agent struct {
+	cfg Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	ln transport.Listener
+
+	mu        sync.Mutex
+	upstream  transport.Conn
+	connected bool
+	managers  map[types.ManagerID]*managerState
+	queue     []*types.Task
+	inflight  map[types.TaskID]*inflightTask
+	rng       *rand.Rand
+	rrCursor  int
+	// counters
+	received  int64
+	completed int64
+	requeued  int64
+}
+
+// New creates an agent; Start connects and runs it.
+func New(cfg Config) *Agent {
+	if cfg.HeartbeatPeriod <= 0 {
+		cfg.HeartbeatPeriod = time.Second
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
+	}
+	if cfg.ListenNetwork == "" {
+		cfg.ListenNetwork = "inproc"
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = ScheduleRandom
+	}
+	return &Agent{
+		cfg:      cfg,
+		managers: make(map[types.ManagerID]*managerState),
+		inflight: make(map[types.TaskID]*inflightTask),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// ManagerAddr returns the address managers should dial. Valid after
+// Start.
+func (a *Agent) ManagerAddr() (network, addr string) {
+	return a.cfg.ListenNetwork, a.ln.Addr()
+}
+
+// Start opens the manager listener, connects to the forwarder,
+// registers, and launches the agent loops.
+func (a *Agent) Start(ctx context.Context) error {
+	a.ctx, a.cancel = context.WithCancel(ctx)
+	ln, err := transport.Listen(a.cfg.ListenNetwork, a.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("endpoint %s: %w", a.cfg.ID, err)
+	}
+	a.ln = ln
+	if err := a.connect(); err != nil {
+		ln.Close()
+		return err
+	}
+	a.wg.Add(2)
+	go a.acceptLoop()
+	go a.heartbeatLoop()
+	return nil
+}
+
+// connect dials the forwarder and registers (also used on reconnect).
+func (a *Agent) connect() error {
+	conn, err := transport.Dial(a.cfg.ServiceNetwork, a.cfg.ServiceAddr, string(a.cfg.ID))
+	if err != nil {
+		return fmt.Errorf("endpoint %s: dial forwarder: %w", a.cfg.ID, err)
+	}
+	reg := &wire.Registration{EndpointID: a.cfg.ID, Token: a.cfg.Token}
+	if err := conn.Send(transport.Message{Type: transport.MsgRegister, Payload: wire.EncodeRegistration(reg)}); err != nil {
+		conn.Close()
+		return fmt.Errorf("endpoint %s: register: %w", a.cfg.ID, err)
+	}
+	// Wait for the ack so registration failures surface synchronously.
+	msg, err := conn.Recv(10 * time.Second)
+	if err != nil || msg.Type != transport.MsgRegisterAck {
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("unexpected %s", msg.Type)
+		}
+		return fmt.Errorf("endpoint %s: registration rejected: %w", a.cfg.ID, err)
+	}
+	a.mu.Lock()
+	a.upstream = conn
+	a.connected = true
+	a.mu.Unlock()
+	a.wg.Add(1)
+	go a.upstreamLoop(conn)
+	return nil
+}
+
+// Stop shuts the agent down, closing manager connections.
+func (a *Agent) Stop() {
+	if a.cancel != nil {
+		a.cancel()
+	}
+	if a.ln != nil {
+		a.ln.Close()
+	}
+	a.mu.Lock()
+	up := a.upstream
+	conns := make([]transport.Conn, 0, len(a.managers))
+	for _, m := range a.managers {
+		conns = append(conns, m.conn)
+	}
+	a.mu.Unlock()
+	if up != nil {
+		up.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	a.wg.Wait()
+}
+
+// Disconnect severs the forwarder connection without stopping managers
+// — the failure injected in the Figure 8 experiment.
+func (a *Agent) Disconnect() {
+	a.mu.Lock()
+	up := a.upstream
+	a.upstream = nil
+	a.connected = false
+	a.mu.Unlock()
+	if up != nil {
+		up.Close()
+	}
+}
+
+// Reconnect re-dials the forwarder and repeats registration, after
+// which the forwarder resumes dispatching (paper §4.3: "when the funcX
+// agent recovers, it repeats the registration process").
+func (a *Agent) Reconnect() error {
+	a.mu.Lock()
+	if a.connected {
+		a.mu.Unlock()
+		return nil
+	}
+	a.mu.Unlock()
+	return a.connect()
+}
+
+// Connected reports whether the upstream link is up.
+func (a *Agent) Connected() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.connected
+}
+
+// Stats returns cumulative task counters: received, completed, and
+// requeued-after-manager-loss.
+func (a *Agent) Stats() (received, completed, requeued int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.received, a.completed, a.requeued
+}
+
+// QueueDepth returns the internal queue length.
+func (a *Agent) QueueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}
+
+// ManagerCount returns the number of registered (live) managers.
+func (a *Agent) ManagerCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.managers)
+}
+
+// Status snapshots the endpoint for service-side reporting.
+func (a *Agent) Status() *types.EndpointStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	workers, idle := 0, 0
+	for _, m := range a.managers {
+		if m.capacity != nil {
+			workers += m.capacity.Total
+			for _, f := range m.capacity.Free {
+				idle += f
+			}
+			idle += m.capacity.Slots
+		}
+	}
+	return &types.EndpointStatus{
+		ID:               a.cfg.ID,
+		Connected:        a.connected,
+		OutstandingTasks: len(a.inflight),
+		QueuedTasks:      len(a.queue),
+		Managers:         len(a.managers),
+		Workers:          workers,
+		IdleWorkers:      idle,
+		LastHeartbeat:    time.Now(),
+	}
+}
+
+// --- upstream (forwarder) side ---
+
+func (a *Agent) upstreamLoop(conn transport.Conn) {
+	defer a.wg.Done()
+	for {
+		msg, err := conn.Recv(0)
+		if err != nil {
+			a.mu.Lock()
+			if a.upstream == conn {
+				a.connected = false
+			}
+			a.mu.Unlock()
+			return
+		}
+		switch msg.Type {
+		case transport.MsgTask:
+			t, err := wire.DecodeTask(msg.Payload)
+			if err != nil {
+				continue
+			}
+			a.enqueue(t)
+		case transport.MsgTaskBatch:
+			ts, err := wire.DecodeTasks(msg.Payload)
+			if err != nil {
+				continue
+			}
+			for _, t := range ts {
+				a.enqueue(t)
+			}
+		case transport.MsgHeartbeat:
+			// Forwarder liveness: receipt is enough; our own
+			// heartbeats flow from heartbeatLoop.
+		case transport.MsgShutdown:
+			go a.Stop()
+			return
+		}
+	}
+}
+
+// enqueue accepts a task from upstream into the internal queue.
+func (a *Agent) enqueue(t *types.Task) {
+	if t.Attempt <= 0 {
+		t.Attempt = 1 // first execution attempt
+	}
+	a.mu.Lock()
+	a.received++
+	a.queue = append(a.queue, t)
+	a.inflight[t.ID] = &inflightTask{task: t, arrived: time.Now()}
+	a.mu.Unlock()
+	a.schedule()
+}
+
+// sendUpstream forwards a result to the forwarder if connected.
+func (a *Agent) sendUpstream(r *types.Result) {
+	a.mu.Lock()
+	conn := a.upstream
+	a.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	conn.Send(transport.Message{Type: transport.MsgResult, Payload: wire.EncodeResult(r)}) //nolint:errcheck
+}
+
+// heartbeatLoop sends agent heartbeats + status upstream and runs the
+// manager watchdog.
+func (a *Agent) heartbeatLoop() {
+	defer a.wg.Done()
+	ticker := time.NewTicker(a.cfg.HeartbeatPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			a.mu.Lock()
+			conn := a.upstream
+			a.mu.Unlock()
+			if conn != nil {
+				conn.Send(transport.Message{Type: transport.MsgHeartbeat, Payload: []byte(a.cfg.ID)})           //nolint:errcheck
+				conn.Send(transport.Message{Type: transport.MsgStatus, Payload: wire.EncodeStatus(a.Status())}) //nolint:errcheck
+			}
+			a.watchdog()
+		case <-a.ctx.Done():
+			return
+		}
+	}
+}
+
+// watchdog detects managers whose heartbeats stopped and re-queues
+// their outstanding tasks for re-execution (§4.3).
+func (a *Agent) watchdog() {
+	cutoff := time.Now().Add(-time.Duration(a.cfg.HeartbeatMisses) * a.cfg.HeartbeatPeriod)
+	var lost []*managerState
+	a.mu.Lock()
+	for id, m := range a.managers {
+		if m.lastSeen.Before(cutoff) {
+			lost = append(lost, m)
+			delete(a.managers, id)
+		}
+	}
+	for _, m := range lost {
+		for _, t := range m.outstanding {
+			if a.cfg.MaxAttempts > 0 && t.Attempt >= a.cfg.MaxAttempts {
+				// Permanent failure.
+				a.completed++
+				delete(a.inflight, t.ID)
+				go a.sendUpstream(&types.Result{
+					TaskID:    t.ID,
+					Err:       fmt.Sprintf(`{"message":"task lost: manager %s failed after %d attempts"}`, m.id, t.Attempt),
+					Completed: time.Now(),
+				})
+				continue
+			}
+			t.Attempt++
+			a.requeued++
+			// Head-of-queue so recovered tasks run first.
+			a.queue = append([]*types.Task{t}, a.queue...)
+		}
+	}
+	a.mu.Unlock()
+	for _, m := range lost {
+		m.conn.Close()
+	}
+	if len(lost) > 0 {
+		a.schedule()
+	}
+}
+
+// --- manager side ---
+
+func (a *Agent) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.wg.Add(1)
+		go a.manageConn(conn)
+	}
+}
+
+// manageConn handles one manager connection for its lifetime.
+func (a *Agent) manageConn(conn transport.Conn) {
+	defer a.wg.Done()
+	// First message must be a registration.
+	msg, err := conn.Recv(10 * time.Second)
+	if err != nil || msg.Type != transport.MsgRegister {
+		conn.Close()
+		return
+	}
+	reg, err := wire.DecodeRegistration(msg.Payload)
+	if err != nil || reg.ManagerID == "" {
+		conn.Close()
+		return
+	}
+	st := &managerState{
+		id:          reg.ManagerID,
+		conn:        conn,
+		lastSeen:    time.Now(),
+		outstanding: make(map[types.TaskID]*types.Task),
+	}
+	a.mu.Lock()
+	a.managers[reg.ManagerID] = st
+	a.mu.Unlock()
+
+	for {
+		msg, err := conn.Recv(0)
+		if err != nil {
+			// Connection gone; the watchdog reclaims outstanding
+			// tasks after missed heartbeats (do not reclaim
+			// instantly: transient transport hiccups and manager
+			// restarts share this path).
+			return
+		}
+		a.mu.Lock()
+		st.lastSeen = time.Now()
+		a.mu.Unlock()
+		switch msg.Type {
+		case transport.MsgHeartbeat:
+			// lastSeen already refreshed.
+		case transport.MsgCapacity:
+			cap, err := wire.DecodeCapacity(msg.Payload)
+			if err != nil {
+				continue
+			}
+			a.mu.Lock()
+			st.capacity = cap
+			st.budget = a.capacityBudget(cap)
+			st.awaitingAdvert = false
+			a.mu.Unlock()
+			a.schedule()
+		case transport.MsgResult:
+			res, err := wire.DecodeResult(msg.Payload)
+			if err != nil {
+				continue
+			}
+			a.finish(st, res)
+		}
+	}
+}
+
+// capacityBudget converts an advertisement into a dispatch budget.
+func (a *Agent) capacityBudget(c *types.Capacity) int {
+	n := c.Slots + c.Prefetch
+	for _, f := range c.Free {
+		n += f
+	}
+	return n
+}
+
+// finish processes a result from a manager: stamps TE timing, clears
+// bookkeeping, forwards upstream.
+func (a *Agent) finish(st *managerState, res *types.Result) {
+	a.mu.Lock()
+	delete(st.outstanding, res.TaskID)
+	if fl, ok := a.inflight[res.TaskID]; ok {
+		delete(a.inflight, res.TaskID)
+		// TE: time inside the endpoint excluding execution (§5.1).
+		te := time.Since(fl.arrived) - res.Timing.TW
+		if te < 0 {
+			te = 0
+		}
+		res.Timing.TE = te
+	}
+	a.completed++
+	a.mu.Unlock()
+	a.sendUpstream(res)
+}
+
+// schedule drains the internal queue onto managers using the greedy
+// randomized algorithm of §4.5: prefer managers with a matching
+// deployed container, then any manager with free capacity, choosing
+// randomly among candidates.
+func (a *Agent) schedule() {
+	type dispatch struct {
+		st    *managerState
+		tasks []*types.Task
+	}
+	var plan []dispatch
+
+	a.mu.Lock()
+	byManager := make(map[types.ManagerID]*dispatch)
+	var order []types.ManagerID
+	var remaining []*types.Task
+	for _, t := range a.queue {
+		st := a.pickManagerLocked(t)
+		if st == nil {
+			remaining = append(remaining, t)
+			continue
+		}
+		st.budget--
+		if !a.cfg.BatchDispatch {
+			st.awaitingAdvert = true
+		}
+		st.outstanding[t.ID] = t
+		d := byManager[st.id]
+		if d == nil {
+			d = &dispatch{st: st}
+			byManager[st.id] = d
+			order = append(order, st.id)
+		}
+		d.tasks = append(d.tasks, t)
+	}
+	a.queue = remaining
+	for _, id := range order {
+		plan = append(plan, *byManager[id])
+	}
+	a.mu.Unlock()
+
+	for _, d := range plan {
+		var err error
+		if len(d.tasks) == 1 {
+			err = d.st.conn.Send(transport.Message{Type: transport.MsgTask, Payload: wire.EncodeTask(d.tasks[0])})
+		} else {
+			err = d.st.conn.Send(transport.Message{Type: transport.MsgTaskBatch, Payload: wire.EncodeTasks(d.tasks)})
+		}
+		if err != nil {
+			// Manager connection failed mid-dispatch: requeue; the
+			// watchdog will clean up the manager itself.
+			a.mu.Lock()
+			for _, t := range d.tasks {
+				delete(d.st.outstanding, t.ID)
+				a.queue = append(a.queue, t)
+			}
+			a.mu.Unlock()
+		}
+	}
+}
+
+// pickManagerLocked selects a manager for one task, or nil when none
+// has capacity. Caller holds a.mu.
+func (a *Agent) pickManagerLocked(t *types.Task) *managerState {
+	key := t.Container.Key()
+	var warm, cold []*managerState // warm: matching container deployed
+	for _, m := range a.managers {
+		if m.suspended || m.capacity == nil || m.budget <= 0 || m.awaitingAdvert {
+			continue
+		}
+		if m.capacity.Free[key] > 0 {
+			warm = append(warm, m)
+		} else {
+			cold = append(cold, m)
+		}
+	}
+	candidates := warm
+	if len(candidates) == 0 {
+		candidates = cold
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	switch a.cfg.Policy {
+	case ScheduleFirstFit:
+		return candidates[0]
+	case ScheduleRoundRobin:
+		a.rrCursor++
+		return candidates[a.rrCursor%len(candidates)]
+	default: // ScheduleRandom
+		return candidates[a.rng.Intn(len(candidates))]
+	}
+}
+
+// SuspendManager stops scheduling new tasks to a manager (used before
+// scale-in; paper §4.3: the agent can "suspend managers to prevent
+// further tasks being scheduled to them").
+func (a *Agent) SuspendManager(id types.ManagerID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.managers[id]
+	if !ok {
+		return errors.New("endpoint: unknown manager")
+	}
+	m.suspended = true
+	return nil
+}
+
+// ManagerIDs lists the registered managers.
+func (a *Agent) ManagerIDs() []types.ManagerID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ids := make([]types.ManagerID, 0, len(a.managers))
+	for id := range a.managers {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// OutstandingAt returns how many tasks are outstanding at one manager.
+func (a *Agent) OutstandingAt(id types.ManagerID) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.managers[id]
+	if !ok {
+		return 0
+	}
+	return len(m.outstanding)
+}

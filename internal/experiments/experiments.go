@@ -1,0 +1,70 @@
+// Package experiments contains one driver per table and figure of the
+// paper's §5 evaluation. Each driver runs its workload — on the real
+// in-process fabric or on the calibrated discrete-event model — and
+// prints a paper-versus-measured table. The drivers are shared by the
+// funcx-bench binary and by the top-level benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Quick shrinks sample counts so the full suite runs in seconds
+	// (benchmarks and CI); the bench binary's default is full scale.
+	Quick bool
+	// Seed makes runs reproducible.
+	Seed int64
+	// Out receives the rendered tables.
+	Out io.Writer
+}
+
+func (o *Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// Runner executes one experiment.
+type Runner func(Options) error
+
+// registry maps experiment ids to runners, populated by init()s in
+// this package.
+var registry = map[string]Runner{}
+
+// names in registration order for deterministic listing.
+var names []string
+
+func register(name string, r Runner) {
+	registry[name] = r
+	names = append(names, name)
+}
+
+// Names lists all experiment ids in a stable order.
+func Names() []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id ("all" runs everything).
+func Run(name string, opts Options) error {
+	if name == "all" {
+		for _, n := range names {
+			fmt.Fprintf(opts.out(), "\n=== %s ===\n", n)
+			if err := registry[n](opts); err != nil {
+				return fmt.Errorf("experiment %s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	r, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(opts)
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// runQuick executes one experiment in quick mode and returns its
+// rendered output.
+func runQuick(t *testing.T, name string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := Run(name, Options{Quick: true, Seed: 42, Out: &sb}); err != nil {
+		t.Fatalf("experiment %s: %v", name, err)
+	}
+	return sb.String()
+}
+
+func TestNamesComplete(t *testing.T) {
+	want := []string{
+		"fig1", "table1", "fig4", "fig5strong", "fig5weak", "throughput",
+		"fig6", "fig7", "fig8", "table2", "batchexec", "fig9", "fig10",
+		"fig11", "table3",
+	}
+	names := Names()
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Fatalf("experiment %q not registered (have %v)", w, names)
+		}
+	}
+	if len(names) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(names), len(want))
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := Run("nope", Options{Quick: true}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFigure1Output(t *testing.T) {
+	out := runQuick(t, "fig1")
+	for _, want := range []string{"Xtract", "MNIST", "XPCS", "median"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	out := runQuick(t, "table2")
+	for _, want := range []string{"Theta", "Singularity", "Shifter", "Docker", "paper mean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScaleExperimentsOutput(t *testing.T) {
+	for _, name := range []string{"fig5strong", "fig5weak", "throughput", "batchexec", "fig10", "fig11", "table3"} {
+		out := runQuick(t, name)
+		if !strings.Contains(out, "paper") {
+			t.Fatalf("%s output has no paper comparison:\n%s", name, out)
+		}
+	}
+}
+
+func TestThroughputNearPaper(t *testing.T) {
+	out := runQuick(t, "throughput")
+	if !strings.Contains(out, "1694") || !strings.Contains(out, "1466") {
+		t.Fatalf("throughput output missing paper values:\n%s", out)
+	}
+}
+
+// The real-fabric experiments are exercised end to end (they take a
+// few seconds each in quick mode).
+
+func TestTable1Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric experiment")
+	}
+	out := runQuick(t, "table1")
+	for _, want := range []string{"Azure", "Google", "Amazon", "funcX", "warm", "cold"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric experiment")
+	}
+	out := runQuick(t, "fig4")
+	for _, want := range []string{"ts (web service)", "tf (forwarder)", "te (endpoint)", "tw (execution)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric experiment")
+	}
+	out := runQuick(t, "fig6")
+	if !strings.Contains(out, "peak pods") {
+		t.Fatalf("fig6 output missing pod peaks:\n%s", out)
+	}
+}
+
+func TestFigure7Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric experiment")
+	}
+	out := runQuick(t, "fig7")
+	if !strings.Contains(out, "FAILED") || !strings.Contains(out, "recover") {
+		t.Fatalf("fig7 output missing failure phases:\n%s", out)
+	}
+}
+
+func TestFigure8Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric experiment")
+	}
+	out := runQuick(t, "fig8")
+	if !strings.Contains(out, "FAILED") {
+		t.Fatalf("fig8 output missing failure phase:\n%s", out)
+	}
+}
+
+func TestFigure9Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric experiment")
+	}
+	out := runQuick(t, "fig9")
+	if !strings.Contains(out, "peak throughput") {
+		t.Fatalf("fig9 output missing peak:\n%s", out)
+	}
+}

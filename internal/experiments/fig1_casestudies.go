@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"funcx/internal/metrics"
+	"funcx/internal/workload"
+)
+
+func init() { register("fig1", Figure1) }
+
+// Figure1 reproduces Figure 1: the distribution of latencies for 100
+// function calls for each of the six scientific case studies. The
+// paper presents box plots; we print the five-number summary per case
+// study from the calibrated duration models.
+func Figure1(opts Options) error {
+	n := 100
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	tbl := metrics.NewTable("case study", "n", "min", "p25", "median", "p75", "max", "paper range")
+	paperRange := map[string]string{
+		"metadata": "3 ms – 15 s",
+		"mnist":    "sub-second inference",
+		"ssx":      "1–2 s per still",
+		"neuro":    "seconds per image",
+		"xpcs":     "~50 s corr",
+		"hep":      "seconds per query",
+	}
+	for _, cs := range workload.All() {
+		s := metrics.NewSummary()
+		for _, d := range cs.Durations(rng, n) {
+			s.Add(d)
+		}
+		p := s.Percentiles(0, 25, 50, 75, 100)
+		tbl.AddRow(cs.Name, fmt.Sprint(n),
+			fmtDur(p[0]), fmtDur(p[1]), fmtDur(p[2]), fmtDur(p[3]), fmtDur(p[4]),
+			paperRange[cs.Key])
+	}
+	fmt.Fprint(opts.out(), tbl.Render())
+	return nil
+}
+
+// fmtDur renders a duration compactly for tables (ms below 10 s,
+// seconds above).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.0fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"funcx/internal/container"
+	"funcx/internal/metrics"
+)
+
+func init() { register("table2", Table2) }
+
+// Table2 reproduces Table 2: cold container instantiation time (min /
+// max / mean) per (system, container technology). The measured rows
+// draw from the calibrated cold-start models — the same models the
+// fabric's container runtime pays on every cold deployment.
+func Table2(opts Options) error {
+	samples := 200
+	if opts.Quick {
+		samples = 50
+	}
+	type row struct {
+		system, tech string
+		profile      string
+		paperMin     float64
+		paperMax     float64
+		paperMean    float64
+	}
+	rows := []row{
+		{"Theta", "Singularity", "theta/singularity", 9.83, 14.06, 10.40},
+		{"Cori", "Shifter", "cori/shifter", 7.25, 31.26, 8.49},
+		{"EC2", "Docker", "ec2/docker", 1.74, 1.88, 1.79},
+		{"EC2", "Singularity", "ec2/singularity", 1.19, 1.26, 1.22},
+	}
+	tbl := metrics.NewTable("system", "container", "min (s)", "max (s)", "mean (s)",
+		"paper min", "paper max", "paper mean")
+	rng := rand.New(rand.NewSource(opts.Seed + 2))
+	for _, r := range rows {
+		model := container.Profiles[r.profile]
+		s := metrics.NewSummary()
+		for i := 0; i < samples; i++ {
+			s.Add(model.Sample(rng))
+		}
+		tbl.AddRow(r.system, r.tech,
+			secs(s.Min()), secs(s.Max()), secs(s.Mean()),
+			fmt.Sprintf("%.2f", r.paperMin), fmt.Sprintf("%.2f", r.paperMax), fmt.Sprintf("%.2f", r.paperMean))
+	}
+	fmt.Fprint(opts.out(), tbl.Render())
+	return nil
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }

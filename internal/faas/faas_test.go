@@ -1,0 +1,149 @@
+package faas
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func sampleMean(m LatencyModel, n int, seed int64) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += m.Sample(rng)
+	}
+	return sum / time.Duration(n)
+}
+
+func TestLatencyModelMomentsMatch(t *testing.T) {
+	// Lognormal moment matching: sampled mean within 5% of the
+	// configured mean, even for heavy-std models.
+	models := map[string]LatencyModel{
+		"azure-cold":  NewAzure().ColdOverhead,
+		"azure-warm":  NewAzure().WarmOverhead,
+		"google-warm": NewGoogle().WarmOverhead,
+		"lambda-cold": NewLambda().ColdOverhead,
+	}
+	for name, m := range models {
+		got := sampleMean(m, 20_000, 7)
+		lo := time.Duration(float64(m.Mean) * 0.95)
+		hi := time.Duration(float64(m.Mean) * 1.05)
+		if got < lo || got > hi {
+			t.Errorf("%s sampled mean %v outside [%v, %v]", name, got, lo, hi)
+		}
+	}
+}
+
+func TestLatencyModelAlwaysPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewAzure().ColdOverhead // heaviest spread
+	for i := 0; i < 10_000; i++ {
+		if d := m.Sample(rng); d <= 0 {
+			t.Fatalf("non-positive sample %v", d)
+		}
+	}
+}
+
+func TestLatencyModelDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if d := (LatencyModel{}).Sample(rng); d != 0 {
+		t.Fatalf("zero model sampled %v", d)
+	}
+	if d := (LatencyModel{Mean: time.Second}).Sample(rng); d != time.Second {
+		t.Fatalf("std-less model sampled %v", d)
+	}
+}
+
+func TestInvokeWarmColdTransitions(t *testing.T) {
+	p := NewLambda()
+	p.Seed(1)
+	now := time.Now()
+	first := p.Invoke(now, false)
+	if !first.Cold {
+		t.Fatal("first invocation not cold (no prior container)")
+	}
+	second := p.Invoke(now.Add(time.Second), false)
+	if second.Cold {
+		t.Fatal("immediate repeat was cold")
+	}
+	// Past the cache time: cold again.
+	third := p.Invoke(now.Add(time.Second+p.CacheTime+time.Minute), false)
+	if !third.Cold {
+		t.Fatal("invocation beyond cache time not cold")
+	}
+	forced := p.Invoke(now.Add(2*time.Second+p.CacheTime+time.Minute), true)
+	if !forced.Cold {
+		t.Fatal("forceCold ignored")
+	}
+}
+
+func TestColdSlowerThanWarm(t *testing.T) {
+	for _, p := range All() {
+		p.Seed(11)
+		now := time.Now()
+		var warmSum, coldSum time.Duration
+		const n = 500
+		p.Invoke(now, false) // prime
+		for i := 0; i < n; i++ {
+			warmSum += p.Invoke(now.Add(time.Duration(i)*time.Second), false).Total()
+		}
+		for i := 0; i < n; i++ {
+			coldSum += p.Invoke(now, true).Total()
+		}
+		if coldSum <= warmSum {
+			t.Errorf("%s: cold (%v) not slower than warm (%v)", p.Name, coldSum/n, warmSum/n)
+		}
+	}
+}
+
+func TestTable1WarmTotals(t *testing.T) {
+	// The warm totals of Table 1: Azure 130, Google 85.6, Amazon
+	// 100.3 (ms), each within 5%.
+	want := map[string]float64{"Azure": 130.0, "Google": 85.6, "Amazon": 100.3}
+	for _, p := range All() {
+		p.Seed(23)
+		now := time.Now()
+		p.Invoke(now, false) // prime
+		var sum time.Duration
+		const n = 5000
+		for i := 0; i < n; i++ {
+			sum += p.Invoke(now.Add(time.Duration(i)*time.Second), false).Total()
+		}
+		gotMS := float64(sum/time.Duration(n)) / float64(time.Millisecond)
+		if w := want[p.Name]; gotMS < w*0.95 || gotMS > w*1.05 {
+			t.Errorf("%s warm total = %.1f ms, want %.1f ±5%%", p.Name, gotMS, w)
+		}
+	}
+}
+
+func TestScalingCompletionCaps(t *testing.T) {
+	google := NewGoogle() // cap 100
+	dur := time.Second
+	// Below the cap, more containers help.
+	at50 := google.ScalingCompletion(1000, dur, 0, 50)
+	at100 := google.ScalingCompletion(1000, dur, 0, 100)
+	if at100 >= at50 {
+		t.Fatalf("scaling below cap did not help: %v -> %v", at50, at100)
+	}
+	// Beyond the cap, no further improvement (§5.2.1: Google does not
+	// scale well beyond 100 containers).
+	at500 := google.ScalingCompletion(1000, dur, 0, 500)
+	if at500 != at100 {
+		t.Fatalf("Google scaled past its envelope: %v vs %v", at500, at100)
+	}
+	// Lambda's envelope is larger.
+	lambda := NewLambda()
+	if lambda.ScalingCompletion(1000, dur, 0, 250) >= lambda.ScalingCompletion(1000, dur, 0, 100) {
+		t.Fatal("Lambda should scale beyond 100 containers")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	names := []string{}
+	for _, p := range All() {
+		names = append(names, p.Name)
+	}
+	if len(names) != 3 || names[0] != "Azure" || names[1] != "Google" || names[2] != "Amazon" {
+		t.Fatalf("All() order = %v (Table 1 order expected)", names)
+	}
+}

@@ -1,0 +1,393 @@
+// Package forwarder implements the per-endpoint forwarder process of
+// paper §4.1: when an endpoint registers, the funcX service creates a
+// forwarder that owns the endpoint's Redis task queue and result
+// store. The forwarder dispatches tasks to the endpoint agent only
+// while the agent is connected, uses heartbeats to detect agent loss,
+// and on loss returns outstanding (unacknowledged) tasks to the task
+// queue so that agents receive tasks with at-least-once semantics.
+package forwarder
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"funcx/internal/netlat"
+	"funcx/internal/store"
+	"funcx/internal/transport"
+	"funcx/internal/types"
+	"funcx/internal/wire"
+)
+
+// AuthFunc validates an endpoint registration token. A nil AuthFunc
+// accepts every registration (tests and closed-world experiments).
+type AuthFunc func(endpointID types.EndpointID, token string) error
+
+// Config parameterizes a forwarder.
+type Config struct {
+	// EndpointID is the endpoint this forwarder serves.
+	EndpointID types.EndpointID
+	// Network is the transport for the agent connection ("inproc" or
+	// "tcp").
+	Network string
+	// Addr optionally pins the listener address.
+	Addr string
+	// TaskQueue is the endpoint's reliable task queue.
+	TaskQueue *store.Queue
+	// Results receives serialized results keyed by task id.
+	Results *store.Hash
+	// ResultTTL bounds how long results live after arrival when
+	// positive (results are purged once retrieved regardless).
+	ResultTTL time.Duration
+	// HeartbeatPeriod is the forwarder's heartbeat interval and the
+	// granularity of agent-loss detection.
+	HeartbeatPeriod time.Duration
+	// HeartbeatMisses is how many missed agent heartbeats mark the
+	// agent disconnected.
+	HeartbeatMisses int
+	// Auth validates registrations (nil accepts all).
+	Auth AuthFunc
+	// Lat optionally injects WAN latency per dispatched message
+	// (Table 1 / Figure 4 experiments).
+	Lat *netlat.Link
+	// OnResult, when set, may enrich every result before it is
+	// persisted (the service stamps the TS timing component and feeds
+	// the memoization cache here).
+	OnResult func(*types.Result)
+	// OnStored, when set, fires after the result is persisted (the
+	// service wakes blocking result waiters here).
+	OnStored func(*types.Result)
+}
+
+// Forwarder relays tasks and results for one endpoint.
+type Forwarder struct {
+	cfg Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	ln     transport.Listener
+
+	mu        sync.Mutex
+	conn      transport.Conn
+	lastSeen  time.Time
+	connected bool
+	// receipts maps dispatched task id -> reliable-queue receipt.
+	receipts map[types.TaskID]uint64
+	// tfStart records dispatch-side forwarder time per task.
+	tfStart map[types.TaskID]time.Duration
+	status  *types.EndpointStatus
+
+	dispatched int64
+	completed  int64
+	requeues   int64
+}
+
+// New creates a forwarder; Start launches it.
+func New(cfg Config) *Forwarder {
+	if cfg.Network == "" {
+		cfg.Network = "inproc"
+	}
+	if cfg.HeartbeatPeriod <= 0 {
+		cfg.HeartbeatPeriod = time.Second
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
+	}
+	return &Forwarder{
+		cfg:      cfg,
+		receipts: make(map[types.TaskID]uint64),
+		tfStart:  make(map[types.TaskID]time.Duration),
+	}
+}
+
+// Start opens the listener and launches the accept, dispatch, and
+// heartbeat loops.
+func (f *Forwarder) Start(ctx context.Context) error {
+	f.ctx, f.cancel = context.WithCancel(ctx)
+	ln, err := transport.Listen(f.cfg.Network, f.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("forwarder %s: %w", f.cfg.EndpointID, err)
+	}
+	f.ln = ln
+	f.wg.Add(3)
+	go f.acceptLoop()
+	go f.dispatchLoop()
+	go f.heartbeatLoop()
+	return nil
+}
+
+// Addr returns the address endpoint agents should dial.
+func (f *Forwarder) Addr() (network, addr string) { return f.cfg.Network, f.ln.Addr() }
+
+// Stop shuts the forwarder down, requeueing outstanding tasks.
+func (f *Forwarder) Stop() {
+	if f.cancel != nil {
+		f.cancel()
+	}
+	if f.ln != nil {
+		f.ln.Close()
+	}
+	f.disconnect("shutdown")
+	f.wg.Wait()
+}
+
+// Connected reports whether an agent is currently connected.
+func (f *Forwarder) Connected() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.connected
+}
+
+// Outstanding returns the number of dispatched-but-unfinished tasks.
+func (f *Forwarder) Outstanding() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.receipts)
+}
+
+// Status returns the latest agent-reported endpoint status (nil before
+// the first report).
+func (f *Forwarder) Status() *types.EndpointStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.status == nil {
+		return &types.EndpointStatus{ID: f.cfg.EndpointID, Connected: f.connected}
+	}
+	st := *f.status
+	st.Connected = f.connected
+	st.QueuedTasks = f.cfg.TaskQueue.Len()
+	return &st
+}
+
+// Stats returns cumulative dispatch/completion/requeue counters.
+func (f *Forwarder) Stats() (dispatched, completed, requeues int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dispatched, f.completed, f.requeues
+}
+
+// acceptLoop admits agent connections (one live at a time; a new
+// registration replaces a stale connection, as when an endpoint
+// restarts and repeats registration).
+func (f *Forwarder) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		f.wg.Add(1)
+		go f.handleAgent(conn)
+	}
+}
+
+// handleAgent validates the registration then serves the connection.
+func (f *Forwarder) handleAgent(conn transport.Conn) {
+	defer f.wg.Done()
+	msg, err := conn.Recv(10 * time.Second)
+	if err != nil || msg.Type != transport.MsgRegister {
+		conn.Close()
+		return
+	}
+	reg, err := wire.DecodeRegistration(msg.Payload)
+	if err != nil || reg.EndpointID != f.cfg.EndpointID {
+		conn.Close()
+		return
+	}
+	if f.cfg.Auth != nil {
+		if err := f.cfg.Auth(reg.EndpointID, reg.Token); err != nil {
+			conn.Close()
+			return
+		}
+	}
+	if err := conn.Send(transport.Message{Type: transport.MsgRegisterAck}); err != nil {
+		conn.Close()
+		return
+	}
+
+	// Replace any previous connection.
+	f.mu.Lock()
+	old := f.conn
+	f.conn = conn
+	f.connected = true
+	f.lastSeen = time.Now()
+	f.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+
+	for {
+		msg, err := conn.Recv(0)
+		if err != nil {
+			// Agent link dropped. Mark disconnected and requeue
+			// outstanding tasks for redelivery after reconnect.
+			f.mu.Lock()
+			mine := f.conn == conn
+			f.mu.Unlock()
+			if mine {
+				f.disconnect("connection lost")
+			}
+			return
+		}
+		f.mu.Lock()
+		f.lastSeen = time.Now()
+		f.mu.Unlock()
+		switch msg.Type {
+		case transport.MsgHeartbeat:
+			// lastSeen refreshed above.
+		case transport.MsgStatus:
+			if st, err := wire.DecodeStatus(msg.Payload); err == nil {
+				f.mu.Lock()
+				f.status = st
+				f.mu.Unlock()
+			}
+		case transport.MsgResult:
+			res, err := wire.DecodeResult(msg.Payload)
+			if err != nil {
+				continue
+			}
+			f.storeResult(res)
+		}
+	}
+}
+
+// disconnect marks the agent gone and requeues unacknowledged tasks.
+func (f *Forwarder) disconnect(reason string) {
+	f.mu.Lock()
+	conn := f.conn
+	f.conn = nil
+	f.connected = false
+	n := len(f.receipts)
+	clear(f.receipts)
+	clear(f.tfStart)
+	f.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	if n > 0 {
+		f.cfg.TaskQueue.RequeuePending()
+		f.mu.Lock()
+		f.requeues += int64(n)
+		f.mu.Unlock()
+	}
+	_ = reason
+}
+
+// dispatchLoop pops tasks from the endpoint queue and ships them to
+// the connected agent; while no agent is connected, tasks simply wait
+// in the reliable queue.
+func (f *Forwarder) dispatchLoop() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.ctx.Done():
+			return
+		default:
+		}
+		f.mu.Lock()
+		conn := f.conn
+		f.mu.Unlock()
+		if conn == nil {
+			// No agent: wait for a connection rather than spinning.
+			time.Sleep(f.cfg.HeartbeatPeriod / 4)
+			continue
+		}
+		data, receipt, err := f.cfg.TaskQueue.BPopReliable(f.cfg.HeartbeatPeriod)
+		if err != nil {
+			if err == store.ErrClosed {
+				return
+			}
+			continue // timeout: re-check connection and context
+		}
+		// TF starts once a task is in hand: read + forward count,
+		// idle blocking on an empty queue does not (Figure 4).
+		popDone := time.Now()
+		task, err := wire.DecodeTask(data)
+		if err != nil {
+			f.cfg.TaskQueue.Ack(receipt) //nolint:errcheck // drop undecodable item
+			continue
+		}
+		// Simulated WAN propagation toward the endpoint.
+		if f.cfg.Lat != nil {
+			f.cfg.Lat.Delay()
+		}
+		if err := conn.Send(transport.Message{Type: transport.MsgTask, Payload: data}); err != nil {
+			// Send failed: agent just vanished. Return the task.
+			f.cfg.TaskQueue.Nack(receipt) //nolint:errcheck
+			f.disconnect("send failed")
+			continue
+		}
+		f.mu.Lock()
+		f.receipts[task.ID] = receipt
+		f.tfStart[task.ID] = time.Since(popDone)
+		f.dispatched++
+		f.mu.Unlock()
+	}
+}
+
+// storeResult records a completed task: acknowledges the reliable
+// queue, stamps TF timing, stores the serialized result, and notifies
+// the service.
+func (f *Forwarder) storeResult(res *types.Result) {
+	start := time.Now()
+	f.mu.Lock()
+	receipt, ok := f.receipts[res.TaskID]
+	if ok {
+		delete(f.receipts, res.TaskID)
+	}
+	if d, ok2 := f.tfStart[res.TaskID]; ok2 {
+		res.Timing.TF = d
+		delete(f.tfStart, res.TaskID)
+	}
+	f.completed++
+	f.mu.Unlock()
+	if ok {
+		f.cfg.TaskQueue.Ack(receipt) //nolint:errcheck
+	}
+	// Result-side WAN propagation.
+	if f.cfg.Lat != nil {
+		f.cfg.Lat.Delay()
+	}
+	res.Timing.TF += time.Since(start)
+	// Let the service enrich the result (TS stamp, memoization,
+	// waiter wakeup) before it is persisted.
+	if f.cfg.OnResult != nil {
+		f.cfg.OnResult(res)
+	}
+	if f.cfg.ResultTTL > 0 {
+		f.cfg.Results.SetTTL(string(res.TaskID), wire.EncodeResult(res), f.cfg.ResultTTL)
+	} else {
+		f.cfg.Results.Set(string(res.TaskID), wire.EncodeResult(res))
+	}
+	if f.cfg.OnStored != nil {
+		f.cfg.OnStored(res)
+	}
+}
+
+// heartbeatLoop probes the agent and detects loss.
+func (f *Forwarder) heartbeatLoop() {
+	defer f.wg.Done()
+	ticker := time.NewTicker(f.cfg.HeartbeatPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			f.mu.Lock()
+			conn := f.conn
+			stale := f.connected && time.Since(f.lastSeen) > time.Duration(f.cfg.HeartbeatMisses)*f.cfg.HeartbeatPeriod
+			f.mu.Unlock()
+			if conn == nil {
+				continue
+			}
+			if stale {
+				f.disconnect("heartbeat loss")
+				continue
+			}
+			conn.Send(transport.Message{Type: transport.MsgHeartbeat, Payload: []byte(f.cfg.EndpointID)}) //nolint:errcheck
+		case <-f.ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package forwarder
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"funcx/internal/store"
+	"funcx/internal/transport"
+	"funcx/internal/types"
+	"funcx/internal/wire"
+)
+
+// testHarness bundles a forwarder with its queue and result hash.
+type testHarness struct {
+	fwd     *Forwarder
+	queue   *store.Queue
+	results *store.Hash
+	network string
+	addr    string
+}
+
+func newHarness(t *testing.T, cfg Config) *testHarness {
+	t.Helper()
+	h := &testHarness{
+		queue:   store.NewQueue(),
+		results: store.NewHash(),
+	}
+	cfg.EndpointID = "ep-1"
+	cfg.Network = "inproc"
+	cfg.TaskQueue = h.queue
+	cfg.Results = h.results
+	if cfg.HeartbeatPeriod == 0 {
+		cfg.HeartbeatPeriod = 40 * time.Millisecond
+	}
+	if cfg.HeartbeatMisses == 0 {
+		cfg.HeartbeatMisses = 3
+	}
+	h.fwd = New(cfg)
+	if err := h.fwd.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.fwd.Stop)
+	h.network, h.addr = h.fwd.Addr()
+	return h
+}
+
+// fakeEndpoint registers with the forwarder and exposes the conn.
+func (h *testHarness) connectAgent(t *testing.T, token string) transport.Conn {
+	t.Helper()
+	conn, err := transport.Dial(h.network, h.addr, "ep-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &wire.Registration{EndpointID: "ep-1", Token: token}
+	if err := conn.Send(transport.Message{Type: transport.MsgRegister, Payload: wire.EncodeRegistration(reg)}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv(2 * time.Second)
+	if err != nil || msg.Type != transport.MsgRegisterAck {
+		t.Fatalf("registration ack = %+v, %v", msg, err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func pushTask(t *testing.T, q *store.Queue, id types.TaskID) {
+	t.Helper()
+	if err := q.Push(wire.EncodeTask(&types.Task{ID: id})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func recvType(t *testing.T, conn transport.Conn, want transport.MsgType, timeout time.Duration) transport.Message {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		msg, err := conn.Recv(timeout)
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if msg.Type == want {
+			return msg
+		}
+	}
+	t.Fatalf("no %s within %v", want, timeout)
+	return transport.Message{}
+}
+
+func TestTasksWaitUntilAgentConnects(t *testing.T) {
+	h := newHarness(t, Config{})
+	pushTask(t, h.queue, "t1")
+	time.Sleep(100 * time.Millisecond)
+	if d, _, _ := h.fwd.Stats(); d != 0 {
+		t.Fatalf("dispatched %d tasks with no agent", d)
+	}
+	conn := h.connectAgent(t, "")
+	msg := recvType(t, conn, transport.MsgTask, 2*time.Second)
+	task, err := wire.DecodeTask(msg.Payload)
+	if err != nil || task.ID != "t1" {
+		t.Fatalf("task = %+v, %v", task, err)
+	}
+	if !h.fwd.Connected() {
+		t.Fatal("forwarder not connected")
+	}
+}
+
+func TestResultStoredAndAcked(t *testing.T) {
+	h := newHarness(t, Config{})
+	conn := h.connectAgent(t, "")
+	pushTask(t, h.queue, "t1")
+	recvType(t, conn, transport.MsgTask, 2*time.Second)
+	if h.fwd.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d", h.fwd.Outstanding())
+	}
+	res := &types.Result{TaskID: "t1", Output: []byte("out"), Timing: types.Timing{TW: time.Millisecond}}
+	conn.Send(transport.Message{Type: transport.MsgResult, Payload: wire.EncodeResult(res)}) //nolint:errcheck
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, ok := h.results.Get("t1"); ok {
+			stored, err := wire.DecodeResult(b)
+			if err != nil || string(stored.Output) != "out" {
+				t.Fatalf("stored = %+v, %v", stored, err)
+			}
+			if h.fwd.Outstanding() != 0 {
+				t.Fatalf("Outstanding after result = %d", h.fwd.Outstanding())
+			}
+			if h.queue.PendingLen() != 0 {
+				t.Fatal("queue item not acked")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("result never stored")
+}
+
+func TestDisconnectRequeuesOutstanding(t *testing.T) {
+	h := newHarness(t, Config{})
+	conn := h.connectAgent(t, "")
+	pushTask(t, h.queue, "t1")
+	pushTask(t, h.queue, "t2")
+	recvType(t, conn, transport.MsgTask, 2*time.Second)
+	recvType(t, conn, transport.MsgTask, 2*time.Second)
+
+	conn.Close() // agent dies without completing anything
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.queue.Len() == 2 && !h.fwd.Connected() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if h.queue.Len() != 2 {
+		t.Fatalf("queue len after disconnect = %d, want 2 (at-least-once)", h.queue.Len())
+	}
+
+	// A reconnecting agent receives the tasks again in order.
+	conn2 := h.connectAgent(t, "")
+	m1 := recvType(t, conn2, transport.MsgTask, 2*time.Second)
+	task1, _ := wire.DecodeTask(m1.Payload)
+	if task1.ID != "t1" {
+		t.Fatalf("redelivery order: first = %s, want t1", task1.ID)
+	}
+}
+
+func TestHeartbeatLossDetected(t *testing.T) {
+	h := newHarness(t, Config{HeartbeatPeriod: 30 * time.Millisecond, HeartbeatMisses: 2})
+	conn := h.connectAgent(t, "")
+	// Do not send heartbeats; the forwarder should declare the agent
+	// lost after ~2 periods and mark disconnected, even though the
+	// connection object technically remains open.
+	_ = conn
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if !h.fwd.Connected() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("heartbeat loss never detected")
+}
+
+func TestHeartbeatsKeepConnectionAlive(t *testing.T) {
+	h := newHarness(t, Config{HeartbeatPeriod: 30 * time.Millisecond, HeartbeatMisses: 3})
+	conn := h.connectAgent(t, "")
+	stop := time.After(400 * time.Millisecond)
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+loop:
+	for {
+		select {
+		case <-tick.C:
+			conn.Send(transport.Message{Type: transport.MsgHeartbeat, Payload: []byte("ep-1")}) //nolint:errcheck
+		case <-stop:
+			break loop
+		}
+	}
+	if !h.fwd.Connected() {
+		t.Fatal("heartbeating agent declared lost")
+	}
+}
+
+func TestAuthRejection(t *testing.T) {
+	h := newHarness(t, Config{
+		Auth: func(ep types.EndpointID, token string) error {
+			if token != "valid" {
+				return errors.New("bad token")
+			}
+			return nil
+		},
+	})
+	conn, err := transport.Dial(h.network, h.addr, "ep-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	reg := &wire.Registration{EndpointID: "ep-1", Token: "wrong"}
+	conn.Send(transport.Message{Type: transport.MsgRegister, Payload: wire.EncodeRegistration(reg)}) //nolint:errcheck
+	if msg, err := conn.Recv(300 * time.Millisecond); err == nil && msg.Type == transport.MsgRegisterAck {
+		t.Fatal("bad token acknowledged")
+	}
+	if h.fwd.Connected() {
+		t.Fatal("forwarder connected despite auth failure")
+	}
+	// Valid token succeeds.
+	h.connectAgent(t, "valid")
+}
+
+func TestWrongEndpointIDRejected(t *testing.T) {
+	h := newHarness(t, Config{})
+	conn, err := transport.Dial(h.network, h.addr, "imposter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	reg := &wire.Registration{EndpointID: "other-endpoint"}
+	conn.Send(transport.Message{Type: transport.MsgRegister, Payload: wire.EncodeRegistration(reg)}) //nolint:errcheck
+	if msg, err := conn.Recv(300 * time.Millisecond); err == nil && msg.Type == transport.MsgRegisterAck {
+		t.Fatal("foreign endpoint id acknowledged")
+	}
+}
+
+func TestStatusReportStored(t *testing.T) {
+	h := newHarness(t, Config{})
+	conn := h.connectAgent(t, "")
+	st := &types.EndpointStatus{ID: "ep-1", Managers: 3, Workers: 12}
+	conn.Send(transport.Message{Type: transport.MsgStatus, Payload: wire.EncodeStatus(st)}) //nolint:errcheck
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		got := h.fwd.Status()
+		if got.Managers == 3 && got.Workers == 12 {
+			if !got.Connected {
+				t.Fatal("status lost connected flag")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("status report never recorded")
+}
+
+func TestOnResultHooksRun(t *testing.T) {
+	enriched := make(chan types.TaskID, 1)
+	stored := make(chan types.TaskID, 1)
+	h := newHarness(t, Config{
+		OnResult: func(r *types.Result) {
+			r.Timing.TS = 42 * time.Millisecond // enrich before store
+			enriched <- r.TaskID
+		},
+		OnStored: func(r *types.Result) { stored <- r.TaskID },
+	})
+	conn := h.connectAgent(t, "")
+	pushTask(t, h.queue, "t1")
+	recvType(t, conn, transport.MsgTask, 2*time.Second)
+	conn.Send(transport.Message{Type: transport.MsgResult, Payload: wire.EncodeResult(&types.Result{TaskID: "t1"})}) //nolint:errcheck
+	select {
+	case <-enriched:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnResult never ran")
+	}
+	select {
+	case <-stored:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnStored never ran")
+	}
+	// The stored bytes include the enrichment.
+	b, ok := h.results.Get("t1")
+	if !ok {
+		t.Fatal("result missing")
+	}
+	res, _ := wire.DecodeResult(b)
+	if res.Timing.TS != 42*time.Millisecond {
+		t.Fatalf("enrichment not persisted: %+v", res.Timing)
+	}
+}
+
+func TestNewRegistrationReplacesOld(t *testing.T) {
+	h := newHarness(t, Config{})
+	old := h.connectAgent(t, "")
+	_ = old
+	// A restarted endpoint repeats registration (paper §4.3); the new
+	// connection takes over.
+	fresh := h.connectAgent(t, "")
+	pushTask(t, h.queue, "t1")
+	msg := recvType(t, fresh, transport.MsgTask, 2*time.Second)
+	task, _ := wire.DecodeTask(msg.Payload)
+	if task.ID != "t1" {
+		t.Fatalf("fresh conn got %s", task.ID)
+	}
+}

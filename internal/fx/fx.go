@@ -1,0 +1,238 @@
+// Package fx is the function runtime: the reproduction's stand-in for
+// the Python interpreter inside a funcX worker. funcX registers Python
+// function bodies with the service and ships them (serialized) to
+// workers for execution. Here, a function body is a source text whose
+// SHA-256 hash selects a registered Go closure; payloads and results
+// pass through the full serialization facade exactly as in the paper.
+// Dispatch, queuing, container routing, and memoization therefore
+// exercise the same code paths — only the leaf interpreter differs.
+package fx
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"funcx/internal/serial"
+)
+
+// Func executes one invocation: payload in, result out, both
+// facade-serialized buffers.
+type Func func(ctx context.Context, payload []byte) ([]byte, error)
+
+// ErrUnknownFunction is returned when a body hash has no registered
+// implementation in this runtime.
+var ErrUnknownFunction = errors.New("fx: unknown function body hash")
+
+// HashBody computes the body hash used to address functions.
+func HashBody(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// Runtime maps function body hashes to executable closures. One
+// Runtime is shared by all workers of an endpoint (it plays the role of
+// the Python environment inside the containers).
+type Runtime struct {
+	mu     sync.RWMutex
+	byHash map[string]Func
+
+	// SleepScale multiplies the durations of the built-in sleep and
+	// stress functions, letting wall-clock experiments model long
+	// functions quickly (1.0 = real durations).
+	SleepScale float64
+}
+
+// NewRuntime returns an empty runtime with real-time sleeps.
+func NewRuntime() *Runtime {
+	return &Runtime{byHash: make(map[string]Func), SleepScale: 1.0}
+}
+
+// Register binds a function body (source text) to its implementation,
+// returning the body hash used to invoke it.
+func (r *Runtime) Register(body []byte, fn Func) string {
+	h := HashBody(body)
+	r.mu.Lock()
+	r.byHash[h] = fn
+	r.mu.Unlock()
+	return h
+}
+
+// RegisterHash binds an already-computed hash to an implementation.
+func (r *Runtime) RegisterHash(hash string, fn Func) {
+	r.mu.Lock()
+	r.byHash[hash] = fn
+	r.mu.Unlock()
+}
+
+// Lookup finds the implementation for a body hash.
+func (r *Runtime) Lookup(hash string) (Func, error) {
+	r.mu.RLock()
+	fn, ok := r.byHash[hash]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %.12s", ErrUnknownFunction, hash)
+	}
+	return fn, nil
+}
+
+// Len returns the number of registered functions.
+func (r *Runtime) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byHash)
+}
+
+// sleepCtx sleeps for d (already scaled) or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// --- built-in function bodies (the workloads of paper §5) ---
+
+// Builtin bodies. These source texts mirror the Python the paper
+// deploys; their hashes are what the service registers and workers
+// look up.
+var (
+	// BodyNoop is the 0-second "no-op" function of §5.2.
+	BodyNoop = []byte("def noop():\n    return None\n")
+	// BodySleep is the parametric sleep function ("sleep" of §5.2,
+	// and the 100 ms functions of §5.4).
+	BodySleep = []byte("def fsleep(seconds):\n    import time\n    time.sleep(seconds)\n    return seconds\n")
+	// BodyStress is the CPU stress function of §5.2 (keeps one core
+	// at 100% for the given duration).
+	BodyStress = []byte("def stress(seconds):\n    import time\n    t = time.time()\n    while time.time() - t < seconds:\n        pass\n    return seconds\n")
+	// BodyEcho is the "hello-world" echo of the Table 1 comparison.
+	BodyEcho = []byte("def echo(payload):\n    return payload\n")
+	// BodyDouble sleeps one second and returns 2x its input — the
+	// memoization workload of Table 3.
+	BodyDouble = []byte("def double(x):\n    import time\n    time.sleep(1)\n    return 2 * x\n")
+	// BodyFail always raises, for failure-path tests.
+	BodyFail = []byte("def fail():\n    raise RuntimeError('deliberate failure')\n")
+)
+
+// SleepArgs encodes the argument of the sleep/stress/double functions.
+func SleepArgs(seconds float64) []byte {
+	buf, err := serial.Serialize(seconds)
+	if err != nil {
+		panic(fmt.Sprintf("fx: serializing float64: %v", err)) // cannot happen
+	}
+	return buf
+}
+
+// DecodeFloat decodes a float64 result produced by the built-ins.
+func DecodeFloat(buf []byte) (float64, error) {
+	v, err := serial.Deserialize(buf, nil)
+	if err != nil {
+		return 0, err
+	}
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case int:
+		return float64(x), nil
+	default:
+		return 0, fmt.Errorf("fx: expected numeric result, got %T", v)
+	}
+}
+
+// RegisterBuiltins registers all built-in bodies in the runtime and
+// returns their hashes keyed by a short name ("noop", "sleep",
+// "stress", "echo", "double", "fail").
+func (r *Runtime) RegisterBuiltins() map[string]string {
+	hashes := map[string]string{
+		"noop":   r.Register(BodyNoop, r.noop),
+		"sleep":  r.Register(BodySleep, r.sleep),
+		"stress": r.Register(BodyStress, r.stress),
+		"echo":   r.Register(BodyEcho, r.echo),
+		"double": r.Register(BodyDouble, r.double),
+		"fail":   r.Register(BodyFail, r.fail),
+	}
+	return hashes
+}
+
+func (r *Runtime) scale(seconds float64) time.Duration {
+	s := r.SleepScale
+	if s < 0 {
+		s = 0
+	}
+	return time.Duration(seconds * s * float64(time.Second))
+}
+
+// SleepScaled sleeps for the given number of seconds scaled by the
+// runtime's SleepScale, honoring context cancellation. Workload
+// packages use it to implement case-study function bodies.
+func (r *Runtime) SleepScaled(ctx context.Context, seconds float64) error {
+	return sleepCtx(ctx, r.scale(seconds))
+}
+
+func (r *Runtime) noop(ctx context.Context, payload []byte) ([]byte, error) {
+	return serial.Serialize("ok")
+}
+
+func (r *Runtime) sleep(ctx context.Context, payload []byte) ([]byte, error) {
+	seconds, err := DecodeFloat(payload)
+	if err != nil {
+		return nil, fmt.Errorf("fx: sleep args: %w", err)
+	}
+	if err := sleepCtx(ctx, r.scale(seconds)); err != nil {
+		return nil, err
+	}
+	return serial.Serialize(seconds)
+}
+
+func (r *Runtime) stress(ctx context.Context, payload []byte) ([]byte, error) {
+	seconds, err := DecodeFloat(payload)
+	if err != nil {
+		return nil, fmt.Errorf("fx: stress args: %w", err)
+	}
+	// Busy-spin for the scaled duration, yielding to ctx periodically.
+	deadline := time.Now().Add(r.scale(seconds))
+	x := 1.0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1024; i++ {
+			x = x*1.0000001 + 1e-9
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+	}
+	_ = x
+	return serial.Serialize(seconds)
+}
+
+func (r *Runtime) echo(ctx context.Context, payload []byte) ([]byte, error) {
+	// Identity: the payload is already a serialized buffer.
+	return payload, nil
+}
+
+func (r *Runtime) double(ctx context.Context, payload []byte) ([]byte, error) {
+	x, err := DecodeFloat(payload)
+	if err != nil {
+		return nil, fmt.Errorf("fx: double args: %w", err)
+	}
+	if err := sleepCtx(ctx, r.scale(1.0)); err != nil {
+		return nil, err
+	}
+	return serial.Serialize(2 * x)
+}
+
+func (r *Runtime) fail(ctx context.Context, payload []byte) ([]byte, error) {
+	return nil, errors.New("deliberate failure")
+}

@@ -1,0 +1,193 @@
+package fx
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"funcx/internal/serial"
+)
+
+func TestRegisterAndLookup(t *testing.T) {
+	rt := NewRuntime()
+	body := []byte("def f(): pass")
+	hash := rt.Register(body, func(ctx context.Context, p []byte) ([]byte, error) {
+		return serial.Serialize("ran")
+	})
+	if hash != HashBody(body) {
+		t.Fatal("Register returned a different hash than HashBody")
+	}
+	fn, err := rt.Lookup(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fn(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s string
+	if _, err := serial.Deserialize(out, &s); err != nil || s != "ran" {
+		t.Fatalf("result = %q, %v", s, err)
+	}
+	if rt.Len() != 1 {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	rt := NewRuntime()
+	if _, err := rt.Lookup("deadbeef"); !errors.Is(err, ErrUnknownFunction) {
+		t.Fatalf("err = %v, want ErrUnknownFunction", err)
+	}
+}
+
+func TestBuiltinsRegistered(t *testing.T) {
+	rt := NewRuntime()
+	hashes := rt.RegisterBuiltins()
+	for _, name := range []string{"noop", "sleep", "stress", "echo", "double", "fail"} {
+		if hashes[name] == "" {
+			t.Fatalf("builtin %s missing", name)
+		}
+		if _, err := rt.Lookup(hashes[name]); err != nil {
+			t.Fatalf("builtin %s not resolvable: %v", name, err)
+		}
+	}
+}
+
+func TestSleepScalesAndReturnsArg(t *testing.T) {
+	rt := NewRuntime()
+	rt.SleepScale = 0.001 // 1000x faster
+	hashes := rt.RegisterBuiltins()
+	fn, _ := rt.Lookup(hashes["sleep"])
+
+	start := time.Now()
+	out, err := fn(context.Background(), SleepArgs(2.0)) // 2s -> 2ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("scaled sleep took %v", elapsed)
+	}
+	v, err := DecodeFloat(out)
+	if err != nil || v != 2.0 {
+		t.Fatalf("sleep returned %v, %v", v, err)
+	}
+}
+
+func TestSleepHonorsContextCancel(t *testing.T) {
+	rt := NewRuntime()
+	hashes := rt.RegisterBuiltins()
+	fn, _ := rt.Lookup(hashes["sleep"])
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := fn(ctx, SleepArgs(30)) // would sleep 30s
+	if err == nil {
+		t.Fatal("cancelled sleep returned nil error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancel did not interrupt sleep")
+	}
+}
+
+func TestStressBusyLoops(t *testing.T) {
+	rt := NewRuntime()
+	rt.SleepScale = 0.01
+	hashes := rt.RegisterBuiltins()
+	fn, _ := rt.Lookup(hashes["stress"])
+	start := time.Now()
+	if _, err := fn(context.Background(), SleepArgs(1.0)); err != nil { // 10ms spin
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("stress returned after only %v", elapsed)
+	}
+}
+
+func TestEchoIdentity(t *testing.T) {
+	rt := NewRuntime()
+	hashes := rt.RegisterBuiltins()
+	fn, _ := rt.Lookup(hashes["echo"])
+	in, err := serial.Serialize("payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fn(context.Background(), in)
+	if err != nil || string(out) != string(in) {
+		t.Fatalf("echo = %q, %v", out, err)
+	}
+}
+
+func TestDoubleComputes(t *testing.T) {
+	rt := NewRuntime()
+	rt.SleepScale = 0 // skip the 1s sleep
+	hashes := rt.RegisterBuiltins()
+	fn, _ := rt.Lookup(hashes["double"])
+	out, err := fn(context.Background(), SleepArgs(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodeFloat(out)
+	if err != nil || v != 42 {
+		t.Fatalf("double(21) = %v, %v", v, err)
+	}
+}
+
+func TestFailAlwaysFails(t *testing.T) {
+	rt := NewRuntime()
+	hashes := rt.RegisterBuiltins()
+	fn, _ := rt.Lookup(hashes["fail"])
+	if _, err := fn(context.Background(), nil); err == nil {
+		t.Fatal("fail builtin succeeded")
+	}
+}
+
+func TestNoopIgnoresPayload(t *testing.T) {
+	rt := NewRuntime()
+	hashes := rt.RegisterBuiltins()
+	fn, _ := rt.Lookup(hashes["noop"])
+	if _, err := fn(context.Background(), []byte("garbage-not-a-buffer")); err != nil {
+		t.Fatalf("noop rejected payload: %v", err)
+	}
+}
+
+func TestDecodeFloatErrors(t *testing.T) {
+	if _, err := DecodeFloat([]byte("junk")); err == nil {
+		t.Fatal("DecodeFloat accepted junk")
+	}
+	strBuf, _ := serial.Serialize("not-a-number")
+	if _, err := DecodeFloat(strBuf); err == nil {
+		t.Fatal("DecodeFloat accepted a string buffer")
+	}
+}
+
+func TestBadArgsSurfaceAsErrors(t *testing.T) {
+	rt := NewRuntime()
+	hashes := rt.RegisterBuiltins()
+	for _, name := range []string{"sleep", "stress", "double"} {
+		fn, _ := rt.Lookup(hashes[name])
+		if _, err := fn(context.Background(), []byte("zz")); err == nil {
+			t.Fatalf("%s accepted malformed args", name)
+		}
+	}
+}
+
+func TestRegisterHash(t *testing.T) {
+	rt := NewRuntime()
+	rt.RegisterHash("custom-hash", func(ctx context.Context, p []byte) ([]byte, error) { return nil, nil })
+	if _, err := rt.Lookup("custom-hash"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepScaledHelper(t *testing.T) {
+	rt := NewRuntime()
+	rt.SleepScale = 0
+	if err := rt.SleepScaled(context.Background(), 100); err != nil {
+		t.Fatalf("zero-scale sleep errored: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package memo implements funcX's memoization optimization (paper
+// §4.7, Table 3): when a user opts in, the service hashes the function
+// body together with the input document and returns a cached result for
+// repeated deterministic invocations instead of re-executing.
+package memo
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"funcx/internal/types"
+)
+
+// Key derives the memoization key from a function body hash and a
+// serialized input payload.
+func Key(bodyHash string, payload []byte) string {
+	h := sha256.New()
+	h.Write([]byte(bodyHash))
+	h.Write([]byte{0}) // domain separator
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is a bounded LRU of memoized results, safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	maxSize int
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key    string
+	result types.Result
+}
+
+// DefaultSize is the default cache bound.
+const DefaultSize = 1 << 16
+
+// NewCache creates a cache holding at most maxSize entries
+// (DefaultSize when maxSize <= 0).
+func NewCache(maxSize int) *Cache {
+	if maxSize <= 0 {
+		maxSize = DefaultSize
+	}
+	return &Cache{
+		maxSize: maxSize,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Lookup returns the cached result for (bodyHash, payload) if present,
+// marking it most recently used. The returned result has Memoized set
+// and the caller's task id must be stamped by the caller.
+func (c *Cache) Lookup(bodyHash string, payload []byte) (types.Result, bool) {
+	key := Key(bodyHash, payload)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return types.Result{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	r := el.Value.(*cacheEntry).result
+	r.Memoized = true
+	return r, true
+}
+
+// Store caches a successful result for (bodyHash, payload). Failed
+// results are never cached (a retry may succeed).
+func (c *Cache) Store(bodyHash string, payload []byte, r types.Result) {
+	if r.Failed() {
+		return
+	}
+	key := Key(bodyHash, payload)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = r
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, result: r})
+	c.entries[key] = el
+	if c.order.Len() > c.maxSize {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,117 @@
+package memo
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"funcx/internal/types"
+)
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := NewCache(0)
+	payload := []byte("args")
+	if _, ok := c.Lookup("h1", payload); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Store("h1", payload, types.Result{TaskID: "t1", Output: []byte("out")})
+	got, ok := c.Lookup("h1", payload)
+	if !ok {
+		t.Fatal("stored result missed")
+	}
+	if string(got.Output) != "out" {
+		t.Fatalf("output = %q", got.Output)
+	}
+	if !got.Memoized {
+		t.Fatal("cache-served result not marked Memoized")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	c := NewCache(0)
+	c.Store("h1", []byte("a"), types.Result{Output: []byte("1")})
+	if _, ok := c.Lookup("h1", []byte("b")); ok {
+		t.Fatal("different payload hit")
+	}
+	if _, ok := c.Lookup("h2", []byte("a")); ok {
+		t.Fatal("different body hash hit")
+	}
+}
+
+func TestFailedResultsNeverCached(t *testing.T) {
+	c := NewCache(0)
+	c.Store("h", []byte("a"), types.Result{Err: "boom"})
+	if _, ok := c.Lookup("h", []byte("a")); ok {
+		t.Fatal("failed result cached (a retry may succeed)")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Store("h", []byte("a"), types.Result{Output: []byte("A")})
+	c.Store("h", []byte("b"), types.Result{Output: []byte("B")})
+	// Touch "a" so "b" is the LRU victim.
+	if _, ok := c.Lookup("h", []byte("a")); !ok {
+		t.Fatal("a missing")
+	}
+	c.Store("h", []byte("c"), types.Result{Output: []byte("C")})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Lookup("h", []byte("b")); ok {
+		t.Fatal("LRU entry b survived")
+	}
+	if _, ok := c.Lookup("h", []byte("a")); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+	if _, ok := c.Lookup("h", []byte("c")); !ok {
+		t.Fatal("newest entry c evicted")
+	}
+}
+
+func TestStoreOverwrites(t *testing.T) {
+	c := NewCache(0)
+	c.Store("h", []byte("a"), types.Result{Output: []byte("v1")})
+	c.Store("h", []byte("a"), types.Result{Output: []byte("v2")})
+	got, ok := c.Lookup("h", []byte("a"))
+	if !ok || string(got.Output) != "v2" {
+		t.Fatalf("got %q, %v", got.Output, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestKeyDeterministicProperty(t *testing.T) {
+	prop := func(hash string, payload []byte) bool {
+		return Key(hash, payload) == Key(hash, payload)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyDomainSeparation(t *testing.T) {
+	// ("ab", "c") and ("a", "bc") must not collide: the separator
+	// between body hash and payload prevents ambiguity.
+	if Key("ab", []byte("c")) == Key("a", []byte("bc")) {
+		t.Fatal("key ambiguity across hash/payload boundary")
+	}
+}
+
+func TestCacheNeverExceedsBound(t *testing.T) {
+	c := NewCache(16)
+	for i := 0; i < 100; i++ {
+		c.Store("h", []byte(fmt.Sprint(i)), types.Result{Output: []byte("x")})
+		if c.Len() > 16 {
+			t.Fatalf("cache grew to %d > 16", c.Len())
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package metrics provides the measurement toolkit shared by every
+// experiment in the reproduction: streaming summaries with exact
+// percentiles (reservoir-sampled beyond a cap), time series for the
+// failure/elasticity timelines, and aligned-table rendering for
+// paper-versus-measured output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Summary accumulates duration samples: count, mean, and standard
+// deviation are exact (Welford); percentiles are exact up to the
+// reservoir capacity and reservoir-sampled beyond it.
+type Summary struct {
+	mu sync.Mutex
+
+	count  int64
+	mean   float64 // nanoseconds
+	m2     float64
+	min    float64
+	max    float64
+	sample []float64 // reservoir (nanoseconds)
+	cap    int
+	rng    *rand.Rand
+}
+
+// DefaultReservoir is the default percentile reservoir capacity.
+const DefaultReservoir = 100_000
+
+// NewSummary returns an empty summary with the default reservoir.
+func NewSummary() *Summary { return NewSummaryCap(DefaultReservoir) }
+
+// NewSummaryCap returns an empty summary with reservoir capacity c.
+func NewSummaryCap(c int) *Summary {
+	if c <= 0 {
+		c = DefaultReservoir
+	}
+	return &Summary{cap: c, rng: rand.New(rand.NewSource(1)), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add records one duration.
+func (s *Summary) Add(d time.Duration) { s.AddFloat(float64(d)) }
+
+// AddFloat records one sample in nanoseconds.
+func (s *Summary) AddFloat(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	delta := v - s.mean
+	s.mean += delta / float64(s.count)
+	s.m2 += delta * (v - s.mean)
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if len(s.sample) < s.cap {
+		s.sample = append(s.sample, v)
+	} else if j := s.rng.Int63n(s.count); j < int64(s.cap) {
+		s.sample[j] = v
+	}
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Mean returns the mean as a duration.
+func (s *Summary) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.mean)
+}
+
+// Std returns the sample standard deviation as a duration.
+func (s *Summary) Std() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count < 2 {
+		return 0
+	}
+	return time.Duration(math.Sqrt(s.m2 / float64(s.count-1)))
+}
+
+// Min returns the smallest sample (0 when empty).
+func (s *Summary) Min() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.min)
+}
+
+// Max returns the largest sample (0 when empty).
+func (s *Summary) Max() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.max)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) from the
+// reservoir using linear interpolation.
+func (s *Summary) Percentile(p float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sample) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.sample...)
+	sort.Float64s(sorted)
+	return time.Duration(percentileSorted(sorted, p))
+}
+
+// Percentiles returns several percentiles with a single sort.
+func (s *Summary) Percentiles(ps ...float64) []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]time.Duration, len(ps))
+	if len(s.sample) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), s.sample...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = time.Duration(percentileSorted(sorted, p))
+	}
+	return out
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders a compact one-line summary.
+func (s *Summary) String() string {
+	pcts := s.Percentiles(50, 95, 99)
+	return fmt.Sprintf("n=%d mean=%v std=%v min=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count(), s.Mean().Round(time.Microsecond), s.Std().Round(time.Microsecond),
+		s.Min().Round(time.Microsecond), pcts[0].Round(time.Microsecond),
+		pcts[1].Round(time.Microsecond), pcts[2].Round(time.Microsecond),
+		s.Max().Round(time.Microsecond))
+}
+
+// Point is one timestamped observation in a Series.
+type Point struct {
+	// T is the offset from the series origin.
+	T time.Duration
+	// V is the observed value.
+	V float64
+}
+
+// Series records a timeline of observations — task latencies over time
+// in the failure experiments (Figures 7 and 8), pod counts in the
+// elasticity experiment (Figure 6).
+type Series struct {
+	mu     sync.Mutex
+	name   string
+	origin time.Time
+	points []Point
+}
+
+// NewSeries creates a named series with origin at now.
+func NewSeries(name string) *Series {
+	return &Series{name: name, origin: time.Now()}
+}
+
+// NewSeriesAt creates a named series with an explicit origin.
+func NewSeriesAt(name string, origin time.Time) *Series {
+	return &Series{name: name, origin: origin}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Record appends an observation stamped with the current time.
+func (s *Series) Record(v float64) { s.RecordAt(time.Now(), v) }
+
+// RecordAt appends an observation at an explicit time.
+func (s *Series) RecordAt(t time.Time, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.points = append(s.points, Point{T: t.Sub(s.origin), V: v})
+}
+
+// RecordOffset appends an observation at an explicit offset (for
+// virtual-time producers).
+func (s *Series) RecordOffset(t time.Duration, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.points = append(s.points, Point{T: t, V: v})
+}
+
+// Points returns a copy of the observations in record order.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.points...)
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// MaxIn returns the maximum value observed in [from, to), or 0.
+func (s *Series) MaxIn(from, to time.Duration) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := 0.0
+	for _, p := range s.points {
+		if p.T >= from && p.T < to && p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// MeanIn returns the mean value observed in [from, to), or 0.
+func (s *Series) MeanIn(from, to time.Duration) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum, n := 0.0, 0
+	for _, p := range s.points {
+		if p.T >= from && p.T < to {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Table renders aligned experiment output: a header row then data
+// rows, all columns padded to their widest cell. It is how every
+// experiment prints its paper-versus-measured comparison.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped and
+// missing cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered
+// with %v.
+func (t *Table) AddRowf(cells ...any) {
+	strs := make([]string, len(cells))
+	for i, c := range cells {
+		strs[i] = fmt.Sprint(c)
+	}
+	t.AddRow(strs...)
+}
+
+// Render returns the aligned table as a string.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV returns the table in CSV form (no quoting; experiment cells
+// never contain commas).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.header, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatMS renders a duration as fractional milliseconds ("111.3").
+func FormatMS(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+}
+
+// FormatSec renders a duration as fractional seconds ("6.7").
+func FormatSec(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Second))
+}

@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryExactStats(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []time.Duration{10, 20, 30, 40, 50} {
+		s.Add(v * time.Millisecond)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if got := s.Mean(); got != 30*time.Millisecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := s.Min(); got != 10*time.Millisecond {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := s.Max(); got != 50*time.Millisecond {
+		t.Fatalf("Max = %v", got)
+	}
+	// Sample std of 10..50ms = sqrt(250)ms ~ 15.81ms.
+	want := math.Sqrt(250) * float64(time.Millisecond)
+	if got := float64(s.Std()); math.Abs(got-want) > float64(time.Microsecond) {
+		t.Fatalf("Std = %v, want ~%v", time.Duration(got), time.Duration(want))
+	}
+}
+
+func TestSummaryPercentiles(t *testing.T) {
+	s := NewSummary()
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	p := s.Percentiles(0, 50, 100)
+	if p[0] != time.Millisecond {
+		t.Fatalf("p0 = %v", p[0])
+	}
+	if p[2] != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", p[2])
+	}
+	if p[1] < 50*time.Millisecond || p[1] > 51*time.Millisecond {
+		t.Fatalf("p50 = %v", p[1])
+	}
+	if s.Percentile(95) < s.Percentile(50) {
+		t.Fatal("percentiles not monotonic")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary()
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Std() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary not all-zero")
+	}
+}
+
+func TestSummaryReservoirBounded(t *testing.T) {
+	s := NewSummaryCap(100)
+	for i := 0; i < 10_000; i++ {
+		s.Add(time.Duration(i))
+	}
+	if s.Count() != 10_000 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if len(s.sample) != 100 {
+		t.Fatalf("reservoir = %d, want 100", len(s.sample))
+	}
+	// Percentiles still in range.
+	p50 := s.Percentile(50)
+	if p50 < 0 || p50 > 10_000 {
+		t.Fatalf("p50 = %v", p50)
+	}
+}
+
+func TestSummaryMeanMatchesProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSummary()
+		sum := 0.0
+		for _, v := range raw {
+			s.AddFloat(float64(v))
+			sum += float64(v)
+		}
+		want := sum / float64(len(raw))
+		// Mean() truncates to integer nanoseconds; allow 1ns.
+		return math.Abs(float64(s.Mean())-want) <= 1.0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileOrderProperty(t *testing.T) {
+	prop := func(raw []uint16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		s := NewSummary()
+		for _, v := range raw {
+			s.AddFloat(float64(v))
+		}
+		return s.Percentile(a) <= s.Percentile(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileExactSmall(t *testing.T) {
+	s := NewSummary()
+	vals := []float64{5, 1, 9, 3, 7}
+	for _, v := range vals {
+		s.AddFloat(v)
+	}
+	sort.Float64s(vals)
+	if got := float64(s.Percentile(0)); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := float64(s.Percentile(100)); got != 9 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := float64(s.Percentile(50)); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+}
+
+func TestSeriesWindows(t *testing.T) {
+	origin := time.Now()
+	s := NewSeriesAt("lat", origin)
+	s.RecordAt(origin.Add(100*time.Millisecond), 1.0)
+	s.RecordAt(origin.Add(600*time.Millisecond), 3.0)
+	s.RecordAt(origin.Add(700*time.Millisecond), 5.0)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.MaxIn(500*time.Millisecond, time.Second); got != 5.0 {
+		t.Fatalf("MaxIn = %v", got)
+	}
+	if got := s.MeanIn(500*time.Millisecond, time.Second); got != 4.0 {
+		t.Fatalf("MeanIn = %v", got)
+	}
+	if got := s.MeanIn(2*time.Second, 3*time.Second); got != 0 {
+		t.Fatalf("empty window mean = %v", got)
+	}
+	if s.Name() != "lat" {
+		t.Fatal(s.Name())
+	}
+}
+
+func TestSeriesRecordOffset(t *testing.T) {
+	s := NewSeries("x")
+	s.RecordOffset(42*time.Second, 7)
+	pts := s.Points()
+	if len(pts) != 1 || pts[0].T != 42*time.Second || pts[0].V != 7 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-longer-name", "22")
+	tbl.AddRowf("fmt", 3.5)
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, separator, 3 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Column alignment: every line has the value column at the same
+	// offset.
+	idx := strings.Index(lines[0], "value")
+	for _, ln := range lines[2:] {
+		if len(ln) < idx {
+			t.Fatalf("row shorter than header: %q", ln)
+		}
+	}
+	if !strings.Contains(out, "3.5") {
+		t.Fatalf("AddRowf value missing:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.AddRow("1", "2")
+	csv := tbl.CSV()
+	if csv != "a,b\n1,2\n" {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.AddRow("only-one")
+	tbl.AddRow("x", "y", "dropped-extra")
+	out := tbl.Render()
+	if strings.Contains(out, "dropped-extra") {
+		t.Fatal("cell beyond header width rendered")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FormatMS(111300 * time.Microsecond); got != "111.3" {
+		t.Fatalf("FormatMS = %q", got)
+	}
+	if got := FormatSec(6700 * time.Millisecond); got != "6.7" {
+		t.Fatalf("FormatSec = %q", got)
+	}
+}

@@ -1,0 +1,76 @@
+// Package netlat injects wide-area network latency into the in-process
+// fabric so that end-to-end experiments reproduce the paper's latency
+// composition: the Table 1 measurements submit from ANL's Cooley login
+// node with an 18.2 ms one-way latency to the funcX service in AWS
+// us-east, while service-internal hops ride AWS networks at <1 ms.
+package netlat
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Link models one network path with a base one-way latency and
+// uniform jitter.
+type Link struct {
+	// Base is the median one-way latency.
+	Base time.Duration
+	// Jitter is the half-width of uniform jitter around Base.
+	Jitter time.Duration
+	// TimeScale scales real sleeps (1 = sleep the full latency,
+	// 0 = never sleep, only sample).
+	TimeScale float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewLink creates a link with the given base latency and jitter.
+func NewLink(base, jitter time.Duration, seed int64) *Link {
+	return &Link{Base: base, Jitter: jitter, TimeScale: 1.0, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws one one-way latency without sleeping.
+func (l *Link) Sample() time.Duration {
+	if l == nil || l.Base <= 0 && l.Jitter <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.Base
+	if l.Jitter > 0 {
+		d += time.Duration(l.rng.Int63n(int64(2*l.Jitter))) - l.Jitter
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Delay sleeps one sampled one-way latency (scaled) and returns the
+// unscaled sampled value.
+func (l *Link) Delay() time.Duration {
+	if l == nil {
+		return 0
+	}
+	d := l.Sample()
+	if d > 0 && l.TimeScale > 0 {
+		time.Sleep(time.Duration(float64(d) * l.TimeScale))
+	}
+	return d
+}
+
+// Paper-calibrated links.
+
+// CooleyToUSEast returns the client→service path of the Table 1 setup:
+// 18.2 ms with ~1 ms jitter.
+func CooleyToUSEast(seed int64) *Link {
+	return NewLink(18200*time.Microsecond, time.Millisecond, seed)
+}
+
+// IntraAWS returns the <1 ms service-internal path (service↔forwarder
+// ↔Redis inside us-east).
+func IntraAWS(seed int64) *Link {
+	return NewLink(400*time.Microsecond, 200*time.Microsecond, seed)
+}

@@ -1,0 +1,59 @@
+package netlat
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleWithinJitterBounds(t *testing.T) {
+	l := NewLink(10*time.Millisecond, 2*time.Millisecond, 1)
+	for i := 0; i < 1000; i++ {
+		d := l.Sample()
+		if d < 8*time.Millisecond || d > 12*time.Millisecond {
+			t.Fatalf("sample %v outside 10ms ± 2ms", d)
+		}
+	}
+}
+
+func TestSampleNoJitter(t *testing.T) {
+	l := NewLink(5*time.Millisecond, 0, 1)
+	if d := l.Sample(); d != 5*time.Millisecond {
+		t.Fatalf("sample = %v", d)
+	}
+}
+
+func TestNilAndZeroLinks(t *testing.T) {
+	var l *Link
+	if l.Sample() != 0 || l.Delay() != 0 {
+		t.Fatal("nil link not free")
+	}
+	z := NewLink(0, 0, 1)
+	if z.Sample() != 0 {
+		t.Fatal("zero link not free")
+	}
+}
+
+func TestDelaySleepsScaled(t *testing.T) {
+	l := NewLink(20*time.Millisecond, 0, 1)
+	l.TimeScale = 0.1 // sleep 2ms, report 20ms
+	start := time.Now()
+	d := l.Delay()
+	elapsed := time.Since(start)
+	if d != 20*time.Millisecond {
+		t.Fatalf("reported %v", d)
+	}
+	if elapsed < time.Millisecond || elapsed > 15*time.Millisecond {
+		t.Fatalf("slept %v, want ~2ms", elapsed)
+	}
+}
+
+func TestPaperLinks(t *testing.T) {
+	cooley := CooleyToUSEast(1)
+	if d := cooley.Sample(); d < 17*time.Millisecond || d > 20*time.Millisecond {
+		t.Fatalf("Cooley link = %v, want ~18.2ms", d)
+	}
+	aws := IntraAWS(1)
+	if d := aws.Sample(); d > time.Millisecond {
+		t.Fatalf("intra-AWS link = %v, want <1ms", d)
+	}
+}

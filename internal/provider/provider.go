@@ -1,0 +1,460 @@
+// Package provider reproduces funcX's resource provisioning layer
+// (paper §4.4). funcX uses Parsl's provider interface and a pilot-job
+// model to acquire nodes uniformly across resource types: batch
+// schedulers (Slurm, Torque/PBS, Cobalt, SGE, Condor), clouds (AWS,
+// Azure, Google), and Kubernetes.
+//
+// A Provider submits "blocks" (pilot jobs) of one or more nodes. Each
+// node, once the scheduler starts it and it boots, triggers the
+// caller's OnNodeUp hook — in the real fabric that hook launches a
+// manager. Blocks experience a scheduler queue delay and per-node boot
+// delay drawn from per-scheduler distributions (scaled by TimeScale so
+// wall-clock experiments stay fast).
+//
+// The package also provides the automatic scaling strategy (paper §4.4
+// "define rules for automatic scaling"): scale out on backlog, scale in
+// on idle, within block limits — the mechanism behind the Kubernetes
+// elasticity experiment of Figure 6.
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"funcx/internal/types"
+)
+
+// JobState is the lifecycle state of one block (pilot job).
+type JobState string
+
+// Block lifecycle states.
+const (
+	// StatePending means the block sits in the scheduler queue.
+	StatePending JobState = "pending"
+	// StateRunning means at least one node of the block is up.
+	StateRunning JobState = "running"
+	// StateCancelled means the block was cancelled.
+	StateCancelled JobState = "cancelled"
+	// StateCompleted means the block terminated normally.
+	StateCompleted JobState = "completed"
+)
+
+// ErrBlockLimit is returned by Submit when MaxBlocks is reached.
+var ErrBlockLimit = errors.New("provider: block limit reached")
+
+// ErrUnknownBlock is returned for operations on unknown block ids.
+var ErrUnknownBlock = errors.New("provider: unknown block")
+
+// BlockInfo is a snapshot of one block.
+type BlockInfo struct {
+	ID        types.BlockID
+	State     JobState
+	Nodes     int
+	NodesUp   int
+	Submitted time.Time
+	Started   time.Time
+}
+
+// Hooks are the callbacks into the endpoint agent.
+type Hooks struct {
+	// OnNodeUp fires when a node is booted and ready for a manager.
+	OnNodeUp func(block types.BlockID, node int)
+	// OnNodeDown fires when a node is released (cancel / completion).
+	OnNodeDown func(block types.BlockID, node int)
+}
+
+// Provider provisions blocks of nodes.
+type Provider interface {
+	// Name identifies the scheduler type ("slurm", "k8s", ...).
+	Name() string
+	// Submit requests one block; node-up events arrive via hooks.
+	Submit() (types.BlockID, error)
+	// Cancel releases a block (down events fire for its live nodes).
+	Cancel(types.BlockID) error
+	// Blocks snapshots all known blocks.
+	Blocks() []BlockInfo
+	// LiveNodes returns the number of nodes currently up.
+	LiveNodes() int
+	// PendingBlocks returns the number of blocks still queued.
+	PendingBlocks() int
+	// Close cancels everything and stops timers.
+	Close()
+}
+
+// DelayFn draws a delay (queue wait or boot time) from a distribution.
+type DelayFn func(rng *rand.Rand) time.Duration
+
+// Fixed returns a DelayFn that always yields d.
+func Fixed(d time.Duration) DelayFn {
+	return func(*rand.Rand) time.Duration { return d }
+}
+
+// Uniform returns a DelayFn drawing uniformly from [lo, hi].
+func Uniform(lo, hi time.Duration) DelayFn {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return func(rng *rand.Rand) time.Duration {
+		if hi == lo {
+			return lo
+		}
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+	}
+}
+
+// Exponential returns a DelayFn with the given mean, truncated at
+// 10x the mean (batch queue waits are long-tailed but bounded by
+// queue policy).
+func Exponential(mean time.Duration) DelayFn {
+	return func(rng *rand.Rand) time.Duration {
+		d := time.Duration(rng.ExpFloat64() * float64(mean))
+		if max := 10 * mean; d > max {
+			d = max
+		}
+		return d
+	}
+}
+
+// Config parameterizes a simulated provider.
+type Config struct {
+	// Name identifies the scheduler type.
+	Name string
+	// QueueDelay is the scheduler queue wait per block.
+	QueueDelay DelayFn
+	// BootDelay is the per-node boot time after the block starts.
+	BootDelay DelayFn
+	// NodesPerBlock is the block size (>= 1).
+	NodesPerBlock int
+	// MaxBlocks bounds concurrent blocks (0 = unlimited).
+	MaxBlocks int
+	// TimeScale scales real waits (1.0 = real time; 0.001 turns a
+	// 10 min queue wait into 600 ms). Zero means no artificial wait.
+	TimeScale float64
+	// Seed seeds the delay sampler.
+	Seed int64
+}
+
+// Sim is a simulated provider driven by real (scaled) timers. It backs
+// every scheduler flavor; only the delay distributions differ.
+type Sim struct {
+	cfg   Config
+	hooks Hooks
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	blocks map[types.BlockID]*simBlock
+	nextID int
+	closed bool
+	timers []*time.Timer
+	wg     sync.WaitGroup
+}
+
+type simBlock struct {
+	info    BlockInfo
+	nodesUp map[int]bool
+}
+
+// NewSim creates a simulated provider. Hooks may have nil members.
+func NewSim(cfg Config, hooks Hooks) *Sim {
+	if cfg.NodesPerBlock <= 0 {
+		cfg.NodesPerBlock = 1
+	}
+	if cfg.QueueDelay == nil {
+		cfg.QueueDelay = Fixed(0)
+	}
+	if cfg.BootDelay == nil {
+		cfg.BootDelay = Fixed(0)
+	}
+	return &Sim{
+		cfg:    cfg,
+		hooks:  hooks,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		blocks: make(map[types.BlockID]*simBlock),
+	}
+}
+
+// Name implements Provider.
+func (s *Sim) Name() string { return s.cfg.Name }
+
+// Submit implements Provider.
+func (s *Sim) Submit() (types.BlockID, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", errors.New("provider: closed")
+	}
+	if s.cfg.MaxBlocks > 0 {
+		active := 0
+		for _, b := range s.blocks {
+			if b.info.State == StatePending || b.info.State == StateRunning {
+				active++
+			}
+		}
+		if active >= s.cfg.MaxBlocks {
+			s.mu.Unlock()
+			return "", ErrBlockLimit
+		}
+	}
+	s.nextID++
+	id := types.BlockID(fmt.Sprintf("%s-block-%d", s.cfg.Name, s.nextID))
+	blk := &simBlock{
+		info: BlockInfo{
+			ID:        id,
+			State:     StatePending,
+			Nodes:     s.cfg.NodesPerBlock,
+			Submitted: time.Now(),
+		},
+		nodesUp: make(map[int]bool),
+	}
+	s.blocks[id] = blk
+	queueWait := s.scaled(s.cfg.QueueDelay(s.rng))
+	s.mu.Unlock()
+
+	s.afterFunc(queueWait, func() { s.startBlock(id) })
+	return id, nil
+}
+
+// startBlock transitions a pending block to running and boots nodes.
+func (s *Sim) startBlock(id types.BlockID) {
+	s.mu.Lock()
+	blk, ok := s.blocks[id]
+	if !ok || blk.info.State != StatePending || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	blk.info.State = StateRunning
+	blk.info.Started = time.Now()
+	nodes := blk.info.Nodes
+	boots := make([]time.Duration, nodes)
+	for i := range boots {
+		boots[i] = s.scaled(s.cfg.BootDelay(s.rng))
+	}
+	s.mu.Unlock()
+
+	for i := 0; i < nodes; i++ {
+		node := i
+		s.afterFunc(boots[i], func() { s.nodeUp(id, node) })
+	}
+}
+
+func (s *Sim) nodeUp(id types.BlockID, node int) {
+	s.mu.Lock()
+	blk, ok := s.blocks[id]
+	if !ok || blk.info.State != StateRunning || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	blk.nodesUp[node] = true
+	blk.info.NodesUp = len(blk.nodesUp)
+	hook := s.hooks.OnNodeUp
+	s.mu.Unlock()
+	if hook != nil {
+		hook(id, node)
+	}
+}
+
+// Cancel implements Provider.
+func (s *Sim) Cancel(id types.BlockID) error {
+	s.mu.Lock()
+	blk, ok := s.blocks[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownBlock, id)
+	}
+	if blk.info.State == StateCancelled || blk.info.State == StateCompleted {
+		s.mu.Unlock()
+		return nil
+	}
+	blk.info.State = StateCancelled
+	up := make([]int, 0, len(blk.nodesUp))
+	for n := range blk.nodesUp {
+		up = append(up, n)
+	}
+	blk.nodesUp = make(map[int]bool)
+	blk.info.NodesUp = 0
+	hook := s.hooks.OnNodeDown
+	s.mu.Unlock()
+	if hook != nil {
+		for _, n := range up {
+			hook(id, n)
+		}
+	}
+	return nil
+}
+
+// Blocks implements Provider.
+func (s *Sim) Blocks() []BlockInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]BlockInfo, 0, len(s.blocks))
+	for _, b := range s.blocks {
+		out = append(out, b.info)
+	}
+	return out
+}
+
+// LiveNodes implements Provider.
+func (s *Sim) LiveNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.blocks {
+		n += len(b.nodesUp)
+	}
+	return n
+}
+
+// PendingBlocks implements Provider: blocks queued at the scheduler
+// plus blocks whose nodes are still booting. Both represent capacity
+// already requested, so the scaler must count them or it will
+// over-provision during the boot window.
+func (s *Sim) PendingBlocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.blocks {
+		switch b.info.State {
+		case StatePending:
+			n++
+		case StateRunning:
+			if b.info.NodesUp < b.info.Nodes {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Close implements Provider.
+func (s *Sim) Close() {
+	s.mu.Lock()
+	s.closed = true
+	timers := s.timers
+	s.timers = nil
+	ids := make([]types.BlockID, 0, len(s.blocks))
+	for id, b := range s.blocks {
+		if b.info.State == StatePending || b.info.State == StateRunning {
+			ids = append(ids, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, t := range timers {
+		// A successfully stopped timer's callback never runs, so its
+		// WaitGroup slot must be released here or Wait deadlocks.
+		if t.Stop() {
+			s.wg.Done()
+		}
+	}
+	for _, id := range ids {
+		s.Cancel(id) //nolint:errcheck // best-effort teardown
+	}
+	s.wg.Wait()
+}
+
+func (s *Sim) scaled(d time.Duration) time.Duration {
+	if s.cfg.TimeScale <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) * s.cfg.TimeScale)
+}
+
+// afterFunc schedules fn, tracking the timer for Close and ensuring
+// in-flight callbacks finish before Close returns.
+func (s *Sim) afterFunc(d time.Duration, fn func()) {
+	s.wg.Add(1)
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		defer s.wg.Done()
+		fn()
+	})
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if t.Stop() {
+			s.wg.Done()
+		}
+		return
+	}
+	s.timers = append(s.timers, t)
+	s.mu.Unlock()
+}
+
+// --- scheduler flavors ---
+// Queue and boot delay calibrations are representative of the systems
+// named in the paper; the experiments only depend on their relative
+// magnitudes (batch queues are minutes-to-hours, pods are seconds).
+
+// NewLocal returns a provider with no queue or boot delay (a laptop or
+// login node: the agent starts managers directly).
+func NewLocal(hooks Hooks) *Sim {
+	return NewSim(Config{Name: "local", NodesPerBlock: 1, TimeScale: 0}, hooks)
+}
+
+// NewSlurmSim models a Slurm batch scheduler.
+func NewSlurmSim(nodesPerBlock, maxBlocks int, timeScale float64, seed int64, hooks Hooks) *Sim {
+	return NewSim(Config{
+		Name:          "slurm",
+		QueueDelay:    Exponential(5 * time.Minute),
+		BootDelay:     Uniform(2*time.Second, 10*time.Second),
+		NodesPerBlock: nodesPerBlock,
+		MaxBlocks:     maxBlocks,
+		TimeScale:     timeScale,
+		Seed:          seed,
+	}, hooks)
+}
+
+// NewPBSSim models a PBS/Torque batch scheduler.
+func NewPBSSim(nodesPerBlock, maxBlocks int, timeScale float64, seed int64, hooks Hooks) *Sim {
+	return NewSim(Config{
+		Name:          "pbs",
+		QueueDelay:    Exponential(8 * time.Minute),
+		BootDelay:     Uniform(2*time.Second, 15*time.Second),
+		NodesPerBlock: nodesPerBlock,
+		MaxBlocks:     maxBlocks,
+		TimeScale:     timeScale,
+		Seed:          seed,
+	}, hooks)
+}
+
+// NewCobaltSim models the Cobalt scheduler used at ALCF (Theta).
+func NewCobaltSim(nodesPerBlock, maxBlocks int, timeScale float64, seed int64, hooks Hooks) *Sim {
+	return NewSim(Config{
+		Name:          "cobalt",
+		QueueDelay:    Exponential(15 * time.Minute),
+		BootDelay:     Uniform(5*time.Second, 30*time.Second),
+		NodesPerBlock: nodesPerBlock,
+		MaxBlocks:     maxBlocks,
+		TimeScale:     timeScale,
+		Seed:          seed,
+	}, hooks)
+}
+
+// NewK8sSim models a Kubernetes cluster: one pod per block, fast
+// scheduling, used by the Figure 6 elasticity experiment.
+func NewK8sSim(maxPods int, timeScale float64, seed int64, hooks Hooks) *Sim {
+	return NewSim(Config{
+		Name:          "k8s",
+		QueueDelay:    Uniform(100*time.Millisecond, 500*time.Millisecond),
+		BootDelay:     Uniform(1*time.Second, 3*time.Second),
+		NodesPerBlock: 1,
+		MaxBlocks:     maxPods,
+		TimeScale:     timeScale,
+		Seed:          seed,
+	}, hooks)
+}
+
+// NewEC2Sim models on-demand cloud instances.
+func NewEC2Sim(maxInstances int, timeScale float64, seed int64, hooks Hooks) *Sim {
+	return NewSim(Config{
+		Name:          "ec2",
+		QueueDelay:    Uniform(1*time.Second, 5*time.Second),
+		BootDelay:     Uniform(30*time.Second, 90*time.Second),
+		NodesPerBlock: 1,
+		MaxBlocks:     maxInstances,
+		TimeScale:     timeScale,
+		Seed:          seed,
+	}, hooks)
+}

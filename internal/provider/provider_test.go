@@ -1,0 +1,263 @@
+package provider
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"funcx/internal/types"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// collectHooks gathers node events for assertions.
+type collectHooks struct {
+	mu    sync.Mutex
+	ups   []string
+	downs []string
+	upCh  chan struct{}
+}
+
+func newCollectHooks() *collectHooks {
+	return &collectHooks{upCh: make(chan struct{}, 128)}
+}
+
+func (c *collectHooks) hooks() Hooks {
+	return Hooks{
+		OnNodeUp: func(b types.BlockID, n int) {
+			c.mu.Lock()
+			c.ups = append(c.ups, string(b))
+			c.mu.Unlock()
+			c.upCh <- struct{}{}
+		},
+		OnNodeDown: func(b types.BlockID, n int) {
+			c.mu.Lock()
+			c.downs = append(c.downs, string(b))
+			c.mu.Unlock()
+		},
+	}
+}
+
+func (c *collectHooks) waitUps(t *testing.T, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for i := 0; i < n; i++ {
+		select {
+		case <-c.upCh:
+		case <-deadline:
+			t.Fatalf("only %d of %d node-up events arrived", i, n)
+		}
+	}
+}
+
+func TestSubmitBringsNodesUp(t *testing.T) {
+	h := newCollectHooks()
+	p := NewSim(Config{
+		Name: "test", NodesPerBlock: 3,
+		QueueDelay: Fixed(time.Millisecond), BootDelay: Fixed(time.Millisecond),
+		TimeScale: 1.0, Seed: 1,
+	}, h.hooks())
+	defer p.Close()
+	id, err := p.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.waitUps(t, 3, 2*time.Second)
+	if p.LiveNodes() != 3 {
+		t.Fatalf("LiveNodes = %d", p.LiveNodes())
+	}
+	blocks := p.Blocks()
+	if len(blocks) != 1 || blocks[0].ID != id || blocks[0].State != StateRunning || blocks[0].NodesUp != 3 {
+		t.Fatalf("Blocks = %+v", blocks)
+	}
+}
+
+func TestCancelFiresNodeDown(t *testing.T) {
+	h := newCollectHooks()
+	p := NewSim(Config{Name: "t", NodesPerBlock: 2, TimeScale: 1.0, Seed: 1}, h.hooks())
+	defer p.Close()
+	id, _ := p.Submit()
+	h.waitUps(t, 2, 2*time.Second)
+	if err := p.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if p.LiveNodes() != 0 {
+		t.Fatalf("LiveNodes after cancel = %d", p.LiveNodes())
+	}
+	h.mu.Lock()
+	downs := len(h.downs)
+	h.mu.Unlock()
+	if downs != 2 {
+		t.Fatalf("down events = %d, want 2", downs)
+	}
+	// Cancel is idempotent; unknown blocks error.
+	if err := p.Cancel(id); err != nil {
+		t.Fatalf("re-cancel: %v", err)
+	}
+	if err := p.Cancel("ghost"); !errors.Is(err, ErrUnknownBlock) {
+		t.Fatalf("cancel ghost = %v", err)
+	}
+}
+
+func TestMaxBlocksEnforced(t *testing.T) {
+	p := NewSim(Config{Name: "t", MaxBlocks: 2, TimeScale: 0, Seed: 1}, Hooks{})
+	defer p.Close()
+	if _, err := p.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(); !errors.Is(err, ErrBlockLimit) {
+		t.Fatalf("third submit = %v, want ErrBlockLimit", err)
+	}
+}
+
+func TestPendingBlocksIncludesBooting(t *testing.T) {
+	h := newCollectHooks()
+	p := NewSim(Config{
+		Name: "t", NodesPerBlock: 1,
+		QueueDelay: Fixed(0), BootDelay: Fixed(50 * time.Millisecond),
+		TimeScale: 1.0, Seed: 1,
+	}, h.hooks())
+	defer p.Close()
+	p.Submit() //nolint:errcheck
+	// Right after submit the node is booting: it must count as
+	// pending capacity so scalers do not over-provision.
+	time.Sleep(10 * time.Millisecond)
+	if p.PendingBlocks() != 1 {
+		t.Fatalf("PendingBlocks during boot = %d, want 1", p.PendingBlocks())
+	}
+	h.waitUps(t, 1, 2*time.Second)
+	if p.PendingBlocks() != 0 {
+		t.Fatalf("PendingBlocks after boot = %d", p.PendingBlocks())
+	}
+}
+
+func TestCloseCancelsEverything(t *testing.T) {
+	h := newCollectHooks()
+	p := NewSim(Config{Name: "t", NodesPerBlock: 1, TimeScale: 1.0, Seed: 1}, h.hooks())
+	p.Submit() //nolint:errcheck
+	h.waitUps(t, 1, 2*time.Second)
+	p.Close()
+	if p.LiveNodes() != 0 {
+		t.Fatalf("LiveNodes after Close = %d", p.LiveNodes())
+	}
+	if _, err := p.Submit(); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+}
+
+func TestFlavorConstructors(t *testing.T) {
+	for _, p := range []*Sim{
+		NewLocal(Hooks{}),
+		NewSlurmSim(4, 2, 0, 1, Hooks{}),
+		NewPBSSim(4, 2, 0, 1, Hooks{}),
+		NewCobaltSim(4, 2, 0, 1, Hooks{}),
+		NewK8sSim(10, 0, 1, Hooks{}),
+		NewEC2Sim(5, 0, 1, Hooks{}),
+	} {
+		if p.Name() == "" {
+			t.Fatal("provider without a name")
+		}
+		p.Close()
+	}
+}
+
+func TestDelayFns(t *testing.T) {
+	rng := newTestRand()
+	if Fixed(time.Second)(rng) != time.Second {
+		t.Fatal("Fixed not fixed")
+	}
+	for i := 0; i < 100; i++ {
+		d := Uniform(time.Second, 2*time.Second)(rng)
+		if d < time.Second || d > 2*time.Second {
+			t.Fatalf("Uniform sample %v out of range", d)
+		}
+	}
+	if Uniform(time.Second, time.Second)(rng) != time.Second {
+		t.Fatal("degenerate Uniform wrong")
+	}
+	for i := 0; i < 100; i++ {
+		d := Exponential(time.Second)(rng)
+		if d < 0 || d > 10*time.Second {
+			t.Fatalf("Exponential sample %v out of truncation range", d)
+		}
+	}
+}
+
+// --- scaler ---
+
+func TestScalerScalesOutOnBacklog(t *testing.T) {
+	s := NewScaler(ScalingPolicy{MaxBlocks: 10, TasksPerNode: 2, Aggressiveness: 1})
+	d := s.Evaluate(Load{QueuedTasks: 10, RunningTasks: 0, LiveNodes: 1, PendingBlocks: 0})
+	// demand 10 / 2 per node = 5 nodes wanted, 1 live -> ask 4.
+	if d.SubmitBlocks != 4 {
+		t.Fatalf("SubmitBlocks = %d, want 4", d.SubmitBlocks)
+	}
+}
+
+func TestScalerRespectsMaxBlocks(t *testing.T) {
+	s := NewScaler(ScalingPolicy{MaxBlocks: 3, TasksPerNode: 1, Aggressiveness: 1})
+	d := s.Evaluate(Load{QueuedTasks: 100, LiveNodes: 2, PendingBlocks: 0})
+	if d.SubmitBlocks != 1 {
+		t.Fatalf("SubmitBlocks = %d, want 1 (cap 3, 2 live)", d.SubmitBlocks)
+	}
+}
+
+func TestScalerCountsPendingBlocks(t *testing.T) {
+	s := NewScaler(ScalingPolicy{MaxBlocks: 10, TasksPerNode: 1, Aggressiveness: 1})
+	d := s.Evaluate(Load{QueuedTasks: 4, LiveNodes: 2, PendingBlocks: 2})
+	if d.SubmitBlocks != 0 {
+		t.Fatalf("SubmitBlocks = %d, want 0 (2 live + 2 pending cover 4)", d.SubmitBlocks)
+	}
+}
+
+func TestScalerScalesInAfterIdle(t *testing.T) {
+	s := NewScaler(ScalingPolicy{MaxBlocks: 10, TasksPerNode: 1, IdleTimeout: time.Minute, Aggressiveness: 1})
+	now := time.Now()
+	s.SetClock(func() time.Time { return now })
+
+	idle := Load{QueuedTasks: 0, RunningTasks: 0, LiveNodes: 3}
+	if d := s.Evaluate(idle); d.ReleaseBlocks != 0 {
+		t.Fatalf("released before idle timeout: %+v", d)
+	}
+	now = now.Add(2 * time.Minute)
+	if d := s.Evaluate(idle); d.ReleaseBlocks != 3 {
+		t.Fatalf("ReleaseBlocks = %d, want 3", d.ReleaseBlocks)
+	}
+}
+
+func TestScalerKeepsMinBlocks(t *testing.T) {
+	s := NewScaler(ScalingPolicy{MinBlocks: 2, MaxBlocks: 10, TasksPerNode: 1, IdleTimeout: time.Millisecond})
+	now := time.Now()
+	s.SetClock(func() time.Time { return now })
+	idle := Load{LiveNodes: 3}
+	s.Evaluate(idle)
+	now = now.Add(time.Second)
+	if d := s.Evaluate(idle); d.ReleaseBlocks != 1 {
+		t.Fatalf("ReleaseBlocks = %d, want 1 (respect MinBlocks)", d.ReleaseBlocks)
+	}
+}
+
+func TestScalerActivityResetsIdleClock(t *testing.T) {
+	s := NewScaler(ScalingPolicy{MaxBlocks: 10, TasksPerNode: 1, IdleTimeout: time.Minute})
+	now := time.Now()
+	s.SetClock(func() time.Time { return now })
+	s.Evaluate(Load{LiveNodes: 1}) // idle starts
+	now = now.Add(30 * time.Second)
+	s.Evaluate(Load{QueuedTasks: 1, LiveNodes: 1, PendingBlocks: 0}) // activity
+	now = now.Add(45 * time.Second)
+	if d := s.Evaluate(Load{LiveNodes: 1}); d.ReleaseBlocks != 0 {
+		t.Fatalf("released %d blocks; idle clock should have reset", d.ReleaseBlocks)
+	}
+}
+
+func TestDefaultPolicySane(t *testing.T) {
+	p := DefaultPolicy()
+	if p.MaxBlocks <= 0 || p.TasksPerNode <= 0 || p.IdleTimeout <= 0 {
+		t.Fatalf("DefaultPolicy = %+v", p)
+	}
+}

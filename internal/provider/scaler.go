@@ -1,0 +1,133 @@
+package provider
+
+import (
+	"sync"
+	"time"
+)
+
+// ScalingPolicy is the automatic-scaling rule set of paper §4.4: funcX
+// uses Parsl's provider interface to "define rules for automatic
+// scaling (i.e., limits and scaling aggressiveness)". The endpoint
+// agent consults the policy periodically with its current load and
+// submits or cancels blocks accordingly — this is the mechanism that
+// produces the pod curves of Figure 6.
+type ScalingPolicy struct {
+	// MinBlocks is the floor of provisioned blocks.
+	MinBlocks int
+	// MaxBlocks is the ceiling of provisioned blocks.
+	MaxBlocks int
+	// TasksPerNode is the target parallelism per node: scale out
+	// while backlog exceeds TasksPerNode × live nodes.
+	TasksPerNode int
+	// IdleTimeout releases a block after this long with no work.
+	IdleTimeout time.Duration
+	// Aggressiveness in (0, 1] controls what fraction of the computed
+	// deficit is requested at once (1 = all at once).
+	Aggressiveness float64
+}
+
+// DefaultPolicy mirrors a typical funcX endpoint configuration.
+func DefaultPolicy() ScalingPolicy {
+	return ScalingPolicy{
+		MinBlocks:      0,
+		MaxBlocks:      10,
+		TasksPerNode:   1,
+		IdleTimeout:    5 * time.Second,
+		Aggressiveness: 1.0,
+	}
+}
+
+// Load is the agent's snapshot fed to the scaler.
+type Load struct {
+	// QueuedTasks counts tasks waiting for a worker.
+	QueuedTasks int
+	// RunningTasks counts tasks executing now.
+	RunningTasks int
+	// LiveNodes counts booted nodes.
+	LiveNodes int
+	// PendingBlocks counts blocks still in the scheduler queue.
+	PendingBlocks int
+}
+
+// Decision is the scaler's output for one evaluation.
+type Decision struct {
+	// SubmitBlocks is how many new blocks to request (>= 0).
+	SubmitBlocks int
+	// ReleaseBlocks is how many idle blocks to cancel (>= 0).
+	ReleaseBlocks int
+}
+
+// Scaler evaluates a ScalingPolicy over successive load snapshots,
+// tracking idleness between calls.
+type Scaler struct {
+	policy ScalingPolicy
+
+	mu        sync.Mutex
+	idleSince time.Time
+	now       func() time.Time
+}
+
+// NewScaler creates a scaler for the policy.
+func NewScaler(policy ScalingPolicy) *Scaler {
+	if policy.Aggressiveness <= 0 || policy.Aggressiveness > 1 {
+		policy.Aggressiveness = 1.0
+	}
+	if policy.TasksPerNode <= 0 {
+		policy.TasksPerNode = 1
+	}
+	return &Scaler{policy: policy, now: time.Now}
+}
+
+// SetClock overrides the time source (tests only).
+func (s *Scaler) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// Policy returns the policy under evaluation.
+func (s *Scaler) Policy() ScalingPolicy { return s.policy }
+
+// Evaluate computes the scaling decision for the current load.
+func (s *Scaler) Evaluate(load Load) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.policy
+	var d Decision
+
+	demand := load.QueuedTasks + load.RunningTasks
+	provisioned := load.LiveNodes + load.PendingBlocks // blocks are 1+ nodes; pending counts as capacity coming
+	// Scale out: backlog beyond what live+pending capacity covers.
+	if demand > 0 {
+		s.idleSince = time.Time{}
+		wantNodes := (demand + p.TasksPerNode - 1) / p.TasksPerNode
+		deficit := wantNodes - provisioned
+		if deficit > 0 {
+			ask := int(float64(deficit)*p.Aggressiveness + 0.5)
+			if ask < 1 {
+				ask = 1
+			}
+			room := p.MaxBlocks - provisioned
+			if p.MaxBlocks > 0 && ask > room {
+				ask = room
+			}
+			if ask > 0 {
+				d.SubmitBlocks = ask
+			}
+		}
+		return d
+	}
+
+	// Idle: consider scale-in after the idle timeout.
+	if s.idleSince.IsZero() {
+		s.idleSince = s.now()
+		return d
+	}
+	if p.IdleTimeout > 0 && s.now().Sub(s.idleSince) >= p.IdleTimeout {
+		excess := load.LiveNodes - p.MinBlocks
+		if excess > 0 {
+			d.ReleaseBlocks = excess
+		}
+	}
+	return d
+}

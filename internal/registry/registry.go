@@ -1,0 +1,238 @@
+// Package registry is the persistent-registry substitute for the AWS
+// RDS database of paper §4.1: the funcX service's tables of users,
+// registered functions (with sharing lists and container bindings), and
+// registered endpoints.
+//
+// The store is an in-memory, mutex-guarded set of tables with the same
+// semantics the service needs: versioned function updates by owners,
+// sharing with users or everyone, endpoint ownership and public access
+// checks.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"funcx/internal/types"
+)
+
+// Errors returned by registry lookups and mutations.
+var (
+	// ErrNotFound is returned when a record does not exist.
+	ErrNotFound = errors.New("registry: not found")
+	// ErrForbidden is returned when the acting user lacks rights.
+	ErrForbidden = errors.New("registry: forbidden")
+)
+
+// Registry is the in-memory substitute for the service database.
+type Registry struct {
+	mu        sync.RWMutex
+	users     map[types.UserID]*types.User
+	functions map[types.FunctionID]*types.Function
+	endpoints map[types.EndpointID]*types.Endpoint
+	now       func() time.Time
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		users:     make(map[types.UserID]*types.User),
+		functions: make(map[types.FunctionID]*types.Function),
+		endpoints: make(map[types.EndpointID]*types.Endpoint),
+		now:       time.Now,
+	}
+}
+
+// BodyHash computes the canonical function-body hash used for
+// memoization keys and worker-side lookup.
+func BodyHash(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// --- users ---
+
+// AddUser records a user, returning an error on duplicates.
+func (r *Registry) AddUser(u *types.User) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.users[u.ID]; ok {
+		return fmt.Errorf("registry: user %s already exists", u.ID)
+	}
+	cp := *u
+	r.users[u.ID] = &cp
+	return nil
+}
+
+// User returns the user record.
+func (r *Registry) User(id types.UserID) (*types.User, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.users[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: user %s", ErrNotFound, id)
+	}
+	cp := *u
+	return &cp, nil
+}
+
+// --- functions ---
+
+// RegisterFunction stores a new function owned by owner, assigning its
+// id, body hash, version, and registration time.
+func (r *Registry) RegisterFunction(owner types.UserID, name string, body []byte, container types.ContainerSpec, sharedWith []types.UserID) (*types.Function, error) {
+	if len(body) == 0 {
+		return nil, errors.New("registry: empty function body")
+	}
+	fn := &types.Function{
+		ID:         types.NewFunctionID(),
+		Name:       name,
+		Owner:      owner,
+		Body:       body,
+		BodyHash:   BodyHash(body),
+		Container:  container,
+		SharedWith: sharedWith,
+		Version:    1,
+		Registered: r.now(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.functions[fn.ID] = fn
+	cp := *fn
+	return &cp, nil
+}
+
+// UpdateFunction replaces the body of a function; only the owner may
+// update (paper §3: "users may update functions they own"). The version
+// increments and the body hash is recomputed.
+func (r *Registry) UpdateFunction(actor types.UserID, id types.FunctionID, body []byte) (*types.Function, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn, ok := r.functions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: function %s", ErrNotFound, id)
+	}
+	if fn.Owner != actor {
+		return nil, fmt.Errorf("%w: only owner may update function", ErrForbidden)
+	}
+	fn.Body = body
+	fn.BodyHash = BodyHash(body)
+	fn.Version++
+	cp := *fn
+	return &cp, nil
+}
+
+// ShareFunction appends users to the function's sharing list.
+func (r *Registry) ShareFunction(actor types.UserID, id types.FunctionID, with ...types.UserID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn, ok := r.functions[id]
+	if !ok {
+		return fmt.Errorf("%w: function %s", ErrNotFound, id)
+	}
+	if fn.Owner != actor {
+		return fmt.Errorf("%w: only owner may share function", ErrForbidden)
+	}
+	fn.SharedWith = append(fn.SharedWith, with...)
+	return nil
+}
+
+// Function returns a copy of the function record.
+func (r *Registry) Function(id types.FunctionID) (*types.Function, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.functions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: function %s", ErrNotFound, id)
+	}
+	cp := *fn
+	cp.SharedWith = append([]types.UserID(nil), fn.SharedWith...)
+	return &cp, nil
+}
+
+// AuthorizeInvocation checks that uid may invoke the function,
+// returning the record when allowed.
+func (r *Registry) AuthorizeInvocation(uid types.UserID, id types.FunctionID) (*types.Function, error) {
+	fn, err := r.Function(id)
+	if err != nil {
+		return nil, err
+	}
+	if !fn.InvocableBy(uid) {
+		return nil, fmt.Errorf("%w: function %s not shared with %s", ErrForbidden, id, uid)
+	}
+	return fn, nil
+}
+
+// FunctionCount returns the number of registered functions.
+func (r *Registry) FunctionCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.functions)
+}
+
+// --- endpoints ---
+
+// RegisterEndpoint stores a new endpoint, assigning id and time.
+func (r *Registry) RegisterEndpoint(owner types.UserID, name, description string, public bool) (*types.Endpoint, error) {
+	ep := &types.Endpoint{
+		ID:          types.NewEndpointID(),
+		Name:        name,
+		Description: description,
+		Owner:       owner,
+		Public:      public,
+		Registered:  r.now(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.endpoints[ep.ID] = ep
+	cp := *ep
+	return &cp, nil
+}
+
+// Endpoint returns a copy of the endpoint record.
+func (r *Registry) Endpoint(id types.EndpointID) (*types.Endpoint, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ep, ok := r.endpoints[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: endpoint %s", ErrNotFound, id)
+	}
+	cp := *ep
+	return &cp, nil
+}
+
+// AuthorizeDispatch checks that uid may send tasks to the endpoint:
+// the endpoint must be public or owned by uid.
+func (r *Registry) AuthorizeDispatch(uid types.UserID, id types.EndpointID) (*types.Endpoint, error) {
+	ep, err := r.Endpoint(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ep.Public && ep.Owner != uid {
+		return nil, fmt.Errorf("%w: endpoint %s not accessible to %s", ErrForbidden, id, uid)
+	}
+	return ep, nil
+}
+
+// Endpoints lists all registered endpoints.
+func (r *Registry) Endpoints() []*types.Endpoint {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*types.Endpoint, 0, len(r.endpoints))
+	for _, ep := range r.endpoints {
+		cp := *ep
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// EndpointCount returns the number of registered endpoints.
+func (r *Registry) EndpointCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.endpoints)
+}

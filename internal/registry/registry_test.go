@@ -1,0 +1,159 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"funcx/internal/types"
+)
+
+func TestRegisterAndFetchFunction(t *testing.T) {
+	r := New()
+	fn, err := r.RegisterFunction("alice", "echo", []byte("def echo(): pass"), types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatalf("RegisterFunction: %v", err)
+	}
+	if fn.ID == "" || fn.Version != 1 || fn.BodyHash == "" {
+		t.Fatalf("record = %+v", fn)
+	}
+	got, err := r.Function(fn.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "echo" || got.Owner != "alice" {
+		t.Fatalf("fetched = %+v", got)
+	}
+	if r.FunctionCount() != 1 {
+		t.Fatalf("FunctionCount = %d", r.FunctionCount())
+	}
+}
+
+func TestEmptyBodyRejected(t *testing.T) {
+	r := New()
+	if _, err := r.RegisterFunction("alice", "x", nil, types.ContainerSpec{}, nil); err == nil {
+		t.Fatal("empty body accepted")
+	}
+}
+
+func TestUpdateFunctionOwnerOnly(t *testing.T) {
+	r := New()
+	fn, _ := r.RegisterFunction("alice", "f", []byte("v1"), types.ContainerSpec{}, nil)
+	oldHash := fn.BodyHash
+
+	if _, err := r.UpdateFunction("mallory", fn.ID, []byte("v2")); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("non-owner update = %v, want ErrForbidden", err)
+	}
+	up, err := r.UpdateFunction("alice", fn.ID, []byte("v2"))
+	if err != nil {
+		t.Fatalf("owner update: %v", err)
+	}
+	if up.Version != 2 {
+		t.Fatalf("version = %d, want 2", up.Version)
+	}
+	if up.BodyHash == oldHash {
+		t.Fatal("body hash unchanged after update")
+	}
+	if _, err := r.UpdateFunction("alice", "missing", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing = %v", err)
+	}
+}
+
+func TestSharingControlsInvocation(t *testing.T) {
+	r := New()
+	fn, _ := r.RegisterFunction("alice", "f", []byte("b"), types.ContainerSpec{}, []types.UserID{"bob"})
+
+	if _, err := r.AuthorizeInvocation("alice", fn.ID); err != nil {
+		t.Fatalf("owner invoke: %v", err)
+	}
+	if _, err := r.AuthorizeInvocation("bob", fn.ID); err != nil {
+		t.Fatalf("shared invoke: %v", err)
+	}
+	if _, err := r.AuthorizeInvocation("carol", fn.ID); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("unshared invoke = %v, want ErrForbidden", err)
+	}
+
+	// Owner extends sharing.
+	if err := r.ShareFunction("bob", fn.ID, "carol"); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("non-owner share = %v", err)
+	}
+	if err := r.ShareFunction("alice", fn.ID, "carol"); err != nil {
+		t.Fatalf("owner share: %v", err)
+	}
+	if _, err := r.AuthorizeInvocation("carol", fn.ID); err != nil {
+		t.Fatalf("newly shared invoke: %v", err)
+	}
+}
+
+func TestPublicSharing(t *testing.T) {
+	r := New()
+	fn, _ := r.RegisterFunction("alice", "f", []byte("b"), types.ContainerSpec{}, []types.UserID{"*"})
+	if _, err := r.AuthorizeInvocation("anyone", fn.ID); err != nil {
+		t.Fatalf("star-shared invoke: %v", err)
+	}
+}
+
+func TestEndpointDispatchAuthorization(t *testing.T) {
+	r := New()
+	private, _ := r.RegisterEndpoint("alice", "laptop", "", false)
+	public, _ := r.RegisterEndpoint("alice", "cluster", "", true)
+
+	if _, err := r.AuthorizeDispatch("alice", private.ID); err != nil {
+		t.Fatalf("owner dispatch: %v", err)
+	}
+	if _, err := r.AuthorizeDispatch("bob", private.ID); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("private dispatch = %v, want ErrForbidden", err)
+	}
+	if _, err := r.AuthorizeDispatch("bob", public.ID); err != nil {
+		t.Fatalf("public dispatch: %v", err)
+	}
+	if _, err := r.AuthorizeDispatch("bob", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing endpoint = %v", err)
+	}
+	if r.EndpointCount() != 2 || len(r.Endpoints()) != 2 {
+		t.Fatalf("endpoint count = %d", r.EndpointCount())
+	}
+}
+
+func TestUserCRUD(t *testing.T) {
+	r := New()
+	if err := r.AddUser(&types.User{ID: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddUser(&types.User{ID: "alice"}); err == nil {
+		t.Fatal("duplicate user accepted")
+	}
+	u, err := r.User("alice")
+	if err != nil || u.ID != "alice" {
+		t.Fatalf("User = %+v, %v", u, err)
+	}
+	if _, err := r.User("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing user = %v", err)
+	}
+}
+
+func TestBodyHashStable(t *testing.T) {
+	h1 := BodyHash([]byte("abc"))
+	h2 := BodyHash([]byte("abc"))
+	h3 := BodyHash([]byte("abd"))
+	if h1 != h2 {
+		t.Fatal("hash not deterministic")
+	}
+	if h1 == h3 {
+		t.Fatal("distinct bodies share a hash")
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash length = %d, want 64 hex chars", len(h1))
+	}
+}
+
+func TestFetchedRecordsAreCopies(t *testing.T) {
+	r := New()
+	fn, _ := r.RegisterFunction("alice", "f", []byte("b"), types.ContainerSpec{}, []types.UserID{"bob"})
+	got, _ := r.Function(fn.ID)
+	got.Name = "mutated"
+	got.SharedWith[0] = "mallory"
+	again, _ := r.Function(fn.ID)
+	if again.Name != "f" || again.SharedWith[0] != "bob" {
+		t.Fatal("registry state mutated through a returned record")
+	}
+}

@@ -1,0 +1,395 @@
+// Package scale models the funcX agent pipeline on the paper's
+// evaluation machines — ANL Theta and NERSC Cori — inside the
+// discrete-event simulator, regenerating the §5.2 scale experiments
+// (Figure 5 strong/weak scaling, §5.2.3 throughput), the §5.5.2
+// executor-side batching contrast, the Figure 10 user-batching sweep,
+// the Figure 11 prefetch sweep, and the Table 3 memoization table in
+// virtual time.
+//
+// # Model
+//
+// The pipeline mirrors the real fabric's stages with three calibrated
+// costs per machine:
+//
+//   - DispatchCost: the agent's serial per-task dispatch work. Its
+//     inverse (less amortized request handling) is the agent
+//     throughput ceiling the paper measures (1694 tasks/s on Theta).
+//   - RequestCost / SingleRequestCost: the agent's serial handling of
+//     one manager task request — batched requests amortize it across
+//     the tasks they grab; single-task requests (batching disabled)
+//     pay the full cost per task. The §5.5.2 contrast (6.7 s vs 118 s)
+//     calibrates the pair.
+//   - ManagerPerTask: the node manager's serial per-task handling
+//     (deserialize, route to worker). It bounds per-node throughput
+//     and produces the strong-scaling knee (no-op completion stops
+//     improving at ~256 containers = 4 Theta nodes).
+//
+// Workers execute the function duration itself. All model state runs
+// in virtual time, so 131 072 containers and 1.3 M tasks take
+// milliseconds of wall clock.
+package scale
+
+import (
+	"time"
+
+	"funcx/internal/sim"
+)
+
+// Model is the calibrated machine model.
+type Model struct {
+	// Name identifies the machine ("theta", "cori").
+	Name string
+	// DispatchCost is the agent's serial per-task dispatch cost.
+	DispatchCost time.Duration
+	// RequestCost is the agent's serial handling cost for one batched
+	// task request (amortized across the tasks it grabs).
+	RequestCost time.Duration
+	// SingleRequestCost is the agent's serial handling cost for one
+	// single-task request — the §5.5.2 batching-disabled path, which
+	// performs per-task socket round trips and capacity bookkeeping
+	// the batched path amortizes.
+	SingleRequestCost time.Duration
+	// NetLatency is the one-way agent↔manager network latency.
+	NetLatency time.Duration
+	// ManagerPerTask is the node manager's serial per-task handling.
+	ManagerPerTask time.Duration
+	// ContainersPerNode is the worker (container) count per node —
+	// 64 Singularity containers per Theta node, 256 Shifter
+	// containers per Cori node (§5.2).
+	ContainersPerNode int
+}
+
+// Theta models ANL's Theta: 64 containers/node, agent ceiling
+// calibrated to the measured 1694 tasks/s.
+var Theta = Model{
+	Name:              "theta",
+	DispatchCost:      520 * time.Microsecond,
+	RequestCost:       5 * time.Millisecond,
+	SingleRequestCost: 11200 * time.Microsecond,
+	NetLatency:        500 * time.Microsecond,
+	ManagerPerTask:    2400 * time.Microsecond,
+	ContainersPerNode: 64,
+}
+
+// Cori models NERSC's Cori KNL partition: 256 containers/node (four
+// hardware threads per core), agent ceiling calibrated to 1466
+// tasks/s.
+var Cori = Model{
+	Name:              "cori",
+	DispatchCost:      660 * time.Microsecond,
+	RequestCost:       5 * time.Millisecond,
+	SingleRequestCost: 11200 * time.Microsecond,
+	NetLatency:        500 * time.Microsecond,
+	ManagerPerTask:    2400 * time.Microsecond,
+	ContainersPerNode: 256,
+}
+
+// EC2 models a large cloud instance (the Figure 9/10 host): faster
+// serial paths, no KNL slowdown.
+var EC2 = Model{
+	Name:              "ec2",
+	DispatchCost:      200 * time.Microsecond,
+	RequestCost:       1 * time.Millisecond,
+	SingleRequestCost: 2 * time.Millisecond,
+	NetLatency:        100 * time.Microsecond,
+	ManagerPerTask:    400 * time.Microsecond,
+	ContainersPerNode: 36,
+}
+
+// RunConfig parameterizes one simulated workload run.
+type RunConfig struct {
+	// Model is the machine.
+	Model Model
+	// Containers is the total worker container count.
+	Containers int
+	// Tasks is the total task count, all submitted concurrently.
+	Tasks int
+	// TaskDur is the function execution time (0 = no-op).
+	TaskDur time.Duration
+	// Batching enables executor-side batching: a manager request
+	// grabs up to its idle capacity in one round trip; disabled,
+	// each round trip carries exactly one task (§5.5.2).
+	Batching bool
+	// Prefetch is the per-node prefetch depth: tasks buffered beyond
+	// idle workers (§4.7, Figure 11).
+	Prefetch int
+}
+
+// RunResult summarizes one run.
+type RunResult struct {
+	// Completion is the virtual makespan.
+	Completion time.Duration
+	// Throughput is tasks per second of virtual time.
+	Throughput float64
+	// AgentUtilization is the dispatch resource's busy fraction.
+	AgentUtilization float64
+}
+
+// node is the per-node pipeline state.
+type node struct {
+	workers    int
+	idle       int
+	buffered   int
+	requesting bool
+	manager    *sim.Resource
+}
+
+// Run executes one simulated workload and returns its makespan.
+func Run(cfg RunConfig) RunResult {
+	if cfg.Containers <= 0 || cfg.Tasks <= 0 {
+		return RunResult{}
+	}
+	e := sim.New()
+	m := cfg.Model
+
+	agent := sim.NewResource(e, 1)
+
+	// Build nodes; the last node may hold a partial complement.
+	nNodes := (cfg.Containers + m.ContainersPerNode - 1) / m.ContainersPerNode
+	nodes := make([]*node, nNodes)
+	remaining := cfg.Containers
+	for i := range nodes {
+		w := m.ContainersPerNode
+		if w > remaining {
+			w = remaining
+		}
+		remaining -= w
+		nodes[i] = &node{workers: w, idle: w, manager: sim.NewResource(e, 1)}
+	}
+
+	pending := cfg.Tasks
+	completed := 0
+	var makespan time.Duration
+
+	var maybeRequest func(n *node)
+	var feedWorkers func(n *node)
+
+	finishTask := func(n *node) {
+		n.idle++
+		completed++
+		if completed == cfg.Tasks {
+			makespan = e.Now()
+			return
+		}
+		feedWorkers(n)
+		maybeRequest(n)
+	}
+
+	// feedWorkers moves buffered tasks through the manager's serial
+	// handling onto idle workers.
+	feedWorkers = func(n *node) {
+		for n.buffered > 0 && n.idle > 0 {
+			n.buffered--
+			n.idle--
+			n.manager.Use(m.ManagerPerTask, func() {
+				// Worker executes the function.
+				e.After(cfg.TaskDur, func() { finishTask(n) })
+			})
+		}
+	}
+
+	// maybeRequest issues a task-request round trip when the node can
+	// absorb more tasks. One outstanding request per node.
+	maybeRequest = func(n *node) {
+		if n.requesting || pending == 0 {
+			return
+		}
+		base := n.idle
+		if !cfg.Batching {
+			if base > 1 {
+				base = 1
+			}
+		}
+		want := base + cfg.Prefetch - n.buffered
+		if want <= 0 {
+			return
+		}
+		if want > pending {
+			want = pending
+		}
+		n.requesting = true
+		grabbed := want
+		pending -= grabbed
+		reqCost := m.RequestCost
+		if !cfg.Batching {
+			reqCost = m.SingleRequestCost
+		}
+		// Request travels to the agent, which handles it serially...
+		e.After(m.NetLatency, func() {
+			agent.Use(reqCost, func() {
+				// ...then dispatches each grabbed task serially...
+				for i := 0; i < grabbed; i++ {
+					last := i == grabbed-1
+					agent.Use(m.DispatchCost, func() {
+						// ...and each task travels back to the node.
+						e.After(m.NetLatency, func() {
+							n.buffered++
+							feedWorkers(n)
+							if last {
+								n.requesting = false
+								maybeRequest(n)
+							}
+						})
+					})
+				}
+			})
+		})
+	}
+
+	for _, n := range nodes {
+		maybeRequest(n)
+	}
+	e.Run()
+
+	if makespan == 0 {
+		makespan = e.Now()
+	}
+	res := RunResult{Completion: makespan, AgentUtilization: agent.Utilization()}
+	if makespan > 0 {
+		res.Throughput = float64(cfg.Tasks) / makespan.Seconds()
+	}
+	return res
+}
+
+// StrongScaling fixes the task count and sweeps container counts
+// (Figure 5a).
+func StrongScaling(m Model, tasks int, dur time.Duration, containers []int) []RunResult {
+	out := make([]RunResult, len(containers))
+	for i, c := range containers {
+		out[i] = Run(RunConfig{
+			Model: m, Containers: c, Tasks: tasks, TaskDur: dur,
+			Batching: true, Prefetch: defaultPrefetch(m),
+		})
+	}
+	return out
+}
+
+// WeakScaling fixes tasks-per-container and sweeps container counts
+// (Figure 5b: 10 requests per container on average).
+func WeakScaling(m Model, tasksPerContainer int, dur time.Duration, containers []int) []RunResult {
+	out := make([]RunResult, len(containers))
+	for i, c := range containers {
+		out[i] = Run(RunConfig{
+			Model: m, Containers: c, Tasks: tasksPerContainer * c, TaskDur: dur,
+			Batching: true, Prefetch: defaultPrefetch(m),
+		})
+	}
+	return out
+}
+
+// defaultPrefetch mirrors the paper's observation that a good prefetch
+// count is close to the per-node container count (§5.5.5).
+func defaultPrefetch(m Model) int { return m.ContainersPerNode }
+
+// MaxThroughput saturates the agent with no-op tasks and reports the
+// sustained dispatch rate (§5.2.3).
+func MaxThroughput(m Model, tasks, containers int) float64 {
+	r := Run(RunConfig{
+		Model: m, Containers: containers, Tasks: tasks,
+		Batching: true, Prefetch: defaultPrefetch(m),
+	})
+	return r.Throughput
+}
+
+// ExecutorBatching reproduces §5.5.2: completion of `tasks` no-ops on
+// `containers` containers with batching enabled or disabled.
+func ExecutorBatching(m Model, tasks, containers int, enabled bool) time.Duration {
+	r := Run(RunConfig{
+		Model: m, Containers: containers, Tasks: tasks,
+		Batching: enabled, Prefetch: 0,
+	})
+	return r.Completion
+}
+
+// PrefetchSweep reproduces Figure 11: completion of `tasks` functions
+// of duration dur on `containers` containers as the per-node prefetch
+// count varies.
+func PrefetchSweep(m Model, tasks, containers int, dur time.Duration, prefetchCounts []int) []time.Duration {
+	out := make([]time.Duration, len(prefetchCounts))
+	for i, p := range prefetchCounts {
+		r := Run(RunConfig{
+			Model: m, Containers: containers, Tasks: tasks, TaskDur: dur,
+			Batching: true, Prefetch: p,
+		})
+		out[i] = r.Completion
+	}
+	return out
+}
+
+// UserBatchLatency reproduces Figure 10's average per-request latency
+// for a function of duration dur executed as one user-driven batch of
+// size b on a single container: the fixed round-trip overhead (cloud
+// submission, dispatch, container handoff) amortizes across the batch
+// while execution serializes.
+func UserBatchLatency(overhead, dur time.Duration, b int) time.Duration {
+	if b <= 0 {
+		b = 1
+	}
+	total := overhead + time.Duration(b)*dur
+	return total / time.Duration(b)
+}
+
+// MemoConfig parameterizes the Table 3 memoization experiment.
+type MemoConfig struct {
+	// Tasks is the total request count (paper: 100 000).
+	Tasks int
+	// RepeatFraction is the fraction served from the memo cache.
+	RepeatFraction float64
+	// ServiceCost is the serial service-side cost per request
+	// (submission handling + result handling).
+	ServiceCost time.Duration
+	// ExecDur is the function execution time (paper: 1 s).
+	ExecDur time.Duration
+	// Workers is the executing container count.
+	Workers int
+}
+
+// DefaultMemoConfig matches the Table 3 setup: 100 000 requests of a
+// 1-second function; ServiceCost and Workers calibrated so the two
+// endpoints of the table (403.8 s at 0%, 63.2 s at 100%) emerge.
+func DefaultMemoConfig() MemoConfig {
+	return MemoConfig{
+		Tasks:       100_000,
+		ServiceCost: 632 * time.Microsecond,
+		ExecDur:     time.Second,
+		Workers:     294,
+	}
+}
+
+// MemoRun simulates the memoization workload: every request passes
+// serially through the service (hash, cache lookup, result handling);
+// cache misses additionally execute on the worker pool. The client
+// collects all results; completion is when the last result lands.
+func MemoRun(cfg MemoConfig) time.Duration {
+	e := sim.New()
+	svc := sim.NewResource(e, 1)
+	workers := sim.NewResource(e, cfg.Workers)
+
+	completed := 0
+	var makespan time.Duration
+	finish := func() {
+		completed++
+		if completed == cfg.Tasks {
+			makespan = e.Now()
+		}
+	}
+
+	// Spread cache hits evenly through the submission order
+	// (Bresenham-style), matching a uniformly mixed repeat workload.
+	hits := int(cfg.RepeatFraction*float64(cfg.Tasks) + 0.5)
+	for i := 0; i < cfg.Tasks; i++ {
+		isHit := (i*hits)/cfg.Tasks != ((i+1)*hits)/cfg.Tasks
+		svc.Use(cfg.ServiceCost, func() {
+			if isHit {
+				finish()
+				return
+			}
+			workers.Use(cfg.ExecDur, finish)
+		})
+	}
+	e.Run()
+	if makespan == 0 {
+		makespan = e.Now()
+	}
+	return makespan
+}

@@ -1,0 +1,200 @@
+package scale
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Tolerances: calibration targets hold within 5%; shape assertions are
+// strict inequalities.
+
+func within(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if got < want*(1-tol) || got > want*(1+tol) {
+		t.Fatalf("%s = %.1f, want %.1f ±%.0f%%", what, got, want, tol*100)
+	}
+}
+
+func TestThroughputMatchesPaper(t *testing.T) {
+	within(t, MaxThroughput(Theta, 50_000, 1024), 1694, 0.05, "theta throughput")
+	within(t, MaxThroughput(Cori, 50_000, 1024), 1466, 0.05, "cori throughput")
+}
+
+func TestExecutorBatchingMatchesPaper(t *testing.T) {
+	on := ExecutorBatching(Theta, 10_000, 256, true)
+	off := ExecutorBatching(Theta, 10_000, 256, false)
+	within(t, on.Seconds(), 6.7, 0.10, "batching enabled")
+	within(t, off.Seconds(), 118, 0.10, "batching disabled")
+	if speedup := off.Seconds() / on.Seconds(); speedup < 10 {
+		t.Fatalf("batching speedup = %.1fx, paper shows ~17.6x", speedup)
+	}
+}
+
+func TestStrongScalingNoopKnee(t *testing.T) {
+	// Paper: no-op completion decreases until ~256 containers on
+	// Theta, then flattens at the dispatch floor.
+	results := StrongScaling(Theta, 100_000, 0, []int{64, 128, 256, 1024})
+	c64, c128, c256, c1024 := results[0].Completion, results[1].Completion, results[2].Completion, results[3].Completion
+	if !(c64 > c128 && c128 > c256) {
+		t.Fatalf("no-op not improving to 256: %v %v %v", c64, c128, c256)
+	}
+	// Halving behaviour while manager-bound.
+	within(t, c64.Seconds()/c128.Seconds(), 2.0, 0.10, "64->128 speedup")
+	// Flat beyond the knee (within 10%).
+	if ratio := c256.Seconds() / c1024.Seconds(); ratio > 1.10 {
+		t.Fatalf("no-op still improving past 256 containers: %v -> %v", c256, c1024)
+	}
+}
+
+func TestStrongScalingSleepKnee(t *testing.T) {
+	// Paper: the 1 s sleep keeps improving until ~2048 containers.
+	results := StrongScaling(Theta, 100_000, time.Second, []int{256, 1024, 2048, 4096})
+	c256, c1024, c2048, c4096 := results[0].Completion, results[1].Completion, results[2].Completion, results[3].Completion
+	if !(c256 > c1024 && c1024 > c2048) {
+		t.Fatalf("sleep not improving to 2048: %v %v %v", c256, c1024, c2048)
+	}
+	if ratio := c2048.Seconds() / c4096.Seconds(); ratio > 1.25 {
+		t.Fatalf("sleep improving too much past 2048: %v -> %v", c2048, c4096)
+	}
+}
+
+func TestWeakScalingShapes(t *testing.T) {
+	// No-op: completion grows with container count (distribution cost).
+	noop := WeakScaling(Cori, 10, 0, []int{256, 4096, 65536})
+	if !(noop[0].Completion < noop[1].Completion && noop[1].Completion < noop[2].Completion) {
+		t.Fatalf("weak no-op not increasing: %v %v %v",
+			noop[0].Completion, noop[1].Completion, noop[2].Completion)
+	}
+	// Sleep 1 s: near-constant up to ~2048 containers.
+	sleep := WeakScaling(Theta, 10, time.Second, []int{64, 1024})
+	if ratio := sleep[1].Completion.Seconds() / sleep[0].Completion.Seconds(); ratio > 1.5 {
+		t.Fatalf("weak sleep grew %.2fx from 64 to 1024 ctrs", ratio)
+	}
+	// Stress 1 min: near-constant even at 16384 containers.
+	stress := WeakScaling(Theta, 10, time.Minute, []int{256, 16384})
+	if ratio := stress[1].Completion.Seconds() / stress[0].Completion.Seconds(); ratio > 1.2 {
+		t.Fatalf("weak stress grew %.2fx to 16384 ctrs", ratio)
+	}
+}
+
+func TestCoriHeadlineScale(t *testing.T) {
+	// The headline claim: 131 072 concurrent containers executing
+	// 1.3M+ no-op tasks complete.
+	r := Run(RunConfig{
+		Model: Cori, Containers: 131_072, Tasks: 1_310_720,
+		Batching: true, Prefetch: 256,
+	})
+	if r.Completion <= 0 {
+		t.Fatal("headline run did not complete")
+	}
+	if r.Throughput < 1000 {
+		t.Fatalf("headline throughput collapsed: %.0f /s", r.Throughput)
+	}
+}
+
+func TestPrefetchImprovesShortTasks(t *testing.T) {
+	// Figure 11 shape: completion decreases dramatically with
+	// prefetch, knee near containers/node (64 on Theta).
+	sweep := PrefetchSweep(Theta, 10_000, 256, 10*time.Millisecond, []int{0, 16, 64, 256})
+	if !(sweep[0] > sweep[1] && sweep[1] > sweep[2]) {
+		t.Fatalf("prefetch not improving: %v", sweep)
+	}
+	// Diminishing beyond 64.
+	if gain := sweep[2].Seconds() - sweep[3].Seconds(); gain > 0.2*sweep[2].Seconds() {
+		t.Fatalf("prefetch beyond 64 still gains %.0f%%", 100*gain/sweep[2].Seconds())
+	}
+}
+
+func TestUserBatchLatencyAmortizes(t *testing.T) {
+	overhead := 2 * time.Second
+	// Short function: large benefit.
+	short1 := UserBatchLatency(overhead, 500*time.Millisecond, 1)
+	short256 := UserBatchLatency(overhead, 500*time.Millisecond, 256)
+	if ratio := float64(short1) / float64(short256); ratio < 3 {
+		t.Fatalf("short-function batching benefit only %.1fx", ratio)
+	}
+	// Long function: little benefit.
+	long1 := UserBatchLatency(overhead, 50*time.Second, 1)
+	long256 := UserBatchLatency(overhead, 50*time.Second, 256)
+	if ratio := float64(long1) / float64(long256); ratio > 1.1 {
+		t.Fatalf("long-function batching benefit %.2fx, want ~1x", ratio)
+	}
+	// Asymptote is the execution time.
+	if short256 < 500*time.Millisecond {
+		t.Fatalf("per-request latency %v below execution time", short256)
+	}
+}
+
+func TestMemoTableShape(t *testing.T) {
+	cfg := DefaultMemoConfig()
+	cfg.Tasks = 20_000 // scaled for test speed
+	var prev time.Duration
+	for i, p := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		cfg.RepeatFraction = p
+		got := MemoRun(cfg)
+		if i > 0 && got >= prev {
+			t.Fatalf("completion not decreasing at p=%.2f: %v >= %v", p, got, prev)
+		}
+		prev = got
+	}
+	// Endpoints: p=1 is pure service time; p=0 includes execution.
+	cfg.RepeatFraction = 1.0
+	allHits := MemoRun(cfg)
+	want := time.Duration(cfg.Tasks) * cfg.ServiceCost
+	within(t, allHits.Seconds(), want.Seconds(), 0.05, "all-hits completion")
+	cfg.RepeatFraction = 0
+	noHits := MemoRun(cfg)
+	if speedup := noHits.Seconds() / allHits.Seconds(); speedup < 4 {
+		t.Fatalf("memoization speedup only %.1fx, paper shows ~6.4x", speedup)
+	}
+}
+
+func TestRunDegenerateInputs(t *testing.T) {
+	if r := Run(RunConfig{Model: Theta, Containers: 0, Tasks: 10}); r.Completion != 0 {
+		t.Fatal("zero containers produced a completion time")
+	}
+	if r := Run(RunConfig{Model: Theta, Containers: 10, Tasks: 0}); r.Completion != 0 {
+		t.Fatal("zero tasks produced a completion time")
+	}
+	// Partial last node.
+	r := Run(RunConfig{Model: Theta, Containers: 65, Tasks: 100, Batching: true})
+	if r.Completion <= 0 {
+		t.Fatal("partial node run failed")
+	}
+}
+
+func TestMoreContainersNeverSlowerProperty(t *testing.T) {
+	// Strong scaling with fixed work: completion is non-increasing in
+	// container count (within a 2% numerical tolerance for request
+	// quantization).
+	prop := func(a, b uint8) bool {
+		ca := (int(a%7) + 1) * 64
+		cb := (int(b%7) + 1) * 64
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		run := func(c int) time.Duration {
+			return Run(RunConfig{
+				Model: Theta, Containers: c, Tasks: 5000,
+				TaskDur: 50 * time.Millisecond, Batching: true, Prefetch: 64,
+			}).Completion
+		}
+		return float64(run(cb)) <= float64(run(ca))*1.02
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchingNeverHurtsProperty(t *testing.T) {
+	prop := func(seed uint8) bool {
+		tasks := (int(seed%5) + 1) * 1000
+		on := ExecutorBatching(Theta, tasks, 256, true)
+		off := ExecutorBatching(Theta, tasks, 256, false)
+		return on <= off
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

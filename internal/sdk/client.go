@@ -1,0 +1,431 @@
+// Package sdk is the funcX client SDK of paper §3: a thin wrapper over
+// the service REST API providing RegisterFunction, Run, GetResult, and
+// the user-driven batching Map command (fmap, §4.7). The Go client
+// mirrors the Python FuncXClient of Listing 1:
+//
+//	fc := sdk.New(serviceURL, token)
+//	funcID, _ := fc.RegisterFunction("preview", body, spec, nil)
+//	taskID, _ := fc.Run(funcID, endpointID, args)
+//	res, _ := fc.GetResult(ctx, taskID)
+package sdk
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"time"
+
+	"funcx/internal/api"
+	"funcx/internal/netlat"
+	"funcx/internal/serial"
+	"funcx/internal/types"
+)
+
+// ErrNotReady is returned by TryResult when the task has not finished.
+var ErrNotReady = errors.New("sdk: result not ready")
+
+// ErrTaskFailed wraps remote execution failures.
+var ErrTaskFailed = errors.New("sdk: task failed")
+
+// Client talks to a funcX service.
+type Client struct {
+	baseURL string
+	token   string
+	httpc   *http.Client
+	// Lat optionally injects WAN latency per request round trip
+	// (client-side of the Table 1 setup).
+	Lat *netlat.Link
+	// PollInterval is the spacing of result polls when the server
+	// cannot block (default 2 ms for in-process experiments).
+	PollInterval time.Duration
+	// WaitHint asks the server to block result retrievals up to this
+	// long per request (long-poll), reducing round trips.
+	WaitHint time.Duration
+}
+
+// New creates a client for the service at baseURL using the given
+// bearer token.
+func New(baseURL, token string) *Client {
+	return &Client{
+		baseURL:      baseURL,
+		token:        token,
+		httpc:        &http.Client{Timeout: 10 * time.Minute},
+		PollInterval: 2 * time.Millisecond,
+		WaitHint:     30 * time.Second,
+	}
+}
+
+// WithHTTPClient substitutes the underlying HTTP client (tests use
+// in-process transports).
+func (c *Client) WithHTTPClient(h *http.Client) *Client {
+	c.httpc = h
+	return c
+}
+
+// do performs one authenticated JSON request/response cycle, sleeping
+// the WAN link in both directions when configured.
+func (c *Client) do(ctx context.Context, method, path string, reqBody, respBody any) (int, error) {
+	var body io.Reader
+	if reqBody != nil {
+		b, err := json.Marshal(reqBody)
+		if err != nil {
+			return 0, fmt.Errorf("sdk: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
+	if err != nil {
+		return 0, fmt.Errorf("sdk: building request: %w", err)
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	req.Header.Set("Content-Type", "application/json")
+
+	c.Lat.Delay() // client -> service
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("sdk: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	c.Lat.Delay() // service -> client
+
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, fmt.Errorf("sdk: reading response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var e api.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return resp.StatusCode, fmt.Errorf("sdk: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return resp.StatusCode, fmt.Errorf("sdk: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if respBody != nil {
+		if err := json.Unmarshal(data, respBody); err != nil {
+			return resp.StatusCode, fmt.Errorf("sdk: decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// RegisterFunction registers a function body, returning its id.
+func (c *Client) RegisterFunction(ctx context.Context, name string, body []byte, container types.ContainerSpec, sharedWith []types.UserID) (types.FunctionID, error) {
+	var resp api.RegisterFunctionResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/functions", api.RegisterFunctionRequest{
+		Name: name, Body: body, Container: container, SharedWith: sharedWith,
+	}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.FunctionID, nil
+}
+
+// UpdateFunction replaces a function body (owner only).
+func (c *Client) UpdateFunction(ctx context.Context, id types.FunctionID, body []byte) error {
+	_, err := c.do(ctx, http.MethodPut, "/v1/functions/"+string(id), api.UpdateFunctionRequest{Body: body}, nil)
+	return err
+}
+
+// ShareFunction shares a function with more users.
+func (c *Client) ShareFunction(ctx context.Context, id types.FunctionID, users ...types.UserID) error {
+	_, err := c.do(ctx, http.MethodPost, "/v1/functions/"+string(id)+"/share", api.ShareFunctionRequest{Users: users}, nil)
+	return err
+}
+
+// RegisterEndpoint registers an endpoint, returning its id plus the
+// forwarder coordinates and agent token needed to start the agent.
+func (c *Client) RegisterEndpoint(ctx context.Context, name, description string, public bool) (*api.RegisterEndpointResponse, error) {
+	var resp api.RegisterEndpointResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/endpoints", api.RegisterEndpointRequest{
+		Name: name, Description: description, Public: public,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// EndpointStatus fetches endpoint health.
+func (c *Client) EndpointStatus(ctx context.Context, id types.EndpointID) (*types.EndpointStatus, error) {
+	var resp api.EndpointStatusResponse
+	_, err := c.do(ctx, http.MethodGet, "/v1/endpoints/"+string(id)+"/status", nil, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp.Status, nil
+}
+
+// RunOptions modify a submission.
+type RunOptions struct {
+	// Memoize opts into result caching (§4.7).
+	Memoize bool
+	// BatchN marks the payload as a packed batch of N argument
+	// buffers.
+	BatchN int
+}
+
+// Run invokes a registered function on an endpoint with serialized
+// args, returning the task id (asynchronous, paper §3).
+func (c *Client) Run(ctx context.Context, fnID types.FunctionID, epID types.EndpointID, payload []byte) (types.TaskID, error) {
+	return c.RunOpts(ctx, fnID, epID, payload, RunOptions{})
+}
+
+// RunOpts is Run with options.
+func (c *Client) RunOpts(ctx context.Context, fnID types.FunctionID, epID types.EndpointID, payload []byte, opts RunOptions) (types.TaskID, error) {
+	var resp api.SubmitResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/tasks", api.SubmitRequest{
+		FunctionID: fnID, EndpointID: epID, Payload: payload,
+		Memoize: opts.Memoize, BatchN: opts.BatchN,
+	}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.TaskID, nil
+}
+
+// RunValue serializes value with the facade and submits it.
+func (c *Client) RunValue(ctx context.Context, fnID types.FunctionID, epID types.EndpointID, value any) (types.TaskID, error) {
+	payload, err := serial.Serialize(value)
+	if err != nil {
+		return "", err
+	}
+	return c.Run(ctx, fnID, epID, payload)
+}
+
+// RunBatch submits many tasks in one request.
+func (c *Client) RunBatch(ctx context.Context, reqs []api.SubmitRequest) ([]types.TaskID, error) {
+	var resp api.BatchSubmitResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/tasks/batch", api.BatchSubmitRequest{Tasks: reqs}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.TaskIDs, nil
+}
+
+// Status fetches a task's lifecycle state.
+func (c *Client) Status(ctx context.Context, id types.TaskID) (types.TaskStatus, error) {
+	var resp api.StatusResponse
+	_, err := c.do(ctx, http.MethodGet, "/v1/tasks/"+string(id), nil, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.Status, nil
+}
+
+// Result is a completed task outcome.
+type Result struct {
+	TaskID types.TaskID
+	// Output is the serialized return value.
+	Output []byte
+	// Err is the remote execution error (nil on success).
+	Err error
+	// Timing is the per-hop latency breakdown.
+	Timing types.Timing
+	// Memoized marks cache-served results.
+	Memoized bool
+}
+
+// Value deserializes the output through the facade into out (pass a
+// pointer), also returning the decoded value for dynamic use.
+func (r *Result) Value(out any) (any, error) {
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return serial.Deserialize(r.Output, out)
+}
+
+// TryResult fetches a result without blocking; ErrNotReady when the
+// task is still running.
+func (c *Client) TryResult(ctx context.Context, id types.TaskID) (*Result, error) {
+	return c.result(ctx, id, 0)
+}
+
+// GetResult blocks until the task completes (or ctx is done), using
+// server-side long-polling plus client-side retry.
+func (c *Client) GetResult(ctx context.Context, id types.TaskID) (*Result, error) {
+	for {
+		res, err := c.result(ctx, id, c.WaitHint)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrNotReady) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.PollInterval):
+		}
+	}
+}
+
+func (c *Client) result(ctx context.Context, id types.TaskID, wait time.Duration) (*Result, error) {
+	path := "/v1/tasks/" + string(id) + "/result"
+	if wait > 0 {
+		path += "?wait=" + wait.String()
+	}
+	var resp api.ResultResponse
+	status, err := c.do(ctx, http.MethodGet, path, nil, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusAccepted {
+		return nil, ErrNotReady
+	}
+	res := &Result{
+		TaskID:   resp.TaskID,
+		Output:   resp.Output,
+		Timing:   resp.Timing.Timing(),
+		Memoized: resp.Memoized,
+	}
+	if resp.Error != "" {
+		res.Err = fmt.Errorf("%w: %w", ErrTaskFailed, serial.DecodeError([]byte(resp.Error)))
+	}
+	return res, nil
+}
+
+// GetResults collects results for many tasks, preserving order.
+func (c *Client) GetResults(ctx context.Context, ids []types.TaskID) ([]*Result, error) {
+	out := make([]*Result, len(ids))
+	for i, id := range ids {
+		r, err := c.GetResult(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// --- user-driven batching: the fmap command of §4.7 ---
+
+// MapHandle tracks the tasks created by one Map call.
+type MapHandle struct {
+	// TaskIDs are the batch task ids in dispatch order.
+	TaskIDs []types.TaskID
+	// Sizes are the per-batch item counts (sums to the item total).
+	Sizes []int
+}
+
+// Total returns the number of mapped items.
+func (h *MapHandle) Total() int {
+	n := 0
+	for _, s := range h.Sizes {
+		n += s
+	}
+	return n
+}
+
+// Map partitions a lazy iterator of argument values into batches and
+// submits each batch as one task whose worker loops the function over
+// the items (fmap: "f = fmap(func_id, iterator, ep_id, batch_size,
+// batch_count)"). batchCount takes precedence over batchSize, exactly
+// as in the paper: when batchCount > 0 the iterator is divided into
+// that many near-even batches; otherwise islice-style slabs of
+// batchSize items are cut without evaluating the rest of the iterator.
+func (c *Client) Map(ctx context.Context, fnID types.FunctionID, epID types.EndpointID, items iter.Seq[any], batchSize, batchCount int) (*MapHandle, error) {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	handle := &MapHandle{}
+
+	if batchCount > 0 {
+		// batch_count precedence requires knowing the length: divide
+		// the materialized items into batchCount near-even batches.
+		var all [][]byte
+		for v := range items {
+			buf, err := serial.Serialize(v)
+			if err != nil {
+				return nil, fmt.Errorf("sdk: map item %d: %w", len(all), err)
+			}
+			all = append(all, buf)
+		}
+		n := len(all)
+		if batchCount > n {
+			batchCount = n
+		}
+		start := 0
+		for b := 0; b < batchCount; b++ {
+			size := n / batchCount
+			if b < n%batchCount {
+				size++
+			}
+			if err := c.submitMapBatch(ctx, fnID, epID, all[start:start+size], handle); err != nil {
+				return nil, err
+			}
+			start += size
+		}
+		return handle, nil
+	}
+
+	// Lazy path: cut islice-style slabs of batchSize.
+	batch := make([][]byte, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := c.submitMapBatch(ctx, fnID, epID, batch, handle)
+		batch = batch[:0]
+		return err
+	}
+	i := 0
+	for v := range items {
+		buf, err := serial.Serialize(v)
+		if err != nil {
+			return nil, fmt.Errorf("sdk: map item %d: %w", i, err)
+		}
+		batch = append(batch, buf)
+		i++
+		if len(batch) == batchSize {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return handle, nil
+}
+
+// submitMapBatch packs serialized items into one batch task.
+func (c *Client) submitMapBatch(ctx context.Context, fnID types.FunctionID, epID types.EndpointID, items [][]byte, handle *MapHandle) error {
+	parts := make([]serial.Part, len(items))
+	for i, b := range items {
+		parts[i] = serial.Part{Tag: fmt.Sprintf("i%d", i), Body: b}
+	}
+	id, err := c.RunOpts(ctx, fnID, epID, serial.Pack(parts...), RunOptions{BatchN: len(items)})
+	if err != nil {
+		return err
+	}
+	handle.TaskIDs = append(handle.TaskIDs, id)
+	handle.Sizes = append(handle.Sizes, len(items))
+	return nil
+}
+
+// MapResults gathers and unpacks all outputs of a Map call, flattened
+// in submission order. Each element is a facade-serialized buffer.
+func (c *Client) MapResults(ctx context.Context, h *MapHandle) ([][]byte, error) {
+	var out [][]byte
+	for i, id := range h.TaskIDs {
+		res, err := c.GetResult(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if res.Err != nil {
+			return nil, fmt.Errorf("sdk: map batch %d: %w", i, res.Err)
+		}
+		parts, err := serial.Unpack(res.Output)
+		if err != nil {
+			return nil, fmt.Errorf("sdk: map batch %d: %w", i, err)
+		}
+		for _, p := range parts {
+			out = append(out, bytes.Clone(p.Body))
+		}
+	}
+	return out, nil
+}

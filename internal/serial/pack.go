@@ -1,0 +1,81 @@
+package serial
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Packed buffers (paper §4.6): once objects are serialized they are
+// packed into a single buffer with per-part headers carrying a routing
+// tag and the serialization method, so that intermediaries (forwarder,
+// agent, manager) can route on tags without deserializing bodies, and
+// only the destination unpacks.
+//
+// Wire layout per part:
+//
+//	uint16  tag length   | tag bytes (UTF-8)
+//	uint32  body length  | body bytes (a facade buffer: "<code>\n<data>")
+
+// Part is one tagged serialized object inside a packed buffer.
+type Part struct {
+	// Tag is the routing tag (e.g. "task", "args", "result").
+	Tag string
+	// Body is a facade-serialized buffer.
+	Body []byte
+}
+
+// Pack concatenates parts into one buffer.
+func Pack(parts ...Part) []byte {
+	size := 0
+	for _, p := range parts {
+		size += 2 + len(p.Tag) + 4 + len(p.Body)
+	}
+	buf := make([]byte, 0, size)
+	for _, p := range parts {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Tag)))
+		buf = append(buf, p.Tag...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Body)))
+		buf = append(buf, p.Body...)
+	}
+	return buf
+}
+
+// Unpack splits a packed buffer back into its parts. Bodies alias the
+// input buffer; callers that retain them past the buffer's lifetime
+// must copy.
+func Unpack(buf []byte) ([]Part, error) {
+	var parts []Part
+	for len(buf) > 0 {
+		if len(buf) < 2 {
+			return nil, fmt.Errorf("serial: %w: truncated tag length", ErrBadBuffer)
+		}
+		tl := int(binary.BigEndian.Uint16(buf))
+		buf = buf[2:]
+		if len(buf) < tl {
+			return nil, fmt.Errorf("serial: %w: truncated tag", ErrBadBuffer)
+		}
+		tag := string(buf[:tl])
+		buf = buf[tl:]
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("serial: %w: truncated body length", ErrBadBuffer)
+		}
+		bl := int(binary.BigEndian.Uint32(buf))
+		buf = buf[4:]
+		if len(buf) < bl {
+			return nil, fmt.Errorf("serial: %w: truncated body", ErrBadBuffer)
+		}
+		parts = append(parts, Part{Tag: tag, Body: buf[:bl]})
+		buf = buf[bl:]
+	}
+	return parts, nil
+}
+
+// FindPart returns the first part with the given tag, or an error.
+func FindPart(parts []Part, tag string) (Part, error) {
+	for _, p := range parts {
+		if p.Tag == tag {
+			return p, nil
+		}
+	}
+	return Part{}, fmt.Errorf("serial: %w: no part tagged %q", ErrBadBuffer, tag)
+}

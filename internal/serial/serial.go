@@ -1,0 +1,325 @@
+// Package serial implements the funcX serialization facade (paper §4.6).
+//
+// funcX passes arbitrary payloads (primitive types and complex objects)
+// to and from functions. Rather than committing to one serialization
+// library, the facade keeps an ordered chain of serializers — sorted by
+// speed — and applies them in order until one succeeds. Serialized
+// objects are packed into buffers with a small header naming the method
+// used, so only the destination needs to unpack and deserialize, and
+// different methods can coexist in one stream.
+//
+// The Go reproduction mirrors the Python chain (cpickle, dill, JSON,
+// tblib) with: a raw-string fast path, a byte-blob fast path, gob for
+// arbitrary Go values, and JSON as the interoperable fallback. Errors
+// cross the wire through the Traceback type, mirroring tblib.
+package serial
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Method is a two-character code identifying a serializer, written as
+// the header of every serialized buffer.
+type Method string
+
+// Registered serializer codes, in default chain order (fastest first).
+const (
+	// MethodString is the fast path for string payloads.
+	MethodString Method = "01"
+	// MethodBytes is the fast path for []byte payloads.
+	MethodBytes Method = "02"
+	// MethodGob handles arbitrary Go values via encoding/gob.
+	MethodGob Method = "03"
+	// MethodJSON is the interoperable fallback via encoding/json.
+	MethodJSON Method = "04"
+)
+
+// headerSep separates the method code from the body, mirroring the
+// newline-delimited headers of the Python implementation.
+const headerSep = '\n'
+
+// ErrUnserializable is returned when no serializer in the chain can
+// handle a value.
+var ErrUnserializable = errors.New("serial: no serializer in chain accepts value")
+
+// ErrBadBuffer is returned for malformed serialized buffers.
+var ErrBadBuffer = errors.New("serial: malformed buffer")
+
+// Serializer converts one class of Go values to and from bytes.
+type Serializer interface {
+	// Code is the buffer header identifying this serializer.
+	Code() Method
+	// Serialize encodes v, or returns an error if v is outside this
+	// serializer's domain.
+	Serialize(v any) ([]byte, error)
+	// Deserialize decodes data produced by Serialize. The result is
+	// written through out when out is a non-nil pointer; it is also
+	// returned for callers that work with any.
+	Deserialize(data []byte, out any) (any, error)
+}
+
+// stringSerializer handles string values only.
+type stringSerializer struct{}
+
+func (stringSerializer) Code() Method { return MethodString }
+
+func (stringSerializer) Serialize(v any) ([]byte, error) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, fmt.Errorf("serial: %w: not a string", ErrUnserializable)
+	}
+	return []byte(s), nil
+}
+
+func (stringSerializer) Deserialize(data []byte, out any) (any, error) {
+	s := string(data)
+	if out != nil {
+		p, ok := out.(*string)
+		if !ok {
+			return nil, fmt.Errorf("serial: string payload needs *string out, got %T", out)
+		}
+		*p = s
+	}
+	return s, nil
+}
+
+// bytesSerializer handles []byte values only.
+type bytesSerializer struct{}
+
+func (bytesSerializer) Code() Method { return MethodBytes }
+
+func (bytesSerializer) Serialize(v any) ([]byte, error) {
+	b, ok := v.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("serial: %w: not []byte", ErrUnserializable)
+	}
+	return b, nil
+}
+
+func (bytesSerializer) Deserialize(data []byte, out any) (any, error) {
+	b := bytes.Clone(data)
+	if out != nil {
+		p, ok := out.(*[]byte)
+		if !ok {
+			return nil, fmt.Errorf("serial: bytes payload needs *[]byte out, got %T", out)
+		}
+		*p = b
+	}
+	return b, nil
+}
+
+// gobSerializer handles arbitrary Go values via encoding/gob. Like
+// pickle, it is Go-native: fast and general but not interoperable.
+type gobSerializer struct{}
+
+func (gobSerializer) Code() Method { return MethodGob }
+
+// gobValue wraps the payload so that interface values (whose concrete
+// types gob must know) can round-trip uniformly.
+type gobValue struct{ V any }
+
+func (gobSerializer) Serialize(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobValue{V: v}); err != nil {
+		return nil, fmt.Errorf("serial: gob: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (gobSerializer) Deserialize(data []byte, out any) (any, error) {
+	var gv gobValue
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&gv); err != nil {
+		return nil, fmt.Errorf("serial: gob: %w", err)
+	}
+	if out != nil {
+		if err := assign(out, gv.V); err != nil {
+			return nil, err
+		}
+	}
+	return gv.V, nil
+}
+
+// jsonSerializer is the interoperable fallback.
+type jsonSerializer struct{}
+
+func (jsonSerializer) Code() Method { return MethodJSON }
+
+func (jsonSerializer) Serialize(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("serial: json: %w", err)
+	}
+	return b, nil
+}
+
+func (jsonSerializer) Deserialize(data []byte, out any) (any, error) {
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return nil, fmt.Errorf("serial: json: %w", err)
+		}
+		return nil, nil
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("serial: json: %w", err)
+	}
+	return v, nil
+}
+
+// assign writes v through the pointer out using gob as a structural
+// bridge, so Deserialize(data, &concrete) works for gob payloads.
+func assign(out, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("serial: assign: %w", err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		return fmt.Errorf("serial: assign to %T: %w", out, err)
+	}
+	return nil
+}
+
+// Facade is the ordered serializer chain. The zero value is not usable;
+// construct with NewFacade or use the package-level Default.
+type Facade struct {
+	chain []Serializer
+	byID  map[Method]Serializer
+}
+
+// NewFacade builds a facade from the given chain, tried in order. With
+// no arguments it uses the default chain (string, bytes, gob, JSON).
+func NewFacade(chain ...Serializer) *Facade {
+	if len(chain) == 0 {
+		chain = []Serializer{stringSerializer{}, bytesSerializer{}, gobSerializer{}, jsonSerializer{}}
+	}
+	f := &Facade{chain: chain, byID: make(map[Method]Serializer, len(chain))}
+	for _, s := range chain {
+		f.byID[s.Code()] = s
+	}
+	return f
+}
+
+// NewJSONFirstFacade builds a facade whose chain tries JSON before the
+// fast paths — the ablation counterpart to the default fastest-first
+// ordering (§4.6 sorts serializers by speed).
+func NewJSONFirstFacade() *Facade {
+	return NewFacade(jsonSerializer{}, gobSerializer{}, stringSerializer{}, bytesSerializer{})
+}
+
+// Default is the process-wide facade with the standard chain.
+var Default = NewFacade()
+
+// Serialize encodes v with the first serializer in the chain that
+// accepts it, returning a self-describing buffer ("<code>\n<body>").
+func (f *Facade) Serialize(v any) ([]byte, error) {
+	var firstErr error
+	for _, s := range f.chain {
+		body, err := s.Serialize(v)
+		if err == nil {
+			buf := make([]byte, 0, len(body)+3)
+			buf = append(buf, s.Code()...)
+			buf = append(buf, headerSep)
+			buf = append(buf, body...)
+			return buf, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("serial: %w (first error: %v)", ErrUnserializable, firstErr)
+}
+
+// Deserialize decodes a buffer produced by Serialize. If out is a
+// non-nil pointer the value is written through it; the decoded value is
+// also returned when the method supports it.
+func (f *Facade) Deserialize(buf []byte, out any) (any, error) {
+	code, body, err := splitBuffer(buf)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := f.byID[code]
+	if !ok {
+		return nil, fmt.Errorf("serial: %w: unknown method %q", ErrBadBuffer, code)
+	}
+	return s.Deserialize(body, out)
+}
+
+// MethodOf reports which serializer produced the buffer.
+func (f *Facade) MethodOf(buf []byte) (Method, error) {
+	code, _, err := splitBuffer(buf)
+	return code, err
+}
+
+func splitBuffer(buf []byte) (Method, []byte, error) {
+	if len(buf) < 3 || buf[2] != headerSep {
+		return "", nil, fmt.Errorf("serial: %w: missing header", ErrBadBuffer)
+	}
+	return Method(buf[:2]), buf[3:], nil
+}
+
+// Serialize encodes with the default facade.
+func Serialize(v any) ([]byte, error) { return Default.Serialize(v) }
+
+// Deserialize decodes with the default facade.
+func Deserialize(buf []byte, out any) (any, error) { return Default.Deserialize(buf, out) }
+
+// Traceback is the wire form of an execution error, mirroring funcX's
+// use of tblib to ship Python tracebacks back to the client.
+type Traceback struct {
+	// Message is the error text.
+	Message string `json:"message"`
+	// Frames lists "func(file:line)" strings, innermost first.
+	Frames []string `json:"frames,omitempty"`
+	// TaskID optionally names the failed task.
+	TaskID string `json:"task_id,omitempty"`
+}
+
+// Error implements the error interface.
+func (t *Traceback) Error() string {
+	if len(t.Frames) == 0 {
+		return t.Message
+	}
+	return t.Message + " [at " + t.Frames[0] + "]"
+}
+
+// String renders the traceback in a familiar multi-line form.
+func (t *Traceback) String() string {
+	var sb strings.Builder
+	sb.WriteString("Traceback (most recent call first):\n")
+	for _, f := range t.Frames {
+		sb.WriteString("  ")
+		sb.WriteString(f)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(t.Message)
+	return sb.String()
+}
+
+// EncodeError serializes an error as a Traceback buffer.
+func EncodeError(err error, taskID string) []byte {
+	tb := &Traceback{Message: err.Error(), TaskID: taskID}
+	var t *Traceback
+	if errors.As(err, &t) {
+		// Preserve the original message and frames rather than the
+		// frame-annotated Error() rendering.
+		tb.Message = t.Message
+		tb.Frames = t.Frames
+	}
+	b, _ := json.Marshal(tb) // Traceback always marshals
+	return b
+}
+
+// DecodeError reconstructs a Traceback from EncodeError output. It
+// always returns a non-nil error describing the failure.
+func DecodeError(data []byte) error {
+	var tb Traceback
+	if err := json.Unmarshal(data, &tb); err != nil {
+		return fmt.Errorf("serial: undecodable remote error %q", string(data))
+	}
+	return &tb
+}

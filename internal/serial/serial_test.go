@@ -1,0 +1,255 @@
+package serial
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringFastPath(t *testing.T) {
+	buf, err := Serialize("hello-world")
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	if got := Method(buf[:2]); got != MethodString {
+		t.Fatalf("method = %q, want %q (string fast path)", got, MethodString)
+	}
+	var out string
+	if _, err := Deserialize(buf, &out); err != nil {
+		t.Fatalf("Deserialize: %v", err)
+	}
+	if out != "hello-world" {
+		t.Fatalf("roundtrip = %q", out)
+	}
+}
+
+func TestBytesFastPath(t *testing.T) {
+	in := []byte{0x00, 0x01, 0xff, '\n', 0x02}
+	buf, err := Serialize(in)
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	if got := Method(buf[:2]); got != MethodBytes {
+		t.Fatalf("method = %q, want %q", got, MethodBytes)
+	}
+	var out []byte
+	if _, err := Deserialize(buf, &out); err != nil {
+		t.Fatalf("Deserialize: %v", err)
+	}
+	if !bytes.Equal(out, in) {
+		t.Fatalf("roundtrip = %v, want %v", out, in)
+	}
+}
+
+func TestGobHandlesStructs(t *testing.T) {
+	type inner struct {
+		Vals []float64
+	}
+	type payload struct {
+		Name  string
+		Count int
+		Inner inner
+	}
+	in := payload{Name: "x", Count: 3, Inner: inner{Vals: []float64{1, 2.5, -3}}}
+	buf, err := Serialize(in)
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	var out payload
+	if _, err := Deserialize(buf, &out); err != nil {
+		t.Fatalf("Deserialize: %v", err)
+	}
+	if out.Name != in.Name || out.Count != in.Count || len(out.Inner.Vals) != 3 || out.Inner.Vals[1] != 2.5 {
+		t.Fatalf("roundtrip = %+v, want %+v", out, in)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1.5, math.Pi, 1e300} {
+		buf, err := Serialize(v)
+		if err != nil {
+			t.Fatalf("Serialize(%v): %v", v, err)
+		}
+		got, err := Deserialize(buf, nil)
+		if err != nil {
+			t.Fatalf("Deserialize(%v): %v", v, err)
+		}
+		if got.(float64) != v {
+			t.Fatalf("roundtrip %v = %v", v, got)
+		}
+	}
+}
+
+func TestDeserializeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{nil, {}, []byte("x"), []byte("99\npayload"), []byte("01payload")}
+	for _, c := range cases {
+		if _, err := Deserialize(c, nil); err == nil {
+			t.Errorf("Deserialize(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestMethodOf(t *testing.T) {
+	buf, err := Serialize("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Default.MethodOf(buf)
+	if err != nil || m != MethodString {
+		t.Fatalf("MethodOf = %v, %v", m, err)
+	}
+	if _, err := Default.MethodOf([]byte("zz")); err == nil {
+		t.Fatal("MethodOf accepted malformed buffer")
+	}
+}
+
+func TestChainOrderRespected(t *testing.T) {
+	// A JSON-first facade must produce JSON buffers for strings.
+	f := NewFacade(jsonSerializer{}, stringSerializer{})
+	buf, err := f.Serialize("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Method(buf[:2]) != MethodJSON {
+		t.Fatalf("method = %q, want JSON-first", buf[:2])
+	}
+	got, err := f.Deserialize(buf, nil)
+	if err != nil || got.(string) != "abc" {
+		t.Fatalf("roundtrip = %v, %v", got, err)
+	}
+}
+
+func TestStringRoundTripProperty(t *testing.T) {
+	prop := func(s string) bool {
+		buf, err := Serialize(s)
+		if err != nil {
+			return false
+		}
+		out, err := Deserialize(buf, nil)
+		return err == nil && out.(string) == s
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	prop := func(b []byte) bool {
+		buf, err := Serialize(b)
+		if err != nil {
+			return false
+		}
+		out, err := Deserialize(buf, nil)
+		return err == nil && bytes.Equal(out.([]byte), b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	parts := []Part{
+		{Tag: "task", Body: []byte("01\nabc")},
+		{Tag: "args", Body: []byte{}},
+		{Tag: "meta", Body: []byte{0, 1, 2, 255}},
+	}
+	buf := Pack(parts...)
+	out, err := Unpack(buf)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if len(out) != len(parts) {
+		t.Fatalf("got %d parts, want %d", len(out), len(parts))
+	}
+	for i := range parts {
+		if out[i].Tag != parts[i].Tag || !bytes.Equal(out[i].Body, parts[i].Body) {
+			t.Fatalf("part %d = %+v, want %+v", i, out[i], parts[i])
+		}
+	}
+}
+
+func TestPackUnpackProperty(t *testing.T) {
+	prop := func(tags []string, bodies [][]byte) bool {
+		n := len(tags)
+		if len(bodies) < n {
+			n = len(bodies)
+		}
+		parts := make([]Part, 0, n)
+		for i := 0; i < n; i++ {
+			tag := tags[i]
+			if len(tag) > 1000 {
+				tag = tag[:1000]
+			}
+			parts = append(parts, Part{Tag: tag, Body: bodies[i]})
+		}
+		out, err := Unpack(Pack(parts...))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if out[i].Tag != parts[i].Tag || !bytes.Equal(out[i].Body, parts[i].Body) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackRejectsTruncation(t *testing.T) {
+	buf := Pack(Part{Tag: "t", Body: []byte("body")})
+	for i := 1; i < len(buf); i++ {
+		if _, err := Unpack(buf[:i]); err == nil {
+			t.Errorf("Unpack of %d-byte prefix succeeded", i)
+		}
+	}
+}
+
+func TestFindPart(t *testing.T) {
+	parts := []Part{{Tag: "a", Body: []byte("1")}, {Tag: "b", Body: []byte("2")}}
+	p, err := FindPart(parts, "b")
+	if err != nil || string(p.Body) != "2" {
+		t.Fatalf("FindPart = %+v, %v", p, err)
+	}
+	if _, err := FindPart(parts, "missing"); err == nil {
+		t.Fatal("FindPart found a missing tag")
+	}
+}
+
+func TestTracebackRoundTrip(t *testing.T) {
+	orig := &Traceback{Message: "boom", Frames: []string{"f(a.go:1)", "g(b.go:2)"}}
+	data := EncodeError(orig, "task-1")
+	err := DecodeError(data)
+	var tb *Traceback
+	if !errors.As(err, &tb) {
+		t.Fatalf("decoded error is %T, want *Traceback", err)
+	}
+	if tb.Message != "boom" || len(tb.Frames) != 2 || tb.TaskID != "task-1" {
+		t.Fatalf("roundtrip = %+v", tb)
+	}
+	if !strings.Contains(tb.String(), "f(a.go:1)") {
+		t.Fatalf("String() missing frame: %s", tb.String())
+	}
+}
+
+func TestDecodeErrorGarbage(t *testing.T) {
+	if err := DecodeError([]byte("{{{")); err == nil {
+		t.Fatal("DecodeError returned nil for garbage")
+	}
+}
+
+func TestErrUnserializable(t *testing.T) {
+	// A channel cannot be serialized by any chain member.
+	_, err := Serialize(make(chan int))
+	if !errors.Is(err, ErrUnserializable) {
+		t.Fatalf("err = %v, want ErrUnserializable", err)
+	}
+}

@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"funcx/internal/api"
+	"funcx/internal/auth"
+	"funcx/internal/registry"
+	"funcx/internal/types"
+)
+
+// ServeHTTP serves the funcX REST API (paper §3: all user interactions
+// are performed via a REST API implemented by the cloud-hosted
+// service).
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.muxOnce.Do(s.buildMux)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Service) buildMux() {
+	mux := http.NewServeMux()
+
+	mux.Handle("GET /v1/ping", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+
+	protect := func(scope auth.Scope, h http.HandlerFunc) http.Handler {
+		return s.introspectionDelay(s.Authority.Middleware(scope, h))
+	}
+
+	mux.Handle("POST /v1/functions", protect(auth.ScopeRegisterFunction, s.handleRegisterFunction))
+	mux.Handle("PUT /v1/functions/{id}", protect(auth.ScopeRegisterFunction, s.handleUpdateFunction))
+	mux.Handle("POST /v1/functions/{id}/share", protect(auth.ScopeRegisterFunction, s.handleShareFunction))
+
+	mux.Handle("POST /v1/endpoints", protect(auth.ScopeManageEndpoints, s.handleRegisterEndpoint))
+	mux.Handle("GET /v1/endpoints/{id}/status", protect(auth.ScopeRun, s.handleEndpointStatus))
+
+	mux.Handle("POST /v1/tasks", protect(auth.ScopeRun, s.handleSubmit))
+	mux.Handle("POST /v1/tasks/batch", protect(auth.ScopeRun, s.handleBatchSubmit))
+	mux.Handle("GET /v1/tasks/{id}", protect(auth.ScopeRun, s.handleStatus))
+	mux.Handle("GET /v1/tasks/{id}/result", protect(auth.ScopeRun, s.handleResult))
+
+	s.mux = mux
+}
+
+// arrivalKey carries the request arrival time so the TS timing
+// component (paper Figure 4) covers authentication as well as task
+// storage and enqueueing.
+type arrivalKey struct{}
+
+// introspectionDelay stamps the request arrival time and models
+// Globus Auth token introspection: each authenticated request pays
+// one introspection round trip against the authorization service
+// (see Config.AuthLat). This is the latency the paper identifies as
+// dominating the TS component.
+func (s *Service) introspectionDelay(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r = r.WithContext(context.WithValue(r.Context(), arrivalKey{}, time.Now()))
+		if s.cfg.AuthLat != nil {
+			if _, err := auth.BearerToken(r); err == nil {
+				s.cfg.AuthLat.Delay() // introspection request
+				s.cfg.AuthLat.Delay() // introspection response
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// arrivalOf returns the request arrival time stamped by
+// introspectionDelay, defaulting to now.
+func arrivalOf(r *http.Request) time.Time {
+	if t, ok := r.Context().Value(arrivalKey{}).(time.Time); ok {
+		return t
+	}
+	return time.Now()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort response body
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, registry.ErrForbidden), errors.Is(err, auth.ErrScope):
+		status = http.StatusForbidden
+	case errors.Is(err, auth.ErrInvalidToken), errors.Is(err, auth.ErrExpiredToken):
+		status = http.StatusUnauthorized
+	case errors.Is(err, ErrPayloadTooLarge):
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, status, api.ErrorResponse{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: "malformed request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func claimsOf(r *http.Request) *auth.Claims {
+	c, _ := auth.ClaimsFrom(r.Context())
+	return c
+}
+
+func (s *Service) handleRegisterFunction(w http.ResponseWriter, r *http.Request) {
+	var req api.RegisterFunctionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	fn, err := s.Registry.RegisterFunction(claimsOf(r).Subject, req.Name, req.Body, req.Container, req.SharedWith)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.RegisterFunctionResponse{
+		FunctionID: fn.ID, BodyHash: fn.BodyHash, Version: fn.Version,
+	})
+}
+
+func (s *Service) handleUpdateFunction(w http.ResponseWriter, r *http.Request) {
+	var req api.UpdateFunctionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	fn, err := s.Registry.UpdateFunction(claimsOf(r).Subject, types.FunctionID(r.PathValue("id")), req.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.RegisterFunctionResponse{
+		FunctionID: fn.ID, BodyHash: fn.BodyHash, Version: fn.Version,
+	})
+}
+
+func (s *Service) handleShareFunction(w http.ResponseWriter, r *http.Request) {
+	var req api.ShareFunctionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	err := s.Registry.ShareFunction(claimsOf(r).Subject, types.FunctionID(r.PathValue("id")), req.Users...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "shared"})
+}
+
+func (s *Service) handleRegisterEndpoint(w http.ResponseWriter, r *http.Request) {
+	var req api.RegisterEndpointRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ep, network, addr, token, err := s.RegisterEndpoint(claimsOf(r).Subject, req.Name, req.Description, req.Public)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.RegisterEndpointResponse{
+		EndpointID:       ep.ID,
+		ForwarderNetwork: network,
+		ForwarderAddr:    addr,
+		EndpointToken:    token,
+	})
+}
+
+func (s *Service) handleEndpointStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.EndpointStatus(types.EndpointID(r.PathValue("id")))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.EndpointStatusResponse{Status: *st})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.SubmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	id, memoized, err := s.SubmitAt(claimsOf(r).Subject, req.FunctionID, req.EndpointID, req.Payload, req.Memoize, req.BatchN, arrivalOf(r))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{TaskID: id, Memoized: memoized})
+}
+
+func (s *Service) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchSubmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	owner := claimsOf(r).Subject
+	ids := make([]types.TaskID, 0, len(req.Tasks))
+	for _, t := range req.Tasks {
+		id, _, err := s.Submit(owner, t.FunctionID, t.EndpointID, t.Payload, t.Memoize, t.BatchN)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		ids = append(ids, id)
+	}
+	writeJSON(w, http.StatusAccepted, api.BatchSubmitResponse{TaskIDs: ids})
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := types.TaskID(r.PathValue("id"))
+	st, err := s.Status(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.StatusResponse{TaskID: id, Status: st})
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := types.TaskID(r.PathValue("id"))
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			if d > 5*time.Minute {
+				d = 5 * time.Minute
+			}
+			wait = d
+		}
+	}
+	res, err := s.Result(id, wait)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if res == nil {
+		// Not ready: 202 keeps polling semantics explicit.
+		writeJSON(w, http.StatusAccepted, api.StatusResponse{TaskID: id, Status: types.TaskQueued})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ResultResponse{
+		TaskID:   res.TaskID,
+		Output:   res.Output,
+		Error:    res.Err,
+		Memoized: res.Memoized,
+		Timing:   api.FromTiming(res.Timing),
+	})
+}
+
+// muxState holds the lazily built router.
+type muxState struct {
+	muxOnce sync.Once
+	mux     *http.ServeMux
+}

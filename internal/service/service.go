@@ -1,0 +1,404 @@
+// Package service implements the cloud-hosted funcX service of paper
+// §4.1: a REST API (secured by the Globus Auth substitute) over a
+// Redis-style store, with a registry of users, functions, and
+// endpoints, one forwarder per registered endpoint, hierarchical
+// reliable task queues, result retrieval with purge-on-read, and the
+// opt-in memoization cache of §4.7.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"funcx/internal/auth"
+	"funcx/internal/forwarder"
+	"funcx/internal/memo"
+	"funcx/internal/netlat"
+	"funcx/internal/registry"
+	"funcx/internal/store"
+	"funcx/internal/types"
+	"funcx/internal/wire"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// ForwarderNetwork is the transport for endpoint connections
+	// ("inproc" for in-process federations, "tcp" for real ones).
+	ForwarderNetwork string
+	// HeartbeatPeriod/HeartbeatMisses configure agent-loss detection
+	// in forwarders.
+	HeartbeatPeriod time.Duration
+	HeartbeatMisses int
+	// ResultTTL bounds result retention after retrieval; the periodic
+	// janitor purges retrieved results (§4.1). Zero keeps them until
+	// read.
+	ResultTTL time.Duration
+	// MemoSize bounds the memoization cache.
+	MemoSize int
+	// MaxPayloadSize bounds serialized task inputs accepted through
+	// the service (§4.6: "for performance and cost reasons we limit
+	// the size of data that can be passed through the funcX service";
+	// larger data moves out of band). Default 1 MiB; negative
+	// disables the limit.
+	MaxPayloadSize int
+	// ForwarderLat optionally injects WAN latency on the
+	// service→endpoint path (latency experiments).
+	ForwarderLat *netlat.Link
+	// AuthLat optionally models Globus Auth token introspection
+	// latency: the first request bearing a token pays one sampled
+	// delay; later requests hit the service's token cache (the
+	// behaviour behind the paper's auth-dominated TS component).
+	AuthLat *netlat.Link
+	// TokenTTL is the lifetime of minted tokens (default 24 h).
+	TokenTTL time.Duration
+}
+
+// ErrPayloadTooLarge is returned for inputs beyond MaxPayloadSize;
+// clients should stage such data out of band (e.g. Globus) and pass a
+// reference instead (§4.6).
+var ErrPayloadTooLarge = errors.New("service: payload too large")
+
+// Service is the funcX cloud service.
+type Service struct {
+	cfg       Config
+	Authority *auth.Authority
+	Registry  *registry.Registry
+	Store     *store.Store
+	Memo      *memo.Cache
+	muxState
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	forwarders map[types.EndpointID]*forwarder.Forwarder
+	// waiters implements blocking result retrieval: task id -> chans
+	// closed when the result lands.
+	waiters map[types.TaskID][]chan struct{}
+	// tsByTask records the service-side (TS) latency component per
+	// task until its result arrives.
+	tsByTask map[types.TaskID]time.Duration
+
+	submitted int64
+	memoHits  int64
+}
+
+// New creates a service ready to serve its Handler.
+func New(cfg Config) *Service {
+	if cfg.ForwarderNetwork == "" {
+		cfg.ForwarderNetwork = "inproc"
+	}
+	if cfg.HeartbeatPeriod <= 0 {
+		cfg.HeartbeatPeriod = time.Second
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
+	}
+	if cfg.TokenTTL <= 0 {
+		cfg.TokenTTL = 24 * time.Hour
+	}
+	if cfg.MaxPayloadSize == 0 {
+		cfg.MaxPayloadSize = 1 << 20
+	}
+	s := &Service{
+		cfg:        cfg,
+		Authority:  auth.NewAuthority(),
+		Registry:   registry.New(),
+		Store:      store.New(),
+		Memo:       memo.NewCache(cfg.MemoSize),
+		forwarders: make(map[types.EndpointID]*forwarder.Forwarder),
+		waiters:    make(map[types.TaskID][]chan struct{}),
+		tsByTask:   make(map[types.TaskID]time.Duration),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.Store.StartJanitor(time.Second)
+	return s
+}
+
+// Close stops every forwarder and the store janitor.
+func (s *Service) Close() {
+	s.cancel()
+	s.mu.Lock()
+	fwds := make([]*forwarder.Forwarder, 0, len(s.forwarders))
+	for _, f := range s.forwarders {
+		fwds = append(fwds, f)
+	}
+	s.mu.Unlock()
+	for _, f := range fwds {
+		f.Stop()
+	}
+	s.Store.Close()
+}
+
+// MintUserToken issues a user token with the given scopes — the
+// stand-in for a Globus Auth login flow. Experiments and the SDK use
+// it to authenticate.
+func (s *Service) MintUserToken(uid types.UserID, scopes ...auth.Scope) string {
+	if len(scopes) == 0 {
+		scopes = []auth.Scope{auth.ScopeAll}
+	}
+	s.Registry.AddUser(&types.User{ID: uid, Registered: time.Now()}) //nolint:errcheck // idempotent add
+	return s.Authority.Mint(uid, s.cfg.TokenTTL, scopes...)
+}
+
+// --- endpoint / forwarder management ---
+
+// RegisterEndpoint creates the endpoint record, its native client, and
+// its forwarder, returning the forwarder address and agent token.
+func (s *Service) RegisterEndpoint(owner types.UserID, name, description string, public bool) (*types.Endpoint, string, string, string, error) {
+	ep, err := s.Registry.RegisterEndpoint(owner, name, description, public)
+	if err != nil {
+		return nil, "", "", "", err
+	}
+	clientID := "endpoint:" + string(ep.ID)
+	secret, err := s.Authority.RegisterClient(clientID)
+	if err != nil {
+		return nil, "", "", "", err
+	}
+	token, err := s.Authority.MintClient(clientID, secret, s.cfg.TokenTTL, auth.ScopeManageEndpoints)
+	if err != nil {
+		return nil, "", "", "", err
+	}
+
+	fwd := forwarder.New(forwarder.Config{
+		EndpointID:      ep.ID,
+		Network:         s.cfg.ForwarderNetwork,
+		TaskQueue:       s.Store.Queue(store.TaskQueueName(string(ep.ID))),
+		Results:         s.Store.Hash("results"),
+		ResultTTL:       0, // purge is driven by retrieval below
+		HeartbeatPeriod: s.cfg.HeartbeatPeriod,
+		HeartbeatMisses: s.cfg.HeartbeatMisses,
+		Auth:            s.verifyEndpointToken,
+		Lat:             s.cfg.ForwarderLat,
+		OnResult:        s.onResult,
+		OnStored:        func(res *types.Result) { s.notifyWaiters(res.TaskID) },
+	})
+	if err := fwd.Start(s.ctx); err != nil {
+		return nil, "", "", "", err
+	}
+	s.mu.Lock()
+	s.forwarders[ep.ID] = fwd
+	s.mu.Unlock()
+	network, addr := fwd.Addr()
+	return ep, network, addr, token, nil
+}
+
+// verifyEndpointToken authenticates an agent registration.
+func (s *Service) verifyEndpointToken(epID types.EndpointID, token string) error {
+	claims, err := s.Authority.Authorize(token, auth.ScopeManageEndpoints)
+	if err != nil {
+		return err
+	}
+	want := "endpoint:" + string(epID)
+	if claims.ClientID != want {
+		return fmt.Errorf("auth: token client %q does not match endpoint %s", claims.ClientID, epID)
+	}
+	return nil
+}
+
+// Forwarder returns the forwarder serving an endpoint.
+func (s *Service) Forwarder(id types.EndpointID) (*forwarder.Forwarder, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.forwarders[id]
+	return f, ok
+}
+
+// --- task lifecycle ---
+
+// taskStatusHash and resultHash name the Redis-style hashsets.
+const (
+	tasksHash   = "tasks"
+	statusHash  = "status"
+	resultsHash = "results"
+)
+
+// Submit validates, stores, and enqueues one task, returning its id
+// and whether it was served from the memoization cache (paper Figure 3
+// steps 1–3).
+func (s *Service) Submit(owner types.UserID, fnID types.FunctionID, epID types.EndpointID, payload []byte, memoize bool, batchN int) (types.TaskID, bool, error) {
+	return s.SubmitAt(owner, fnID, epID, payload, memoize, batchN, time.Now())
+}
+
+// SubmitAt is Submit with an explicit TS clock origin: the HTTP layer
+// passes the request arrival time so the TS component covers
+// authentication (paper Figure 4: "most funcX overhead is captured in
+// ts as a result of authentication").
+func (s *Service) SubmitAt(owner types.UserID, fnID types.FunctionID, epID types.EndpointID, payload []byte, memoize bool, batchN int, start time.Time) (types.TaskID, bool, error) {
+	if s.cfg.MaxPayloadSize > 0 && len(payload) > s.cfg.MaxPayloadSize {
+		return "", false, fmt.Errorf("%w: payload %d bytes exceeds the %d-byte service limit; stage large data out of band (§4.6)",
+			ErrPayloadTooLarge, len(payload), s.cfg.MaxPayloadSize)
+	}
+	fn, err := s.Registry.AuthorizeInvocation(owner, fnID)
+	if err != nil {
+		return "", false, err
+	}
+	if _, err := s.Registry.AuthorizeDispatch(owner, epID); err != nil {
+		return "", false, err
+	}
+	task := &types.Task{
+		ID:         types.NewTaskID(),
+		FunctionID: fnID,
+		EndpointID: epID,
+		Owner:      owner,
+		Container:  fn.Container,
+		Payload:    payload,
+		BodyHash:   fn.BodyHash,
+		Memoize:    memoize,
+		BatchN:     batchN,
+		Attempt:    1,
+		Submitted:  start,
+	}
+
+	// Memoization (§4.7): only when explicitly requested.
+	if memoize {
+		if cached, ok := s.Memo.Lookup(fn.BodyHash, payload); ok {
+			cached.TaskID = task.ID
+			cached.Completed = time.Now()
+			cached.Timing = types.Timing{TS: time.Since(start)}
+			s.mu.Lock()
+			s.memoHits++
+			s.submitted++
+			s.mu.Unlock()
+			s.Store.Hash(resultsHash).Set(string(task.ID), wire.EncodeResult(&cached))
+			s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskSuccess))
+			s.notifyWaiters(task.ID)
+			return task.ID, true, nil
+		}
+	}
+
+	// Store the task record and enqueue its id for the endpoint.
+	s.Store.Hash(tasksHash).Set(string(task.ID), wire.EncodeTask(task))
+	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskQueued))
+	if err := s.Store.Queue(store.TaskQueueName(string(epID))).Push(wire.EncodeTask(task)); err != nil {
+		return "", false, fmt.Errorf("service: enqueue: %w", err)
+	}
+	ts := time.Since(start)
+	s.mu.Lock()
+	s.tsByTask[task.ID] = ts
+	s.submitted++
+	s.mu.Unlock()
+	return task.ID, false, nil
+}
+
+// onResult runs in the forwarder when a result arrives, before it is
+// stored: it stamps the TS component, updates status, feeds the memo
+// cache, and wakes blocked result waiters.
+func (s *Service) onResult(res *types.Result) {
+	s.mu.Lock()
+	if ts, ok := s.tsByTask[res.TaskID]; ok {
+		res.Timing.TS = ts
+		delete(s.tsByTask, res.TaskID)
+	}
+	s.mu.Unlock()
+
+	status := types.TaskSuccess
+	if res.Failed() {
+		status = types.TaskFailed
+	}
+	s.Store.Hash(statusHash).Set(string(res.TaskID), []byte(status))
+
+	// Feed the memoization cache when the task opted in.
+	if data, ok := s.Store.Hash(tasksHash).Get(string(res.TaskID)); ok {
+		if task, err := wire.DecodeTask(data); err == nil && task.Memoize {
+			s.Memo.Store(task.BodyHash, task.Payload, *res)
+		}
+	}
+}
+
+func (s *Service) notifyWaiters(id types.TaskID) {
+	s.mu.Lock()
+	chans := s.waiters[id]
+	delete(s.waiters, id)
+	s.mu.Unlock()
+	for _, ch := range chans {
+		close(ch)
+	}
+}
+
+// Status returns a task's lifecycle state.
+func (s *Service) Status(id types.TaskID) (types.TaskStatus, error) {
+	if b, ok := s.Store.Hash(statusHash).Get(string(id)); ok {
+		return types.TaskStatus(b), nil
+	}
+	return "", fmt.Errorf("%w: task %s", registry.ErrNotFound, id)
+}
+
+// Result fetches a task result, optionally blocking up to wait for it.
+// Retrieved results are scheduled for purge from the store (§4.1).
+func (s *Service) Result(id types.TaskID, wait time.Duration) (*types.Result, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		if b, ok := s.Store.Hash(resultsHash).Get(string(id)); ok {
+			res, err := wire.DecodeResult(b)
+			if err != nil {
+				return nil, err
+			}
+			s.purgeAfterRead(id)
+			return res, nil
+		}
+		if wait <= 0 || time.Now().After(deadline) {
+			return nil, nil // not ready
+		}
+		// Block on a waiter channel (registered before re-checking to
+		// avoid missing a concurrent arrival).
+		ch := make(chan struct{})
+		s.mu.Lock()
+		s.waiters[id] = append(s.waiters[id], ch)
+		s.mu.Unlock()
+		if b, ok := s.Store.Hash(resultsHash).Get(string(id)); ok {
+			res, err := wire.DecodeResult(b)
+			if err != nil {
+				return nil, err
+			}
+			s.purgeAfterRead(id)
+			return res, nil
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ch:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+}
+
+// purgeAfterRead schedules cleanup of a retrieved result: with a TTL
+// the janitor collects it shortly; without, it is dropped immediately
+// along with the task record.
+func (s *Service) purgeAfterRead(id types.TaskID) {
+	if s.cfg.ResultTTL > 0 {
+		if b, ok := s.Store.Hash(resultsHash).Get(string(id)); ok {
+			s.Store.Hash(resultsHash).SetTTL(string(id), b, s.cfg.ResultTTL)
+			s.Store.Hash(tasksHash).SetTTL(string(id), nil, s.cfg.ResultTTL)
+		}
+		return
+	}
+	s.Store.Hash(resultsHash).Del(string(id))
+	s.Store.Hash(tasksHash).Del(string(id))
+}
+
+// Stats returns cumulative counters: submitted tasks and memo hits.
+func (s *Service) Stats() (submitted, memoHits int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.submitted, s.memoHits
+}
+
+// EndpointStatus reports the forwarder's view of an endpoint.
+func (s *Service) EndpointStatus(id types.EndpointID) (*types.EndpointStatus, error) {
+	if _, err := s.Registry.Endpoint(id); err != nil {
+		return nil, err
+	}
+	f, ok := s.Forwarder(id)
+	if !ok {
+		return &types.EndpointStatus{ID: id}, nil
+	}
+	return f.Status(), nil
+}
+
+var _ http.Handler = (*Service)(nil) // Service serves its REST API (handlers.go)

@@ -1,0 +1,383 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"funcx/internal/api"
+	"funcx/internal/auth"
+	"funcx/internal/netlat"
+	"funcx/internal/store"
+	"funcx/internal/types"
+	"funcx/internal/wire"
+)
+
+// testService boots a service with an HTTP test server.
+func testService(t *testing.T) (*Service, *httptest.Server, string) {
+	t.Helper()
+	svc := New(Config{HeartbeatPeriod: 50 * time.Millisecond})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	token := svc.MintUserToken("alice", auth.ScopeAll)
+	return svc, srv, token
+}
+
+// doJSON performs a JSON request and decodes the response.
+func doJSON(t *testing.T, srv *httptest.Server, token, method, path string, body, out any) int {
+	t.Helper()
+	var reqBody *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqBody = bytes.NewReader(b)
+	} else {
+		reqBody = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, srv.URL+path, reqBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		json.NewDecoder(resp.Body).Decode(out) //nolint:errcheck
+	}
+	return resp.StatusCode
+}
+
+func TestPingNoAuth(t *testing.T) {
+	_, srv, _ := testService(t)
+	if code := doJSON(t, srv, "", http.MethodGet, "/v1/ping", nil, nil); code != http.StatusOK {
+		t.Fatalf("ping = %d", code)
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	_, srv, _ := testService(t)
+	code := doJSON(t, srv, "", http.MethodPost, "/v1/functions",
+		api.RegisterFunctionRequest{Name: "f", Body: []byte("b")}, nil)
+	if code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated register = %d", code)
+	}
+}
+
+func TestScopeEnforced(t *testing.T) {
+	svc, srv, _ := testService(t)
+	runOnly := svc.MintUserToken("bob", auth.ScopeRun)
+	code := doJSON(t, srv, runOnly, http.MethodPost, "/v1/functions",
+		api.RegisterFunctionRequest{Name: "f", Body: []byte("b")}, nil)
+	if code != http.StatusForbidden {
+		t.Fatalf("wrong-scope register = %d, want 403", code)
+	}
+}
+
+func TestRegisterFunctionAPI(t *testing.T) {
+	_, srv, token := testService(t)
+	var resp api.RegisterFunctionResponse
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/functions",
+		api.RegisterFunctionRequest{Name: "echo", Body: []byte("def echo(): pass")}, &resp)
+	if code != http.StatusCreated || resp.FunctionID == "" || resp.BodyHash == "" || resp.Version != 1 {
+		t.Fatalf("register = %d, %+v", code, resp)
+	}
+
+	// Update bumps the version; non-owner update forbidden.
+	var up api.RegisterFunctionResponse
+	code = doJSON(t, srv, token, http.MethodPut, "/v1/functions/"+string(resp.FunctionID),
+		api.UpdateFunctionRequest{Body: []byte("def echo(): return 1")}, &up)
+	if code != http.StatusOK || up.Version != 2 {
+		t.Fatalf("update = %d, %+v", code, up)
+	}
+}
+
+func TestMalformedBody(t *testing.T) {
+	_, srv, token := testService(t)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/functions", strings.NewReader("{not json"))
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d", resp.StatusCode)
+	}
+}
+
+func TestRegisterEndpointCreatesForwarder(t *testing.T) {
+	svc, srv, token := testService(t)
+	var resp api.RegisterEndpointResponse
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/endpoints",
+		api.RegisterEndpointRequest{Name: "laptop"}, &resp)
+	if code != http.StatusCreated || resp.EndpointID == "" || resp.ForwarderAddr == "" || resp.EndpointToken == "" {
+		t.Fatalf("register endpoint = %d, %+v", code, resp)
+	}
+	if _, ok := svc.Forwarder(resp.EndpointID); !ok {
+		t.Fatal("no forwarder created")
+	}
+	// The endpoint token authenticates against the right endpoint id
+	// only.
+	if err := svc.verifyEndpointToken(resp.EndpointID, resp.EndpointToken); err != nil {
+		t.Fatalf("endpoint token rejected: %v", err)
+	}
+	if err := svc.verifyEndpointToken("other-ep", resp.EndpointToken); err == nil {
+		t.Fatal("endpoint token accepted for a different endpoint")
+	}
+
+	var st api.EndpointStatusResponse
+	code = doJSON(t, srv, token, http.MethodGet, "/v1/endpoints/"+string(resp.EndpointID)+"/status", nil, &st)
+	if code != http.StatusOK || st.Status.Connected {
+		t.Fatalf("status = %d, %+v (no agent yet)", code, st)
+	}
+}
+
+// registerFixture registers a function and endpoint for task tests.
+func registerFixture(t *testing.T, srv *httptest.Server, token string) (types.FunctionID, types.EndpointID) {
+	t.Helper()
+	var fn api.RegisterFunctionResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/functions",
+		api.RegisterFunctionRequest{Name: "f", Body: []byte("def f(): pass")}, &fn)
+	var ep api.RegisterEndpointResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/endpoints",
+		api.RegisterEndpointRequest{Name: "ep"}, &ep)
+	return fn.FunctionID, ep.EndpointID
+}
+
+func TestSubmitQueuesTask(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID, epID := registerFixture(t, srv, token)
+	var resp api.SubmitResponse
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID, Payload: []byte("p")}, &resp)
+	if code != http.StatusAccepted || resp.TaskID == "" {
+		t.Fatalf("submit = %d, %+v", code, resp)
+	}
+	// Status is queued; result is 202 (no agent to run it).
+	var st api.StatusResponse
+	code = doJSON(t, srv, token, http.MethodGet, "/v1/tasks/"+string(resp.TaskID), nil, &st)
+	if code != http.StatusOK || st.Status != types.TaskQueued {
+		t.Fatalf("status = %d, %+v", code, st)
+	}
+	code = doJSON(t, srv, token, http.MethodGet, "/v1/tasks/"+string(resp.TaskID)+"/result", nil, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("result of queued task = %d, want 202", code)
+	}
+	// The task sits in the endpoint's Redis-style queue.
+	q := svc.Store.Queue(store.TaskQueueName(string(epID)))
+	if q.Len() != 1 {
+		t.Fatalf("queue len = %d", q.Len())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID, epID := registerFixture(t, srv, token)
+
+	// Unknown function.
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: "ghost", EndpointID: epID}, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown function = %d", code)
+	}
+	// Unknown endpoint.
+	code = doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: "ghost"}, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown endpoint = %d", code)
+	}
+	// Unshared function invoked by another user.
+	stranger := svc.MintUserToken("carol", auth.ScopeAll)
+	code = doJSON(t, srv, stranger, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID}, nil)
+	if code != http.StatusForbidden {
+		t.Fatalf("unshared invoke = %d", code)
+	}
+}
+
+func TestBatchSubmit(t *testing.T) {
+	_, srv, token := testService(t)
+	fnID, epID := registerFixture(t, srv, token)
+	reqs := make([]api.SubmitRequest, 5)
+	for i := range reqs {
+		reqs[i] = api.SubmitRequest{FunctionID: fnID, EndpointID: epID, Payload: []byte{byte(i)}}
+	}
+	var resp api.BatchSubmitResponse
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks/batch",
+		api.BatchSubmitRequest{Tasks: reqs}, &resp)
+	if code != http.StatusAccepted || len(resp.TaskIDs) != 5 {
+		t.Fatalf("batch = %d, %d ids", code, len(resp.TaskIDs))
+	}
+}
+
+// completeTask simulates the forwarder path: store a result and notify.
+func completeTask(svc *Service, id types.TaskID, output []byte) {
+	res := &types.Result{TaskID: id, Output: output, Completed: time.Now()}
+	svc.onResult(res)
+	svc.Store.Hash("results").Set(string(id), wire.EncodeResult(res))
+	svc.notifyWaiters(id)
+}
+
+func TestResultRetrievalAndPurge(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID, epID := registerFixture(t, srv, token)
+	var sub api.SubmitResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID, Payload: []byte("p")}, &sub)
+
+	completeTask(svc, sub.TaskID, []byte("01\nout"))
+
+	var res api.ResultResponse
+	code := doJSON(t, srv, token, http.MethodGet, "/v1/tasks/"+string(sub.TaskID)+"/result", nil, &res)
+	if code != http.StatusOK || string(res.Output) != "01\nout" {
+		t.Fatalf("result = %d, %+v", code, res)
+	}
+	if res.Timing.TSNanos <= 0 {
+		t.Fatalf("TS not stamped: %+v", res.Timing)
+	}
+	// Retrieved results are purged (§4.1).
+	if _, ok := svc.Store.Hash("results").Get(string(sub.TaskID)); ok {
+		t.Fatal("result not purged after retrieval")
+	}
+}
+
+func TestBlockingResultWait(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID, epID := registerFixture(t, srv, token)
+	var sub api.SubmitResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID}, &sub)
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		completeTask(svc, sub.TaskID, []byte("01\nlate"))
+	}()
+	start := time.Now()
+	var res api.ResultResponse
+	code := doJSON(t, srv, token, http.MethodGet,
+		"/v1/tasks/"+string(sub.TaskID)+"/result?wait=2s", nil, &res)
+	if code != http.StatusOK {
+		t.Fatalf("blocking result = %d", code)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("returned before the result existed")
+	}
+}
+
+func TestMemoizationServesRepeat(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID, epID := registerFixture(t, srv, token)
+
+	var first api.SubmitResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID, Payload: []byte("in"), Memoize: true}, &first)
+	if first.Memoized {
+		t.Fatal("first submit memoized")
+	}
+	completeTask(svc, first.TaskID, []byte("01\ncached"))
+
+	var second api.SubmitResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID, Payload: []byte("in"), Memoize: true}, &second)
+	if !second.Memoized {
+		t.Fatal("repeat submit not memoized")
+	}
+	var res api.ResultResponse
+	code := doJSON(t, srv, token, http.MethodGet, "/v1/tasks/"+string(second.TaskID)+"/result", nil, &res)
+	if code != http.StatusOK || !res.Memoized || string(res.Output) != "01\ncached" {
+		t.Fatalf("memoized result = %d, %+v", code, res)
+	}
+	// Without the Memoize flag, the same payload is not cached-served.
+	var third api.SubmitResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID, Payload: []byte("in")}, &third)
+	if third.Memoized {
+		t.Fatal("memoization applied without opt-in")
+	}
+	_, hits := svc.Stats()
+	if hits != 1 {
+		t.Fatalf("memo hits = %d", hits)
+	}
+}
+
+func TestUnknownTaskStatus(t *testing.T) {
+	_, srv, token := testService(t)
+	code := doJSON(t, srv, token, http.MethodGet, "/v1/tasks/ghost", nil, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown task status = %d", code)
+	}
+}
+
+func TestAuthLatencyCountsTowardTS(t *testing.T) {
+	svc := New(Config{
+		HeartbeatPeriod: 50 * time.Millisecond,
+		AuthLat:         lat10ms(),
+	})
+	defer svc.Close()
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	token := svc.MintUserToken("alice", auth.ScopeAll)
+	fnID, epID := registerFixture(t, srv, token)
+	var sub api.SubmitResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID}, &sub)
+	completeTask(svc, sub.TaskID, []byte("01\nx"))
+	var res api.ResultResponse
+	doJSON(t, srv, token, http.MethodGet, "/v1/tasks/"+string(sub.TaskID)+"/result", nil, &res)
+	// Two introspection legs of ~10 ms each on the submit path.
+	if res.Timing.TSNanos < int64(15*time.Millisecond) {
+		t.Fatalf("TS = %v, want >= 15ms of auth latency", time.Duration(res.Timing.TSNanos))
+	}
+}
+
+// lat10ms builds a 10 ms fixed link for the auth-latency test.
+func lat10ms() *netlat.Link { return netlat.NewLink(10*time.Millisecond, 0, 1) }
+
+func TestPayloadSizeLimit(t *testing.T) {
+	svc := New(Config{HeartbeatPeriod: 50 * time.Millisecond, MaxPayloadSize: 64})
+	defer svc.Close()
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	token := svc.MintUserToken("alice", auth.ScopeAll)
+	fnID, epID := registerFixture(t, srv, token)
+
+	small := make([]byte, 64)
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID, Payload: small}, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("at-limit payload = %d", code)
+	}
+	big := make([]byte, 65)
+	code = doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID, Payload: big}, nil)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize payload = %d, want 413 (stage large data out of band, §4.6)", code)
+	}
+}
+
+func TestPayloadLimitDisabled(t *testing.T) {
+	svc := New(Config{HeartbeatPeriod: 50 * time.Millisecond, MaxPayloadSize: -1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	token := svc.MintUserToken("alice", auth.ScopeAll)
+	fnID, epID := registerFixture(t, srv, token)
+	big := make([]byte, 4<<20)
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID, Payload: big}, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("unlimited payload = %d", code)
+	}
+}

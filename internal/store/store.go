@@ -1,0 +1,488 @@
+// Package store is the in-memory substitute for the AWS ElastiCache
+// Redis deployment of paper §4.1. The funcX service keeps serialized
+// function bodies and task records in Redis hashsets, and one task
+// queue plus one result queue per endpoint. The queues are *reliable*:
+// a consumer pops an item into a pending set and must acknowledge it;
+// unacknowledged items can be returned to the queue (the mechanism the
+// forwarder uses to re-deliver tasks after an endpoint disconnect,
+// giving at-least-once semantics).
+//
+// All operations are safe for concurrent use.
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed store or queue.
+var ErrClosed = errors.New("store: closed")
+
+// ErrTimeout is returned by blocking pops that expire.
+var ErrTimeout = errors.New("store: blocking pop timed out")
+
+// ErrNotPending is returned when acknowledging an item that is not in
+// the pending set.
+var ErrNotPending = errors.New("store: item not pending")
+
+// entry is a stored hash field with optional expiry.
+type entry struct {
+	value  []byte
+	expiry time.Time // zero means no expiry
+}
+
+func (e entry) expired(now time.Time) bool {
+	return !e.expiry.IsZero() && now.After(e.expiry)
+}
+
+// Hash is one Redis-style hashset: field -> value with optional TTL.
+type Hash struct {
+	mu     sync.RWMutex
+	fields map[string]entry
+	now    func() time.Time
+}
+
+// NewHash returns an empty hashset.
+func NewHash() *Hash {
+	return &Hash{fields: make(map[string]entry), now: time.Now}
+}
+
+// Set stores value under field with no expiry.
+func (h *Hash) Set(field string, value []byte) {
+	h.SetTTL(field, value, 0)
+}
+
+// SetTTL stores value under field, expiring after ttl (0 = never).
+func (h *Hash) SetTTL(field string, value []byte, ttl time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := entry{value: value}
+	if ttl > 0 {
+		e.expiry = h.now().Add(ttl)
+	}
+	h.fields[field] = e
+}
+
+// Get returns the value for field and whether it exists (and is not
+// expired).
+func (h *Hash) Get(field string) ([]byte, bool) {
+	h.mu.RLock()
+	e, ok := h.fields[field]
+	h.mu.RUnlock()
+	if !ok || e.expired(h.now()) {
+		return nil, false
+	}
+	return e.value, true
+}
+
+// Del removes field, reporting whether it existed.
+func (h *Hash) Del(field string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.fields[field]
+	delete(h.fields, field)
+	return ok
+}
+
+// Len returns the number of live (unexpired) fields.
+func (h *Hash) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	now := h.now()
+	n := 0
+	for _, e := range h.fields {
+		if !e.expired(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns the live field names in unspecified order.
+func (h *Hash) Keys() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	now := h.now()
+	keys := make([]string, 0, len(h.fields))
+	for k, e := range h.fields {
+		if !e.expired(now) {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// Purge removes expired fields, returning how many were removed. The
+// store's background janitor calls this; tests may call it directly.
+func (h *Hash) Purge() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.now()
+	n := 0
+	for k, e := range h.fields {
+		if e.expired(now) {
+			delete(h.fields, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Queue is a reliable FIFO queue of byte items. Consumers either Pop
+// (destructive, non-reliable) or PopReliable, which moves the item to a
+// pending set keyed by a receipt id; Ack removes it permanently and
+// RequeuePending returns pending items to the head of the queue in
+// original order.
+//
+// Blocking pops use an explicit waiter list (one channel per blocked
+// consumer) rather than sync.Cond so that timed waits cannot deadlock
+// or lose wakeups.
+type Queue struct {
+	mu      sync.Mutex
+	items   *list.List // of queued
+	waiters *list.List // of chan struct{}
+	pending map[uint64]queued
+	nextID  uint64
+	closed  bool
+}
+
+type queued struct {
+	data []byte
+	seq  uint64 // original enqueue order, for ordered requeue
+}
+
+// NewQueue returns an empty reliable queue.
+func NewQueue() *Queue {
+	return &Queue{items: list.New(), waiters: list.New(), pending: make(map[uint64]queued)}
+}
+
+// signalOne wakes one blocked consumer. Caller must hold q.mu.
+func (q *Queue) signalOne() {
+	if q.waiters.Len() > 0 {
+		ch := q.waiters.Remove(q.waiters.Front()).(chan struct{})
+		close(ch)
+	}
+}
+
+// signalAll wakes every blocked consumer. Caller must hold q.mu.
+func (q *Queue) signalAll() {
+	for q.waiters.Len() > 0 {
+		ch := q.waiters.Remove(q.waiters.Front()).(chan struct{})
+		close(ch)
+	}
+}
+
+// Push appends an item to the tail of the queue.
+func (q *Queue) Push(data []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.nextID++
+	q.items.PushBack(queued{data: data, seq: q.nextID})
+	q.signalOne()
+	return nil
+}
+
+// PushFront prepends an item to the head of the queue (used for ordered
+// requeue of failed deliveries).
+func (q *Queue) PushFront(data []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.nextID++
+	q.items.PushFront(queued{data: data, seq: q.nextID})
+	q.signalOne()
+	return nil
+}
+
+// Len returns the number of queued (not pending) items.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items.Len()
+}
+
+// PendingLen returns the number of popped-but-unacknowledged items.
+func (q *Queue) PendingLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// TryPop removes and returns the head item without blocking. ok is
+// false when the queue is empty.
+func (q *Queue) TryPop() (data []byte, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.items.Len() == 0 {
+		return nil, false
+	}
+	front := q.items.Remove(q.items.Front()).(queued)
+	return front.data, true
+}
+
+// BPop blocks until an item is available or the timeout elapses
+// (timeout <= 0 waits forever). It is the BLPOP analogue.
+func (q *Queue) BPop(timeout time.Duration) ([]byte, error) {
+	data, _, err := q.bpop(timeout, false)
+	return data, err
+}
+
+// BPopReliable is BPop but the item is parked in the pending set until
+// Ack(receipt) or RequeuePending returns it to the queue.
+func (q *Queue) BPopReliable(timeout time.Duration) (data []byte, receipt uint64, err error) {
+	return q.bpop(timeout, true)
+}
+
+func (q *Queue) bpop(timeout time.Duration, reliable bool) ([]byte, uint64, error) {
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	for {
+		q.mu.Lock()
+		if q.items.Len() > 0 {
+			item := q.items.Remove(q.items.Front()).(queued)
+			if !reliable {
+				q.mu.Unlock()
+				return item.data, 0, nil
+			}
+			q.nextID++
+			receipt := q.nextID
+			q.pending[receipt] = item
+			q.mu.Unlock()
+			return item.data, receipt, nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil, 0, ErrClosed
+		}
+		ch := make(chan struct{})
+		elem := q.waiters.PushBack(ch)
+		q.mu.Unlock()
+
+		select {
+		case <-ch:
+			// Woken: loop to re-check (another consumer may win
+			// the race for the item, in which case we re-wait).
+		case <-timerC:
+			q.mu.Lock()
+			select {
+			case <-ch:
+				// Signal raced the timeout; honor the signal so
+				// the wakeup is not lost.
+				q.mu.Unlock()
+				continue
+			default:
+			}
+			q.waiters.Remove(elem)
+			q.mu.Unlock()
+			return nil, 0, ErrTimeout
+		}
+	}
+}
+
+// Ack permanently removes a pending item.
+func (q *Queue) Ack(receipt uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.pending[receipt]; !ok {
+		return ErrNotPending
+	}
+	delete(q.pending, receipt)
+	return nil
+}
+
+// Nack returns one pending item to the head of the queue (redelivery).
+func (q *Queue) Nack(receipt uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	item, ok := q.pending[receipt]
+	if !ok {
+		return ErrNotPending
+	}
+	delete(q.pending, receipt)
+	q.items.PushFront(item)
+	q.signalOne()
+	return nil
+}
+
+// RequeuePending returns all pending items to the queue in their
+// original enqueue order, ahead of currently queued items. This is the
+// forwarder's recovery action when an endpoint disconnects. It returns
+// the number of items requeued.
+func (q *Queue) RequeuePending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.pending)
+	if n == 0 {
+		return 0
+	}
+	// Collect and sort by original sequence so redelivery preserves
+	// submission order.
+	items := make([]queued, 0, n)
+	for _, it := range q.pending {
+		items = append(items, it)
+	}
+	clear(q.pending)
+	// Insertion sort: pending sets are small (in-flight window).
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].seq < items[j-1].seq; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	// PushFront in reverse keeps ascending order at the head.
+	for i := len(items) - 1; i >= 0; i-- {
+		q.items.PushFront(items[i])
+	}
+	q.signalAll()
+	return n
+}
+
+// Close wakes all blocked consumers with ErrClosed. Items already
+// queued remain poppable via TryPop.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.signalAll()
+}
+
+// Store bundles named hashes and named queues, like one Redis instance
+// serving the whole funcX service: task hashset, result hashset, one
+// task queue and one result queue per endpoint.
+type Store struct {
+	mu     sync.Mutex
+	hashes map[string]*Hash
+	queues map[string]*Queue
+	closed bool
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{hashes: make(map[string]*Hash), queues: make(map[string]*Queue)}
+}
+
+// Hash returns the named hashset, creating it on first use.
+func (s *Store) Hash(name string) *Hash {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hashes[name]
+	if !ok {
+		h = NewHash()
+		s.hashes[name] = h
+	}
+	return h
+}
+
+// Queue returns the named queue, creating it on first use.
+func (s *Store) Queue(name string) *Queue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		q = NewQueue()
+		s.queues[name] = q
+	}
+	return q
+}
+
+// QueueNames returns the names of all queues created so far.
+func (s *Store) QueueNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.queues))
+	for n := range s.queues {
+		names = append(names, n)
+	}
+	return names
+}
+
+// StartJanitor launches a background loop that purges expired hash
+// fields every interval, mirroring funcX's periodic purge of retrieved
+// results from the Redis store (§4.1). Stop with StopJanitor.
+func (s *Store) StartJanitor(interval time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.janitorStop != nil || s.closed {
+		return
+	}
+	s.janitorStop = make(chan struct{})
+	s.janitorDone = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				s.PurgeExpired()
+			}
+		}
+	}(s.janitorStop, s.janitorDone)
+}
+
+// StopJanitor stops the purge loop, if running.
+func (s *Store) StopJanitor() {
+	s.mu.Lock()
+	stop, done := s.janitorStop, s.janitorDone
+	s.janitorStop, s.janitorDone = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// PurgeExpired removes expired fields from every hash, returning the
+// total removed.
+func (s *Store) PurgeExpired() int {
+	s.mu.Lock()
+	hashes := make([]*Hash, 0, len(s.hashes))
+	for _, h := range s.hashes {
+		hashes = append(hashes, h)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, h := range hashes {
+		n += h.Purge()
+	}
+	return n
+}
+
+// Close stops the janitor and closes every queue.
+func (s *Store) Close() {
+	s.StopJanitor()
+	s.mu.Lock()
+	s.closed = true
+	queues := make([]*Queue, 0, len(s.queues))
+	for _, q := range s.queues {
+		queues = append(queues, q)
+	}
+	s.mu.Unlock()
+	for _, q := range queues {
+		q.Close()
+	}
+}
+
+// TaskQueueName returns the conventional task queue name for an
+// endpoint id.
+func TaskQueueName(endpointID string) string { return fmt.Sprintf("tasks:%s", endpointID) }
+
+// ResultQueueName returns the conventional result queue name for an
+// endpoint id.
+func ResultQueueName(endpointID string) string { return fmt.Sprintf("results:%s", endpointID) }

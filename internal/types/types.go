@@ -1,0 +1,324 @@
+// Package types defines the identifiers, records, and lifecycle states
+// shared by every layer of the funcX fabric: the cloud service, the
+// per-endpoint forwarders, and the endpoint agent stack (agent, manager,
+// worker). It has no dependencies on any other funcx package so that all
+// layers can share it freely.
+package types
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// UUID is a 128-bit random identifier rendered in the canonical
+// 8-4-4-4-12 hex form, as assigned by the funcX service to functions,
+// endpoints, and tasks.
+type UUID string
+
+// NewUUID returns a fresh random (version 4 style) identifier.
+func NewUUID() UUID {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; treat
+		// failure as unrecoverable program state.
+		panic(fmt.Sprintf("types: reading random bytes: %v", err))
+	}
+	b[6] = (b[6] & 0x0f) | 0x40 // version 4
+	b[8] = (b[8] & 0x3f) | 0x80 // RFC 4122 variant
+	dst := make([]byte, 36)
+	hex.Encode(dst[0:8], b[0:4])
+	dst[8] = '-'
+	hex.Encode(dst[9:13], b[4:6])
+	dst[13] = '-'
+	hex.Encode(dst[14:18], b[6:8])
+	dst[18] = '-'
+	hex.Encode(dst[19:23], b[8:10])
+	dst[23] = '-'
+	hex.Encode(dst[24:36], b[10:16])
+	return UUID(dst)
+}
+
+// Short returns the first 8 hex characters, for compact logging.
+func (u UUID) Short() string {
+	if len(u) < 8 {
+		return string(u)
+	}
+	return string(u[:8])
+}
+
+// Typed identifiers. They are all UUID strings underneath but distinct
+// types so that a task id cannot be passed where a function id belongs.
+type (
+	// TaskID identifies a single invocation of a function.
+	TaskID string
+	// FunctionID identifies a registered function.
+	FunctionID string
+	// EndpointID identifies a registered endpoint.
+	EndpointID string
+	// UserID identifies a registered user.
+	UserID string
+	// ManagerID identifies a manager process on one compute node.
+	ManagerID string
+	// WorkerID identifies a worker within a manager.
+	WorkerID string
+	// BlockID identifies a provisioned block of resources (a pilot job).
+	BlockID string
+)
+
+// NewTaskID returns a fresh task identifier.
+func NewTaskID() TaskID { return TaskID(NewUUID()) }
+
+// NewFunctionID returns a fresh function identifier.
+func NewFunctionID() FunctionID { return FunctionID(NewUUID()) }
+
+// NewEndpointID returns a fresh endpoint identifier.
+func NewEndpointID() EndpointID { return EndpointID(NewUUID()) }
+
+// TaskStatus is the lifecycle state of a task as tracked by the service.
+type TaskStatus string
+
+// Task lifecycle states, in the order a healthy task passes through them.
+const (
+	// TaskPending means the task is stored but not yet queued for an
+	// endpoint (transient inside the service).
+	TaskPending TaskStatus = "pending"
+	// TaskQueued means the task id sits in the endpoint's Redis-style
+	// task queue awaiting a live agent.
+	TaskQueued TaskStatus = "queued"
+	// TaskDispatched means the forwarder has shipped the task to the
+	// endpoint agent.
+	TaskDispatched TaskStatus = "dispatched"
+	// TaskRunning means a worker has begun executing the task.
+	TaskRunning TaskStatus = "running"
+	// TaskSuccess means the task completed and its result is stored.
+	TaskSuccess TaskStatus = "success"
+	// TaskFailed means execution raised an error; the serialized error
+	// is stored in place of a result.
+	TaskFailed TaskStatus = "failed"
+)
+
+// Terminal reports whether the status is final (success or failed).
+func (s TaskStatus) Terminal() bool {
+	return s == TaskSuccess || s == TaskFailed
+}
+
+// ContainerTech enumerates the container technologies funcX supports
+// (paper §4.2): Docker for cloud/local, Singularity and Shifter for HPC
+// facilities, plus the bare "none" mode that runs in the worker's own
+// environment.
+type ContainerTech string
+
+// Supported container technologies.
+const (
+	ContainerNone        ContainerTech = "none"
+	ContainerDocker      ContainerTech = "docker"
+	ContainerSingularity ContainerTech = "singularity"
+	ContainerShifter     ContainerTech = "shifter"
+)
+
+// ContainerSpec names the execution environment a function needs: the
+// technology plus an image reference. The zero value means "no container":
+// run directly in the worker's Python/Go environment.
+type ContainerSpec struct {
+	Tech  ContainerTech `json:"tech,omitempty"`
+	Image string        `json:"image,omitempty"`
+}
+
+// IsZero reports whether no container was requested.
+func (c ContainerSpec) IsZero() bool {
+	return (c.Tech == "" || c.Tech == ContainerNone) && c.Image == ""
+}
+
+// Key returns a map key uniquely naming the container environment.
+func (c ContainerSpec) Key() string {
+	if c.IsZero() {
+		return "none"
+	}
+	return string(c.Tech) + ":" + c.Image
+}
+
+// Task is the unit of work: one invocation of a registered function on a
+// serialized payload, destined for one endpoint.
+type Task struct {
+	ID         TaskID        `json:"task_id"`
+	FunctionID FunctionID    `json:"function_id"`
+	EndpointID EndpointID    `json:"endpoint_id"`
+	Owner      UserID        `json:"owner,omitempty"`
+	Container  ContainerSpec `json:"container,omitempty"`
+	// Payload is the serialized input arguments (see internal/serial).
+	Payload []byte `json:"payload"`
+	// BodyHash is the hash of the registered function body, used for
+	// memoization keys and worker-side function lookup.
+	BodyHash string `json:"body_hash,omitempty"`
+	// Memoize requests result caching for this invocation (§4.7;
+	// memoization is only used if explicitly set by the user).
+	Memoize bool `json:"memoize,omitempty"`
+	// BatchN, when positive, marks a user-driven batch task (the
+	// fmap of §4.7): Payload packs BatchN serialized argument
+	// buffers, the worker loops the function over them, and the
+	// result packs BatchN output buffers.
+	BatchN int `json:"batch_n,omitempty"`
+	// Attempt counts executions of this task (at-least-once delivery
+	// means it can exceed 1 after failures).
+	Attempt int `json:"attempt,omitempty"`
+	// Submitted is when the service accepted the task.
+	Submitted time.Time `json:"submitted,omitzero"`
+}
+
+// Result is the outcome of one task execution.
+type Result struct {
+	TaskID TaskID `json:"task_id"`
+	// Output is the serialized return value (nil when Err != "").
+	Output []byte `json:"output,omitempty"`
+	// Err is a serialized execution error, empty on success.
+	Err string `json:"error,omitempty"`
+	// Completed is when the worker finished the task.
+	Completed time.Time `json:"completed,omitzero"`
+	// Timing carries the per-hop latency breakdown (Figure 4).
+	Timing Timing `json:"timing,omitzero"`
+	// WorkerID records which worker ran the task (diagnostics).
+	WorkerID WorkerID `json:"worker_id,omitempty"`
+	// Memoized marks results served from the memo cache without
+	// execution.
+	Memoized bool `json:"memoized,omitempty"`
+}
+
+// Failed reports whether the result carries an execution error.
+func (r *Result) Failed() bool { return r.Err != "" }
+
+// Timing is the per-hop latency breakdown of one task, mirroring the
+// instrumentation of paper Figure 4:
+//
+//	TS — web-service time (auth, store in Redis, enqueue)
+//	TF — forwarder time (queue pop, ship to endpoint, store result)
+//	TE — endpoint time (agent + manager queuing and dispatch)
+//	TW — function execution time in the worker
+type Timing struct {
+	TS time.Duration `json:"ts,omitempty"`
+	TF time.Duration `json:"tf,omitempty"`
+	TE time.Duration `json:"te,omitempty"`
+	TW time.Duration `json:"tw,omitempty"`
+}
+
+// Total returns the sum of all recorded components.
+func (t Timing) Total() time.Duration { return t.TS + t.TF + t.TE + t.TW }
+
+// Add returns the component-wise sum of two breakdowns.
+func (t Timing) Add(o Timing) Timing {
+	return Timing{TS: t.TS + o.TS, TF: t.TF + o.TF, TE: t.TE + o.TE, TW: t.TW + o.TW}
+}
+
+// Scale returns the breakdown divided by n (for averaging).
+func (t Timing) Scale(n int) Timing {
+	if n <= 0 {
+		return t
+	}
+	d := time.Duration(n)
+	return Timing{TS: t.TS / d, TF: t.TF / d, TE: t.TE / d, TW: t.TW / d}
+}
+
+// Function is the registry record for a registered function (paper §3).
+type Function struct {
+	ID    FunctionID `json:"function_id"`
+	Name  string     `json:"name"`
+	Owner UserID     `json:"owner"`
+	// Body is the serialized function body. In this reproduction it is
+	// the registered source text whose hash selects a Go closure in the
+	// worker's function runtime.
+	Body []byte `json:"body"`
+	// BodyHash is the SHA-256 of Body, assigned at registration.
+	BodyHash string `json:"body_hash"`
+	// Container optionally pins an execution environment.
+	Container ContainerSpec `json:"container,omitempty"`
+	// SharedWith lists users allowed to invoke the function in
+	// addition to the owner ("*" shares publicly).
+	SharedWith []UserID `json:"shared_with,omitempty"`
+	// Version increments on each update by the owner.
+	Version int `json:"version"`
+	// Registered is the registration time.
+	Registered time.Time `json:"registered,omitzero"`
+}
+
+// InvocableBy reports whether uid may invoke the function.
+func (f *Function) InvocableBy(uid UserID) bool {
+	if uid == f.Owner {
+		return true
+	}
+	for _, s := range f.SharedWith {
+		if s == uid || s == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// User is the registry record for a registered user identity (the
+// stand-in for a Globus Auth federated identity).
+type User struct {
+	ID UserID `json:"user_id"`
+	// Name is a display name.
+	Name string `json:"name,omitempty"`
+	// Identity names the upstream identity provider identity
+	// (e.g. "institution", "google", "orcid").
+	Identity string `json:"identity,omitempty"`
+	// Registered is the registration time.
+	Registered time.Time `json:"registered,omitzero"`
+}
+
+// Endpoint is the registry record for a registered endpoint (paper §3).
+type Endpoint struct {
+	ID          EndpointID `json:"endpoint_id"`
+	Name        string     `json:"name"`
+	Description string     `json:"description,omitempty"`
+	Owner       UserID     `json:"owner"`
+	// Public endpoints accept tasks from any authenticated user.
+	Public bool `json:"public,omitempty"`
+	// Registered is the registration time.
+	Registered time.Time `json:"registered,omitzero"`
+}
+
+// EndpointStatus is a point-in-time snapshot of an endpoint reported by
+// its forwarder to the service.
+type EndpointStatus struct {
+	ID        EndpointID `json:"endpoint_id"`
+	Connected bool       `json:"connected"`
+	// OutstandingTasks counts tasks dispatched but not yet completed.
+	OutstandingTasks int `json:"outstanding_tasks"`
+	// QueuedTasks counts tasks waiting in the service-side queue.
+	QueuedTasks int `json:"queued_tasks"`
+	// Managers is the number of live managers.
+	Managers int `json:"managers"`
+	// Workers is the total worker (container) count across managers.
+	Workers int `json:"workers"`
+	// IdleWorkers is the number of workers without an assigned task.
+	IdleWorkers int `json:"idle_workers"`
+	// LastHeartbeat is the time of the most recent agent heartbeat.
+	LastHeartbeat time.Time `json:"last_heartbeat,omitzero"`
+}
+
+// Capacity is a manager's advertisement to its agent: how many tasks it
+// can accept now (and, with prefetching, in the near future) per deployed
+// container type (paper §4.3, §4.7).
+type Capacity struct {
+	ManagerID ManagerID `json:"manager_id"`
+	// Free maps container key -> idle workers deployed in that
+	// container.
+	Free map[string]int `json:"free"`
+	// Slots is the number of undeployed worker slots: the manager can
+	// deploy a container of any type on demand for each (§4.5).
+	Slots int `json:"slots,omitempty"`
+	// Prefetch is the additional task count the manager is willing to
+	// buffer ahead of worker availability (§4.7).
+	Prefetch int `json:"prefetch,omitempty"`
+	// Total is the node's worker slot count.
+	Total int `json:"total"`
+}
+
+// Available returns how many more tasks the manager can absorb for a
+// container key right now: matching idle workers, plus on-demand
+// deployment slots, plus prefetch headroom.
+func (c *Capacity) Available(key string) int {
+	return c.Free[key] + c.Slots + c.Prefetch
+}

@@ -1,0 +1,129 @@
+package types
+
+import (
+	"regexp"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var uuidRE = regexp.MustCompile(`^[0-9a-f]{8}-[0-9a-f]{4}-4[0-9a-f]{3}-[89ab][0-9a-f]{3}-[0-9a-f]{12}$`)
+
+func TestNewUUIDFormat(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		u := NewUUID()
+		if !uuidRE.MatchString(string(u)) {
+			t.Fatalf("UUID %q not canonical v4", u)
+		}
+	}
+}
+
+func TestUUIDUniqueProperty(t *testing.T) {
+	seen := map[UUID]bool{}
+	prop := func() bool {
+		u := NewUUID()
+		if seen[u] {
+			return false
+		}
+		seen[u] = true
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUUIDShort(t *testing.T) {
+	u := UUID("abcdef01-2345")
+	if u.Short() != "abcdef01" {
+		t.Fatal(u.Short())
+	}
+	if UUID("ab").Short() != "ab" {
+		t.Fatal("short UUID mangled")
+	}
+}
+
+func TestTaskStatusTerminal(t *testing.T) {
+	for status, terminal := range map[TaskStatus]bool{
+		TaskPending: false, TaskQueued: false, TaskDispatched: false,
+		TaskRunning: false, TaskSuccess: true, TaskFailed: true,
+	} {
+		if status.Terminal() != terminal {
+			t.Fatalf("%s.Terminal() = %v", status, status.Terminal())
+		}
+	}
+}
+
+func TestContainerSpecKey(t *testing.T) {
+	if (ContainerSpec{}).Key() != "none" {
+		t.Fatal((ContainerSpec{}).Key())
+	}
+	if !(ContainerSpec{}).IsZero() {
+		t.Fatal("zero spec not zero")
+	}
+	spec := ContainerSpec{Tech: ContainerSingularity, Image: "img.sif"}
+	if spec.Key() != "singularity:img.sif" {
+		t.Fatal(spec.Key())
+	}
+	if spec.IsZero() {
+		t.Fatal("non-zero spec reported zero")
+	}
+	if (ContainerSpec{Tech: ContainerNone}).Key() != "none" {
+		t.Fatal("explicit none spec key")
+	}
+}
+
+func TestFunctionInvocableBy(t *testing.T) {
+	fn := &Function{Owner: "alice", SharedWith: []UserID{"bob"}}
+	if !fn.InvocableBy("alice") || !fn.InvocableBy("bob") || fn.InvocableBy("carol") {
+		t.Fatal("sharing semantics wrong")
+	}
+	open := &Function{Owner: "alice", SharedWith: []UserID{"*"}}
+	if !open.InvocableBy("anyone") {
+		t.Fatal("star share not honored")
+	}
+}
+
+func TestResultFailed(t *testing.T) {
+	if (&Result{}).Failed() {
+		t.Fatal("empty result failed")
+	}
+	if !(&Result{Err: "x"}).Failed() {
+		t.Fatal("errored result not failed")
+	}
+}
+
+func TestTimingArithmetic(t *testing.T) {
+	a := Timing{TS: 1, TF: 2, TE: 3, TW: 4}
+	b := Timing{TS: 10, TF: 20, TE: 30, TW: 40}
+	sum := a.Add(b)
+	if sum != (Timing{TS: 11, TF: 22, TE: 33, TW: 44}) {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if sum.Total() != 110 {
+		t.Fatalf("Total = %v", sum.Total())
+	}
+	if got := b.Scale(10); got != (Timing{TS: 1, TF: 2, TE: 3, TW: 4}) {
+		t.Fatalf("Scale = %+v", got)
+	}
+	if got := b.Scale(0); got != b {
+		t.Fatalf("Scale(0) = %+v, want identity", got)
+	}
+}
+
+func TestCapacityAvailable(t *testing.T) {
+	c := Capacity{Free: map[string]int{"none": 2}, Slots: 1, Prefetch: 3}
+	if c.Available("none") != 6 {
+		t.Fatalf("Available(none) = %d", c.Available("none"))
+	}
+	if c.Available("docker:x") != 4 {
+		t.Fatalf("Available(docker:x) = %d", c.Available("docker:x"))
+	}
+}
+
+func TestTimingSubZero(t *testing.T) {
+	var d time.Duration = (Timing{}).Total()
+	if d != 0 {
+		t.Fatal("zero timing total nonzero")
+	}
+}

@@ -1,0 +1,137 @@
+// Package wire defines the JSON codecs for the control-plane records
+// exchanged between the funcX service, forwarders, endpoint agents,
+// and managers. Task payloads and results remain opaque serialized
+// buffers (see internal/serial); wire only frames the records around
+// them.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"funcx/internal/types"
+)
+
+// EncodeTask frames a task for transport.
+func EncodeTask(t *types.Task) []byte {
+	b, err := json.Marshal(t)
+	if err != nil {
+		// types.Task contains only marshalable fields.
+		panic(fmt.Sprintf("wire: marshaling task: %v", err))
+	}
+	return b
+}
+
+// DecodeTask unframes a task.
+func DecodeTask(data []byte) (*types.Task, error) {
+	var t types.Task
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("wire: decoding task: %w", err)
+	}
+	return &t, nil
+}
+
+// EncodeTasks frames a batch of tasks (executor-side batching).
+func EncodeTasks(ts []*types.Task) []byte {
+	b, err := json.Marshal(ts)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshaling task batch: %v", err))
+	}
+	return b
+}
+
+// DecodeTasks unframes a batch of tasks.
+func DecodeTasks(data []byte) ([]*types.Task, error) {
+	var ts []*types.Task
+	if err := json.Unmarshal(data, &ts); err != nil {
+		return nil, fmt.Errorf("wire: decoding task batch: %w", err)
+	}
+	return ts, nil
+}
+
+// EncodeResult frames a result for transport.
+func EncodeResult(r *types.Result) []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshaling result: %v", err))
+	}
+	return b
+}
+
+// DecodeResult unframes a result.
+func DecodeResult(data []byte) (*types.Result, error) {
+	var r types.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("wire: decoding result: %w", err)
+	}
+	return &r, nil
+}
+
+// Registration is the payload of a MsgRegister from an endpoint agent
+// to its forwarder, or from a manager to its agent.
+type Registration struct {
+	// EndpointID identifies the registering endpoint (agent → forwarder).
+	EndpointID types.EndpointID `json:"endpoint_id,omitempty"`
+	// ManagerID identifies the registering manager (manager → agent).
+	ManagerID types.ManagerID `json:"manager_id,omitempty"`
+	// Workers is the worker count behind the registrant.
+	Workers int `json:"workers,omitempty"`
+	// Containers lists the container keys deployed at registration.
+	Containers []string `json:"containers,omitempty"`
+	// Token authenticates the registrant (endpoint native client).
+	Token string `json:"token,omitempty"`
+}
+
+// EncodeRegistration frames a registration.
+func EncodeRegistration(r *Registration) []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshaling registration: %v", err))
+	}
+	return b
+}
+
+// DecodeRegistration unframes a registration.
+func DecodeRegistration(data []byte) (*Registration, error) {
+	var r Registration
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("wire: decoding registration: %w", err)
+	}
+	return &r, nil
+}
+
+// EncodeCapacity frames a capacity advertisement.
+func EncodeCapacity(c *types.Capacity) []byte {
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshaling capacity: %v", err))
+	}
+	return b
+}
+
+// DecodeCapacity unframes a capacity advertisement.
+func DecodeCapacity(data []byte) (*types.Capacity, error) {
+	var c types.Capacity
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("wire: decoding capacity: %w", err)
+	}
+	return &c, nil
+}
+
+// EncodeStatus frames an endpoint status report.
+func EncodeStatus(s *types.EndpointStatus) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshaling status: %v", err))
+	}
+	return b
+}
+
+// DecodeStatus unframes an endpoint status report.
+func DecodeStatus(data []byte) (*types.EndpointStatus, error) {
+	var s types.EndpointStatus
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("wire: decoding status: %w", err)
+	}
+	return &s, nil
+}

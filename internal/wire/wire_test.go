@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"funcx/internal/types"
+)
+
+func TestTaskRoundTrip(t *testing.T) {
+	in := &types.Task{
+		ID:         "task-1",
+		FunctionID: "fn-1",
+		EndpointID: "ep-1",
+		Owner:      "alice",
+		Container:  types.ContainerSpec{Tech: types.ContainerDocker, Image: "img:1"},
+		Payload:    []byte{0, 1, 2, 255},
+		BodyHash:   "abc",
+		Memoize:    true,
+		BatchN:     3,
+		Attempt:    2,
+		Submitted:  time.Now().Truncate(time.Millisecond),
+	}
+	out, err := DecodeTask(EncodeTask(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.FunctionID != in.FunctionID || out.EndpointID != in.EndpointID ||
+		out.Owner != in.Owner || out.Container != in.Container || !bytes.Equal(out.Payload, in.Payload) ||
+		out.BodyHash != in.BodyHash || out.Memoize != in.Memoize || out.BatchN != in.BatchN ||
+		out.Attempt != in.Attempt {
+		t.Fatalf("roundtrip = %+v, want %+v", out, in)
+	}
+}
+
+func TestTaskBatchRoundTrip(t *testing.T) {
+	in := []*types.Task{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	out, err := DecodeTasks(EncodeTasks(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0].ID != "a" || out[2].ID != "c" {
+		t.Fatalf("roundtrip = %+v", out)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	in := &types.Result{
+		TaskID:   "t1",
+		Output:   []byte("output"),
+		Err:      `{"message":"boom"}`,
+		Timing:   types.Timing{TS: time.Millisecond, TF: 2 * time.Millisecond, TE: 3 * time.Millisecond, TW: 4 * time.Millisecond},
+		WorkerID: "w1",
+		Memoized: true,
+	}
+	out, err := DecodeResult(EncodeResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TaskID != in.TaskID || !bytes.Equal(out.Output, in.Output) || out.Err != in.Err ||
+		out.Timing != in.Timing || out.WorkerID != in.WorkerID || !out.Memoized {
+		t.Fatalf("roundtrip = %+v", out)
+	}
+}
+
+func TestRegistrationRoundTrip(t *testing.T) {
+	in := &Registration{
+		EndpointID: "ep-1",
+		ManagerID:  "mgr-1",
+		Workers:    8,
+		Containers: []string{"docker:a", "none"},
+		Token:      "tok",
+	}
+	out, err := DecodeRegistration(EncodeRegistration(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.EndpointID != in.EndpointID || out.ManagerID != in.ManagerID ||
+		out.Workers != 8 || len(out.Containers) != 2 || out.Token != "tok" {
+		t.Fatalf("roundtrip = %+v", out)
+	}
+}
+
+func TestCapacityRoundTrip(t *testing.T) {
+	in := &types.Capacity{
+		ManagerID: "m1",
+		Free:      map[string]int{"none": 2, "docker:x": 1},
+		Slots:     3,
+		Prefetch:  4,
+		Total:     8,
+	}
+	out, err := DecodeCapacity(EncodeCapacity(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ManagerID != "m1" || out.Free["none"] != 2 || out.Slots != 3 || out.Prefetch != 4 || out.Total != 8 {
+		t.Fatalf("roundtrip = %+v", out)
+	}
+	if out.Available("none") != 2+3+4 {
+		t.Fatalf("Available = %d", out.Available("none"))
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	in := &types.EndpointStatus{
+		ID: "ep", Connected: true, OutstandingTasks: 5, QueuedTasks: 2,
+		Managers: 3, Workers: 12, IdleWorkers: 7,
+	}
+	out, err := DecodeStatus(EncodeStatus(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("roundtrip = %+v, want %+v", out, in)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := DecodeTask([]byte("{")); err == nil {
+		t.Fatal("DecodeTask accepted garbage")
+	}
+	if _, err := DecodeTasks([]byte("nope")); err == nil {
+		t.Fatal("DecodeTasks accepted garbage")
+	}
+	if _, err := DecodeResult(nil); err == nil {
+		t.Fatal("DecodeResult accepted nil")
+	}
+	if _, err := DecodeRegistration([]byte("[]")); err == nil {
+		t.Fatal("DecodeRegistration accepted wrong shape")
+	}
+	if _, err := DecodeCapacity([]byte("[1]")); err == nil {
+		t.Fatal("DecodeCapacity accepted wrong shape")
+	}
+	if _, err := DecodeStatus([]byte("x")); err == nil {
+		t.Fatal("DecodeStatus accepted garbage")
+	}
+}

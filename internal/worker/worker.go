@@ -1,0 +1,192 @@
+// Package worker implements the funcX worker (paper §4.3): a process
+// pinned inside one container that executes a single task at a time.
+// Workers have one responsibility, so they use blocking communication —
+// here, unbuffered receives from the manager's dispatch channel — and
+// return serialized results through the manager.
+package worker
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"funcx/internal/container"
+	"funcx/internal/fx"
+	"funcx/internal/serial"
+	"funcx/internal/types"
+)
+
+// Outcome couples a finished task with its result for the manager.
+type Outcome struct {
+	Task   *types.Task
+	Result *types.Result
+}
+
+// Worker executes tasks inside one container instance.
+type Worker struct {
+	ID        types.WorkerID
+	Container *container.Instance
+
+	rt      *fx.Runtime
+	tasks   chan *types.Task
+	results chan<- Outcome
+
+	// queued counts tasks accepted but not yet picked up by the loop
+	// (the task channel holds one slot so a submission to a freshly
+	// deployed worker never races its loop startup).
+	queued  atomic.Int32
+	busy    atomic.Bool
+	done    chan struct{}
+	started atomic.Bool
+}
+
+// New creates a worker bound to a container instance and function
+// runtime. Results are delivered on the shared results channel.
+func New(id types.WorkerID, inst *container.Instance, rt *fx.Runtime, results chan<- Outcome) *Worker {
+	return &Worker{
+		ID:        id,
+		Container: inst,
+		rt:        rt,
+		tasks:     make(chan *types.Task, 1),
+		results:   results,
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the worker loop. It is idempotent.
+func (w *Worker) Start(ctx context.Context) {
+	if !w.started.CompareAndSwap(false, true) {
+		return
+	}
+	go w.loop(ctx)
+}
+
+// Submit hands a task to the worker. It blocks until the worker's
+// task slot frees (workers run one task at a time), or fails if the
+// worker has stopped or the context is done.
+func (w *Worker) Submit(ctx context.Context, t *types.Task) error {
+	select {
+	case w.tasks <- t:
+		w.queued.Add(1)
+		return nil
+	case <-w.done:
+		return fmt.Errorf("worker %s: stopped", w.ID)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TrySubmit hands a task to the worker only if its task slot is free.
+func (w *Worker) TrySubmit(t *types.Task) bool {
+	select {
+	case w.tasks <- t:
+		w.queued.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Busy reports whether the worker is executing or holds a queued task.
+func (w *Worker) Busy() bool { return w.busy.Load() || w.queued.Load() > 0 }
+
+// Stop terminates the worker after any in-flight task completes.
+func (w *Worker) Stop() {
+	select {
+	case <-w.done:
+	default:
+		close(w.done)
+	}
+}
+
+// Stopped reports whether Stop has been called.
+func (w *Worker) Stopped() bool {
+	select {
+	case <-w.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (w *Worker) loop(ctx context.Context) {
+	for {
+		select {
+		case t := <-w.tasks:
+			w.busy.Store(true)
+			w.queued.Add(-1)
+			res := w.Execute(ctx, t)
+			w.busy.Store(false)
+			select {
+			case w.results <- Outcome{Task: t, Result: res}:
+			case <-ctx.Done():
+				return
+			}
+		case <-w.done:
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Execute runs one task synchronously: deserialize, look up the
+// function by body hash, run it (looping over packed arguments for
+// batch tasks), and serialize the outcome. It never panics: function
+// panics become failed results, mirroring how a Python exception is
+// caught and shipped back as a traceback.
+func (w *Worker) Execute(ctx context.Context, t *types.Task) *types.Result {
+	start := time.Now()
+	res := &types.Result{TaskID: t.ID, WorkerID: w.ID}
+	output, err := w.execute(ctx, t)
+	res.Completed = time.Now()
+	res.Timing.TW = res.Completed.Sub(start)
+	if err != nil {
+		res.Err = string(serial.EncodeError(err, string(t.ID)))
+		return res
+	}
+	res.Output = output
+	return res
+}
+
+func (w *Worker) execute(ctx context.Context, t *types.Task) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &serial.Traceback{
+				Message: fmt.Sprint(r),
+				Frames:  []string{"worker.Execute"},
+				TaskID:  string(t.ID),
+			}
+		}
+	}()
+	fn, err := w.rt.Lookup(t.BodyHash)
+	if err != nil {
+		return nil, err
+	}
+	if t.BatchN > 0 {
+		return w.executeBatch(ctx, t, fn)
+	}
+	return fn(ctx, t.Payload)
+}
+
+// executeBatch loops the function over the packed argument buffers of
+// a user-driven batch task (fmap, §4.7) and packs the outputs.
+func (w *Worker) executeBatch(ctx context.Context, t *types.Task, fn fx.Func) ([]byte, error) {
+	parts, err := serial.Unpack(t.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("worker: unpacking batch: %w", err)
+	}
+	if len(parts) != t.BatchN {
+		return nil, fmt.Errorf("worker: batch declares %d items, payload has %d", t.BatchN, len(parts))
+	}
+	outs := make([]serial.Part, len(parts))
+	for i, p := range parts {
+		o, err := fn(ctx, p.Body)
+		if err != nil {
+			return nil, fmt.Errorf("worker: batch item %d: %w", i, err)
+		}
+		outs[i] = serial.Part{Tag: p.Tag, Body: o}
+	}
+	return serial.Pack(outs...), nil
+}

@@ -1,0 +1,222 @@
+package worker
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"funcx/internal/container"
+	"funcx/internal/fx"
+	"funcx/internal/serial"
+	"funcx/internal/types"
+)
+
+func newTestWorker(t *testing.T) (*Worker, *fx.Runtime, map[string]string, chan Outcome) {
+	t.Helper()
+	rt := fx.NewRuntime()
+	rt.SleepScale = 0.001
+	hashes := rt.RegisterBuiltins()
+	results := make(chan Outcome, 16)
+	ctr := container.NewRuntime(container.Config{System: "ec2", TimeScale: 0})
+	inst := ctr.Acquire(types.ContainerSpec{})
+	w := New("w-1", inst, rt, results)
+	return w, rt, hashes, results
+}
+
+func TestExecuteSuccess(t *testing.T) {
+	w, _, hashes, _ := newTestWorker(t)
+	payload, _ := serial.Serialize("ping")
+	res := w.Execute(context.Background(), &types.Task{
+		ID: "t1", BodyHash: hashes["echo"], Payload: payload,
+	})
+	if res.Failed() {
+		t.Fatalf("echo failed: %s", res.Err)
+	}
+	if string(res.Output) != string(payload) {
+		t.Fatalf("output = %q", res.Output)
+	}
+	if res.TaskID != "t1" || res.WorkerID != "w-1" {
+		t.Fatalf("identity fields = %+v", res)
+	}
+	if res.Timing.TW <= 0 {
+		t.Fatal("TW not recorded")
+	}
+}
+
+func TestExecuteUnknownFunction(t *testing.T) {
+	w, _, _, _ := newTestWorker(t)
+	res := w.Execute(context.Background(), &types.Task{ID: "t1", BodyHash: "nope"})
+	if !res.Failed() {
+		t.Fatal("unknown function succeeded")
+	}
+	if err := serial.DecodeError([]byte(res.Err)); !strings.Contains(err.Error(), "unknown function") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestExecuteFunctionError(t *testing.T) {
+	w, _, hashes, _ := newTestWorker(t)
+	res := w.Execute(context.Background(), &types.Task{ID: "t1", BodyHash: hashes["fail"]})
+	if !res.Failed() {
+		t.Fatal("fail builtin succeeded")
+	}
+}
+
+func TestExecuteRecoversPanics(t *testing.T) {
+	w, rt, _, _ := newTestWorker(t)
+	hash := rt.Register([]byte("def panics(): ..."), func(ctx context.Context, p []byte) ([]byte, error) {
+		panic("function panicked")
+	})
+	res := w.Execute(context.Background(), &types.Task{ID: "t1", BodyHash: hash})
+	if !res.Failed() {
+		t.Fatal("panicking function reported success")
+	}
+	if !strings.Contains(res.Err, "function panicked") {
+		t.Fatalf("panic message lost: %s", res.Err)
+	}
+}
+
+func TestExecuteBatch(t *testing.T) {
+	w, _, hashes, _ := newTestWorker(t)
+	const n = 10
+	parts := make([]serial.Part, n)
+	for i := range parts {
+		body, _ := serial.Serialize(fmt.Sprintf("item-%d", i))
+		parts[i] = serial.Part{Tag: fmt.Sprintf("i%d", i), Body: body}
+	}
+	res := w.Execute(context.Background(), &types.Task{
+		ID: "t1", BodyHash: hashes["echo"], Payload: serial.Pack(parts...), BatchN: n,
+	})
+	if res.Failed() {
+		t.Fatalf("batch failed: %s", res.Err)
+	}
+	outs, err := serial.Unpack(res.Output)
+	if err != nil || len(outs) != n {
+		t.Fatalf("outputs = %d, %v", len(outs), err)
+	}
+	var s string
+	if _, err := serial.Deserialize(outs[3].Body, &s); err != nil || s != "item-3" {
+		t.Fatalf("item 3 = %q, %v", s, err)
+	}
+}
+
+func TestExecuteBatchCountMismatch(t *testing.T) {
+	w, _, hashes, _ := newTestWorker(t)
+	body, _ := serial.Serialize("only-one")
+	res := w.Execute(context.Background(), &types.Task{
+		ID: "t1", BodyHash: hashes["echo"],
+		Payload: serial.Pack(serial.Part{Tag: "i0", Body: body}),
+		BatchN:  5,
+	})
+	if !res.Failed() {
+		t.Fatal("batch count mismatch accepted")
+	}
+}
+
+func TestWorkerLoopProcessesSubmissions(t *testing.T) {
+	w, _, hashes, results := newTestWorker(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w.Start(ctx)
+	defer w.Stop()
+
+	payload, _ := serial.Serialize("x")
+	for i := 0; i < 5; i++ {
+		err := w.Submit(ctx, &types.Task{ID: types.TaskID(fmt.Sprint(i)), BodyHash: hashes["echo"], Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case out := <-results:
+			if out.Result.Failed() {
+				t.Fatalf("task %d failed: %s", i, out.Result.Err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("task %d result missing", i)
+		}
+	}
+}
+
+func TestBusyReflectsQueuedWork(t *testing.T) {
+	w, _, hashes, results := newTestWorker(t)
+	ctx := context.Background()
+	w.Start(ctx)
+	defer w.Stop()
+	if w.Busy() {
+		t.Fatal("fresh worker busy")
+	}
+	// Submit a sleeping task; the worker must report busy while the
+	// task is queued or running.
+	if err := w.Submit(ctx, &types.Task{ID: "t", BodyHash: hashes["sleep"], Payload: fx.SleepArgs(50)}); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Busy() {
+		t.Fatal("worker with submitted task not busy")
+	}
+	<-results
+	// Draining may race the busy flag clear by a hair.
+	deadline := time.Now().Add(time.Second)
+	for w.Busy() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if w.Busy() {
+		t.Fatal("worker busy after completion")
+	}
+}
+
+func TestTrySubmitRespectsSlot(t *testing.T) {
+	w, _, hashes, results := newTestWorker(t)
+	w.Start(context.Background())
+	defer w.Stop()
+	payload := fx.SleepArgs(100) // long task (scaled 100ms)
+	if !w.TrySubmit(&types.Task{ID: "a", BodyHash: hashes["sleep"], Payload: payload}) {
+		t.Fatal("first TrySubmit refused")
+	}
+	// Slot may briefly hold one more; a third must be refused.
+	ok2 := w.TrySubmit(&types.Task{ID: "b", BodyHash: hashes["sleep"], Payload: payload})
+	if ok2 {
+		if w.TrySubmit(&types.Task{ID: "c", BodyHash: hashes["sleep"], Payload: payload}) {
+			t.Fatal("third TrySubmit accepted: slot unbounded")
+		}
+	}
+	// Drain.
+	want := 1
+	if ok2 {
+		want = 2
+	}
+	for i := 0; i < want; i++ {
+		select {
+		case <-results:
+		case <-time.After(5 * time.Second):
+			t.Fatal("task lost")
+		}
+	}
+}
+
+func TestStopEndsLoop(t *testing.T) {
+	w, _, hashes, _ := newTestWorker(t)
+	ctx := context.Background()
+	w.Start(ctx)
+	w.Stop()
+	if !w.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+	// Submissions to a stopped worker eventually fail: the loop may
+	// race Stop and drain at most one already-accepted task, and the
+	// one-slot buffer can hold one more, but no steady stream can be
+	// accepted.
+	payload, _ := serial.Serialize("x")
+	failed := false
+	for i := 0; i < 3 && !failed; i++ {
+		ctx2, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		if err := w.Submit(ctx2, &types.Task{ID: types.TaskID([]byte{byte('a' + i)}), BodyHash: hashes["echo"], Payload: payload}); err != nil {
+			failed = true
+		}
+		cancel()
+	}
+	if !failed {
+		t.Fatal("stopped worker kept accepting submissions")
+	}
+}

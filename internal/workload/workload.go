@@ -1,0 +1,165 @@
+// Package workload models the six scientific case studies of paper §2
+// — the workloads that motivate FaaS for science and drive Figure 1
+// (latency distributions of 100 calls each) and the Figure 10 batching
+// case studies:
+//
+//   - metadata extraction (Xtract): 3 ms – 15 s extractors run near data
+//   - machine-learning inference (DLHub): MNIST digit classification
+//   - synchrotron serial crystallography (SSX/DIALS): 1–2 s stills
+//   - quantitative neurocartography: image QC / centroid detection
+//   - X-ray photon correlation spectroscopy (XPCS-eigen corr): ~50 s
+//   - high-energy physics (HEP/Coffea): seconds-long columnar queries
+//
+// Each case study supplies a function body (registered like any funcX
+// function; execution sleeps for the invocation's sampled duration, so
+// the full dispatch path is exercised) and a calibrated duration
+// distribution.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"funcx/internal/fx"
+	"funcx/internal/serial"
+)
+
+// CaseStudy describes one §2 workload.
+type CaseStudy struct {
+	// Key is a short identifier ("metadata", "mnist", ...).
+	Key string
+	// Name is the display name used in tables.
+	Name string
+	// Median is the median function duration.
+	Median time.Duration
+	// Sigma is the lognormal shape (spread) parameter.
+	Sigma float64
+	// Min/Max clamp sampled durations.
+	Min, Max time.Duration
+	// PayloadBytes is a representative serialized input size.
+	PayloadBytes int
+}
+
+// Sample draws one function duration.
+func (c CaseStudy) Sample(rng *rand.Rand) time.Duration {
+	mu := math.Log(float64(c.Median))
+	d := time.Duration(math.Exp(mu + c.Sigma*rng.NormFloat64()))
+	if d < c.Min {
+		d = c.Min
+	}
+	if c.Max > 0 && d > c.Max {
+		d = c.Max
+	}
+	return d
+}
+
+// Durations draws n sampled durations.
+func (c CaseStudy) Durations(rng *rand.Rand, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = c.Sample(rng)
+	}
+	return out
+}
+
+// Body returns the function body registered for this case study. The
+// worker implementation sleeps for the duration passed per invocation,
+// exercising the full dispatch/serialization path.
+func (c CaseStudy) Body() []byte {
+	return []byte(fmt.Sprintf("def %s(duration_s):\n    # %s\n    import time\n    time.sleep(duration_s)\n    return duration_s\n", c.Key, c.Name))
+}
+
+// Register installs the case-study function into a runtime, returning
+// its body hash. The implementation is the parametric sleep (scaled by
+// the runtime's SleepScale), matching how the evaluation exercises the
+// fabric with representative durations.
+func (c CaseStudy) Register(rt *fx.Runtime) string {
+	body := c.Body()
+	return rt.Register(body, func(ctx context.Context, payload []byte) ([]byte, error) {
+		seconds, err := fx.DecodeFloat(payload)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", c.Key, err)
+		}
+		if err := rt.SleepScaled(ctx, seconds); err != nil {
+			return nil, err
+		}
+		return serial.Serialize(seconds)
+	})
+}
+
+// The six case studies. Medians and spreads are calibrated to the §2
+// descriptions and the Figure 1 distributions; Figure 10's subset
+// "ranging from half a second through to almost one minute" uses
+// mnist, ssx, neuro, and xpcs.
+var (
+	// Metadata is Xtract metadata extraction: most extractors are
+	// milliseconds; topic models run to seconds (3 ms – 15 s).
+	Metadata = CaseStudy{
+		Key: "metadata", Name: "Metadata extraction (Xtract)",
+		Median: 300 * time.Millisecond, Sigma: 1.4,
+		Min: 3 * time.Millisecond, Max: 15 * time.Second,
+		PayloadBytes: 4 << 10,
+	}
+	// MNIST is DLHub's MNIST digit-identification inference.
+	MNIST = CaseStudy{
+		Key: "mnist", Name: "ML inference (DLHub MNIST)",
+		Median: 500 * time.Millisecond, Sigma: 0.25,
+		Min: 200 * time.Millisecond, Max: 3 * time.Second,
+		PayloadBytes: 28 * 28,
+	}
+	// SSX is DIALS stills processing: 1–2 s per sample.
+	SSX = CaseStudy{
+		Key: "ssx", Name: "Crystallography stills (SSX/DIALS)",
+		Median: 1500 * time.Millisecond, Sigma: 0.15,
+		Min: time.Second, Max: 3 * time.Second,
+		PayloadBytes: 8 << 10,
+	}
+	// Neuro is quantitative neurocartography QC and centroid
+	// detection: several-second image functions.
+	Neuro = CaseStudy{
+		Key: "neuro", Name: "Neurocartography QC",
+		Median: 8 * time.Second, Sigma: 0.35,
+		Min: 2 * time.Second, Max: 30 * time.Second,
+		PayloadBytes: 16 << 10,
+	}
+	// XPCS is the XPCS-eigen corr function: ~50 s per image set.
+	XPCS = CaseStudy{
+		Key: "xpcs", Name: "Correlation spectroscopy (XPCS corr)",
+		Median: 50 * time.Second, Sigma: 0.08,
+		Min: 40 * time.Second, Max: 70 * time.Second,
+		PayloadBytes: 32 << 10,
+	}
+	// HEP is a Coffea columnar-analysis partial histogram task:
+	// seconds-long compiled queries.
+	HEP = CaseStudy{
+		Key: "hep", Name: "HEP columnar analysis (Coffea)",
+		Median: 3 * time.Second, Sigma: 0.4,
+		Min: 500 * time.Millisecond, Max: 15 * time.Second,
+		PayloadBytes: 64 << 10,
+	}
+)
+
+// All returns the six case studies in Figure 1 order.
+func All() []CaseStudy {
+	return []CaseStudy{Metadata, MNIST, SSX, Neuro, XPCS, HEP}
+}
+
+// Figure10Subset returns the batching case studies of Figure 10
+// ("ranging in execution time from half a second through to almost one
+// minute").
+func Figure10Subset() []CaseStudy {
+	return []CaseStudy{MNIST, SSX, Neuro, XPCS}
+}
+
+// ByKey looks a case study up by its key.
+func ByKey(key string) (CaseStudy, bool) {
+	for _, c := range All() {
+		if c.Key == key {
+			return c, true
+		}
+	}
+	return CaseStudy{}, false
+}

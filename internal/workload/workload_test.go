@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"funcx/internal/fx"
+)
+
+func TestSamplesRespectClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, cs := range All() {
+		for i := 0; i < 2000; i++ {
+			d := cs.Sample(rng)
+			if d < cs.Min || (cs.Max > 0 && d > cs.Max) {
+				t.Fatalf("%s: sample %v outside [%v, %v]", cs.Key, d, cs.Min, cs.Max)
+			}
+		}
+	}
+}
+
+func TestMediansRoughlyCalibrated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, cs := range All() {
+		ds := cs.Durations(rng, 4001)
+		// Median of samples within 20% of the configured median
+		// (clamping shifts it slightly).
+		sorted := append([]time.Duration(nil), ds...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		med := sorted[len(sorted)/2]
+		lo := time.Duration(float64(cs.Median) * 0.8)
+		hi := time.Duration(float64(cs.Median) * 1.2)
+		if med < lo || med > hi {
+			t.Errorf("%s: sample median %v outside [%v, %v]", cs.Key, med, lo, hi)
+		}
+	}
+}
+
+func TestPaperRangesHold(t *testing.T) {
+	// §2 calibration spot checks.
+	if Metadata.Min != 3*time.Millisecond || Metadata.Max != 15*time.Second {
+		t.Fatal("Xtract extractors run 3ms–15s")
+	}
+	if SSX.Min < time.Second || SSX.Max > 3*time.Second {
+		t.Fatal("SSX stills run 1–2s")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		if d := XPCS.Sample(rng); d < 40*time.Second || d > 70*time.Second {
+			t.Fatalf("XPCS corr sample %v far from ~50s", d)
+		}
+	}
+}
+
+func TestSixCaseStudies(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("case studies = %d, want 6 (paper §2)", len(all))
+	}
+	keys := map[string]bool{}
+	for _, cs := range all {
+		if keys[cs.Key] {
+			t.Fatalf("duplicate key %s", cs.Key)
+		}
+		keys[cs.Key] = true
+		if cs.Name == "" || cs.PayloadBytes <= 0 {
+			t.Fatalf("incomplete case study %+v", cs)
+		}
+	}
+	fig10 := Figure10Subset()
+	if len(fig10) != 4 {
+		t.Fatalf("Figure 10 subset = %d, want 4", len(fig10))
+	}
+	// "half a second through to almost one minute"
+	if fig10[0].Median > time.Second || fig10[len(fig10)-1].Median < 40*time.Second {
+		t.Fatal("Figure 10 subset range wrong")
+	}
+}
+
+func TestByKey(t *testing.T) {
+	cs, ok := ByKey("xpcs")
+	if !ok || cs.Key != "xpcs" {
+		t.Fatalf("ByKey(xpcs) = %+v, %v", cs, ok)
+	}
+	if _, ok := ByKey("nope"); ok {
+		t.Fatal("ByKey found a missing case study")
+	}
+}
+
+func TestRegisterExecutes(t *testing.T) {
+	rt := fx.NewRuntime()
+	rt.SleepScale = 0.0001
+	hash := SSX.Register(rt)
+	fn, err := rt.Lookup(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fn(context.Background(), fx.SleepArgs(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := fx.DecodeFloat(out)
+	if err != nil || v != 1.5 {
+		t.Fatalf("case-study fn returned %v, %v", v, err)
+	}
+	// Malformed args error cleanly.
+	if _, err := fn(context.Background(), []byte("zz")); err == nil {
+		t.Fatal("malformed args accepted")
+	}
+}
+
+func TestBodiesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, cs := range All() {
+		h := fx.HashBody(cs.Body())
+		if seen[h] {
+			t.Fatalf("%s shares a body hash with another case study", cs.Key)
+		}
+		seen[h] = true
+	}
+}
