@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"funcx/internal/container"
@@ -43,15 +44,20 @@ func main() {
 		prefetch   = flag.Int("prefetch", 0, "per-manager prefetch depth")
 		system     = flag.String("system", "ec2", "container cold-start profile (ec2|theta|cori)")
 		heartbeat  = flag.Duration("heartbeat", time.Second, "heartbeat period")
+		labelSpec  = flag.String("labels", "", "capability labels for router matching, comma-separated key=value (e.g. gpu=a100,site=anl)")
 	)
 	flag.Parse()
 	if *token == "" {
 		log.Fatal("funcx-endpoint: -token is required (printed by funcx-service)")
 	}
+	labels, err := parseLabels(*labelSpec)
+	if err != nil {
+		log.Fatalf("funcx-endpoint: %v", err)
+	}
 
 	ctx := context.Background()
 	client := sdk.New(*serviceURL, *token)
-	reg, err := client.RegisterEndpoint(ctx, *name, "funcx-endpoint CLI", *public)
+	reg, err := client.RegisterEndpointLabeled(ctx, *name, "funcx-endpoint CLI", *public, labels)
 	if err != nil {
 		log.Fatalf("funcx-endpoint: registering: %v", err)
 	}
@@ -111,4 +117,20 @@ func main() {
 		done += m.Completed()
 	}
 	fmt.Printf("completed %d tasks this session\n", done)
+}
+
+// parseLabels parses "k=v,k2=v2" into a label map ("" -> nil).
+func parseLabels(spec string) (map[string]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	labels := make(map[string]string)
+	for _, pair := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("bad -labels entry %q (want key=value)", pair)
+		}
+		labels[k] = v
+	}
+	return labels, nil
 }

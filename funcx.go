@@ -37,6 +37,7 @@ package funcx
 import (
 	"funcx/internal/core"
 	"funcx/internal/fx"
+	"funcx/internal/router"
 	"funcx/internal/sdk"
 	"funcx/internal/serial"
 	"funcx/internal/types"
@@ -71,6 +72,32 @@ type Endpoint = core.Endpoint
 // EndpointOptions shape an endpoint deployment.
 type EndpointOptions = core.EndpointOptions
 
+// GroupOptions shape an endpoint-group creation: a named fleet the
+// service router places tasks across (Client.RunAnywhere).
+type GroupOptions = core.GroupOptions
+
+// EndpointGroup is a registered endpoint group.
+type EndpointGroup = types.EndpointGroup
+
+// GroupMember names one endpoint in a group, with an optional static
+// placement weight.
+type GroupMember = types.GroupMember
+
+// Placement policies accepted by group creation (internal/router).
+const (
+	// PolicyRoundRobin rotates through healthy group members.
+	PolicyRoundRobin = string(router.RoundRobin)
+	// PolicyLeastOutstanding picks the member with the smallest
+	// backlog (queued + outstanding tasks).
+	PolicyLeastOutstanding = string(router.LeastOutstanding)
+	// PolicyWeightedQueueDepth picks the member with the smallest
+	// backlog per unit of capacity (weight or live worker count).
+	PolicyWeightedQueueDepth = string(router.WeightedQueueDepth)
+	// PolicyLabelAffinity picks the member matching the most selector
+	// labels, backlog-tie-broken.
+	PolicyLabelAffinity = string(router.LabelAffinity)
+)
+
 // Identifiers and task records.
 type (
 	// TaskID identifies one function invocation.
@@ -79,6 +106,8 @@ type (
 	FunctionID = types.FunctionID
 	// EndpointID identifies a registered endpoint.
 	EndpointID = types.EndpointID
+	// GroupID identifies an endpoint group.
+	GroupID = types.GroupID
 	// UserID identifies a user.
 	UserID = types.UserID
 	// ContainerSpec names a function's execution environment.

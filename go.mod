@@ -1,0 +1,3 @@
+module funcx
+
+go 1.23

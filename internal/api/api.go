@@ -43,6 +43,9 @@ type RegisterEndpointRequest struct {
 	Name        string `json:"name"`
 	Description string `json:"description,omitempty"`
 	Public      bool   `json:"public,omitempty"`
+	// Labels declare the endpoint's capabilities/locality (e.g.
+	// "gpu":"a100", "site":"anl") for router label matching.
+	Labels map[string]string `json:"labels,omitempty"`
 }
 
 // RegisterEndpointResponse returns the endpoint identity and the
@@ -60,10 +63,18 @@ type RegisterEndpointResponse struct {
 	EndpointToken string `json:"endpoint_token"`
 }
 
-// SubmitRequest submits one task (POST /v1/tasks).
+// SubmitRequest submits one task (POST /v1/tasks). Exactly one of
+// EndpointID and GroupID must be set: a concrete endpoint pins
+// placement (the HPDC 2020 model), an endpoint group delegates it to
+// the service's router.
 type SubmitRequest struct {
 	FunctionID types.FunctionID `json:"function_id"`
-	EndpointID types.EndpointID `json:"endpoint_id"`
+	EndpointID types.EndpointID `json:"endpoint_id,omitempty"`
+	// GroupID targets an endpoint group; the router picks the member.
+	GroupID types.GroupID `json:"group_id,omitempty"`
+	// Labels optionally constrain group placement to endpoints
+	// carrying these labels (ignored for direct submissions).
+	Labels map[string]string `json:"labels,omitempty"`
 	// Payload is the serialized input arguments.
 	Payload []byte `json:"payload"`
 	// Memoize opts into result caching (§4.7).
@@ -76,6 +87,9 @@ type SubmitRequest struct {
 // SubmitResponse returns the task id.
 type SubmitResponse struct {
 	TaskID types.TaskID `json:"task_id"`
+	// EndpointID is where the task was placed (echoes the request for
+	// direct submissions; reports the router's choice for group ones).
+	EndpointID types.EndpointID `json:"endpoint_id,omitempty"`
 	// Memoized indicates the result was served from cache at submit
 	// time and is immediately available.
 	Memoized bool `json:"memoized,omitempty"`
@@ -139,6 +153,37 @@ func (tb TimingBreakdown) Timing() types.Timing {
 // (GET /v1/endpoints/{id}/status).
 type EndpointStatusResponse struct {
 	Status types.EndpointStatus `json:"status"`
+}
+
+// CreateGroupRequest creates an endpoint group (POST /v1/groups).
+type CreateGroupRequest struct {
+	Name string `json:"name"`
+	// Policy names the placement policy (see internal/router); empty
+	// selects the default (least-outstanding).
+	Policy string `json:"policy,omitempty"`
+	// Public groups accept tasks from any authenticated user.
+	Public bool `json:"public,omitempty"`
+	// Members are the candidate endpoints.
+	Members []types.GroupMember `json:"members"`
+}
+
+// CreateGroupResponse returns the created group record.
+type CreateGroupResponse struct {
+	Group types.EndpointGroup `json:"group"`
+}
+
+// AddGroupMembersRequest appends members to a group
+// (POST /v1/groups/{id}/members).
+type AddGroupMembersRequest struct {
+	Members []types.GroupMember `json:"members"`
+}
+
+// GroupStatusResponse reports a group and the live status of each
+// member (GET /v1/groups/{id}).
+type GroupStatusResponse struct {
+	Group types.EndpointGroup `json:"group"`
+	// Members carries one live snapshot per member, in member order.
+	Members []types.EndpointStatus `json:"members"`
 }
 
 // ErrorResponse is the uniform error body.

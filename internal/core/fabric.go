@@ -109,6 +109,9 @@ type EndpointOptions struct {
 	Owner types.UserID
 	// Public permits any authenticated user to dispatch.
 	Public bool
+	// Labels declare the endpoint's capabilities/locality for router
+	// label matching (e.g. "gpu":"a100", "site":"anl").
+	Labels map[string]string
 	// Managers is the initial (static) manager count; elastic
 	// endpoints may start at zero.
 	Managers int
@@ -204,7 +207,7 @@ type Endpoint struct {
 // pool.
 func (f *Fabric) AddEndpoint(opts EndpointOptions) (*Endpoint, error) {
 	opts.setDefaults()
-	ep, network, addr, token, err := f.Service.RegisterEndpoint(opts.Owner, opts.Name, "", opts.Public)
+	ep, network, addr, token, err := f.Service.RegisterEndpoint(opts.Owner, opts.Name, "", opts.Public, opts.Labels)
 	if err != nil {
 		return nil, err
 	}
@@ -272,6 +275,46 @@ func contentionFor(system string) float64 {
 	default:
 		return 0
 	}
+}
+
+// GroupOptions shape one endpoint-group creation.
+type GroupOptions struct {
+	// Name is the registered group name.
+	Name string
+	// Owner creates and owns the group (must be able to dispatch to
+	// every member).
+	Owner types.UserID
+	// Policy names the placement policy (see internal/router); empty
+	// selects the default (least-outstanding).
+	Policy string
+	// Public permits any authenticated user to target the group.
+	Public bool
+	// Members are the candidate endpoints (ids of endpoints already
+	// added to the fabric, with optional static weights).
+	Members []types.GroupMember
+}
+
+// AddGroup registers an endpoint group over previously added
+// endpoints, so experiments can boot multi-endpoint fleets and submit
+// through the router instead of pinning each task to one endpoint.
+func (f *Fabric) AddGroup(opts GroupOptions) (*types.EndpointGroup, error) {
+	if opts.Name == "" {
+		opts.Name = "group"
+	}
+	if opts.Owner == "" {
+		opts.Owner = "operator"
+	}
+	return f.Service.CreateGroup(opts.Owner, opts.Name, opts.Policy, opts.Public, opts.Members)
+}
+
+// GroupOf is a convenience around AddGroup for the common case: group
+// the given endpoint handles under one policy, owned by owner.
+func (f *Fabric) GroupOf(owner types.UserID, name, policy string, eps ...*Endpoint) (*types.EndpointGroup, error) {
+	members := make([]types.GroupMember, len(eps))
+	for i, ep := range eps {
+		members[i] = types.GroupMember{EndpointID: ep.ID}
+	}
+	return f.AddGroup(GroupOptions{Name: name, Owner: owner, Policy: policy, Members: members})
 }
 
 // Endpoint returns a previously added endpoint handle.

@@ -20,7 +20,7 @@ func TestNamesComplete(t *testing.T) {
 	want := []string{
 		"fig1", "table1", "fig4", "fig5strong", "fig5weak", "throughput",
 		"fig6", "fig7", "fig8", "table2", "batchexec", "fig9", "fig10",
-		"fig11", "table3",
+		"fig11", "table3", "router",
 	}
 	names := Names()
 	got := map[string]bool{}
@@ -131,6 +131,18 @@ func TestFigure8Runs(t *testing.T) {
 	out := runQuick(t, "fig8")
 	if !strings.Contains(out, "FAILED") {
 		t.Fatalf("fig8 output missing failure phase:\n%s", out)
+	}
+}
+
+func TestRouterPoliciesRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric experiment")
+	}
+	out := runQuick(t, "router")
+	for _, want := range []string{"round-robin", "least-outstanding", "weighted-queue-depth", "label-affinity", "rerouted", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("router output missing %q:\n%s", want, out)
+		}
 	}
 }
 

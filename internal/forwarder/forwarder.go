@@ -58,6 +58,14 @@ type Config struct {
 	// OnStored, when set, fires after the result is persisted (the
 	// service wakes blocking result waiters here).
 	OnStored func(*types.Result)
+	// OnOrphaned, when set, is offered every queued task while no
+	// agent is connected. Returning true transfers ownership of the
+	// task (the service's router re-routes group-placed tasks to a
+	// healthy group member); returning false leaves the task queued
+	// for the agent's return. The forwarder keeps offering queued
+	// tasks each dispatch cycle until the agent reconnects, so tasks
+	// requeued after a partial dispatch are offered too.
+	OnOrphaned func(*types.Task) bool
 }
 
 // Forwarder relays tasks and results for one endpoint.
@@ -75,6 +83,11 @@ type Forwarder struct {
 	connected bool
 	// receipts maps dispatched task id -> reliable-queue receipt.
 	receipts map[types.TaskID]uint64
+	// offloadIdleLen / offloadLastScan throttle orphan offloading: a
+	// full-queue scan that accepted nothing is not repeated until the
+	// queue changes or a heartbeat period passes.
+	offloadIdleLen  int
+	offloadLastScan time.Time
 	// tfStart records dispatch-side forwarder time per task.
 	tfStart map[types.TaskID]time.Duration
 	status  *types.EndpointStatus
@@ -153,7 +166,13 @@ func (f *Forwarder) Status() *types.EndpointStatus {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.status == nil {
-		return &types.EndpointStatus{ID: f.cfg.EndpointID, Connected: f.connected}
+		// No agent report yet: still expose the live queue depth so
+		// load-aware placement works from the first submission.
+		return &types.EndpointStatus{
+			ID:          f.cfg.EndpointID,
+			Connected:   f.connected,
+			QueuedTasks: f.cfg.TaskQueue.Len(),
+		}
 	}
 	st := *f.status
 	st.Connected = f.connected
@@ -254,22 +273,30 @@ func (f *Forwarder) handleAgent(conn transport.Conn) {
 }
 
 // disconnect marks the agent gone and requeues unacknowledged tasks.
+// Only the receipts this forwarder recorded for dispatched tasks are
+// requeued — not the whole pending set — so a concurrent offload
+// scan's in-flight receipt cannot be yanked back into the queue after
+// the failover path already re-homed its task (which would duplicate
+// it).
 func (f *Forwarder) disconnect(reason string) {
 	f.mu.Lock()
 	conn := f.conn
 	f.conn = nil
 	f.connected = false
-	n := len(f.receipts)
+	receipts := make([]uint64, 0, len(f.receipts))
+	for _, r := range f.receipts {
+		receipts = append(receipts, r)
+	}
 	clear(f.receipts)
 	clear(f.tfStart)
 	f.mu.Unlock()
 	if conn != nil {
 		conn.Close()
 	}
-	if n > 0 {
-		f.cfg.TaskQueue.RequeuePending()
+	if len(receipts) > 0 {
+		f.cfg.TaskQueue.RequeueReceipts(receipts...)
 		f.mu.Lock()
-		f.requeues += int64(n)
+		f.requeues += int64(len(receipts))
 		f.mu.Unlock()
 	}
 	_ = reason
@@ -290,7 +317,9 @@ func (f *Forwarder) dispatchLoop() {
 		conn := f.conn
 		f.mu.Unlock()
 		if conn == nil {
-			// No agent: wait for a connection rather than spinning.
+			// No agent: offer queued tasks to the failover path, then
+			// wait for a connection rather than spinning.
+			f.offloadOrphans()
 			time.Sleep(f.cfg.HeartbeatPeriod / 4)
 			continue
 		}
@@ -320,11 +349,74 @@ func (f *Forwarder) dispatchLoop() {
 			continue
 		}
 		f.mu.Lock()
+		if f.conn != conn {
+			// Disconnected while sending: disconnect() already
+			// requeued its receipt snapshot, which missed this one —
+			// return the task ourselves so it is not stranded.
+			f.mu.Unlock()
+			f.cfg.TaskQueue.Nack(receipt) //nolint:errcheck
+			continue
+		}
 		f.receipts[task.ID] = receipt
 		f.tfStart[task.ID] = time.Since(popDone)
 		f.dispatched++
 		f.mu.Unlock()
 	}
+}
+
+// offloadOrphans walks the queue while no agent is connected,
+// offering each task to OnOrphaned. Accepted tasks are acknowledged
+// (their new owner has requeued them elsewhere); declined tasks
+// return to the queue in their original order to await the agent.
+//
+// Scans are throttled: when a pass accepts nothing (direct tasks, or
+// no healthy alternative yet), the queue is not re-walked until it
+// changes or a heartbeat period passes — a large backlog of
+// unroutable tasks must not be decoded every dispatch cycle, but a
+// group member recovering elsewhere is still picked up within one
+// heartbeat.
+func (f *Forwarder) offloadOrphans() {
+	if f.cfg.OnOrphaned == nil {
+		return
+	}
+	f.mu.Lock()
+	idleLen, lastScan := f.offloadIdleLen, f.offloadLastScan
+	f.mu.Unlock()
+	if idleLen > 0 && f.cfg.TaskQueue.Len() == idleLen &&
+		time.Since(lastScan) < f.cfg.HeartbeatPeriod {
+		return
+	}
+	accepted := 0
+	var declined []uint64
+	for {
+		data, receipt, ok := f.cfg.TaskQueue.TryPopReliable()
+		if !ok {
+			break
+		}
+		task, err := wire.DecodeTask(data)
+		if err != nil {
+			f.cfg.TaskQueue.Ack(receipt) //nolint:errcheck // drop undecodable item
+			continue
+		}
+		if f.cfg.OnOrphaned(task) {
+			f.cfg.TaskQueue.Ack(receipt) //nolint:errcheck
+			accepted++
+		} else {
+			declined = append(declined, receipt)
+		}
+	}
+	// Nack prepends, so restoring in reverse keeps original order.
+	for i := len(declined) - 1; i >= 0; i-- {
+		f.cfg.TaskQueue.Nack(declined[i]) //nolint:errcheck
+	}
+	f.mu.Lock()
+	if accepted == 0 && len(declined) > 0 {
+		f.offloadIdleLen = len(declined)
+		f.offloadLastScan = time.Now()
+	} else {
+		f.offloadIdleLen = 0
+	}
+	f.mu.Unlock()
 }
 
 // storeResult records a completed task: acknowledges the reliable

@@ -34,6 +34,7 @@ type Registry struct {
 	users     map[types.UserID]*types.User
 	functions map[types.FunctionID]*types.Function
 	endpoints map[types.EndpointID]*types.Endpoint
+	groups    map[types.GroupID]*types.EndpointGroup
 	now       func() time.Time
 }
 
@@ -43,6 +44,7 @@ func New() *Registry {
 		users:     make(map[types.UserID]*types.User),
 		functions: make(map[types.FunctionID]*types.Function),
 		endpoints: make(map[types.EndpointID]*types.Endpoint),
+		groups:    make(map[types.GroupID]*types.EndpointGroup),
 		now:       time.Now,
 	}
 }
@@ -177,13 +179,16 @@ func (r *Registry) FunctionCount() int {
 // --- endpoints ---
 
 // RegisterEndpoint stores a new endpoint, assigning id and time.
-func (r *Registry) RegisterEndpoint(owner types.UserID, name, description string, public bool) (*types.Endpoint, error) {
+// Labels are the endpoint's declared capability/locality tags (may be
+// nil); the router matches per-task selectors against them.
+func (r *Registry) RegisterEndpoint(owner types.UserID, name, description string, public bool, labels map[string]string) (*types.Endpoint, error) {
 	ep := &types.Endpoint{
 		ID:          types.NewEndpointID(),
 		Name:        name,
 		Description: description,
 		Owner:       owner,
 		Public:      public,
+		Labels:      copyLabels(labels),
 		Registered:  r.now(),
 	}
 	r.mu.Lock()
@@ -191,6 +196,17 @@ func (r *Registry) RegisterEndpoint(owner types.UserID, name, description string
 	r.endpoints[ep.ID] = ep
 	cp := *ep
 	return &cp, nil
+}
+
+func copyLabels(labels map[string]string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	return cp
 }
 
 // Endpoint returns a copy of the endpoint record.
@@ -202,6 +218,7 @@ func (r *Registry) Endpoint(id types.EndpointID) (*types.Endpoint, error) {
 		return nil, fmt.Errorf("%w: endpoint %s", ErrNotFound, id)
 	}
 	cp := *ep
+	cp.Labels = copyLabels(ep.Labels)
 	return &cp, nil
 }
 
@@ -235,4 +252,103 @@ func (r *Registry) EndpointCount() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.endpoints)
+}
+
+// --- endpoint groups ---
+
+// RegisterGroup stores a new endpoint group owned by owner. Every
+// member endpoint must exist and be dispatchable by the owner (owned
+// or public) — a group cannot grant access its creator lacks.
+// Duplicate members are collapsed (first occurrence wins) so a
+// repeated endpoint cannot skew placement.
+func (r *Registry) RegisterGroup(owner types.UserID, name, policy string, public bool, members []types.GroupMember) (*types.EndpointGroup, error) {
+	if len(members) == 0 {
+		return nil, errors.New("registry: group needs at least one member endpoint")
+	}
+	deduped := make([]types.GroupMember, 0, len(members))
+	seen := make(map[types.EndpointID]bool, len(members))
+	for _, m := range members {
+		if _, err := r.AuthorizeDispatch(owner, m.EndpointID); err != nil {
+			return nil, err
+		}
+		if !seen[m.EndpointID] {
+			seen[m.EndpointID] = true
+			deduped = append(deduped, m)
+		}
+	}
+	g := &types.EndpointGroup{
+		ID:         types.NewGroupID(),
+		Name:       name,
+		Owner:      owner,
+		Policy:     policy,
+		Public:     public,
+		Members:    deduped,
+		Registered: r.now(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groups[g.ID] = g
+	return copyGroup(g), nil
+}
+
+func copyGroup(g *types.EndpointGroup) *types.EndpointGroup {
+	cp := *g
+	cp.Members = append([]types.GroupMember(nil), g.Members...)
+	return &cp
+}
+
+// Group returns a copy of the group record.
+func (r *Registry) Group(id types.GroupID) (*types.EndpointGroup, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.groups[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: group %s", ErrNotFound, id)
+	}
+	return copyGroup(g), nil
+}
+
+// AddGroupMembers appends endpoints to a group (owner only). Members
+// already present are skipped.
+func (r *Registry) AddGroupMembers(actor types.UserID, id types.GroupID, members ...types.GroupMember) (*types.EndpointGroup, error) {
+	for _, m := range members {
+		if _, err := r.AuthorizeDispatch(actor, m.EndpointID); err != nil {
+			return nil, err
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: group %s", ErrNotFound, id)
+	}
+	if g.Owner != actor {
+		return nil, fmt.Errorf("%w: only owner may modify group", ErrForbidden)
+	}
+	for _, m := range members {
+		if !g.HasMember(m.EndpointID) {
+			g.Members = append(g.Members, m)
+		}
+	}
+	return copyGroup(g), nil
+}
+
+// AuthorizeGroupDispatch checks that uid may target the group: the
+// group must be public or owned by uid.
+func (r *Registry) AuthorizeGroupDispatch(uid types.UserID, id types.GroupID) (*types.EndpointGroup, error) {
+	g, err := r.Group(id)
+	if err != nil {
+		return nil, err
+	}
+	if !g.Public && g.Owner != uid {
+		return nil, fmt.Errorf("%w: group %s not accessible to %s", ErrForbidden, id, uid)
+	}
+	return g, nil
+}
+
+// GroupCount returns the number of registered groups.
+func (r *Registry) GroupCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.groups)
 }

@@ -94,8 +94,8 @@ func TestPublicSharing(t *testing.T) {
 
 func TestEndpointDispatchAuthorization(t *testing.T) {
 	r := New()
-	private, _ := r.RegisterEndpoint("alice", "laptop", "", false)
-	public, _ := r.RegisterEndpoint("alice", "cluster", "", true)
+	private, _ := r.RegisterEndpoint("alice", "laptop", "", false, nil)
+	public, _ := r.RegisterEndpoint("alice", "cluster", "", true, nil)
 
 	if _, err := r.AuthorizeDispatch("alice", private.ID); err != nil {
 		t.Fatalf("owner dispatch: %v", err)

@@ -1,0 +1,311 @@
+// Package router is the funcX service's federated placement engine.
+// The HPDC 2020 paper makes the user pick an endpoint for every task
+// (`Run(fnID, epID, payload)`); the follow-up federated-FaaS work
+// (IEEE TPDS 2022) moves placement into the service so a submission
+// may instead name an *endpoint group* — a fleet of endpoints — and
+// let the service choose where each task runs.
+//
+// The router consults the live types.EndpointStatus heartbeat
+// snapshots the forwarders already collect (Connected,
+// OutstandingTasks, QueuedTasks, Workers) and applies a pluggable
+// placement policy:
+//
+//   - round-robin: rotate through healthy members.
+//   - least-outstanding: the member with the smallest backlog
+//     (queued + outstanding tasks).
+//   - weighted-queue-depth: the member with the smallest backlog per
+//     unit of capacity (static member weight, or live worker count).
+//   - label-affinity: the member matching the most selector labels,
+//     backlog-tie-broken.
+//
+// Placement is health-aware: disconnected members are skipped, and
+// when an endpoint dies the service re-routes its still-queued
+// group-placed tasks through Route again (see service.failover).
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"funcx/internal/types"
+)
+
+// Policy names a placement policy.
+type Policy string
+
+// The built-in placement policies.
+const (
+	RoundRobin         Policy = "round-robin"
+	LeastOutstanding   Policy = "least-outstanding"
+	WeightedQueueDepth Policy = "weighted-queue-depth"
+	LabelAffinity      Policy = "label-affinity"
+)
+
+// DefaultPolicy is used when a group declares no policy.
+const DefaultPolicy = LeastOutstanding
+
+// Policies lists every built-in policy.
+func Policies() []Policy {
+	return []Policy{RoundRobin, LeastOutstanding, WeightedQueueDepth, LabelAffinity}
+}
+
+// ParsePolicy validates a policy name ("" selects DefaultPolicy).
+func ParsePolicy(name string) (Policy, error) {
+	if name == "" {
+		return DefaultPolicy, nil
+	}
+	p := Policy(name)
+	for _, known := range Policies() {
+		if p == known {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("router: unknown policy %q (have %v)", name, Policies())
+}
+
+// ErrNoCandidates is returned when a group has no members at all.
+var ErrNoCandidates = errors.New("router: group has no candidate endpoints")
+
+// ErrNoSelectorMatch is returned when a label selector matches no
+// candidate: placing the task anyway would run it where it cannot
+// succeed, so the submission is rejected instead.
+var ErrNoSelectorMatch = errors.New("router: no group member matches the label selector")
+
+// Candidate is one group member presented to a policy: its identity,
+// declared labels and weight, and the latest heartbeat snapshot.
+type Candidate struct {
+	EndpointID types.EndpointID
+	// Labels are the endpoint's registration-time capability tags.
+	Labels map[string]string
+	// Weight is the static placement weight (0 = derive from Status
+	// worker count).
+	Weight int
+	// Status is the live forwarder snapshot (never nil inside the
+	// router; a missing status is treated as disconnected-with-zeros).
+	Status types.EndpointStatus
+}
+
+// backlog is the candidate's total uncompleted work: tasks waiting in
+// its service-side queue plus tasks dispatched but unfinished.
+func (c *Candidate) backlog() int {
+	return c.Status.QueuedTasks + c.Status.OutstandingTasks
+}
+
+// capacity is the divisor for weighted-queue-depth: the static weight
+// when declared, else the live worker count, floored at 1 so empty
+// endpoints still rank.
+func (c *Candidate) capacity() int {
+	w := c.Weight
+	if w <= 0 {
+		w = c.Status.Workers
+	}
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+// matches counts how many selector pairs the candidate's labels
+// satisfy, and reports whether all of them are satisfied.
+func (c *Candidate) matches(selector map[string]string) (n int, all bool) {
+	all = true
+	for k, v := range selector {
+		if c.Labels[k] == v {
+			n++
+		} else {
+			all = false
+		}
+	}
+	return n, all
+}
+
+// Request is one placement decision's input.
+type Request struct {
+	Group *types.EndpointGroup
+	// Selector optionally constrains placement to endpoints carrying
+	// these labels. Policies other than label-affinity treat it as a
+	// hard constraint (ErrNoSelectorMatch when nothing satisfies it);
+	// label-affinity treats it as a soft preference, scoring by match
+	// count among healthy members.
+	Selector map[string]string
+	// Exclude removes endpoints from consideration (failover re-routes
+	// exclude the dead endpoint even if its status still reads
+	// connected).
+	Exclude map[types.EndpointID]bool
+}
+
+// Router is the placement engine. It is stateless apart from the
+// per-group round-robin cursors; group membership comes in with each
+// request and endpoint health is read through the Statuses callback.
+type Router struct {
+	// Status returns the live heartbeat snapshot for an endpoint (nil
+	// when the endpoint has no forwarder yet).
+	Status func(types.EndpointID) *types.EndpointStatus
+	// Labels returns the endpoint's registration-time labels.
+	Labels func(types.EndpointID) map[string]string
+
+	mu sync.Mutex
+	// cursor holds the per-group round-robin position.
+	cursor map[types.GroupID]int
+}
+
+// New builds a router over the given status and label sources.
+func New(status func(types.EndpointID) *types.EndpointStatus, labels func(types.EndpointID) map[string]string) *Router {
+	return &Router{
+		Status: status,
+		Labels: labels,
+		cursor: make(map[types.GroupID]int),
+	}
+}
+
+// Route picks the endpoint the next task for the group should run on.
+//
+// Selection proceeds in stages:
+//  1. Build candidates from group members minus Exclude.
+//  2. Apply the selector. For every policy except label-affinity it
+//     is a hard constraint: nothing matching → ErrNoSelectorMatch
+//     (better a submit-time error than a task placed where it cannot
+//     succeed). The filter runs before the health check so the
+//     constraint outweighs a transient disconnect: a task needing a
+//     gpu waits for the gpu member rather than running where it
+//     cannot. Label-affinity instead treats the selector as a soft
+//     preference among healthy members (step 4).
+//  3. Prefer connected members; if none is connected, keep every
+//     candidate (the task waits in the chosen member's reliable queue
+//     until its agent returns — same at-least-once behaviour as a
+//     direct submission to a briefly offline endpoint).
+//  4. Apply the group's policy.
+func (r *Router) Route(req Request) (types.EndpointID, error) {
+	if req.Group == nil || len(req.Group.Members) == 0 {
+		return "", ErrNoCandidates
+	}
+	policy, err := ParsePolicy(req.Group.Policy)
+	if err != nil {
+		return "", err
+	}
+
+	// Labels are only consulted by selectors and the affinity policy;
+	// skip the per-member registry lookups otherwise.
+	needLabels := len(req.Selector) > 0 || policy == LabelAffinity
+	cands := r.candidates(req, needLabels)
+	if len(cands) == 0 {
+		return "", fmt.Errorf("%w: group %s (all %d members excluded)",
+			ErrNoCandidates, req.Group.ID, len(req.Group.Members))
+	}
+	if policy != LabelAffinity {
+		cands = filterSelector(cands, req.Selector)
+		if len(cands) == 0 {
+			return "", fmt.Errorf("%w: group %s, selector %v",
+				ErrNoSelectorMatch, req.Group.ID, req.Selector)
+		}
+	}
+	cands = preferConnected(cands)
+
+	switch policy {
+	case RoundRobin:
+		return r.pickRoundRobin(req.Group.ID, cands), nil
+	case WeightedQueueDepth:
+		return pickMin(cands, func(c *Candidate) float64 {
+			return float64(c.backlog()) / float64(c.capacity())
+		}), nil
+	case LabelAffinity:
+		return pickLabelAffinity(cands, req.Selector), nil
+	default: // LeastOutstanding
+		return pickMin(cands, func(c *Candidate) float64 {
+			return float64(c.backlog())
+		}), nil
+	}
+}
+
+// candidates materializes the group members with live status (and,
+// when needed, labels), dropping excluded endpoints.
+func (r *Router) candidates(req Request, needLabels bool) []Candidate {
+	cands := make([]Candidate, 0, len(req.Group.Members))
+	for _, m := range req.Group.Members {
+		if req.Exclude[m.EndpointID] {
+			continue
+		}
+		c := Candidate{EndpointID: m.EndpointID, Weight: m.Weight}
+		if r.Status != nil {
+			if st := r.Status(m.EndpointID); st != nil {
+				c.Status = *st
+			}
+		}
+		if needLabels && r.Labels != nil {
+			c.Labels = r.Labels(m.EndpointID)
+		}
+		cands = append(cands, c)
+	}
+	return cands
+}
+
+// preferConnected keeps only connected candidates when any exist.
+func preferConnected(cands []Candidate) []Candidate {
+	connected := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		if c.Status.Connected {
+			connected = append(connected, c)
+		}
+	}
+	if len(connected) > 0 {
+		return connected
+	}
+	return cands
+}
+
+// filterSelector keeps candidates satisfying every selector pair; an
+// empty result means the constraint is unsatisfiable in this group.
+func filterSelector(cands []Candidate, selector map[string]string) []Candidate {
+	if len(selector) == 0 {
+		return cands
+	}
+	matched := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		if _, all := c.matches(selector); all {
+			matched = append(matched, c)
+		}
+	}
+	return matched
+}
+
+// pickRoundRobin rotates the group's cursor through the candidates.
+func (r *Router) pickRoundRobin(gid types.GroupID, cands []Candidate) types.EndpointID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.cursor[gid] % len(cands)
+	r.cursor[gid]++
+	return cands[i].EndpointID
+}
+
+// pickMin returns the candidate with the smallest score, preserving
+// member order on ties so selection is deterministic.
+func pickMin(cands []Candidate, score func(*Candidate) float64) types.EndpointID {
+	best, bestScore := 0, score(&cands[0])
+	for i := 1; i < len(cands); i++ {
+		if s := score(&cands[i]); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return cands[best].EndpointID
+}
+
+// pickLabelAffinity ranks by selector match count (more is better),
+// breaking ties by smallest backlog. With no selector it degrades to
+// least-outstanding. Affinity is deliberately soft: it runs over the
+// healthy pool, so a task prefers a matching member but still runs
+// elsewhere when none is available — use a selector with any other
+// policy for a hard capability constraint.
+func pickLabelAffinity(cands []Candidate, selector map[string]string) types.EndpointID {
+	best := 0
+	bestMatches, _ := cands[0].matches(selector)
+	bestBacklog := cands[0].backlog()
+	for i := 1; i < len(cands); i++ {
+		n, _ := cands[i].matches(selector)
+		b := cands[i].backlog()
+		if n > bestMatches || (n == bestMatches && b < bestBacklog) {
+			best, bestMatches, bestBacklog = i, n, b
+		}
+	}
+	return cands[best].EndpointID
+}

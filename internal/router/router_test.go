@@ -1,0 +1,330 @@
+package router
+
+import (
+	"errors"
+	"testing"
+
+	"funcx/internal/types"
+)
+
+// fixture builds a router over static status/label tables plus a
+// group whose members are the table's endpoints in order.
+type fixture struct {
+	statuses map[types.EndpointID]*types.EndpointStatus
+	labels   map[types.EndpointID]map[string]string
+	group    *types.EndpointGroup
+}
+
+func newFixture(policy Policy, members ...types.GroupMember) *fixture {
+	return &fixture{
+		statuses: make(map[types.EndpointID]*types.EndpointStatus),
+		labels:   make(map[types.EndpointID]map[string]string),
+		group: &types.EndpointGroup{
+			ID:      types.NewGroupID(),
+			Name:    "test-group",
+			Policy:  string(policy),
+			Members: members,
+		},
+	}
+}
+
+func (f *fixture) router() *Router {
+	return New(
+		func(id types.EndpointID) *types.EndpointStatus { return f.statuses[id] },
+		func(id types.EndpointID) map[string]string { return f.labels[id] },
+	)
+}
+
+func (f *fixture) setStatus(id types.EndpointID, connected bool, queued, outstanding, workers int) {
+	f.statuses[id] = &types.EndpointStatus{
+		ID: id, Connected: connected,
+		QueuedTasks: queued, OutstandingTasks: outstanding, Workers: workers,
+	}
+}
+
+func members(ids ...types.EndpointID) []types.GroupMember {
+	out := make([]types.GroupMember, len(ids))
+	for i, id := range ids {
+		out[i] = types.GroupMember{EndpointID: id}
+	}
+	return out
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := ParsePolicy(string(p))
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %q, %v", p, got, err)
+		}
+	}
+	if got, err := ParsePolicy(""); err != nil || got != DefaultPolicy {
+		t.Fatalf("ParsePolicy(\"\") = %q, %v, want default", got, err)
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy accepted bogus policy")
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	a, b, c := types.EndpointID("ep-a"), types.EndpointID("ep-b"), types.EndpointID("ep-c")
+	f := newFixture(RoundRobin, members(a, b, c)...)
+	for _, id := range []types.EndpointID{a, b, c} {
+		f.setStatus(id, true, 0, 0, 4)
+	}
+	r := f.router()
+	want := []types.EndpointID{a, b, c, a, b, c}
+	for i, w := range want {
+		got, err := r.Route(Request{Group: f.group})
+		if err != nil {
+			t.Fatalf("Route %d: %v", i, err)
+		}
+		if got != w {
+			t.Fatalf("Route %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestRoundRobinSkipsDisconnected(t *testing.T) {
+	a, b, c := types.EndpointID("ep-a"), types.EndpointID("ep-b"), types.EndpointID("ep-c")
+	f := newFixture(RoundRobin, members(a, b, c)...)
+	f.setStatus(a, true, 0, 0, 4)
+	f.setStatus(b, false, 0, 0, 4) // dead
+	f.setStatus(c, true, 0, 0, 4)
+	r := f.router()
+	for i := 0; i < 6; i++ {
+		got, err := r.Route(Request{Group: f.group})
+		if err != nil {
+			t.Fatalf("Route %d: %v", i, err)
+		}
+		if got == b {
+			t.Fatalf("Route %d picked disconnected endpoint %s", i, b)
+		}
+	}
+}
+
+func TestLeastOutstandingPicksSmallestBacklog(t *testing.T) {
+	a, b, c := types.EndpointID("ep-a"), types.EndpointID("ep-b"), types.EndpointID("ep-c")
+	f := newFixture(LeastOutstanding, members(a, b, c)...)
+	f.setStatus(a, true, 5, 3, 4)  // backlog 8
+	f.setStatus(b, true, 1, 1, 4)  // backlog 2 <- expect
+	f.setStatus(c, true, 10, 0, 4) // backlog 10
+	got, err := f.router().Route(Request{Group: f.group})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if got != b {
+		t.Fatalf("Route = %s, want %s (least backlog)", got, b)
+	}
+}
+
+func TestLeastOutstandingTieBreaksByMemberOrder(t *testing.T) {
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(LeastOutstanding, members(a, b)...)
+	f.setStatus(a, true, 2, 0, 4)
+	f.setStatus(b, true, 2, 0, 4)
+	got, err := f.router().Route(Request{Group: f.group})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if got != a {
+		t.Fatalf("Route = %s, want first member %s on tie", got, a)
+	}
+}
+
+func TestWeightedQueueDepthNormalizesByCapacity(t *testing.T) {
+	// big has twice the backlog but four times the workers: its
+	// per-capacity depth (8/16 = 0.5) beats small's (4/4 = 1.0).
+	big, small := types.EndpointID("ep-big"), types.EndpointID("ep-small")
+	f := newFixture(WeightedQueueDepth, members(small, big)...)
+	f.setStatus(small, true, 4, 0, 4)
+	f.setStatus(big, true, 8, 0, 16)
+	got, err := f.router().Route(Request{Group: f.group})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if got != big {
+		t.Fatalf("Route = %s, want %s (smaller backlog per worker)", got, big)
+	}
+}
+
+func TestWeightedQueueDepthHonorsStaticWeight(t *testing.T) {
+	// Same live stats, but a declares weight 10 vs b's 1: a's
+	// per-weight depth (4/10) beats b's (4/1).
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(WeightedQueueDepth,
+		types.GroupMember{EndpointID: a, Weight: 10},
+		types.GroupMember{EndpointID: b, Weight: 1},
+	)
+	f.setStatus(a, true, 4, 0, 4)
+	f.setStatus(b, true, 4, 0, 4)
+	// b first in member order would win a tie; weight must override.
+	f.group.Members[0], f.group.Members[1] = f.group.Members[1], f.group.Members[0]
+	got, err := f.router().Route(Request{Group: f.group})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if got != a {
+		t.Fatalf("Route = %s, want %s (higher static weight)", got, a)
+	}
+}
+
+func TestLabelAffinityPrefersBestMatch(t *testing.T) {
+	gpu, cpu := types.EndpointID("ep-gpu"), types.EndpointID("ep-cpu")
+	f := newFixture(LabelAffinity, members(cpu, gpu)...)
+	f.setStatus(cpu, true, 0, 0, 4)
+	f.setStatus(gpu, true, 50, 10, 4) // heavily loaded but matching
+	f.labels[gpu] = map[string]string{"gpu": "a100", "site": "anl"}
+	f.labels[cpu] = map[string]string{"site": "anl"}
+	got, err := f.router().Route(Request{
+		Group:    f.group,
+		Selector: map[string]string{"gpu": "a100"},
+	})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if got != gpu {
+		t.Fatalf("Route = %s, want %s (label match beats load)", got, gpu)
+	}
+}
+
+func TestLabelAffinityTieBreaksByBacklog(t *testing.T) {
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(LabelAffinity, members(a, b)...)
+	f.setStatus(a, true, 9, 0, 4)
+	f.setStatus(b, true, 1, 0, 4)
+	f.labels[a] = map[string]string{"site": "anl"}
+	f.labels[b] = map[string]string{"site": "anl"}
+	got, err := f.router().Route(Request{
+		Group:    f.group,
+		Selector: map[string]string{"site": "anl"},
+	})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if got != b {
+		t.Fatalf("Route = %s, want %s (equal match, less backlog)", got, b)
+	}
+}
+
+func TestSelectorHardFiltersOtherPolicies(t *testing.T) {
+	idle, gpu := types.EndpointID("ep-idle"), types.EndpointID("ep-gpu")
+	f := newFixture(LeastOutstanding, members(idle, gpu)...)
+	f.setStatus(idle, true, 0, 0, 4)
+	f.setStatus(gpu, true, 20, 0, 4)
+	f.labels[gpu] = map[string]string{"gpu": "a100"}
+	got, err := f.router().Route(Request{
+		Group:    f.group,
+		Selector: map[string]string{"gpu": "a100"},
+	})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if got != gpu {
+		t.Fatalf("Route = %s, want %s (selector constrains placement)", got, gpu)
+	}
+}
+
+func TestUnsatisfiableSelectorRejected(t *testing.T) {
+	// No member carries the requested label: error out rather than
+	// silently placing the task where it cannot succeed.
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(LeastOutstanding, members(a, b)...)
+	f.setStatus(a, true, 0, 0, 4)
+	f.setStatus(b, true, 0, 0, 4)
+	_, err := f.router().Route(Request{
+		Group:    f.group,
+		Selector: map[string]string{"gpu": "a100"},
+	})
+	if !errors.Is(err, ErrNoSelectorMatch) {
+		t.Fatalf("err = %v, want ErrNoSelectorMatch", err)
+	}
+}
+
+func TestSelectorOutweighsTransientDisconnect(t *testing.T) {
+	// The only gpu member is briefly offline: a gpu-constrained task
+	// must wait in its queue, not run on a connected cpu member.
+	cpu, gpu := types.EndpointID("ep-cpu"), types.EndpointID("ep-gpu")
+	f := newFixture(LeastOutstanding, members(cpu, gpu)...)
+	f.setStatus(cpu, true, 0, 0, 4)
+	f.setStatus(gpu, false, 0, 0, 4)
+	f.labels[gpu] = map[string]string{"gpu": "a100"}
+	got, err := f.router().Route(Request{
+		Group:    f.group,
+		Selector: map[string]string{"gpu": "a100"},
+	})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if got != gpu {
+		t.Fatalf("Route = %s, want %s (capability beats connectivity)", got, gpu)
+	}
+}
+
+func TestExcludeRemovesEndpoint(t *testing.T) {
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(LeastOutstanding, members(a, b)...)
+	f.setStatus(a, true, 0, 0, 4) // least loaded, but excluded
+	f.setStatus(b, true, 9, 0, 4)
+	got, err := f.router().Route(Request{
+		Group:   f.group,
+		Exclude: map[types.EndpointID]bool{a: true},
+	})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if got != b {
+		t.Fatalf("Route = %s, want %s (a excluded)", got, b)
+	}
+	if _, err := f.router().Route(Request{
+		Group:   f.group,
+		Exclude: map[types.EndpointID]bool{a: true, b: true},
+	}); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("Route with all excluded: err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestAllDisconnectedFallsBackToQueueing(t *testing.T) {
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(LeastOutstanding, members(a, b)...)
+	f.setStatus(a, false, 3, 0, 4)
+	f.setStatus(b, false, 1, 0, 4)
+	got, err := f.router().Route(Request{Group: f.group})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if got != b {
+		t.Fatalf("Route = %s, want %s (least backlog among offline members)", got, b)
+	}
+}
+
+func TestMissingStatusTreatedAsDisconnected(t *testing.T) {
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(RoundRobin, members(a, b)...)
+	f.setStatus(b, true, 0, 0, 4)
+	// a has no status at all: the connected member must win.
+	for i := 0; i < 4; i++ {
+		got, err := f.router().Route(Request{Group: f.group})
+		if err != nil {
+			t.Fatalf("Route: %v", err)
+		}
+		if got != b {
+			t.Fatalf("Route = %s, want %s (only connected member)", got, b)
+		}
+	}
+}
+
+func TestUnknownGroupPolicyRejected(t *testing.T) {
+	a := types.EndpointID("ep-a")
+	f := newFixture(Policy("bogus"), members(a)...)
+	f.setStatus(a, true, 0, 0, 4)
+	if _, err := f.router().Route(Request{Group: f.group}); err == nil {
+		t.Fatal("Route accepted unknown policy")
+	}
+}
+
+func TestEmptyGroupRejected(t *testing.T) {
+	f := newFixture(RoundRobin)
+	if _, err := f.router().Route(Request{Group: f.group}); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+}

@@ -139,14 +139,57 @@ func (c *Client) ShareFunction(ctx context.Context, id types.FunctionID, users .
 // RegisterEndpoint registers an endpoint, returning its id plus the
 // forwarder coordinates and agent token needed to start the agent.
 func (c *Client) RegisterEndpoint(ctx context.Context, name, description string, public bool) (*api.RegisterEndpointResponse, error) {
+	return c.RegisterEndpointLabeled(ctx, name, description, public, nil)
+}
+
+// RegisterEndpointLabeled is RegisterEndpoint with declared capability
+// labels, which the service router matches per-task selectors and the
+// label-affinity policy against.
+func (c *Client) RegisterEndpointLabeled(ctx context.Context, name, description string, public bool, labels map[string]string) (*api.RegisterEndpointResponse, error) {
 	var resp api.RegisterEndpointResponse
 	_, err := c.do(ctx, http.MethodPost, "/v1/endpoints", api.RegisterEndpointRequest{
-		Name: name, Description: description, Public: public,
+		Name: name, Description: description, Public: public, Labels: labels,
 	}, &resp)
 	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// CreateGroup registers an endpoint group: a named fleet the service
+// router places tasks across. Policy names a placement policy
+// ("round-robin", "least-outstanding", "weighted-queue-depth",
+// "label-affinity"); empty selects the service default.
+func (c *Client) CreateGroup(ctx context.Context, name, policy string, public bool, members []types.GroupMember) (*types.EndpointGroup, error) {
+	var resp api.CreateGroupResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name: name, Policy: policy, Public: public, Members: members,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp.Group, nil
+}
+
+// AddGroupMembers appends endpoints to a group (owner only).
+func (c *Client) AddGroupMembers(ctx context.Context, id types.GroupID, members ...types.GroupMember) (*types.EndpointGroup, error) {
+	var resp api.CreateGroupResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/groups/"+string(id)+"/members", api.AddGroupMembersRequest{Members: members}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp.Group, nil
+}
+
+// GroupStatus fetches a group record plus the live status of each
+// member endpoint.
+func (c *Client) GroupStatus(ctx context.Context, id types.GroupID) (*types.EndpointGroup, []types.EndpointStatus, error) {
+	var resp api.GroupStatusResponse
+	_, err := c.do(ctx, http.MethodGet, "/v1/groups/"+string(id), nil, &resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &resp.Group, resp.Members, nil
 }
 
 // EndpointStatus fetches endpoint health.
@@ -166,6 +209,9 @@ type RunOptions struct {
 	// BatchN marks the payload as a packed batch of N argument
 	// buffers.
 	BatchN int
+	// Labels constrain group placement to endpoints carrying these
+	// labels (group submissions only).
+	Labels map[string]string
 }
 
 // Run invokes a registered function on an endpoint with serialized
@@ -185,6 +231,38 @@ func (c *Client) RunOpts(ctx context.Context, fnID types.FunctionID, epID types.
 		return "", err
 	}
 	return resp.TaskID, nil
+}
+
+// RunAnywhere submits a task to an endpoint *group*, letting the
+// service router pick the member endpoint by the group's placement
+// policy and live load. It returns the task id and the endpoint the
+// router chose.
+func (c *Client) RunAnywhere(ctx context.Context, fnID types.FunctionID, gid types.GroupID, payload []byte) (types.TaskID, types.EndpointID, error) {
+	return c.RunAnywhereOpts(ctx, fnID, gid, payload, RunOptions{})
+}
+
+// RunAnywhereOpts is RunAnywhere with options; opts.Labels constrain
+// placement to members carrying those labels.
+func (c *Client) RunAnywhereOpts(ctx context.Context, fnID types.FunctionID, gid types.GroupID, payload []byte, opts RunOptions) (types.TaskID, types.EndpointID, error) {
+	var resp api.SubmitResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/tasks", api.SubmitRequest{
+		FunctionID: fnID, GroupID: gid, Payload: payload,
+		Labels: opts.Labels, Memoize: opts.Memoize, BatchN: opts.BatchN,
+	}, &resp)
+	if err != nil {
+		return "", "", err
+	}
+	return resp.TaskID, resp.EndpointID, nil
+}
+
+// RunBatchAnywhere submits many payloads of one function to a group
+// in a single request, router-placed individually.
+func (c *Client) RunBatchAnywhere(ctx context.Context, fnID types.FunctionID, gid types.GroupID, payloads [][]byte) ([]types.TaskID, error) {
+	reqs := make([]api.SubmitRequest, len(payloads))
+	for i, p := range payloads {
+		reqs[i] = api.SubmitRequest{FunctionID: fnID, GroupID: gid, Payload: p}
+	}
+	return c.RunBatch(ctx, reqs)
 }
 
 // RunValue serializes value with the facade and submits it.
@@ -328,6 +406,24 @@ func (h *MapHandle) Total() int {
 // that many near-even batches; otherwise islice-style slabs of
 // batchSize items are cut without evaluating the rest of the iterator.
 func (c *Client) Map(ctx context.Context, fnID types.FunctionID, epID types.EndpointID, items iter.Seq[any], batchSize, batchCount int) (*MapHandle, error) {
+	return c.mapInto(ctx, fnID, mapTarget{epID: epID}, items, batchSize, batchCount)
+}
+
+// MapAnywhere is Map with an endpoint-group target: each batch task
+// is placed independently by the service router, spreading the map
+// across the fleet by the group's policy.
+func (c *Client) MapAnywhere(ctx context.Context, fnID types.FunctionID, gid types.GroupID, items iter.Seq[any], batchSize, batchCount int) (*MapHandle, error) {
+	return c.mapInto(ctx, fnID, mapTarget{gid: gid}, items, batchSize, batchCount)
+}
+
+// mapTarget names where map batches go: a pinned endpoint or a
+// router-placed group.
+type mapTarget struct {
+	epID types.EndpointID
+	gid  types.GroupID
+}
+
+func (c *Client) mapInto(ctx context.Context, fnID types.FunctionID, target mapTarget, items iter.Seq[any], batchSize, batchCount int) (*MapHandle, error) {
 	if batchSize <= 0 {
 		batchSize = 1
 	}
@@ -354,7 +450,7 @@ func (c *Client) Map(ctx context.Context, fnID types.FunctionID, epID types.Endp
 			if b < n%batchCount {
 				size++
 			}
-			if err := c.submitMapBatch(ctx, fnID, epID, all[start:start+size], handle); err != nil {
+			if err := c.submitMapBatch(ctx, fnID, target, all[start:start+size], handle); err != nil {
 				return nil, err
 			}
 			start += size
@@ -368,7 +464,7 @@ func (c *Client) Map(ctx context.Context, fnID types.FunctionID, epID types.Endp
 		if len(batch) == 0 {
 			return nil
 		}
-		err := c.submitMapBatch(ctx, fnID, epID, batch, handle)
+		err := c.submitMapBatch(ctx, fnID, target, batch, handle)
 		batch = batch[:0]
 		return err
 	}
@@ -392,13 +488,22 @@ func (c *Client) Map(ctx context.Context, fnID types.FunctionID, epID types.Endp
 	return handle, nil
 }
 
-// submitMapBatch packs serialized items into one batch task.
-func (c *Client) submitMapBatch(ctx context.Context, fnID types.FunctionID, epID types.EndpointID, items [][]byte, handle *MapHandle) error {
+// submitMapBatch packs serialized items into one batch task bound for
+// the map target (pinned endpoint or router-placed group).
+func (c *Client) submitMapBatch(ctx context.Context, fnID types.FunctionID, target mapTarget, items [][]byte, handle *MapHandle) error {
 	parts := make([]serial.Part, len(items))
 	for i, b := range items {
 		parts[i] = serial.Part{Tag: fmt.Sprintf("i%d", i), Body: b}
 	}
-	id, err := c.RunOpts(ctx, fnID, epID, serial.Pack(parts...), RunOptions{BatchN: len(items)})
+	payload := serial.Pack(parts...)
+	opts := RunOptions{BatchN: len(items)}
+	var id types.TaskID
+	var err error
+	if target.gid != "" {
+		id, _, err = c.RunAnywhereOpts(ctx, fnID, target.gid, payload, opts)
+	} else {
+		id, err = c.RunOpts(ctx, fnID, target.epID, payload, opts)
+	}
 	if err != nil {
 		return err
 	}

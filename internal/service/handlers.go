@@ -40,6 +40,10 @@ func (s *Service) buildMux() {
 	mux.Handle("POST /v1/endpoints", protect(auth.ScopeManageEndpoints, s.handleRegisterEndpoint))
 	mux.Handle("GET /v1/endpoints/{id}/status", protect(auth.ScopeRun, s.handleEndpointStatus))
 
+	mux.Handle("POST /v1/groups", protect(auth.ScopeManageEndpoints, s.handleCreateGroup))
+	mux.Handle("GET /v1/groups/{id}", protect(auth.ScopeRun, s.handleGroupStatus))
+	mux.Handle("POST /v1/groups/{id}/members", protect(auth.ScopeManageEndpoints, s.handleAddGroupMembers))
+
 	mux.Handle("POST /v1/tasks", protect(auth.ScopeRun, s.handleSubmit))
 	mux.Handle("POST /v1/tasks/batch", protect(auth.ScopeRun, s.handleBatchSubmit))
 	mux.Handle("GET /v1/tasks/{id}", protect(auth.ScopeRun, s.handleStatus))
@@ -97,6 +101,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusUnauthorized
 	case errors.Is(err, ErrPayloadTooLarge):
 		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrInvalidRequest):
+		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, api.ErrorResponse{Error: err.Error()})
 }
@@ -163,7 +169,7 @@ func (s *Service) handleRegisterEndpoint(w http.ResponseWriter, r *http.Request)
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	ep, network, addr, token, err := s.RegisterEndpoint(claimsOf(r).Subject, req.Name, req.Description, req.Public)
+	ep, network, addr, token, err := s.RegisterEndpoint(claimsOf(r).Subject, req.Name, req.Description, req.Public, req.Labels)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -185,17 +191,26 @@ func (s *Service) handleEndpointStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.EndpointStatusResponse{Status: *st})
 }
 
+// submissionOf converts the wire shape into a service Submission.
+func submissionOf(t api.SubmitRequest) Submission {
+	return Submission{
+		FunctionID: t.FunctionID, EndpointID: t.EndpointID,
+		GroupID: t.GroupID, Labels: t.Labels,
+		Payload: t.Payload, Memoize: t.Memoize, BatchN: t.BatchN,
+	}
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.SubmitRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	id, memoized, err := s.SubmitAt(claimsOf(r).Subject, req.FunctionID, req.EndpointID, req.Payload, req.Memoize, req.BatchN, arrivalOf(r))
+	id, epID, memoized, err := s.SubmitTaskAt(claimsOf(r).Subject, submissionOf(req), arrivalOf(r))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, api.SubmitResponse{TaskID: id, Memoized: memoized})
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{TaskID: id, EndpointID: epID, Memoized: memoized})
 }
 
 func (s *Service) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
@@ -206,7 +221,7 @@ func (s *Service) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	owner := claimsOf(r).Subject
 	ids := make([]types.TaskID, 0, len(req.Tasks))
 	for _, t := range req.Tasks {
-		id, _, err := s.Submit(owner, t.FunctionID, t.EndpointID, t.Payload, t.Memoize, t.BatchN)
+		id, _, _, err := s.SubmitTask(owner, submissionOf(t))
 		if err != nil {
 			writeError(w, err)
 			return
@@ -214,6 +229,41 @@ func (s *Service) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 		ids = append(ids, id)
 	}
 	writeJSON(w, http.StatusAccepted, api.BatchSubmitResponse{TaskIDs: ids})
+}
+
+func (s *Service) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
+	var req api.CreateGroupRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	g, err := s.CreateGroup(claimsOf(r).Subject, req.Name, req.Policy, req.Public, req.Members)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.CreateGroupResponse{Group: *g})
+}
+
+func (s *Service) handleGroupStatus(w http.ResponseWriter, r *http.Request) {
+	g, statuses, err := s.GroupStatus(claimsOf(r).Subject, types.GroupID(r.PathValue("id")))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.GroupStatusResponse{Group: *g, Members: statuses})
+}
+
+func (s *Service) handleAddGroupMembers(w http.ResponseWriter, r *http.Request) {
+	var req api.AddGroupMembersRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	g, err := s.AddGroupMembers(claimsOf(r).Subject, types.GroupID(r.PathValue("id")), req.Members...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.CreateGroupResponse{Group: *g})
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,260 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"funcx/internal/api"
+	"funcx/internal/router"
+	"funcx/internal/store"
+	"funcx/internal/types"
+)
+
+// registerTestEndpoint registers an endpoint over REST and returns its
+// id. No agent connects in these tests, so routed tasks land in the
+// endpoint's reliable queue (the same queue-and-wait behaviour a
+// direct submission to an offline endpoint gets).
+func registerTestEndpoint(t *testing.T, srv *httptest.Server, token, name string, labels map[string]string) types.EndpointID {
+	t.Helper()
+	var resp api.RegisterEndpointResponse
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/endpoints",
+		api.RegisterEndpointRequest{Name: name, Labels: labels}, &resp)
+	if code != http.StatusCreated {
+		t.Fatalf("register endpoint %s = %d", name, code)
+	}
+	return resp.EndpointID
+}
+
+func registerTestFunction(t *testing.T, srv *httptest.Server, token string) types.FunctionID {
+	t.Helper()
+	var resp api.RegisterFunctionResponse
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/functions",
+		api.RegisterFunctionRequest{Name: "echo", Body: []byte("echo")}, &resp)
+	if code != http.StatusCreated {
+		t.Fatalf("register function = %d", code)
+	}
+	return resp.FunctionID
+}
+
+func TestCreateGroupAndStatus(t *testing.T) {
+	_, srv, token := testService(t)
+	ep1 := registerTestEndpoint(t, srv, token, "ep1", nil)
+	ep2 := registerTestEndpoint(t, srv, token, "ep2", nil)
+
+	var created api.CreateGroupResponse
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name:   "fleet",
+		Policy: string(router.RoundRobin),
+		Members: []types.GroupMember{
+			{EndpointID: ep1}, {EndpointID: ep2},
+		},
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create group = %d", code)
+	}
+	if created.Group.ID == "" || len(created.Group.Members) != 2 {
+		t.Fatalf("group record = %+v", created.Group)
+	}
+
+	var status api.GroupStatusResponse
+	code = doJSON(t, srv, token, http.MethodGet, "/v1/groups/"+string(created.Group.ID), nil, &status)
+	if code != http.StatusOK {
+		t.Fatalf("group status = %d", code)
+	}
+	if len(status.Members) != 2 {
+		t.Fatalf("group status members = %d, want 2", len(status.Members))
+	}
+	for i, st := range status.Members {
+		if st.Connected {
+			t.Fatalf("member %d reports connected with no agent", i)
+		}
+	}
+}
+
+func TestCreateGroupRejectsUnknownPolicy(t *testing.T) {
+	_, srv, token := testService(t)
+	ep := registerTestEndpoint(t, srv, token, "ep", nil)
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name: "fleet", Policy: "bogus",
+		Members: []types.GroupMember{{EndpointID: ep}},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bogus policy = %d, want 400", code)
+	}
+}
+
+func TestCreateGroupRequiresDispatchableMembers(t *testing.T) {
+	svc, srv, token := testService(t)
+	// bob owns a private endpoint; alice cannot group it.
+	bobToken := svc.MintUserToken("bob")
+	bobEP := registerTestEndpoint(t, srv, bobToken, "bob-ep", nil)
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name:    "fleet",
+		Members: []types.GroupMember{{EndpointID: bobEP}},
+	}, nil)
+	if code != http.StatusForbidden {
+		t.Fatalf("grouping someone else's private endpoint = %d, want 403", code)
+	}
+}
+
+func TestGroupSubmitRoutesToMemberQueue(t *testing.T) {
+	svc, srv, token := testService(t)
+	ep1 := registerTestEndpoint(t, srv, token, "ep1", nil)
+	ep2 := registerTestEndpoint(t, srv, token, "ep2", nil)
+	fnID := registerTestFunction(t, srv, token)
+
+	var created api.CreateGroupResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name:   "fleet",
+		Policy: string(router.RoundRobin),
+		Members: []types.GroupMember{
+			{EndpointID: ep1}, {EndpointID: ep2},
+		},
+	}, &created)
+
+	// Round-robin over two members: four submissions, two per queue.
+	seen := map[types.EndpointID]int{}
+	for i := 0; i < 4; i++ {
+		var resp api.SubmitResponse
+		code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks", api.SubmitRequest{
+			FunctionID: fnID, GroupID: created.Group.ID, Payload: []byte("x"),
+		}, &resp)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		if resp.EndpointID != ep1 && resp.EndpointID != ep2 {
+			t.Fatalf("submit %d placed on non-member %s", i, resp.EndpointID)
+		}
+		seen[resp.EndpointID]++
+	}
+	if seen[ep1] != 2 || seen[ep2] != 2 {
+		t.Fatalf("round-robin spread = %v, want 2 each", seen)
+	}
+	q1 := svc.Store.Queue(store.TaskQueueName(string(ep1))).Len()
+	q2 := svc.Store.Queue(store.TaskQueueName(string(ep2))).Len()
+	if q1 != 2 || q2 != 2 {
+		t.Fatalf("queue depths = %d,%d, want 2,2", q1, q2)
+	}
+}
+
+func TestGroupSubmitAuth(t *testing.T) {
+	svc, srv, token := testService(t)
+	ep := registerTestEndpoint(t, srv, token, "ep", nil)
+	fnID := registerTestFunction(t, srv, token)
+	var created api.CreateGroupResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name: "private-fleet", Members: []types.GroupMember{{EndpointID: ep}},
+	}, &created)
+
+	// The function is not shared with bob, and the group is private:
+	// either way bob must be rejected (the function check fires first).
+	bobToken := svc.MintUserToken("bob")
+	code := doJSON(t, srv, bobToken, http.MethodPost, "/v1/tasks", api.SubmitRequest{
+		FunctionID: fnID, GroupID: created.Group.ID, Payload: []byte("x"),
+	}, nil)
+	if code != http.StatusForbidden {
+		t.Fatalf("bob targeting alice's private group = %d, want 403", code)
+	}
+}
+
+func TestGroupStatusRequiresAccess(t *testing.T) {
+	svc, srv, token := testService(t)
+	ep := registerTestEndpoint(t, srv, token, "ep", nil)
+	var created api.CreateGroupResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name: "private", Members: []types.GroupMember{{EndpointID: ep}},
+	}, &created)
+
+	bobToken := svc.MintUserToken("bob")
+	code := doJSON(t, srv, bobToken, http.MethodGet, "/v1/groups/"+string(created.Group.ID), nil, nil)
+	if code != http.StatusForbidden {
+		t.Fatalf("bob reading alice's private group = %d, want 403", code)
+	}
+	code = doJSON(t, srv, token, http.MethodGet, "/v1/groups/"+string(created.Group.ID), nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("owner reading own group = %d, want 200", code)
+	}
+}
+
+func TestSubmitRejectsAmbiguousTarget(t *testing.T) {
+	_, srv, token := testService(t)
+	ep := registerTestEndpoint(t, srv, token, "ep", nil)
+	fnID := registerTestFunction(t, srv, token)
+	var created api.CreateGroupResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name: "fleet", Members: []types.GroupMember{{EndpointID: ep}},
+	}, &created)
+
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks", api.SubmitRequest{
+		FunctionID: fnID, EndpointID: ep, GroupID: created.Group.ID, Payload: []byte("x"),
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("both endpoint and group = %d, want 400", code)
+	}
+	code = doJSON(t, srv, token, http.MethodPost, "/v1/tasks", api.SubmitRequest{
+		FunctionID: fnID, Payload: []byte("x"),
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("neither endpoint nor group = %d, want 400", code)
+	}
+}
+
+func TestAddGroupMembers(t *testing.T) {
+	_, srv, token := testService(t)
+	ep1 := registerTestEndpoint(t, srv, token, "ep1", nil)
+	ep2 := registerTestEndpoint(t, srv, token, "ep2", nil)
+	var created api.CreateGroupResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name: "fleet", Members: []types.GroupMember{{EndpointID: ep1}},
+	}, &created)
+
+	var updated api.CreateGroupResponse
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/groups/"+string(created.Group.ID)+"/members",
+		api.AddGroupMembersRequest{Members: []types.GroupMember{{EndpointID: ep2}, {EndpointID: ep1}}}, &updated)
+	if code != http.StatusOK {
+		t.Fatalf("add members = %d", code)
+	}
+	if len(updated.Group.Members) != 2 {
+		t.Fatalf("members after add = %d, want 2 (duplicate skipped)", len(updated.Group.Members))
+	}
+}
+
+func TestGroupSubmitLabelSelector(t *testing.T) {
+	_, srv, token := testService(t)
+	cpu := registerTestEndpoint(t, srv, token, "cpu", map[string]string{"arch": "cpu"})
+	gpu := registerTestEndpoint(t, srv, token, "gpu", map[string]string{"arch": "gpu"})
+	fnID := registerTestFunction(t, srv, token)
+	var created api.CreateGroupResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name:   "het-fleet",
+		Policy: string(router.LeastOutstanding),
+		Members: []types.GroupMember{
+			{EndpointID: cpu}, {EndpointID: gpu},
+		},
+	}, &created)
+
+	for i := 0; i < 3; i++ {
+		var resp api.SubmitResponse
+		code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks", api.SubmitRequest{
+			FunctionID: fnID, GroupID: created.Group.ID, Payload: []byte("x"),
+			Labels: map[string]string{"arch": "gpu"},
+		}, &resp)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		if resp.EndpointID != gpu {
+			t.Fatalf("submit %d placed on %s, want gpu endpoint", i, resp.EndpointID)
+		}
+	}
+
+	// A selector no member satisfies is a client error, not a silent
+	// misplacement.
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks", api.SubmitRequest{
+		FunctionID: fnID, GroupID: created.Group.ID, Payload: []byte("x"),
+		Labels: map[string]string{"arch": "tpu"},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unsatisfiable selector = %d, want 400", code)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"funcx/internal/memo"
 	"funcx/internal/netlat"
 	"funcx/internal/registry"
+	"funcx/internal/router"
 	"funcx/internal/store"
 	"funcx/internal/types"
 	"funcx/internal/wire"
@@ -62,6 +63,11 @@ type Config struct {
 // reference instead (§4.6).
 var ErrPayloadTooLarge = errors.New("service: payload too large")
 
+// ErrInvalidRequest marks malformed submissions (bad target
+// combination, unknown placement policy); the HTTP layer maps it to
+// 400 Bad Request.
+var ErrInvalidRequest = errors.New("service: invalid request")
+
 // Service is the funcX cloud service.
 type Service struct {
 	cfg       Config
@@ -69,6 +75,7 @@ type Service struct {
 	Registry  *registry.Registry
 	Store     *store.Store
 	Memo      *memo.Cache
+	Router    *router.Router
 	muxState
 
 	ctx    context.Context
@@ -85,6 +92,7 @@ type Service struct {
 
 	submitted int64
 	memoHits  int64
+	rerouted  int64
 }
 
 // New creates a service ready to serve its Handler.
@@ -114,6 +122,7 @@ func New(cfg Config) *Service {
 		waiters:    make(map[types.TaskID][]chan struct{}),
 		tsByTask:   make(map[types.TaskID]time.Duration),
 	}
+	s.Router = router.New(s.routingStatus, s.endpointLabels)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.Store.StartJanitor(time.Second)
 	return s
@@ -149,8 +158,9 @@ func (s *Service) MintUserToken(uid types.UserID, scopes ...auth.Scope) string {
 
 // RegisterEndpoint creates the endpoint record, its native client, and
 // its forwarder, returning the forwarder address and agent token.
-func (s *Service) RegisterEndpoint(owner types.UserID, name, description string, public bool) (*types.Endpoint, string, string, string, error) {
-	ep, err := s.Registry.RegisterEndpoint(owner, name, description, public)
+// Labels declare the endpoint's capabilities for router matching.
+func (s *Service) RegisterEndpoint(owner types.UserID, name, description string, public bool, labels map[string]string) (*types.Endpoint, string, string, string, error) {
+	ep, err := s.Registry.RegisterEndpoint(owner, name, description, public, labels)
 	if err != nil {
 		return nil, "", "", "", err
 	}
@@ -176,6 +186,7 @@ func (s *Service) RegisterEndpoint(owner types.UserID, name, description string,
 		Lat:             s.cfg.ForwarderLat,
 		OnResult:        s.onResult,
 		OnStored:        func(res *types.Result) { s.notifyWaiters(res.TaskID) },
+		OnOrphaned:      s.failover,
 	})
 	if err := fwd.Start(s.ctx); err != nil {
 		return nil, "", "", "", err
@@ -208,6 +219,120 @@ func (s *Service) Forwarder(id types.EndpointID) (*forwarder.Forwarder, bool) {
 	return f, ok
 }
 
+// --- router sources ---
+
+// routingStatus feeds the router a live placement snapshot: the
+// agent-reported status with the connection flag, queue depth, and
+// outstanding count replaced by the forwarder's real-time view (the
+// agent report lags by up to a heartbeat).
+func (s *Service) routingStatus(id types.EndpointID) *types.EndpointStatus {
+	f, ok := s.Forwarder(id)
+	if !ok {
+		return nil
+	}
+	st := f.Status()
+	st.OutstandingTasks = f.Outstanding()
+	return st
+}
+
+// endpointLabels feeds the router an endpoint's declared labels.
+func (s *Service) endpointLabels(id types.EndpointID) map[string]string {
+	ep, err := s.Registry.Endpoint(id)
+	if err != nil {
+		return nil
+	}
+	return ep.Labels
+}
+
+// --- endpoint groups ---
+
+// CreateGroup registers an endpoint group after validating its
+// placement policy. Members must exist and be dispatchable by owner.
+func (s *Service) CreateGroup(owner types.UserID, name, policy string, public bool, members []types.GroupMember) (*types.EndpointGroup, error) {
+	p, err := router.ParsePolicy(policy)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w: group needs at least one member endpoint", ErrInvalidRequest)
+	}
+	return s.Registry.RegisterGroup(owner, name, string(p), public, members)
+}
+
+// AddGroupMembers appends endpoints to a group (owner only).
+func (s *Service) AddGroupMembers(actor types.UserID, id types.GroupID, members ...types.GroupMember) (*types.EndpointGroup, error) {
+	return s.Registry.AddGroupMembers(actor, id, members...)
+}
+
+// GroupStatus returns the group record plus one live status snapshot
+// per member, in member order. Actor must be allowed to target the
+// group (owner, or anyone for public groups).
+func (s *Service) GroupStatus(actor types.UserID, id types.GroupID) (*types.EndpointGroup, []types.EndpointStatus, error) {
+	g, err := s.Registry.AuthorizeGroupDispatch(actor, id)
+	if err != nil {
+		return nil, nil, err
+	}
+	statuses := make([]types.EndpointStatus, len(g.Members))
+	for i, m := range g.Members {
+		if st := s.routingStatus(m.EndpointID); st != nil {
+			statuses[i] = *st
+		} else {
+			statuses[i] = types.EndpointStatus{ID: m.EndpointID}
+		}
+	}
+	return g, statuses, nil
+}
+
+// failover is the forwarder's OnOrphaned hook: while an endpoint's
+// agent is away, every queued task is offered here. Group-placed
+// tasks are re-routed to a *connected* group member (excluding the
+// dead endpoint); direct submissions — and group tasks with no
+// healthy alternative — stay queued for the agent's return, keeping
+// the original at-least-once semantics.
+func (s *Service) failover(task *types.Task) bool {
+	if task.GroupID == "" || s.ctx.Err() != nil {
+		return false
+	}
+	// A task that already finished (its result landed concurrently
+	// with the disconnect) must not be re-queued: drop the stale
+	// redelivery instead of regressing its status and re-running it.
+	if st, ok := s.Store.Hash(statusHash).Get(string(task.ID)); ok && types.TaskStatus(st).Terminal() {
+		return true
+	}
+	g, err := s.Registry.Group(task.GroupID)
+	if err != nil {
+		return false
+	}
+	target, err := s.Router.Route(router.Request{
+		Group:    g,
+		Selector: task.Selector,
+		Exclude:  map[types.EndpointID]bool{task.EndpointID: true},
+	})
+	if err != nil {
+		return false
+	}
+	// Only hand off to a live member: moving a task from one dead
+	// queue to another would bounce it around the group forever. The
+	// selector needs no re-check here — Route treats it as a hard
+	// constraint, so an unsatisfiable one already returned an error.
+	if st := s.routingStatus(target); st == nil || !st.Connected {
+		return false
+	}
+	task.EndpointID = target
+	data := wire.EncodeTask(task)
+	// Update the record before enqueueing so a fast completion on the
+	// new endpoint cannot be overwritten back to "queued".
+	s.Store.Hash(tasksHash).Set(string(task.ID), data)
+	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskQueued))
+	if err := s.Store.Queue(store.TaskQueueName(string(target))).Push(data); err != nil {
+		return false
+	}
+	s.mu.Lock()
+	s.rerouted++
+	s.mu.Unlock()
+	return true
+}
+
 // --- task lifecycle ---
 
 // taskStatusHash and resultHash name the Redis-style hashsets.
@@ -217,11 +342,30 @@ const (
 	resultsHash = "results"
 )
 
+// Submission is one task submission: a function invocation bound for
+// either a concrete endpoint (EndpointID) or an endpoint group
+// (GroupID), in which case the router picks the member and Labels may
+// constrain the choice.
+type Submission struct {
+	FunctionID types.FunctionID
+	EndpointID types.EndpointID
+	GroupID    types.GroupID
+	Labels     map[string]string
+	Payload    []byte
+	Memoize    bool
+	BatchN     int
+}
+
 // Submit validates, stores, and enqueues one task, returning its id
 // and whether it was served from the memoization cache (paper Figure 3
-// steps 1–3).
+// steps 1–3). Kept as the concrete-endpoint convenience around
+// SubmitTask.
 func (s *Service) Submit(owner types.UserID, fnID types.FunctionID, epID types.EndpointID, payload []byte, memoize bool, batchN int) (types.TaskID, bool, error) {
-	return s.SubmitAt(owner, fnID, epID, payload, memoize, batchN, time.Now())
+	id, _, memoized, err := s.SubmitTaskAt(owner, Submission{
+		FunctionID: fnID, EndpointID: epID, Payload: payload,
+		Memoize: memoize, BatchN: batchN,
+	}, time.Now())
+	return id, memoized, err
 }
 
 // SubmitAt is Submit with an explicit TS clock origin: the HTTP layer
@@ -229,60 +373,117 @@ func (s *Service) Submit(owner types.UserID, fnID types.FunctionID, epID types.E
 // authentication (paper Figure 4: "most funcX overhead is captured in
 // ts as a result of authentication").
 func (s *Service) SubmitAt(owner types.UserID, fnID types.FunctionID, epID types.EndpointID, payload []byte, memoize bool, batchN int, start time.Time) (types.TaskID, bool, error) {
+	id, _, memoized, err := s.SubmitTaskAt(owner, Submission{
+		FunctionID: fnID, EndpointID: epID, Payload: payload,
+		Memoize: memoize, BatchN: batchN,
+	}, start)
+	return id, memoized, err
+}
+
+// SubmitTask places one submission, returning the task id, the
+// endpoint it landed on, and whether it was served from the memo
+// cache.
+func (s *Service) SubmitTask(owner types.UserID, sub Submission) (types.TaskID, types.EndpointID, bool, error) {
+	return s.SubmitTaskAt(owner, sub, time.Now())
+}
+
+// SubmitTaskAt is SubmitTask with an explicit TS clock origin. For a
+// group target it authorizes the group, routes the task with the
+// group's placement policy over live endpoint health, and stamps the
+// task with its group so failover can re-route it if the chosen
+// endpoint dies before dispatch.
+func (s *Service) SubmitTaskAt(owner types.UserID, sub Submission, start time.Time) (types.TaskID, types.EndpointID, bool, error) {
+	payload := sub.Payload
 	if s.cfg.MaxPayloadSize > 0 && len(payload) > s.cfg.MaxPayloadSize {
-		return "", false, fmt.Errorf("%w: payload %d bytes exceeds the %d-byte service limit; stage large data out of band (§4.6)",
+		return "", "", false, fmt.Errorf("%w: payload %d bytes exceeds the %d-byte service limit; stage large data out of band (§4.6)",
 			ErrPayloadTooLarge, len(payload), s.cfg.MaxPayloadSize)
 	}
-	fn, err := s.Registry.AuthorizeInvocation(owner, fnID)
+	fn, err := s.Registry.AuthorizeInvocation(owner, sub.FunctionID)
 	if err != nil {
-		return "", false, err
-	}
-	if _, err := s.Registry.AuthorizeDispatch(owner, epID); err != nil {
-		return "", false, err
-	}
-	task := &types.Task{
-		ID:         types.NewTaskID(),
-		FunctionID: fnID,
-		EndpointID: epID,
-		Owner:      owner,
-		Container:  fn.Container,
-		Payload:    payload,
-		BodyHash:   fn.BodyHash,
-		Memoize:    memoize,
-		BatchN:     batchN,
-		Attempt:    1,
-		Submitted:  start,
+		return "", "", false, err
 	}
 
-	// Memoization (§4.7): only when explicitly requested.
-	if memoize {
+	// Authorize the target before anything else; routing itself waits
+	// until after the memoization lookup.
+	epID := sub.EndpointID
+	var group *types.EndpointGroup
+	switch {
+	case sub.GroupID != "" && epID != "":
+		return "", "", false, fmt.Errorf("%w: submission names both an endpoint and a group", ErrInvalidRequest)
+	case sub.GroupID != "":
+		g, err := s.Registry.AuthorizeGroupDispatch(owner, sub.GroupID)
+		if err != nil {
+			return "", "", false, err
+		}
+		group = g
+	case epID != "":
+		if _, err := s.Registry.AuthorizeDispatch(owner, epID); err != nil {
+			return "", "", false, err
+		}
+	default:
+		return "", "", false, fmt.Errorf("%w: submission names neither an endpoint nor a group", ErrInvalidRequest)
+	}
+
+	// Memoization (§4.7): only when explicitly requested. Checked
+	// before placement so a cache hit neither consumes a routing
+	// decision (round-robin cursor, load skew) nor reports an
+	// endpoint that never saw the task.
+	if sub.Memoize {
 		if cached, ok := s.Memo.Lookup(fn.BodyHash, payload); ok {
-			cached.TaskID = task.ID
+			id := types.NewTaskID()
+			cached.TaskID = id
 			cached.Completed = time.Now()
 			cached.Timing = types.Timing{TS: time.Since(start)}
 			s.mu.Lock()
 			s.memoHits++
 			s.submitted++
 			s.mu.Unlock()
-			s.Store.Hash(resultsHash).Set(string(task.ID), wire.EncodeResult(&cached))
-			s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskSuccess))
-			s.notifyWaiters(task.ID)
-			return task.ID, true, nil
+			s.Store.Hash(resultsHash).Set(string(id), wire.EncodeResult(&cached))
+			s.Store.Hash(statusHash).Set(string(id), []byte(types.TaskSuccess))
+			s.notifyWaiters(id)
+			return id, epID, true, nil
 		}
+	}
+
+	if group != nil {
+		var err error
+		epID, err = s.Router.Route(router.Request{Group: group, Selector: sub.Labels})
+		if errors.Is(err, router.ErrNoSelectorMatch) {
+			return "", "", false, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
+		}
+		if err != nil {
+			return "", "", false, err
+		}
+	}
+
+	task := &types.Task{
+		ID:         types.NewTaskID(),
+		FunctionID: sub.FunctionID,
+		EndpointID: epID,
+		GroupID:    sub.GroupID,
+		Selector:   sub.Labels,
+		Owner:      owner,
+		Container:  fn.Container,
+		Payload:    payload,
+		BodyHash:   fn.BodyHash,
+		Memoize:    sub.Memoize,
+		BatchN:     sub.BatchN,
+		Attempt:    1,
+		Submitted:  start,
 	}
 
 	// Store the task record and enqueue its id for the endpoint.
 	s.Store.Hash(tasksHash).Set(string(task.ID), wire.EncodeTask(task))
 	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskQueued))
 	if err := s.Store.Queue(store.TaskQueueName(string(epID))).Push(wire.EncodeTask(task)); err != nil {
-		return "", false, fmt.Errorf("service: enqueue: %w", err)
+		return "", "", false, fmt.Errorf("service: enqueue: %w", err)
 	}
 	ts := time.Since(start)
 	s.mu.Lock()
 	s.tsByTask[task.ID] = ts
 	s.submitted++
 	s.mu.Unlock()
-	return task.ID, false, nil
+	return task.ID, epID, false, nil
 }
 
 // onResult runs in the forwarder when a result arrives, before it is
@@ -387,6 +588,14 @@ func (s *Service) Stats() (submitted, memoHits int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.submitted, s.memoHits
+}
+
+// Rerouted returns how many queued tasks the failover path has moved
+// to surviving group members.
+func (s *Service) Rerouted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rerouted
 }
 
 // EndpointStatus reports the forwarder's view of an endpoint.

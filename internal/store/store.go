@@ -228,6 +228,22 @@ func (q *Queue) TryPop() (data []byte, ok bool) {
 	return front.data, true
 }
 
+// TryPopReliable is TryPop with reliable-queue semantics: the item is
+// parked in the pending set until Ack or Nack. ok is false when the
+// queue is empty.
+func (q *Queue) TryPopReliable() (data []byte, receipt uint64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.items.Len() == 0 {
+		return nil, 0, false
+	}
+	item := q.items.Remove(q.items.Front()).(queued)
+	q.nextID++
+	receipt = q.nextID
+	q.pending[receipt] = item
+	return item.data, receipt, true
+}
+
 // BPop blocks until an item is available or the timeout elapses
 // (timeout <= 0 waits forever). It is the BLPOP analogue.
 func (q *Queue) BPop(timeout time.Duration) ([]byte, error) {
@@ -323,18 +339,45 @@ func (q *Queue) Nack(receipt uint64) error {
 func (q *Queue) RequeuePending() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	n := len(q.pending)
-	if n == 0 {
+	if len(q.pending) == 0 {
 		return 0
 	}
-	// Collect and sort by original sequence so redelivery preserves
-	// submission order.
-	items := make([]queued, 0, n)
+	items := make([]queued, 0, len(q.pending))
 	for _, it := range q.pending {
 		items = append(items, it)
 	}
 	clear(q.pending)
-	// Insertion sort: pending sets are small (in-flight window).
+	return q.requeueLocked(items)
+}
+
+// RequeueReceipts returns only the named pending items to the queue,
+// in their original enqueue order. Receipts no longer pending are
+// skipped. Consumers with concurrent pending pops (e.g. a forwarder
+// whose dispatch and failover paths overlap) use this to requeue
+// exactly the items they own, leaving other consumers' receipts
+// untouched. It returns the number of items requeued.
+func (q *Queue) RequeueReceipts(receipts ...uint64) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := make([]queued, 0, len(receipts))
+	for _, r := range receipts {
+		if it, ok := q.pending[r]; ok {
+			items = append(items, it)
+			delete(q.pending, r)
+		}
+	}
+	if len(items) == 0 {
+		return 0
+	}
+	return q.requeueLocked(items)
+}
+
+// requeueLocked prepends items in original enqueue order and wakes
+// all consumers. Caller must hold q.mu.
+func (q *Queue) requeueLocked(items []queued) int {
+	// Sort by original sequence so redelivery preserves submission
+	// order. Insertion sort: pending sets are small (in-flight
+	// window).
 	for i := 1; i < len(items); i++ {
 		for j := i; j > 0 && items[j].seq < items[j-1].seq; j-- {
 			items[j], items[j-1] = items[j-1], items[j]
@@ -345,7 +388,7 @@ func (q *Queue) RequeuePending() int {
 		q.items.PushFront(items[i])
 	}
 	q.signalAll()
-	return n
+	return len(items)
 }
 
 // Close wakes all blocked consumers with ErrClosed. Items already

@@ -65,6 +65,9 @@ type (
 	WorkerID string
 	// BlockID identifies a provisioned block of resources (a pilot job).
 	BlockID string
+	// GroupID identifies an endpoint group — a named fleet of
+	// endpoints the router places tasks across.
+	GroupID string
 )
 
 // NewTaskID returns a fresh task identifier.
@@ -75,6 +78,9 @@ func NewFunctionID() FunctionID { return FunctionID(NewUUID()) }
 
 // NewEndpointID returns a fresh endpoint identifier.
 func NewEndpointID() EndpointID { return EndpointID(NewUUID()) }
+
+// NewGroupID returns a fresh endpoint-group identifier.
+func NewGroupID() GroupID { return GroupID(NewUUID()) }
 
 // TaskStatus is the lifecycle state of a task as tracked by the service.
 type TaskStatus string
@@ -147,6 +153,14 @@ type Task struct {
 	EndpointID EndpointID    `json:"endpoint_id"`
 	Owner      UserID        `json:"owner,omitempty"`
 	Container  ContainerSpec `json:"container,omitempty"`
+	// GroupID, when set, records that the router placed this task on
+	// EndpointID on behalf of an endpoint group: if that endpoint dies
+	// while the task is still queued, the task is eligible for
+	// re-routing to a surviving group member.
+	GroupID GroupID `json:"group_id,omitempty"`
+	// Selector preserves the submission's label constraints so
+	// failover re-routing honors them too.
+	Selector map[string]string `json:"selector,omitempty"`
 	// Payload is the serialized input arguments (see internal/serial).
 	Payload []byte `json:"payload"`
 	// BodyHash is the hash of the registered function body, used for
@@ -275,8 +289,47 @@ type Endpoint struct {
 	Owner       UserID     `json:"owner"`
 	// Public endpoints accept tasks from any authenticated user.
 	Public bool `json:"public,omitempty"`
+	// Labels are capability/locality tags declared at registration
+	// (e.g. "gpu":"a100", "site":"anl"); the router's label-affinity
+	// policy and per-task selectors match against them.
+	Labels map[string]string `json:"labels,omitempty"`
 	// Registered is the registration time.
 	Registered time.Time `json:"registered,omitzero"`
+}
+
+// GroupMember names one endpoint inside a group, with an optional
+// static placement weight (used by the weighted queue-depth policy;
+// zero means "derive from live worker count").
+type GroupMember struct {
+	EndpointID EndpointID `json:"endpoint_id"`
+	Weight     int        `json:"weight,omitempty"`
+}
+
+// EndpointGroup is the registry record for an endpoint group: a named
+// fleet of endpoints submissions may target instead of a concrete
+// endpoint, leaving placement to the service's router.
+type EndpointGroup struct {
+	ID    GroupID `json:"group_id"`
+	Name  string  `json:"name"`
+	Owner UserID  `json:"owner"`
+	// Policy names the placement policy (see internal/router).
+	Policy string `json:"policy"`
+	// Public groups accept tasks from any authenticated user.
+	Public bool `json:"public,omitempty"`
+	// Members are the candidate endpoints, in registration order.
+	Members []GroupMember `json:"members"`
+	// Registered is the creation time.
+	Registered time.Time `json:"registered,omitzero"`
+}
+
+// HasMember reports whether id is a member of the group.
+func (g *EndpointGroup) HasMember(id EndpointID) bool {
+	for _, m := range g.Members {
+		if m.EndpointID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // EndpointStatus is a point-in-time snapshot of an endpoint reported by
