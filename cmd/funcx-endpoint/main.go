@@ -45,6 +45,7 @@ func main() {
 		system     = flag.String("system", "ec2", "container cold-start profile (ec2|theta|cori)")
 		heartbeat  = flag.Duration("heartbeat", time.Second, "heartbeat period")
 		labelSpec  = flag.String("labels", "", "capability labels for router matching, comma-separated key=value (e.g. gpu=a100,site=anl)")
+		noAdvice   = flag.Bool("no-advice", false, "ignore scaling advice pushed by the service's fleet elasticity controller (scaling stays purely local)")
 	)
 	flag.Parse()
 	if *token == "" {
@@ -79,6 +80,7 @@ func main() {
 		ListenNetwork:   "tcp",
 		HeartbeatPeriod: *heartbeat,
 		BatchDispatch:   true,
+		DisableAdvice:   *noAdvice,
 	})
 	if err := agent.Start(ctx); err != nil {
 		log.Fatalf("funcx-endpoint: starting agent: %v", err)

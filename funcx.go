@@ -36,6 +36,7 @@ package funcx
 
 import (
 	"funcx/internal/core"
+	"funcx/internal/elastic"
 	"funcx/internal/fx"
 	"funcx/internal/router"
 	"funcx/internal/sdk"
@@ -96,6 +97,30 @@ const (
 	// PolicyLabelAffinity picks the member matching the most selector
 	// labels, backlog-tie-broken.
 	PolicyLabelAffinity = string(router.LabelAffinity)
+)
+
+// ElasticSpec opts an endpoint group into the service's fleet
+// autoscaling controller (see internal/elastic): group-wide backlog is
+// converted into per-member block targets and pushed to member
+// endpoints as scaling advice, clamped at each endpoint to its own
+// scaling limits.
+type ElasticSpec = types.ElasticSpec
+
+// ScalingAdvice is the controller's capacity recommendation for one
+// endpoint, piggybacked on forwarder heartbeats.
+type ScalingAdvice = types.ScalingAdvice
+
+// Elasticity strategies accepted by ElasticSpec.Strategy.
+const (
+	// StrategyProportional distributes the group's block need by
+	// backlog share.
+	StrategyProportional = elastic.StrategyProportional
+	// StrategyWatermark steps members up past a high per-block backlog
+	// watermark and down after sustained low water (hysteresis).
+	StrategyWatermark = elastic.StrategyWatermark
+	// StrategyColdStart is proportional with a discount for members
+	// whose blocks are still booting.
+	StrategyColdStart = elastic.StrategyColdStart
 )
 
 // Identifiers and task records.

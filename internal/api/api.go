@@ -165,6 +165,10 @@ type CreateGroupRequest struct {
 	Public bool `json:"public,omitempty"`
 	// Members are the candidate endpoints.
 	Members []types.GroupMember `json:"members"`
+	// Elastic, when set, opts the group into the service's fleet
+	// autoscaling controller (see internal/elastic), which pushes
+	// scaling advice to member endpoints from group-wide backlog.
+	Elastic *types.ElasticSpec `json:"elastic,omitempty"`
 }
 
 // CreateGroupResponse returns the created group record.
@@ -184,6 +188,23 @@ type GroupStatusResponse struct {
 	Group types.EndpointGroup `json:"group"`
 	// Members carries one live snapshot per member, in member order.
 	Members []types.EndpointStatus `json:"members"`
+}
+
+// MemberElasticity pairs one group member's live status with the
+// latest scaling advice the controller pushed to it (absent before
+// the first evaluation, and for non-elastic groups).
+type MemberElasticity struct {
+	Status types.EndpointStatus `json:"status"`
+	Advice *types.ScalingAdvice `json:"advice,omitempty"`
+}
+
+// GroupElasticityResponse reports a group's elasticity state
+// (GET /v1/groups/{id}/elasticity): the group record including its
+// ElasticSpec, plus per-member status and latest advice in member
+// order.
+type GroupElasticityResponse struct {
+	Group   types.EndpointGroup `json:"group"`
+	Members []MemberElasticity  `json:"members"`
 }
 
 // ErrorResponse is the uniform error body.

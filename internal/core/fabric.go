@@ -143,6 +143,9 @@ type EndpointOptions struct {
 	HeartbeatMisses int
 	// MaxAttempts bounds re-execution after manager loss.
 	MaxAttempts int
+	// NoAdvice opts the endpoint out of service-pushed scaling advice
+	// (the -no-advice endpoint flag): elasticity stays purely local.
+	NoAdvice bool
 	// Seed seeds endpoint-local randomness.
 	Seed int64
 }
@@ -234,6 +237,7 @@ func (f *Fabric) AddEndpoint(opts EndpointOptions) (*Endpoint, error) {
 		Policy:          opts.Policy,
 		BatchDispatch:   opts.BatchDispatch,
 		MaxAttempts:     opts.MaxAttempts,
+		DisableAdvice:   opts.NoAdvice,
 		Seed:            opts.Seed,
 	})
 
@@ -292,6 +296,11 @@ type GroupOptions struct {
 	// Members are the candidate endpoints (ids of endpoints already
 	// added to the fabric, with optional static weights).
 	Members []types.GroupMember
+	// Elastic, when set, opts the group into the service's fleet
+	// autoscaling controller (see internal/elastic): the service
+	// periodically converts group backlog into per-member block
+	// targets and pushes them to member endpoints as scaling advice.
+	Elastic *types.ElasticSpec
 }
 
 // AddGroup registers an endpoint group over previously added
@@ -304,7 +313,7 @@ func (f *Fabric) AddGroup(opts GroupOptions) (*types.EndpointGroup, error) {
 	if opts.Owner == "" {
 		opts.Owner = "operator"
 	}
-	return f.Service.CreateGroup(opts.Owner, opts.Name, opts.Policy, opts.Public, opts.Members)
+	return f.Service.CreateGroupElastic(opts.Owner, opts.Name, opts.Policy, opts.Public, opts.Members, opts.Elastic)
 }
 
 // GroupOf is a convenience around AddGroup for the common case: group
@@ -460,6 +469,12 @@ func (e *Endpoint) EnableElasticity(opts ElasticOptions) error {
 	e.scaler = scaler
 	e.elastDone = done
 	e.mu.Unlock()
+	// Report provider block state in heartbeat statuses so the
+	// service's cold-start-aware strategy can discount capacity that
+	// is already booting.
+	e.Agent.SetBlockStats(func() (live, pending int) {
+		return prov.LiveBlocks(), prov.PendingBlocks()
+	})
 
 	go func() {
 		defer close(done)
@@ -486,10 +501,22 @@ func (e *Endpoint) evaluateScaling(prov provider.Provider, scaler *provider.Scal
 	if running < 0 {
 		running = 0
 	}
+	// Apply the latest service scaling advice as a bounded override of
+	// the local policy: the scaler clamps it to Min/MaxBlocks and lets
+	// it decay once stale. Staleness is judged from the local receipt
+	// time, so service clock skew cannot pin old advice.
+	if adv, receivedAt, ok := e.Agent.Advice(); ok {
+		scaler.SetAdvice(provider.Advice{
+			TargetBlocks: adv.TargetBlocks,
+			Issued:       receivedAt,
+			TTL:          adv.TTL,
+		})
+	}
 	load := provider.Load{
 		QueuedTasks:   queued,
 		RunningTasks:  running,
 		LiveNodes:     prov.LiveNodes(),
+		LiveBlocks:    prov.LiveBlocks(),
 		PendingBlocks: prov.PendingBlocks(),
 	}
 	dec := scaler.Evaluate(load)

@@ -1,0 +1,498 @@
+// Package elastic is the funcX service's fleet autoscaling controller.
+//
+// The HPDC 2020 paper scales capacity per endpoint: each agent's
+// provider.Scaler sees only its own queue (§4.4, Figure 6). The
+// follow-up federated-FaaS work frames elasticity as a *managed*,
+// demand-driven property of a fleet — a hot endpoint group should be
+// able to recruit capacity from idle members the user never submitted
+// to directly. PR 1's router made group-wide backlog observable in one
+// place; this package closes the control loop over it.
+//
+// Every Interval the controller snapshots each elastic group's
+// per-member heartbeat status, converts the group's backlog into
+// per-member block targets with a pluggable Strategy, and pushes the
+// targets toward the endpoint agents as types.ScalingAdvice
+// (piggybacked on forwarder heartbeats — see internal/forwarder).
+//
+// Advice is advisory, never authoritative: each endpoint clamps the
+// target to its own ScalingPolicy Min/MaxBlocks and decays back to its
+// local policy when advice goes stale (see provider.Scaler), so a
+// buggy or partitioned controller can never strand an endpoint outside
+// its operator's limits.
+package elastic
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"funcx/internal/types"
+)
+
+// Strategy names for ParseSpec.
+const (
+	// StrategyProportional distributes the group's block need across
+	// members proportionally to each member's backlog share.
+	StrategyProportional = "proportional"
+	// StrategyWatermark steps each member's target up past a high
+	// per-block backlog watermark and down after sustained low water
+	// (hysteresis), holding otherwise.
+	StrategyWatermark = "watermark"
+	// StrategyColdStart is proportional with a cold-start discount:
+	// members whose blocks are still booting receive less of each new
+	// allotment, so the controller does not over-ask during the boot
+	// window it cannot observe progress inside.
+	StrategyColdStart = "coldstart"
+)
+
+// DefaultStrategy is used when a spec names no strategy.
+const DefaultStrategy = StrategyProportional
+
+// Strategies lists every built-in strategy name.
+func Strategies() []string {
+	return []string{StrategyProportional, StrategyWatermark, StrategyColdStart}
+}
+
+// ParseSpec validates a group elasticity spec and fills defaults,
+// returning the normalized copy.
+func ParseSpec(spec types.ElasticSpec) (types.ElasticSpec, error) {
+	if spec.Strategy == "" {
+		spec.Strategy = DefaultStrategy
+	}
+	known := false
+	for _, s := range Strategies() {
+		if spec.Strategy == s {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return spec, fmt.Errorf("elastic: unknown strategy %q (have %v)", spec.Strategy, Strategies())
+	}
+	if spec.TasksPerBlock <= 0 {
+		spec.TasksPerBlock = 1
+	}
+	if spec.HighWater <= 0 {
+		spec.HighWater = 2
+	}
+	if spec.LowWater <= 0 {
+		spec.LowWater = 0.5
+	}
+	if spec.LowWater >= spec.HighWater {
+		return spec, fmt.Errorf("elastic: low water %.2f must be below high water %.2f", spec.LowWater, spec.HighWater)
+	}
+	if spec.Hysteresis <= 0 {
+		spec.Hysteresis = 3
+	}
+	if spec.MaxBlocksPerMember < 0 {
+		return spec, fmt.Errorf("elastic: negative max blocks per member %d", spec.MaxBlocksPerMember)
+	}
+	return spec, nil
+}
+
+// MemberSnapshot is one group member's live view presented to a
+// strategy.
+type MemberSnapshot struct {
+	EndpointID types.EndpointID
+	// Status is the latest heartbeat/forwarder snapshot (zero value
+	// when the endpoint has no forwarder yet).
+	Status types.EndpointStatus
+}
+
+// GroupSnapshot is one elastic group's live view: the record plus one
+// member snapshot per member, in member order.
+type GroupSnapshot struct {
+	Group   *types.EndpointGroup
+	Members []MemberSnapshot
+}
+
+// Target is a strategy's output for one member: the absolute
+// provisioned (live + pending) block count the member should hold.
+type Target struct {
+	EndpointID types.EndpointID
+	Blocks     int
+}
+
+// Strategy converts a group snapshot into per-member block targets.
+// Implementations may keep per-member state between calls (hysteresis);
+// the controller owns one instance per group and serializes calls.
+type Strategy interface {
+	Name() string
+	Advise(g GroupSnapshot) []Target
+}
+
+// NewStrategy builds the strategy a normalized spec names.
+func NewStrategy(spec types.ElasticSpec) (Strategy, error) {
+	spec, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Strategy {
+	case StrategyWatermark:
+		return &watermark{spec: spec, low: make(map[types.EndpointID]int)}, nil
+	case StrategyColdStart:
+		return &proportional{spec: spec, coldStartAware: true, low: make(map[types.EndpointID]int)}, nil
+	default:
+		return &proportional{spec: spec, low: make(map[types.EndpointID]int)}, nil
+	}
+}
+
+// --- proportional (and its cold-start-aware variant) ---
+
+type proportional struct {
+	spec           types.ElasticSpec
+	coldStartAware bool
+	// low counts consecutive evaluations in which a member's computed
+	// target fell below its held blocks; scale-down advice is held
+	// back until the streak reaches spec.Hysteresis, so one quiet tick
+	// between bursts cannot dump capacity the next burst needs.
+	low map[types.EndpointID]int
+}
+
+func (p *proportional) Name() string {
+	if p.coldStartAware {
+		return StrategyColdStart
+	}
+	return StrategyProportional
+}
+
+// Advise converts the group's total backlog into a block need
+// (ceil(backlog / TasksPerBlock)) and distributes it across connected
+// members, largest-remainder rounded so shares sum to the need. Each
+// member's weight is its backlog plus an even *recruitment* component
+// (half the mean backlog): hot members dominate the split, but a hot
+// group also pre-warms its idle members — the advice reaches them
+// before the router's next arrivals do, which is the whole point of
+// fleet-level elasticity (a member whose queue is empty today still
+// boots capacity for the group's burst). Disconnected members are
+// advised zero: advice cannot reach them and their queued tasks are
+// failover-eligible anyway.
+//
+// Scale-down advice is hysteresis-held: a target below what a member
+// already holds is only issued after spec.Hysteresis consecutive
+// evaluations computed it, so one quiet tick between bursts does not
+// flap the fleet's capacity (the endpoint releases promptly once the
+// held-back advice finally drops — see provider.Scaler).
+//
+// The cold-start variant divides each member's weight by
+// (1 + PendingBlocks): capacity already booting absorbs the member's
+// backlog soon, so new blocks are steered toward members that have
+// nothing on the way.
+func (p *proportional) Advise(g GroupSnapshot) []Target {
+	targets := make([]Target, len(g.Members))
+	total, connected := 0, 0
+	for _, m := range g.Members {
+		if m.Status.Connected {
+			total += m.Status.Backlog()
+			connected++
+		}
+	}
+	weights := make([]float64, len(g.Members))
+	if connected > 0 {
+		recruit := float64(total) / float64(2*connected)
+		for i, m := range g.Members {
+			targets[i].EndpointID = m.EndpointID
+			if !m.Status.Connected {
+				continue
+			}
+			w := float64(m.Status.Backlog()) + recruit
+			if p.coldStartAware && m.Status.PendingBlocks > 0 {
+				w /= float64(1 + m.Status.PendingBlocks)
+			}
+			weights[i] = w
+		}
+	} else {
+		for i, m := range g.Members {
+			targets[i].EndpointID = m.EndpointID
+		}
+	}
+	need := 0
+	if total > 0 {
+		need = (total + p.spec.TasksPerBlock - 1) / p.spec.TasksPerBlock
+	}
+	shares := apportion(need, weights)
+	for i := range targets {
+		m := &g.Members[i]
+		t := shares[i]
+		if p.spec.MaxBlocksPerMember > 0 && t > p.spec.MaxBlocksPerMember {
+			t = p.spec.MaxBlocksPerMember
+		}
+		if !m.Status.Connected {
+			delete(p.low, m.EndpointID)
+			targets[i].Blocks = t
+			continue
+		}
+		held := m.Status.LiveBlocks + m.Status.PendingBlocks
+		if t < held {
+			p.low[m.EndpointID]++
+			if p.low[m.EndpointID] < p.spec.Hysteresis {
+				t = held // hold capacity until the lull is sustained
+				// The hold echoes blocks the member (or its own local
+				// policy) already has; it still respects the group's
+				// per-member cap.
+				if p.spec.MaxBlocksPerMember > 0 && t > p.spec.MaxBlocksPerMember {
+					t = p.spec.MaxBlocksPerMember
+				}
+			}
+		} else {
+			p.low[m.EndpointID] = 0
+		}
+		targets[i].Blocks = t
+	}
+	return targets
+}
+
+// apportion splits n into integer shares proportional to weights,
+// largest-remainder rounded (shares sum to n whenever any weight is
+// positive). Ties break toward earlier members for determinism.
+func apportion(n int, weights []float64) []int {
+	shares := make([]int, len(weights))
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	if n <= 0 || sum <= 0 {
+		return shares
+	}
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, 0, len(weights))
+	given := 0
+	for i, w := range weights {
+		exact := float64(n) * w / sum
+		floor := int(math.Floor(exact))
+		shares[i] = floor
+		given += floor
+		rems = append(rems, rem{i: i, frac: exact - float64(floor)})
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; given < n && k < len(rems); k++ {
+		if weights[rems[k].i] <= 0 {
+			continue // never hand blocks to a zero-weight member
+		}
+		shares[rems[k].i]++
+		given++
+	}
+	return shares
+}
+
+// --- watermark with hysteresis ---
+
+type watermark struct {
+	spec types.ElasticSpec
+	// low counts consecutive below-low-water evaluations per member.
+	low map[types.EndpointID]int
+}
+
+func (w *watermark) Name() string { return StrategyWatermark }
+
+// Advise compares each member's backlog-per-provisioned-block ratio to
+// the watermarks: above high water the target steps up by the blocks
+// needed to bring the ratio back under it; below low water for
+// Hysteresis consecutive evaluations the target steps down by one;
+// otherwise the member holds. Hysteresis exists so one quiet
+// evaluation between bursts does not flap capacity the next burst
+// needs again.
+func (w *watermark) Advise(g GroupSnapshot) []Target {
+	targets := make([]Target, len(g.Members))
+	for i, m := range g.Members {
+		targets[i].EndpointID = m.EndpointID
+		if !m.Status.Connected {
+			delete(w.low, m.EndpointID)
+			continue
+		}
+		held := m.Status.LiveBlocks + m.Status.PendingBlocks
+		backlog := m.Status.Backlog()
+		div := held
+		if div < 1 {
+			div = 1
+		}
+		ratio := float64(backlog) / float64(div)
+		target := held
+		switch {
+		case ratio > w.spec.HighWater:
+			// Enough extra blocks to bring the ratio back to high
+			// water, at least one.
+			want := int(math.Ceil(float64(backlog) / w.spec.HighWater))
+			if want <= held {
+				want = held + 1
+			}
+			target = want
+			w.low[m.EndpointID] = 0
+		case ratio < w.spec.LowWater:
+			w.low[m.EndpointID]++
+			if w.low[m.EndpointID] >= w.spec.Hysteresis && held > 0 {
+				target = held - 1
+				w.low[m.EndpointID] = 0
+			}
+		default:
+			w.low[m.EndpointID] = 0
+		}
+		if w.spec.MaxBlocksPerMember > 0 && target > w.spec.MaxBlocksPerMember {
+			target = w.spec.MaxBlocksPerMember
+		}
+		targets[i].Blocks = target
+	}
+	return targets
+}
+
+// --- controller ---
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Interval is the evaluation period (default 250 ms).
+	Interval time.Duration
+	// DefaultTTL stamps advice whose group spec declares no AdviceTTL.
+	// Endpoints decay to their local policy this long after the last
+	// advice they received (default 3×Interval).
+	DefaultTTL time.Duration
+	// Groups lists the elastic groups to control (typically the
+	// registry's groups carrying an ElasticSpec).
+	Groups func() []*types.EndpointGroup
+	// Status returns a member's live heartbeat snapshot (nil when the
+	// endpoint has no forwarder yet).
+	Status func(types.EndpointID) *types.EndpointStatus
+	// Push delivers advice toward one endpoint's agent (the service
+	// hands it to the endpoint's forwarder).
+	Push func(types.ScalingAdvice)
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Controller runs the fleet autoscaling loop.
+type Controller struct {
+	cfg Config
+
+	mu         sync.Mutex
+	strategies map[types.GroupID]Strategy
+	latest     map[types.EndpointID]types.ScalingAdvice
+	seq        uint64
+	evals      int64
+}
+
+// NewController builds a controller (call Run to start the loop, or
+// Tick to single-step it).
+func NewController(cfg Config) *Controller {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.DefaultTTL <= 0 {
+		cfg.DefaultTTL = 3 * cfg.Interval
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Controller{
+		cfg:        cfg,
+		strategies: make(map[types.GroupID]Strategy),
+		latest:     make(map[types.EndpointID]types.ScalingAdvice),
+	}
+}
+
+// Run ticks the controller every Interval until ctx is done.
+func (c *Controller) Run(ctx context.Context) {
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			c.Tick()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Tick performs one evaluation pass over every elastic group: snapshot
+// members, advise, push.
+func (c *Controller) Tick() {
+	if c.cfg.Groups == nil {
+		return
+	}
+	for _, g := range c.cfg.Groups() {
+		if g == nil || g.Elastic == nil {
+			continue
+		}
+		c.tickGroup(g)
+	}
+	c.mu.Lock()
+	c.evals++
+	c.mu.Unlock()
+}
+
+func (c *Controller) tickGroup(g *types.EndpointGroup) {
+	snap := GroupSnapshot{Group: g, Members: make([]MemberSnapshot, len(g.Members))}
+	for i, m := range g.Members {
+		snap.Members[i] = MemberSnapshot{EndpointID: m.EndpointID}
+		if c.cfg.Status != nil {
+			if st := c.cfg.Status(m.EndpointID); st != nil {
+				snap.Members[i].Status = *st
+			}
+		}
+	}
+
+	strat, err := c.strategyFor(g)
+	if err != nil {
+		return // spec was validated at creation; never advise on a bad one
+	}
+	targets := strat.Advise(snap)
+
+	ttl := g.Elastic.AdviceTTL
+	if ttl <= 0 {
+		ttl = c.cfg.DefaultTTL
+	}
+	now := c.cfg.Now()
+	for _, t := range targets {
+		c.mu.Lock()
+		c.seq++
+		adv := types.ScalingAdvice{
+			EndpointID:   t.EndpointID,
+			GroupID:      g.ID,
+			TargetBlocks: t.Blocks,
+			Seq:          c.seq,
+			Issued:       now,
+			TTL:          ttl,
+		}
+		c.latest[t.EndpointID] = adv
+		c.mu.Unlock()
+		if c.cfg.Push != nil {
+			c.cfg.Push(adv)
+		}
+	}
+}
+
+// strategyFor returns the group's (stateful) strategy instance,
+// creating it on first sight.
+func (c *Controller) strategyFor(g *types.EndpointGroup) (Strategy, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.strategies[g.ID]; ok {
+		return s, nil
+	}
+	s, err := NewStrategy(*g.Elastic)
+	if err != nil {
+		return nil, err
+	}
+	c.strategies[g.ID] = s
+	return s, nil
+}
+
+// Latest returns the most recent advice pushed for an endpoint.
+func (c *Controller) Latest(id types.EndpointID) (types.ScalingAdvice, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.latest[id]
+	return a, ok
+}
+
+// Evaluations returns how many controller passes have run.
+func (c *Controller) Evaluations() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evals
+}

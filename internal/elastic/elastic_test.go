@@ -1,0 +1,244 @@
+package elastic
+
+import (
+	"testing"
+	"time"
+
+	"funcx/internal/types"
+)
+
+func member(id string, queued, outstanding, live, pending int, connected bool) MemberSnapshot {
+	return MemberSnapshot{
+		EndpointID: types.EndpointID(id),
+		Status: types.EndpointStatus{
+			ID:               types.EndpointID(id),
+			Connected:        connected,
+			QueuedTasks:      queued,
+			OutstandingTasks: outstanding,
+			LiveBlocks:       live,
+			PendingBlocks:    pending,
+		},
+	}
+}
+
+func group(spec types.ElasticSpec, members ...MemberSnapshot) GroupSnapshot {
+	g := &types.EndpointGroup{ID: "g1", Elastic: &spec}
+	for _, m := range members {
+		g.Members = append(g.Members, types.GroupMember{EndpointID: m.EndpointID})
+	}
+	return GroupSnapshot{Group: g, Members: members}
+}
+
+func targetsByID(ts []Target) map[types.EndpointID]int {
+	out := make(map[types.EndpointID]int, len(ts))
+	for _, t := range ts {
+		out[t.EndpointID] = t.Blocks
+	}
+	return out
+}
+
+func TestParseSpecDefaultsAndValidation(t *testing.T) {
+	spec, err := ParseSpec(types.ElasticSpec{})
+	if err != nil {
+		t.Fatalf("ParseSpec(zero): %v", err)
+	}
+	if spec.Strategy != DefaultStrategy || spec.TasksPerBlock != 1 || spec.Hysteresis != 3 {
+		t.Fatalf("defaults not filled: %+v", spec)
+	}
+	if _, err := ParseSpec(types.ElasticSpec{Strategy: "nope"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := ParseSpec(types.ElasticSpec{HighWater: 1, LowWater: 2}); err == nil {
+		t.Fatal("inverted watermarks accepted")
+	}
+}
+
+func TestProportionalDistributesByBacklog(t *testing.T) {
+	s, err := NewStrategy(types.ElasticSpec{Strategy: StrategyProportional, TasksPerBlock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 + 4 backlog over TasksPerBlock 2 → 8 blocks needed. Weights
+	// blend backlog with the even recruitment term (total/2n = 4):
+	// 16:8 → a gets the larger share.
+	got := targetsByID(s.Advise(group(types.ElasticSpec{},
+		member("a", 10, 2, 1, 0, true),
+		member("b", 4, 0, 1, 0, true),
+	)))
+	if got["a"]+got["b"] != 8 || got["a"] <= got["b"] {
+		t.Fatalf("want 8 blocks split toward a, got %v", got)
+	}
+}
+
+func TestProportionalRecruitsIdleMembers(t *testing.T) {
+	// The fleet-elasticity headline: one member holds the entire
+	// backlog (selector pinning, transient disconnect), yet the hot
+	// group pre-warms its idle members too.
+	s, _ := NewStrategy(types.ElasticSpec{TasksPerBlock: 1})
+	got := targetsByID(s.Advise(group(types.ElasticSpec{},
+		member("hot", 40, 0, 0, 0, true),
+		member("idle-1", 0, 0, 0, 0, true),
+		member("idle-2", 0, 0, 0, 0, true),
+	)))
+	if got["hot"] <= got["idle-1"] {
+		t.Fatalf("hot member should dominate: %v", got)
+	}
+	if got["idle-1"] == 0 || got["idle-2"] == 0 {
+		t.Fatalf("idle members not recruited: %v", got)
+	}
+}
+
+func TestProportionalSharesSumToNeed(t *testing.T) {
+	s, _ := NewStrategy(types.ElasticSpec{TasksPerBlock: 3})
+	ts := s.Advise(group(types.ElasticSpec{},
+		member("a", 7, 0, 0, 0, true),
+		member("b", 5, 0, 0, 0, true),
+		member("c", 5, 0, 0, 0, true),
+	))
+	sum := 0
+	for _, x := range ts {
+		sum += x.Blocks
+	}
+	if want := (17 + 2) / 3; sum != want {
+		t.Fatalf("shares sum %d, want %d", sum, want)
+	}
+}
+
+func TestProportionalIdleGroupDecaysWithHysteresis(t *testing.T) {
+	s, _ := NewStrategy(types.ElasticSpec{Hysteresis: 3})
+	quiet := group(types.ElasticSpec{},
+		member("a", 0, 0, 3, 0, true), member("b", 0, 0, 1, 0, true))
+	// One quiet tick between bursts must not dump the fleet: targets
+	// hold at the held block counts until the lull is sustained.
+	for i := 0; i < 2; i++ {
+		got := targetsByID(s.Advise(quiet))
+		if got["a"] != 3 || got["b"] != 1 {
+			t.Fatalf("quiet tick %d released early: %v", i, got)
+		}
+	}
+	// The third consecutive quiet evaluation advises the real target.
+	for _, tg := range s.Advise(quiet) {
+		if tg.Blocks != 0 {
+			t.Fatalf("sustained-idle group advised %d blocks for %s", tg.Blocks, tg.EndpointID)
+		}
+	}
+	// A busy tick resets the streak.
+	s.Advise(group(types.ElasticSpec{}, member("a", 9, 0, 3, 0, true), member("b", 9, 0, 1, 0, true)))
+	if got := targetsByID(s.Advise(quiet)); got["a"] != 3 {
+		t.Fatalf("streak not reset by busy tick: %v", got)
+	}
+}
+
+func TestProportionalSkipsDisconnected(t *testing.T) {
+	s, _ := NewStrategy(types.ElasticSpec{})
+	got := targetsByID(s.Advise(group(types.ElasticSpec{},
+		member("up", 8, 0, 0, 0, true),
+		member("down", 8, 0, 0, 0, false),
+	)))
+	if got["down"] != 0 {
+		t.Fatalf("disconnected member advised %d blocks", got["down"])
+	}
+	if got["up"] != 8 {
+		t.Fatalf("connected member advised %d blocks, want 8", got["up"])
+	}
+}
+
+func TestProportionalMaxBlocksPerMemberCap(t *testing.T) {
+	s, _ := NewStrategy(types.ElasticSpec{MaxBlocksPerMember: 3})
+	got := targetsByID(s.Advise(group(types.ElasticSpec{}, member("a", 100, 0, 0, 0, true))))
+	if got["a"] != 3 {
+		t.Fatalf("cap ignored: advised %d", got["a"])
+	}
+}
+
+func TestColdStartDiscountsPendingMembers(t *testing.T) {
+	s, err := NewStrategy(types.ElasticSpec{Strategy: StrategyColdStart, TasksPerBlock: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal backlog, but "booting" already has 3 blocks on the way:
+	// its share weight is quartered, steering new capacity to "cold".
+	got := targetsByID(s.Advise(group(types.ElasticSpec{},
+		member("cold", 8, 0, 0, 0, true),
+		member("booting", 8, 0, 0, 3, true),
+	)))
+	if got["cold"] <= got["booting"]-3 || got["cold"] < 9 {
+		t.Fatalf("cold-start discount not applied: %v", got)
+	}
+	// The booting member's target never drops below what it already
+	// holds, so advice cannot cancel capacity mid-boot.
+	if got["booting"] < 3 {
+		t.Fatalf("booting member advised %d, below its 3 held blocks", got["booting"])
+	}
+}
+
+func TestWatermarkStepsUpPastHighWater(t *testing.T) {
+	s, _ := NewStrategy(types.ElasticSpec{Strategy: StrategyWatermark, HighWater: 2, LowWater: 0.5})
+	// 10 backlog over 1 block = ratio 10 > 2 → target ceil(10/2)=5.
+	got := targetsByID(s.Advise(group(types.ElasticSpec{}, member("a", 10, 0, 1, 0, true))))
+	if got["a"] != 5 {
+		t.Fatalf("watermark scale-out advised %d, want 5", got["a"])
+	}
+}
+
+func TestWatermarkHysteresisDelaysScaleIn(t *testing.T) {
+	s, _ := NewStrategy(types.ElasticSpec{Strategy: StrategyWatermark, Hysteresis: 3})
+	quiet := group(types.ElasticSpec{}, member("a", 0, 0, 4, 0, true))
+	for i := 0; i < 2; i++ {
+		if got := targetsByID(s.Advise(quiet)); got["a"] != 4 {
+			t.Fatalf("eval %d released early: target %d", i, got["a"])
+		}
+	}
+	if got := targetsByID(s.Advise(quiet)); got["a"] != 3 {
+		t.Fatalf("third quiet eval should step down to 3, got %d", got["a"])
+	}
+	// A busy evaluation resets the streak: the next quiet evaluation
+	// holds instead of stepping down again.
+	s.Advise(group(types.ElasticSpec{}, member("a", 50, 0, 3, 0, true)))
+	if got := targetsByID(s.Advise(quiet)); got["a"] != 4 {
+		t.Fatalf("streak not reset after busy eval: target %d, want hold at 4", got["a"])
+	}
+}
+
+func TestControllerTickPushesAdvice(t *testing.T) {
+	g := &types.EndpointGroup{
+		ID:      "g1",
+		Members: []types.GroupMember{{EndpointID: "a"}, {EndpointID: "b"}},
+		Elastic: &types.ElasticSpec{Strategy: StrategyProportional, TasksPerBlock: 2},
+	}
+	statuses := map[types.EndpointID]*types.EndpointStatus{
+		"a": {ID: "a", Connected: true, QueuedTasks: 6},
+		"b": {ID: "b", Connected: true, QueuedTasks: 2},
+	}
+	var pushed []types.ScalingAdvice
+	c := NewController(Config{
+		Interval: 10 * time.Millisecond,
+		Groups:   func() []*types.EndpointGroup { return []*types.EndpointGroup{g} },
+		Status:   func(id types.EndpointID) *types.EndpointStatus { return statuses[id] },
+		Push:     func(a types.ScalingAdvice) { pushed = append(pushed, a) },
+	})
+	c.Tick()
+	if len(pushed) != 2 {
+		t.Fatalf("pushed %d advice records, want 2", len(pushed))
+	}
+	byID := make(map[types.EndpointID]types.ScalingAdvice)
+	for _, a := range pushed {
+		byID[a.EndpointID] = a
+	}
+	if byID["a"].TargetBlocks != 3 || byID["b"].TargetBlocks != 1 {
+		t.Fatalf("targets a=%d b=%d, want 3/1", byID["a"].TargetBlocks, byID["b"].TargetBlocks)
+	}
+	if byID["a"].GroupID != "g1" || byID["a"].TTL != 30*time.Millisecond {
+		t.Fatalf("advice metadata wrong: %+v", byID["a"])
+	}
+	if got, ok := c.Latest("a"); !ok || got.TargetBlocks != 3 {
+		t.Fatalf("Latest(a) = %+v, %v", got, ok)
+	}
+	// Non-elastic groups are skipped.
+	g.Elastic = nil
+	pushed = nil
+	c.Tick()
+	if len(pushed) != 0 {
+		t.Fatalf("non-elastic group produced %d advice records", len(pushed))
+	}
+}

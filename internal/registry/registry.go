@@ -26,6 +26,9 @@ var (
 	ErrNotFound = errors.New("registry: not found")
 	// ErrForbidden is returned when the acting user lacks rights.
 	ErrForbidden = errors.New("registry: forbidden")
+	// ErrConflict is returned when a mutation contradicts existing
+	// state (e.g. adding an endpoint to a second elastic group).
+	ErrConflict = errors.New("registry: conflict")
 )
 
 // Registry is the in-memory substitute for the service database.
@@ -262,6 +265,13 @@ func (r *Registry) EndpointCount() int {
 // Duplicate members are collapsed (first occurrence wins) so a
 // repeated endpoint cannot skew placement.
 func (r *Registry) RegisterGroup(owner types.UserID, name, policy string, public bool, members []types.GroupMember) (*types.EndpointGroup, error) {
+	return r.RegisterGroupElastic(owner, name, policy, public, members, nil)
+}
+
+// RegisterGroupElastic is RegisterGroup with an optional elasticity
+// spec (already validated/normalized by the service) opting the group
+// into the fleet autoscaling controller.
+func (r *Registry) RegisterGroupElastic(owner types.UserID, name, policy string, public bool, members []types.GroupMember, elastic *types.ElasticSpec) (*types.EndpointGroup, error) {
 	if len(members) == 0 {
 		return nil, errors.New("registry: group needs at least one member endpoint")
 	}
@@ -283,18 +293,63 @@ func (r *Registry) RegisterGroup(owner types.UserID, name, policy string, public
 		Policy:     policy,
 		Public:     public,
 		Members:    deduped,
+		Elastic:    copyElastic(elastic),
 		Registered: r.now(),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if g.Elastic != nil {
+		for _, m := range deduped {
+			if other := r.elasticGroupOfLocked(m.EndpointID); other != nil {
+				return nil, fmt.Errorf("%w: endpoint %s already belongs to elastic group %s; an endpoint takes scaling advice from at most one group",
+					ErrConflict, m.EndpointID, other.ID)
+			}
+		}
+	}
 	r.groups[g.ID] = g
 	return copyGroup(g), nil
+}
+
+// elasticGroupOfLocked returns the elastic group the endpoint belongs
+// to, if any. Two controllers advising one endpoint would flap its
+// capacity target every evaluation, so membership in elastic groups is
+// exclusive. Caller holds r.mu.
+func (r *Registry) elasticGroupOfLocked(id types.EndpointID) *types.EndpointGroup {
+	for _, g := range r.groups {
+		if g.Elastic != nil && g.HasMember(id) {
+			return g
+		}
+	}
+	return nil
 }
 
 func copyGroup(g *types.EndpointGroup) *types.EndpointGroup {
 	cp := *g
 	cp.Members = append([]types.GroupMember(nil), g.Members...)
+	cp.Elastic = copyElastic(g.Elastic)
 	return &cp
+}
+
+func copyElastic(e *types.ElasticSpec) *types.ElasticSpec {
+	if e == nil {
+		return nil
+	}
+	cp := *e
+	return &cp
+}
+
+// ElasticGroups lists the groups carrying an elasticity spec — the
+// fleet autoscaling controller's work list.
+func (r *Registry) ElasticGroups() []*types.EndpointGroup {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*types.EndpointGroup
+	for _, g := range r.groups {
+		if g.Elastic != nil {
+			out = append(out, copyGroup(g))
+		}
+	}
+	return out
 }
 
 // Group returns a copy of the group record.
@@ -324,6 +379,19 @@ func (r *Registry) AddGroupMembers(actor types.UserID, id types.GroupID, members
 	}
 	if g.Owner != actor {
 		return nil, fmt.Errorf("%w: only owner may modify group", ErrForbidden)
+	}
+	// Validate every addition before mutating, so a conflict mid-list
+	// cannot leave the group partially extended.
+	if g.Elastic != nil {
+		for _, m := range members {
+			if g.HasMember(m.EndpointID) {
+				continue
+			}
+			if other := r.elasticGroupOfLocked(m.EndpointID); other != nil {
+				return nil, fmt.Errorf("%w: endpoint %s already belongs to elastic group %s; an endpoint takes scaling advice from at most one group",
+					ErrConflict, m.EndpointID, other.ID)
+			}
+		}
 	}
 	for _, m := range members {
 		if !g.HasMember(m.EndpointID) {

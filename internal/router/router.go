@@ -120,6 +120,19 @@ func (c *Candidate) matches(selector map[string]string) (n int, all bool) {
 	return n, all
 }
 
+// MatchesSelector reports whether labels satisfy every selector pair —
+// the single definition of selector semantics, shared with the
+// service's submit-time validation so placement and validation cannot
+// diverge.
+func MatchesSelector(labels, selector map[string]string) bool {
+	for k, v := range selector {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Request is one placement decision's input.
 type Request struct {
 	Group *types.EndpointGroup
@@ -262,7 +275,7 @@ func filterSelector(cands []Candidate, selector map[string]string) []Candidate {
 	}
 	matched := make([]Candidate, 0, len(cands))
 	for _, c := range cands {
-		if _, all := c.matches(selector); all {
+		if MatchesSelector(c.Labels, selector) {
 			matched = append(matched, c)
 		}
 	}

@@ -171,6 +171,33 @@ func (c *Client) CreateGroup(ctx context.Context, name, policy string, public bo
 	return &resp.Group, nil
 }
 
+// CreateGroupElastic is CreateGroup with a fleet-elasticity spec: the
+// service's autoscaling controller will convert the group's backlog
+// into per-member block targets and push them to member endpoints as
+// scaling advice (clamped to each endpoint's own scaling limits).
+func (c *Client) CreateGroupElastic(ctx context.Context, name, policy string, public bool, members []types.GroupMember, spec *types.ElasticSpec) (*types.EndpointGroup, error) {
+	var resp api.CreateGroupResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name: name, Policy: policy, Public: public, Members: members, Elastic: spec,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp.Group, nil
+}
+
+// GroupElasticity fetches a group's elasticity state: its spec plus
+// per-member live status and the latest scaling advice the controller
+// pushed to each member.
+func (c *Client) GroupElasticity(ctx context.Context, id types.GroupID) (*api.GroupElasticityResponse, error) {
+	var resp api.GroupElasticityResponse
+	_, err := c.do(ctx, http.MethodGet, "/v1/groups/"+string(id)+"/elasticity", nil, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // AddGroupMembers appends endpoints to a group (owner only).
 func (c *Client) AddGroupMembers(ctx context.Context, id types.GroupID, members ...types.GroupMember) (*types.EndpointGroup, error) {
 	var resp api.CreateGroupResponse

@@ -42,6 +42,7 @@ func (s *Service) buildMux() {
 
 	mux.Handle("POST /v1/groups", protect(auth.ScopeManageEndpoints, s.handleCreateGroup))
 	mux.Handle("GET /v1/groups/{id}", protect(auth.ScopeRun, s.handleGroupStatus))
+	mux.Handle("GET /v1/groups/{id}/elasticity", protect(auth.ScopeRun, s.handleGroupElasticity))
 	mux.Handle("POST /v1/groups/{id}/members", protect(auth.ScopeManageEndpoints, s.handleAddGroupMembers))
 
 	mux.Handle("POST /v1/tasks", protect(auth.ScopeRun, s.handleSubmit))
@@ -97,6 +98,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, registry.ErrForbidden), errors.Is(err, auth.ErrScope):
 		status = http.StatusForbidden
+	case errors.Is(err, registry.ErrConflict):
+		status = http.StatusConflict
 	case errors.Is(err, auth.ErrInvalidToken), errors.Is(err, auth.ErrExpiredToken):
 		status = http.StatusUnauthorized
 	case errors.Is(err, ErrPayloadTooLarge):
@@ -218,15 +221,16 @@ func (s *Service) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	owner := claimsOf(r).Subject
-	ids := make([]types.TaskID, 0, len(req.Tasks))
-	for _, t := range req.Tasks {
-		id, _, _, err := s.SubmitTask(owner, submissionOf(t))
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		ids = append(ids, id)
+	subs := make([]Submission, len(req.Tasks))
+	for i, t := range req.Tasks {
+		subs[i] = submissionOf(t)
+	}
+	// Atomic with respect to validation: a bad task anywhere in the
+	// batch rejects the whole request before anything is enqueued.
+	ids, _, err := s.SubmitBatchAt(claimsOf(r).Subject, subs, arrivalOf(r))
+	if err != nil {
+		writeError(w, err)
+		return
 	}
 	writeJSON(w, http.StatusAccepted, api.BatchSubmitResponse{TaskIDs: ids})
 }
@@ -236,12 +240,21 @@ func (s *Service) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	g, err := s.CreateGroup(claimsOf(r).Subject, req.Name, req.Policy, req.Public, req.Members)
+	g, err := s.CreateGroupElastic(claimsOf(r).Subject, req.Name, req.Policy, req.Public, req.Members, req.Elastic)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, api.CreateGroupResponse{Group: *g})
+}
+
+func (s *Service) handleGroupElasticity(w http.ResponseWriter, r *http.Request) {
+	g, members, err := s.GroupElasticity(claimsOf(r).Subject, types.GroupID(r.PathValue("id")))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.GroupElasticityResponse{Group: *g, Members: members})
 }
 
 func (s *Service) handleGroupStatus(w http.ResponseWriter, r *http.Request) {

@@ -14,7 +14,9 @@ import (
 	"sync"
 	"time"
 
+	"funcx/internal/api"
 	"funcx/internal/auth"
+	"funcx/internal/elastic"
 	"funcx/internal/forwarder"
 	"funcx/internal/memo"
 	"funcx/internal/netlat"
@@ -56,6 +58,10 @@ type Config struct {
 	AuthLat *netlat.Link
 	// TokenTTL is the lifetime of minted tokens (default 24 h).
 	TokenTTL time.Duration
+	// ElasticInterval is the fleet autoscaling controller's evaluation
+	// period (default: the heartbeat period, so advice is at most one
+	// heartbeat behind the statuses it reads).
+	ElasticInterval time.Duration
 }
 
 // ErrPayloadTooLarge is returned for inputs beyond MaxPayloadSize;
@@ -76,6 +82,10 @@ type Service struct {
 	Store     *store.Store
 	Memo      *memo.Cache
 	Router    *router.Router
+	// Elastic is the fleet autoscaling controller: it converts elastic
+	// groups' backlog into per-member scaling advice each interval and
+	// hands it to the members' forwarders (see internal/elastic).
+	Elastic *elastic.Controller
 	muxState
 
 	ctx    context.Context
@@ -112,6 +122,9 @@ func New(cfg Config) *Service {
 	if cfg.MaxPayloadSize == 0 {
 		cfg.MaxPayloadSize = 1 << 20
 	}
+	if cfg.ElasticInterval <= 0 {
+		cfg.ElasticInterval = cfg.HeartbeatPeriod
+	}
 	s := &Service{
 		cfg:        cfg,
 		Authority:  auth.NewAuthority(),
@@ -123,7 +136,17 @@ func New(cfg Config) *Service {
 		tsByTask:   make(map[types.TaskID]time.Duration),
 	}
 	s.Router = router.New(s.routingStatus, s.endpointLabels)
+	s.Elastic = elastic.NewController(elastic.Config{
+		Interval: cfg.ElasticInterval,
+		// Advice outliving three heartbeats with no refresh is stale:
+		// the endpoint decays back to its local policy.
+		DefaultTTL: 3 * cfg.HeartbeatPeriod,
+		Groups:     s.Registry.ElasticGroups,
+		Status:     s.routingStatus,
+		Push:       s.pushAdvice,
+	})
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	go s.Elastic.Run(s.ctx)
 	s.Store.StartJanitor(time.Second)
 	return s
 }
@@ -249,6 +272,14 @@ func (s *Service) endpointLabels(id types.EndpointID) map[string]string {
 // CreateGroup registers an endpoint group after validating its
 // placement policy. Members must exist and be dispatchable by owner.
 func (s *Service) CreateGroup(owner types.UserID, name, policy string, public bool, members []types.GroupMember) (*types.EndpointGroup, error) {
+	return s.CreateGroupElastic(owner, name, policy, public, members, nil)
+}
+
+// CreateGroupElastic is CreateGroup with an optional elasticity spec:
+// a non-nil spec (validated and normalized here) opts the group into
+// the fleet autoscaling controller, which will push scaling advice to
+// member endpoints from the first evaluation after creation.
+func (s *Service) CreateGroupElastic(owner types.UserID, name, policy string, public bool, members []types.GroupMember, spec *types.ElasticSpec) (*types.EndpointGroup, error) {
 	p, err := router.ParsePolicy(policy)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
@@ -256,7 +287,48 @@ func (s *Service) CreateGroup(owner types.UserID, name, policy string, public bo
 	if len(members) == 0 {
 		return nil, fmt.Errorf("%w: group needs at least one member endpoint", ErrInvalidRequest)
 	}
-	return s.Registry.RegisterGroup(owner, name, string(p), public, members)
+	if spec != nil {
+		normalized, err := elastic.ParseSpec(*spec)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
+		}
+		if normalized.AdviceTTL <= 0 {
+			normalized.AdviceTTL = 3 * s.cfg.HeartbeatPeriod
+		}
+		spec = &normalized
+	}
+	return s.Registry.RegisterGroupElastic(owner, name, string(p), public, members, spec)
+}
+
+// GroupElasticity reports a group's elasticity state: the group record
+// (including its spec) plus, per member in member order, the live
+// status and latest advice. Actor authorization matches GroupStatus.
+func (s *Service) GroupElasticity(actor types.UserID, id types.GroupID) (*types.EndpointGroup, []api.MemberElasticity, error) {
+	g, err := s.Registry.AuthorizeGroupDispatch(actor, id)
+	if err != nil {
+		return nil, nil, err
+	}
+	members := make([]api.MemberElasticity, len(g.Members))
+	for i, m := range g.Members {
+		if st := s.routingStatus(m.EndpointID); st != nil {
+			members[i].Status = *st
+		} else {
+			members[i].Status = types.EndpointStatus{ID: m.EndpointID}
+		}
+		if adv, ok := s.Elastic.Latest(m.EndpointID); ok && adv.GroupID == g.ID {
+			cp := adv
+			members[i].Advice = &cp
+		}
+	}
+	return g, members, nil
+}
+
+// pushAdvice hands controller advice to the endpoint's forwarder,
+// which piggybacks it on its next heartbeat to the agent.
+func (s *Service) pushAdvice(a types.ScalingAdvice) {
+	if f, ok := s.Forwarder(a.EndpointID); ok {
+		f.SetAdvice(a)
+	}
 }
 
 // AddGroupMembers appends endpoints to a group (owner only).
@@ -393,43 +465,115 @@ func (s *Service) SubmitTask(owner types.UserID, sub Submission) (types.TaskID, 
 // task with its group so failover can re-route it if the chosen
 // endpoint dies before dispatch.
 func (s *Service) SubmitTaskAt(owner types.UserID, sub Submission, start time.Time) (types.TaskID, types.EndpointID, bool, error) {
-	payload := sub.Payload
-	if s.cfg.MaxPayloadSize > 0 && len(payload) > s.cfg.MaxPayloadSize {
-		return "", "", false, fmt.Errorf("%w: payload %d bytes exceeds the %d-byte service limit; stage large data out of band (§4.6)",
-			ErrPayloadTooLarge, len(payload), s.cfg.MaxPayloadSize)
-	}
-	fn, err := s.Registry.AuthorizeInvocation(owner, sub.FunctionID)
+	p, err := s.prepare(owner, sub)
 	if err != nil {
 		return "", "", false, err
 	}
+	return s.place(owner, p, start)
+}
 
-	// Authorize the target before anything else; routing itself waits
-	// until after the memoization lookup.
-	epID := sub.EndpointID
-	var group *types.EndpointGroup
+// SubmitBatchAt places many submissions atomically with respect to
+// validation: every task is validated and authorized *before* any is
+// enqueued, so a bad task mid-batch can no longer leave earlier tasks
+// running with no ids returned to the caller. Returned slices are in
+// submission order.
+func (s *Service) SubmitBatchAt(owner types.UserID, subs []Submission, start time.Time) ([]types.TaskID, []types.EndpointID, error) {
+	prepared := make([]*preparedSubmission, len(subs))
+	for i, sub := range subs {
+		p, err := s.prepare(owner, sub)
+		if err != nil {
+			return nil, nil, fmt.Errorf("batch task %d: %w", i, err)
+		}
+		prepared[i] = p
+	}
+	ids := make([]types.TaskID, len(prepared))
+	eps := make([]types.EndpointID, len(prepared))
+	for i, p := range prepared {
+		// Validation cannot fail past this point; place errors are
+		// store-level (service shutting down).
+		id, epID, _, err := s.place(owner, p, start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("batch task %d: %w", i, err)
+		}
+		ids[i], eps[i] = id, epID
+	}
+	return ids, eps, nil
+}
+
+// preparedSubmission is a submission that passed every validation and
+// authorization check and is safe to place.
+type preparedSubmission struct {
+	sub   Submission
+	fn    *types.Function
+	group *types.EndpointGroup
+}
+
+// prepare performs all fallible validation of one submission — payload
+// limit, function invocation rights, target shape, target access, and
+// selector satisfiability — without touching the store, so batches can
+// validate everything before enqueueing anything.
+func (s *Service) prepare(owner types.UserID, sub Submission) (*preparedSubmission, error) {
+	if s.cfg.MaxPayloadSize > 0 && len(sub.Payload) > s.cfg.MaxPayloadSize {
+		return nil, fmt.Errorf("%w: payload %d bytes exceeds the %d-byte service limit; stage large data out of band (§4.6)",
+			ErrPayloadTooLarge, len(sub.Payload), s.cfg.MaxPayloadSize)
+	}
+	fn, err := s.Registry.AuthorizeInvocation(owner, sub.FunctionID)
+	if err != nil {
+		return nil, err
+	}
+	p := &preparedSubmission{sub: sub, fn: fn}
 	switch {
-	case sub.GroupID != "" && epID != "":
-		return "", "", false, fmt.Errorf("%w: submission names both an endpoint and a group", ErrInvalidRequest)
+	case sub.GroupID != "" && sub.EndpointID != "":
+		return nil, fmt.Errorf("%w: submission names both an endpoint and a group", ErrInvalidRequest)
 	case sub.GroupID != "":
 		g, err := s.Registry.AuthorizeGroupDispatch(owner, sub.GroupID)
 		if err != nil {
-			return "", "", false, err
+			return nil, err
 		}
-		group = g
-	case epID != "":
-		if _, err := s.Registry.AuthorizeDispatch(owner, epID); err != nil {
-			return "", "", false, err
+		// Surface unsatisfiable selectors now (Route would reject them
+		// anyway): prepare-time rejection keeps batches atomic.
+		if len(sub.Labels) > 0 {
+			if policy, err := router.ParsePolicy(g.Policy); err == nil &&
+				policy != router.LabelAffinity && !s.selectorSatisfiable(g, sub.Labels) {
+				return nil, fmt.Errorf("%w: %w: group %s, selector %v",
+					ErrInvalidRequest, router.ErrNoSelectorMatch, g.ID, sub.Labels)
+			}
+		}
+		p.group = g
+	case sub.EndpointID != "":
+		if _, err := s.Registry.AuthorizeDispatch(owner, sub.EndpointID); err != nil {
+			return nil, err
 		}
 	default:
-		return "", "", false, fmt.Errorf("%w: submission names neither an endpoint nor a group", ErrInvalidRequest)
+		return nil, fmt.Errorf("%w: submission names neither an endpoint nor a group", ErrInvalidRequest)
 	}
+	return p, nil
+}
+
+// selectorSatisfiable reports whether any group member's declared
+// labels satisfy every selector pair (same matcher the router places
+// with, so validation and placement cannot diverge).
+func (s *Service) selectorSatisfiable(g *types.EndpointGroup, selector map[string]string) bool {
+	for _, m := range g.Members {
+		if router.MatchesSelector(s.endpointLabels(m.EndpointID), selector) {
+			return true
+		}
+	}
+	return false
+}
+
+// place commits one prepared submission: memoization lookup, routing,
+// and the store/enqueue writes.
+func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Time) (types.TaskID, types.EndpointID, bool, error) {
+	sub, fn := p.sub, p.fn
+	epID := sub.EndpointID
 
 	// Memoization (§4.7): only when explicitly requested. Checked
 	// before placement so a cache hit neither consumes a routing
 	// decision (round-robin cursor, load skew) nor reports an
 	// endpoint that never saw the task.
 	if sub.Memoize {
-		if cached, ok := s.Memo.Lookup(fn.BodyHash, payload); ok {
+		if cached, ok := s.Memo.Lookup(fn.BodyHash, sub.Payload); ok {
 			id := types.NewTaskID()
 			cached.TaskID = id
 			cached.Completed = time.Now()
@@ -445,9 +589,9 @@ func (s *Service) SubmitTaskAt(owner types.UserID, sub Submission, start time.Ti
 		}
 	}
 
-	if group != nil {
+	if p.group != nil {
 		var err error
-		epID, err = s.Router.Route(router.Request{Group: group, Selector: sub.Labels})
+		epID, err = s.Router.Route(router.Request{Group: p.group, Selector: sub.Labels})
 		if errors.Is(err, router.ErrNoSelectorMatch) {
 			return "", "", false, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
 		}
@@ -464,7 +608,7 @@ func (s *Service) SubmitTaskAt(owner types.UserID, sub Submission, start time.Ti
 		Selector:   sub.Labels,
 		Owner:      owner,
 		Container:  fn.Container,
-		Payload:    payload,
+		Payload:    sub.Payload,
 		BodyHash:   fn.BodyHash,
 		Memoize:    sub.Memoize,
 		BatchN:     sub.BatchN,
@@ -472,10 +616,14 @@ func (s *Service) SubmitTaskAt(owner types.UserID, sub Submission, start time.Ti
 		Submitted:  start,
 	}
 
-	// Store the task record and enqueue its id for the endpoint.
-	s.Store.Hash(tasksHash).Set(string(task.ID), wire.EncodeTask(task))
+	// Store the task record and enqueue it for the endpoint, encoding
+	// once and sharing the bytes between record and queue (the encode
+	// dominated the submit hot path when paid twice). Both consumers
+	// only read the buffer.
+	data := wire.EncodeTask(task)
+	s.Store.Hash(tasksHash).Set(string(task.ID), data)
 	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskQueued))
-	if err := s.Store.Queue(store.TaskQueueName(string(epID))).Push(wire.EncodeTask(task)); err != nil {
+	if err := s.Store.Queue(store.TaskQueueName(string(epID))).Push(data); err != nil {
 		return "", "", false, fmt.Errorf("service: enqueue: %w", err)
 	}
 	ts := time.Since(start)

@@ -57,6 +57,10 @@ const (
 	MsgShutdown
 	// MsgStatus carries an endpoint status report.
 	MsgStatus
+	// MsgAdvice carries scaling advice from the service's elasticity
+	// controller to an endpoint agent, piggybacked on the forwarder's
+	// heartbeat cycle.
+	MsgAdvice
 )
 
 // String returns the protocol name of the message type.
@@ -84,6 +88,8 @@ func (t MsgType) String() string {
 		return "SHUTDOWN"
 	case MsgStatus:
 		return "STATUS"
+	case MsgAdvice:
+		return "ADVICE"
 	default:
 		return fmt.Sprintf("MSG(%d)", uint8(t))
 	}

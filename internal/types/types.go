@@ -318,6 +318,9 @@ type EndpointGroup struct {
 	Public bool `json:"public,omitempty"`
 	// Members are the candidate endpoints, in registration order.
 	Members []GroupMember `json:"members"`
+	// Elastic, when set, opts the group into the service's fleet
+	// autoscaling controller (see internal/elastic).
+	Elastic *ElasticSpec `json:"elastic,omitempty"`
 	// Registered is the creation time.
 	Registered time.Time `json:"registered,omitzero"`
 }
@@ -347,8 +350,75 @@ type EndpointStatus struct {
 	Workers int `json:"workers"`
 	// IdleWorkers is the number of workers without an assigned task.
 	IdleWorkers int `json:"idle_workers"`
+	// LiveBlocks counts the provider blocks (pilot jobs) with booted
+	// nodes at an elastic endpoint (0 for static endpoints).
+	LiveBlocks int `json:"live_blocks,omitempty"`
+	// PendingBlocks counts blocks requested but not fully booted:
+	// capacity already on the way. The elasticity controller's
+	// cold-start-aware strategy discounts members whose capacity is
+	// arriving so it does not over-ask during boot windows.
+	PendingBlocks int `json:"pending_blocks,omitempty"`
 	// LastHeartbeat is the time of the most recent agent heartbeat.
 	LastHeartbeat time.Time `json:"last_heartbeat,omitzero"`
+}
+
+// Backlog is the endpoint's total uncompleted work: tasks queued at
+// the service plus tasks dispatched but unfinished.
+func (s *EndpointStatus) Backlog() int {
+	return s.QueuedTasks + s.OutstandingTasks
+}
+
+// ElasticSpec is a group's fleet-elasticity configuration: when set on
+// an EndpointGroup, the service's autoscaling controller periodically
+// snapshots group-wide backlog and pushes per-member ScalingAdvice to
+// the endpoint agents (see internal/elastic).
+type ElasticSpec struct {
+	// Strategy names the advice strategy ("proportional", "watermark",
+	// "coldstart"); empty selects the default.
+	Strategy string `json:"strategy,omitempty"`
+	// TasksPerBlock is the backlog one provisioned block is expected
+	// to absorb (default 1): the divisor converting group backlog into
+	// a block target.
+	TasksPerBlock int `json:"tasks_per_block,omitempty"`
+	// MaxBlocksPerMember caps the advised target per member (0 = rely
+	// solely on each endpoint's own MaxBlocks clamp).
+	MaxBlocksPerMember int `json:"max_blocks_per_member,omitempty"`
+	// HighWater is the per-block backlog ratio above which the
+	// watermark strategy advises scale-out (default 2).
+	HighWater float64 `json:"high_water,omitempty"`
+	// LowWater is the per-block backlog ratio below which the
+	// watermark strategy counts an evaluation toward scale-in
+	// (default 0.5).
+	LowWater float64 `json:"low_water,omitempty"`
+	// Hysteresis is how many consecutive low-water evaluations the
+	// watermark strategy requires before advising scale-in (default 3).
+	Hysteresis int `json:"hysteresis,omitempty"`
+	// AdviceTTL bounds advice validity; endpoints receiving no fresh
+	// advice within the TTL decay back to their local policy (default:
+	// a few heartbeat periods, set by the service).
+	AdviceTTL time.Duration `json:"advice_ttl,omitempty"`
+}
+
+// ScalingAdvice is the elasticity controller's capacity recommendation
+// for one endpoint, pushed to the agent piggybacked on forwarder
+// heartbeats. Advice is advisory, never authoritative: the endpoint
+// clamps TargetBlocks to its own ScalingPolicy Min/MaxBlocks, and
+// advice older than TTL decays back to the local policy.
+type ScalingAdvice struct {
+	EndpointID EndpointID `json:"endpoint_id"`
+	// GroupID names the group whose backlog produced the advice.
+	GroupID GroupID `json:"group_id,omitempty"`
+	// TargetBlocks is the recommended provisioned (live + pending)
+	// block count.
+	TargetBlocks int `json:"target_blocks"`
+	// Seq increments with each controller evaluation, so receivers can
+	// discard reordered advice.
+	Seq uint64 `json:"seq,omitempty"`
+	// Issued is when the controller computed the advice.
+	Issued time.Time `json:"issued,omitzero"`
+	// TTL bounds validity after Issued (receivers judge staleness from
+	// their own receipt time, so clock skew cannot pin stale advice).
+	TTL time.Duration `json:"ttl,omitempty"`
 }
 
 // Capacity is a manager's advertisement to its agent: how many tasks it

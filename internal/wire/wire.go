@@ -118,6 +118,25 @@ func DecodeCapacity(data []byte) (*types.Capacity, error) {
 	return &c, nil
 }
 
+// EncodeAdvice frames a scaling-advice push (service → endpoint,
+// piggybacked on forwarder heartbeats).
+func EncodeAdvice(a *types.ScalingAdvice) []byte {
+	b, err := json.Marshal(a)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshaling advice: %v", err))
+	}
+	return b
+}
+
+// DecodeAdvice unframes a scaling-advice push.
+func DecodeAdvice(data []byte) (*types.ScalingAdvice, error) {
+	var a types.ScalingAdvice
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("wire: decoding advice: %w", err)
+	}
+	return &a, nil
+}
+
 // EncodeStatus frames an endpoint status report.
 func EncodeStatus(s *types.EndpointStatus) []byte {
 	b, err := json.Marshal(s)
