@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"funcx/internal/core"
+	"funcx/internal/sdk"
 	"funcx/internal/serial"
 	"funcx/internal/service"
 	"funcx/internal/types"
@@ -74,6 +75,7 @@ func main() {
 
 	// --- Listing 1, in Go ---
 	fc := fab.Client("ryan")
+	defer fc.Close() // stops the shared event-stream consumer
 	ctx := context.Background()
 
 	funcID, err := fc.RegisterFunction(ctx, "automo_preview", automoPreviewBody, types.ContainerSpec{}, nil)
@@ -86,13 +88,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	taskID, err := fc.Run(ctx, funcID, ep.ID, payload)
+	// Submit as a future: the result arrives over the client's shared
+	// task-event stream (one SSE connection for any number of
+	// outstanding tasks) instead of a per-task poll.
+	fut, err := fc.SubmitFuture(ctx, sdk.SubmitSpec{Function: funcID, Endpoint: ep.ID, Payload: payload})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("submitted task:", taskID)
+	fmt.Println("submitted task:", fut.TaskID())
 
-	res, err := fc.GetResult(ctx, taskID)
+	res, err := fut.Get(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -48,6 +48,8 @@ import (
 type Client = sdk.Client
 
 // NewClient builds an SDK client for a service URL and bearer token.
+// Call Client.Close when done to stop the background event-stream
+// consumer behind futures.
 func NewClient(baseURL, token string) *Client { return sdk.New(baseURL, token) }
 
 // Result is a completed task outcome returned by the SDK.
@@ -55,6 +57,31 @@ type Result = sdk.Result
 
 // RunOptions modify a submission (memoization, batch payloads).
 type RunOptions = sdk.RunOptions
+
+// SubmitSpec describes one task submission for Client.Submit /
+// Client.SubmitFuture: a function, a target (endpoint or group), a
+// payload, and options.
+type SubmitSpec = sdk.SubmitSpec
+
+// EndpointSpec describes an endpoint registration (Client.NewEndpoint).
+type EndpointSpec = sdk.EndpointSpec
+
+// GroupSpec describes an endpoint-group creation (Client.NewGroup).
+type GroupSpec = sdk.GroupSpec
+
+// Future is a handle on a submitted task's eventual result, resolved
+// by the client's shared event-stream consumer (SSE with batch-wait
+// fallback): N outstanding futures cost one connection, not N
+// long-polls.
+type Future = sdk.Future
+
+// MapFuture tracks one Map call's batch futures
+// (Client.MapFuture / Client.MapAnywhereFuture).
+type MapFuture = sdk.MapFuture
+
+// TaskEvent is one task lifecycle transition on a user's event stream
+// (GET /v1/events).
+type TaskEvent = types.TaskEvent
 
 // Fabric is a running funcX federation: the cloud service plus its
 // registered endpoints (paper §4).

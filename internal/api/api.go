@@ -105,6 +105,26 @@ type BatchSubmitResponse struct {
 	TaskIDs []types.TaskID `json:"task_ids"`
 }
 
+// WaitTasksRequest waits on many tasks in one request
+// (POST /v1/tasks/wait): the server holds the request open up to Wait
+// and returns whichever tasks completed, superseding one long-poll
+// per task.
+type WaitTasksRequest struct {
+	TaskIDs []types.TaskID `json:"task_ids"`
+	// Wait is how long the server may hold the request open, as a Go
+	// duration string (e.g. "30s"; capped server-side at 5m). Empty
+	// or "0" returns immediately with whatever is already complete.
+	Wait string `json:"wait,omitempty"`
+}
+
+// WaitTasksResponse returns the completed subset and the ids still
+// pending when the deadline expired. Retrieved results are subject to
+// the same purge-on-read semantics as GET /v1/tasks/{id}/result.
+type WaitTasksResponse struct {
+	Results []ResultResponse `json:"results"`
+	Pending []types.TaskID   `json:"pending,omitempty"`
+}
+
 // StatusResponse reports a task's lifecycle state (GET /v1/tasks/{id}).
 type StatusResponse struct {
 	TaskID types.TaskID     `json:"task_id"`

@@ -1,0 +1,284 @@
+// Package events is the service's task event bus: every task
+// lifecycle transition (queued → dispatched → success/failed, with
+// result bytes on completion) is published onto its owner's ordered
+// per-user stream. The bus is the single result-notification seam of
+// the service — it replaces the ad-hoc per-connection waiter map that
+// blocking result retrieval used to park channels in — and backs both
+// new API surfaces:
+//
+//   - POST /v1/tasks/wait blocks on N task completions through
+//     NotifyDone, one registration and one channel regardless of N;
+//   - GET /v1/events streams a user's events over one SSE connection
+//     through Subscribe/Resume, resumable after a disconnect against
+//     a bounded per-user replay ring.
+//
+// All operations are safe for concurrent use.
+package events
+
+import (
+	"errors"
+	"sync"
+
+	"funcx/internal/types"
+)
+
+// ErrGap is returned by Resume when the requested position is no
+// longer covered by the replay ring: events between the caller's last
+// seen seq and the oldest buffered event have been evicted, so a
+// gapless resume is impossible. Callers must re-subscribe from now
+// and reconcile missed completions out of band (batch wait).
+var ErrGap = errors.New("events: replay gap: events no longer buffered")
+
+// Config parameterizes a Bus.
+type Config struct {
+	// Ring bounds each user's replay ring: how many trailing events a
+	// disconnected subscriber can still resume across (default 1024).
+	Ring int
+	// SubBuffer bounds each subscription's delivery channel. A
+	// subscriber that falls this many events behind is closed lagged
+	// and must Resume from its last delivered seq (default 256).
+	SubBuffer int
+}
+
+// Bus is a per-user task event bus with bounded replay.
+type Bus struct {
+	cfg Config
+
+	mu    sync.Mutex
+	users map[types.UserID]*stream
+	// done holds completion-notification registrations: task id ->
+	// registrations to ping when the task's terminal event lands.
+	done map[types.TaskID][]*doneReg
+}
+
+// stream is one user's event history and live subscriber set.
+type stream struct {
+	seq  uint64 // seq of the newest published event
+	ring []types.TaskEvent
+	n    int // events currently buffered (<= cap(ring))
+	subs map[*Subscription]struct{}
+}
+
+type doneReg struct {
+	ch chan<- types.TaskID
+}
+
+// New creates a bus.
+func New(cfg Config) *Bus {
+	if cfg.Ring <= 0 {
+		cfg.Ring = 1024
+	}
+	if cfg.SubBuffer <= 0 {
+		cfg.SubBuffer = 256
+	}
+	return &Bus{
+		cfg:   cfg,
+		users: make(map[types.UserID]*stream),
+		done:  make(map[types.TaskID][]*doneReg),
+	}
+}
+
+func (b *Bus) stream(user types.UserID) *stream {
+	st, ok := b.users[user]
+	if !ok {
+		st = &stream{subs: make(map[*Subscription]struct{})}
+		b.users[user] = st
+	}
+	return st
+}
+
+// slot returns the ring index holding the event with the given seq.
+// The ring grows lazily up to cfg.Ring so idle users stay cheap.
+func (st *stream) slot(seq uint64, ringCap int) int {
+	return int((seq - 1) % uint64(ringCap))
+}
+
+// Publish appends an event to the user's stream, assigns its seq,
+// fans it out to live subscribers, and — for terminal events — pings
+// every NotifyDone registration for the task. It returns the assigned
+// seq.
+func (b *Bus) Publish(user types.UserID, ev types.TaskEvent) uint64 {
+	b.mu.Lock()
+	st := b.stream(user)
+	st.seq++
+	ev.Seq = st.seq
+	// The ring copy drops the inline result bytes: pinning every
+	// user's last N full results in memory for the process lifetime
+	// is the one unbounded cost of replay, and a resumed subscriber
+	// can reconcile trimmed terminal events via POST /v1/tasks/wait
+	// (live deliveries below keep the bytes).
+	ringCopy := ev
+	ringCopy.Result = nil
+	if len(st.ring) < b.cfg.Ring {
+		st.ring = append(st.ring, ringCopy)
+	} else {
+		st.ring[st.slot(ev.Seq, b.cfg.Ring)] = ringCopy
+	}
+	if st.n < b.cfg.Ring {
+		st.n++
+	}
+	for sub := range st.subs {
+		select {
+		case sub.c <- ev:
+		default:
+			// Subscriber fell a full buffer behind: close it lagged
+			// rather than block the publisher; it resumes from the
+			// ring with its last delivered seq.
+			sub.lagged = true
+			sub.closeLocked()
+			delete(st.subs, sub)
+		}
+	}
+	var regs []*doneReg
+	if ev.Terminal() {
+		regs = b.done[ev.TaskID]
+		delete(b.done, ev.TaskID)
+	}
+	b.mu.Unlock()
+	for _, reg := range regs {
+		select {
+		case reg.ch <- ev.TaskID:
+		default:
+			// Registration contract: the channel is buffered for every
+			// registered id, so this only drops for misuse.
+		}
+	}
+	return ev.Seq
+}
+
+// Seq returns the seq of the newest event on a user's stream (0 when
+// none has been published).
+func (b *Bus) Seq(user types.UserID) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st, ok := b.users[user]; ok {
+		return st.seq
+	}
+	return 0
+}
+
+// Subscribe attaches a live subscription starting now: only events
+// published after the call are delivered.
+func (b *Bus) Subscribe(user types.UserID) *Subscription {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stream(user)
+	return b.attachLocked(user, st, st.seq)
+}
+
+// Resume attaches a subscription continuing after afterSeq: events
+// with greater seqs still buffered in the replay ring are returned
+// for immediate redelivery, and the subscription carries on from the
+// newest. ErrGap is returned when the ring no longer covers the
+// requested position (including an afterSeq from a different bus
+// incarnation, which is ahead of everything published here).
+func (b *Bus) Resume(user types.UserID, afterSeq uint64) ([]types.TaskEvent, *Subscription, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stream(user)
+	if afterSeq > st.seq {
+		return nil, nil, ErrGap
+	}
+	if missed := st.seq - afterSeq; missed > uint64(st.n) {
+		return nil, nil, ErrGap
+	}
+	replay := make([]types.TaskEvent, 0, st.seq-afterSeq)
+	for seq := afterSeq + 1; seq <= st.seq; seq++ {
+		replay = append(replay, st.ring[st.slot(seq, b.cfg.Ring)])
+	}
+	return replay, b.attachLocked(user, st, st.seq), nil
+}
+
+// attachLocked creates and registers a subscription. Caller holds b.mu.
+func (b *Bus) attachLocked(user types.UserID, st *stream, start uint64) *Subscription {
+	c := make(chan types.TaskEvent, b.cfg.SubBuffer)
+	sub := &Subscription{C: c, c: c, bus: b, user: user, start: start}
+	st.subs[sub] = struct{}{}
+	return sub
+}
+
+// NotifyDone registers for completion pings: when any of ids reaches
+// a terminal event, its id is sent on ch (which must be buffered for
+// at least len(ids) sends). Already-completed tasks produce no ping —
+// callers check the result store *after* registering so no completion
+// can slip between. The returned cancel releases the registration.
+func (b *Bus) NotifyDone(ids []types.TaskID, ch chan<- types.TaskID) (cancel func()) {
+	reg := &doneReg{ch: ch}
+	registered := append([]types.TaskID(nil), ids...)
+	b.mu.Lock()
+	for _, id := range registered {
+		b.done[id] = append(b.done[id], reg)
+	}
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		for _, id := range registered {
+			list := b.done[id]
+			for i, r := range list {
+				if r == reg {
+					b.done[id] = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+			if len(b.done[id]) == 0 {
+				delete(b.done, id)
+			}
+		}
+	}
+}
+
+// PendingDone reports how many tasks currently carry completion
+// registrations (diagnostics: it drains to zero once waiters return,
+// since registrations are canceled by their waiter or consumed by the
+// terminal event).
+func (b *Bus) PendingDone() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.done)
+}
+
+// Subscription is one live attachment to a user's stream.
+type Subscription struct {
+	// C delivers events in seq order. It is closed when the
+	// subscription is canceled or has lagged (see Lagged).
+	C <-chan types.TaskEvent
+
+	c      chan types.TaskEvent
+	bus    *Bus
+	user   types.UserID
+	start  uint64
+	closed bool
+	lagged bool
+}
+
+// Start returns the stream seq at attachment: the position to resume
+// from if the subscription closes before delivering anything.
+func (s *Subscription) Start() uint64 { return s.start }
+
+// Lagged reports whether the bus closed the subscription because it
+// fell behind; valid once C is closed. A lagged subscriber resumes
+// from the last seq it actually received (or Start).
+func (s *Subscription) Lagged() bool {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	return s.lagged
+}
+
+// Cancel detaches the subscription and closes C.
+func (s *Subscription) Cancel() {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	if st, ok := s.bus.users[s.user]; ok {
+		delete(st.subs, s)
+	}
+	s.closeLocked()
+}
+
+// closeLocked closes the channel once. Caller holds bus.mu.
+func (s *Subscription) closeLocked() {
+	if !s.closed {
+		s.closed = true
+		close(s.c)
+	}
+}

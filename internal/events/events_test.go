@@ -1,0 +1,165 @@
+package events
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"funcx/internal/types"
+)
+
+func ev(id string, status types.TaskStatus) types.TaskEvent {
+	return types.TaskEvent{TaskID: types.TaskID(id), Status: status, Time: time.Now()}
+}
+
+func TestPublishAssignsOrderedSeqs(t *testing.T) {
+	b := New(Config{})
+	for i := 1; i <= 3; i++ {
+		if seq := b.Publish("alice", ev(fmt.Sprintf("t%d", i), types.TaskQueued)); seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if b.Seq("alice") != 3 || b.Seq("bob") != 0 {
+		t.Fatalf("Seq = %d/%d", b.Seq("alice"), b.Seq("bob"))
+	}
+}
+
+func TestSubscribeDeliversOnlyNewEventsForUser(t *testing.T) {
+	b := New(Config{})
+	b.Publish("alice", ev("old", types.TaskQueued))
+	sub := b.Subscribe("alice")
+	defer sub.Cancel()
+	if sub.Start() != 1 {
+		t.Fatalf("start = %d", sub.Start())
+	}
+	b.Publish("bob", ev("other-user", types.TaskQueued))
+	b.Publish("alice", ev("new", types.TaskQueued))
+	got := <-sub.C
+	if got.TaskID != "new" || got.Seq != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	select {
+	case e := <-sub.C:
+		t.Fatalf("unexpected extra event %+v", e)
+	default:
+	}
+}
+
+func TestResumeReplaysExactlyMissedEvents(t *testing.T) {
+	b := New(Config{})
+	sub := b.Subscribe("alice")
+	b.Publish("alice", ev("t1", types.TaskQueued))
+	first := <-sub.C
+	sub.Cancel()
+	b.Publish("alice", ev("t2", types.TaskQueued))
+	b.Publish("alice", ev("t3", types.TaskQueued))
+
+	replay, sub2, err := b.Resume("alice", first.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Cancel()
+	if len(replay) != 2 || replay[0].TaskID != "t2" || replay[1].TaskID != "t3" {
+		t.Fatalf("replay = %+v", replay)
+	}
+	// No duplicates: the live channel starts after the replay.
+	b.Publish("alice", ev("t4", types.TaskQueued))
+	if got := <-sub2.C; got.TaskID != "t4" {
+		t.Fatalf("live after resume = %+v", got)
+	}
+}
+
+func TestResumeGapWhenRingEvicted(t *testing.T) {
+	b := New(Config{Ring: 2})
+	for i := 1; i <= 5; i++ {
+		b.Publish("alice", ev(fmt.Sprintf("t%d", i), types.TaskQueued))
+	}
+	// Ring holds seqs 4,5; resuming after 1 needs 2..5.
+	if _, _, err := b.Resume("alice", 1); !errors.Is(err, ErrGap) {
+		t.Fatalf("err = %v, want ErrGap", err)
+	}
+	// Resuming after 3 is exactly covered.
+	replay, sub, err := b.Resume("alice", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Cancel()
+	if len(replay) != 2 || replay[0].Seq != 4 || replay[1].Seq != 5 {
+		t.Fatalf("replay = %+v", replay)
+	}
+	// A seq from the future (another incarnation) is a gap too.
+	if _, _, err := b.Resume("alice", 99); !errors.Is(err, ErrGap) {
+		t.Fatalf("future seq err = %v, want ErrGap", err)
+	}
+}
+
+func TestLaggedSubscriberClosedNotBlocking(t *testing.T) {
+	b := New(Config{SubBuffer: 2})
+	sub := b.Subscribe("alice")
+	for i := 0; i < 5; i++ {
+		b.Publish("alice", ev(fmt.Sprintf("t%d", i), types.TaskQueued))
+	}
+	// Buffer of 2 absorbed two events; the third publish closed it.
+	n := 0
+	for range sub.C {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("delivered %d events before lag close, want 2", n)
+	}
+	if !sub.Lagged() {
+		t.Fatal("subscription not marked lagged")
+	}
+	// The lagged subscriber recovers losslessly from the ring.
+	replay, sub2, err := b.Resume("alice", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2.Cancel()
+	if len(replay) != 3 {
+		t.Fatalf("recovered %d events, want 3", len(replay))
+	}
+}
+
+func TestNotifyDoneFiresOnTerminalOnly(t *testing.T) {
+	b := New(Config{})
+	ch := make(chan types.TaskID, 2)
+	cancel := b.NotifyDone([]types.TaskID{"t1", "t2"}, ch)
+	defer cancel()
+
+	b.Publish("alice", ev("t1", types.TaskQueued))
+	b.Publish("alice", ev("t1", types.TaskDispatched))
+	select {
+	case id := <-ch:
+		t.Fatalf("non-terminal event pinged %s", id)
+	default:
+	}
+	b.Publish("alice", ev("t1", types.TaskSuccess))
+	if id := <-ch; id != "t1" {
+		t.Fatalf("ping = %s", id)
+	}
+	b.Publish("alice", ev("t2", types.TaskFailed))
+	if id := <-ch; id != "t2" {
+		t.Fatalf("ping = %s", id)
+	}
+}
+
+func TestNotifyDoneCancelReleases(t *testing.T) {
+	b := New(Config{})
+	ch := make(chan types.TaskID, 1)
+	cancel := b.NotifyDone([]types.TaskID{"t1"}, ch)
+	cancel()
+	b.Publish("alice", ev("t1", types.TaskSuccess))
+	select {
+	case id := <-ch:
+		t.Fatalf("canceled registration pinged %s", id)
+	default:
+	}
+	b.mu.Lock()
+	n := len(b.done)
+	b.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("done registrations leaked: %d", n)
+	}
+}

@@ -20,7 +20,7 @@ func TestNamesComplete(t *testing.T) {
 	want := []string{
 		"fig1", "table1", "fig4", "fig5strong", "fig5weak", "throughput",
 		"fig6", "fig7", "fig8", "table2", "batchexec", "fig9", "fig10",
-		"fig11", "table3", "router", "elastic",
+		"fig11", "table3", "router", "elastic", "streaming",
 	}
 	names := Names()
 	got := map[string]bool{}
@@ -154,6 +154,18 @@ func TestElasticFleetRuns(t *testing.T) {
 	for _, want := range []string{"controller on", "controller off", "p99", "zero task loss", "peak blocks"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("elastic output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStreamingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric experiment")
+	}
+	out := runQuick(t, "streaming")
+	for _, want := range []string{"poll", "wait", "stream", "p99", "zero task loss", "retrieval requests"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("streaming output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -55,9 +55,13 @@ type Config struct {
 	// persisted (the service stamps the TS timing component and feeds
 	// the memoization cache here).
 	OnResult func(*types.Result)
-	// OnStored, when set, fires after the result is persisted (the
-	// service wakes blocking result waiters here).
+	// OnStored, when set, fires after the result is persisted.
 	OnStored func(*types.Result)
+	// OnDispatched, when set, fires after a task is shipped to the
+	// connected agent (the service advances the task's lifecycle
+	// status and publishes the "dispatched" event here). Redeliveries
+	// after an agent reconnect fire it again, once per dispatch.
+	OnDispatched func(*types.Task)
 	// OnOrphaned, when set, is offered every queued task while no
 	// agent is connected. Returning true transfers ownership of the
 	// task (the service's router re-routes group-placed tasks to a
@@ -392,6 +396,9 @@ func (f *Forwarder) dispatchLoop() {
 		f.tfStart[task.ID] = time.Since(popDone)
 		f.dispatched++
 		f.mu.Unlock()
+		if f.cfg.OnDispatched != nil {
+			f.cfg.OnDispatched(task)
+		}
 	}
 }
 

@@ -1,12 +1,17 @@
-// Package sdk is the funcX client SDK of paper §3: a thin wrapper over
-// the service REST API providing RegisterFunction, Run, GetResult, and
-// the user-driven batching Map command (fmap, §4.7). The Go client
+// Package sdk is the funcX client SDK of paper §3, redesigned
+// futures-first around the service's task-events API: a wrapper over
+// the REST surface providing RegisterFunction, Submit, futures
+// (SubmitFuture / RunFuture / MapFuture, resolved by one shared SSE
+// stream consumer per client with batch-wait fallback), batched
+// result gathering (GetResults over POST /v1/tasks/wait), and the
+// user-driven batching Map command (fmap, §4.7). The Go client still
 // mirrors the Python FuncXClient of Listing 1:
 //
 //	fc := sdk.New(serviceURL, token)
-//	funcID, _ := fc.RegisterFunction("preview", body, spec, nil)
-//	taskID, _ := fc.Run(funcID, endpointID, args)
-//	res, _ := fc.GetResult(ctx, taskID)
+//	defer fc.Close()
+//	funcID, _ := fc.RegisterFunction(ctx, "preview", body, spec, nil)
+//	fut, _ := fc.SubmitFuture(ctx, sdk.SubmitSpec{Function: funcID, Endpoint: endpointID, Payload: args})
+//	res, _ := fut.Get(ctx)
 package sdk
 
 import (
@@ -18,6 +23,7 @@ import (
 	"io"
 	"iter"
 	"net/http"
+	"sync"
 	"time"
 
 	"funcx/internal/api"
@@ -32,6 +38,14 @@ var ErrNotReady = errors.New("sdk: result not ready")
 // ErrTaskFailed wraps remote execution failures.
 var ErrTaskFailed = errors.New("sdk: task failed")
 
+// ErrUnsupported marks an API surface the server does not implement
+// (an older service); callers fall back to per-task paths.
+var ErrUnsupported = errors.New("sdk: not supported by server")
+
+// ErrClosed is returned by future-producing calls on a closed client,
+// and resolves any futures still pending at Close.
+var ErrClosed = errors.New("sdk: client closed")
+
 // Client talks to a funcX service.
 type Client struct {
 	baseURL string
@@ -44,8 +58,14 @@ type Client struct {
 	// cannot block (default 2 ms for in-process experiments).
 	PollInterval time.Duration
 	// WaitHint asks the server to block result retrievals up to this
-	// long per request (long-poll), reducing round trips.
+	// long per request (long-poll and batch-wait), reducing round
+	// trips.
 	WaitHint time.Duration
+
+	// mu guards the lazily started stream consumer behind futures.
+	mu       sync.Mutex
+	streamer *streamer
+	closed   bool
 }
 
 // New creates a client for the service at baseURL using the given
@@ -65,6 +85,20 @@ func New(baseURL, token string) *Client {
 func (c *Client) WithHTTPClient(h *http.Client) *Client {
 	c.httpc = h
 	return c
+}
+
+// Close stops the background stream consumer, if any, and resolves
+// any still-pending futures with ErrClosed. The client remains usable
+// for plain (non-future) calls.
+func (c *Client) Close() {
+	c.mu.Lock()
+	st := c.streamer
+	c.streamer = nil
+	c.closed = true
+	c.mu.Unlock()
+	if st != nil {
+		st.stop()
+	}
 }
 
 // do performs one authenticated JSON request/response cycle, sleeping
@@ -136,19 +170,26 @@ func (c *Client) ShareFunction(ctx context.Context, id types.FunctionID, users .
 	return err
 }
 
-// RegisterEndpoint registers an endpoint, returning its id plus the
-// forwarder coordinates and agent token needed to start the agent.
-func (c *Client) RegisterEndpoint(ctx context.Context, name, description string, public bool) (*api.RegisterEndpointResponse, error) {
-	return c.RegisterEndpointLabeled(ctx, name, description, public, nil)
+// EndpointSpec describes an endpoint registration.
+type EndpointSpec struct {
+	// Name is the registered endpoint name.
+	Name string
+	// Description is free-form metadata.
+	Description string
+	// Public permits any authenticated user to dispatch.
+	Public bool
+	// Labels declare the endpoint's capabilities/locality (e.g.
+	// "gpu":"a100", "site":"anl"), which the service router matches
+	// per-task selectors and the label-affinity policy against.
+	Labels map[string]string
 }
 
-// RegisterEndpointLabeled is RegisterEndpoint with declared capability
-// labels, which the service router matches per-task selectors and the
-// label-affinity policy against.
-func (c *Client) RegisterEndpointLabeled(ctx context.Context, name, description string, public bool, labels map[string]string) (*api.RegisterEndpointResponse, error) {
+// NewEndpoint registers an endpoint, returning its id plus the
+// forwarder coordinates and agent token needed to start the agent.
+func (c *Client) NewEndpoint(ctx context.Context, spec EndpointSpec) (*api.RegisterEndpointResponse, error) {
 	var resp api.RegisterEndpointResponse
 	_, err := c.do(ctx, http.MethodPost, "/v1/endpoints", api.RegisterEndpointRequest{
-		Name: name, Description: description, Public: public, Labels: labels,
+		Name: spec.Name, Description: spec.Description, Public: spec.Public, Labels: spec.Labels,
 	}, &resp)
 	if err != nil {
 		return nil, err
@@ -156,14 +197,46 @@ func (c *Client) RegisterEndpointLabeled(ctx context.Context, name, description 
 	return &resp, nil
 }
 
-// CreateGroup registers an endpoint group: a named fleet the service
-// router places tasks across. Policy names a placement policy
-// ("round-robin", "least-outstanding", "weighted-queue-depth",
-// "label-affinity"); empty selects the service default.
-func (c *Client) CreateGroup(ctx context.Context, name, policy string, public bool, members []types.GroupMember) (*types.EndpointGroup, error) {
+// RegisterEndpoint registers an endpoint.
+//
+// Deprecated: use NewEndpoint.
+func (c *Client) RegisterEndpoint(ctx context.Context, name, description string, public bool) (*api.RegisterEndpointResponse, error) {
+	return c.NewEndpoint(ctx, EndpointSpec{Name: name, Description: description, Public: public})
+}
+
+// RegisterEndpointLabeled registers an endpoint with capability labels.
+//
+// Deprecated: use NewEndpoint.
+func (c *Client) RegisterEndpointLabeled(ctx context.Context, name, description string, public bool, labels map[string]string) (*api.RegisterEndpointResponse, error) {
+	return c.NewEndpoint(ctx, EndpointSpec{Name: name, Description: description, Public: public, Labels: labels})
+}
+
+// GroupSpec describes an endpoint-group creation: a named fleet the
+// service router places tasks across.
+type GroupSpec struct {
+	// Name is the registered group name.
+	Name string
+	// Policy names a placement policy ("round-robin",
+	// "least-outstanding", "weighted-queue-depth", "label-affinity");
+	// empty selects the service default.
+	Policy string
+	// Public groups accept tasks from any authenticated user.
+	Public bool
+	// Members are the candidate endpoints.
+	Members []types.GroupMember
+	// Elastic, when set, opts the group into the service's fleet
+	// autoscaling controller: group backlog is converted into
+	// per-member block targets and pushed to member endpoints as
+	// scaling advice (clamped to each endpoint's own scaling limits).
+	Elastic *types.ElasticSpec
+}
+
+// NewGroup registers an endpoint group.
+func (c *Client) NewGroup(ctx context.Context, spec GroupSpec) (*types.EndpointGroup, error) {
 	var resp api.CreateGroupResponse
 	_, err := c.do(ctx, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
-		Name: name, Policy: policy, Public: public, Members: members,
+		Name: spec.Name, Policy: spec.Policy, Public: spec.Public,
+		Members: spec.Members, Elastic: spec.Elastic,
 	}, &resp)
 	if err != nil {
 		return nil, err
@@ -171,19 +244,19 @@ func (c *Client) CreateGroup(ctx context.Context, name, policy string, public bo
 	return &resp.Group, nil
 }
 
-// CreateGroupElastic is CreateGroup with a fleet-elasticity spec: the
-// service's autoscaling controller will convert the group's backlog
-// into per-member block targets and push them to member endpoints as
-// scaling advice (clamped to each endpoint's own scaling limits).
+// CreateGroup registers an endpoint group.
+//
+// Deprecated: use NewGroup.
+func (c *Client) CreateGroup(ctx context.Context, name, policy string, public bool, members []types.GroupMember) (*types.EndpointGroup, error) {
+	return c.NewGroup(ctx, GroupSpec{Name: name, Policy: policy, Public: public, Members: members})
+}
+
+// CreateGroupElastic registers an endpoint group with an elasticity
+// spec.
+//
+// Deprecated: use NewGroup.
 func (c *Client) CreateGroupElastic(ctx context.Context, name, policy string, public bool, members []types.GroupMember, spec *types.ElasticSpec) (*types.EndpointGroup, error) {
-	var resp api.CreateGroupResponse
-	_, err := c.do(ctx, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
-		Name: name, Policy: policy, Public: public, Members: members, Elastic: spec,
-	}, &resp)
-	if err != nil {
-		return nil, err
-	}
-	return &resp.Group, nil
+	return c.NewGroup(ctx, GroupSpec{Name: name, Policy: policy, Public: public, Members: members, Elastic: spec})
 }
 
 // GroupElasticity fetches a group's elasticity state: its spec plus
@@ -241,45 +314,86 @@ type RunOptions struct {
 	Labels map[string]string
 }
 
+// SubmitSpec describes one task submission. Exactly one of Endpoint
+// and Group must be set: a concrete endpoint pins placement, a group
+// delegates it to the service's router (Labels may constrain the
+// choice).
+type SubmitSpec struct {
+	// Function is the registered function to invoke.
+	Function types.FunctionID
+	// Endpoint pins placement to a concrete endpoint.
+	Endpoint types.EndpointID
+	// Group targets an endpoint group; the router picks the member.
+	Group types.GroupID
+	// Payload is the serialized input arguments.
+	Payload []byte
+	// Labels constrain group placement to endpoints carrying these
+	// labels (group submissions only).
+	Labels map[string]string
+	// Memoize opts into result caching (§4.7).
+	Memoize bool
+	// BatchN marks the payload as a packed batch of N argument
+	// buffers (fmap, §4.7).
+	BatchN int
+}
+
+// Submit submits one task, returning its id and the endpoint it was
+// placed on (the request's endpoint echoed back, or the router's
+// choice for group targets). It is the single submission path behind
+// Run, RunAnywhere, and their futures variants.
+func (c *Client) Submit(ctx context.Context, spec SubmitSpec) (types.TaskID, types.EndpointID, error) {
+	var resp api.SubmitResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/tasks", api.SubmitRequest{
+		FunctionID: spec.Function, EndpointID: spec.Endpoint, GroupID: spec.Group,
+		Payload: spec.Payload, Labels: spec.Labels,
+		Memoize: spec.Memoize, BatchN: spec.BatchN,
+	}, &resp)
+	if err != nil {
+		return "", "", err
+	}
+	return resp.TaskID, resp.EndpointID, nil
+}
+
 // Run invokes a registered function on an endpoint with serialized
 // args, returning the task id (asynchronous, paper §3).
+//
+// Deprecated: use Submit (or SubmitFuture / RunFuture for a result
+// handle).
 func (c *Client) Run(ctx context.Context, fnID types.FunctionID, epID types.EndpointID, payload []byte) (types.TaskID, error) {
-	return c.RunOpts(ctx, fnID, epID, payload, RunOptions{})
+	id, _, err := c.Submit(ctx, SubmitSpec{Function: fnID, Endpoint: epID, Payload: payload})
+	return id, err
 }
 
 // RunOpts is Run with options.
+//
+// Deprecated: use Submit.
 func (c *Client) RunOpts(ctx context.Context, fnID types.FunctionID, epID types.EndpointID, payload []byte, opts RunOptions) (types.TaskID, error) {
-	var resp api.SubmitResponse
-	_, err := c.do(ctx, http.MethodPost, "/v1/tasks", api.SubmitRequest{
-		FunctionID: fnID, EndpointID: epID, Payload: payload,
+	id, _, err := c.Submit(ctx, SubmitSpec{
+		Function: fnID, Endpoint: epID, Payload: payload,
 		Memoize: opts.Memoize, BatchN: opts.BatchN,
-	}, &resp)
-	if err != nil {
-		return "", err
-	}
-	return resp.TaskID, nil
+	})
+	return id, err
 }
 
 // RunAnywhere submits a task to an endpoint *group*, letting the
 // service router pick the member endpoint by the group's placement
 // policy and live load. It returns the task id and the endpoint the
 // router chose.
+//
+// Deprecated: use Submit (or SubmitFuture / RunAnywhereFuture for a
+// result handle).
 func (c *Client) RunAnywhere(ctx context.Context, fnID types.FunctionID, gid types.GroupID, payload []byte) (types.TaskID, types.EndpointID, error) {
-	return c.RunAnywhereOpts(ctx, fnID, gid, payload, RunOptions{})
+	return c.Submit(ctx, SubmitSpec{Function: fnID, Group: gid, Payload: payload})
 }
 
-// RunAnywhereOpts is RunAnywhere with options; opts.Labels constrain
-// placement to members carrying those labels.
+// RunAnywhereOpts is RunAnywhere with options.
+//
+// Deprecated: use Submit.
 func (c *Client) RunAnywhereOpts(ctx context.Context, fnID types.FunctionID, gid types.GroupID, payload []byte, opts RunOptions) (types.TaskID, types.EndpointID, error) {
-	var resp api.SubmitResponse
-	_, err := c.do(ctx, http.MethodPost, "/v1/tasks", api.SubmitRequest{
-		FunctionID: fnID, GroupID: gid, Payload: payload,
+	return c.Submit(ctx, SubmitSpec{
+		Function: fnID, Group: gid, Payload: payload,
 		Labels: opts.Labels, Memoize: opts.Memoize, BatchN: opts.BatchN,
-	}, &resp)
-	if err != nil {
-		return "", "", err
-	}
-	return resp.TaskID, resp.EndpointID, nil
+	})
 }
 
 // RunBatchAnywhere submits many payloads of one function to a group
@@ -381,6 +495,11 @@ func (c *Client) result(ctx context.Context, id types.TaskID, wait time.Duration
 	if status == http.StatusAccepted {
 		return nil, ErrNotReady
 	}
+	return resultOf(resp), nil
+}
+
+// resultOf converts the wire result shape into the SDK shape.
+func resultOf(resp api.ResultResponse) *Result {
 	res := &Result{
 		TaskID:   resp.TaskID,
 		Output:   resp.Output,
@@ -390,18 +509,181 @@ func (c *Client) result(ctx context.Context, id types.TaskID, wait time.Duration
 	if resp.Error != "" {
 		res.Err = fmt.Errorf("%w: %w", ErrTaskFailed, serial.DecodeError([]byte(resp.Error)))
 	}
-	return res, nil
+	return res
 }
 
-// GetResults collects results for many tasks, preserving order.
+// maxWaitIDs mirrors the server's per-request id cap on
+// POST /v1/tasks/wait; larger sets are chunked client-side.
+const maxWaitIDs = 10000
+
+// WaitTasks waits on many tasks (POST /v1/tasks/wait), blocking
+// server-side up to wait: it returns the results that completed in
+// time plus the ids still pending. Sets beyond the server's
+// per-request cap are split into sequential requests sharing one
+// overall deadline; a mid-batch failure returns the chunks already
+// gathered (their results were purged server-side on read and would
+// otherwise be lost) together with the error — callers must consume
+// the partial results even when err is non-nil. ErrUnsupported wraps
+// the error when the server predates the batch-wait API.
+func (c *Client) WaitTasks(ctx context.Context, ids []types.TaskID, wait time.Duration) ([]*Result, []types.TaskID, error) {
+	if len(ids) <= maxWaitIDs {
+		return c.waitTasksOnce(ctx, ids, wait)
+	}
+	deadline := time.Now().Add(wait)
+	var done []*Result
+	var pending []types.TaskID
+	for start := 0; start < len(ids); start += maxWaitIDs {
+		chunk := ids[start:min(start+maxWaitIDs, len(ids))]
+		d, p, err := c.waitTasksOnce(ctx, chunk, max(time.Until(deadline), 0))
+		if err != nil {
+			// Deliver the chunks already gathered alongside the error,
+			// with the unqueried remainder as pending.
+			return done, append(pending, ids[start:]...), err
+		}
+		done = append(done, d...)
+		pending = append(pending, p...)
+	}
+	return done, pending, nil
+}
+
+// waitTasksOnce issues one wait request for a within-cap id set.
+func (c *Client) waitTasksOnce(ctx context.Context, ids []types.TaskID, wait time.Duration) ([]*Result, []types.TaskID, error) {
+	req := api.WaitTasksRequest{TaskIDs: ids}
+	if wait > 0 {
+		req.Wait = wait.String()
+	}
+	var resp api.WaitTasksResponse
+	status, err := c.do(ctx, http.MethodPost, "/v1/tasks/wait", req, &resp)
+	if err != nil {
+		if status == http.StatusNotFound || status == http.StatusMethodNotAllowed {
+			err = fmt.Errorf("%w: %w", ErrUnsupported, err)
+		}
+		return nil, nil, err
+	}
+	out := make([]*Result, len(resp.Results))
+	for i, rr := range resp.Results {
+		out[i] = resultOf(rr)
+	}
+	return out, resp.Pending, nil
+}
+
+// GetResults collects results for many tasks, preserving input order.
+// The whole batch rides one blocking wait request per round instead
+// of one long-poll per task, so a slow task no longer serializes the
+// rest (and N-1 round trips are saved). Older servers without the
+// batch-wait API fall back to bounded-concurrency per-task long-polls.
 func (c *Client) GetResults(ctx context.Context, ids []types.TaskID) ([]*Result, error) {
-	out := make([]*Result, len(ids))
-	for i, id := range ids {
-		r, err := c.GetResult(ctx, id)
+	byID := make(map[types.TaskID]*Result, len(ids))
+	pending := make([]types.TaskID, 0, len(ids))
+	seen := make(map[types.TaskID]bool, len(ids))
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			pending = append(pending, id)
+		}
+	}
+	for len(pending) > 0 {
+		done, still, err := c.WaitTasks(ctx, pending, c.WaitHint)
+		// Consume partial results before looking at the error: their
+		// server-side copies were purged on read.
+		for _, res := range done {
+			byID[res.TaskID] = res
+		}
+		if errors.Is(err, ErrUnsupported) {
+			// Fan out over the deduped unresolved set (a duplicate id
+			// would hang against purge-on-read) and fill duplicates
+			// from the map below.
+			remaining := make([]types.TaskID, 0, len(pending))
+			for _, id := range pending {
+				if _, ok := byID[id]; !ok {
+					remaining = append(remaining, id)
+				}
+			}
+			got, ferr := c.getResultsFanOut(ctx, remaining)
+			if ferr != nil {
+				return nil, ferr
+			}
+			for _, res := range got {
+				byID[res.TaskID] = res
+			}
+			break
+		}
 		if err != nil {
 			return nil, err
 		}
+		pending = still
+		if len(pending) > 0 && len(done) == 0 {
+			// Nothing completed this round; pace the retry like
+			// GetResult does when the server cannot block.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(c.PollInterval):
+			}
+		}
+	}
+	out := make([]*Result, len(ids))
+	for i, id := range ids {
+		out[i] = byID[id]
+	}
+	return out, nil
+}
+
+// pollFanOutLimit bounds concurrent per-task long-polls on the
+// legacy-server fallback paths, so one slow task still cannot
+// serialize a batch while thousands of sockets do not pile up either.
+const pollFanOutLimit = 16
+
+// pollEach runs fn(i, id) for every id on a fixed worker pool (never
+// more goroutines than the concurrency bound, whatever the batch
+// size), skipping ids once ctx is done.
+func pollEach(ctx context.Context, ids []types.TaskID, fn func(i int, id types.TaskID)) {
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < min(pollFanOutLimit, len(ids)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i, ids[i])
+			}
+		}()
+	}
+feed:
+	for i := range ids {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+}
+
+// getResultsFanOut is the legacy-server fallback: per-task long-polls
+// with bounded concurrency, failing fast on the first error.
+func (c *Client) getResultsFanOut(ctx context.Context, ids []types.TaskID) ([]*Result, error) {
+	out := make([]*Result, len(ids))
+	errs := make(chan error, len(ids))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pollEach(ctx, ids, func(i int, id types.TaskID) {
+		r, err := c.GetResult(ctx, id)
+		if err != nil {
+			errs <- err
+			cancel()
+			return
+		}
 		out[i] = r
+	})
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -541,13 +823,20 @@ func (c *Client) submitMapBatch(ctx context.Context, fnID types.FunctionID, targ
 
 // MapResults gathers and unpacks all outputs of a Map call, flattened
 // in submission order. Each element is a facade-serialized buffer.
+// Gathering rides the batch-wait path (GetResults), so all batches
+// are awaited in one blocking request per round.
 func (c *Client) MapResults(ctx context.Context, h *MapHandle) ([][]byte, error) {
+	results, err := c.GetResults(ctx, h.TaskIDs)
+	if err != nil {
+		return nil, err
+	}
+	return unpackMapResults(results)
+}
+
+// unpackMapResults flattens per-batch packed outputs in order.
+func unpackMapResults(results []*Result) ([][]byte, error) {
 	var out [][]byte
-	for i, id := range h.TaskIDs {
-		res, err := c.GetResult(ctx, id)
-		if err != nil {
-			return nil, err
-		}
+	for i, res := range results {
 		if res.Err != nil {
 			return nil, fmt.Errorf("sdk: map batch %d: %w", i, res.Err)
 		}

@@ -1,0 +1,643 @@
+package sdk
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"funcx/internal/serial"
+	"funcx/internal/types"
+	"funcx/internal/wire"
+)
+
+// Future is a handle on one submitted task's eventual result. Futures
+// are resolved by the client's single shared stream consumer: one SSE
+// connection (GET /v1/events) carries every task's terminal event, so
+// N outstanding futures cost one HTTP request, not N long-polls. When
+// the server cannot stream, the consumer falls back to batched waits
+// (POST /v1/tasks/wait), and on servers with neither API to bounded
+// per-task long-polls — the future's surface is the same either way.
+type Future struct {
+	id   types.TaskID
+	done chan struct{}
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+func newFuture(id types.TaskID) *Future {
+	return &Future{id: id, done: make(chan struct{})}
+}
+
+// TaskID returns the underlying task id.
+func (f *Future) TaskID() types.TaskID { return f.id }
+
+// Done returns a channel closed when the future resolves.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Get blocks until the future resolves or ctx is done. A remote
+// execution failure is reported inside the Result (Result.Err), not
+// as Get's error, mirroring GetResult.
+func (f *Future) Get(ctx context.Context) (*Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TryGet returns the resolved result without blocking; ok is false
+// while the task is still outstanding.
+func (f *Future) TryGet() (res *Result, err error, ok bool) {
+	select {
+	case <-f.done:
+		return f.res, f.err, true
+	default:
+		return nil, nil, false
+	}
+}
+
+func (f *Future) resolve(res *Result, err error) {
+	f.once.Do(func() {
+		f.res, f.err = res, err
+		close(f.done)
+	})
+}
+
+// SubmitFuture submits one task and returns a future for its result,
+// starting the client's shared stream consumer on first use.
+func (c *Client) SubmitFuture(ctx context.Context, spec SubmitSpec) (*Future, error) {
+	// Start the consumer before submitting so the event subscription
+	// races ahead of the task; the registration catch-up covers the
+	// remainder of the window.
+	st, err := c.ensureStreamer()
+	if err != nil {
+		return nil, err
+	}
+	id, _, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	f := newFuture(id)
+	st.register(f)
+	return f, nil
+}
+
+// RunFuture is Run returning a future instead of a bare task id.
+func (c *Client) RunFuture(ctx context.Context, fnID types.FunctionID, epID types.EndpointID, payload []byte) (*Future, error) {
+	return c.SubmitFuture(ctx, SubmitSpec{Function: fnID, Endpoint: epID, Payload: payload})
+}
+
+// RunAnywhereFuture is RunAnywhere returning a future.
+func (c *Client) RunAnywhereFuture(ctx context.Context, fnID types.FunctionID, gid types.GroupID, payload []byte) (*Future, error) {
+	return c.SubmitFuture(ctx, SubmitSpec{Function: fnID, Group: gid, Payload: payload})
+}
+
+// FutureOf attaches a future to an already-submitted task id (e.g.
+// ids returned by RunBatch). The consumer reconciles tasks that
+// completed before attachment via a batched wait, so no completion is
+// lost to the registration race.
+func (c *Client) FutureOf(id types.TaskID) (*Future, error) {
+	st, err := c.ensureStreamer()
+	if err != nil {
+		return nil, err
+	}
+	f := newFuture(id)
+	st.register(f)
+	return f, nil
+}
+
+// MapFuture tracks the batch tasks of one Map call as futures.
+type MapFuture struct {
+	// Handle is the underlying Map handle (task ids, batch sizes).
+	Handle  *MapHandle
+	futures []*Future
+}
+
+// Futures returns the per-batch futures in dispatch order.
+func (m *MapFuture) Futures() []*Future { return m.futures }
+
+// Results blocks for every batch and returns the flattened unpacked
+// outputs in submission order, like MapResults.
+func (m *MapFuture) Results(ctx context.Context) ([][]byte, error) {
+	results := make([]*Result, len(m.futures))
+	for i, f := range m.futures {
+		res, err := f.Get(ctx)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return unpackMapResults(results)
+}
+
+// MapFuture is Map returning per-batch futures resolved by the shared
+// stream consumer.
+func (c *Client) MapFuture(ctx context.Context, fnID types.FunctionID, epID types.EndpointID, items iter.Seq[any], batchSize, batchCount int) (*MapFuture, error) {
+	h, err := c.Map(ctx, fnID, epID, items, batchSize, batchCount)
+	if err != nil {
+		return nil, err
+	}
+	return c.mapFutureOf(h)
+}
+
+// MapAnywhereFuture is MapAnywhere returning per-batch futures.
+func (c *Client) MapAnywhereFuture(ctx context.Context, fnID types.FunctionID, gid types.GroupID, items iter.Seq[any], batchSize, batchCount int) (*MapFuture, error) {
+	h, err := c.MapAnywhere(ctx, fnID, gid, items, batchSize, batchCount)
+	if err != nil {
+		return nil, err
+	}
+	return c.mapFutureOf(h)
+}
+
+func (c *Client) mapFutureOf(h *MapHandle) (*MapFuture, error) {
+	m := &MapFuture{Handle: h, futures: make([]*Future, len(h.TaskIDs))}
+	for i, id := range h.TaskIDs {
+		f, err := c.FutureOf(id)
+		if err != nil {
+			return nil, err
+		}
+		m.futures[i] = f
+	}
+	return m, nil
+}
+
+// --- the shared stream consumer ---
+
+// streamer is the per-client background consumer resolving futures:
+// one SSE subscription for all of the user's task events, with
+// automatic reconnect (Last-Event-ID resume), a batched-wait catch-up
+// for registration races and replay gaps, and a full batched-wait
+// fallback when the server cannot stream.
+type streamer struct {
+	c      *Client
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	futures map[types.TaskID]*Future
+	// verify accumulates ids needing a batched completion check:
+	// freshly registered futures (their terminal event may predate
+	// the subscription) and everything pending after a replay gap.
+	verify map[types.TaskID]bool
+	// kick wakes the verifier; fbKick wakes the fallback engine. They
+	// are separate single-token channels because both loops run
+	// concurrently in fallback mode — a shared channel would let one
+	// loop swallow the other's wakeup and strand a future.
+	kick   chan struct{}
+	fbKick chan struct{}
+	// polling claims ids with a per-task long-poll in flight (the
+	// legacy-server last resort), so repeated resolution rounds never
+	// spawn duplicate polls for the same task.
+	polling map[types.TaskID]bool
+	// stopped marks the consumer shut down: late registrations (a
+	// SubmitFuture racing Close) resolve with ErrClosed instead of
+	// landing in a map nothing drains.
+	stopped bool
+}
+
+// ensureStreamer lazily starts the consumer.
+func (c *Client) ensureStreamer() (*streamer, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.streamer == nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		st := &streamer{
+			c: c, ctx: ctx, cancel: cancel,
+			futures: make(map[types.TaskID]*Future),
+			verify:  make(map[types.TaskID]bool),
+			polling: make(map[types.TaskID]bool),
+			kick:    make(chan struct{}, 1),
+			fbKick:  make(chan struct{}, 1),
+		}
+		st.wg.Add(2)
+		go st.streamLoop()
+		go st.verifyLoop()
+		c.streamer = st
+	}
+	return c.streamer, nil
+}
+
+func (st *streamer) stop() {
+	st.cancel()
+	st.wg.Wait()
+	st.mu.Lock()
+	st.stopped = true
+	st.mu.Unlock()
+	st.failAll(ErrClosed)
+}
+
+func (st *streamer) register(f *Future) {
+	st.mu.Lock()
+	if st.stopped {
+		st.mu.Unlock()
+		f.resolve(nil, ErrClosed)
+		return
+	}
+	// Every registration is verified with a batched non-blocking
+	// wait: if the task completed before this point (even before the
+	// subscription existed), the verifier resolves it.
+	st.futures[f.id] = f
+	st.verify[f.id] = true
+	st.mu.Unlock()
+	st.wake()
+}
+
+func (st *streamer) wake() {
+	select {
+	case st.kick <- struct{}{}:
+	default:
+	}
+	select {
+	case st.fbKick <- struct{}{}:
+	default:
+	}
+}
+
+// resolveOrStash routes one terminal result to its registered future.
+// Results for unregistered tasks are dropped, not stashed: pinning
+// payloads for futures that may never register is unbounded memory,
+// and a future registered after its terminal event is resolved by
+// the registration-time verify (the stored result is still
+// retrievable — stream delivery does not purge it).
+func (st *streamer) resolveOrStash(id types.TaskID, res *Result) {
+	st.mu.Lock()
+	f, ok := st.futures[id]
+	if ok {
+		delete(st.futures, id)
+		delete(st.verify, id)
+	}
+	st.mu.Unlock()
+	if ok {
+		f.resolve(res, nil)
+	}
+}
+
+// pendingIDs snapshots the unresolved future ids.
+func (st *streamer) pendingIDs() []types.TaskID {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := make([]types.TaskID, 0, len(st.futures))
+	for id := range st.futures {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// enqueueVerifyAll schedules a completion check for every pending
+// future (after a fresh subscription or a replay gap).
+func (st *streamer) enqueueVerifyAll() {
+	st.mu.Lock()
+	for id := range st.futures {
+		st.verify[id] = true
+	}
+	st.mu.Unlock()
+	st.wake()
+}
+
+func (st *streamer) failAll(err error) {
+	st.mu.Lock()
+	futures := st.futures
+	st.futures = make(map[types.TaskID]*Future)
+	st.verify = make(map[types.TaskID]bool)
+	st.mu.Unlock()
+	for _, f := range futures {
+		f.resolve(nil, err)
+	}
+}
+
+// streamLoop keeps one SSE subscription alive, reconnecting with
+// Last-Event-ID after drops; when the server has no event stream it
+// degrades to the batched-wait engine for the client's lifetime.
+func (st *streamer) streamLoop() {
+	defer st.wg.Done()
+	var lastSeq uint64
+	backoff := 100 * time.Millisecond
+	for {
+		if st.ctx.Err() != nil {
+			return
+		}
+		err := st.streamOnce(&lastSeq)
+		switch {
+		case st.ctx.Err() != nil:
+			return
+		case errors.Is(err, ErrUnsupported):
+			st.fallbackLoop()
+			return
+		}
+		if err == nil {
+			backoff = 100 * time.Millisecond
+		} else {
+			// Persistent errors (revoked token, server 5xx) must not
+			// hammer the service: back off exponentially, capped.
+			backoff = min(2*backoff, 5*time.Second)
+		}
+		select {
+		case <-st.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// streamOnce opens one SSE subscription and consumes it until the
+// connection drops. lastSeq carries the resume position across calls;
+// it is reset to zero (resubscribe from now + reconcile) on a replay
+// gap.
+func (st *streamer) streamOnce(lastSeq *uint64) error {
+	c := st.c
+	req, err := http.NewRequestWithContext(st.ctx, http.MethodGet, c.baseURL+"/v1/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	req.Header.Set("Accept", "text/event-stream")
+	if *lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*lastSeq, 10))
+	}
+	c.Lat.Delay()
+	// The stream outlives any request timeout: use a client sharing
+	// the transport but without the deadline.
+	resp, err := (&http.Client{Transport: c.httpc.Transport}).Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound, http.StatusMethodNotAllowed:
+		return fmt.Errorf("%w: GET /v1/events: HTTP %d", ErrUnsupported, resp.StatusCode)
+	case http.StatusGone:
+		// Replay gap: resume impossible. Resubscribe from now and
+		// reconcile completions missed meanwhile via batched wait.
+		*lastSeq = 0
+		st.enqueueVerifyAll()
+		return nil
+	default:
+		return fmt.Errorf("sdk: GET /v1/events: HTTP %d", resp.StatusCode)
+	}
+
+	// Subscribed. Futures registered before this point may have
+	// completed before the subscription existed: reconcile them.
+	st.enqueueVerifyAll()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	var event string
+	var data []byte
+	var id uint64
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event == "gap" {
+				*lastSeq = 0
+				st.enqueueVerifyAll()
+			} else if len(data) > 0 {
+				if ev, err := wire.DecodeEvent(data); err == nil {
+					if ev.Seq > 0 {
+						*lastSeq = ev.Seq
+					} else if id > 0 {
+						*lastSeq = id
+					}
+					st.handleEvent(ev)
+				}
+			}
+			event, data, id = "", nil, 0
+		case strings.HasPrefix(line, ":"):
+			// Heartbeat comment.
+		case strings.HasPrefix(line, "id:"):
+			id, _ = strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64)
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			if len(data) > 0 {
+				data = append(data, '\n')
+			}
+			data = append(data, strings.TrimPrefix(line[5:], " ")...)
+		}
+	}
+	if err := sc.Err(); errors.Is(err, bufio.ErrTooLong) {
+		// An event frame larger than the scan buffer would be replayed
+		// verbatim on a Last-Event-ID reconnect, poisoning the stream
+		// forever. Skip past it: resubscribe from now and reconcile
+		// everything pending via batched wait.
+		*lastSeq = 0
+		st.enqueueVerifyAll()
+	}
+	return sc.Err()
+}
+
+// handleEvent routes one decoded stream event.
+func (st *streamer) handleEvent(ev *types.TaskEvent) {
+	if !ev.Terminal() {
+		return
+	}
+	r, err := wire.DecodeResult(ev.Result)
+	if len(ev.Result) == 0 || err != nil {
+		// A replayed terminal event: the replay ring trims inline
+		// result bytes, so fetch the result via batched wait instead.
+		st.mu.Lock()
+		if _, pending := st.futures[ev.TaskID]; pending {
+			st.verify[ev.TaskID] = true
+		}
+		st.mu.Unlock()
+		st.wake()
+		return
+	}
+	st.resolveOrStash(ev.TaskID, resultFromWire(r))
+}
+
+// resultFromWire converts a wire result into the SDK shape, mapping
+// remote failures exactly like the REST retrieval path.
+func resultFromWire(r *types.Result) *Result {
+	res := &Result{
+		TaskID:   r.TaskID,
+		Output:   r.Output,
+		Timing:   r.Timing,
+		Memoized: r.Memoized,
+	}
+	if r.Err != "" {
+		res.Err = fmt.Errorf("%w: %w", ErrTaskFailed, serial.DecodeError([]byte(r.Err)))
+	}
+	return res
+}
+
+// verifyLoop services registration catch-ups: it debounces bursts of
+// newly registered futures into one batched non-blocking wait, so a
+// future whose task completed before the subscription (or during a
+// replay gap) still resolves.
+func (st *streamer) verifyLoop() {
+	defer st.wg.Done()
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-st.ctx.Done():
+			return
+		case <-st.kick:
+		}
+		// Debounce: let a burst of registrations coalesce.
+		select {
+		case <-st.ctx.Done():
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+		st.mu.Lock()
+		ids := make([]types.TaskID, 0, len(st.verify))
+		for id := range st.verify {
+			if _, pending := st.futures[id]; pending {
+				ids = append(ids, id)
+			}
+		}
+		st.verify = make(map[types.TaskID]bool)
+		st.mu.Unlock()
+		if len(ids) == 0 {
+			continue
+		}
+		done, _, err := st.c.WaitTasks(st.ctx, ids, 0)
+		// Resolve partial results before the error: their server-side
+		// copies are already purged.
+		for _, res := range done {
+			st.resolveOrStash(res.TaskID, res)
+		}
+		if err != nil {
+			if errors.Is(err, ErrUnsupported) {
+				// No batch wait either: resolve these via bounded
+				// per-task long-polls, detached so one lost task's
+				// endless poll cannot wedge the loop for futures
+				// registered later.
+				st.wg.Add(1)
+				go func(ids []types.TaskID) {
+					defer st.wg.Done()
+					st.resolveByPolling(ids)
+				}(ids)
+				continue
+			}
+			// Retry the whole set on the next kick, backing off while
+			// the error persists (it may be permanent: revoked token,
+			// server fault).
+			st.mu.Lock()
+			for _, id := range ids {
+				st.verify[id] = true
+			}
+			st.mu.Unlock()
+			select {
+			case <-st.ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			backoff = min(2*backoff, 5*time.Second)
+			st.wake()
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		// Ids still pending resolve through the stream (or the
+		// fallback engine) when their terminal event lands.
+	}
+}
+
+// fallbackLoop is the engine for servers without SSE: pending futures
+// are resolved by repeated batched waits, one blocking request per
+// round for the whole set.
+func (st *streamer) fallbackLoop() {
+	backoff := st.c.PollInterval
+	for {
+		ids := st.pendingIDs()
+		if len(ids) == 0 {
+			select {
+			case <-st.ctx.Done():
+				return
+			case <-st.fbKick:
+				continue
+			}
+		}
+		done, _, err := st.c.WaitTasks(st.ctx, ids, st.c.WaitHint)
+		// Resolve partial results before the error: their server-side
+		// copies are already purged.
+		for _, res := range done {
+			st.resolveOrStash(res.TaskID, res)
+		}
+		if err != nil {
+			if errors.Is(err, ErrUnsupported) {
+				// Neither streaming nor batch wait: last-resort
+				// bounded per-task long-polls, detached so a lost
+				// task cannot wedge resolution for later futures.
+				st.wg.Add(1)
+				go func(ids []types.TaskID) {
+					defer st.wg.Done()
+					st.resolveByPolling(ids)
+				}(ids)
+				// Pace the next round: wake early for new
+				// registrations, otherwise re-offer pending ids after
+				// roughly one poll cycle (claimed ids are skipped).
+				select {
+				case <-st.ctx.Done():
+					return
+				case <-st.fbKick:
+				case <-time.After(st.c.WaitHint + st.c.PollInterval):
+				}
+				continue
+			}
+			select {
+			case <-st.ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			backoff = min(max(2*backoff, 10*time.Millisecond), 5*time.Second)
+			continue
+		}
+		backoff = st.c.PollInterval
+		if len(done) == 0 {
+			// Nothing completed this round (e.g. WaitHint 0 means the
+			// server cannot block): pace the retry like GetResults.
+			select {
+			case <-st.ctx.Done():
+				return
+			case <-time.After(st.c.PollInterval):
+			}
+		}
+	}
+}
+
+// resolveByPolling resolves the given futures with bounded-concurrency
+// per-task long-polls (legacy servers). Unlike getResultsFanOut it
+// does not fail fast: each future resolves independently, and ones
+// whose poll errors stay pending until Close fails them. Ids already
+// claimed by an in-flight poll are skipped, so callers may re-offer
+// the whole pending set every round without duplicating polls.
+func (st *streamer) resolveByPolling(ids []types.TaskID) {
+	st.mu.Lock()
+	mine := make([]types.TaskID, 0, len(ids))
+	for _, id := range ids {
+		if !st.polling[id] {
+			st.polling[id] = true
+			mine = append(mine, id)
+		}
+	}
+	st.mu.Unlock()
+	if len(mine) == 0 {
+		return
+	}
+	pollEach(st.ctx, mine, func(_ int, id types.TaskID) {
+		res, err := st.c.GetResult(st.ctx, id)
+		st.mu.Lock()
+		delete(st.polling, id)
+		st.mu.Unlock()
+		if err != nil {
+			return // ctx canceled or transport down
+		}
+		st.resolveOrStash(id, res)
+	})
+}

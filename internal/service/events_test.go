@@ -1,0 +1,305 @@
+package service
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"funcx/internal/api"
+	"funcx/internal/auth"
+	"funcx/internal/types"
+	"funcx/internal/wire"
+)
+
+// openSSE connects to GET /v1/events, optionally resuming from
+// lastEventID, and pumps decoded events into the returned channel
+// (closed when the stream ends). The caller must close the response
+// body to end the stream.
+func openSSE(t *testing.T, srv *httptest.Server, token, lastEventID string) (<-chan types.TaskEvent, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("SSE connect = %d", resp.StatusCode)
+	}
+	ch := make(chan types.TaskEvent, 64)
+	go func() {
+		defer close(ch)
+		sc := bufio.NewScanner(resp.Body)
+		var data []byte
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if len(data) > 0 {
+					if ev, err := wire.DecodeEvent(data); err == nil {
+						ch <- *ev
+					}
+				}
+				data = nil
+			case strings.HasPrefix(line, "data:"):
+				data = []byte(strings.TrimPrefix(line[5:], " "))
+			}
+		}
+	}()
+	return ch, resp
+}
+
+// nextEvent reads one event with a timeout.
+func nextEvent(t *testing.T, ch <-chan types.TaskEvent) types.TaskEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			t.Fatal("event stream closed early")
+		}
+		return ev
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for event")
+	}
+	return types.TaskEvent{}
+}
+
+func TestEventStreamDeliversLifecycleWithResult(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID, epID := registerFixture(t, srv, token)
+
+	ch, resp := openSSE(t, srv, token, "")
+	defer resp.Body.Close()
+
+	var sub api.SubmitResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID, Payload: []byte("p")}, &sub)
+
+	ev := nextEvent(t, ch)
+	if ev.TaskID != sub.TaskID || ev.Status != types.TaskQueued || ev.EndpointID != epID {
+		t.Fatalf("first event = %+v", ev)
+	}
+	completeTask(svc, sub.TaskID, []byte("01\nout"))
+	ev = nextEvent(t, ch)
+	if ev.TaskID != sub.TaskID || ev.Status != types.TaskSuccess {
+		t.Fatalf("terminal event = %+v", ev)
+	}
+	// The terminal event carries the result inline: no follow-up
+	// fetch needed.
+	res, err := wire.DecodeResult(ev.Result)
+	if err != nil || string(res.Output) != "01\nout" {
+		t.Fatalf("inline result = %+v, %v", res, err)
+	}
+}
+
+func TestEventStreamIsPerUser(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID, epID := registerFixture(t, srv, token)
+	if err := doJSON(t, srv, token, http.MethodPost, "/v1/functions/"+string(fnID)+"/share",
+		api.ShareFunctionRequest{Users: []types.UserID{"bob"}}, nil); err != http.StatusOK {
+		t.Fatalf("share = %d", err)
+	}
+
+	bob := svc.MintUserToken("bob", auth.ScopeAll)
+	bobCh, bobResp := openSSE(t, srv, bob, "")
+	defer bobResp.Body.Close()
+	aliceCh, aliceResp := openSSE(t, srv, token, "")
+	defer aliceResp.Body.Close()
+
+	var sub api.SubmitResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID}, &sub)
+	if ev := nextEvent(t, aliceCh); ev.TaskID != sub.TaskID {
+		t.Fatalf("alice missed her event: %+v", ev)
+	}
+	select {
+	case ev := <-bobCh:
+		t.Fatalf("bob saw alice's event: %+v", ev)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestSSEResumeNoLossNoDup kills the stream mid-run and reconnects
+// with Last-Event-ID: every event published while disconnected must
+// arrive exactly once, as long as the replay ring covers the gap.
+func TestSSEResumeNoLossNoDup(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID, epID := registerFixture(t, srv, token)
+
+	submit := func() types.TaskID {
+		var sub api.SubmitResponse
+		doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+			api.SubmitRequest{FunctionID: fnID, EndpointID: epID}, &sub)
+		return sub.TaskID
+	}
+
+	ch, resp := openSSE(t, srv, token, "")
+	idA := submit()
+	first := nextEvent(t, ch)
+	if first.TaskID != idA {
+		t.Fatalf("first event = %+v", first)
+	}
+	// Kill the stream, then generate events while disconnected.
+	resp.Body.Close()
+	completeTask(svc, idA, []byte("01\na")) // seq 2
+	idB := submit()                         // seq 3
+	completeTask(svc, idB, []byte("01\nb")) // seq 4
+
+	ch2, resp2 := openSSE(t, srv, token, strconv.FormatUint(first.Seq, 10))
+	defer resp2.Body.Close()
+	var got []types.TaskEvent
+	for i := 0; i < 3; i++ {
+		got = append(got, nextEvent(t, ch2))
+	}
+	// Exactly seqs 2,3,4 in order: nothing lost, nothing duplicated.
+	for i, ev := range got {
+		if ev.Seq != first.Seq+uint64(i+1) {
+			t.Fatalf("resumed seqs = %v (event %d = %+v)", seqsOf(got), i, ev)
+		}
+	}
+	if got[0].TaskID != idA || got[0].Status != types.TaskSuccess ||
+		got[1].TaskID != idB || got[1].Status != types.TaskQueued ||
+		got[2].TaskID != idB || got[2].Status != types.TaskSuccess {
+		t.Fatalf("resumed events = %v", seqsOf(got))
+	}
+	// Replayed terminal events are trimmed: the ring does not pin
+	// result bytes, and clients reconcile them via POST /v1/tasks/wait.
+	if len(got[0].Result) != 0 || len(got[2].Result) != 0 {
+		t.Fatal("replayed terminal events carried inline result bytes")
+	}
+	// The stream continues live after the replay.
+	idC := submit()
+	if ev := nextEvent(t, ch2); ev.TaskID != idC || ev.Seq != first.Seq+4 {
+		t.Fatalf("live event after resume = %+v", ev)
+	}
+}
+
+func seqsOf(evs []types.TaskEvent) []uint64 {
+	out := make([]uint64, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Seq
+	}
+	return out
+}
+
+// TestSSEResumeGapIsGone shrinks the replay ring so a disconnected
+// client's position is evicted: the reconnect must fail with a clear
+// 410 rather than silently skipping events.
+func TestSSEResumeGapIsGone(t *testing.T) {
+	svc := New(Config{HeartbeatPeriod: 50 * time.Millisecond, EventRing: 2})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	token := svc.MintUserToken("alice", auth.ScopeAll)
+	fnID, epID := registerFixture(t, srv, token)
+
+	for i := 0; i < 5; i++ {
+		doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+			api.SubmitRequest{FunctionID: fnID, EndpointID: epID}, nil)
+	}
+	// Ring of 2 holds seqs 4,5. Resuming after 1 needs 2..5: gone.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/events", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	req.Header.Set("Last-Event-ID", "1")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("gap resume = %d, want 410 Gone", resp.StatusCode)
+	}
+	// A position the ring still covers resumes fine.
+	ch, resp2 := openSSE(t, srv, token, "3")
+	defer resp2.Body.Close()
+	if ev := nextEvent(t, ch); ev.Seq != 4 {
+		t.Fatalf("in-ring resume started at seq %d, want 4", ev.Seq)
+	}
+}
+
+func TestWaitTasksEndpoint(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID, epID := registerFixture(t, srv, token)
+	var ids []types.TaskID
+	for i := 0; i < 3; i++ {
+		var sub api.SubmitResponse
+		doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+			api.SubmitRequest{FunctionID: fnID, EndpointID: epID, Payload: []byte{byte(i)}}, &sub)
+		ids = append(ids, sub.TaskID)
+	}
+	completeTask(svc, ids[0], []byte("01\na"))
+	completeTask(svc, ids[2], []byte("01\nc"))
+
+	// Non-blocking: the completed subset plus the pending remainder.
+	var resp api.WaitTasksResponse
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks/wait",
+		api.WaitTasksRequest{TaskIDs: ids}, &resp)
+	if code != http.StatusOK || len(resp.Results) != 2 || len(resp.Pending) != 1 || resp.Pending[0] != ids[1] {
+		t.Fatalf("wait = %d, %+v", code, resp)
+	}
+
+	// Blocking: one request parks until the completion lands.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		completeTask(svc, ids[1], []byte("01\nb"))
+	}()
+	start := time.Now()
+	var resp2 api.WaitTasksResponse
+	code = doJSON(t, srv, token, http.MethodPost, "/v1/tasks/wait",
+		api.WaitTasksRequest{TaskIDs: []types.TaskID{ids[1]}, Wait: "2s"}, &resp2)
+	if code != http.StatusOK || len(resp2.Results) != 1 || len(resp2.Pending) != 0 {
+		t.Fatalf("blocking wait = %d, %+v", code, resp2)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("blocking wait returned before completion")
+	}
+	if string(resp2.Results[0].Output) != "01\nb" {
+		t.Fatalf("blocking wait output = %q", resp2.Results[0].Output)
+	}
+}
+
+func TestWaitTasksValidation(t *testing.T) {
+	_, srv, token := testService(t)
+	if code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks/wait",
+		api.WaitTasksRequest{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty wait = %d, want 400", code)
+	}
+	big := make([]types.TaskID, maxWaitBatch+1)
+	for i := range big {
+		big[i] = types.TaskID(strconv.Itoa(i))
+	}
+	if code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks/wait",
+		api.WaitTasksRequest{TaskIDs: big}, nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized wait = %d, want 400", code)
+	}
+}
+
+// TestWaitersGoneUnifiedOnBus pins the acceptance criterion: blocking
+// retrieval leaves no per-connection state behind in the service —
+// the event bus's done-registration map drains once waiters return.
+func TestWaitersGoneUnifiedOnBus(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID, epID := registerFixture(t, srv, token)
+	var sub api.SubmitResponse
+	doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: epID}, &sub)
+	// A timed-out wait must not leak its registration.
+	doJSON(t, srv, token, http.MethodPost, "/v1/tasks/wait",
+		api.WaitTasksRequest{TaskIDs: []types.TaskID{sub.TaskID}, Wait: "10ms"}, nil)
+	completeTask(svc, sub.TaskID, []byte("01\nx"))
+	doJSON(t, srv, token, http.MethodGet, "/v1/tasks/"+string(sub.TaskID)+"/result", nil, nil)
+	if n := svc.Events.PendingDone(); n != 0 {
+		t.Fatalf("done registrations leaked: %d", n)
+	}
+}

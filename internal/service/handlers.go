@@ -4,14 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"funcx/internal/api"
 	"funcx/internal/auth"
+	"funcx/internal/events"
 	"funcx/internal/registry"
 	"funcx/internal/types"
+	"funcx/internal/wire"
 )
 
 // ServeHTTP serves the funcX REST API (paper §3: all user interactions
@@ -47,8 +51,10 @@ func (s *Service) buildMux() {
 
 	mux.Handle("POST /v1/tasks", protect(auth.ScopeRun, s.handleSubmit))
 	mux.Handle("POST /v1/tasks/batch", protect(auth.ScopeRun, s.handleBatchSubmit))
+	mux.Handle("POST /v1/tasks/wait", protect(auth.ScopeRun, s.handleWaitTasks))
 	mux.Handle("GET /v1/tasks/{id}", protect(auth.ScopeRun, s.handleStatus))
 	mux.Handle("GET /v1/tasks/{id}/result", protect(auth.ScopeRun, s.handleResult))
+	mux.Handle("GET /v1/events", protect(auth.ScopeRun, s.handleEvents))
 
 	s.mux = mux
 }
@@ -289,18 +295,37 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.StatusResponse{TaskID: id, Status: st})
 }
 
+// maxWait caps how long the server holds a blocking retrieval open;
+// maxWaitBatch caps the id count of one POST /v1/tasks/wait request.
+const (
+	maxWait      = 5 * time.Minute
+	maxWaitBatch = 10000
+)
+
+// clampWait parses a Go duration string into a blocking-retrieval
+// wait, capped at maxWait ("" or non-positive means no blocking).
+func clampWait(v string) time.Duration {
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0
+	}
+	return min(d, maxWait)
+}
+
+// resultResponseOf converts a stored result to its wire shape.
+func resultResponseOf(res *types.Result) api.ResultResponse {
+	return api.ResultResponse{
+		TaskID:   res.TaskID,
+		Output:   res.Output,
+		Error:    res.Err,
+		Memoized: res.Memoized,
+		Timing:   api.FromTiming(res.Timing),
+	}
+}
+
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := types.TaskID(r.PathValue("id"))
-	var wait time.Duration
-	if v := r.URL.Query().Get("wait"); v != "" {
-		if d, err := time.ParseDuration(v); err == nil && d > 0 {
-			if d > 5*time.Minute {
-				d = 5 * time.Minute
-			}
-			wait = d
-		}
-	}
-	res, err := s.Result(id, wait)
+	res, err := s.Result(id, clampWait(r.URL.Query().Get("wait")))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -310,13 +335,134 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, api.StatusResponse{TaskID: id, Status: types.TaskQueued})
 		return
 	}
-	writeJSON(w, http.StatusOK, api.ResultResponse{
-		TaskID:   res.TaskID,
-		Output:   res.Output,
-		Error:    res.Err,
-		Memoized: res.Memoized,
-		Timing:   api.FromTiming(res.Timing),
-	})
+	writeJSON(w, http.StatusOK, resultResponseOf(res))
+}
+
+// handleWaitTasks is POST /v1/tasks/wait: wait on N task ids in one
+// request, returning whichever complete within the deadline. One
+// request supersedes N parallel long-polls.
+func (s *Service) handleWaitTasks(w http.ResponseWriter, r *http.Request) {
+	var req api.WaitTasksRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.TaskIDs) == 0 {
+		writeError(w, fmt.Errorf("%w: wait needs at least one task id", ErrInvalidRequest))
+		return
+	}
+	if len(req.TaskIDs) > maxWaitBatch {
+		writeError(w, fmt.Errorf("%w: wait batch of %d exceeds the %d-id limit",
+			ErrInvalidRequest, len(req.TaskIDs), maxWaitBatch))
+		return
+	}
+	done, pending := s.WaitTasks(r.Context(), req.TaskIDs, clampWait(req.Wait))
+	resp := api.WaitTasksResponse{Results: make([]api.ResultResponse, len(done)), Pending: pending}
+	for i, res := range done {
+		resp.Results[i] = resultResponseOf(res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sseHeartbeat paces keep-alive comments on idle event streams.
+const sseHeartbeat = 15 * time.Second
+
+// handleEvents is GET /v1/events: a Server-Sent Events stream
+// multiplexing all of the authenticated user's task lifecycle events
+// over one connection. A dropped subscriber reconnects with the
+// standard Last-Event-ID header and is replayed the missed events
+// from the bounded per-user ring; when the gap exceeds the ring the
+// request fails 410 Gone (reconnect fresh and reconcile completions
+// via POST /v1/tasks/wait). A subscriber that falls behind mid-stream
+// is resumed in place from the ring, or told "event: gap" when even
+// that is impossible.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, api.ErrorResponse{Error: "streaming unsupported by transport"})
+		return
+	}
+	user := claimsOf(r).Subject
+
+	var replay []types.TaskEvent
+	var sub *events.Subscription
+	var lastSeq uint64
+	if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+		after, err := strconv.ParseUint(lastID, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: "malformed Last-Event-ID: " + err.Error()})
+			return
+		}
+		replay, sub, err = s.Events.Resume(user, after)
+		if err != nil {
+			// The ring no longer covers the gap: a lossless resume is
+			// impossible, and the client must reconcile out of band.
+			writeJSON(w, http.StatusGone, api.ErrorResponse{Error: err.Error()})
+			return
+		}
+		lastSeq = after
+	} else {
+		sub = s.Events.Subscribe(user)
+		lastSeq = sub.Start()
+	}
+	defer func() { sub.Cancel() }()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	write := func(ev types.TaskEvent) bool {
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, wire.EncodeEvent(&ev)); err != nil {
+			return false
+		}
+		fl.Flush()
+		lastSeq = ev.Seq
+		return true
+	}
+	for _, ev := range replay {
+		if !write(ev) {
+			return
+		}
+	}
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				// Lagged: the bus dropped us rather than block the
+				// publisher. Resume from the last seq actually sent.
+				replay, nsub, err := s.Events.Resume(user, lastSeq)
+				if err != nil {
+					fmt.Fprint(w, "event: gap\ndata: {\"error\":\"replay gap: resume from scratch and reconcile via POST /v1/tasks/wait\"}\n\n") //nolint:errcheck
+					fl.Flush()
+					return
+				}
+				sub = nsub
+				for _, ev := range replay {
+					if !write(ev) {
+						return
+					}
+				}
+				continue
+			}
+			if !write(ev) {
+				return
+			}
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
 }
 
 // muxState holds the lazily built router.

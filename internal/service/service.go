@@ -17,6 +17,7 @@ import (
 	"funcx/internal/api"
 	"funcx/internal/auth"
 	"funcx/internal/elastic"
+	"funcx/internal/events"
 	"funcx/internal/forwarder"
 	"funcx/internal/memo"
 	"funcx/internal/netlat"
@@ -62,6 +63,10 @@ type Config struct {
 	// period (default: the heartbeat period, so advice is at most one
 	// heartbeat behind the statuses it reads).
 	ElasticInterval time.Duration
+	// EventRing bounds each user's task-event replay ring: how many
+	// trailing lifecycle events a disconnected SSE subscriber can
+	// still resume across via Last-Event-ID (default 1024).
+	EventRing int
 }
 
 // ErrPayloadTooLarge is returned for inputs beyond MaxPayloadSize;
@@ -86,23 +91,38 @@ type Service struct {
 	// groups' backlog into per-member scaling advice each interval and
 	// hands it to the members' forwarders (see internal/elastic).
 	Elastic *elastic.Controller
+	// Events is the per-user task event bus: every lifecycle
+	// transition is published here, and it is the single notification
+	// seam behind blocking result retrieval, POST /v1/tasks/wait, and
+	// the GET /v1/events SSE stream (see internal/events).
+	Events *events.Bus
 	muxState
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu         sync.Mutex
+	mu sync.Mutex
+	// statusMu serializes lifecycle-status transitions so the
+	// dispatched write cannot regress a concurrently landed terminal
+	// status (check-then-set must be atomic across writers).
+	statusMu   sync.Mutex
 	forwarders map[types.EndpointID]*forwarder.Forwarder
-	// waiters implements blocking result retrieval: task id -> chans
-	// closed when the result lands.
-	waiters map[types.TaskID][]chan struct{}
-	// tsByTask records the service-side (TS) latency component per
-	// task until its result arrives.
-	tsByTask map[types.TaskID]time.Duration
+	// inflight tracks each accepted-but-unretired task: the owner
+	// (event routing), placed endpoint, and service-side TS latency
+	// component. The entry is consumed when the terminal event
+	// publishes, which also deduplicates at-least-once redeliveries.
+	inflight map[types.TaskID]inflightTask
 
 	submitted int64
 	memoHits  int64
 	rerouted  int64
+}
+
+// inflightTask is the service-side record of one accepted task.
+type inflightTask struct {
+	owner    types.UserID
+	endpoint types.EndpointID
+	ts       time.Duration
 }
 
 // New creates a service ready to serve its Handler.
@@ -125,16 +145,23 @@ func New(cfg Config) *Service {
 	if cfg.ElasticInterval <= 0 {
 		cfg.ElasticInterval = cfg.HeartbeatPeriod
 	}
+	if cfg.EventRing <= 0 {
+		cfg.EventRing = 1024
+	}
 	s := &Service{
 		cfg:        cfg,
 		Authority:  auth.NewAuthority(),
 		Registry:   registry.New(),
 		Store:      store.New(),
 		Memo:       memo.NewCache(cfg.MemoSize),
+		Events:     events.New(events.Config{Ring: cfg.EventRing}),
 		forwarders: make(map[types.EndpointID]*forwarder.Forwarder),
-		waiters:    make(map[types.TaskID][]chan struct{}),
-		tsByTask:   make(map[types.TaskID]time.Duration),
+		inflight:   make(map[types.TaskID]inflightTask),
 	}
+	// Result-hash writes are the completion signal: the watch fires
+	// for forwarder-stored and memo-served results alike, publishing
+	// the terminal event (which wakes every blocked waiter).
+	s.Store.Hash(resultsHash).SetWatch(s.onResultStored)
 	s.Router = router.New(s.routingStatus, s.endpointLabels)
 	s.Elastic = elastic.NewController(elastic.Config{
 		Interval: cfg.ElasticInterval,
@@ -208,7 +235,7 @@ func (s *Service) RegisterEndpoint(owner types.UserID, name, description string,
 		Auth:            s.verifyEndpointToken,
 		Lat:             s.cfg.ForwarderLat,
 		OnResult:        s.onResult,
-		OnStored:        func(res *types.Result) { s.notifyWaiters(res.TaskID) },
+		OnDispatched:    s.onDispatched,
 		OnOrphaned:      s.failover,
 	})
 	if err := fwd.Start(s.ctx); err != nil {
@@ -393,9 +420,35 @@ func (s *Service) failover(task *types.Task) bool {
 	task.EndpointID = target
 	data := wire.EncodeTask(task)
 	// Update the record before enqueueing so a fast completion on the
-	// new endpoint cannot be overwritten back to "queued".
+	// new endpoint cannot be overwritten back to "queued". The
+	// terminal re-check and the status write share statusMu: a result
+	// landing between the entry check above and here (the window
+	// spans routing and encoding) must not be regressed — drop the
+	// redelivery instead. The fresh "queued" event naming the
+	// surviving member is published under the same lock, before the
+	// enqueue, so the new endpoint's dispatch can never precede it on
+	// the stream.
+	s.statusMu.Lock()
+	if st, ok := s.Store.Hash(statusHash).Get(string(task.ID)); ok && types.TaskStatus(st).Terminal() {
+		s.statusMu.Unlock()
+		return true
+	}
 	s.Store.Hash(tasksHash).Set(string(task.ID), data)
 	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskQueued))
+	// The inflight endpoint moves inside the same statusMu section:
+	// onDispatched compares against it to drop a stale dispatch
+	// notification from the endpoint this task just left (statusMu
+	// nests over s.mu; nothing acquires them in the other order).
+	s.mu.Lock()
+	if info, ok := s.inflight[task.ID]; ok {
+		info.endpoint = target
+		s.inflight[task.ID] = info
+	}
+	s.mu.Unlock()
+	s.Events.Publish(task.Owner, types.TaskEvent{
+		TaskID: task.ID, Status: types.TaskQueued, EndpointID: target, Time: time.Now(),
+	})
+	s.statusMu.Unlock()
 	if err := s.Store.Queue(store.TaskQueueName(string(target))).Push(data); err != nil {
 		return false
 	}
@@ -581,10 +634,12 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 			s.mu.Lock()
 			s.memoHits++
 			s.submitted++
+			// Registered before the result write so the hash watch can
+			// route the terminal event to the owner.
+			s.inflight[id] = inflightTask{owner: owner, endpoint: epID, ts: cached.Timing.TS}
 			s.mu.Unlock()
-			s.Store.Hash(resultsHash).Set(string(id), wire.EncodeResult(&cached))
 			s.Store.Hash(statusHash).Set(string(id), []byte(types.TaskSuccess))
-			s.notifyWaiters(id)
+			s.Store.Hash(resultsHash).Set(string(id), wire.EncodeResult(&cached))
 			return id, epID, true, nil
 		}
 	}
@@ -619,29 +674,43 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 	// Store the task record and enqueue it for the endpoint, encoding
 	// once and sharing the bytes between record and queue (the encode
 	// dominated the submit hot path when paid twice). Both consumers
-	// only read the buffer.
+	// only read the buffer. The inflight entry is registered *before*
+	// the enqueue: a result can land the instant the task is poppable,
+	// and its terminal event must find the owner.
 	data := wire.EncodeTask(task)
-	s.Store.Hash(tasksHash).Set(string(task.ID), data)
-	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskQueued))
-	if err := s.Store.Queue(store.TaskQueueName(string(epID))).Push(data); err != nil {
-		return "", "", false, fmt.Errorf("service: enqueue: %w", err)
-	}
 	ts := time.Since(start)
 	s.mu.Lock()
-	s.tsByTask[task.ID] = ts
+	s.inflight[task.ID] = inflightTask{owner: owner, endpoint: epID, ts: ts}
 	s.submitted++
 	s.mu.Unlock()
+	s.Store.Hash(tasksHash).Set(string(task.ID), data)
+	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskQueued))
+	// Published before the enqueue: the instant the task is poppable
+	// its dispatched/terminal events can land, and the stream must
+	// never show them ahead of "queued". (A failed enqueue leaves one
+	// stray queued event for a task the caller was told failed — the
+	// benign side of the trade.)
+	s.Events.Publish(owner, types.TaskEvent{
+		TaskID: task.ID, Status: types.TaskQueued, EndpointID: epID, Time: time.Now(),
+	})
+	if err := s.Store.Queue(store.TaskQueueName(string(epID))).Push(data); err != nil {
+		s.mu.Lock()
+		delete(s.inflight, task.ID)
+		s.submitted--
+		s.mu.Unlock()
+		return "", "", false, fmt.Errorf("service: enqueue: %w", err)
+	}
 	return task.ID, epID, false, nil
 }
 
 // onResult runs in the forwarder when a result arrives, before it is
-// stored: it stamps the TS component, updates status, feeds the memo
-// cache, and wakes blocked result waiters.
+// stored: it stamps the TS component, updates status, and feeds the
+// memo cache. Waiter wakeup happens downstream, when the stored
+// result's hash watch publishes the terminal event.
 func (s *Service) onResult(res *types.Result) {
 	s.mu.Lock()
-	if ts, ok := s.tsByTask[res.TaskID]; ok {
-		res.Timing.TS = ts
-		delete(s.tsByTask, res.TaskID)
+	if info, ok := s.inflight[res.TaskID]; ok {
+		res.Timing.TS = info.ts
 	}
 	s.mu.Unlock()
 
@@ -649,7 +718,9 @@ func (s *Service) onResult(res *types.Result) {
 	if res.Failed() {
 		status = types.TaskFailed
 	}
+	s.statusMu.Lock()
 	s.Store.Hash(statusHash).Set(string(res.TaskID), []byte(status))
+	s.statusMu.Unlock()
 
 	// Feed the memoization cache when the task opted in.
 	if data, ok := s.Store.Hash(tasksHash).Get(string(res.TaskID)); ok {
@@ -659,14 +730,70 @@ func (s *Service) onResult(res *types.Result) {
 	}
 }
 
-func (s *Service) notifyWaiters(id types.TaskID) {
-	s.mu.Lock()
-	chans := s.waiters[id]
-	delete(s.waiters, id)
-	s.mu.Unlock()
-	for _, ch := range chans {
-		close(ch)
+// onDispatched runs in the forwarder after a task ships to the agent:
+// it advances the lifecycle status and publishes the "dispatched"
+// event. A terminal status is never regressed (redeliveries race
+// fast completions).
+func (s *Service) onDispatched(task *types.Task) {
+	s.statusMu.Lock()
+	if st, ok := s.Store.Hash(statusHash).Get(string(task.ID)); ok && types.TaskStatus(st).Terminal() {
+		s.statusMu.Unlock()
+		return
 	}
+	// Drop stale notifications: if failover already re-homed the task
+	// (inflight names a different endpoint), this dispatch is from
+	// the endpoint it just left and must not overwrite "queued" or
+	// put a dispatched(old-endpoint) event on the stream.
+	s.mu.Lock()
+	info, ok := s.inflight[task.ID]
+	s.mu.Unlock()
+	if ok && info.endpoint != task.EndpointID {
+		s.statusMu.Unlock()
+		return
+	}
+	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskDispatched))
+	// Published under statusMu: a concurrently landing terminal event
+	// must take the lock before its status write, so it cannot reach
+	// the stream ahead of this one (events.Bus never re-enters the
+	// service, so the lock order is safe).
+	s.Events.Publish(task.Owner, types.TaskEvent{
+		TaskID: task.ID, Status: types.TaskDispatched, EndpointID: task.EndpointID, Time: time.Now(),
+	})
+	s.statusMu.Unlock()
+}
+
+// onResultStored is the results-hash completion hook: it fires once
+// per stored result (forwarder path and memo path alike), consumes
+// the task's inflight entry, and publishes the terminal event — which
+// in turn wakes every waiter blocked on the task through the bus.
+// Re-writes of an already-retired task (purge TTL re-stamps,
+// duplicate at-least-once deliveries) find no inflight entry and
+// publish nothing.
+func (s *Service) onResultStored(field string, value []byte) {
+	id := types.TaskID(field)
+	s.mu.Lock()
+	info, ok := s.inflight[id]
+	if ok {
+		delete(s.inflight, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	status := types.TaskSuccess
+	if res, err := wire.DecodeResult(value); err == nil && res.Failed() {
+		status = types.TaskFailed
+	}
+	// Ensure the status record is terminal even when the result was
+	// written without passing through onResult.
+	s.statusMu.Lock()
+	if st, ok := s.Store.Hash(statusHash).Get(field); !ok || !types.TaskStatus(st).Terminal() {
+		s.Store.Hash(statusHash).Set(field, []byte(status))
+	}
+	s.statusMu.Unlock()
+	s.Events.Publish(info.owner, types.TaskEvent{
+		TaskID: id, Status: status, EndpointID: info.endpoint, Result: value, Time: time.Now(),
+	})
 }
 
 // Status returns a task's lifecycle state.
@@ -679,41 +806,107 @@ func (s *Service) Status(id types.TaskID) (types.TaskStatus, error) {
 
 // Result fetches a task result, optionally blocking up to wait for it.
 // Retrieved results are scheduled for purge from the store (§4.1).
+// Blocking is unified on the task event bus (WaitTasks): no
+// per-connection waiter state survives the call.
 func (s *Service) Result(id types.TaskID, wait time.Duration) (*types.Result, error) {
-	deadline := time.Now().Add(wait)
-	for {
-		if b, ok := s.Store.Hash(resultsHash).Get(string(id)); ok {
-			res, err := wire.DecodeResult(b)
-			if err != nil {
-				return nil, err
-			}
-			s.purgeAfterRead(id)
-			return res, nil
-		}
-		if wait <= 0 || time.Now().After(deadline) {
-			return nil, nil // not ready
-		}
-		// Block on a waiter channel (registered before re-checking to
-		// avoid missing a concurrent arrival).
-		ch := make(chan struct{})
-		s.mu.Lock()
-		s.waiters[id] = append(s.waiters[id], ch)
-		s.mu.Unlock()
-		if b, ok := s.Store.Hash(resultsHash).Get(string(id)); ok {
-			res, err := wire.DecodeResult(b)
-			if err != nil {
-				return nil, err
-			}
-			s.purgeAfterRead(id)
-			return res, nil
-		}
-		timer := time.NewTimer(time.Until(deadline))
-		select {
-		case <-ch:
-		case <-timer.C:
-		}
-		timer.Stop()
+	done, _ := s.WaitTasks(context.Background(), []types.TaskID{id}, wait)
+	if len(done) == 0 {
+		return nil, nil // not ready
 	}
+	return done[0], nil
+}
+
+// WaitTasks blocks up to wait for any of ids to complete, returning
+// the results that arrived in time (ordered by first appearance in
+// ids, duplicates collapsed) and the ids still pending at the
+// deadline. Retrieved results are scheduled for purge exactly like
+// single-task retrieval — deferred to return, and skipped entirely
+// when ctx was canceled, so a dropped connection loses nothing. One
+// bus registration and one channel serve the whole batch, regardless
+// of N — this is the engine behind POST /v1/tasks/wait and the SDK's
+// GetResults.
+func (s *Service) WaitTasks(ctx context.Context, ids []types.TaskID, wait time.Duration) ([]*types.Result, []types.TaskID) {
+	uniq := make([]types.TaskID, 0, len(ids))
+	remaining := make(map[types.TaskID]bool, len(ids))
+	for _, id := range ids {
+		if !remaining[id] {
+			remaining[id] = true
+			uniq = append(uniq, id)
+		}
+	}
+	results := make(map[types.TaskID]*types.Result, len(uniq))
+	take := func(id types.TaskID) {
+		b, ok := s.Store.Hash(resultsHash).Get(string(id))
+		if !ok {
+			return
+		}
+		res, err := wire.DecodeResult(b)
+		if err != nil {
+			// A corrupt stored result (unreachable via EncodeResult)
+			// stays pending rather than failing the batch.
+			return
+		}
+		results[id] = res
+		delete(remaining, id)
+	}
+	// Purge-on-read is deferred until the call returns: purging each
+	// result the moment it completes mid-wait would turn a client
+	// disconnect during a minutes-long hold into permanent loss of
+	// everything gathered so far. On a canceled request nothing is
+	// purged at all — the results stay retrievable for the retry.
+	defer func() {
+		if ctx.Err() != nil {
+			return
+		}
+		for id := range results {
+			s.purgeAfterRead(id)
+		}
+	}()
+
+	// For blocking calls, register for completion pings *before* the
+	// first sweep so an arrival between sweep and block cannot be
+	// missed. Non-blocking sweeps skip the registration (and its
+	// global bus-lock churn) entirely.
+	var notify chan types.TaskID
+	if wait > 0 {
+		notify = make(chan types.TaskID, len(uniq))
+		cancel := s.Events.NotifyDone(uniq, notify)
+		defer cancel()
+	}
+
+	for _, id := range uniq {
+		take(id)
+	}
+	if wait > 0 && len(remaining) > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+	loop:
+		for len(remaining) > 0 {
+			select {
+			case id := <-notify:
+				if remaining[id] {
+					take(id)
+				}
+			case <-timer.C:
+				break loop
+			case <-ctx.Done():
+				break loop
+			case <-s.ctx.Done():
+				break loop
+			}
+		}
+	}
+
+	done := make([]*types.Result, 0, len(results))
+	pending := make([]types.TaskID, 0, len(remaining))
+	for _, id := range uniq {
+		if res, ok := results[id]; ok {
+			done = append(done, res)
+		} else {
+			pending = append(pending, id)
+		}
+	}
+	return done, pending
 }
 
 // purgeAfterRead schedules cleanup of a retrieved result: with a TTL

@@ -222,12 +222,12 @@ func TestBatchSubmit(t *testing.T) {
 	}
 }
 
-// completeTask simulates the forwarder path: store a result and notify.
+// completeTask simulates the forwarder path: store a result (the
+// results-hash watch publishes the terminal event and wakes waiters).
 func completeTask(svc *Service, id types.TaskID, output []byte) {
 	res := &types.Result{TaskID: id, Output: output, Completed: time.Now()}
 	svc.onResult(res)
 	svc.Store.Hash("results").Set(string(id), wire.EncodeResult(res))
-	svc.notifyWaiters(id)
 }
 
 func TestResultRetrievalAndPurge(t *testing.T) {

@@ -43,6 +43,7 @@ type Hash struct {
 	mu     sync.RWMutex
 	fields map[string]entry
 	now    func() time.Time
+	watch  func(field string, value []byte)
 }
 
 // NewHash returns an empty hashset.
@@ -58,12 +59,28 @@ func (h *Hash) Set(field string, value []byte) {
 // SetTTL stores value under field, expiring after ttl (0 = never).
 func (h *Hash) SetTTL(field string, value []byte, ttl time.Duration) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	e := entry{value: value}
 	if ttl > 0 {
 		e.expiry = h.now().Add(ttl)
 	}
 	h.fields[field] = e
+	watch := h.watch
+	h.mu.Unlock()
+	if watch != nil {
+		watch(field, value)
+	}
+}
+
+// SetWatch installs a single observer invoked synchronously after
+// every Set/SetTTL with the stored field and value — the completion
+// hook the service uses to drive its task event bus off result-hash
+// writes (forwarder-stored results and memo-served results alike)
+// without polling. The watcher runs outside the hash lock and may
+// re-enter the store; install it before the hash sees traffic.
+func (h *Hash) SetWatch(fn func(field string, value []byte)) {
+	h.mu.Lock()
+	h.watch = fn
+	h.mu.Unlock()
 }
 
 // Get returns the value for field and whether it exists (and is not

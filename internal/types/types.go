@@ -110,6 +110,35 @@ func (s TaskStatus) Terminal() bool {
 	return s == TaskSuccess || s == TaskFailed
 }
 
+// TaskEvent is one task lifecycle transition on its owner's event
+// stream: the service publishes an event each time a task is placed
+// on an endpoint queue ("queued", including failover re-placements),
+// shipped to the agent ("dispatched"), and retired ("success" /
+// "failed", carrying the result). "running" is reserved for
+// agent-reported execution starts. Events are delivered over
+// GET /v1/events (SSE) and drive POST /v1/tasks/wait.
+type TaskEvent struct {
+	// Seq orders the event on its owner's stream (1-based, assigned
+	// by the event bus). SSE clients resume from the last seq they
+	// saw via the Last-Event-ID header.
+	Seq    uint64     `json:"seq,omitempty"`
+	TaskID TaskID     `json:"task_id"`
+	Status TaskStatus `json:"status"`
+	// EndpointID is where the task was placed or ran.
+	EndpointID EndpointID `json:"endpoint_id,omitempty"`
+	// Result carries the wire-encoded result on terminal events, so a
+	// streaming client needs no follow-up fetch. Replayed events
+	// (Last-Event-ID resume) arrive without it — the replay ring does
+	// not pin result bytes — and are reconciled via POST
+	// /v1/tasks/wait.
+	Result []byte `json:"result,omitempty"`
+	// Time is when the transition was observed by the service.
+	Time time.Time `json:"time,omitzero"`
+}
+
+// Terminal reports whether the event retires its task.
+func (e *TaskEvent) Terminal() bool { return e.Status.Terminal() }
+
 // ContainerTech enumerates the container technologies funcX supports
 // (paper §4.2): Docker for cloud/local, Singularity and Shifter for HPC
 // facilities, plus the bare "none" mode that runs in the worker's own

@@ -137,6 +137,26 @@ func DecodeAdvice(data []byte) (*types.ScalingAdvice, error) {
 	return &a, nil
 }
 
+// EncodeEvent frames a task lifecycle event (the SSE data payload of
+// GET /v1/events). json.Marshal emits no raw newlines, so the frame
+// always fits one SSE data line.
+func EncodeEvent(e *types.TaskEvent) []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshaling event: %v", err))
+	}
+	return b
+}
+
+// DecodeEvent unframes a task lifecycle event.
+func DecodeEvent(data []byte) (*types.TaskEvent, error) {
+	var e types.TaskEvent
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("wire: decoding event: %w", err)
+	}
+	return &e, nil
+}
+
 // EncodeStatus frames an endpoint status report.
 func EncodeStatus(s *types.EndpointStatus) []byte {
 	b, err := json.Marshal(s)
