@@ -166,6 +166,20 @@ type (
 	ContainerSpec = types.ContainerSpec
 	// Timing is the per-hop latency breakdown (paper Figure 4).
 	Timing = types.Timing
+	// TaskStatus is a task's lifecycle state (queued → dispatched →
+	// running → success/failed/lost).
+	TaskStatus = types.TaskStatus
+)
+
+// Delivery-semantics errors surfaced by futures and result fetches.
+var (
+	// ErrTaskFailed wraps remote execution failures.
+	ErrTaskFailed = sdk.ErrTaskFailed
+	// ErrTaskLost wraps delivery-layer give-ups: the task's retry
+	// budget was exhausted, or it was submitted at-most-once
+	// (SubmitSpec.AtMostOnce) and its endpoint was lost mid-flight.
+	// It also matches ErrTaskFailed.
+	ErrTaskLost = sdk.ErrTaskLost
 )
 
 // Built-in function bodies (the workloads of paper §5).

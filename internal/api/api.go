@@ -82,6 +82,18 @@ type SubmitRequest struct {
 	// BatchN marks a user-driven batch payload of N packed argument
 	// buffers (fmap, §4.7).
 	BatchN int `json:"batch_n,omitempty"`
+	// Walltime is the expected execution duration (nanoseconds); it
+	// extends the task's dispatch lease so long-running work is not
+	// reclaimed as lost mid-execution.
+	Walltime time.Duration `json:"walltime,omitempty"`
+	// MaxRetries bounds service-side redeliveries after dispatch
+	// failures; exhaustion retires the task as "lost" (0 = the group's
+	// budget, else the service default).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// AtMostOnce opts the task out of redelivery for non-idempotent
+	// functions: agent loss fails it fast as "lost" instead of
+	// re-running it.
+	AtMostOnce bool `json:"at_most_once,omitempty"`
 }
 
 // SubmitResponse returns the task id.
@@ -141,6 +153,9 @@ type ResultResponse struct {
 	Error string `json:"error,omitempty"`
 	// Memoized marks cache-served results.
 	Memoized bool `json:"memoized,omitempty"`
+	// Lost marks a synthetic result for a task the delivery layer gave
+	// up on (terminal status "lost"); Error carries the explanation.
+	Lost bool `json:"lost,omitempty"`
 	// Timing is the per-hop latency breakdown (Figure 4).
 	Timing TimingBreakdown `json:"timing"`
 }
@@ -185,6 +200,11 @@ type CreateGroupRequest struct {
 	Public bool `json:"public,omitempty"`
 	// Members are the candidate endpoints.
 	Members []types.GroupMember `json:"members"`
+	// RetryBudget is the group's default per-task redelivery budget
+	// (0 = the service default): tasks placed through the group that
+	// set no MaxRetries of their own are reclaimed at most this many
+	// times before landing as "lost".
+	RetryBudget int `json:"retry_budget,omitempty"`
 	// Elastic, when set, opts the group into the service's fleet
 	// autoscaling controller (see internal/elastic), which pushes
 	// scaling advice to member endpoints from group-wide backlog.

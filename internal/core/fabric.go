@@ -296,6 +296,10 @@ type GroupOptions struct {
 	// Members are the candidate endpoints (ids of endpoints already
 	// added to the fabric, with optional static weights).
 	Members []types.GroupMember
+	// RetryBudget is the group's default per-task redelivery budget
+	// (0 = the service default) applied to tasks placed through the
+	// group that carry no budget of their own.
+	RetryBudget int
 	// Elastic, when set, opts the group into the service's fleet
 	// autoscaling controller (see internal/elastic): the service
 	// periodically converts group backlog into per-member block
@@ -313,7 +317,7 @@ func (f *Fabric) AddGroup(opts GroupOptions) (*types.EndpointGroup, error) {
 	if opts.Owner == "" {
 		opts.Owner = "operator"
 	}
-	return f.Service.CreateGroupElastic(opts.Owner, opts.Name, opts.Policy, opts.Public, opts.Members, opts.Elastic)
+	return f.Service.CreateGroupFull(opts.Owner, opts.Name, opts.Policy, opts.Public, opts.Members, opts.Elastic, opts.RetryBudget)
 }
 
 // GroupOf is a convenience around AddGroup for the common case: group

@@ -118,6 +118,17 @@ type Agent struct {
 
 	ln transport.Listener
 
+	// outMu guards the upstream outbox. All upstream traffic (results,
+	// heartbeats, status, running signals) is enqueued here and written
+	// by a dedicated goroutine, so a saturated service link can never
+	// block the goroutines that process manager frames or run the
+	// watchdog — the head-of-line blocking that used to let queued
+	// manager heartbeats go unread under dispatch storms and kill
+	// healthy managers.
+	outMu   sync.Mutex
+	outbox  []transport.Message
+	outKick chan struct{}
+
 	mu        sync.Mutex
 	upstream  transport.Conn
 	connected bool
@@ -157,6 +168,7 @@ func New(cfg Config) *Agent {
 		managers: make(map[types.ManagerID]*managerState),
 		inflight: make(map[types.TaskID]*inflightTask),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		outKick:  make(chan struct{}, 1),
 	}
 }
 
@@ -179,9 +191,10 @@ func (a *Agent) Start(ctx context.Context) error {
 		ln.Close()
 		return err
 	}
-	a.wg.Add(2)
+	a.wg.Add(3)
 	go a.acceptLoop()
 	go a.heartbeatLoop()
+	go a.upstreamWriter()
 	return nil
 }
 
@@ -425,13 +438,66 @@ func (a *Agent) enqueue(t *types.Task) {
 
 // sendUpstream forwards a result to the forwarder if connected.
 func (a *Agent) sendUpstream(r *types.Result) {
-	a.mu.Lock()
-	conn := a.upstream
-	a.mu.Unlock()
-	if conn == nil {
-		return
+	a.enqueueUpstream(transport.Message{Type: transport.MsgResult, Payload: wire.EncodeResult(r)})
+}
+
+// outboxCap bounds the upstream outbox. A wedged-but-open service
+// link (peer stopped reading, no connection error) would otherwise
+// grow the queue forever: heartbeats and status reports are refreshed
+// every tick anyway, and results dropped here are redelivered once
+// the dead link finally breaks and the forwarder reclaims the leases.
+const outboxCap = 16384
+
+// enqueueUpstream hands a message to the upstream writer. It never
+// blocks, so callers holding a.mu (the watchdog) or processing manager
+// frames are isolated from upstream backpressure; memory is bounded
+// by outboxCap with drop-oldest overflow.
+func (a *Agent) enqueueUpstream(m transport.Message) {
+	a.outMu.Lock()
+	if len(a.outbox) >= outboxCap {
+		// Drop the oldest half rather than the new message: the
+		// freshest heartbeat/status/result is always the most useful.
+		a.outbox = append(a.outbox[:0:0], a.outbox[len(a.outbox)/2:]...)
 	}
-	conn.Send(transport.Message{Type: transport.MsgResult, Payload: wire.EncodeResult(r)}) //nolint:errcheck
+	a.outbox = append(a.outbox, m)
+	a.outMu.Unlock()
+	select {
+	case a.outKick <- struct{}{}:
+	default:
+	}
+}
+
+// upstreamWriter drains the outbox onto the live upstream connection
+// in FIFO order. Messages drained while no agent link is up are
+// dropped, matching the old synchronous behavior: results lost this
+// way are covered by the forwarder's redelivery after reconnect.
+func (a *Agent) upstreamWriter() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.outKick:
+		case <-a.ctx.Done():
+			return
+		}
+		for {
+			a.outMu.Lock()
+			msgs := a.outbox
+			a.outbox = nil
+			a.outMu.Unlock()
+			if len(msgs) == 0 {
+				break
+			}
+			a.mu.Lock()
+			conn := a.upstream
+			a.mu.Unlock()
+			if conn == nil {
+				continue // drop the batch; redelivery covers results
+			}
+			for _, m := range msgs {
+				conn.Send(m) //nolint:errcheck
+			}
+		}
+	}
 }
 
 // heartbeatLoop sends agent heartbeats + status upstream and runs the
@@ -444,11 +510,13 @@ func (a *Agent) heartbeatLoop() {
 		select {
 		case <-ticker.C:
 			a.mu.Lock()
-			conn := a.upstream
+			connected := a.upstream != nil
 			a.mu.Unlock()
-			if conn != nil {
-				conn.Send(transport.Message{Type: transport.MsgHeartbeat, Payload: []byte(a.cfg.ID)})           //nolint:errcheck
-				conn.Send(transport.Message{Type: transport.MsgStatus, Payload: wire.EncodeStatus(a.Status())}) //nolint:errcheck
+			if connected {
+				// Enqueued, not sent inline: a saturated upstream link
+				// must delay the beats, not the watchdog below.
+				a.enqueueUpstream(transport.Message{Type: transport.MsgHeartbeat, Payload: []byte(a.cfg.ID)})
+				a.enqueueUpstream(transport.Message{Type: transport.MsgStatus, Payload: wire.EncodeStatus(a.Status())})
 			}
 			a.watchdog()
 		case <-a.ctx.Done():
@@ -471,15 +539,26 @@ func (a *Agent) watchdog() {
 	}
 	for _, m := range lost {
 		for _, t := range m.outstanding {
-			if a.cfg.MaxAttempts > 0 && t.Attempt >= a.cfg.MaxAttempts {
-				// Permanent failure.
+			if t.AtMostOnce || (a.cfg.MaxAttempts > 0 && t.Attempt >= a.cfg.MaxAttempts) {
+				// Permanent failure: at-most-once tasks must never be
+				// re-executed after their manager is presumed dead (it
+				// may still be running them), and retryable tasks give
+				// up once the attempt budget is spent. The Lost result
+				// lands the task as TaskLost at the service.
+				reason := fmt.Sprintf(`{"message":"task lost: manager %s failed after %d attempts"}`, m.id, t.Attempt)
+				if t.AtMostOnce {
+					reason = fmt.Sprintf(`{"message":"task lost: manager %s failed and the task is at-most-once"}`, m.id)
+				}
 				a.completed++
 				delete(a.inflight, t.ID)
-				go a.sendUpstream(&types.Result{
+				// enqueueUpstream never blocks, so calling under a.mu
+				// is safe.
+				a.enqueueUpstream(transport.Message{Type: transport.MsgResult, Payload: wire.EncodeResult(&types.Result{
 					TaskID:    t.ID,
-					Err:       fmt.Sprintf(`{"message":"task lost: manager %s failed after %d attempts"}`, m.id, t.Attempt),
+					Err:       reason,
+					Lost:      true,
 					Completed: time.Now(),
-				})
+				})})
 				continue
 			}
 			t.Attempt++
@@ -561,6 +640,10 @@ func (a *Agent) manageConn(conn transport.Conn) {
 			st.awaitingAdvert = false
 			a.mu.Unlock()
 			a.schedule()
+		case transport.MsgRunning:
+			// Worker began executing: relay toward the service so it
+			// can emit TaskRunning and extend the dispatch lease.
+			a.enqueueUpstream(msg)
 		case transport.MsgResult:
 			res, err := wire.DecodeResult(msg.Payload)
 			if err != nil {

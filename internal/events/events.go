@@ -18,6 +18,7 @@ package events
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"funcx/internal/types"
 )
@@ -38,6 +39,13 @@ type Config struct {
 	// subscriber that falls this many events behind is closed lagged
 	// and must Resume from its last delivered seq (default 256).
 	SubBuffer int
+	// IdleTTL bounds how long a user's stream (replay ring + seq
+	// counter) may sit idle with no attached subscribers before
+	// EvictIdle may drop it. Without eviction, one ring per user
+	// lives for the process lifetime. 0 disables eviction; a resume
+	// after eviction returns ErrGap (HTTP 410), exactly like a ring
+	// overrun, and the client reconciles via batch wait.
+	IdleTTL time.Duration
 }
 
 // Bus is a per-user task event bus with bounded replay.
@@ -46,6 +54,13 @@ type Bus struct {
 
 	mu    sync.Mutex
 	users map[types.UserID]*stream
+	// lastSeq tombstones evicted users' seq counters (8 bytes each,
+	// vs a full ring): a recreated stream continues the numbering, so
+	// a pre-eviction Last-Event-ID can never silently resume at the
+	// wrong position — it either matches the preserved seq exactly
+	// (nothing missed) or gets ErrGap. Bounded by maxSeqTombstones so
+	// user churn cannot grow it for the process lifetime.
+	lastSeq map[types.UserID]uint64
 	// done holds completion-notification registrations: task id ->
 	// registrations to ping when the task's terminal event lands.
 	done map[types.TaskID][]*doneReg
@@ -57,6 +72,9 @@ type stream struct {
 	ring []types.TaskEvent
 	n    int // events currently buffered (<= cap(ring))
 	subs map[*Subscription]struct{}
+	// lastActive is the last publish or subscriber attachment, the
+	// idle clock EvictIdle judges against.
+	lastActive time.Time
 }
 
 type doneReg struct {
@@ -72,9 +90,10 @@ func New(cfg Config) *Bus {
 		cfg.SubBuffer = 256
 	}
 	return &Bus{
-		cfg:   cfg,
-		users: make(map[types.UserID]*stream),
-		done:  make(map[types.TaskID][]*doneReg),
+		cfg:     cfg,
+		users:   make(map[types.UserID]*stream),
+		lastSeq: make(map[types.UserID]uint64),
+		done:    make(map[types.TaskID][]*doneReg),
 	}
 }
 
@@ -82,9 +101,67 @@ func (b *Bus) stream(user types.UserID) *stream {
 	st, ok := b.users[user]
 	if !ok {
 		st = &stream{subs: make(map[*Subscription]struct{})}
+		// Continue a previously evicted user's numbering so old
+		// Last-Event-IDs stay unambiguous.
+		if seq, evicted := b.lastSeq[user]; evicted {
+			st.seq = seq
+			delete(b.lastSeq, user)
+		}
 		b.users[user] = st
 	}
+	st.lastActive = time.Now()
 	return st
+}
+
+// EvictIdle drops streams that have had no publish and no attached
+// subscriber for longer than IdleTTL, returning how many users were
+// evicted. Streams with live subscribers are never evicted. The ring
+// is freed; only the 8-byte seq counter survives as a tombstone, so
+// the numbering continues if the user returns. A subscriber resuming
+// with a pre-eviction Last-Event-ID gets ErrGap (410) for anything it
+// actually missed — only a resume from the exact preserved seq (it
+// saw everything) succeeds — and reconciles completions out of band,
+// exactly as after a ring overrun.
+func (b *Bus) EvictIdle() int {
+	if b.cfg.IdleTTL <= 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-b.cfg.IdleTTL)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for user, st := range b.users {
+		if len(st.subs) == 0 && st.lastActive.Before(cutoff) {
+			if st.seq > 0 {
+				b.lastSeq[user] = st.seq
+			}
+			delete(b.users, user)
+			n++
+		}
+	}
+	// Bound the tombstones themselves: beyond the cap, arbitrary old
+	// entries are dropped. A dropped user's numbering restarts, so
+	// their ancient Last-Event-ID degrades to ErrGap/410 in the worst
+	// case — which resuming clients must handle anyway.
+	for user := range b.lastSeq {
+		if len(b.lastSeq) <= maxSeqTombstones {
+			break
+		}
+		delete(b.lastSeq, user)
+	}
+	return n
+}
+
+// maxSeqTombstones bounds the evicted-user seq map (~64k entries of a
+// key string plus 8 bytes — a few MiB worst case).
+const maxSeqTombstones = 65536
+
+// Users reports how many per-user streams the bus currently holds
+// (diagnostics for eviction tests).
+func (b *Bus) Users() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.users)
 }
 
 // slot returns the ring index holding the event with the given seq.
@@ -271,6 +348,9 @@ func (s *Subscription) Cancel() {
 	defer s.bus.mu.Unlock()
 	if st, ok := s.bus.users[s.user]; ok {
 		delete(st.subs, s)
+		// The idle clock starts at detachment, so a stream is kept a
+		// full IdleTTL after its last subscriber leaves.
+		st.lastActive = time.Now()
 	}
 	s.closeLocked()
 }

@@ -163,3 +163,57 @@ func TestNotifyDoneCancelReleases(t *testing.T) {
 		t.Fatalf("done registrations leaked: %d", n)
 	}
 }
+
+func TestEvictIdleDropsUnattachedStreams(t *testing.T) {
+	b := New(Config{Ring: 8, IdleTTL: 10 * time.Millisecond})
+	b.Publish("u1", types.TaskEvent{TaskID: "t1", Status: types.TaskQueued})
+	sub := b.Subscribe("u2")
+	defer sub.Cancel()
+	b.Publish("u2", types.TaskEvent{TaskID: "t2", Status: types.TaskQueued})
+	if got := b.Users(); got != 2 {
+		t.Fatalf("users = %d, want 2", got)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	if n := b.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d streams, want 1 (u1 only; u2 has a live subscriber)", n)
+	}
+	if got := b.Users(); got != 1 {
+		t.Fatalf("users after eviction = %d, want 1", got)
+	}
+
+	// A resume against the evicted stream is a clean gap (HTTP 410)
+	// for anything actually missed — the ring is gone but the seq
+	// numbering survives, so the position cannot silently shift.
+	if _, _, err := b.Resume("u1", 0); !errors.Is(err, ErrGap) {
+		t.Fatalf("resume past evicted events = %v, want ErrGap", err)
+	}
+	// Resuming from the exact preserved seq saw everything: clean.
+	if replay, sub2, err := b.Resume("u1", 1); err != nil || len(replay) != 0 {
+		t.Fatalf("resume at preserved seq = (%v, %v), want empty success", replay, err)
+	} else {
+		sub2.Cancel()
+	}
+	// New events continue the old numbering, never reusing seq 1.
+	if seq := b.Publish("u1", types.TaskEvent{TaskID: "t3", Status: types.TaskQueued}); seq != 2 {
+		t.Fatalf("post-eviction seq = %d, want 2 (numbering preserved)", seq)
+	}
+	// The subscribed user's stream survived intact.
+	if _, _, err := b.Resume("u2", 0); err != nil {
+		t.Fatalf("resume of live stream: %v", err)
+	}
+}
+
+func TestEvictIdleDisabledAndFreshStreamsKept(t *testing.T) {
+	b := New(Config{Ring: 8}) // IdleTTL zero: eviction disabled
+	b.Publish("u1", types.TaskEvent{TaskID: "t1", Status: types.TaskQueued})
+	if n := b.EvictIdle(); n != 0 {
+		t.Fatalf("eviction disabled but evicted %d", n)
+	}
+
+	b2 := New(Config{Ring: 8, IdleTTL: time.Hour})
+	b2.Publish("u1", types.TaskEvent{TaskID: "t1", Status: types.TaskQueued})
+	if n := b2.EvictIdle(); n != 0 {
+		t.Fatalf("fresh stream evicted (%d) before its TTL", n)
+	}
+}

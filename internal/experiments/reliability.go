@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"funcx/internal/core"
+	"funcx/internal/fx"
+	"funcx/internal/metrics"
+	"funcx/internal/sdk"
+	"funcx/internal/serial"
+	"funcx/internal/service"
+	"funcx/internal/types"
+)
+
+func init() { register("reliability", Reliability) }
+
+// bodyCountOnce is the execution-counter function of the delivery-
+// semantics experiment: every execution of a key increments a shared
+// counter, so duplicate executions (at-least-once retries) and double
+// executions (at-most-once violations) are directly observable.
+var bodyCountOnce = []byte("def count_once(key):\n    COUNTS[key] += 1\n    import time\n    time.sleep(0.02)\n    return key\n")
+
+// Reliability measures the delivery-semantics layer (paper §5.4's
+// fault-tolerance story made a configurable contract): a fleet of
+// three endpoints serves execution-counting tasks while one agent is
+// killed mid-run, under both delivery modes:
+//
+//	at-least-once  (default) dispatched tasks on the dead agent are
+//	               reclaimed and re-routed; every task completes, and
+//	               retries may double-execute
+//	at-most-once   dispatched tasks on the dead agent are never
+//	               redelivered; they resolve fast as TaskLost and no
+//	               task executes twice
+//
+// In both modes every future resolves (no hangs), and the per-task
+// event order queued ≤ dispatched ≤ running ≤ terminal must hold on
+// the owner's event stream.
+func Reliability(opts Options) error {
+	tasks := 120
+	if opts.Quick {
+		tasks = 60
+	}
+	tbl := metrics.NewTable("mode", "tasks", "completed", "lost", "dup execs",
+		"retried", "rerouted", "order violations", "wall (s)")
+	for _, mode := range []string{"at-least-once", "at-most-once"} {
+		r, err := reliabilityMode(opts, mode, tasks)
+		if err != nil {
+			return fmt.Errorf("%s: %w", mode, err)
+		}
+		tbl.AddRow(mode, fmt.Sprint(tasks), fmt.Sprint(r.completed), fmt.Sprint(r.lost),
+			fmt.Sprint(r.duplicates), fmt.Sprint(r.retried), fmt.Sprint(r.rerouted),
+			fmt.Sprint(r.orderViolations), fmt.Sprintf("%.2f", r.wall.Seconds()))
+	}
+	fmt.Fprint(opts.out(), tbl.Render())
+	fmt.Fprintln(opts.out(), "3 endpoints (4 workers each); endpoint 0's agent killed halfway; every future resolves in both modes")
+	return nil
+}
+
+type reliabilityRun struct {
+	completed       int
+	lost            int
+	duplicates      int
+	retried         int64
+	rerouted        int64
+	orderViolations int
+	wall            time.Duration
+}
+
+// reliabilityMode boots a fresh 3-endpoint fabric, streams execution-
+// counting tasks at the group in the given delivery mode, kills one
+// agent mid-submission, and audits completions, duplicate executions,
+// and per-task event order.
+func reliabilityMode(opts Options, mode string, tasks int) (*reliabilityRun, error) {
+	fab, err := core.NewFabric(core.FabricConfig{
+		Service: service.Config{
+			HeartbeatPeriod: 50 * time.Millisecond,
+			HeartbeatMisses: 3,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fab.Close()
+
+	// Shared execution counter: one entry per task key, incremented by
+	// whichever endpoint (and attempt) runs it.
+	var execMu sync.Mutex
+	execs := make(map[string]int)
+	countFn := func(_ context.Context, payload []byte) ([]byte, error) {
+		var key string
+		if _, err := serial.Deserialize(payload, &key); err != nil {
+			return nil, err
+		}
+		execMu.Lock()
+		execs[key]++
+		execMu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+		return serial.Serialize(key)
+	}
+
+	eps := make([]*core.Endpoint, 3)
+	for i := range eps {
+		eps[i], err = fab.AddEndpoint(core.EndpointOptions{
+			Name:  fmt.Sprintf("rel-ep-%d", i),
+			Owner: "experimenter", Managers: 1, WorkersPerManager: 4,
+			PrewarmWorkers: 4, BatchDispatch: true,
+			HeartbeatPeriod: 50 * time.Millisecond,
+			Seed:            opts.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		eps[i].Runtime.RegisterHash(fx.HashBody(bodyCountOnce), countFn)
+	}
+	group, err := fab.GroupOf("experimenter", "rel-fleet", "least-outstanding", eps...)
+	if err != nil {
+		return nil, err
+	}
+	client := fab.Client("experimenter")
+	defer client.Close()
+	ctx := context.Background()
+	fnID, err := client.RegisterFunction(ctx, "count_once", bodyCountOnce, types.ContainerSpec{}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Audit the owner's event stream directly on the bus (the same
+	// publishes that feed GET /v1/events), collecting concurrently so
+	// the subscription never lags.
+	sub := fab.Service.Events.Subscribe(types.UserID("experimenter"))
+	var evMu sync.Mutex
+	var events []types.TaskEvent
+	var collectorDone sync.WaitGroup
+	collectorDone.Add(1)
+	go func() {
+		defer collectorDone.Done()
+		for ev := range sub.C {
+			evMu.Lock()
+			events = append(events, ev)
+			evMu.Unlock()
+		}
+	}()
+
+	submit := func(i int) (*sdk.Future, error) {
+		payload, err := serial.Serialize(fmt.Sprintf("task-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		return client.SubmitFuture(ctx, sdk.SubmitSpec{
+			Function: fnID, Group: group.ID, Payload: payload,
+			Walltime:   200 * time.Millisecond,
+			AtMostOnce: mode == "at-most-once",
+		})
+	}
+
+	start := time.Now()
+	futures := make([]*sdk.Future, 0, tasks)
+	for i := 0; i < tasks; i++ {
+		if i == tasks/2 {
+			// Kill one agent mid-run — but only once it genuinely holds
+			// dispatched tasks, so the kill lands mid-execution and the
+			// reclaim path (not just queued-task failover) is exercised.
+			fwd, _ := fab.Service.Forwarder(eps[0].ID)
+			for deadline := time.Now().Add(2 * time.Second); fwd.Outstanding() == 0 && time.Now().Before(deadline); {
+				time.Sleep(time.Millisecond)
+			}
+			if fwd.Outstanding() == 0 {
+				return nil, fmt.Errorf("endpoint 0 never had dispatched tasks to kill")
+			}
+			eps[0].Disconnect()
+		}
+		fut, err := submit(i)
+		if err != nil {
+			return nil, err
+		}
+		futures = append(futures, fut)
+	}
+
+	// Every future must resolve — delivery semantics means a terminal
+	// event per task, never a hang.
+	gatherCtx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	run := &reliabilityRun{}
+	for _, fut := range futures {
+		res, err := fut.Get(gatherCtx)
+		if err != nil {
+			return nil, fmt.Errorf("future did not resolve: %w", err)
+		}
+		switch {
+		case res.Err == nil:
+			run.completed++
+		case errors.Is(res.Err, sdk.ErrTaskLost):
+			run.lost++
+		default:
+			return nil, fmt.Errorf("task %s failed unexpectedly: %v", res.TaskID, res.Err)
+		}
+	}
+	run.wall = time.Since(start)
+	sub.Cancel()
+	collectorDone.Wait()
+
+	execMu.Lock()
+	for _, n := range execs {
+		if n > 1 {
+			run.duplicates++
+		}
+	}
+	execMu.Unlock()
+	run.retried, _ = fab.Service.DeliveryStats()
+	run.rerouted = fab.Service.Rerouted()
+
+	submitted := make(map[types.TaskID]bool, len(futures))
+	for _, fut := range futures {
+		submitted[fut.TaskID()] = true
+	}
+	evMu.Lock()
+	run.orderViolations = countOrderViolations(events, submitted)
+	evMu.Unlock()
+
+	// Mode invariants.
+	switch mode {
+	case "at-least-once":
+		if run.completed != tasks {
+			return nil, fmt.Errorf("only %d/%d tasks completed after agent kill", run.completed, tasks)
+		}
+		if run.lost != 0 {
+			return nil, fmt.Errorf("%d tasks lost in at-least-once mode", run.lost)
+		}
+	case "at-most-once":
+		if run.duplicates != 0 {
+			return nil, fmt.Errorf("%d tasks executed twice in at-most-once mode", run.duplicates)
+		}
+		if run.completed+run.lost != tasks {
+			return nil, fmt.Errorf("%d completed + %d lost != %d submitted", run.completed, run.lost, tasks)
+		}
+	}
+	if run.orderViolations != 0 {
+		return nil, fmt.Errorf("%d per-task event-order violations on the stream", run.orderViolations)
+	}
+	return run, nil
+}
+
+// countOrderViolations audits each submitted task's event sequence:
+// the first event must be queued, a running event must follow some
+// dispatched event, exactly one terminal event retires the task, and
+// nothing may follow it. Redeliveries legitimately repeat the
+// queued/dispatched/running prefix.
+func countOrderViolations(events []types.TaskEvent, submitted map[types.TaskID]bool) int {
+	type state struct {
+		seen       int
+		dispatched bool
+		terminals  int
+		afterEnd   bool
+		badFirst   bool
+		earlyRun   bool
+	}
+	byTask := make(map[types.TaskID]*state, len(submitted))
+	for _, ev := range events {
+		if !submitted[ev.TaskID] {
+			continue
+		}
+		st := byTask[ev.TaskID]
+		if st == nil {
+			st = &state{}
+			byTask[ev.TaskID] = st
+		}
+		if st.terminals > 0 {
+			st.afterEnd = true
+		}
+		if st.seen == 0 && ev.Status != types.TaskQueued {
+			st.badFirst = true
+		}
+		st.seen++
+		switch ev.Status {
+		case types.TaskDispatched:
+			st.dispatched = true
+		case types.TaskRunning:
+			if !st.dispatched {
+				st.earlyRun = true
+			}
+		default:
+			if ev.Terminal() {
+				st.terminals++
+			}
+		}
+	}
+	violations := 0
+	for id := range submitted {
+		st := byTask[id]
+		if st == nil || st.terminals != 1 || st.afterEnd || st.badFirst || st.earlyRun {
+			violations++
+		}
+	}
+	return violations
+}

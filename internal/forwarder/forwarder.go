@@ -3,8 +3,12 @@
 // forwarder that owns the endpoint's Redis task queue and result
 // store. The forwarder dispatches tasks to the endpoint agent only
 // while the agent is connected, uses heartbeats to detect agent loss,
-// and on loss returns outstanding (unacknowledged) tasks to the task
-// queue so that agents receive tasks with at-least-once semantics.
+// and leases every dispatched task: tasks whose lease expires without
+// a running signal or result — and all in-flight tasks on agent loss —
+// are offered to the service's reclaim hook (retry budgets, failover
+// re-routing, at-most-once fail-fast), falling back to requeue-for-
+// redelivery, so that agents receive tasks with at-least-once
+// semantics by default.
 package forwarder
 
 import (
@@ -46,6 +50,12 @@ type Config struct {
 	// HeartbeatMisses is how many missed agent heartbeats mark the
 	// agent disconnected.
 	HeartbeatMisses int
+	// DispatchLease is the base lease granted to every dispatched
+	// task: a task that produces neither a running signal nor a result
+	// within the lease (plus its own Walltime) is presumed lost and
+	// reclaimed through OnReclaim. A running signal re-arms the lease.
+	// Default: 4 × HeartbeatMisses × HeartbeatPeriod.
+	DispatchLease time.Duration
 	// Auth validates registrations (nil accepts all).
 	Auth AuthFunc
 	// Lat optionally injects WAN latency per dispatched message
@@ -62,6 +72,19 @@ type Config struct {
 	// status and publishes the "dispatched" event here). Redeliveries
 	// after an agent reconnect fire it again, once per dispatch.
 	OnDispatched func(*types.Task)
+	// OnRunning, when set, fires when the agent relays a worker's
+	// execution-start signal for a dispatched task (the service
+	// advances the status to running and publishes the event).
+	OnRunning func(id types.TaskID)
+	// OnReclaim, when set, is offered every dispatched task whose
+	// delivery is presumed failed: its lease expired without a
+	// terminal result, or the agent disconnected while it was in
+	// flight. Returning true transfers ownership (the service bumps
+	// the attempt, enforces retry budgets, re-routes or requeues, or
+	// lands the task as lost) and the forwarder acknowledges the
+	// reliable-queue receipt; returning false leaves recovery to the
+	// forwarder's default requeue-for-redelivery.
+	OnReclaim func(task *types.Task, reason string) bool
 	// OnOrphaned, when set, is offered every queued task while no
 	// agent is connected. Returning true transfers ownership of the
 	// task (the service's router re-routes group-placed tasks to a
@@ -85,8 +108,17 @@ type Forwarder struct {
 	conn      transport.Conn
 	lastSeen  time.Time
 	connected bool
-	// receipts maps dispatched task id -> reliable-queue receipt.
-	receipts map[types.TaskID]uint64
+	// leases tracks every dispatched-but-unfinished task: its decoded
+	// record, reliable-queue receipt, and the deadline by which a
+	// running signal or result must arrive before the task is
+	// reclaimed.
+	leases map[types.TaskID]*lease
+	// lastProgress is the last time the agent proved it is working
+	// through its queue (a result or running signal arrived). The
+	// lease sweep is gated on it: a healthy-but-saturated endpoint
+	// whose backlog exceeds one lease window must convert that
+	// backlog into latency, not into mass reclaims.
+	lastProgress time.Time
 	// offloadIdleLen / offloadLastScan throttle orphan offloading: a
 	// full-queue scan that accepted nothing is not repeated until the
 	// queue changes or a heartbeat period passes.
@@ -106,7 +138,28 @@ type Forwarder struct {
 	dispatched int64
 	completed  int64
 	requeues   int64
+	reclaimed  int64
 }
+
+// lease is the delivery record of one dispatched task.
+type lease struct {
+	task     *types.Task
+	receipt  uint64
+	deadline time.Time
+	// extended counts progress-based deadline extensions (see
+	// maxLeaseExtensions).
+	extended int
+}
+
+// maxLeaseExtensions bounds how many times an expired lease may be
+// extended because the agent is visibly working through its queue.
+// The bound keeps both halves of the delivery contract: a saturated
+// endpoint converts backlog into latency (not mass reclaims) for up
+// to this many lease windows, while a task black-holed on an
+// otherwise busy endpoint is still reclaimed — and reaches a terminal
+// event — once the bound is spent. Backlogs legitimately deeper than
+// ~16 lease windows should raise DispatchLease or the task Walltime.
+const maxLeaseExtensions = 16
 
 // New creates a forwarder; Start launches it.
 func New(cfg Config) *Forwarder {
@@ -119,10 +172,13 @@ func New(cfg Config) *Forwarder {
 	if cfg.HeartbeatMisses <= 0 {
 		cfg.HeartbeatMisses = 3
 	}
+	if cfg.DispatchLease <= 0 {
+		cfg.DispatchLease = 4 * time.Duration(cfg.HeartbeatMisses) * cfg.HeartbeatPeriod
+	}
 	return &Forwarder{
-		cfg:      cfg,
-		receipts: make(map[types.TaskID]uint64),
-		tfStart:  make(map[types.TaskID]time.Duration),
+		cfg:     cfg,
+		leases:  make(map[types.TaskID]*lease),
+		tfStart: make(map[types.TaskID]time.Duration),
 	}
 }
 
@@ -168,7 +224,7 @@ func (f *Forwarder) Connected() bool {
 func (f *Forwarder) Outstanding() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return len(f.receipts)
+	return len(f.leases)
 }
 
 // Status returns the latest agent-reported endpoint status (nil before
@@ -220,6 +276,14 @@ func (f *Forwarder) Stats() (dispatched, completed, requeues int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.dispatched, f.completed, f.requeues
+}
+
+// Reclaimed returns how many dispatched tasks were handed back to the
+// service's reclaim path (lease expiry or agent loss).
+func (f *Forwarder) Reclaimed() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reclaimed
 }
 
 // acceptLoop admits agent connections (one live at a time; a new
@@ -285,12 +349,33 @@ func (f *Forwarder) handleAgent(conn transport.Conn) {
 			}
 			return
 		}
+		// Any inbound frame proves the agent alive: results, status
+		// reports, and running signals all refresh lastSeen, so a busy
+		// link whose heartbeats queue behind a result burst cannot
+		// trip a false disconnect.
 		f.mu.Lock()
 		f.lastSeen = time.Now()
 		f.mu.Unlock()
 		switch msg.Type {
 		case transport.MsgHeartbeat:
 			// lastSeen refreshed above.
+		case transport.MsgRunning:
+			start, err := wire.DecodeTaskStart(msg.Payload)
+			if err != nil {
+				continue
+			}
+			f.mu.Lock()
+			f.lastProgress = time.Now()
+			l, ok := f.leases[start.TaskID]
+			if ok {
+				// Execution began: re-arm the lease so the task now has
+				// its full walltime (plus slack) to produce a result.
+				l.deadline = time.Now().Add(f.cfg.DispatchLease + l.task.Walltime)
+			}
+			f.mu.Unlock()
+			if ok && f.cfg.OnRunning != nil {
+				f.cfg.OnRunning(start.TaskID)
+			}
 		case transport.MsgStatus:
 			if st, err := wire.DecodeStatus(msg.Payload); err == nil {
 				f.mu.Lock()
@@ -307,34 +392,98 @@ func (f *Forwarder) handleAgent(conn transport.Conn) {
 	}
 }
 
-// disconnect marks the agent gone and requeues unacknowledged tasks.
-// Only the receipts this forwarder recorded for dispatched tasks are
-// requeued — not the whole pending set — so a concurrent offload
-// scan's in-flight receipt cannot be yanked back into the queue after
-// the failover path already re-homed its task (which would duplicate
-// it).
+// disconnect marks the agent gone and recovers every dispatched task.
+// Each lease is first offered to OnReclaim, which lets the service
+// bump the attempt, enforce retry budgets, re-route group tasks to a
+// healthy member immediately, and land at-most-once tasks as lost
+// (they must never be redelivered). Leases the service declines fall
+// back to the original requeue-for-redelivery. Only the receipts this
+// forwarder recorded for dispatched tasks are touched — not the whole
+// pending set — so a concurrent offload scan's in-flight receipt
+// cannot be yanked back into the queue after the failover path
+// already re-homed its task (which would duplicate it).
 func (f *Forwarder) disconnect(reason string) {
 	f.mu.Lock()
 	conn := f.conn
 	f.conn = nil
 	f.connected = false
-	receipts := make([]uint64, 0, len(f.receipts))
-	for _, r := range f.receipts {
-		receipts = append(receipts, r)
+	drained := make([]*lease, 0, len(f.leases))
+	for _, l := range f.leases {
+		drained = append(drained, l)
 	}
-	clear(f.receipts)
+	clear(f.leases)
 	clear(f.tfStart)
 	f.mu.Unlock()
 	if conn != nil {
 		conn.Close()
 	}
-	if len(receipts) > 0 {
-		f.cfg.TaskQueue.RequeueReceipts(receipts...)
-		f.mu.Lock()
-		f.requeues += int64(len(receipts))
-		f.mu.Unlock()
+	var requeue []uint64
+	reclaimed := 0
+	for _, l := range drained {
+		if f.cfg.OnReclaim != nil && f.cfg.OnReclaim(l.task, "agent "+reason) {
+			f.cfg.TaskQueue.Ack(l.receipt) //nolint:errcheck // new owner requeued or retired it
+			reclaimed++
+			continue
+		}
+		requeue = append(requeue, l.receipt)
 	}
-	_ = reason
+	if len(requeue) > 0 {
+		f.cfg.TaskQueue.RequeueReceipts(requeue...)
+	}
+	f.mu.Lock()
+	f.requeues += int64(len(requeue))
+	f.reclaimed += int64(reclaimed)
+	f.mu.Unlock()
+}
+
+// sweepLeases reclaims dispatched tasks whose lease expired without a
+// running signal or result: the agent link may be nominally healthy
+// while the task itself is black-holed (wedged manager, dropped frame).
+// Expired tasks go through OnReclaim exactly like disconnect recovery;
+// declined ones are returned to the queue for redelivery.
+//
+// An expired lease is first extended (bounded by maxLeaseExtensions)
+// while the agent shows recent progress — results or running signals
+// within the last lease period — so a saturated endpoint working
+// through a deep backlog is not mass-reclaimed; a task whose
+// extensions run out is reclaimed regardless, keeping the guarantee
+// that every task reaches a terminal event.
+func (f *Forwarder) sweepLeases() {
+	now := time.Now()
+	f.mu.Lock()
+	progressing := !f.lastProgress.IsZero() && now.Sub(f.lastProgress) < f.cfg.DispatchLease
+	var expired []*lease
+	for id, l := range f.leases {
+		if !now.After(l.deadline) {
+			continue
+		}
+		if progressing && l.extended < maxLeaseExtensions {
+			l.extended++
+			l.deadline = now.Add(f.cfg.DispatchLease)
+			continue
+		}
+		expired = append(expired, l)
+		delete(f.leases, id)
+		delete(f.tfStart, id)
+	}
+	f.mu.Unlock()
+	if len(expired) == 0 {
+		return
+	}
+	reclaimed, requeued := 0, 0
+	for _, l := range expired {
+		if f.cfg.OnReclaim != nil && f.cfg.OnReclaim(l.task, "dispatch lease expired") {
+			f.cfg.TaskQueue.Ack(l.receipt) //nolint:errcheck
+			reclaimed++
+		} else {
+			f.cfg.TaskQueue.Nack(l.receipt) //nolint:errcheck
+			requeued++
+		}
+	}
+	f.mu.Lock()
+	f.reclaimed += int64(reclaimed)
+	f.requeues += int64(requeued)
+	f.mu.Unlock()
 }
 
 // dispatchLoop pops tasks from the endpoint queue and ships them to
@@ -378,21 +527,28 @@ func (f *Forwarder) dispatchLoop() {
 			f.cfg.Lat.Delay()
 		}
 		if err := conn.Send(transport.Message{Type: transport.MsgTask, Payload: data}); err != nil {
-			// Send failed: agent just vanished. Return the task.
-			f.cfg.TaskQueue.Nack(receipt) //nolint:errcheck
+			// Send failed: agent just vanished. Return the task —
+			// except an at-most-once task, which may have partially
+			// reached the agent and must never risk double delivery.
+			f.recoverUnleased(task, receipt, "send failed")
 			f.disconnect("send failed")
 			continue
 		}
 		f.mu.Lock()
 		if f.conn != conn {
 			// Disconnected while sending: disconnect() already
-			// requeued its receipt snapshot, which missed this one —
-			// return the task ourselves so it is not stranded.
+			// recovered its lease snapshot, which missed this one —
+			// recover the task ourselves so it is not stranded. The
+			// agent did receive it, so at-most-once handling applies.
 			f.mu.Unlock()
-			f.cfg.TaskQueue.Nack(receipt) //nolint:errcheck
+			f.recoverUnleased(task, receipt, "agent connection lost")
 			continue
 		}
-		f.receipts[task.ID] = receipt
+		f.leases[task.ID] = &lease{
+			task:     task,
+			receipt:  receipt,
+			deadline: time.Now().Add(f.cfg.DispatchLease + task.Walltime),
+		}
 		f.tfStart[task.ID] = time.Since(popDone)
 		f.dispatched++
 		f.mu.Unlock()
@@ -400,6 +556,23 @@ func (f *Forwarder) dispatchLoop() {
 			f.cfg.OnDispatched(task)
 		}
 	}
+}
+
+// recoverUnleased handles a dispatch that failed before its lease was
+// recorded (send error, or a disconnect racing the bookkeeping). The
+// task may or may not have reached the agent, so an at-most-once task
+// is offered to OnReclaim — which retires it as lost rather than risk
+// a second delivery — while ordinary tasks are returned to the queue
+// for redelivery.
+func (f *Forwarder) recoverUnleased(task *types.Task, receipt uint64, reason string) {
+	if task.AtMostOnce && f.cfg.OnReclaim != nil && f.cfg.OnReclaim(task, "agent "+reason) {
+		f.cfg.TaskQueue.Ack(receipt) //nolint:errcheck
+		f.mu.Lock()
+		f.reclaimed++
+		f.mu.Unlock()
+		return
+	}
+	f.cfg.TaskQueue.Nack(receipt) //nolint:errcheck
 }
 
 // offloadOrphans walks the queue while no agent is connected,
@@ -463,9 +636,12 @@ func (f *Forwarder) offloadOrphans() {
 func (f *Forwarder) storeResult(res *types.Result) {
 	start := time.Now()
 	f.mu.Lock()
-	receipt, ok := f.receipts[res.TaskID]
+	f.lastProgress = start
+	var receipt uint64
+	l, ok := f.leases[res.TaskID]
 	if ok {
-		delete(f.receipts, res.TaskID)
+		receipt = l.receipt
+		delete(f.leases, res.TaskID)
 	}
 	if d, ok2 := f.tfStart[res.TaskID]; ok2 {
 		res.Timing.TF = d
@@ -522,6 +698,9 @@ func (f *Forwarder) heartbeatLoop() {
 				f.disconnect("heartbeat loss")
 				continue
 			}
+			// Reclaim dispatched tasks whose lease ran out while the
+			// link stayed up (black-holed at a wedged manager, etc.).
+			f.sweepLeases()
 			conn.Send(transport.Message{Type: transport.MsgHeartbeat, Payload: []byte(f.cfg.EndpointID)}) //nolint:errcheck
 			// Piggyback the latest scaling advice on the heartbeat
 			// cycle: no extra round trips, and a reconnecting agent

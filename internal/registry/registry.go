@@ -272,6 +272,13 @@ func (r *Registry) RegisterGroup(owner types.UserID, name, policy string, public
 // spec (already validated/normalized by the service) opting the group
 // into the fleet autoscaling controller.
 func (r *Registry) RegisterGroupElastic(owner types.UserID, name, policy string, public bool, members []types.GroupMember, elastic *types.ElasticSpec) (*types.EndpointGroup, error) {
+	return r.RegisterGroupFull(owner, name, policy, public, members, elastic, 0)
+}
+
+// RegisterGroupFull is RegisterGroupElastic plus the group's per-task
+// retry budget (0 = service default) applied to tasks placed through
+// the group that carry no budget of their own.
+func (r *Registry) RegisterGroupFull(owner types.UserID, name, policy string, public bool, members []types.GroupMember, elastic *types.ElasticSpec, retryBudget int) (*types.EndpointGroup, error) {
 	if len(members) == 0 {
 		return nil, errors.New("registry: group needs at least one member endpoint")
 	}
@@ -287,14 +294,15 @@ func (r *Registry) RegisterGroupElastic(owner types.UserID, name, policy string,
 		}
 	}
 	g := &types.EndpointGroup{
-		ID:         types.NewGroupID(),
-		Name:       name,
-		Owner:      owner,
-		Policy:     policy,
-		Public:     public,
-		Members:    deduped,
-		Elastic:    copyElastic(elastic),
-		Registered: r.now(),
+		ID:          types.NewGroupID(),
+		Name:        name,
+		Owner:       owner,
+		Policy:      policy,
+		Public:      public,
+		Members:     deduped,
+		RetryBudget: retryBudget,
+		Elastic:     copyElastic(elastic),
+		Registered:  r.now(),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -38,6 +38,12 @@ var ErrNotReady = errors.New("sdk: result not ready")
 // ErrTaskFailed wraps remote execution failures.
 var ErrTaskFailed = errors.New("sdk: task failed")
 
+// ErrTaskLost wraps delivery-layer give-ups: the task's retry budget
+// was exhausted, or it was submitted at-most-once and its endpoint
+// was lost mid-flight. Futures and result fetches resolve with this
+// typed error (it also matches ErrTaskFailed) instead of hanging.
+var ErrTaskLost = errors.New("sdk: task lost")
+
 // ErrUnsupported marks an API surface the server does not implement
 // (an older service); callers fall back to per-task paths.
 var ErrUnsupported = errors.New("sdk: not supported by server")
@@ -224,6 +230,11 @@ type GroupSpec struct {
 	Public bool
 	// Members are the candidate endpoints.
 	Members []types.GroupMember
+	// RetryBudget is the group's default per-task redelivery budget
+	// (0 = the service default): tasks placed through the group that
+	// set no MaxRetries of their own are reclaimed at most this many
+	// times before resolving with ErrTaskLost.
+	RetryBudget int
 	// Elastic, when set, opts the group into the service's fleet
 	// autoscaling controller: group backlog is converted into
 	// per-member block targets and pushed to member endpoints as
@@ -236,7 +247,7 @@ func (c *Client) NewGroup(ctx context.Context, spec GroupSpec) (*types.EndpointG
 	var resp api.CreateGroupResponse
 	_, err := c.do(ctx, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
 		Name: spec.Name, Policy: spec.Policy, Public: spec.Public,
-		Members: spec.Members, Elastic: spec.Elastic,
+		Members: spec.Members, RetryBudget: spec.RetryBudget, Elastic: spec.Elastic,
 	}, &resp)
 	if err != nil {
 		return nil, err
@@ -335,6 +346,18 @@ type SubmitSpec struct {
 	// BatchN marks the payload as a packed batch of N argument
 	// buffers (fmap, §4.7).
 	BatchN int
+	// Walltime is the expected execution duration; it extends the
+	// task's dispatch lease so long-running work is not reclaimed as
+	// lost mid-execution.
+	Walltime time.Duration
+	// MaxRetries bounds service-side redeliveries after dispatch
+	// failures; exhaustion resolves the task with ErrTaskLost (0 =
+	// the group's budget, else the service default).
+	MaxRetries int
+	// AtMostOnce opts the task out of redelivery for non-idempotent
+	// functions: once shipped to an endpoint it is never redelivered,
+	// and endpoint loss resolves it fast with ErrTaskLost.
+	AtMostOnce bool
 }
 
 // Submit submits one task, returning its id and the endpoint it was
@@ -347,6 +370,7 @@ func (c *Client) Submit(ctx context.Context, spec SubmitSpec) (types.TaskID, typ
 		FunctionID: spec.Function, EndpointID: spec.Endpoint, GroupID: spec.Group,
 		Payload: spec.Payload, Labels: spec.Labels,
 		Memoize: spec.Memoize, BatchN: spec.BatchN,
+		Walltime: spec.Walltime, MaxRetries: spec.MaxRetries, AtMostOnce: spec.AtMostOnce,
 	}, &resp)
 	if err != nil {
 		return "", "", err
@@ -508,6 +532,9 @@ func resultOf(resp api.ResultResponse) *Result {
 	}
 	if resp.Error != "" {
 		res.Err = fmt.Errorf("%w: %w", ErrTaskFailed, serial.DecodeError([]byte(resp.Error)))
+		if resp.Lost {
+			res.Err = fmt.Errorf("%w: %w", ErrTaskLost, res.Err)
+		}
 	}
 	return res
 }

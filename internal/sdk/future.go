@@ -471,6 +471,9 @@ func resultFromWire(r *types.Result) *Result {
 	}
 	if r.Err != "" {
 		res.Err = fmt.Errorf("%w: %w", ErrTaskFailed, serial.DecodeError([]byte(r.Err)))
+		if r.Lost {
+			res.Err = fmt.Errorf("%w: %w", ErrTaskLost, res.Err)
+		}
 	}
 	return res
 }

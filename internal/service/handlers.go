@@ -206,6 +206,7 @@ func submissionOf(t api.SubmitRequest) Submission {
 		FunctionID: t.FunctionID, EndpointID: t.EndpointID,
 		GroupID: t.GroupID, Labels: t.Labels,
 		Payload: t.Payload, Memoize: t.Memoize, BatchN: t.BatchN,
+		Walltime: t.Walltime, MaxRetries: t.MaxRetries, AtMostOnce: t.AtMostOnce,
 	}
 }
 
@@ -246,7 +247,7 @@ func (s *Service) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	g, err := s.CreateGroupElastic(claimsOf(r).Subject, req.Name, req.Policy, req.Public, req.Members, req.Elastic)
+	g, err := s.CreateGroupFull(claimsOf(r).Subject, req.Name, req.Policy, req.Public, req.Members, req.Elastic, req.RetryBudget)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -319,13 +320,17 @@ func resultResponseOf(res *types.Result) api.ResultResponse {
 		Output:   res.Output,
 		Error:    res.Err,
 		Memoized: res.Memoized,
+		Lost:     res.Lost,
 		Timing:   api.FromTiming(res.Timing),
 	}
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := types.TaskID(r.PathValue("id"))
-	res, err := s.Result(id, clampWait(r.URL.Query().Get("wait")))
+	// Ownership is enforced: a capability UUID alone no longer grants
+	// access to another user's result (404, like the event stream's
+	// strict per-user model).
+	res, err := s.ResultFor(claimsOf(r).Subject, id, clampWait(r.URL.Query().Get("wait")))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -355,7 +360,11 @@ func (s *Service) handleWaitTasks(w http.ResponseWriter, r *http.Request) {
 			ErrInvalidRequest, len(req.TaskIDs), maxWaitBatch))
 		return
 	}
-	done, pending := s.WaitTasks(r.Context(), req.TaskIDs, clampWait(req.Wait))
+	done, pending, err := s.WaitTasksFor(r.Context(), claimsOf(r).Subject, req.TaskIDs, clampWait(req.Wait))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	resp := api.WaitTasksResponse{Results: make([]api.ResultResponse, len(done)), Pending: pending}
 	for i, res := range done {
 		resp.Results[i] = resultResponseOf(res)

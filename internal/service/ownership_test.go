@@ -1,0 +1,67 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+
+	"funcx/internal/api"
+	"funcx/internal/auth"
+	"funcx/internal/types"
+)
+
+// TestRetrievalSurfacesEnforceOwnership: holding a task's capability
+// UUID no longer grants access to its result — /v1/tasks/{id}/result
+// and /v1/tasks/wait reject ids owned by another user with 404,
+// matching the event stream's strict per-user model.
+func TestRetrievalSurfacesEnforceOwnership(t *testing.T) {
+	svc, srv, aliceTok := testService(t)
+	bobTok := svc.MintUserToken("bob", auth.ScopeAll)
+
+	var fnResp api.RegisterFunctionResponse
+	if code := doJSON(t, srv, aliceTok, http.MethodPost, "/v1/functions",
+		api.RegisterFunctionRequest{Name: "noop", Body: []byte("def noop(): pass")}, &fnResp); code != http.StatusCreated {
+		t.Fatalf("register function = %d", code)
+	}
+	var epResp api.RegisterEndpointResponse
+	if code := doJSON(t, srv, aliceTok, http.MethodPost, "/v1/endpoints",
+		api.RegisterEndpointRequest{Name: "ep"}, &epResp); code != http.StatusCreated {
+		t.Fatalf("register endpoint = %d", code)
+	}
+	var subResp api.SubmitResponse
+	if code := doJSON(t, srv, aliceTok, http.MethodPost, "/v1/tasks", api.SubmitRequest{
+		FunctionID: fnResp.FunctionID, EndpointID: epResp.EndpointID, Payload: []byte("{}"),
+	}, &subResp); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	id := string(subResp.TaskID)
+
+	// Bob holds the capability UUID but does not own the task.
+	if code := doJSON(t, srv, bobTok, http.MethodGet, "/v1/tasks/"+id+"/result", nil, nil); code != http.StatusNotFound {
+		t.Errorf("foreign result fetch = %d, want 404", code)
+	}
+	if code := doJSON(t, srv, bobTok, http.MethodPost, "/v1/tasks/wait",
+		api.WaitTasksRequest{TaskIDs: []types.TaskID{subResp.TaskID}}, nil); code != http.StatusNotFound {
+		t.Errorf("foreign wait = %d, want 404", code)
+	}
+
+	// The owner keeps full access: the task is queued, so a
+	// non-blocking result fetch reports 202 and wait reports pending.
+	if code := doJSON(t, srv, aliceTok, http.MethodGet, "/v1/tasks/"+id+"/result", nil, nil); code != http.StatusAccepted {
+		t.Errorf("owner result fetch = %d, want 202", code)
+	}
+	var waitResp api.WaitTasksResponse
+	if code := doJSON(t, srv, aliceTok, http.MethodPost, "/v1/tasks/wait",
+		api.WaitTasksRequest{TaskIDs: []types.TaskID{subResp.TaskID}}, &waitResp); code != http.StatusOK {
+		t.Errorf("owner wait = %d, want 200", code)
+	} else if len(waitResp.Pending) != 1 {
+		t.Errorf("owner wait pending = %v, want the queued id", waitResp.Pending)
+	}
+
+	// Unknown ids behave the same for everyone (no existence leak):
+	// wait accepts and reports them pending.
+	unknown := types.TaskID(types.NewUUID())
+	if code := doJSON(t, srv, bobTok, http.MethodPost, "/v1/tasks/wait",
+		api.WaitTasksRequest{TaskIDs: []types.TaskID{unknown}}, nil); code != http.StatusOK {
+		t.Errorf("unknown-id wait = %d, want 200", code)
+	}
+}

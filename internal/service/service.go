@@ -67,6 +67,22 @@ type Config struct {
 	// trailing lifecycle events a disconnected SSE subscriber can
 	// still resume across via Last-Event-ID (default 1024).
 	EventRing int
+	// EventIdleTTL bounds how long a user's event replay ring may sit
+	// idle with no attached subscribers before it is evicted (resume
+	// past an eviction returns 410 Gone). Default 15 minutes;
+	// negative disables eviction.
+	EventIdleTTL time.Duration
+	// DispatchLease is the base lease granted to every dispatched
+	// task (plus the task's own Walltime): tasks producing neither a
+	// running signal nor a result within the lease are reclaimed —
+	// re-routed, requeued, or landed as TaskLost. Default
+	// 4 × HeartbeatMisses × HeartbeatPeriod.
+	DispatchLease time.Duration
+	// DefaultMaxRetries is the per-task redelivery budget applied when
+	// neither the submission nor its group sets one (default 5): a
+	// task reclaimed more than its budget lands as TaskLost so its
+	// caller's future resolves instead of hanging.
+	DefaultMaxRetries int
 }
 
 // ErrPayloadTooLarge is returned for inputs beyond MaxPayloadSize;
@@ -116,6 +132,8 @@ type Service struct {
 	submitted int64
 	memoHits  int64
 	rerouted  int64
+	retried   int64
+	lost      int64
 }
 
 // inflightTask is the service-side record of one accepted task.
@@ -148,13 +166,22 @@ func New(cfg Config) *Service {
 	if cfg.EventRing <= 0 {
 		cfg.EventRing = 1024
 	}
+	if cfg.EventIdleTTL == 0 {
+		cfg.EventIdleTTL = 15 * time.Minute
+	}
+	if cfg.DispatchLease <= 0 {
+		cfg.DispatchLease = 4 * time.Duration(cfg.HeartbeatMisses) * cfg.HeartbeatPeriod
+	}
+	if cfg.DefaultMaxRetries <= 0 {
+		cfg.DefaultMaxRetries = 5
+	}
 	s := &Service{
 		cfg:        cfg,
 		Authority:  auth.NewAuthority(),
 		Registry:   registry.New(),
 		Store:      store.New(),
 		Memo:       memo.NewCache(cfg.MemoSize),
-		Events:     events.New(events.Config{Ring: cfg.EventRing}),
+		Events:     events.New(events.Config{Ring: cfg.EventRing, IdleTTL: cfg.EventIdleTTL}),
 		forwarders: make(map[types.EndpointID]*forwarder.Forwarder),
 		inflight:   make(map[types.TaskID]inflightTask),
 	}
@@ -174,8 +201,30 @@ func New(cfg Config) *Service {
 	})
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	go s.Elastic.Run(s.ctx)
+	if cfg.EventIdleTTL > 0 {
+		go s.evictIdleEventStreams()
+	}
 	s.Store.StartJanitor(time.Second)
 	return s
+}
+
+// evictIdleEventStreams periodically drops per-user event replay rings
+// that have sat idle past EventIdleTTL with no attached subscribers,
+// so the bus does not accumulate one ring per user for the process
+// lifetime. A subscriber resuming past an eviction gets 410 Gone and
+// reconciles via POST /v1/tasks/wait, exactly like a ring overrun.
+func (s *Service) evictIdleEventStreams() {
+	interval := max(s.cfg.EventIdleTTL/4, time.Second)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.Events.EvictIdle()
+		case <-s.ctx.Done():
+			return
+		}
+	}
 }
 
 // Close stops every forwarder and the store janitor.
@@ -232,11 +281,14 @@ func (s *Service) RegisterEndpoint(owner types.UserID, name, description string,
 		ResultTTL:       0, // purge is driven by retrieval below
 		HeartbeatPeriod: s.cfg.HeartbeatPeriod,
 		HeartbeatMisses: s.cfg.HeartbeatMisses,
+		DispatchLease:   s.cfg.DispatchLease,
 		Auth:            s.verifyEndpointToken,
 		Lat:             s.cfg.ForwarderLat,
 		OnResult:        s.onResult,
 		OnDispatched:    s.onDispatched,
+		OnRunning:       func(id types.TaskID) { s.onRunning(id, ep.ID) },
 		OnOrphaned:      s.failover,
+		OnReclaim:       s.reclaim,
 	})
 	if err := fwd.Start(s.ctx); err != nil {
 		return nil, "", "", "", err
@@ -307,12 +359,23 @@ func (s *Service) CreateGroup(owner types.UserID, name, policy string, public bo
 // the fleet autoscaling controller, which will push scaling advice to
 // member endpoints from the first evaluation after creation.
 func (s *Service) CreateGroupElastic(owner types.UserID, name, policy string, public bool, members []types.GroupMember, spec *types.ElasticSpec) (*types.EndpointGroup, error) {
+	return s.CreateGroupFull(owner, name, policy, public, members, spec, 0)
+}
+
+// CreateGroupFull is CreateGroupElastic plus the group's per-task
+// retry budget: tasks placed through the group that do not set their
+// own MaxRetries are redelivered at most retryBudget times before
+// landing as TaskLost (0 = the service default).
+func (s *Service) CreateGroupFull(owner types.UserID, name, policy string, public bool, members []types.GroupMember, spec *types.ElasticSpec, retryBudget int) (*types.EndpointGroup, error) {
 	p, err := router.ParsePolicy(policy)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
 	}
 	if len(members) == 0 {
 		return nil, fmt.Errorf("%w: group needs at least one member endpoint", ErrInvalidRequest)
+	}
+	if retryBudget < 0 {
+		return nil, fmt.Errorf("%w: negative retry budget", ErrInvalidRequest)
 	}
 	if spec != nil {
 		normalized, err := elastic.ParseSpec(*spec)
@@ -324,7 +387,7 @@ func (s *Service) CreateGroupElastic(owner types.UserID, name, policy string, pu
 		}
 		spec = &normalized
 	}
-	return s.Registry.RegisterGroupElastic(owner, name, string(p), public, members, spec)
+	return s.Registry.RegisterGroupFull(owner, name, string(p), public, members, spec, retryBudget)
 }
 
 // GroupElasticity reports a group's elasticity state: the group record
@@ -461,10 +524,14 @@ func (s *Service) failover(task *types.Task) bool {
 // --- task lifecycle ---
 
 // taskStatusHash and resultHash name the Redis-style hashsets.
+// ownersHash records each accepted task's owner for the lifetime of
+// its record, so retrieval surfaces can enforce per-user access even
+// after the inflight entry is consumed (memo hits retire instantly).
 const (
 	tasksHash   = "tasks"
 	statusHash  = "status"
 	resultsHash = "results"
+	ownersHash  = "owners"
 )
 
 // Submission is one task submission: a function invocation bound for
@@ -479,6 +546,17 @@ type Submission struct {
 	Payload    []byte
 	Memoize    bool
 	BatchN     int
+	// Walltime is the expected execution duration; it extends the
+	// dispatch lease so long tasks are not reclaimed mid-execution.
+	Walltime time.Duration
+	// MaxRetries bounds service-side redeliveries (0 = group budget,
+	// else the service default); exhaustion lands the task as
+	// TaskLost.
+	MaxRetries int
+	// AtMostOnce opts the task out of redelivery entirely: agent loss
+	// or lease expiry fails it fast as TaskLost instead of re-running
+	// a possibly non-idempotent function.
+	AtMostOnce bool
 }
 
 // Submit validates, stores, and enqueues one task, returning its id
@@ -570,6 +648,12 @@ func (s *Service) prepare(owner types.UserID, sub Submission) (*preparedSubmissi
 		return nil, fmt.Errorf("%w: payload %d bytes exceeds the %d-byte service limit; stage large data out of band (§4.6)",
 			ErrPayloadTooLarge, len(sub.Payload), s.cfg.MaxPayloadSize)
 	}
+	if sub.Walltime < 0 {
+		return nil, fmt.Errorf("%w: negative walltime", ErrInvalidRequest)
+	}
+	if sub.MaxRetries < 0 {
+		return nil, fmt.Errorf("%w: negative retry budget", ErrInvalidRequest)
+	}
 	fn, err := s.Registry.AuthorizeInvocation(owner, sub.FunctionID)
 	if err != nil {
 		return nil, err
@@ -638,6 +722,7 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 			// route the terminal event to the owner.
 			s.inflight[id] = inflightTask{owner: owner, endpoint: epID, ts: cached.Timing.TS}
 			s.mu.Unlock()
+			s.Store.Hash(ownersHash).Set(string(id), []byte(owner))
 			s.Store.Hash(statusHash).Set(string(id), []byte(types.TaskSuccess))
 			s.Store.Hash(resultsHash).Set(string(id), wire.EncodeResult(&cached))
 			return id, epID, true, nil
@@ -667,6 +752,9 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 		BodyHash:   fn.BodyHash,
 		Memoize:    sub.Memoize,
 		BatchN:     sub.BatchN,
+		Walltime:   sub.Walltime,
+		MaxRetries: sub.MaxRetries,
+		AtMostOnce: sub.AtMostOnce,
 		Attempt:    1,
 		Submitted:  start,
 	}
@@ -683,6 +771,7 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 	s.inflight[task.ID] = inflightTask{owner: owner, endpoint: epID, ts: ts}
 	s.submitted++
 	s.mu.Unlock()
+	s.Store.Hash(ownersHash).Set(string(task.ID), []byte(owner))
 	s.Store.Hash(tasksHash).Set(string(task.ID), data)
 	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskQueued))
 	// Published before the enqueue: the instant the task is poppable
@@ -698,6 +787,7 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 		delete(s.inflight, task.ID)
 		s.submitted--
 		s.mu.Unlock()
+		s.Store.Hash(ownersHash).Del(string(task.ID))
 		return "", "", false, fmt.Errorf("service: enqueue: %w", err)
 	}
 	return task.ID, epID, false, nil
@@ -714,12 +804,14 @@ func (s *Service) onResult(res *types.Result) {
 	}
 	s.mu.Unlock()
 
-	status := types.TaskSuccess
-	if res.Failed() {
-		status = types.TaskFailed
-	}
+	status := terminalStatusOf(res)
 	s.statusMu.Lock()
-	s.Store.Hash(statusHash).Set(string(res.TaskID), []byte(status))
+	// Never regress a landed terminal status: a late result from a
+	// past attempt (or from an agent whose task was already reclaimed
+	// as lost) must not flip the record.
+	if st, ok := s.Store.Hash(statusHash).Get(string(res.TaskID)); !ok || !types.TaskStatus(st).Terminal() {
+		s.Store.Hash(statusHash).Set(string(res.TaskID), []byte(status))
+	}
 	s.statusMu.Unlock()
 
 	// Feed the memoization cache when the task opted in.
@@ -736,7 +828,12 @@ func (s *Service) onResult(res *types.Result) {
 // fast completions).
 func (s *Service) onDispatched(task *types.Task) {
 	s.statusMu.Lock()
-	if st, ok := s.Store.Hash(statusHash).Get(string(task.ID)); ok && types.TaskStatus(st).Terminal() {
+	// Skip when terminal, and also when already running: the running
+	// signal can outrace this notification (different path), and a
+	// dispatched event published after running would break the
+	// per-task stream order.
+	if st, ok := s.Store.Hash(statusHash).Get(string(task.ID)); ok &&
+		(types.TaskStatus(st).Terminal() || types.TaskStatus(st) == types.TaskRunning) {
 		s.statusMu.Unlock()
 		return
 	}
@@ -762,6 +859,159 @@ func (s *Service) onDispatched(task *types.Task) {
 	s.statusMu.Unlock()
 }
 
+// terminalStatusOf maps a stored result to the terminal status it
+// retires its task with.
+func terminalStatusOf(res *types.Result) types.TaskStatus {
+	switch {
+	case res.Lost:
+		return types.TaskLost
+	case res.Failed():
+		return types.TaskFailed
+	default:
+		return types.TaskSuccess
+	}
+}
+
+// onRunning runs in the forwarder when the agent relays a worker's
+// execution-start signal: it advances the lifecycle status to running
+// and publishes the TaskRunning event. The signal races the dispatch
+// notification (it travels a different path), so a running that
+// arrives while the record still says queued first publishes the
+// dispatched transition it proves happened — the per-task stream
+// order queued ≤ dispatched ≤ running ≤ terminal always holds.
+func (s *Service) onRunning(id types.TaskID, epID types.EndpointID) {
+	s.statusMu.Lock()
+	defer s.statusMu.Unlock()
+	st, ok := s.Store.Hash(statusHash).Get(string(id))
+	if !ok || types.TaskStatus(st).Terminal() {
+		return
+	}
+	// Drop stale signals from an endpoint the task has already left
+	// (reclaim/failover re-homed it while the old worker spun up).
+	s.mu.Lock()
+	info, tracked := s.inflight[id]
+	s.mu.Unlock()
+	if !tracked || info.endpoint != epID {
+		return
+	}
+	if types.TaskStatus(st) == types.TaskQueued {
+		s.Store.Hash(statusHash).Set(string(id), []byte(types.TaskDispatched))
+		s.Events.Publish(info.owner, types.TaskEvent{
+			TaskID: id, Status: types.TaskDispatched, EndpointID: epID, Time: time.Now(),
+		})
+	}
+	s.Store.Hash(statusHash).Set(string(id), []byte(types.TaskRunning))
+	s.Events.Publish(info.owner, types.TaskEvent{
+		TaskID: id, Status: types.TaskRunning, EndpointID: epID, Time: time.Now(),
+	})
+}
+
+// reclaim is the forwarder's OnReclaim hook: a dispatched task's
+// delivery is presumed failed (lease expired, or the agent vanished
+// with it in flight). At-most-once tasks are never redelivered — they
+// land as TaskLost immediately. Otherwise the attempt counter bumps
+// against the task's retry budget (its own MaxRetries, else its
+// group's RetryBudget, else the service default); exhaustion lands
+// the task as TaskLost, group tasks re-route through the failover
+// path, and direct tasks requeue on their own endpoint with the
+// bumped attempt. Returning true tells the forwarder the service owns
+// the task now; false falls back to the forwarder's local requeue.
+func (s *Service) reclaim(task *types.Task, reason string) bool {
+	if s.ctx.Err() != nil {
+		return false
+	}
+	// Already retired (the result landed concurrently with the
+	// reclaim): nothing to recover, drop the stale receipt.
+	if st, ok := s.Store.Hash(statusHash).Get(string(task.ID)); ok && types.TaskStatus(st).Terminal() {
+		return true
+	}
+	if task.AtMostOnce {
+		s.lose(task, fmt.Sprintf("at-most-once task not redelivered after %s (attempt %d)", reason, task.Attempt))
+		return true
+	}
+	if task.Attempt > s.retryBudget(task) {
+		s.lose(task, fmt.Sprintf("retry budget exhausted after %s (attempt %d of %d redeliveries allowed)",
+			reason, task.Attempt, s.retryBudget(task)))
+		return true
+	}
+	task.Attempt++
+	s.mu.Lock()
+	s.retried++
+	s.mu.Unlock()
+	if task.GroupID != "" && s.failover(task) {
+		return true
+	}
+	// Direct task — or a group task with no healthy alternative right
+	// now: requeue on its own endpoint with the bumped attempt, to be
+	// redelivered when the agent is (back) up. The write order mirrors
+	// failover: record and queued status land under statusMu before
+	// the enqueue, re-checking that no terminal result slipped in.
+	data := wire.EncodeTask(task)
+	s.statusMu.Lock()
+	if st, ok := s.Store.Hash(statusHash).Get(string(task.ID)); ok && types.TaskStatus(st).Terminal() {
+		s.statusMu.Unlock()
+		return true
+	}
+	s.Store.Hash(tasksHash).Set(string(task.ID), data)
+	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskQueued))
+	s.Events.Publish(task.Owner, types.TaskEvent{
+		TaskID: task.ID, Status: types.TaskQueued, EndpointID: task.EndpointID, Time: time.Now(),
+	})
+	s.statusMu.Unlock()
+	if err := s.Store.Queue(store.TaskQueueName(string(task.EndpointID))).Push(data); err != nil {
+		return false
+	}
+	return true
+}
+
+// retryBudget resolves a task's effective redelivery budget.
+func (s *Service) retryBudget(task *types.Task) int {
+	if task.MaxRetries > 0 {
+		return task.MaxRetries
+	}
+	if task.GroupID != "" {
+		if g, err := s.Registry.Group(task.GroupID); err == nil && g.RetryBudget > 0 {
+			return g.RetryBudget
+		}
+	}
+	return s.cfg.DefaultMaxRetries
+}
+
+// lose retires a task as TaskLost: the delivery layer gave up on it.
+// A synthetic Lost result is stored through the normal results hash,
+// so the terminal event publishes, waiters wake, and the caller's
+// future resolves with a typed error instead of hanging forever.
+func (s *Service) lose(task *types.Task, why string) {
+	s.statusMu.Lock()
+	if st, ok := s.Store.Hash(statusHash).Get(string(task.ID)); ok && types.TaskStatus(st).Terminal() {
+		s.statusMu.Unlock()
+		return
+	}
+	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskLost))
+	s.statusMu.Unlock()
+	s.mu.Lock()
+	s.lost++
+	_, pending := s.inflight[task.ID]
+	s.mu.Unlock()
+	// A real result racing this give-up may have stored and published
+	// between the status write above and here (it consumed the
+	// inflight entry). Writing the synthetic result then would
+	// overwrite genuine output after its terminal event already went
+	// out — skip it; the stored real result stands.
+	if !pending {
+		return
+	}
+	res := &types.Result{
+		TaskID:    task.ID,
+		Err:       fmt.Sprintf(`{"message":%q,"task_id":%q}`, "task lost: "+why, task.ID),
+		Lost:      true,
+		Completed: time.Now(),
+	}
+	// The result write is outside statusMu: the hash watch
+	// (onResultStored) re-acquires it to publish the terminal event.
+	s.Store.Hash(resultsHash).Set(string(task.ID), wire.EncodeResult(res))
+}
+
 // onResultStored is the results-hash completion hook: it fires once
 // per stored result (forwarder path and memo path alike), consumes
 // the task's inflight entry, and publishes the terminal event — which
@@ -781,13 +1031,18 @@ func (s *Service) onResultStored(field string, value []byte) {
 		return
 	}
 	status := types.TaskSuccess
-	if res, err := wire.DecodeResult(value); err == nil && res.Failed() {
-		status = types.TaskFailed
+	if res, err := wire.DecodeResult(value); err == nil {
+		status = terminalStatusOf(res)
 	}
 	// Ensure the status record is terminal even when the result was
-	// written without passing through onResult.
+	// written without passing through onResult — and when a terminal
+	// status already landed (e.g. the delivery layer gave the task up
+	// as lost just as its real result arrived), that first terminal
+	// wins: the published event must agree with the record.
 	s.statusMu.Lock()
-	if st, ok := s.Store.Hash(statusHash).Get(field); !ok || !types.TaskStatus(st).Terminal() {
+	if st, ok := s.Store.Hash(statusHash).Get(field); ok && types.TaskStatus(st).Terminal() {
+		status = types.TaskStatus(st)
+	} else {
 		s.Store.Hash(statusHash).Set(field, []byte(status))
 	}
 	s.statusMu.Unlock()
@@ -814,6 +1069,48 @@ func (s *Service) Result(id types.TaskID, wait time.Duration) (*types.Result, er
 		return nil, nil // not ready
 	}
 	return done[0], nil
+}
+
+// ResultFor is Result with per-user access control: when actor is
+// non-empty, a task owned by a different user is reported as not
+// found — holding a task's capability UUID no longer grants access to
+// its output, matching the event stream's strict per-user model. The
+// HTTP retrieval surfaces call this; trusted in-process callers use
+// Result directly.
+func (s *Service) ResultFor(actor types.UserID, id types.TaskID, wait time.Duration) (*types.Result, error) {
+	if err := s.checkOwnership(actor, id); err != nil {
+		return nil, err
+	}
+	return s.Result(id, wait)
+}
+
+// WaitTasksFor is WaitTasks with per-user access control: when actor
+// is non-empty and any requested id belongs to a different user, the
+// whole request is rejected as not found before anything is waited on
+// or purged.
+func (s *Service) WaitTasksFor(ctx context.Context, actor types.UserID, ids []types.TaskID, wait time.Duration) ([]*types.Result, []types.TaskID, error) {
+	for _, id := range ids {
+		if err := s.checkOwnership(actor, id); err != nil {
+			return nil, nil, err
+		}
+	}
+	done, pending := s.WaitTasks(ctx, ids, wait)
+	return done, pending, nil
+}
+
+// checkOwnership rejects a task id recorded as owned by someone other
+// than actor. Ids with no owner record (never submitted, or already
+// retrieved and purged) pass through: they behave exactly like
+// unknown tasks on every surface, so rejecting them would leak
+// existence and break retry-after-retrieval flows.
+func (s *Service) checkOwnership(actor types.UserID, id types.TaskID) error {
+	if actor == "" {
+		return nil
+	}
+	if o, ok := s.Store.Hash(ownersHash).Get(string(id)); ok && types.UserID(o) != actor {
+		return fmt.Errorf("%w: task %s", registry.ErrNotFound, id)
+	}
+	return nil
 }
 
 // WaitTasks blocks up to wait for any of ids to complete, returning
@@ -917,11 +1214,15 @@ func (s *Service) purgeAfterRead(id types.TaskID) {
 		if b, ok := s.Store.Hash(resultsHash).Get(string(id)); ok {
 			s.Store.Hash(resultsHash).SetTTL(string(id), b, s.cfg.ResultTTL)
 			s.Store.Hash(tasksHash).SetTTL(string(id), nil, s.cfg.ResultTTL)
+			if o, ok := s.Store.Hash(ownersHash).Get(string(id)); ok {
+				s.Store.Hash(ownersHash).SetTTL(string(id), o, s.cfg.ResultTTL)
+			}
 		}
 		return
 	}
 	s.Store.Hash(resultsHash).Del(string(id))
 	s.Store.Hash(tasksHash).Del(string(id))
+	s.Store.Hash(ownersHash).Del(string(id))
 }
 
 // Stats returns cumulative counters: submitted tasks and memo hits.
@@ -937,6 +1238,15 @@ func (s *Service) Rerouted() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.rerouted
+}
+
+// DeliveryStats returns cumulative delivery-layer counters: how many
+// dispatched tasks were redelivered after a reclaim, and how many
+// were retired as TaskLost.
+func (s *Service) DeliveryStats() (retried, lost int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retried, s.lost
 }
 
 // EndpointStatus reports the forwarder's view of an endpoint.

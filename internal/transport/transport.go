@@ -61,6 +61,10 @@ const (
 	// controller to an endpoint agent, piggybacked on the forwarder's
 	// heartbeat cycle.
 	MsgAdvice
+	// MsgRunning signals that a worker has begun executing a task,
+	// relayed manager → agent → forwarder so the service can emit the
+	// TaskRunning lifecycle event and extend the task's dispatch lease.
+	MsgRunning
 )
 
 // String returns the protocol name of the message type.
@@ -90,6 +94,8 @@ func (t MsgType) String() string {
 		return "STATUS"
 	case MsgAdvice:
 		return "ADVICE"
+	case MsgRunning:
+		return "RUNNING"
 	default:
 		return fmt.Sprintf("MSG(%d)", uint8(t))
 	}

@@ -103,20 +103,27 @@ const (
 	// TaskFailed means execution raised an error; the serialized error
 	// is stored in place of a result.
 	TaskFailed TaskStatus = "failed"
+	// TaskLost means the delivery layer gave up on the task: its retry
+	// budget is exhausted, or it was submitted at-most-once and its
+	// endpoint was lost mid-flight. A synthetic result carrying
+	// Result.Lost is stored so every retrieval surface resolves.
+	TaskLost TaskStatus = "lost"
 )
 
-// Terminal reports whether the status is final (success or failed).
+// Terminal reports whether the status is final (success, failed, or
+// lost).
 func (s TaskStatus) Terminal() bool {
-	return s == TaskSuccess || s == TaskFailed
+	return s == TaskSuccess || s == TaskFailed || s == TaskLost
 }
 
 // TaskEvent is one task lifecycle transition on its owner's event
 // stream: the service publishes an event each time a task is placed
-// on an endpoint queue ("queued", including failover re-placements),
-// shipped to the agent ("dispatched"), and retired ("success" /
-// "failed", carrying the result). "running" is reserved for
-// agent-reported execution starts. Events are delivered over
-// GET /v1/events (SSE) and drive POST /v1/tasks/wait.
+// on an endpoint queue ("queued", including failover and reclaim
+// re-placements), shipped to the agent ("dispatched"), started by a
+// worker ("running", relayed worker → manager → agent → forwarder),
+// and retired ("success" / "failed" / "lost", carrying the result).
+// Events are delivered over GET /v1/events (SSE) and drive
+// POST /v1/tasks/wait.
 type TaskEvent struct {
 	// Seq orders the event on its owner's stream (1-based, assigned
 	// by the event bus). SSE clients resume from the last seq they
@@ -206,6 +213,19 @@ type Task struct {
 	// Attempt counts executions of this task (at-least-once delivery
 	// means it can exceed 1 after failures).
 	Attempt int `json:"attempt,omitempty"`
+	// Walltime is the caller's expected execution duration; it extends
+	// the dispatch lease so a long-running task is not reclaimed as
+	// lost while legitimately executing (0 = lease on heartbeat config
+	// alone).
+	Walltime time.Duration `json:"walltime,omitempty"`
+	// MaxRetries bounds service-side redeliveries after the first
+	// dispatch: a task reclaimed more than MaxRetries times lands as
+	// TaskLost (0 = the service default budget, or the group's).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// AtMostOnce opts the task out of dispatched-task reclamation for
+	// non-idempotent functions: once shipped to an agent it is never
+	// redelivered, and agent loss fails it fast as TaskLost.
+	AtMostOnce bool `json:"at_most_once,omitempty"`
 	// Submitted is when the service accepted the task.
 	Submitted time.Time `json:"submitted,omitzero"`
 }
@@ -226,6 +246,11 @@ type Result struct {
 	// Memoized marks results served from the memo cache without
 	// execution.
 	Memoized bool `json:"memoized,omitempty"`
+	// Lost marks a synthetic result manufactured by the delivery layer
+	// when it gave up on the task (retry budget exhausted, or agent
+	// loss in at-most-once mode). Err carries the explanation; the
+	// task's terminal status is TaskLost rather than TaskFailed.
+	Lost bool `json:"lost,omitempty"`
 }
 
 // Failed reports whether the result carries an execution error.
@@ -347,6 +372,11 @@ type EndpointGroup struct {
 	Public bool `json:"public,omitempty"`
 	// Members are the candidate endpoints, in registration order.
 	Members []GroupMember `json:"members"`
+	// RetryBudget is the group's default per-task redelivery budget:
+	// tasks placed through the group that do not set their own
+	// MaxRetries are reclaimed at most this many times before landing
+	// as TaskLost (0 = the service default).
+	RetryBudget int `json:"retry_budget,omitempty"`
 	// Elastic, when set, opts the group into the service's fleet
 	// autoscaling controller (see internal/elastic).
 	Elastic *ElasticSpec `json:"elastic,omitempty"`

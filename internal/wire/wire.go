@@ -137,6 +137,33 @@ func DecodeAdvice(data []byte) (*types.ScalingAdvice, error) {
 	return &a, nil
 }
 
+// TaskStart is the payload of a MsgRunning frame: the execution-start
+// signal a worker raises the moment it picks a task up, relayed
+// manager → agent → forwarder toward the service.
+type TaskStart struct {
+	TaskID    types.TaskID    `json:"task_id"`
+	WorkerID  types.WorkerID  `json:"worker_id,omitempty"`
+	ManagerID types.ManagerID `json:"manager_id,omitempty"`
+}
+
+// EncodeTaskStart frames an execution-start signal.
+func EncodeTaskStart(s *TaskStart) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshaling task start: %v", err))
+	}
+	return b
+}
+
+// DecodeTaskStart unframes an execution-start signal.
+func DecodeTaskStart(data []byte) (*TaskStart, error) {
+	var s TaskStart
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("wire: decoding task start: %w", err)
+	}
+	return &s, nil
+}
+
 // EncodeEvent frames a task lifecycle event (the SSE data payload of
 // GET /v1/events). json.Marshal emits no raw newlines, so the frame
 // always fits one SSE data line.

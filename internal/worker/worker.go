@@ -28,6 +28,11 @@ type Worker struct {
 	ID        types.WorkerID
 	Container *container.Instance
 
+	// OnStart, when set before Start, is invoked the moment the worker
+	// picks a task up, before execution begins — the source of the
+	// TaskRunning signal the manager relays toward the service.
+	OnStart func(*types.Task)
+
 	rt      *fx.Runtime
 	tasks   chan *types.Task
 	results chan<- Outcome
@@ -116,6 +121,9 @@ func (w *Worker) loop(ctx context.Context) {
 		case t := <-w.tasks:
 			w.busy.Store(true)
 			w.queued.Add(-1)
+			if w.OnStart != nil {
+				w.OnStart(t)
+			}
 			res := w.Execute(ctx, t)
 			w.busy.Store(false)
 			select {
