@@ -8,9 +8,26 @@
 // Usage:
 //
 //	funcx-service -addr 127.0.0.1:8080
+//
+// Sharded deployment: run one process per shard, all loading the SAME
+// ring file and auth key, each naming itself:
+//
+//	funcx-service -addr 10.0.0.1:8080 -shard-id shard-0 -shard-ring ring.json -auth-key <hex>
+//	funcx-service -addr 10.0.0.2:8080 -shard-id shard-1 -shard-ring ring.json -auth-key <hex>
+//
+// where ring.json is a shard ring config, e.g.
+//
+//	{"shards": [{"id": "shard-0", "base_url": "http://10.0.0.1:8080"},
+//	            {"id": "shard-1", "base_url": "http://10.0.0.2:8080"}],
+//	 "seed": 42}
+//
+// Any shard then serves as a front door: requests for keys another
+// shard owns are proxied or redirected by the cross-shard gateway.
 package main
 
 import (
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +39,7 @@ import (
 
 	"funcx/internal/auth"
 	"funcx/internal/service"
+	"funcx/internal/shard"
 	"funcx/internal/types"
 )
 
@@ -32,19 +50,59 @@ func main() {
 		misses    = flag.Int("misses", 3, "heartbeats missed before an endpoint is marked lost")
 		resultTTL = flag.Duration("result-ttl", time.Minute, "retention of retrieved results")
 		operator  = flag.String("operator", "operator", "user id for the minted operator token")
+		shardID   = flag.String("shard-id", "", "this instance's shard id (requires -shard-ring)")
+		ringPath  = flag.String("shard-ring", "", "path to the shared shard-ring JSON config")
+		authKey   = flag.String("auth-key", "", "hex-encoded shared token-signing key (required for sharded deployments)")
+		submitCap = flag.Int("submit-concurrency", 0, "bound on concurrently processed submissions (0 = unlimited)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
-		ForwarderNetwork: "tcp",
-		HeartbeatPeriod:  *heartbeat,
-		HeartbeatMisses:  *misses,
-		ResultTTL:        *resultTTL,
-	})
+	cfg := service.Config{
+		ForwarderNetwork:  "tcp",
+		HeartbeatPeriod:   *heartbeat,
+		HeartbeatMisses:   *misses,
+		ResultTTL:         *resultTTL,
+		SubmitConcurrency: *submitCap,
+	}
+	if (*shardID == "") != (*ringPath == "") {
+		log.Fatal("funcx-service: -shard-id and -shard-ring must be set together")
+	}
+	if *ringPath != "" {
+		data, err := os.ReadFile(*ringPath)
+		if err != nil {
+			log.Fatalf("funcx-service: reading ring config: %v", err)
+		}
+		var ringCfg shard.Config
+		if err := json.Unmarshal(data, &ringCfg); err != nil {
+			log.Fatalf("funcx-service: parsing ring config: %v", err)
+		}
+		dir, err := shard.NewDirectory(ringCfg, shard.ID(*shardID))
+		if err != nil {
+			log.Fatalf("funcx-service: %v", err)
+		}
+		if *authKey == "" {
+			log.Fatal("funcx-service: sharded deployments need -auth-key (the same hex key on every shard)")
+		}
+		cfg.ShardID = shard.ID(*shardID)
+		cfg.Ring = dir
+	}
+	if *authKey != "" {
+		key, err := hex.DecodeString(*authKey)
+		if err != nil {
+			log.Fatalf("funcx-service: -auth-key must be hex: %v", err)
+		}
+		cfg.AuthKey = key
+	}
+
+	svc := service.New(cfg)
 	defer svc.Close()
 
 	token := svc.MintUserToken(types.UserID(*operator), auth.ScopeAll)
 	fmt.Printf("funcx-service listening on http://%s\n", *addr)
+	if cfg.Ring != nil {
+		fmt.Printf("shard %s in a %d-shard ring (any shard is a valid front door)\n",
+			cfg.ShardID, cfg.Ring.N())
+	}
 	fmt.Printf("operator token (%s, all scopes):\n%s\n", *operator, token)
 
 	ln, err := net.Listen("tcp", *addr)

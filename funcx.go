@@ -41,6 +41,7 @@ import (
 	"funcx/internal/router"
 	"funcx/internal/sdk"
 	"funcx/internal/serial"
+	"funcx/internal/shard"
 	"funcx/internal/types"
 )
 
@@ -92,6 +93,29 @@ type FabricConfig = core.FabricConfig
 
 // NewFabric boots a service and its REST listener.
 func NewFabric(cfg FabricConfig) (*Fabric, error) { return core.NewFabric(cfg) }
+
+// ShardedFabric is a running multi-shard federation: N shared-nothing
+// service shards behind one consistent-hash ring, any of which serves
+// as a front door (requests for keys another shard owns are proxied or
+// redirected by the cross-shard gateway).
+type ShardedFabric = core.ShardedFabric
+
+// ShardedFabricConfig parameterizes a multi-shard federation.
+type ShardedFabricConfig = core.ShardedFabricConfig
+
+// NewShardedFabric boots N service shards sharing a ring config and a
+// token-signing key.
+func NewShardedFabric(cfg ShardedFabricConfig) (*ShardedFabric, error) {
+	return core.NewShardedFabric(cfg)
+}
+
+// ShardRingConfig is the seeded consistent-hash ring configuration
+// every shard of a deployment must load identically (see
+// internal/shard).
+type ShardRingConfig = shard.Config
+
+// ShardInfo locates one shard: ring identity plus REST base URL.
+type ShardInfo = shard.Info
 
 // Endpoint is one deployed endpoint: agent, managers, containerized
 // workers.

@@ -19,6 +19,11 @@ type RegisterFunctionRequest struct {
 	Container types.ContainerSpec `json:"container,omitempty"`
 	// SharedWith lists users permitted to invoke ("*" = public).
 	SharedWith []types.UserID `json:"shared_with,omitempty"`
+	// FunctionID is only honored on shard-to-shard replication hops
+	// (requests carrying the gateway's hop header): the origin shard
+	// broadcasts the record it minted so every shard stores the same
+	// id. Client requests setting it are rejected.
+	FunctionID types.FunctionID `json:"function_id,omitempty"`
 }
 
 // RegisterFunctionResponse returns the assigned identifiers.
@@ -105,6 +110,12 @@ type SubmitResponse struct {
 	// Memoized indicates the result was served from cache at submit
 	// time and is immediately available.
 	Memoized bool `json:"memoized,omitempty"`
+	// ShardID/ShardURL name the service shard that owns the task in a
+	// sharded deployment (absent otherwise). The SDK pins the task's
+	// event stream to ShardURL: lifecycle events are published on the
+	// owner shard's bus, not the front door's.
+	ShardID  string `json:"shard_id,omitempty"`
+	ShardURL string `json:"shard_url,omitempty"`
 }
 
 // BatchSubmitRequest submits many tasks at once (POST /v1/tasks/batch).
@@ -245,6 +256,58 @@ type MemberElasticity struct {
 type GroupElasticityResponse struct {
 	Group   types.EndpointGroup `json:"group"`
 	Members []MemberElasticity  `json:"members"`
+}
+
+// EndpointStats is one endpoint's operational counters inside a
+// StatsResponse: the forwarder's live view plus cumulative
+// delivery-layer totals since the service booted.
+type EndpointStats struct {
+	EndpointID types.EndpointID `json:"endpoint_id"`
+	Connected  bool             `json:"connected"`
+	// Queued/Outstanding are the live queue depth and
+	// dispatched-but-unfinished count.
+	Queued      int `json:"queued"`
+	Outstanding int `json:"outstanding"`
+	// Dispatched/Completed/Requeued/Reclaimed are cumulative: tasks
+	// shipped to the agent, results stored, local requeues after
+	// disconnects, and leases reclaimed by the service.
+	Dispatched int64 `json:"dispatched"`
+	Completed  int64 `json:"completed"`
+	Requeued   int64 `json:"requeued"`
+	Reclaimed  int64 `json:"reclaimed"`
+	// ReclaimRate is the decaying reclaim/lost EWMA the router's
+	// lease-aware penalty is derived from (0 = healthy).
+	ReclaimRate float64 `json:"reclaim_rate"`
+}
+
+// StatsResponse is the service's operational counter surface
+// (GET /v1/stats): per-shard and per-endpoint task totals, delivery
+// outcomes, and elasticity activity, as one JSON document. In a
+// sharded deployment each shard reports only itself — poll every
+// shard's /v1/stats for the fleet view.
+type StatsResponse struct {
+	// ShardID identifies the reporting shard ("" when unsharded).
+	ShardID string `json:"shard_id,omitempty"`
+	// Shards is the ring size (0 when unsharded).
+	Shards int `json:"shards,omitempty"`
+	// Task totals.
+	Submitted int64 `json:"submitted"`
+	MemoHits  int64 `json:"memo_hits"`
+	Rerouted  int64 `json:"rerouted"`
+	Retried   int64 `json:"retried"`
+	Lost      int64 `json:"lost"`
+	// Proxied/Redirected count cross-shard gateway hops served by this
+	// shard as the front door.
+	Proxied    int64 `json:"proxied,omitempty"`
+	Redirected int64 `json:"redirected,omitempty"`
+	// ElasticEvaluations counts fleet-autoscaler decision rounds.
+	ElasticEvaluations int64 `json:"elastic_evaluations"`
+	// EventUsers is the number of per-user event streams currently
+	// held by the bus.
+	EventUsers int `json:"event_users"`
+	// Endpoints carries one entry per registered endpoint, ordered by
+	// endpoint id for stable output.
+	Endpoints []EndpointStats `json:"endpoints"`
 }
 
 // ErrorResponse is the uniform error body.

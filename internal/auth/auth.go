@@ -41,6 +41,11 @@ const (
 	ScopeRun Scope = "funcx:run"
 	// ScopeManageEndpoints allows registering and managing endpoints.
 	ScopeManageEndpoints Scope = "funcx:manage_endpoints"
+	// ScopeShardHop marks shard-to-shard gateway hops in a sharded
+	// deployment: hop tokens are minted by each shard for itself,
+	// carry ONLY this scope, and name the shard as their subject.
+	// User-facing surfaces never accept it.
+	ScopeShardHop Scope = "funcx:shard-hop"
 )
 
 // URN renders the scope in the Globus Auth URN form.
@@ -96,13 +101,29 @@ func NewAuthority() *Authority {
 	if _, err := rand.Read(key); err != nil {
 		panic(fmt.Sprintf("auth: reading random key: %v", err))
 	}
+	return NewAuthorityWithKey(key)
+}
+
+// NewAuthorityWithKey creates an authority signing with the given key.
+// Sharded deployments give every shard the same key — the stand-in for
+// one external Globus Auth federation — so a token minted by any shard
+// verifies on all of them, while revocation lists and native-client
+// tables stay per-shard. The key must be at least 16 bytes.
+func NewAuthorityWithKey(key []byte) *Authority {
+	if len(key) < 16 {
+		panic(fmt.Sprintf("auth: signing key of %d bytes is too short", len(key)))
+	}
 	return &Authority{
-		key:     key,
+		key:     append([]byte(nil), key...),
 		revoked: make(map[string]struct{}),
 		clients: make(map[string]string),
 		now:     time.Now,
 	}
 }
+
+// Key returns the signing key, so a fabric can hand the same key to
+// every shard it boots.
+func (a *Authority) Key() []byte { return append([]byte(nil), a.key...) }
 
 // SetClock overrides the time source (tests only).
 func (a *Authority) SetClock(now func() time.Time) { a.now = now }

@@ -57,12 +57,18 @@ type Fabric struct {
 
 // NewFabric boots the service and its REST listener.
 func NewFabric(cfg FabricConfig) (*Fabric, error) {
-	svc := service.New(cfg.Service)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		svc.Close()
 		return nil, fmt.Errorf("core: listen: %w", err)
 	}
+	return newFabricOn(ln, cfg), nil
+}
+
+// newFabricOn boots a service behind an already-bound listener — the
+// seam the sharded fabric needs, since every shard's URL must be in
+// the ring config before any shard's service exists.
+func newFabricOn(ln net.Listener, cfg FabricConfig) *Fabric {
+	svc := service.New(cfg.Service)
 	srv := &http.Server{Handler: svc}
 	f := &Fabric{
 		Service:   svc,
@@ -73,7 +79,7 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 		endpoints: make(map[types.EndpointID]*Endpoint),
 	}
 	go srv.Serve(ln) //nolint:errcheck // exits on Close
-	return f, nil
+	return f
 }
 
 // Close tears the whole federation down.
@@ -90,6 +96,13 @@ func (f *Fabric) Close() {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	f.httpSrv.Shutdown(ctx) //nolint:errcheck
+	// Shutdown can leave connections attached that never returned to
+	// idle within the grace period (SSE streams, lingering keep-alive
+	// conns). Force-close them: after Close returns, NO request may
+	// reach this dead instance — critical for sharded kill/restart,
+	// where a client reusing a pooled connection must hit the NEW
+	// instance bound to this address, not a zombie registry.
+	f.httpSrv.Close() //nolint:errcheck
 	f.Service.Close()
 }
 

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"funcx/internal/api"
+	"funcx/internal/fx"
+	"funcx/internal/sdk"
+	"funcx/internal/serial"
+	"funcx/internal/service"
+	"funcx/internal/shard"
+	"funcx/internal/types"
+)
+
+// bootShardIsland provisions shard i of a sharded fabric with one
+// endpoint and one group, returning the group. The endpoint and group
+// are created through shard i directly (registration is an
+// administrative act on the owning shard); task traffic in the tests
+// deliberately enters elsewhere.
+func bootShardIsland(t *testing.T, sf *ShardedFabric, i int) *types.EndpointGroup {
+	t.Helper()
+	fab := sf.Shard(i)
+	ep, err := fab.AddEndpoint(EndpointOptions{
+		Name: fmt.Sprintf("sh%d-ep", i), Owner: "tester",
+		Managers: 1, WorkersPerManager: 2, PrewarmWorkers: 2,
+	})
+	if err != nil {
+		t.Fatalf("shard %d endpoint: %v", i, err)
+	}
+	if err := ep.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatalf("shard %d workers: %v", i, err)
+	}
+	g, err := fab.GroupOf("tester", fmt.Sprintf("sh%d-group", i), "least-outstanding", ep)
+	if err != nil {
+		t.Fatalf("shard %d group: %v", i, err)
+	}
+	return g
+}
+
+// Every request entering through a non-owner shard must be transparently
+// proxied (submits, waits, results) or redirected (status surfaces) to
+// the owner, resolve correctly, and trip the gateway counters.
+func TestShardedFabricCrossShardFrontDoor(t *testing.T) {
+	sf, err := NewShardedFabric(ShardedFabricConfig{
+		Shards:  3,
+		Service: service.Config{HeartbeatPeriod: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+
+	groups := make([]*types.EndpointGroup, 3)
+	for i := range groups {
+		groups[i] = bootShardIsland(t, sf, i)
+	}
+
+	ctx := context.Background()
+	// Function registered once, via shard 0: replication must make it
+	// resolvable on every shard.
+	reg := sf.ClientVia(0, "tester")
+	defer reg.Close()
+	fnID, err := reg.RegisterFunction(ctx, "echo", fx.BodyEcho, types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, g := range groups {
+		owner := sf.OwnerIndex(shard.GroupKey(g.ID))
+		front := (owner + 1) % sf.N() // deliberately a non-owner front door
+		client := sf.ClientVia(front, "tester")
+		payload, _ := serial.Serialize(fmt.Sprintf("hello-%d", i))
+		fut, err := client.SubmitFuture(ctx, sdk.SubmitSpec{Function: fnID, Group: g.ID, Payload: payload})
+		if err != nil {
+			client.Close()
+			t.Fatalf("group %d via shard %d: %v", i, front, err)
+		}
+		getCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		res, err := fut.Get(getCtx)
+		cancel()
+		if err != nil || res.Err != nil {
+			client.Close()
+			t.Fatalf("group %d future: %v / %v", i, err, res)
+		}
+		var out string
+		if _, err := res.Value(&out); err != nil || out != fmt.Sprintf("hello-%d", i) {
+			client.Close()
+			t.Fatalf("group %d output %q err %v", i, out, err)
+		}
+
+		// Status surface through the same wrong door: the SDK follows
+		// the 307 to the owner shard.
+		if _, _, err := client.GroupStatus(ctx, g.ID); err != nil {
+			client.Close()
+			t.Fatalf("group %d status via non-owner: %v", i, err)
+		}
+		// The front door must have proxied and/or redirected.
+		st, err := client.Stats(ctx)
+		if err != nil {
+			client.Close()
+			t.Fatalf("stats: %v", err)
+		}
+		if st.ShardID == "" || st.Shards != 3 {
+			t.Fatalf("stats missing shard identity: %+v", st)
+		}
+		if st.Proxied == 0 && st.Redirected == 0 {
+			t.Fatalf("front door shard %d reports no gateway activity", front)
+		}
+		client.Close()
+	}
+}
+
+// Cross-shard batch submissions scatter to their owner shards and the
+// merged ids must come back in submission order and all resolve.
+func TestShardedFabricScatterGatherBatch(t *testing.T) {
+	sf, err := NewShardedFabric(ShardedFabricConfig{
+		Shards:  3,
+		Service: service.Config{HeartbeatPeriod: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	groups := make([]*types.EndpointGroup, 3)
+	for i := range groups {
+		groups[i] = bootShardIsland(t, sf, i)
+	}
+	ctx := context.Background()
+	client := sf.ClientVia(0, "tester")
+	defer client.Close()
+	fnID, err := client.RegisterFunction(ctx, "echo", fx.BodyEcho, types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interleave targets across all three shards in one batch.
+	const perGroup = 4
+	var reqs []api.SubmitRequest
+	for j := 0; j < perGroup; j++ {
+		for _, g := range groups {
+			payload, _ := serial.Serialize(fmt.Sprintf("item-%d", len(reqs)))
+			reqs = append(reqs, api.SubmitRequest{FunctionID: fnID, GroupID: g.ID, Payload: payload})
+		}
+	}
+	ids, err := client.RunBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("cross-shard batch: %v", err)
+	}
+	if len(ids) != len(reqs) {
+		t.Fatalf("got %d ids for %d tasks", len(ids), len(reqs))
+	}
+	// Every id must be owned by its target group's shard (aligned
+	// minting), and all must resolve through the front door's
+	// scatter-gather wait.
+	for i, id := range ids {
+		wantShard := sf.OwnerIndex(shard.GroupKey(reqs[i].GroupID))
+		if got := sf.OwnerIndex(shard.TaskKey(id)); got != wantShard {
+			t.Fatalf("task %d minted on shard %d, target group lives on %d", i, got, wantShard)
+		}
+	}
+	results, err := client.GetResults(ctx, ids)
+	if err != nil {
+		t.Fatalf("gather: %v", err)
+	}
+	for i, res := range results {
+		if res == nil || res.Err != nil {
+			t.Fatalf("task %d: %+v", i, res)
+		}
+		var out string
+		if _, err := res.Value(&out); err != nil || out != fmt.Sprintf("item-%d", i) {
+			t.Fatalf("task %d output %q (order lost?): %v", i, out, err)
+		}
+	}
+}
+
+// Killing and restarting a shard must leave the other shards and their
+// tasks untouched, and the restarted shard (re-provisioned, same ring
+// identity) must serve traffic again through any front door.
+func TestShardedFabricKillRestart(t *testing.T) {
+	sf, err := NewShardedFabric(ShardedFabricConfig{
+		Shards:  3,
+		Service: service.Config{HeartbeatPeriod: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	groups := make([]*types.EndpointGroup, 3)
+	for i := range groups {
+		groups[i] = bootShardIsland(t, sf, i)
+	}
+	ctx := context.Background()
+	client := sf.ClientVia(1, "tester")
+	defer client.Close()
+	fnID, err := client.RegisterFunction(ctx, "echo", fx.BodyEcho, types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := sf.OwnerIndex(shard.GroupKey(groups[0].ID))
+	if err := sf.KillShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Surviving groups still serve through a surviving front door.
+	for i, g := range groups {
+		if sf.OwnerIndex(shard.GroupKey(g.ID)) == victim {
+			continue
+		}
+		owner := sf.OwnerIndex(shard.GroupKey(g.ID))
+		front := owner
+		for f := 0; f < sf.N(); f++ {
+			if f != owner && f != victim {
+				front = f
+				break
+			}
+		}
+		c := sf.ClientVia(front, "tester")
+		payload, _ := serial.Serialize(fmt.Sprintf("alive-%d", i))
+		fut, err := c.SubmitFuture(ctx, sdk.SubmitSpec{Function: fnID, Group: g.ID, Payload: payload})
+		if err != nil {
+			c.Close()
+			t.Fatalf("survivor group %d: %v", i, err)
+		}
+		getCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		res, err := fut.Get(getCtx)
+		cancel()
+		c.Close()
+		if err != nil || res.Err != nil {
+			t.Fatalf("survivor group %d future: %v / %+v", i, err, res)
+		}
+	}
+
+	// Restart and re-provision the victim: same ring identity, fresh
+	// state (shared nothing).
+	if _, err := sf.RestartShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	newGroup := bootShardIsland(t, sf, victim)
+	if got := sf.OwnerIndex(shard.GroupKey(newGroup.ID)); got != victim {
+		t.Fatalf("restarted shard minted a group owned by shard %d (ring determinism broken)", got)
+	}
+	// Function must be re-registered (the restarted shard lost its
+	// replica); the broadcast refreshes every shard.
+	fnID2, err := client.RegisterFunction(ctx, "echo", fx.BodyEcho, types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := (victim + 1) % sf.N()
+	c := sf.ClientVia(front, "tester")
+	defer c.Close()
+	payload, _ := serial.Serialize("back")
+	fut, err := c.SubmitFuture(ctx, sdk.SubmitSpec{Function: fnID2, Group: newGroup.ID, Payload: payload})
+	if err != nil {
+		t.Fatalf("restarted shard via front door %d: %v", front, err)
+	}
+	getCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	res, err := fut.Get(getCtx)
+	cancel()
+	if err != nil || res.Err != nil {
+		t.Fatalf("restarted shard future: %v / %+v", err, res)
+	}
+	var out string
+	if _, err := res.Value(&out); err != nil || out != "back" {
+		t.Fatalf("restarted shard output %q: %v", out, err)
+	}
+}

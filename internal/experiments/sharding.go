@@ -1,0 +1,439 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"funcx/internal/core"
+	"funcx/internal/fx"
+	"funcx/internal/metrics"
+	"funcx/internal/netlat"
+	"funcx/internal/sdk"
+	"funcx/internal/serial"
+	"funcx/internal/service"
+	"funcx/internal/shard"
+	"funcx/internal/types"
+)
+
+func init() { register("sharding", Sharding) }
+
+// Sharding measures cross-service sharding (the journal paper's
+// horizontally scaled web tier, 2209.11631): a consistent-hash ring
+// assigns ownership of groups, users, and endpoints to N shared-nothing
+// service shards, and a cross-shard gateway makes every shard a valid
+// front door.
+//
+// Part 1 (correctness): a 3-shard fabric serves three disjoint groups
+// with every client deliberately entering through a NON-owner shard, so
+// every submission is proxied and every status read redirected. One
+// shard is then killed and restarted (same ring identity, fresh state)
+// and a second wave runs. Zero task loss is required across both waves.
+//
+// Part 2 (throughput): each service instance models a fixed web-worker
+// pool (SubmitConcurrency) behind Globus-Auth introspection latency —
+// the per-instance capacity that makes horizontal scaling pay off.
+// Aggregate submit throughput is compared across one instance, three
+// shards with shard-aware entry (clients hit the owner, as a
+// ring-aware load balancer would), and three shards with blind
+// non-owner entry (every submission pays a proxy hop).
+func Sharding(opts Options) error {
+	serveTasks, tputTasks := 60, 576
+	if opts.Quick {
+		serveTasks, tputTasks = 30, 192
+	}
+
+	serve, err := shardingServe(opts, serveTasks)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable("phase", "tasks", "completed", "lost", "proxied", "redirected", "wall (s)")
+	for _, w := range serve.waves {
+		tbl.AddRow(w.name, fmt.Sprint(w.tasks), fmt.Sprint(w.completed), fmt.Sprint(w.lost),
+			fmt.Sprint(w.proxied), fmt.Sprint(w.redirected), fmt.Sprintf("%.2f", w.wall.Seconds()))
+	}
+	fmt.Fprint(opts.out(), tbl.Render())
+	fmt.Fprintln(opts.out(), "3 shards, disjoint groups, every request entering via a non-owner front door; shard 'wave-2' ran after killing and restarting one shard")
+
+	const submitters = 24
+	tput := metrics.NewTable("config", "entry", "tasks", "wall (s)", "submits/s", "speedup")
+	single, err := shardingThroughput(opts, "single", tputTasks, submitters)
+	if err != nil {
+		return fmt.Errorf("throughput single: %w", err)
+	}
+	tput.AddRow("1 service", "direct", fmt.Sprint(tputTasks),
+		fmt.Sprintf("%.2f", single.wall.Seconds()), fmt.Sprintf("%.0f", single.rate), "1.00x")
+	owner, err := shardingThroughput(opts, "owner", tputTasks, submitters)
+	if err != nil {
+		return fmt.Errorf("throughput sharded/owner: %w", err)
+	}
+	ownerSpeedup := owner.rate / single.rate
+	tput.AddRow("3 shards", "owner (ring-aware LB)", fmt.Sprint(tputTasks),
+		fmt.Sprintf("%.2f", owner.wall.Seconds()), fmt.Sprintf("%.0f", owner.rate),
+		fmt.Sprintf("%.2fx", ownerSpeedup))
+	blind, err := shardingThroughput(opts, "nonowner", tputTasks, submitters)
+	if err != nil {
+		return fmt.Errorf("throughput sharded/non-owner: %w", err)
+	}
+	tput.AddRow("3 shards", "non-owner (proxied)", fmt.Sprint(tputTasks),
+		fmt.Sprintf("%.2f", blind.wall.Seconds()), fmt.Sprintf("%.0f", blind.rate),
+		fmt.Sprintf("%.2fx", blind.rate/single.rate))
+	fmt.Fprint(opts.out(), tput.Render())
+	fmt.Fprintf(opts.out(), "each instance models a %d-worker web pool behind introspection latency; %d concurrent submitters\n",
+		shardingWebWorkers, submitters)
+
+	if !opts.Quick && ownerSpeedup < 1.5 {
+		return fmt.Errorf("sharding: 3-shard aggregate submit throughput only %.2fx a single shard", ownerSpeedup)
+	}
+	return nil
+}
+
+// --- part 1: cross-shard serving with a kill/restart ---
+
+type shardingWave struct {
+	name                string
+	tasks               int
+	completed, lost     int
+	proxied, redirected int64
+	wall                time.Duration
+}
+
+type shardingServeRun struct {
+	waves []shardingWave
+}
+
+// provisionShard boots shard i's island: two endpoints and one group.
+func provisionShard(sf *core.ShardedFabric, i int, seed int64) (*types.EndpointGroup, error) {
+	fab := sf.Shard(i)
+	eps := make([]*core.Endpoint, 2)
+	for j := range eps {
+		ep, err := fab.AddEndpoint(core.EndpointOptions{
+			Name: fmt.Sprintf("sh%d-ep%d", i, j), Owner: "experimenter",
+			Managers: 1, WorkersPerManager: 4, PrewarmWorkers: 4,
+			BatchDispatch:   true,
+			HeartbeatPeriod: 50 * time.Millisecond,
+			Seed:            seed + int64(i*10+j),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := ep.WaitForWorkers(1, 5*time.Second); err != nil {
+			return nil, err
+		}
+		eps[j] = ep
+	}
+	return fab.GroupOf("experimenter", fmt.Sprintf("sh%d-fleet", i), "least-outstanding", eps...)
+}
+
+func shardingServe(opts Options, tasksPerWave int) (*shardingServeRun, error) {
+	sf, err := core.NewShardedFabric(core.ShardedFabricConfig{
+		Shards:  3,
+		Service: service.Config{HeartbeatPeriod: 50 * time.Millisecond},
+		Ring:    shard.Config{Seed: opts.Seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+
+	groups := make([]*types.EndpointGroup, 3)
+	for i := range groups {
+		if groups[i], err = provisionShard(sf, i, opts.Seed); err != nil {
+			return nil, fmt.Errorf("provision shard %d: %w", i, err)
+		}
+	}
+	ctx := context.Background()
+	regClient := sf.ClientVia(0, "experimenter")
+	defer regClient.Close()
+	fnID, err := regClient.RegisterFunction(ctx, "echo", fx.BodyEcho, types.ContainerSpec{}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// gatewayTotals sums proxied/redirected counters across live shards.
+	gatewayTotals := func() (proxied, redirected int64) {
+		for i := 0; i < sf.N(); i++ {
+			if fab := sf.Shard(i); fab != nil {
+				st := fab.Service.StatsSnapshot()
+				proxied += st.Proxied
+				redirected += st.Redirected
+			}
+		}
+		return
+	}
+
+	// runWave drives tasksPerWave submissions split across the groups,
+	// every client entering through a non-owner front door, and gathers
+	// every future.
+	runWave := func(name string, fn types.FunctionID) (*shardingWave, error) {
+		w := &shardingWave{name: name, tasks: tasksPerWave}
+		p0, r0 := gatewayTotals()
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, len(groups))
+		var mu sync.Mutex
+		for gi, g := range groups {
+			wg.Add(1)
+			go func(gi int, g *types.EndpointGroup) {
+				defer wg.Done()
+				owner := sf.OwnerIndex(shard.GroupKey(g.ID))
+				front := (owner + 1) % sf.N() // never the owner
+				client := sf.ClientVia(front, "experimenter")
+				defer client.Close()
+				share := tasksPerWave / len(groups)
+				futures := make([]*sdk.Future, 0, share)
+				for t := 0; t < share; t++ {
+					payload, err := serial.Serialize(fmt.Sprintf("%s-%d-%d", name, gi, t))
+					if err != nil {
+						errs <- err
+						return
+					}
+					fut, err := client.SubmitFuture(ctx, sdk.SubmitSpec{Function: fn, Group: g.ID, Payload: payload})
+					if err != nil {
+						errs <- fmt.Errorf("%s: submit via non-owner shard %d: %w", name, front, err)
+						return
+					}
+					futures = append(futures, fut)
+				}
+				gctx, cancel := context.WithTimeout(ctx, time.Minute)
+				defer cancel()
+				for _, fut := range futures {
+					res, err := fut.Get(gctx)
+					if err != nil {
+						errs <- fmt.Errorf("future did not resolve: %w", err)
+						return
+					}
+					mu.Lock()
+					switch {
+					case res.Err == nil:
+						w.completed++
+					case errors.Is(res.Err, sdk.ErrTaskLost):
+						w.lost++
+					default:
+						mu.Unlock()
+						errs <- fmt.Errorf("task failed: %v", res.Err)
+						return
+					}
+					mu.Unlock()
+				}
+			}(gi, g)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+		w.tasks = tasksPerWave / len(groups) * len(groups)
+		w.wall = time.Since(start)
+		p1, r1 := gatewayTotals()
+		w.proxied, w.redirected = p1-p0, r1-r0
+		if w.lost != 0 || w.completed != w.tasks {
+			return nil, fmt.Errorf("%s: %d/%d completed, %d lost — task loss across sharded fabric",
+				name, w.completed, w.tasks, w.lost)
+		}
+		if w.proxied == 0 {
+			return nil, fmt.Errorf("%s: no submissions were proxied; front doors were owners", name)
+		}
+		return w, nil
+	}
+
+	run := &shardingServeRun{}
+	w1, err := runWave("wave-1", fnID)
+	if err != nil {
+		return nil, err
+	}
+	run.waves = append(run.waves, *w1)
+
+	// Kill the shard owning group 0 (wave 1 fully gathered, so nothing
+	// is in flight there), restart it fresh, and re-provision: same
+	// ring identity, shared-nothing state rebuilt.
+	victim := sf.OwnerIndex(shard.GroupKey(groups[0].ID))
+	if err := sf.KillShard(victim); err != nil {
+		return nil, err
+	}
+	if _, err := sf.RestartShard(victim); err != nil {
+		return nil, err
+	}
+	for i, g := range groups {
+		if sf.OwnerIndex(shard.GroupKey(g.ID)) == victim {
+			if groups[i], err = provisionShard(sf, victim, opts.Seed+100); err != nil {
+				return nil, fmt.Errorf("re-provision shard %d: %w", victim, err)
+			}
+		}
+	}
+	// Re-register the function so the restarted shard holds a replica
+	// again (registered via a survivor: the broadcast must reach the
+	// restarted shard).
+	fnID2, err := regClient.RegisterFunction(ctx, "echo", fx.BodyEcho, types.ContainerSpec{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	w2, err := runWave("wave-2", fnID2)
+	if err != nil {
+		return nil, err
+	}
+	run.waves = append(run.waves, *w2)
+	return run, nil
+}
+
+// --- part 2: aggregate submit throughput ---
+
+// shardingWebWorkers models each instance's fixed web-worker pool.
+const shardingWebWorkers = 4
+
+type shardingTput struct {
+	wall time.Duration
+	rate float64
+}
+
+// shardingThroughput times a burst of concurrent submissions against
+// one service instance or a 3-shard fabric (entry "owner" = clients
+// hit the shard owning their group; "nonowner" = every submission
+// enters a wrong shard and is proxied). Execution and gathering happen
+// off the clock — the measured quantity is submit throughput.
+func shardingThroughput(opts Options, entry string, tasks, submitters int) (*shardingTput, error) {
+	svcCfg := service.Config{
+		HeartbeatPeriod:   50 * time.Millisecond,
+		SubmitConcurrency: shardingWebWorkers,
+		AuthLat:           netlat.NewLink(2*time.Millisecond, 200*time.Microsecond, opts.Seed+31),
+	}
+	ctx := context.Background()
+
+	var groups []*types.EndpointGroup
+	var clientFor func(gi int, uid types.UserID) *sdk.Client
+	var fnID types.FunctionID
+
+	addIsland := func(fab *core.Fabric, i int) (*types.EndpointGroup, error) {
+		eps := make([]*core.Endpoint, 2)
+		for j := range eps {
+			ep, err := fab.AddEndpoint(core.EndpointOptions{
+				Name: fmt.Sprintf("tp%d-ep%d", i, j), Owner: "experimenter",
+				Managers: 1, WorkersPerManager: 4, PrewarmWorkers: 4,
+				BatchDispatch:   true,
+				HeartbeatPeriod: 50 * time.Millisecond,
+				Seed:            opts.Seed + int64(i*10+j),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := ep.WaitForWorkers(1, 5*time.Second); err != nil {
+				return nil, err
+			}
+			eps[j] = ep
+		}
+		return fab.GroupOf("experimenter", fmt.Sprintf("tp%d-fleet", i), "least-outstanding", eps...)
+	}
+
+	if entry == "single" {
+		fab, err := core.NewFabric(core.FabricConfig{Service: svcCfg})
+		if err != nil {
+			return nil, err
+		}
+		defer fab.Close()
+		groups = make([]*types.EndpointGroup, 3)
+		for i := range groups {
+			if groups[i], err = addIsland(fab, i); err != nil {
+				return nil, err
+			}
+		}
+		reg := fab.Client("experimenter")
+		defer reg.Close()
+		if fnID, err = reg.RegisterFunction(ctx, "noop", fx.BodyNoop, types.ContainerSpec{}, nil); err != nil {
+			return nil, err
+		}
+		clientFor = func(_ int, uid types.UserID) *sdk.Client { return fab.Client(uid) }
+	} else {
+		sf, err := core.NewShardedFabric(core.ShardedFabricConfig{
+			Shards:  3,
+			Service: svcCfg,
+			Ring:    shard.Config{Seed: opts.Seed},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer sf.Close()
+		groups = make([]*types.EndpointGroup, 3)
+		for i := range groups {
+			if groups[i], err = provisionShard(sf, i, opts.Seed+50); err != nil {
+				return nil, err
+			}
+		}
+		reg := sf.ClientVia(0, "experimenter")
+		defer reg.Close()
+		if fnID, err = reg.RegisterFunction(ctx, "noop", fx.BodyNoop, types.ContainerSpec{}, nil); err != nil {
+			return nil, err
+		}
+		clientFor = func(gi int, uid types.UserID) *sdk.Client {
+			owner := sf.OwnerIndex(shard.GroupKey(groups[gi].ID))
+			if entry == "owner" {
+				return sf.ClientVia(owner, uid)
+			}
+			return sf.ClientVia((owner+1)%3, uid)
+		}
+	}
+
+	// One client per submitter, built before the clock starts.
+	perSubmitter := tasks / submitters
+	type lane struct {
+		client *sdk.Client
+		gid    types.GroupID
+		ids    []types.TaskID
+	}
+	lanes := make([]*lane, submitters)
+	for i := range lanes {
+		gi := i % len(groups)
+		lanes[i] = &lane{
+			client: clientFor(gi, "experimenter"),
+			gid:    groups[gi].ID,
+		}
+	}
+	defer func() {
+		for _, l := range lanes {
+			l.client.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters)
+	start := time.Now()
+	for _, l := range lanes {
+		wg.Add(1)
+		go func(l *lane) {
+			defer wg.Done()
+			for t := 0; t < perSubmitter; t++ {
+				id, _, err := l.client.Submit(ctx, sdk.SubmitSpec{Function: fnID, Group: l.gid})
+				if err != nil {
+					errs <- err
+					return
+				}
+				l.ids = append(l.ids, id)
+			}
+		}(l)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+
+	// Drain every task off the clock so the fabric shuts down clean
+	// and nothing was silently dropped.
+	gctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	for _, l := range lanes {
+		results, err := l.client.GetResults(gctx, l.ids)
+		if err != nil {
+			return nil, fmt.Errorf("gather: %w", err)
+		}
+		for _, res := range results {
+			if res == nil || res.Err != nil {
+				return nil, fmt.Errorf("throughput task failed: %+v", res)
+			}
+		}
+	}
+	submitted := perSubmitter * submitters
+	return &shardingTput{wall: wall, rate: float64(submitted) / wall.Seconds()}, nil
+}

@@ -39,16 +39,34 @@ type Registry struct {
 	endpoints map[types.EndpointID]*types.Endpoint
 	groups    map[types.GroupID]*types.EndpointGroup
 	now       func() time.Time
+
+	mintGroupID    func() types.GroupID
+	mintEndpointID func() types.EndpointID
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		users:     make(map[types.UserID]*types.User),
-		functions: make(map[types.FunctionID]*types.Function),
-		endpoints: make(map[types.EndpointID]*types.Endpoint),
-		groups:    make(map[types.GroupID]*types.EndpointGroup),
-		now:       time.Now,
+		users:          make(map[types.UserID]*types.User),
+		functions:      make(map[types.FunctionID]*types.Function),
+		endpoints:      make(map[types.EndpointID]*types.Endpoint),
+		groups:         make(map[types.GroupID]*types.EndpointGroup),
+		now:            time.Now,
+		mintGroupID:    types.NewGroupID,
+		mintEndpointID: types.NewEndpointID,
+	}
+}
+
+// SetIDMinters overrides how group and endpoint ids are generated. A
+// sharded service installs ring-aligned minters so the consistent-hash
+// ring assigns every record it creates back to itself, making
+// ownership computable from the id alone. Call before first use.
+func (r *Registry) SetIDMinters(group func() types.GroupID, endpoint func() types.EndpointID) {
+	if group != nil {
+		r.mintGroupID = group
+	}
+	if endpoint != nil {
+		r.mintEndpointID = endpoint
 	}
 }
 
@@ -146,6 +164,35 @@ func (r *Registry) ShareFunction(actor types.UserID, id types.FunctionID, with .
 	return nil
 }
 
+// PutFunction upserts a complete function record, preserving its id —
+// the cross-shard replication path. A function registered at any shard
+// is broadcast to every peer so submissions can validate and resolve
+// it wherever the target group or endpoint lives; replays (e.g. after
+// a shard restart re-registers) simply overwrite.
+func (r *Registry) PutFunction(fn *types.Function) error {
+	if fn.ID == "" {
+		return errors.New("registry: function replica has no id")
+	}
+	if len(fn.Body) == 0 {
+		return errors.New("registry: empty function body")
+	}
+	cp := *fn
+	cp.SharedWith = append([]types.UserID(nil), fn.SharedWith...)
+	if cp.BodyHash == "" {
+		cp.BodyHash = BodyHash(cp.Body)
+	}
+	if cp.Version == 0 {
+		cp.Version = 1
+	}
+	if cp.Registered.IsZero() {
+		cp.Registered = r.now()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.functions[cp.ID] = &cp
+	return nil
+}
+
 // Function returns a copy of the function record.
 func (r *Registry) Function(id types.FunctionID) (*types.Function, error) {
 	r.mu.RLock()
@@ -186,7 +233,7 @@ func (r *Registry) FunctionCount() int {
 // nil); the router matches per-task selectors against them.
 func (r *Registry) RegisterEndpoint(owner types.UserID, name, description string, public bool, labels map[string]string) (*types.Endpoint, error) {
 	ep := &types.Endpoint{
-		ID:          types.NewEndpointID(),
+		ID:          r.mintEndpointID(),
 		Name:        name,
 		Description: description,
 		Owner:       owner,
@@ -294,7 +341,7 @@ func (r *Registry) RegisterGroupFull(owner types.UserID, name, policy string, pu
 		}
 	}
 	g := &types.EndpointGroup{
-		ID:          types.NewGroupID(),
+		ID:          r.mintGroupID(),
 		Name:        name,
 		Owner:       owner,
 		Policy:      policy,

@@ -26,6 +26,7 @@ package router
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"funcx/internal/types"
@@ -84,12 +85,24 @@ type Candidate struct {
 	// Status is the live forwarder snapshot (never nil inside the
 	// router; a missing status is treated as disconnected-with-zeros).
 	Status types.EndpointStatus
+	// Penalty is the endpoint's delivery-health handicap, expressed as
+	// equivalent extra backlog tasks: load-aware policies add it to the
+	// candidate's score, steering work away from members whose recent
+	// dispatches were reclaimed or lost (see the service's reclaim
+	// EWMA). Zero for healthy members; decays back to zero on its own.
+	Penalty float64
 }
 
 // backlog is the candidate's total uncompleted work: tasks waiting in
 // its service-side queue plus tasks dispatched but unfinished.
 func (c *Candidate) backlog() int {
 	return c.Status.QueuedTasks + c.Status.OutstandingTasks
+}
+
+// loadScore is the candidate's backlog plus its delivery-health
+// penalty — the quantity the load-aware policies minimize.
+func (c *Candidate) loadScore() float64 {
+	return float64(c.backlog()) + c.Penalty
 }
 
 // capacity is the divisor for weighted-queue-depth: the static weight
@@ -157,6 +170,10 @@ type Router struct {
 	Status func(types.EndpointID) *types.EndpointStatus
 	// Labels returns the endpoint's registration-time labels.
 	Labels func(types.EndpointID) map[string]string
+	// Penalty optionally reports an endpoint's delivery-health
+	// handicap in equivalent backlog tasks (the service feeds a
+	// decaying reclaim/lost rate here); nil means no penalties.
+	Penalty func(types.EndpointID) float64
 
 	mu sync.Mutex
 	// cursor holds the per-group round-robin position.
@@ -220,15 +237,144 @@ func (r *Router) Route(req Request) (types.EndpointID, error) {
 		return r.pickRoundRobin(req.Group.ID, cands), nil
 	case WeightedQueueDepth:
 		return pickMin(cands, func(c *Candidate) float64 {
-			return float64(c.backlog()) / float64(c.capacity())
+			return c.loadScore() / float64(c.capacity())
 		}), nil
 	case LabelAffinity:
 		return pickLabelAffinity(cands, req.Selector), nil
 	default: // LeastOutstanding
-		return pickMin(cands, func(c *Candidate) float64 {
-			return float64(c.backlog())
-		}), nil
+		return pickMin(cands, (*Candidate).loadScore), nil
 	}
+}
+
+// RouteBatch places n tasks of one request in a single decision,
+// splitting the batch across members proportionally to live capacity
+// (largest-remainder apportionment) instead of re-running Route n
+// times against a snapshot that cannot observe the batch's own load.
+// The returned slice has length n, grouped by member. Round-robin
+// groups split evenly; the load-aware policies weight each member by
+// its free capacity (capacity − backlog − penalty, floored at zero),
+// falling back to raw capacity when the whole group is saturated;
+// label-affinity restricts the split to the best-matching members.
+func (r *Router) RouteBatch(req Request, n int) ([]types.EndpointID, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if req.Group == nil || len(req.Group.Members) == 0 {
+		return nil, ErrNoCandidates
+	}
+	policy, err := ParsePolicy(req.Group.Policy)
+	if err != nil {
+		return nil, err
+	}
+	needLabels := len(req.Selector) > 0 || policy == LabelAffinity
+	cands := r.candidates(req, needLabels)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: group %s (all %d members excluded)",
+			ErrNoCandidates, req.Group.ID, len(req.Group.Members))
+	}
+	if policy != LabelAffinity {
+		cands = filterSelector(cands, req.Selector)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("%w: group %s, selector %v",
+				ErrNoSelectorMatch, req.Group.ID, req.Selector)
+		}
+	}
+	cands = preferConnected(cands)
+	if policy == LabelAffinity && len(req.Selector) > 0 {
+		cands = bestAffinity(cands, req.Selector)
+	}
+
+	weights := make([]float64, len(cands))
+	switch policy {
+	case RoundRobin:
+		for i := range weights {
+			weights[i] = 1
+		}
+	default:
+		// Free capacity per member; when the whole group is saturated,
+		// split by raw capacity so the batch still spreads.
+		saturated := true
+		for i := range cands {
+			free := float64(cands[i].capacity()) - cands[i].loadScore()
+			if free > 0 {
+				weights[i] = free
+				saturated = false
+			}
+		}
+		if saturated {
+			for i := range cands {
+				weights[i] = float64(cands[i].capacity())
+			}
+		}
+	}
+	quotas := apportion(n, weights)
+	out := make([]types.EndpointID, 0, n)
+	for i, q := range quotas {
+		for j := 0; j < q; j++ {
+			out = append(out, cands[i].EndpointID)
+		}
+	}
+	return out, nil
+}
+
+// bestAffinity keeps the candidates with the maximum selector match
+// count (label-affinity's soft preference, applied batch-wide).
+func bestAffinity(cands []Candidate, selector map[string]string) []Candidate {
+	best := -1
+	for i := range cands {
+		if n, _ := cands[i].matches(selector); n > best {
+			best = n
+		}
+	}
+	out := make([]Candidate, 0, len(cands))
+	for i := range cands {
+		if n, _ := cands[i].matches(selector); n == best {
+			out = append(out, cands[i])
+		}
+	}
+	return out
+}
+
+// apportion splits n into integer quotas proportional to weights using
+// the largest-remainder method: exact totals, deterministic ties
+// (earlier member wins), no member starved below its floor.
+func apportion(n int, weights []float64) []int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	quotas := make([]int, len(weights))
+	if total <= 0 {
+		// Degenerate: spread evenly.
+		for i := 0; n > 0; i = (i + 1) % len(quotas) {
+			quotas[i]++
+			n--
+		}
+		return quotas
+	}
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, 0, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		exact := float64(n) * w / total
+		quotas[i] = int(exact)
+		assigned += quotas[i]
+		rems = append(rems, rem{i: i, frac: exact - float64(quotas[i])})
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; assigned < n; k = (k + 1) % len(rems) {
+		quotas[rems[k].i]++
+		assigned++
+	}
+	return quotas
 }
 
 // candidates materializes the group members with live status (and,
@@ -247,6 +393,9 @@ func (r *Router) candidates(req Request, needLabels bool) []Candidate {
 		}
 		if needLabels && r.Labels != nil {
 			c.Labels = r.Labels(m.EndpointID)
+		}
+		if r.Penalty != nil {
+			c.Penalty = r.Penalty(m.EndpointID)
 		}
 		cands = append(cands, c)
 	}
@@ -312,12 +461,12 @@ func pickMin(cands []Candidate, score func(*Candidate) float64) types.EndpointID
 func pickLabelAffinity(cands []Candidate, selector map[string]string) types.EndpointID {
 	best := 0
 	bestMatches, _ := cands[0].matches(selector)
-	bestBacklog := cands[0].backlog()
+	bestLoad := cands[0].loadScore()
 	for i := 1; i < len(cands); i++ {
 		n, _ := cands[i].matches(selector)
-		b := cands[i].backlog()
-		if n > bestMatches || (n == bestMatches && b < bestBacklog) {
-			best, bestMatches, bestBacklog = i, n, b
+		b := cands[i].loadScore()
+		if n > bestMatches || (n == bestMatches && b < bestLoad) {
+			best, bestMatches, bestLoad = i, n, b
 		}
 	}
 	return cands[best].EndpointID

@@ -328,3 +328,138 @@ func TestEmptyGroupRejected(t *testing.T) {
 		t.Fatalf("err = %v, want ErrNoCandidates", err)
 	}
 }
+
+// --- fleet-aware batch placement ---
+
+func countBy(ids []types.EndpointID) map[types.EndpointID]int {
+	out := make(map[types.EndpointID]int)
+	for _, id := range ids {
+		out[id]++
+	}
+	return out
+}
+
+// RouteBatch must split a batch proportionally to free capacity with
+// exact totals (largest remainder), not send everything to the single
+// currently least-loaded member.
+func TestRouteBatchProportionalToFreeCapacity(t *testing.T) {
+	a, b, c := types.EndpointID("ep-a"), types.EndpointID("ep-b"), types.EndpointID("ep-c")
+	f := newFixture(LeastOutstanding, members(a, b, c)...)
+	// Free capacity: a = 8-0 = 8, b = 8-4 = 4, c = 8-4 = 4.
+	f.setStatus(a, true, 0, 0, 8)
+	f.setStatus(b, true, 2, 2, 8)
+	f.setStatus(c, true, 4, 0, 8)
+	got, err := f.router().RouteBatch(Request{Group: f.group}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Fatalf("RouteBatch returned %d placements, want 16", len(got))
+	}
+	counts := countBy(got)
+	if counts[a] != 8 || counts[b] != 4 || counts[c] != 4 {
+		t.Fatalf("split %v, want a=8 b=4 c=4", counts)
+	}
+}
+
+// Round-robin groups split evenly regardless of load.
+func TestRouteBatchRoundRobinEven(t *testing.T) {
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(RoundRobin, members(a, b)...)
+	f.setStatus(a, true, 9, 0, 2)
+	f.setStatus(b, true, 0, 0, 2)
+	got, err := f.router().RouteBatch(Request{Group: f.group}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := countBy(got)
+	if counts[a]+counts[b] != 7 || counts[a] < 3 || counts[b] < 3 {
+		t.Fatalf("round-robin split %v, want near-even totaling 7", counts)
+	}
+}
+
+// A saturated group still spreads the batch by raw capacity instead of
+// dumping it on one member.
+func TestRouteBatchSaturatedFallsBackToCapacity(t *testing.T) {
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(LeastOutstanding, members(a, b)...)
+	f.setStatus(a, true, 50, 0, 6) // free = 6-50 < 0
+	f.setStatus(b, true, 50, 0, 2) // free = 2-50 < 0
+	got, err := f.router().RouteBatch(Request{Group: f.group}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := countBy(got)
+	if counts[a] != 6 || counts[b] != 2 {
+		t.Fatalf("saturated split %v, want a=6 b=2 (by capacity)", counts)
+	}
+}
+
+// Selectors stay hard constraints for batches.
+func TestRouteBatchSelector(t *testing.T) {
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(LeastOutstanding, members(a, b)...)
+	f.setStatus(a, true, 0, 0, 4)
+	f.setStatus(b, true, 0, 0, 4)
+	f.labels[b] = map[string]string{"gpu": "a100"}
+	got, err := f.router().RouteBatch(Request{Group: f.group, Selector: map[string]string{"gpu": "a100"}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range got {
+		if id != b {
+			t.Fatalf("selector-constrained batch placed on %s", id)
+		}
+	}
+	if _, err := f.router().RouteBatch(Request{Group: f.group, Selector: map[string]string{"gpu": "h100"}}, 5); !errors.Is(err, ErrNoSelectorMatch) {
+		t.Fatalf("unsatisfiable selector: %v", err)
+	}
+}
+
+// --- lease-aware penalties ---
+
+// A member with a high reclaim penalty must lose placement to an
+// equally loaded healthy member, and win again once the penalty
+// decays away.
+func TestPenaltySteersLoadAwarePolicies(t *testing.T) {
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(LeastOutstanding, members(a, b)...)
+	f.setStatus(a, true, 0, 0, 4)
+	f.setStatus(b, true, 1, 0, 4) // slightly busier but healthy
+	r := f.router()
+	penalties := map[types.EndpointID]float64{a: 10}
+	r.Penalty = func(id types.EndpointID) float64 { return penalties[id] }
+	got, err := r.Route(Request{Group: f.group})
+	if err != nil || got != b {
+		t.Fatalf("penalized member won placement: %s, %v", got, err)
+	}
+	// Penalty decayed: the tie-break returns to pure backlog.
+	penalties[a] = 0
+	got, err = r.Route(Request{Group: f.group})
+	if err != nil || got != a {
+		t.Fatalf("healthy member lost placement after decay: %s, %v", got, err)
+	}
+}
+
+// Penalties shift batch apportionment too.
+func TestPenaltyShrinksBatchShare(t *testing.T) {
+	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")
+	f := newFixture(WeightedQueueDepth, members(a, b)...)
+	f.setStatus(a, true, 0, 0, 8)
+	f.setStatus(b, true, 0, 0, 8)
+	r := f.router()
+	r.Penalty = func(id types.EndpointID) float64 {
+		if id == a {
+			return 4
+		}
+		return 0
+	}
+	got, err := r.RouteBatch(Request{Group: f.group}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := countBy(got)
+	if counts[a] >= counts[b] {
+		t.Fatalf("penalized member got %d of 12 vs %d", counts[a], counts[b])
+	}
+}

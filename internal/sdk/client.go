@@ -68,22 +68,39 @@ type Client struct {
 	// trips.
 	WaitHint time.Duration
 
-	// mu guards the lazily started stream consumer behind futures.
-	mu       sync.Mutex
-	streamer *streamer
-	closed   bool
+	// mu guards the lazily started stream consumers behind futures:
+	// one per service shard the client has submitted to (keyed by the
+	// shard's base URL; "" is the front door), so each future's SSE
+	// stream is pinned to the shard that owns its task and publishes
+	// its events.
+	mu        sync.Mutex
+	streamers map[string]*streamer
+	closed    bool
 }
 
 // New creates a client for the service at baseURL using the given
-// bearer token.
+// bearer token. The client follows shard redirects (307s from a
+// sharded service's gateway), re-attaching the bearer token on each
+// hop — Go strips Authorization on some cross-host redirects, and
+// shard siblings count as different hosts.
 func New(baseURL, token string) *Client {
-	return &Client{
+	c := &Client{
 		baseURL:      baseURL,
 		token:        token,
-		httpc:        &http.Client{Timeout: 10 * time.Minute},
 		PollInterval: 2 * time.Millisecond,
 		WaitHint:     30 * time.Second,
 	}
+	c.httpc = &http.Client{
+		Timeout: 10 * time.Minute,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			if len(via) >= 5 {
+				return errors.New("sdk: too many shard redirects (ring configs may disagree)")
+			}
+			req.Header.Set("Authorization", "Bearer "+c.token)
+			return nil
+		},
+	}
+	return c
 }
 
 // WithHTTPClient substitutes the underlying HTTP client (tests use
@@ -93,23 +110,34 @@ func (c *Client) WithHTTPClient(h *http.Client) *Client {
 	return c
 }
 
-// Close stops the background stream consumer, if any, and resolves
+// Close stops the background stream consumers, if any, and resolves
 // any still-pending futures with ErrClosed. The client remains usable
 // for plain (non-future) calls.
 func (c *Client) Close() {
 	c.mu.Lock()
-	st := c.streamer
-	c.streamer = nil
+	sts := c.streamers
+	c.streamers = nil
 	c.closed = true
 	c.mu.Unlock()
-	if st != nil {
+	for _, st := range sts {
 		st.stop()
 	}
 }
 
-// do performs one authenticated JSON request/response cycle, sleeping
-// the WAN link in both directions when configured.
+// do performs one authenticated JSON request/response cycle against
+// the front door, sleeping the WAN link in both directions when
+// configured.
 func (c *Client) do(ctx context.Context, method, path string, reqBody, respBody any) (int, error) {
+	return c.doAt(ctx, method, "", path, reqBody, respBody)
+}
+
+// doAt is do against an explicit shard base URL ("" = the front
+// door): the per-shard stream consumers keep their wait and poll
+// traffic on the shard that owns their tasks.
+func (c *Client) doAt(ctx context.Context, method, base, path string, reqBody, respBody any) (int, error) {
+	if base == "" {
+		base = c.baseURL
+	}
 	var body io.Reader
 	if reqBody != nil {
 		b, err := json.Marshal(reqBody)
@@ -118,7 +146,7 @@ func (c *Client) do(ctx context.Context, method, path string, reqBody, respBody 
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		return 0, fmt.Errorf("sdk: building request: %w", err)
 	}
@@ -365,6 +393,16 @@ type SubmitSpec struct {
 // choice for group targets). It is the single submission path behind
 // Run, RunAnywhere, and their futures variants.
 func (c *Client) Submit(ctx context.Context, spec SubmitSpec) (types.TaskID, types.EndpointID, error) {
+	resp, err := c.submit(ctx, spec)
+	if err != nil {
+		return "", "", err
+	}
+	return resp.TaskID, resp.EndpointID, nil
+}
+
+// submit is the raw submission carrying the full wire response,
+// including the owner-shard hint futures pin their event streams to.
+func (c *Client) submit(ctx context.Context, spec SubmitSpec) (api.SubmitResponse, error) {
 	var resp api.SubmitResponse
 	_, err := c.do(ctx, http.MethodPost, "/v1/tasks", api.SubmitRequest{
 		FunctionID: spec.Function, EndpointID: spec.Endpoint, GroupID: spec.Group,
@@ -372,10 +410,18 @@ func (c *Client) Submit(ctx context.Context, spec SubmitSpec) (types.TaskID, typ
 		Memoize: spec.Memoize, BatchN: spec.BatchN,
 		Walltime: spec.Walltime, MaxRetries: spec.MaxRetries, AtMostOnce: spec.AtMostOnce,
 	}, &resp)
-	if err != nil {
-		return "", "", err
+	return resp, err
+}
+
+// Stats fetches the service instance's operational counters
+// (GET /v1/stats). Against a sharded deployment the response covers
+// only the shard behind the client's base URL.
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var resp api.StatsResponse
+	if _, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp); err != nil {
+		return nil, err
 	}
-	return resp.TaskID, resp.EndpointID, nil
+	return &resp, nil
 }
 
 // Run invokes a registered function on an endpoint with serialized
@@ -490,8 +536,13 @@ func (c *Client) TryResult(ctx context.Context, id types.TaskID) (*Result, error
 // GetResult blocks until the task completes (or ctx is done), using
 // server-side long-polling plus client-side retry.
 func (c *Client) GetResult(ctx context.Context, id types.TaskID) (*Result, error) {
+	return c.getResultAt(ctx, "", id)
+}
+
+// getResultAt is GetResult against an explicit shard base URL.
+func (c *Client) getResultAt(ctx context.Context, base string, id types.TaskID) (*Result, error) {
 	for {
-		res, err := c.result(ctx, id, c.WaitHint)
+		res, err := c.resultAt(ctx, base, id, c.WaitHint)
 		if err == nil {
 			return res, nil
 		}
@@ -507,12 +558,16 @@ func (c *Client) GetResult(ctx context.Context, id types.TaskID) (*Result, error
 }
 
 func (c *Client) result(ctx context.Context, id types.TaskID, wait time.Duration) (*Result, error) {
+	return c.resultAt(ctx, "", id, wait)
+}
+
+func (c *Client) resultAt(ctx context.Context, base string, id types.TaskID, wait time.Duration) (*Result, error) {
 	path := "/v1/tasks/" + string(id) + "/result"
 	if wait > 0 {
 		path += "?wait=" + wait.String()
 	}
 	var resp api.ResultResponse
-	status, err := c.do(ctx, http.MethodGet, path, nil, &resp)
+	status, err := c.doAt(ctx, http.MethodGet, base, path, nil, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -553,15 +608,20 @@ const maxWaitIDs = 10000
 // the partial results even when err is non-nil. ErrUnsupported wraps
 // the error when the server predates the batch-wait API.
 func (c *Client) WaitTasks(ctx context.Context, ids []types.TaskID, wait time.Duration) ([]*Result, []types.TaskID, error) {
+	return c.waitTasksAt(ctx, "", ids, wait)
+}
+
+// waitTasksAt is WaitTasks against an explicit shard base URL.
+func (c *Client) waitTasksAt(ctx context.Context, base string, ids []types.TaskID, wait time.Duration) ([]*Result, []types.TaskID, error) {
 	if len(ids) <= maxWaitIDs {
-		return c.waitTasksOnce(ctx, ids, wait)
+		return c.waitTasksOnce(ctx, base, ids, wait)
 	}
 	deadline := time.Now().Add(wait)
 	var done []*Result
 	var pending []types.TaskID
 	for start := 0; start < len(ids); start += maxWaitIDs {
 		chunk := ids[start:min(start+maxWaitIDs, len(ids))]
-		d, p, err := c.waitTasksOnce(ctx, chunk, max(time.Until(deadline), 0))
+		d, p, err := c.waitTasksOnce(ctx, base, chunk, max(time.Until(deadline), 0))
 		if err != nil {
 			// Deliver the chunks already gathered alongside the error,
 			// with the unqueried remainder as pending.
@@ -574,13 +634,13 @@ func (c *Client) WaitTasks(ctx context.Context, ids []types.TaskID, wait time.Du
 }
 
 // waitTasksOnce issues one wait request for a within-cap id set.
-func (c *Client) waitTasksOnce(ctx context.Context, ids []types.TaskID, wait time.Duration) ([]*Result, []types.TaskID, error) {
+func (c *Client) waitTasksOnce(ctx context.Context, base string, ids []types.TaskID, wait time.Duration) ([]*Result, []types.TaskID, error) {
 	req := api.WaitTasksRequest{TaskIDs: ids}
 	if wait > 0 {
 		req.Wait = wait.String()
 	}
 	var resp api.WaitTasksResponse
-	status, err := c.do(ctx, http.MethodPost, "/v1/tasks/wait", req, &resp)
+	status, err := c.doAt(ctx, http.MethodPost, base, "/v1/tasks/wait", req, &resp)
 	if err != nil {
 		if status == http.StatusNotFound || status == http.StatusMethodNotAllowed {
 			err = fmt.Errorf("%w: %w", ErrUnsupported, err)

@@ -73,20 +73,27 @@ func (f *Future) resolve(res *Result, err error) {
 }
 
 // SubmitFuture submits one task and returns a future for its result,
-// starting the client's shared stream consumer on first use.
+// starting the client's shared stream consumer on first use. Against a
+// sharded service the future is registered with the consumer pinned to
+// the task's *owner* shard (named by the submit response): lifecycle
+// events are published on the owner's bus, not the front door's.
 func (c *Client) SubmitFuture(ctx context.Context, spec SubmitSpec) (*Future, error) {
-	// Start the consumer before submitting so the event subscription
-	// races ahead of the task; the registration catch-up covers the
-	// remainder of the window.
-	st, err := c.ensureStreamer()
+	// Start the front-door consumer before submitting so the event
+	// subscription races ahead of the task on an unsharded service;
+	// for a shard-proxied submission the registration catch-up (and
+	// the owner consumer's own subscription) covers the window.
+	if _, err := c.ensureStreamer(""); err != nil {
+		return nil, err
+	}
+	resp, err := c.submit(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
-	id, _, err := c.Submit(ctx, spec)
+	st, err := c.ensureStreamer(resp.ShardURL)
 	if err != nil {
 		return nil, err
 	}
-	f := newFuture(id)
+	f := newFuture(resp.TaskID)
 	st.register(f)
 	return f, nil
 }
@@ -104,9 +111,13 @@ func (c *Client) RunAnywhereFuture(ctx context.Context, fnID types.FunctionID, g
 // FutureOf attaches a future to an already-submitted task id (e.g.
 // ids returned by RunBatch). The consumer reconciles tasks that
 // completed before attachment via a batched wait, so no completion is
-// lost to the registration race.
+// lost to the registration race. The future rides the front-door
+// consumer; against a sharded service whose front door does not own
+// the task, resolution comes from the consumer's periodic batched
+// sweep (the gateway scatter-gathers the wait) rather than the event
+// stream.
 func (c *Client) FutureOf(id types.TaskID) (*Future, error) {
-	st, err := c.ensureStreamer()
+	st, err := c.ensureStreamer("")
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +189,11 @@ func (c *Client) mapFutureOf(h *MapHandle) (*MapFuture, error) {
 // for registration races and replay gaps, and a full batched-wait
 // fallback when the server cannot stream.
 type streamer struct {
-	c      *Client
+	c *Client
+	// base is the shard base URL this consumer is pinned to ("" = the
+	// client's front door): its SSE subscription, batched waits, and
+	// fallback polls all target the shard that owns its tasks.
+	base   string
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -205,29 +220,63 @@ type streamer struct {
 	stopped bool
 }
 
-// ensureStreamer lazily starts the consumer.
-func (c *Client) ensureStreamer() (*streamer, error) {
+// ensureStreamer lazily starts the consumer for one shard base URL
+// ("" or the client's own base URL both mean the front door).
+func (c *Client) ensureStreamer(base string) (*streamer, error) {
+	if base == c.baseURL {
+		base = ""
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrClosed
 	}
-	if c.streamer == nil {
+	if c.streamers == nil {
+		c.streamers = make(map[string]*streamer)
+	}
+	if c.streamers[base] == nil {
 		ctx, cancel := context.WithCancel(context.Background())
 		st := &streamer{
-			c: c, ctx: ctx, cancel: cancel,
+			c: c, base: base, ctx: ctx, cancel: cancel,
 			futures: make(map[types.TaskID]*Future),
 			verify:  make(map[types.TaskID]bool),
 			polling: make(map[types.TaskID]bool),
 			kick:    make(chan struct{}, 1),
 			fbKick:  make(chan struct{}, 1),
 		}
-		st.wg.Add(2)
+		st.wg.Add(3)
 		go st.streamLoop()
 		go st.verifyLoop()
-		c.streamer = st
+		go st.sweepLoop()
+		c.streamers[base] = st
 	}
-	return c.streamer, nil
+	return c.streamers[base], nil
+}
+
+// sweepLoop is the resolution safety net: while futures are pending it
+// periodically re-enqueues them all for a batched completion check.
+// It exists for terminal events this consumer's stream can never
+// carry — chiefly futures attached by id (FutureOf / batch ids) whose
+// tasks live on another shard, where the front door's scatter-gather
+// wait is the only path to the result.
+func (st *streamer) sweepLoop() {
+	defer st.wg.Done()
+	interval := max(st.c.WaitHint, time.Second)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-st.ctx.Done():
+			return
+		case <-ticker.C:
+			st.mu.Lock()
+			pending := len(st.futures) > 0
+			st.mu.Unlock()
+			if pending {
+				st.enqueueVerifyAll()
+			}
+		}
+	}
 }
 
 func (st *streamer) stop() {
@@ -358,7 +407,11 @@ func (st *streamer) streamLoop() {
 // gap.
 func (st *streamer) streamOnce(lastSeq *uint64) error {
 	c := st.c
-	req, err := http.NewRequestWithContext(st.ctx, http.MethodGet, c.baseURL+"/v1/events", nil)
+	base := st.base
+	if base == "" {
+		base = c.baseURL
+	}
+	req, err := http.NewRequestWithContext(st.ctx, http.MethodGet, base+"/v1/events", nil)
 	if err != nil {
 		return err
 	}
@@ -509,7 +562,7 @@ func (st *streamer) verifyLoop() {
 		if len(ids) == 0 {
 			continue
 		}
-		done, _, err := st.c.WaitTasks(st.ctx, ids, 0)
+		done, _, err := st.c.waitTasksAt(st.ctx, st.base, ids, 0)
 		// Resolve partial results before the error: their server-side
 		// copies are already purged.
 		for _, res := range done {
@@ -566,7 +619,7 @@ func (st *streamer) fallbackLoop() {
 				continue
 			}
 		}
-		done, _, err := st.c.WaitTasks(st.ctx, ids, st.c.WaitHint)
+		done, _, err := st.c.waitTasksAt(st.ctx, st.base, ids, st.c.WaitHint)
 		// Resolve partial results before the error: their server-side
 		// copies are already purged.
 		for _, res := range done {
@@ -634,7 +687,7 @@ func (st *streamer) resolveByPolling(ids []types.TaskID) {
 		return
 	}
 	pollEach(st.ctx, mine, func(_ int, id types.TaskID) {
-		res, err := st.c.GetResult(st.ctx, id)
+		res, err := st.c.getResultAt(st.ctx, st.base, id)
 		st.mu.Lock()
 		delete(st.polling, id)
 		st.mu.Unlock()

@@ -1,0 +1,268 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"funcx/internal/api"
+	"funcx/internal/auth"
+	"funcx/internal/shard"
+	"funcx/internal/types"
+)
+
+// newShardedService boots one sharded service instance ("shard-a")
+// whose ring names a second shard ("shard-b") at an unreachable
+// address — enough to exercise every wrong-shard decision locally.
+func newShardedService(t *testing.T) (*Service, *httptest.Server, *shard.Directory) {
+	t.Helper()
+	cfg := shard.Config{
+		Shards: []shard.Info{
+			{ID: "shard-a", BaseURL: "http://127.0.0.1:1"}, // self URL unused in these tests
+			{ID: "shard-b", BaseURL: "http://127.0.0.1:9"}, // nothing listens here
+		},
+		Seed: 7,
+	}
+	dir, err := shard.NewDirectory(cfg, "shard-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{ShardID: "shard-a", Ring: dir})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	return svc, ts, dir
+}
+
+// mintForeign draws an id owned by the *other* shard.
+func mintForeign[T ~string](t *testing.T, dir *shard.Directory, newID func() T, keyOf func(T) string) T {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		id := newID()
+		if !dir.Owns(keyOf(id)) {
+			return id
+		}
+	}
+	t.Fatal("could not mint a foreign-owned id")
+	panic("unreachable")
+}
+
+// hopHeaders builds a verified hop from the given shard id: header
+// plus a matching signed hop token (the test authority shares the
+// deployment key, exactly like a real peer shard).
+func hopHeaders(svc *Service, from string) map[string]string {
+	return map[string]string{
+		ShardHopHeader: from,
+		ShardHopTokenHeader: svc.Authority.Mint(
+			types.UserID("shard:"+from), time.Hour, auth.ScopeShardHop),
+	}
+}
+
+func doRequest(t *testing.T, method, url, token string, hop map[string]string, body any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	for k, v := range hop {
+		req.Header.Set(k, v)
+	}
+	// No redirect following: the tests inspect the raw gateway answer.
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// A hop-marked request for a key this shard does not own must be
+// answered 421 and never re-proxied (the redirect loop guard).
+func TestGatewayHopGuard(t *testing.T) {
+	svc, ts, dir := newShardedService(t)
+	token := svc.MintUserToken("u1")
+	foreign := mintForeign(t, dir, types.NewTaskID, shard.TaskKey)
+
+	resp := doRequest(t, http.MethodGet, ts.URL+"/v1/tasks/"+string(foreign)+"/result", token, hopHeaders(svc, "shard-b"), nil)
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("hop-marked wrong-shard result fetch: got %d, want 421", resp.StatusCode)
+	}
+	// Scatter surfaces guard too: a forwarded wait containing foreign
+	// ids means the rings disagree.
+	resp = doRequest(t, http.MethodPost, ts.URL+"/v1/tasks/wait", token, hopHeaders(svc, "shard-b"),
+		api.WaitTasksRequest{TaskIDs: []types.TaskID{foreign}})
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("hop-marked wrong-shard wait: got %d, want 421", resp.StatusCode)
+	}
+}
+
+// A public request for a foreign key is proxied; with the owner down
+// the gateway reports 502 rather than hanging or serving a wrong
+// answer.
+func TestGatewayProxyUnreachableOwner(t *testing.T) {
+	svc, ts, dir := newShardedService(t)
+	token := svc.MintUserToken("u1")
+	foreign := mintForeign(t, dir, types.NewTaskID, shard.TaskKey)
+
+	resp := doRequest(t, http.MethodGet, ts.URL+"/v1/tasks/"+string(foreign)+"/result", token, nil, nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("proxy to dead shard: got %d, want 502", resp.StatusCode)
+	}
+	stats := svc.StatsSnapshot()
+	if stats.Proxied != 1 {
+		t.Fatalf("proxied counter = %d, want 1", stats.Proxied)
+	}
+}
+
+// Browser-facing surfaces redirect to the owner's URL instead of
+// proxying.
+func TestGatewayRedirectsStatusSurfaces(t *testing.T) {
+	svc, ts, dir := newShardedService(t)
+	token := svc.MintUserToken("u1")
+	foreignTask := mintForeign(t, dir, types.NewTaskID, shard.TaskKey)
+
+	resp := doRequest(t, http.MethodGet, ts.URL+"/v1/tasks/"+string(foreignTask), token, nil, nil)
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("foreign task status: got %d, want 307", resp.StatusCode)
+	}
+	wantLoc := "http://127.0.0.1:9/v1/tasks/" + string(foreignTask)
+	if loc := resp.Header.Get("Location"); loc != wantLoc {
+		t.Fatalf("redirect location %q, want %q", loc, wantLoc)
+	}
+	stats := svc.StatsSnapshot()
+	if stats.Redirected != 1 {
+		t.Fatalf("redirected counter = %d, want 1", stats.Redirected)
+	}
+}
+
+// Wait requests mixing local and foreign ids scatter: the dead peer's
+// ids come back pending instead of failing the whole request.
+func TestGatewayWaitScatterDeadShardPendsIDs(t *testing.T) {
+	svc, ts, dir := newShardedService(t)
+	token := svc.MintUserToken("u1")
+	foreign := mintForeign(t, dir, types.NewTaskID, shard.TaskKey)
+	local := shard.MintAligned(dir, types.NewTaskID, shard.TaskKey)
+
+	resp := doRequest(t, http.MethodPost, ts.URL+"/v1/tasks/wait", token, nil,
+		api.WaitTasksRequest{TaskIDs: []types.TaskID{foreign, local}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scatter wait: got %d, want 200", resp.StatusCode)
+	}
+	var wr api.WaitTasksResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Results) != 0 || len(wr.Pending) != 2 {
+		t.Fatalf("scatter wait results=%d pending=%d, want 0/2", len(wr.Results), len(wr.Pending))
+	}
+}
+
+// Clients must not be able to smuggle replication requests: function_id
+// without a hop header is rejected, and a hop-marked replica cannot
+// overwrite a record another user owns.
+func TestGatewayFunctionReplicaGuards(t *testing.T) {
+	svc, ts, _ := newShardedService(t)
+	owner := svc.MintUserToken("owner")
+	attacker := svc.MintUserToken("attacker")
+
+	// Legitimate local registration by owner.
+	var reg api.RegisterFunctionResponse
+	resp := doRequest(t, http.MethodPost, ts.URL+"/v1/functions", owner, nil,
+		api.RegisterFunctionRequest{Name: "f", Body: []byte("def f():\n    return 1\n")})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+
+	// function_id from a public client: rejected.
+	resp = doRequest(t, http.MethodPost, ts.URL+"/v1/functions", attacker, nil,
+		api.RegisterFunctionRequest{Name: "f", Body: []byte("evil"), FunctionID: reg.FunctionID})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("public function_id: got %d, want 400", resp.StatusCode)
+	}
+	// Hop-marked replica for someone else's function id: forbidden.
+	resp = doRequest(t, http.MethodPost, ts.URL+"/v1/functions", attacker, hopHeaders(svc, "shard-b"),
+		api.RegisterFunctionRequest{Name: "f", Body: []byte("evil"), FunctionID: reg.FunctionID})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("replica overwrite by non-owner: got %d, want 403", resp.StatusCode)
+	}
+	// Hop-marked replica by the owner installs verbatim.
+	otherID := types.NewFunctionID()
+	resp = doRequest(t, http.MethodPost, ts.URL+"/v1/functions", owner, hopHeaders(svc, "shard-b"),
+		api.RegisterFunctionRequest{Name: "g", Body: []byte("def g():\n    return 2\n"), FunctionID: otherID})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("replica install: got %d, want 201", resp.StatusCode)
+	}
+	if fn, err := svc.Registry.Function(otherID); err != nil || fn.Owner != "owner" {
+		t.Fatalf("replica not installed with origin id/owner: %v", err)
+	}
+}
+
+// A sharded service refuses groups whose members live on another
+// shard (cross-shard groups are a recorded follow-on).
+func TestGatewayCrossShardGroupRejected(t *testing.T) {
+	svc, _, dir := newShardedService(t)
+	// One local endpoint, then forge a member id owned by shard-b.
+	ep, _, _, _, err := svc.RegisterEndpoint("u1", "local-ep", "", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dir.Owns(shard.EndpointKey(ep.ID)) {
+		t.Fatalf("registered endpoint not ring-aligned to its shard")
+	}
+	foreign := mintForeign(t, dir, types.NewEndpointID, shard.EndpointKey)
+	_, err = svc.CreateGroup("u1", "mixed", "", false, []types.GroupMember{
+		{EndpointID: ep.ID}, {EndpointID: foreign},
+	})
+	if err == nil {
+		t.Fatal("cross-shard group accepted")
+	}
+	if got := fmt.Sprint(err); !bytes.Contains([]byte(got), []byte("cross-shard")) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// A forged hop header (no valid hop token) must NOT open the internal
+// lane: the request is treated as public — proxied like any other
+// wrong-shard arrival, never granted 421 semantics, replica installs,
+// or the limiter bypass.
+func TestGatewayForgedHopHeaderIsPublic(t *testing.T) {
+	svc, ts, dir := newShardedService(t)
+	token := svc.MintUserToken("u1")
+	foreign := mintForeign(t, dir, types.NewTaskID, shard.TaskKey)
+
+	// Bare header: proxied (502, dead peer), not 421.
+	forged := map[string]string{ShardHopHeader: "shard-b"}
+	resp := doRequest(t, http.MethodGet, ts.URL+"/v1/tasks/"+string(foreign)+"/result", token, forged, nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("forged hop header: got %d, want 502 (public proxy path)", resp.StatusCode)
+	}
+	// A user token in the hop-token slot must not verify as a hop.
+	forged[ShardHopTokenHeader] = token
+	resp = doRequest(t, http.MethodGet, ts.URL+"/v1/tasks/"+string(foreign)+"/result", token, forged, nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("user token as hop token: got %d, want 502", resp.StatusCode)
+	}
+	// Nor can a forged hop smuggle a function replica.
+	resp = doRequest(t, http.MethodPost, ts.URL+"/v1/functions", token, forged,
+		api.RegisterFunctionRequest{Name: "f", Body: []byte("evil"), FunctionID: types.NewFunctionID()})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("forged-hop replica install: got %d, want 400", resp.StatusCode)
+	}
+}

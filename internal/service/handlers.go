@@ -14,14 +14,22 @@ import (
 	"funcx/internal/auth"
 	"funcx/internal/events"
 	"funcx/internal/registry"
+	"funcx/internal/shard"
 	"funcx/internal/types"
 	"funcx/internal/wire"
 )
 
 // ServeHTTP serves the funcX REST API (paper §3: all user interactions
 // are performed via a REST API implemented by the cloud-hosted
-// service).
+// service). A closed service refuses requests outright: a connection
+// lingering past shutdown must never be answered from a dead
+// instance's state (in a sharded deployment a fresh instance may
+// already own this address).
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.ctx.Err() != nil {
+		writeJSON(w, http.StatusServiceUnavailable, api.ErrorResponse{Error: "service: shut down"})
+		return
+	}
 	s.muxOnce.Do(s.buildMux)
 	s.mux.ServeHTTP(w, r)
 }
@@ -49,14 +57,39 @@ func (s *Service) buildMux() {
 	mux.Handle("GET /v1/groups/{id}/elasticity", protect(auth.ScopeRun, s.handleGroupElasticity))
 	mux.Handle("POST /v1/groups/{id}/members", protect(auth.ScopeManageEndpoints, s.handleAddGroupMembers))
 
-	mux.Handle("POST /v1/tasks", protect(auth.ScopeRun, s.handleSubmit))
-	mux.Handle("POST /v1/tasks/batch", protect(auth.ScopeRun, s.handleBatchSubmit))
+	mux.Handle("POST /v1/tasks", s.limitSubmit(protect(auth.ScopeRun, s.handleSubmit)))
+	mux.Handle("POST /v1/tasks/batch", s.limitSubmit(protect(auth.ScopeRun, s.handleBatchSubmit)))
 	mux.Handle("POST /v1/tasks/wait", protect(auth.ScopeRun, s.handleWaitTasks))
 	mux.Handle("GET /v1/tasks/{id}", protect(auth.ScopeRun, s.handleStatus))
 	mux.Handle("GET /v1/tasks/{id}/result", protect(auth.ScopeRun, s.handleResult))
 	mux.Handle("GET /v1/events", protect(auth.ScopeRun, s.handleEvents))
+	mux.Handle("GET /v1/stats", protect(auth.ScopeRun, s.handleStats))
 
 	s.mux = mux
+}
+
+// limitSubmit applies the submission admission semaphore
+// (Config.SubmitConcurrency): at most that many public submissions are
+// processed at once — authentication, introspection, and placement
+// alike — modeling the fixed web-worker pool of one real service
+// instance. Excess submissions queue at the door. Shard-to-shard hops
+// bypass the limiter: the internal lane must never queue behind (or
+// deadlock against) the public one, and the hop already consumed a
+// permit at its front door.
+func (s *Service) limitSubmit(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.submitSem == nil || s.hopFrom(r) != "" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.submitSem <- struct{}{}:
+			defer func() { <-s.submitSem }()
+		case <-r.Context().Done():
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // arrivalKey carries the request arrival time so the TS timing
@@ -130,9 +163,22 @@ func claimsOf(r *http.Request) *auth.Claims {
 	return c
 }
 
+// handleRegisterFunction registers a function. Functions are *global*
+// metadata over the sharded control plane: a submission may validate
+// on any shard, so the origin shard broadcasts the minted record to
+// every peer (hop-marked replication requests carry FunctionID and are
+// stored verbatim instead of minting anew).
 func (s *Service) handleRegisterFunction(w http.ResponseWriter, r *http.Request) {
 	var req api.RegisterFunctionRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.FunctionID != "" {
+		if !s.sharded() || s.hopFrom(r) == "" {
+			writeError(w, fmt.Errorf("%w: function_id is reserved for shard replication", ErrInvalidRequest))
+			return
+		}
+		s.handleFunctionReplica(w, r, req)
 		return
 	}
 	fn, err := s.Registry.RegisterFunction(claimsOf(r).Subject, req.Name, req.Body, req.Container, req.SharedWith)
@@ -140,8 +186,37 @@ func (s *Service) handleRegisterFunction(w http.ResponseWriter, r *http.Request)
 		writeError(w, err)
 		return
 	}
+	req.FunctionID = fn.ID
+	s.replicateFunction(r, http.MethodPost, "/v1/functions", req)
 	writeJSON(w, http.StatusCreated, api.RegisterFunctionResponse{
 		FunctionID: fn.ID, BodyHash: fn.BodyHash, Version: fn.Version,
+	})
+}
+
+// handleFunctionReplica installs a function record broadcast by a peer
+// shard, preserving the origin-minted id. Overwriting another owner's
+// record is refused — the replication lane rides user credentials, so
+// it must not grant more than the user could do directly.
+func (s *Service) handleFunctionReplica(w http.ResponseWriter, r *http.Request, req api.RegisterFunctionRequest) {
+	actor := claimsOf(r).Subject
+	if existing, err := s.Registry.Function(req.FunctionID); err == nil && existing.Owner != actor {
+		writeError(w, fmt.Errorf("%w: function %s belongs to another user", registry.ErrForbidden, req.FunctionID))
+		return
+	}
+	fn := &types.Function{
+		ID:         req.FunctionID,
+		Name:       req.Name,
+		Owner:      actor,
+		Body:       req.Body,
+		Container:  req.Container,
+		SharedWith: req.SharedWith,
+	}
+	if err := s.Registry.PutFunction(fn); err != nil {
+		writeError(w, fmt.Errorf("%w: %s", ErrInvalidRequest, err))
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.RegisterFunctionResponse{
+		FunctionID: fn.ID, BodyHash: registry.BodyHash(req.Body), Version: 1,
 	})
 }
 
@@ -150,10 +225,16 @@ func (s *Service) handleUpdateFunction(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	fn, err := s.Registry.UpdateFunction(claimsOf(r).Subject, types.FunctionID(r.PathValue("id")), req.Body)
+	id := types.FunctionID(r.PathValue("id"))
+	fn, err := s.Registry.UpdateFunction(claimsOf(r).Subject, id, req.Body)
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	// Broadcast the update so every shard's replica converges; a
+	// hop-marked request is itself a broadcast and stops here.
+	if s.hopFrom(r) == "" {
+		s.replicateFunction(r, http.MethodPut, "/v1/functions/"+string(id), req)
 	}
 	writeJSON(w, http.StatusOK, api.RegisterFunctionResponse{
 		FunctionID: fn.ID, BodyHash: fn.BodyHash, Version: fn.Version,
@@ -165,10 +246,14 @@ func (s *Service) handleShareFunction(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	err := s.Registry.ShareFunction(claimsOf(r).Subject, types.FunctionID(r.PathValue("id")), req.Users...)
+	id := types.FunctionID(r.PathValue("id"))
+	err := s.Registry.ShareFunction(claimsOf(r).Subject, id, req.Users...)
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	if s.hopFrom(r) == "" {
+		s.replicateFunction(r, http.MethodPost, "/v1/functions/"+string(id)+"/share", req)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "shared"})
 }
@@ -192,7 +277,12 @@ func (s *Service) handleRegisterEndpoint(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *Service) handleEndpointStatus(w http.ResponseWriter, r *http.Request) {
-	st, err := s.EndpointStatus(types.EndpointID(r.PathValue("id")))
+	id := types.EndpointID(r.PathValue("id"))
+	// Browser-facing status surface: redirect to the owner shard.
+	if s.redirectByKey(w, r, shard.EndpointKey(id)) {
+		return
+	}
+	st, err := s.EndpointStatus(id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -215,17 +305,29 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	// Cross-shard: the task belongs wherever its group or endpoint
+	// lives; a wrong-shard arrival is proxied to the owner.
+	if key, ok := submitKey(req); ok && s.routeByKey(w, r, key, req) {
+		return
+	}
 	id, epID, memoized, err := s.SubmitTaskAt(claimsOf(r).Subject, submissionOf(req), arrivalOf(r))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, api.SubmitResponse{TaskID: id, EndpointID: epID, Memoized: memoized})
+	resp := api.SubmitResponse{TaskID: id, EndpointID: epID, Memoized: memoized}
+	s.stampShard(&resp)
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 func (s *Service) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.BatchSubmitRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	// Cross-shard: sub-batches scatter to their owner shards and the
+	// ids gather back into submission order.
+	if s.batchAcrossShards(w, r, req, claimsOf(r).Subject, arrivalOf(r)) {
 		return
 	}
 	subs := make([]Submission, len(req.Tasks))
@@ -242,9 +344,22 @@ func (s *Service) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, api.BatchSubmitResponse{TaskIDs: ids})
 }
 
+// handleStats is GET /v1/stats: the per-instance operational counter
+// surface. Always served locally — in a sharded deployment each shard
+// reports only itself, and a fleet view polls every shard.
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
 func (s *Service) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
 	var req api.CreateGroupRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	// Cross-shard: a group lives where its member endpoints live, so
+	// creation routes to the first member's owner shard (which then
+	// validates that every member is local to it).
+	if len(req.Members) > 0 && s.routeByKey(w, r, shard.EndpointKey(req.Members[0].EndpointID), req) {
 		return
 	}
 	g, err := s.CreateGroupFull(claimsOf(r).Subject, req.Name, req.Policy, req.Public, req.Members, req.Elastic, req.RetryBudget)
@@ -256,7 +371,11 @@ func (s *Service) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleGroupElasticity(w http.ResponseWriter, r *http.Request) {
-	g, members, err := s.GroupElasticity(claimsOf(r).Subject, types.GroupID(r.PathValue("id")))
+	id := types.GroupID(r.PathValue("id"))
+	if s.redirectByKey(w, r, shard.GroupKey(id)) {
+		return
+	}
+	g, members, err := s.GroupElasticity(claimsOf(r).Subject, id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -265,7 +384,11 @@ func (s *Service) handleGroupElasticity(w http.ResponseWriter, r *http.Request) 
 }
 
 func (s *Service) handleGroupStatus(w http.ResponseWriter, r *http.Request) {
-	g, statuses, err := s.GroupStatus(claimsOf(r).Subject, types.GroupID(r.PathValue("id")))
+	id := types.GroupID(r.PathValue("id"))
+	if s.redirectByKey(w, r, shard.GroupKey(id)) {
+		return
+	}
+	g, statuses, err := s.GroupStatus(claimsOf(r).Subject, id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -278,7 +401,12 @@ func (s *Service) handleAddGroupMembers(w http.ResponseWriter, r *http.Request) 
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	g, err := s.AddGroupMembers(claimsOf(r).Subject, types.GroupID(r.PathValue("id")), req.Members...)
+	id := types.GroupID(r.PathValue("id"))
+	// 307 preserves method and body, so mutation routes like a read.
+	if s.redirectByKey(w, r, shard.GroupKey(id)) {
+		return
+	}
+	g, err := s.AddGroupMembers(claimsOf(r).Subject, id, req.Members...)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -288,6 +416,10 @@ func (s *Service) handleAddGroupMembers(w http.ResponseWriter, r *http.Request) 
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := types.TaskID(r.PathValue("id"))
+	// Browser-facing status surface: redirect to the task's owner.
+	if s.redirectByKey(w, r, shard.TaskKey(id)) {
+		return
+	}
 	st, err := s.Status(id)
 	if err != nil {
 		writeError(w, err)
@@ -327,6 +459,12 @@ func resultResponseOf(res *types.Result) api.ResultResponse {
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := types.TaskID(r.PathValue("id"))
+	// Cross-shard: the result lives in the owner shard's store; proxy
+	// there (holding the caller's wait) rather than redirecting, so
+	// polling SDKs work against any front door unchanged.
+	if s.routeByKey(w, r, shard.TaskKey(id), nil) {
+		return
+	}
 	// Ownership is enforced: a capability UUID alone no longer grants
 	// access to another user's result (404, like the event stream's
 	// strict per-user model).
@@ -358,6 +496,11 @@ func (s *Service) handleWaitTasks(w http.ResponseWriter, r *http.Request) {
 	if len(req.TaskIDs) > maxWaitBatch {
 		writeError(w, fmt.Errorf("%w: wait batch of %d exceeds the %d-id limit",
 			ErrInvalidRequest, len(req.TaskIDs), maxWaitBatch))
+		return
+	}
+	// Cross-shard: ids scatter to their owner shards (one forwarded
+	// wait per shard, in parallel) and completions gather here.
+	if s.waitAcrossShards(w, r, req, claimsOf(r).Subject, clampWait(req.Wait)) {
 		return
 	}
 	done, pending, err := s.WaitTasksFor(r.Context(), claimsOf(r).Subject, req.TaskIDs, clampWait(req.Wait))

@@ -10,7 +10,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,6 +27,7 @@ import (
 	"funcx/internal/netlat"
 	"funcx/internal/registry"
 	"funcx/internal/router"
+	"funcx/internal/shard"
 	"funcx/internal/store"
 	"funcx/internal/types"
 	"funcx/internal/wire"
@@ -83,6 +88,34 @@ type Config struct {
 	// task reclaimed more than its budget lands as TaskLost so its
 	// caller's future resolves instead of hanging.
 	DefaultMaxRetries int
+	// ShardID and Ring opt the service into a sharded deployment: the
+	// consistent-hash ring (identical config on every shard) assigns
+	// ownership of groups, users, endpoints, and tasks, this instance
+	// serves the keys it owns, and the cross-shard gateway proxies or
+	// redirects everything else to the owner shard (gateway.go). Nil
+	// Ring (the default) is a classic single-instance service.
+	ShardID shard.ID
+	Ring    *shard.Directory
+	// AuthKey, when set, is the shared token-signing key — the
+	// stand-in for one external Globus Auth federation. Every shard
+	// must hold the same key so a token minted by any of them verifies
+	// on all of them. Empty generates a fresh random key (single-shard
+	// default).
+	AuthKey []byte
+	// SubmitConcurrency bounds how many public task submissions this
+	// instance processes at once (0 = unlimited), modeling the fixed
+	// web-worker pool a real single service instance runs behind —
+	// the per-instance capacity that makes horizontal sharding pay
+	// off. Excess submissions queue at the door; shard-to-shard
+	// proxied submissions bypass the limiter (the internal lane must
+	// never deadlock against the public one).
+	SubmitConcurrency int
+	// ReclaimHalfLife is the decay half-life of the per-endpoint
+	// reclaim/lost rate fed to the router's lease-aware penalty:
+	// members whose dispatches keep getting reclaimed score as if they
+	// carried extra backlog until the rate decays back to zero.
+	// Default 30 s.
+	ReclaimHalfLife time.Duration
 }
 
 // ErrPayloadTooLarge is returned for inputs beyond MaxPayloadSize;
@@ -117,6 +150,15 @@ type Service struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// proxyClient carries cross-shard gateway hops (nil when
+	// unsharded); hopToken authenticates this shard's outgoing hops
+	// (signed with the deployment's shared key, ScopeShardHop only);
+	// submitSem is the public-submission admission semaphore (nil
+	// when unlimited). All are set once in New.
+	proxyClient *http.Client
+	hopToken    string
+	submitSem   chan struct{}
+
 	mu sync.Mutex
 	// statusMu serializes lifecycle-status transitions so the
 	// dispatched write cannot regress a concurrently landed terminal
@@ -128,12 +170,17 @@ type Service struct {
 	// component. The entry is consumed when the terminal event
 	// publishes, which also deduplicates at-least-once redeliveries.
 	inflight map[types.TaskID]inflightTask
+	// reclaims tracks a decaying per-endpoint reclaim/lost rate — the
+	// router's lease-aware penalty source.
+	reclaims map[types.EndpointID]*decayCounter
 
-	submitted int64
-	memoHits  int64
-	rerouted  int64
-	retried   int64
-	lost      int64
+	submitted  int64
+	memoHits   int64
+	rerouted   int64
+	retried    int64
+	lost       int64
+	proxied    int64
+	redirected int64
 }
 
 // inflightTask is the service-side record of one accepted task.
@@ -175,21 +222,52 @@ func New(cfg Config) *Service {
 	if cfg.DefaultMaxRetries <= 0 {
 		cfg.DefaultMaxRetries = 5
 	}
+	if cfg.ReclaimHalfLife <= 0 {
+		cfg.ReclaimHalfLife = 30 * time.Second
+	}
+	authority := auth.NewAuthority()
+	if len(cfg.AuthKey) > 0 {
+		authority = auth.NewAuthorityWithKey(cfg.AuthKey)
+	}
 	s := &Service{
 		cfg:        cfg,
-		Authority:  auth.NewAuthority(),
+		Authority:  authority,
 		Registry:   registry.New(),
 		Store:      store.New(),
 		Memo:       memo.NewCache(cfg.MemoSize),
 		Events:     events.New(events.Config{Ring: cfg.EventRing, IdleTTL: cfg.EventIdleTTL}),
 		forwarders: make(map[types.EndpointID]*forwarder.Forwarder),
 		inflight:   make(map[types.TaskID]inflightTask),
+		reclaims:   make(map[types.EndpointID]*decayCounter),
+	}
+	if cfg.Ring != nil {
+		// Sharded: records this shard creates must hash back to it, so
+		// any shard can compute any id's owner from the id alone.
+		s.Registry.SetIDMinters(
+			func() types.GroupID { return shard.MintAligned(cfg.Ring, types.NewGroupID, shard.GroupKey) },
+			func() types.EndpointID { return shard.MintAligned(cfg.Ring, types.NewEndpointID, shard.EndpointKey) },
+		)
+		s.proxyClient = &http.Client{
+			// Pass 307s through to the caller rather than chasing them:
+			// redirects are a client-facing surface.
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		}
+		// The hop token proves to peers that a request marked as a
+		// shard-to-shard hop really came from a shard: it is signed
+		// with the deployment's shared key, names this shard, and
+		// carries only the hop scope, so no user token qualifies.
+		s.hopToken = authority.Mint(types.UserID("shard:"+string(cfg.ShardID)),
+			10*365*24*time.Hour, auth.ScopeShardHop)
+	}
+	if cfg.SubmitConcurrency > 0 {
+		s.submitSem = make(chan struct{}, cfg.SubmitConcurrency)
 	}
 	// Result-hash writes are the completion signal: the watch fires
 	// for forwarder-stored and memo-served results alike, publishing
 	// the terminal event (which wakes every blocked waiter).
 	s.Store.Hash(resultsHash).SetWatch(s.onResultStored)
 	s.Router = router.New(s.routingStatus, s.endpointLabels)
+	s.Router.Penalty = s.routingPenalty
 	s.Elastic = elastic.NewController(elastic.Config{
 		Interval: cfg.ElasticInterval,
 		// Advice outliving three heartbeats with no refresh is stale:
@@ -373,6 +451,19 @@ func (s *Service) CreateGroupFull(owner types.UserID, name, policy string, publi
 	}
 	if len(members) == 0 {
 		return nil, fmt.Errorf("%w: group needs at least one member endpoint", ErrInvalidRequest)
+	}
+	// Sharded: a group's routing, forwarders, and queues all live on
+	// its owner shard, so every member endpoint must live here too.
+	// (Cross-shard groups are a recorded follow-on; the gateway routes
+	// group creation to the first member's owner shard.)
+	if s.cfg.Ring != nil {
+		for _, m := range members {
+			if !s.cfg.Ring.Owns(shard.EndpointKey(m.EndpointID)) {
+				return nil, fmt.Errorf("%w: endpoint %s lives on shard %s, not %s; cross-shard group members are not supported",
+					ErrInvalidRequest, m.EndpointID,
+					s.cfg.Ring.Owner(shard.EndpointKey(m.EndpointID)).ID, s.cfg.Ring.SelfID())
+			}
+		}
 	}
 	if retryBudget < 0 {
 		return nil, fmt.Errorf("%w: negative retry budget", ErrInvalidRequest)
@@ -617,6 +708,11 @@ func (s *Service) SubmitBatchAt(owner types.UserID, subs []Submission, start tim
 		}
 		prepared[i] = p
 	}
+	// Fleet-aware placement: group-targeted tasks sharing a target are
+	// split across members in one routing decision instead of N
+	// sequential Route calls against snapshots blind to the batch's
+	// own load.
+	s.routeClusters(prepared)
 	ids := make([]types.TaskID, len(prepared))
 	eps := make([]types.EndpointID, len(prepared))
 	for i, p := range prepared {
@@ -631,12 +727,72 @@ func (s *Service) SubmitBatchAt(owner types.UserID, subs []Submission, start tim
 	return ids, eps, nil
 }
 
+// routeClusters batch-routes every cluster of two or more prepared
+// submissions sharing a group and selector: one Router.RouteBatch call
+// apportions the cluster across members proportionally to live free
+// capacity (largest remainder). Memoizing submissions stay on the
+// per-task path (a cache hit must not consume a placement), and any
+// batch-routing error simply leaves the cluster to the per-task Route
+// in place (prepare already proved the selector satisfiable).
+func (s *Service) routeClusters(prepared []*preparedSubmission) {
+	clusters := make(map[string][]int)
+	for i, p := range prepared {
+		if p.group == nil || p.sub.Memoize {
+			continue
+		}
+		key := string(p.group.ID) + "\x00" + selectorKey(p.sub.Labels)
+		clusters[key] = append(clusters[key], i)
+	}
+	for _, idxs := range clusters {
+		if len(idxs) < 2 {
+			continue
+		}
+		first := prepared[idxs[0]]
+		targets, err := s.Router.RouteBatch(router.Request{
+			Group: first.group, Selector: first.sub.Labels,
+		}, len(idxs))
+		if err != nil || len(targets) != len(idxs) {
+			continue
+		}
+		for j, i := range idxs {
+			prepared[i].routed = targets[j]
+		}
+	}
+}
+
+// selectorKey canonicalizes a label selector for cluster grouping.
+// Keys and values are quoted so separator characters inside labels
+// cannot make two distinct selectors collide into one cluster (a
+// collision would batch-route a task against the wrong selector,
+// silently dropping what is otherwise a hard constraint).
+func selectorKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(labels[k]))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
 // preparedSubmission is a submission that passed every validation and
 // authorization check and is safe to place.
 type preparedSubmission struct {
 	sub   Submission
 	fn    *types.Function
 	group *types.EndpointGroup
+	// routed pins a placement decided by a batch routing pass; place
+	// skips its per-task Route when set.
+	routed types.EndpointID
 }
 
 // prepare performs all fallible validation of one submission — payload
@@ -711,7 +867,7 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 	// endpoint that never saw the task.
 	if sub.Memoize {
 		if cached, ok := s.Memo.Lookup(fn.BodyHash, sub.Payload); ok {
-			id := types.NewTaskID()
+			id := s.mintTaskID()
 			cached.TaskID = id
 			cached.Completed = time.Now()
 			cached.Timing = types.Timing{TS: time.Since(start)}
@@ -730,18 +886,23 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 	}
 
 	if p.group != nil {
-		var err error
-		epID, err = s.Router.Route(router.Request{Group: p.group, Selector: sub.Labels})
-		if errors.Is(err, router.ErrNoSelectorMatch) {
-			return "", "", false, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
-		}
-		if err != nil {
-			return "", "", false, err
+		if p.routed != "" {
+			// A batch routing pass already apportioned this cluster.
+			epID = p.routed
+		} else {
+			var err error
+			epID, err = s.Router.Route(router.Request{Group: p.group, Selector: sub.Labels})
+			if errors.Is(err, router.ErrNoSelectorMatch) {
+				return "", "", false, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
+			}
+			if err != nil {
+				return "", "", false, err
+			}
 		}
 	}
 
 	task := &types.Task{
-		ID:         types.NewTaskID(),
+		ID:         s.mintTaskID(),
 		FunctionID: sub.FunctionID,
 		EndpointID: epID,
 		GroupID:    sub.GroupID,
@@ -925,6 +1086,11 @@ func (s *Service) reclaim(task *types.Task, reason string) bool {
 	if st, ok := s.Store.Hash(statusHash).Get(string(task.ID)); ok && types.TaskStatus(st).Terminal() {
 		return true
 	}
+	// Every genuine reclaim — including the ones that land as lost
+	// below — counts against the endpoint's delivery-health rate, so
+	// load-aware routing steers new work away from a member that keeps
+	// dropping dispatches (the penalty decays back to zero on its own).
+	s.noteReclaim(task.EndpointID)
 	if task.AtMostOnce {
 		s.lose(task, fmt.Sprintf("at-most-once task not redelivered after %s (attempt %d)", reason, task.Attempt))
 		return true
@@ -962,6 +1128,70 @@ func (s *Service) reclaim(task *types.Task, reason string) bool {
 		return false
 	}
 	return true
+}
+
+// --- lease-aware routing penalty ---
+
+// decayCounter is an exponentially decaying event counter: bump adds
+// one, and the value halves every ReclaimHalfLife with no events.
+type decayCounter struct {
+	v    float64
+	last time.Time
+}
+
+// decayTo folds elapsed time into the value.
+func (d *decayCounter) decayTo(now time.Time, halfLife time.Duration) {
+	if dt := now.Sub(d.last); dt > 0 {
+		d.v *= math.Exp2(-float64(dt) / float64(halfLife))
+		d.last = now
+	}
+}
+
+// noteReclaim records one reclaimed or lost dispatch against an
+// endpoint.
+func (s *Service) noteReclaim(id types.EndpointID) {
+	now := time.Now()
+	s.mu.Lock()
+	c := s.reclaims[id]
+	if c == nil {
+		c = &decayCounter{last: now}
+		s.reclaims[id] = c
+	}
+	c.decayTo(now, s.cfg.ReclaimHalfLife)
+	c.v++
+	s.mu.Unlock()
+}
+
+// ReclaimRate reports an endpoint's decayed reclaim/lost rate:
+// roughly, recent reclaims weighted by age (each halves every
+// ReclaimHalfLife). Zero for healthy endpoints.
+func (s *Service) ReclaimRate(id types.EndpointID) float64 {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.reclaims[id]
+	if c == nil {
+		return 0
+	}
+	c.decayTo(now, s.cfg.ReclaimHalfLife)
+	if c.v < 1e-3 {
+		// Fully decayed: drop the entry so the map tracks only
+		// endpoints with recent trouble.
+		delete(s.reclaims, id)
+		return 0
+	}
+	return c.v
+}
+
+// reclaimPenaltyWeight converts the reclaim rate into the router's
+// equivalent-backlog penalty: one recent reclaim scores like this many
+// queued tasks, so a flapping member must be meaningfully less loaded
+// than a healthy one before it wins placement again.
+const reclaimPenaltyWeight = 8.0
+
+// routingPenalty is the router's Penalty source.
+func (s *Service) routingPenalty(id types.EndpointID) float64 {
+	return reclaimPenaltyWeight * s.ReclaimRate(id)
 }
 
 // retryBudget resolves a task's effective redelivery budget.
@@ -1225,11 +1455,59 @@ func (s *Service) purgeAfterRead(id types.TaskID) {
 	s.Store.Hash(ownersHash).Del(string(id))
 }
 
+// mintTaskID generates a task id. A sharded service mints ids its own
+// shard owns on the ring, so any front door can route a result, wait,
+// or status request for a bare task id to the owner without a lookup.
+func (s *Service) mintTaskID() types.TaskID {
+	if s.cfg.Ring == nil {
+		return types.NewTaskID()
+	}
+	return shard.MintAligned(s.cfg.Ring, types.NewTaskID, shard.TaskKey)
+}
+
 // Stats returns cumulative counters: submitted tasks and memo hits.
 func (s *Service) Stats() (submitted, memoHits int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.submitted, s.memoHits
+}
+
+// StatsSnapshot assembles the GET /v1/stats document: this instance's
+// cumulative task totals, delivery outcomes, gateway activity, and one
+// per-endpoint counter block. In a sharded deployment the snapshot
+// covers only this shard (shared nothing — poll every shard for the
+// fleet view).
+func (s *Service) StatsSnapshot() api.StatsResponse {
+	s.mu.Lock()
+	resp := api.StatsResponse{
+		Submitted: s.submitted, MemoHits: s.memoHits, Rerouted: s.rerouted,
+		Retried: s.retried, Lost: s.lost,
+		Proxied: s.proxied, Redirected: s.redirected,
+	}
+	s.mu.Unlock()
+	if s.cfg.Ring != nil {
+		resp.ShardID = string(s.cfg.Ring.SelfID())
+		resp.Shards = s.cfg.Ring.N()
+	}
+	resp.ElasticEvaluations = s.Elastic.Evaluations()
+	resp.EventUsers = s.Events.Users()
+	eps := s.Registry.Endpoints()
+	sort.Slice(eps, func(i, j int) bool { return eps[i].ID < eps[j].ID })
+	resp.Endpoints = make([]api.EndpointStats, 0, len(eps))
+	for _, ep := range eps {
+		st := api.EndpointStats{EndpointID: ep.ID}
+		if f, ok := s.Forwarder(ep.ID); ok {
+			fst := f.Status()
+			st.Connected = fst.Connected
+			st.Queued = fst.QueuedTasks
+			st.Outstanding = f.Outstanding()
+			st.Dispatched, st.Completed, st.Requeued = f.Stats()
+			st.Reclaimed = f.Reclaimed()
+		}
+		st.ReclaimRate = s.ReclaimRate(ep.ID)
+		resp.Endpoints = append(resp.Endpoints, st)
+	}
+	return resp
 }
 
 // Rerouted returns how many queued tasks the failover path has moved

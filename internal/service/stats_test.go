@@ -1,0 +1,111 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"funcx/internal/api"
+	"funcx/internal/store"
+	"funcx/internal/types"
+)
+
+// The reclaim rate must rise on reclaims and decay back to zero (and
+// the tracking entry must be pruned once negligible).
+func TestReclaimRateDecaysToZero(t *testing.T) {
+	svc := New(Config{ReclaimHalfLife: 10 * time.Millisecond})
+	t.Cleanup(svc.Close)
+	ep := types.EndpointID("ep-x")
+	svc.noteReclaim(ep)
+	svc.noteReclaim(ep)
+	if r := svc.ReclaimRate(ep); r < 1.5 {
+		t.Fatalf("rate after two reclaims = %.3f, want ~2", r)
+	}
+	if p := svc.routingPenalty(ep); p < 10 {
+		t.Fatalf("penalty = %.1f, want ≥ 10 equivalent backlog", p)
+	}
+	time.Sleep(200 * time.Millisecond) // 20 half-lives
+	if r := svc.ReclaimRate(ep); r != 0 {
+		t.Fatalf("rate did not decay to zero: %.6f", r)
+	}
+	svc.mu.Lock()
+	_, tracked := svc.reclaims[ep]
+	svc.mu.Unlock()
+	if tracked {
+		t.Fatal("fully decayed entry not pruned")
+	}
+}
+
+// A group batch must be apportioned by one RouteBatch call: with
+// member weights 3:1 and no agents (static snapshot), the queues end
+// up split 3:1, where per-task routing would have alternated evenly.
+func TestBatchSubmitUsesFleetPlacement(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID := registerTestFunction(t, srv, token)
+	epA := registerTestEndpoint(t, srv, token, "ep-a", nil)
+	epB := registerTestEndpoint(t, srv, token, "ep-b", nil)
+
+	var g api.CreateGroupResponse
+	code := doJSON(t, srv, token, http.MethodPost, "/v1/groups", api.CreateGroupRequest{
+		Name: "weighted", Policy: "least-outstanding",
+		Members: []types.GroupMember{
+			{EndpointID: epA, Weight: 3},
+			{EndpointID: epB, Weight: 1},
+		},
+	}, &g)
+	if code != http.StatusCreated {
+		t.Fatalf("create group = %d", code)
+	}
+
+	batch := api.BatchSubmitRequest{}
+	for i := 0; i < 12; i++ {
+		batch.Tasks = append(batch.Tasks, api.SubmitRequest{
+			FunctionID: fnID, GroupID: g.Group.ID, Payload: []byte("x"),
+		})
+	}
+	var resp api.BatchSubmitResponse
+	if code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks/batch", batch, &resp); code != http.StatusAccepted {
+		t.Fatalf("batch submit = %d", code)
+	}
+	qa := svc.Store.Queue(store.TaskQueueName(string(epA))).Len()
+	qb := svc.Store.Queue(store.TaskQueueName(string(epB))).Len()
+	if qa+qb != 12 {
+		t.Fatalf("queues hold %d+%d tasks, want 12", qa, qb)
+	}
+	if qa != 9 || qb != 3 {
+		t.Fatalf("batch split %d:%d, want 9:3 (proportional, one decision)", qa, qb)
+	}
+}
+
+// GET /v1/stats surfaces per-endpoint and delivery counters.
+func TestStatsSurface(t *testing.T) {
+	svc, srv, token := testService(t)
+	fnID := registerTestFunction(t, srv, token)
+	ep := registerTestEndpoint(t, srv, token, "ep-s", nil)
+	var sub api.SubmitResponse
+	if code := doJSON(t, srv, token, http.MethodPost, "/v1/tasks",
+		api.SubmitRequest{FunctionID: fnID, EndpointID: ep, Payload: []byte("x")}, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	svc.noteReclaim(ep)
+
+	var stats api.StatsResponse
+	if code := doJSON(t, srv, token, http.MethodGet, "/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if stats.Submitted != 1 {
+		t.Fatalf("stats.Submitted = %d, want 1", stats.Submitted)
+	}
+	if len(stats.Endpoints) != 1 || stats.Endpoints[0].EndpointID != ep {
+		t.Fatalf("stats.Endpoints = %+v", stats.Endpoints)
+	}
+	if stats.Endpoints[0].Queued != 1 {
+		t.Fatalf("endpoint queued = %d, want 1", stats.Endpoints[0].Queued)
+	}
+	if stats.Endpoints[0].ReclaimRate <= 0 {
+		t.Fatal("endpoint reclaim rate not surfaced")
+	}
+	if stats.ShardID != "" || stats.Shards != 0 {
+		t.Fatalf("unsharded service reports shard identity: %+v", stats)
+	}
+}

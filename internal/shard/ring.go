@@ -1,0 +1,358 @@
+// Package shard implements cross-service sharding for the funcX
+// control plane: a consistent-hash ring that deterministically assigns
+// ownership of groups, users, and direct-endpoint ids to one of N
+// service shards, plus the shard directory every shard loads at boot.
+//
+// The journal version of funcX (2209.11631) scales its web-service
+// tier horizontally behind a load balancer: any instance is a valid
+// front door, and instances share nothing but the backing stores. This
+// reproduction keeps each shard fully shared-nothing (its own
+// registry, store, event bus, and forwarders) and instead makes
+// ownership computable from the id alone: every shard derives the same
+// ring from the same seeded config, and shards mint record ids that
+// hash to themselves, so a request arriving at the wrong shard can be
+// proxied or redirected to its owner without any shared lookup table
+// (see service's gateway layer).
+//
+// The ring uses virtual nodes for spread and a bounded-load guard: at
+// build time, while any shard owns more than LoadFactor/N of the hash
+// space, extra virtual nodes are added (deterministically) for the
+// most underloaded shard. With the default virtual-node count the
+// guard is a no-op and the ring keeps the classic consistent-hashing
+// minimal-movement property: removing a shard moves only the keys it
+// owned.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"funcx/internal/types"
+)
+
+// ID names one service shard (e.g. "shard-0"). It is part of the ring
+// config, not derived from the shard's address, so a shard can move
+// hosts without changing ownership.
+type ID string
+
+// Info locates one shard: its ring identity and the base URL of its
+// REST API, which the cross-shard gateway proxies and redirects to.
+type Info struct {
+	ID ID `json:"id"`
+	// BaseURL is the shard's REST API root (e.g. "http://10.0.0.2:8080").
+	BaseURL string `json:"base_url"`
+}
+
+// Config is the seeded ring configuration. Every shard must load an
+// identical Config (same shards in any order, same seed, same tuning)
+// or ownership decisions diverge and the gateway's loop guard trips.
+type Config struct {
+	// Shards lists every shard in the deployment.
+	Shards []Info `json:"shards"`
+	// VirtualNodes is the per-shard virtual-node count (default 128).
+	// More nodes smooth the hash-space split at the cost of ring size.
+	VirtualNodes int `json:"virtual_nodes,omitempty"`
+	// Seed perturbs the ring's hash function; all shards must agree.
+	Seed int64 `json:"seed,omitempty"`
+	// LoadFactor is the bounded-load guard c (≥ 1): at build time no
+	// shard may own more than c/N of the hash space, enforced by
+	// deterministically adding virtual nodes for underloaded shards.
+	// Default 1.25. Values large enough (e.g. 2 with the default
+	// virtual-node count) make the guard a no-op, preserving the exact
+	// minimal-movement property across membership changes.
+	LoadFactor float64 `json:"load_factor,omitempty"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 128
+	}
+	if c.LoadFactor <= 0 {
+		c.LoadFactor = 1.25
+	}
+	return c
+}
+
+// point is one virtual node on the ring.
+type point struct {
+	hash  uint64
+	owner ID
+}
+
+// Ring is an immutable consistent-hash ring built from a Config. It is
+// safe for concurrent use.
+type Ring struct {
+	cfg    Config
+	seed   uint64
+	points []point // sorted by hash
+	shares map[ID]float64
+}
+
+// maxBalanceRounds bounds the bounded-load augmentation: each round
+// adds virtual nodes for the most underloaded shard, so convergence is
+// fast when LoadFactor is achievable and harmless when it is not.
+const maxBalanceRounds = 32
+
+// NewRing builds the ring. It is deterministic: the same Config (with
+// Shards in any order) always yields the same assignment of every key.
+func NewRing(cfg Config) (*Ring, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("shard: ring config names no shards")
+	}
+	if cfg.LoadFactor < 1 {
+		return nil, fmt.Errorf("shard: load factor %.2f < 1 is unsatisfiable", cfg.LoadFactor)
+	}
+	// Canonical shard order: ownership must not depend on config file
+	// ordering.
+	ids := make([]ID, 0, len(cfg.Shards))
+	seen := make(map[ID]bool, len(cfg.Shards))
+	for _, s := range cfg.Shards {
+		if s.ID == "" {
+			return nil, errors.New("shard: ring config contains a shard with no id")
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("shard: duplicate shard id %q in ring config", s.ID)
+		}
+		seen[s.ID] = true
+		ids = append(ids, s.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	r := &Ring{cfg: cfg, seed: splitmix64(uint64(cfg.Seed))}
+	replicas := make(map[ID]int, len(ids))
+	for _, id := range ids {
+		replicas[id] = cfg.VirtualNodes
+	}
+	r.build(ids, replicas)
+
+	// Bounded-load guard: grow the most underloaded shard until no
+	// shard owns more than LoadFactor/N of the hash space (or the
+	// round budget runs out — best effort for near-1 factors).
+	target := cfg.LoadFactor / float64(len(ids))
+	step := max(cfg.VirtualNodes/4, 4)
+	for round := 0; round < maxBalanceRounds; round++ {
+		maxShare, minID := r.extremes(ids)
+		if maxShare <= target {
+			break
+		}
+		replicas[minID] += step
+		r.build(ids, replicas)
+	}
+	return r, nil
+}
+
+// build (re)materializes the sorted point list and per-shard shares
+// for the given per-shard replica counts.
+func (r *Ring) build(ids []ID, replicas map[ID]int) {
+	n := 0
+	for _, id := range ids {
+		n += replicas[id]
+	}
+	points := make([]point, 0, n)
+	for _, id := range ids {
+		for i := 0; i < replicas[id]; i++ {
+			points = append(points, point{
+				hash:  r.hash(fmt.Sprintf("vn|%s|%d", id, i)),
+				owner: id,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by id so the ring is
+		// still a pure function of the config.
+		return points[i].owner < points[j].owner
+	})
+	r.points = points
+
+	shares := make(map[ID]float64, len(ids))
+	const whole = float64(1<<63) * 2 // 2^64 as float
+	for i, p := range points {
+		var arc uint64
+		if i == 0 {
+			arc = points[0].hash - points[len(points)-1].hash // wraps
+		} else {
+			arc = p.hash - points[i-1].hash
+		}
+		shares[p.owner] += float64(arc) / whole
+	}
+	r.shares = shares
+}
+
+// extremes returns the largest share and the id of the smallest-share
+// shard (ties broken by id order, keeping augmentation deterministic).
+func (r *Ring) extremes(ids []ID) (maxShare float64, minID ID) {
+	minShare := 2.0
+	for _, id := range ids {
+		s := r.shares[id]
+		if s > maxShare {
+			maxShare = s
+		}
+		if s < minShare {
+			minShare, minID = s, id
+		}
+	}
+	return maxShare, minID
+}
+
+// Owner returns the shard owning a key: the owner of the first virtual
+// node at or clockwise of the key's hash.
+func (r *Ring) Owner(key string) ID {
+	h := r.hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].owner
+}
+
+// Shares reports the fraction of the hash space each shard owns — the
+// quantity the bounded-load guard constrains.
+func (r *Ring) Shares() map[ID]float64 {
+	out := make(map[ID]float64, len(r.shares))
+	for id, s := range r.shares {
+		out[id] = s
+	}
+	return out
+}
+
+// Points returns the ring size (total virtual nodes), for diagnostics.
+func (r *Ring) Points() int { return len(r.points) }
+
+// hash is seeded FNV-1a 64: deterministic across processes and Go
+// versions, unlike hash/maphash.
+func (r *Ring) hash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ r.seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	// Final avalanche so nearby keys spread.
+	return splitmix64(h)
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator: a cheap,
+// well-distributed 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// --- ownership key namespaces ---
+//
+// Keys are namespaced so ids of different kinds can never collide on
+// the ring (a group and a user with equal strings still hash apart).
+
+// GroupKey is the ring key for an endpoint group id.
+func GroupKey(id types.GroupID) string { return "g:" + string(id) }
+
+// UserKey is the ring key for a user id.
+func UserKey(id types.UserID) string { return "u:" + string(id) }
+
+// EndpointKey is the ring key for a direct-endpoint id.
+func EndpointKey(id types.EndpointID) string { return "e:" + string(id) }
+
+// TaskKey is the ring key for a task id. Shards mint task ids they own
+// (see Directory), so any shard can route a result or wait request for
+// a bare task id to its owner.
+func TaskKey(id types.TaskID) string { return "t:" + string(id) }
+
+// --- directory ---
+
+// Directory is one shard's view of the deployment: the shared ring
+// plus its own identity. Every shard loads the same Config at boot and
+// differs only in self.
+type Directory struct {
+	ring *Ring
+	self ID
+	byID map[ID]Info
+	all  []Info
+}
+
+// NewDirectory builds a directory for the shard named self, which must
+// appear in the config.
+func NewDirectory(cfg Config, self ID) (*Directory, error) {
+	ring, err := NewRing(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Directory{ring: ring, self: self, byID: make(map[ID]Info, len(cfg.Shards))}
+	for _, s := range cfg.Shards {
+		d.byID[s.ID] = s
+		d.all = append(d.all, s)
+	}
+	sort.Slice(d.all, func(i, j int) bool { return d.all[i].ID < d.all[j].ID })
+	if _, ok := d.byID[self]; !ok {
+		return nil, fmt.Errorf("shard: self %q not in ring config", self)
+	}
+	return d, nil
+}
+
+// Ring exposes the underlying ring.
+func (d *Directory) Ring() *Ring { return d.ring }
+
+// SelfID returns this shard's identity.
+func (d *Directory) SelfID() ID { return d.self }
+
+// Self returns this shard's directory entry.
+func (d *Directory) Self() Info { return d.byID[d.self] }
+
+// N returns the shard count.
+func (d *Directory) N() int { return len(d.all) }
+
+// Shards lists every shard in id order.
+func (d *Directory) Shards() []Info { return append([]Info(nil), d.all...) }
+
+// Peers lists every shard except self, in id order.
+func (d *Directory) Peers() []Info {
+	out := make([]Info, 0, len(d.all)-1)
+	for _, s := range d.all {
+		if s.ID != d.self {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Lookup resolves a shard id to its directory entry.
+func (d *Directory) Lookup(id ID) (Info, bool) {
+	s, ok := d.byID[id]
+	return s, ok
+}
+
+// Owner returns the directory entry of the shard owning a key.
+func (d *Directory) Owner(key string) Info { return d.byID[d.ring.Owner(key)] }
+
+// Owns reports whether this shard owns the key.
+func (d *Directory) Owns(key string) bool { return d.ring.Owner(key) == d.self }
+
+// mintAttempts bounds aligned id minting; with N shards each draw
+// lands on self with probability ≈ 1/N, so 256 draws failing is
+// astronomically unlikely even on a badly skewed ring.
+const mintAttempts = 256
+
+// MintAligned draws fresh ids until the ring assigns one to this
+// shard, so ownership of every record a shard creates is computable
+// from the id alone. keyOf maps a candidate id to its ring key.
+func MintAligned[T ~string](d *Directory, newID func() T, keyOf func(T) string) T {
+	var id T
+	for i := 0; i < mintAttempts; i++ {
+		id = newID()
+		if d.Owns(keyOf(id)) {
+			return id
+		}
+	}
+	// Unreachable in practice; the caller still gets a valid (if
+	// misaligned) id rather than a panic on a pathological ring.
+	return id
+}

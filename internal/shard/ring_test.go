@@ -1,0 +1,220 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"funcx/internal/types"
+)
+
+func testConfig(n int) Config {
+	cfg := Config{Seed: 42}
+	for i := 0; i < n; i++ {
+		cfg.Shards = append(cfg.Shards, Info{
+			ID:      ID(fmt.Sprintf("shard-%d", i)),
+			BaseURL: fmt.Sprintf("http://127.0.0.1:%d", 9000+i),
+		})
+	}
+	return cfg
+}
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = GroupKey(types.GroupID(fmt.Sprintf("group-%d", i)))
+	}
+	return keys
+}
+
+// The ring must be a pure function of its config: two builds (e.g.
+// across a shard restart) agree on every key, and shard order in the
+// config must not matter.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	cfg := testConfig(5)
+	a, err := NewRing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := cfg
+	shuffled.Shards = []Info{cfg.Shards[3], cfg.Shards[0], cfg.Shards[4], cfg.Shards[1], cfg.Shards[2]}
+	c, err := NewRing(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range sampleKeys(2000) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rebuild disagrees on %q: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+		if a.Owner(key) != c.Owner(key) {
+			t.Fatalf("shard order changed ownership of %q", key)
+		}
+	}
+}
+
+// A different seed must yield a different ring (the seed is part of
+// the deployment identity).
+func TestRingSeedChangesAssignment(t *testing.T) {
+	cfg := testConfig(4)
+	a, _ := NewRing(cfg)
+	cfg2 := cfg
+	cfg2.Seed = 43
+	b, _ := NewRing(cfg2)
+	moved := 0
+	keys := sampleKeys(1000)
+	for _, key := range keys {
+		if a.Owner(key) != b.Owner(key) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the seed moved no keys")
+	}
+}
+
+// Removing one shard must move only the keys that shard owned: every
+// key owned by a survivor keeps its owner (consistent hashing's
+// minimal-movement property). LoadFactor 2 guarantees the bounded-load
+// guard stays a no-op, where the property is exact.
+func TestRingRebalanceMovesOnlyChangedNode(t *testing.T) {
+	cfg := testConfig(5)
+	cfg.LoadFactor = 2
+	full, err := NewRing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := ID("shard-2")
+	smaller := cfg
+	smaller.Shards = nil
+	for _, s := range cfg.Shards {
+		if s.ID != removed {
+			smaller.Shards = append(smaller.Shards, s)
+		}
+	}
+	reduced, err := NewRing(smaller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := sampleKeys(5000)
+	movedFromRemoved := 0
+	for _, key := range keys {
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before == removed {
+			movedFromRemoved++
+			if after == removed {
+				t.Fatalf("key %q still assigned to removed shard", key)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+		}
+	}
+	if movedFromRemoved == 0 {
+		t.Fatal("sample had no keys on the removed shard; enlarge the sample")
+	}
+}
+
+// The bounded-load guard must cap every shard's hash-space share at
+// LoadFactor/N, even from a deliberately skewed starting ring.
+func TestRingBoundedLoad(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.VirtualNodes = 2 // skewed on purpose
+	cfg.LoadFactor = 1.25
+	r, err := NewRing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := cfg.LoadFactor / float64(len(cfg.Shards))
+	for id, share := range r.Shares() {
+		if share > target+1e-9 {
+			t.Fatalf("shard %s owns %.3f of the hash space, above the %.3f bound", id, share, target)
+		}
+	}
+}
+
+func TestRingConfigValidation(t *testing.T) {
+	if _, err := NewRing(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := testConfig(2)
+	cfg.Shards[1].ID = cfg.Shards[0].ID
+	if _, err := NewRing(cfg); err == nil {
+		t.Fatal("duplicate shard id accepted")
+	}
+	cfg = testConfig(2)
+	cfg.LoadFactor = 0.5
+	if _, err := NewRing(cfg); err == nil {
+		t.Fatal("load factor < 1 accepted")
+	}
+}
+
+// Key namespaces must keep identical id strings apart.
+func TestKeyNamespaces(t *testing.T) {
+	d, err := NewDirectory(testConfig(7), "shard-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "aaaaaaaa-bbbb-cccc-dddd-eeeeeeeeeeee"
+	owners := map[ID]bool{
+		d.Owner(GroupKey(types.GroupID(id))).ID:       true,
+		d.Owner(UserKey(types.UserID(id))).ID:         true,
+		d.Owner(EndpointKey(types.EndpointID(id))).ID: true,
+		d.Owner(TaskKey(types.TaskID(id))).ID:         true,
+	}
+	if len(owners) < 2 {
+		t.Fatal("all four key namespaces landed on one shard; namespacing is suspect")
+	}
+}
+
+func TestDirectorySelfAndPeers(t *testing.T) {
+	cfg := testConfig(3)
+	d, err := NewDirectory(cfg, "shard-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Self().BaseURL != "http://127.0.0.1:9001" {
+		t.Fatalf("self url %q", d.Self().BaseURL)
+	}
+	if len(d.Peers()) != 2 {
+		t.Fatalf("peers %v", d.Peers())
+	}
+	for _, p := range d.Peers() {
+		if p.ID == d.SelfID() {
+			t.Fatal("self listed as peer")
+		}
+	}
+	if _, err := NewDirectory(cfg, "nope"); err == nil {
+		t.Fatal("unknown self accepted")
+	}
+}
+
+// MintAligned must return ids this shard owns, and every other shard's
+// directory must agree on that ownership.
+func TestMintAlignedAgreesAcrossShards(t *testing.T) {
+	cfg := testConfig(3)
+	dirs := make([]*Directory, 3)
+	for i := range dirs {
+		var err error
+		dirs[i], err = NewDirectory(cfg, ID(fmt.Sprintf("shard-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, d := range dirs {
+		for j := 0; j < 50; j++ {
+			id := MintAligned(d, types.NewTaskID, TaskKey)
+			if !d.Owns(TaskKey(id)) {
+				t.Fatalf("shard %d minted a task id it does not own", i)
+			}
+			for _, other := range dirs {
+				if other.Owner(TaskKey(id)).ID != d.SelfID() {
+					t.Fatalf("shard directories disagree on owner of minted id")
+				}
+			}
+		}
+	}
+}
