@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: build test race fmt vet bench smoke experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the control-plane benchmark suite (submit hot path
+# in-memory vs WAL, batch wait) and writes BENCH_6.json. The floor is
+# a loose regression tripwire: the measured WAL ratio sits around
+# 0.7x, so anything under 0.5x means the group commit stopped
+# amortizing, not that the disk had a bad day.
+bench:
+	$(GO) run ./cmd/funcx-perf -out BENCH_6.json -wal-floor 0.5
+
+# smoke runs the durability experiment (WAL crash recovery + shard
+# drain) in quick mode, as CI does.
+smoke:
+	$(GO) run ./cmd/funcx-bench -quick -experiment durability
+
+# experiments runs every registered §5 driver in quick mode.
+experiments:
+	$(GO) run ./cmd/funcx-bench -quick

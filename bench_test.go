@@ -19,6 +19,7 @@ import (
 	"funcx/internal/experiments"
 	"funcx/internal/fx"
 	"funcx/internal/memo"
+	"funcx/internal/perf"
 	"funcx/internal/scale"
 	"funcx/internal/serial"
 	"funcx/internal/service"
@@ -181,6 +182,26 @@ func BenchmarkAblationPrefetchModel(b *testing.B) {
 		b.ReportMetric(none.Completion.Seconds()/full.Completion.Seconds(), "speedup")
 	}
 }
+
+// --- control-plane hot paths (cmd/funcx-perf runs the same bodies
+// standalone and emits BENCH_6.json) ---
+
+// BenchmarkSubmitHotPath measures one authenticated submit per
+// iteration with the pure in-memory store.
+func BenchmarkSubmitHotPath(b *testing.B) { perf.BenchSubmit(b, false) }
+
+// BenchmarkSubmitHotPathWAL is the same path with every store
+// mutation journaled through the group-committed WAL — the PR-6
+// acceptance bar is staying within 35% of in-memory.
+func BenchmarkSubmitHotPathWAL(b *testing.B) { perf.BenchSubmit(b, true) }
+
+// BenchmarkBatchWait measures a 16-task submit + batch-wait round
+// trip through POST /v1/tasks/wait.
+func BenchmarkBatchWait(b *testing.B) { perf.BenchBatchWait(b) }
+
+// BenchmarkDurabilityExperiment runs the §PR-6 durability driver
+// (WAL crash recovery + shard drain) end to end in quick mode.
+func BenchmarkDurabilityExperiment(b *testing.B) { runExperiment(b, "durability") }
 
 // --- substrate micro-benchmarks ---
 

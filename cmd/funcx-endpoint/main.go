@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"funcx/internal/api"
 	"funcx/internal/container"
 	"funcx/internal/endpoint"
 	"funcx/internal/fx"
@@ -46,6 +47,7 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", time.Second, "heartbeat period")
 		labelSpec  = flag.String("labels", "", "capability labels for router matching, comma-separated key=value (e.g. gpu=a100,site=anl)")
 		noAdvice   = flag.Bool("no-advice", false, "ignore scaling advice pushed by the service's fleet elasticity controller (scaling stays purely local)")
+		reattachID = flag.String("endpoint-id", "", "reattach to this existing endpoint instead of registering a new one (after a durable service restarts, its recovered endpoints keep their queued tasks)")
 	)
 	flag.Parse()
 	if *token == "" {
@@ -58,11 +60,22 @@ func main() {
 
 	ctx := context.Background()
 	client := sdk.New(*serviceURL, *token)
-	reg, err := client.RegisterEndpointLabeled(ctx, *name, "funcx-endpoint CLI", *public, labels)
-	if err != nil {
-		log.Fatalf("funcx-endpoint: registering: %v", err)
+	var reg *api.RegisterEndpointResponse
+	if *reattachID != "" {
+		resp, err := client.ReattachEndpoint(ctx, types.EndpointID(*reattachID))
+		if err != nil {
+			log.Fatalf("funcx-endpoint: reattaching: %v", err)
+		}
+		reg = resp
+		fmt.Printf("reattached endpoint %s\n", reg.EndpointID)
+	} else {
+		resp, err := client.RegisterEndpointLabeled(ctx, *name, "funcx-endpoint CLI", *public, labels)
+		if err != nil {
+			log.Fatalf("funcx-endpoint: registering: %v", err)
+		}
+		reg = resp
+		fmt.Printf("registered endpoint %s\n", reg.EndpointID)
 	}
-	fmt.Printf("registered endpoint %s\n", reg.EndpointID)
 	fmt.Printf("forwarder at %s://%s\n", reg.ForwarderNetwork, reg.ForwarderAddr)
 
 	rt := fx.NewRuntime()

@@ -54,6 +54,11 @@ func main() {
 		ringPath  = flag.String("shard-ring", "", "path to the shared shard-ring JSON config")
 		authKey   = flag.String("auth-key", "", "hex-encoded shared token-signing key (required for sharded deployments)")
 		submitCap = flag.Int("submit-concurrency", 0, "bound on concurrently processed submissions (0 = unlimited)")
+		dataDir   = flag.String("data-dir", "", "durable state directory: WAL + snapshots, with crash recovery on boot (empty = in-memory)")
+		walSync   = flag.Duration("wal-sync", 0, "WAL group-commit fsync window (0 = default 2ms)")
+		snapBytes = flag.Int("snapshot-bytes", 0, "journal bytes before a snapshot truncates the WAL (0 = default 8MiB)")
+		snapOps   = flag.Int("snapshot-ops", 0, "journal records before a snapshot truncates the WAL (0 = default 100k)")
+		snapEvery = flag.Duration("snapshot-interval", 0, "how often snapshot thresholds are checked (0 = default 500ms)")
 	)
 	flag.Parse()
 
@@ -63,6 +68,11 @@ func main() {
 		HeartbeatMisses:   *misses,
 		ResultTTL:         *resultTTL,
 		SubmitConcurrency: *submitCap,
+		DataDir:           *dataDir,
+		WALSyncInterval:   *walSync,
+		SnapshotBytes:     *snapBytes,
+		SnapshotOps:       *snapOps,
+		SnapshotInterval:  *snapEvery,
 	}
 	if (*shardID == "") != (*ringPath == "") {
 		log.Fatal("funcx-service: -shard-id and -shard-ring must be set together")
@@ -94,11 +104,23 @@ func main() {
 		cfg.AuthKey = key
 	}
 
-	svc := service.New(cfg)
+	svc, err := service.Open(cfg)
+	if err != nil {
+		log.Fatalf("funcx-service: %v", err)
+	}
 	defer svc.Close()
 
 	token := svc.MintUserToken(types.UserID(*operator), auth.ScopeAll)
 	fmt.Printf("funcx-service listening on http://%s\n", *addr)
+	if *dataDir != "" {
+		st, _ := svc.Store.WALStats()
+		if st.Recovered {
+			fmt.Printf("recovered %d WAL records from %s (snapshot %d bytes, %d torn)\n",
+				st.RecoveredRecords, *dataDir, st.RecoveredSnapshot, st.TornRecords)
+		} else {
+			fmt.Printf("durable state in %s (fresh journal)\n", *dataDir)
+		}
+	}
 	if cfg.Ring != nil {
 		fmt.Printf("shard %s in a %d-shard ring (any shard is a valid front door)\n",
 			cfg.ShardID, cfg.Ring.N())

@@ -308,6 +308,60 @@ type StatsResponse struct {
 	// Endpoints carries one entry per registered endpoint, ordered by
 	// endpoint id for stable output.
 	Endpoints []EndpointStats `json:"endpoints"`
+	// WAL carries the durability layer's counters when this instance
+	// runs with a data dir (omitted for in-memory instances).
+	WAL *WALStats `json:"wal,omitempty"`
+}
+
+// WALStats reports the durable store's journal counters: write/fsync
+// activity since open plus what the last recovery replayed.
+type WALStats struct {
+	Appends           uint64 `json:"appends"`
+	AppendedBytes     uint64 `json:"appended_bytes"`
+	Fsyncs            uint64 `json:"fsyncs"`
+	FsyncNanos        uint64 `json:"fsync_nanos"`
+	Rotations         uint64 `json:"rotations"`
+	Snapshots         uint64 `json:"snapshots"`
+	Recovered         bool   `json:"recovered"`
+	RecoveredRecords  uint64 `json:"recovered_records"`
+	RecoveredSnapshot uint64 `json:"recovered_snapshot_bytes"`
+	TornRecords       uint64 `json:"torn_records"`
+}
+
+// FunctionExportResponse is the hop-only anti-entropy export: every
+// function record the serving shard holds. A shard recovering from a
+// crash pulls this from each peer to converge on registrations it
+// missed while down.
+type FunctionExportResponse struct {
+	Functions []*types.Function `json:"functions"`
+}
+
+// ShardHandoffRequest carries a leaving shard's state to one of the
+// ring's next owners (POST /v1/shard/handoff, hop-authenticated): the
+// endpoint and group records being re-homed plus every queued task
+// with the control-plane metadata the importer must adopt.
+type ShardHandoffRequest struct {
+	From      string                 `json:"from"`
+	Endpoints []*types.Endpoint      `json:"endpoints"`
+	Groups    []*types.EndpointGroup `json:"groups,omitempty"`
+	Tasks     []HandoffTask          `json:"tasks,omitempty"`
+}
+
+// HandoffTask is one queued task in a shard handoff: the wire-encoded
+// task record plus the status/owner rows that keep result retrieval,
+// access control, and event routing working on the importer.
+type HandoffTask struct {
+	ID     string `json:"id"`
+	Data   []byte `json:"data"`
+	Status string `json:"status,omitempty"`
+	Owner  string `json:"owner,omitempty"`
+}
+
+// ShardHandoffResponse acknowledges a handoff import.
+type ShardHandoffResponse struct {
+	Endpoints int `json:"endpoints"`
+	Groups    int `json:"groups"`
+	Tasks     int `json:"tasks"`
 }
 
 // ErrorResponse is the uniform error body.

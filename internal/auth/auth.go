@@ -170,6 +170,23 @@ func (a *Authority) RegisterClient(clientID string) (secret string, err error) {
 	return secret, nil
 }
 
+// RotateClient replaces (or creates) a client identity's secret,
+// invalidating the old one. Used when an agent re-attaches to a
+// recovered shard: the endpoint record survived in the journal but
+// client secrets are held only in memory, so the endpoint gets a
+// fresh credential under its existing identity.
+func (a *Authority) RotateClient(clientID string) (secret string, err error) {
+	raw := make([]byte, 24)
+	if _, err := rand.Read(raw); err != nil {
+		return "", fmt.Errorf("auth: generating client secret: %w", err)
+	}
+	secret = base64.RawURLEncoding.EncodeToString(raw)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.clients[clientID] = secret
+	return secret, nil
+}
+
 func (a *Authority) sign(claims Claims) string {
 	body, _ := json.Marshal(claims) // Claims always marshals
 	payload := base64.RawURLEncoding.EncodeToString(body)

@@ -61,14 +61,24 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: listen: %w", err)
 	}
-	return newFabricOn(ln, cfg), nil
+	f, err := newFabricOn(ln, cfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
 // newFabricOn boots a service behind an already-bound listener — the
 // seam the sharded fabric needs, since every shard's URL must be in
-// the ring config before any shard's service exists.
-func newFabricOn(ln net.Listener, cfg FabricConfig) *Fabric {
-	svc := service.New(cfg.Service)
+// the ring config before any shard's service exists. Boot can fail on
+// a durable service (Config.DataDir) whose journal will not open or
+// replay.
+func newFabricOn(ln net.Listener, cfg FabricConfig) (*Fabric, error) {
+	svc, err := service.Open(cfg.Service)
+	if err != nil {
+		return nil, err
+	}
 	srv := &http.Server{Handler: svc}
 	f := &Fabric{
 		Service:   svc,
@@ -79,7 +89,7 @@ func newFabricOn(ln net.Listener, cfg FabricConfig) *Fabric {
 		endpoints: make(map[types.EndpointID]*Endpoint),
 	}
 	go srv.Serve(ln) //nolint:errcheck // exits on Close
-	return f
+	return f, nil
 }
 
 // Close tears the whole federation down.
@@ -227,7 +237,31 @@ func (f *Fabric) AddEndpoint(opts EndpointOptions) (*Endpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	return f.bootEndpoint(ep.ID, network, addr, token, opts)
+}
 
+// AttachEndpoint boots an agent (plus managers, runtimes) for an
+// endpoint whose *record* already exists on the service but whose
+// runtime is gone — the re-attach after a crash recovery (the journal
+// restored the registration; the agent process did not survive) or a
+// shard handoff (the record moved to this shard; its agent must
+// follow). Fresh credentials are minted via ReissueEndpointToken, so
+// the caller must be the record's owner (or "" for trusted in-process
+// harnesses).
+func (f *Fabric) AttachEndpoint(id types.EndpointID, opts EndpointOptions) (*Endpoint, error) {
+	opts.setDefaults()
+	network, addr, token, err := f.Service.ReissueEndpointToken(opts.Owner, id)
+	if err != nil {
+		return nil, err
+	}
+	return f.bootEndpoint(id, network, addr, token, opts)
+}
+
+// bootEndpoint builds and starts the full endpoint stack — function
+// runtime, container runtime, agent, managers — against an existing
+// registration's forwarder attach point. Shared by AddEndpoint
+// (fresh registration) and AttachEndpoint (re-attach).
+func (f *Fabric) bootEndpoint(id types.EndpointID, network, addr, token string, opts EndpointOptions) (*Endpoint, error) {
 	rt := fx.NewRuntime()
 	rt.SleepScale = opts.SleepScale
 	builtins := rt.RegisterBuiltins()
@@ -240,7 +274,7 @@ func (f *Fabric) AddEndpoint(opts EndpointOptions) (*Endpoint, error) {
 	})
 
 	agent := endpoint.New(endpoint.Config{
-		ID:              ep.ID,
+		ID:              id,
 		ServiceNetwork:  network,
 		ServiceAddr:     addr,
 		Token:           token,
@@ -256,7 +290,7 @@ func (f *Fabric) AddEndpoint(opts EndpointOptions) (*Endpoint, error) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &Endpoint{
-		ID:         ep.ID,
+		ID:         id,
 		Agent:      agent,
 		Runtime:    rt,
 		Builtins:   builtins,
@@ -278,7 +312,7 @@ func (f *Fabric) AddEndpoint(opts EndpointOptions) (*Endpoint, error) {
 		}
 	}
 	f.mu.Lock()
-	f.endpoints[ep.ID] = h
+	f.endpoints[id] = h
 	f.mu.Unlock()
 	return h, nil
 }
@@ -349,6 +383,19 @@ func (f *Fabric) Endpoint(id types.EndpointID) (*Endpoint, bool) {
 	defer f.mu.Unlock()
 	ep, ok := f.endpoints[id]
 	return ep, ok
+}
+
+// takeEndpoints removes and returns every endpoint handle — the
+// drain path claims them for re-homing on the importer shards.
+func (f *Fabric) takeEndpoints() []*Endpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	eps := make([]*Endpoint, 0, len(f.endpoints))
+	for id, ep := range f.endpoints {
+		eps = append(eps, ep)
+		delete(f.endpoints, id)
+	}
+	return eps
 }
 
 // AddManager boots one more manager (node) for the endpoint.

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -30,6 +31,11 @@ type ShardedFabricConfig struct {
 	// Seed, LoadFactor); the shard list is filled in from the booted
 	// listeners.
 	Ring shard.Config
+	// DataDir, when set, makes every shard durable: shard i journals
+	// to <DataDir>/shard-<i> (WAL + snapshots), and RestartShard
+	// recovers the dead shard's full control-plane state from it
+	// instead of booting empty.
+	DataDir string
 	// ClientLat optionally injects client↔service WAN latency into
 	// every SDK built by the fabric's Client helpers.
 	ClientLat *netlat.Link
@@ -124,7 +130,10 @@ func (sf *ShardedFabric) bootShard(i int, ln net.Listener) (*Fabric, error) {
 	scfg.ShardID = shardIDOf(i)
 	scfg.Ring = dir
 	scfg.AuthKey = sf.authKey
-	return newFabricOn(ln, FabricConfig{Service: scfg, ClientLat: sf.cfg.ClientLat}), nil
+	if sf.cfg.DataDir != "" {
+		scfg.DataDir = filepath.Join(sf.cfg.DataDir, string(shardIDOf(i)))
+	}
+	return newFabricOn(ln, FabricConfig{Service: scfg, ClientLat: sf.cfg.ClientLat})
 }
 
 // N returns the shard count.
@@ -190,13 +199,18 @@ func (sf *ShardedFabric) KillShard(i int) error {
 	return nil
 }
 
-// RestartShard boots a fresh, empty shard i on its original address:
-// same shard id, ring config, and auth key, so the ring's ownership
+// RestartShard boots shard i again on its original address: same
+// shard id, ring config, and auth key, so the ring's ownership
 // assignment is unchanged (ring determinism across restarts) and
-// outstanding client tokens keep working. The shard's in-memory state
-// is gone — shared nothing — so endpoints, groups, and functions must
-// be re-registered, exactly like a stateless web-tier instance
-// rescheduled by an orchestrator.
+// outstanding client tokens keep working.
+//
+// Without a DataDir the replacement is fresh and empty — shared
+// nothing — so endpoints, groups, and functions must be re-registered,
+// exactly like a stateless web-tier instance rescheduled by an
+// orchestrator. With a DataDir the shard recovers its registry,
+// queues, results, and in-flight leases from its journal; only agents
+// must re-attach (Fabric.AttachEndpoint), since their connections and
+// client secrets are runtime state the crash destroyed.
 func (sf *ShardedFabric) RestartShard(i int) (*Fabric, error) {
 	sf.mu.Lock()
 	defer sf.mu.Unlock()
@@ -223,6 +237,52 @@ func (sf *ShardedFabric) RestartShard(i int) (*Fabric, error) {
 	}
 	sf.shards[i] = fab
 	return fab, nil
+}
+
+// DrainShard gracefully removes shard i's ownership: the service
+// hands every endpoint, group, and queued task to the ring's next
+// owners (see service.Drain), and the fabric re-homes each drained
+// endpoint's agent stack to its importer shard. The drained shard
+// keeps running as a pure front door — its gateway forwards moved
+// keys to the importers — so clients holding its address lose
+// nothing; KillShard it afterwards for a full departure.
+func (sf *ShardedFabric) DrainShard(i int) (*service.DrainReport, error) {
+	fab := sf.Shard(i)
+	if fab == nil {
+		return nil, fmt.Errorf("core: shard %d is killed", i)
+	}
+	report, err := fab.Service.Drain()
+	if err != nil {
+		return nil, err
+	}
+	// Re-home the agents: each moved endpoint record now lives on its
+	// importer; boot a fresh agent stack there and retire the old one.
+	for _, h := range fab.takeEndpoints() {
+		opts := h.opts
+		h.Stop()
+		dstID := fab.Service.KeyOwnerID(shard.EndpointKey(h.ID))
+		dest := sf.fabricOf(dstID)
+		if dest == nil {
+			return report, fmt.Errorf("core: endpoint %s handed to unknown or dead shard %s", h.ID, dstID)
+		}
+		if _, err := dest.AttachEndpoint(h.ID, opts); err != nil {
+			return report, fmt.Errorf("core: re-homing endpoint %s on %s: %w", h.ID, dstID, err)
+		}
+	}
+	return report, nil
+}
+
+// fabricOf returns the live fabric running the given shard id (nil if
+// killed or unknown).
+func (sf *ShardedFabric) fabricOf(id shard.ID) *Fabric {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	for i, fab := range sf.shards {
+		if shardIDOf(i) == id {
+			return fab
+		}
+	}
+	return nil
 }
 
 // Close tears every live shard down.

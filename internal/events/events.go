@@ -234,6 +234,31 @@ func (b *Bus) Seq(user types.UserID) uint64 {
 	return 0
 }
 
+// SeedSeq fast-forwards a user's event numbering to at least seq.
+// Recovery calls this with the last journaled seq per user so a
+// restarted shard continues numbering where the dead process stopped
+// instead of reissuing seqs that clients have already consumed as
+// Last-Event-IDs. Seeding a lower seq than the stream already holds
+// is a no-op. The seeded prefix is recorded as a tombstone: resuming
+// from exactly seq succeeds, anything older gets ErrGap — identical
+// to resuming after an idle eviction.
+func (b *Bus) SeedSeq(user types.UserID, seq uint64) {
+	if seq == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st, ok := b.users[user]; ok {
+		if st.seq < seq {
+			st.seq = seq
+		}
+		return
+	}
+	if b.lastSeq[user] < seq {
+		b.lastSeq[user] = seq
+	}
+}
+
 // Subscribe attaches a live subscription starting now: only events
 // published after the call are delivered.
 func (b *Bus) Subscribe(user types.UserID) *Subscription {

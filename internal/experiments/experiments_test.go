@@ -21,7 +21,7 @@ func TestNamesComplete(t *testing.T) {
 		"fig1", "table1", "fig4", "fig5strong", "fig5weak", "throughput",
 		"fig6", "fig7", "fig8", "table2", "batchexec", "fig9", "fig10",
 		"fig11", "table3", "router", "elastic", "streaming", "reliability",
-		"sharding",
+		"sharding", "durability",
 	}
 	names := Names()
 	got := map[string]bool{}
@@ -167,6 +167,18 @@ func TestStreamingRuns(t *testing.T) {
 	for _, want := range []string{"poll", "wait", "stream", "p99", "zero task loss", "retrieval requests"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("streaming output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDurabilityRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric experiment")
+	}
+	out := runQuick(t, "durability")
+	for _, want := range []string{"kill+restart", "drain+handoff", "WAL", "zero task loss", "in-memory"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("durability output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -31,6 +31,15 @@ var (
 	ErrConflict = errors.New("registry: conflict")
 )
 
+// Record kinds passed to the change hook (SetOnChange), naming the
+// table a mutated record belongs to.
+const (
+	KindUser     = "users"
+	KindFunction = "functions"
+	KindEndpoint = "endpoints"
+	KindGroup    = "groups"
+)
+
 // Registry is the in-memory substitute for the service database.
 type Registry struct {
 	mu        sync.RWMutex
@@ -42,6 +51,8 @@ type Registry struct {
 
 	mintGroupID    func() types.GroupID
 	mintEndpointID func() types.EndpointID
+
+	onChange func(kind, id string, record any)
 }
 
 // New returns an empty registry.
@@ -70,6 +81,26 @@ func (r *Registry) SetIDMinters(group func() types.GroupID, endpoint func() type
 	}
 }
 
+// SetOnChange installs a single observer invoked synchronously after
+// every successful record mutation with the table kind, the record id,
+// and a copy of the new record — the seam a durable service uses to
+// journal registry state alongside its store. The hook runs while the
+// registry lock is held, so it must not re-enter the Registry. Install
+// it before the registry sees traffic; mutations applied earlier (e.g.
+// recovery-time upserts) are deliberately not replayed into it.
+func (r *Registry) SetOnChange(fn func(kind, id string, record any)) {
+	r.mu.Lock()
+	r.onChange = fn
+	r.mu.Unlock()
+}
+
+// notifyLocked invokes the change hook. Caller holds r.mu.
+func (r *Registry) notifyLocked(kind, id string, record any) {
+	if r.onChange != nil {
+		r.onChange(kind, id, record)
+	}
+}
+
 // BodyHash computes the canonical function-body hash used for
 // memoization keys and worker-side lookup.
 func BodyHash(body []byte) string {
@@ -88,6 +119,21 @@ func (r *Registry) AddUser(u *types.User) error {
 	}
 	cp := *u
 	r.users[u.ID] = &cp
+	r.notifyLocked(KindUser, string(u.ID), cp)
+	return nil
+}
+
+// PutUser upserts a complete user record, preserving its id — the
+// recovery path replaying journaled registry state.
+func (r *Registry) PutUser(u *types.User) error {
+	if u.ID == "" {
+		return errors.New("registry: user record has no id")
+	}
+	cp := *u
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.users[u.ID] = &cp
+	r.notifyLocked(KindUser, string(u.ID), cp)
 	return nil
 }
 
@@ -126,6 +172,7 @@ func (r *Registry) RegisterFunction(owner types.UserID, name string, body []byte
 	defer r.mu.Unlock()
 	r.functions[fn.ID] = fn
 	cp := *fn
+	r.notifyLocked(KindFunction, string(fn.ID), cp)
 	return &cp, nil
 }
 
@@ -146,6 +193,7 @@ func (r *Registry) UpdateFunction(actor types.UserID, id types.FunctionID, body 
 	fn.BodyHash = BodyHash(body)
 	fn.Version++
 	cp := *fn
+	r.notifyLocked(KindFunction, string(fn.ID), cp)
 	return &cp, nil
 }
 
@@ -161,6 +209,7 @@ func (r *Registry) ShareFunction(actor types.UserID, id types.FunctionID, with .
 		return fmt.Errorf("%w: only owner may share function", ErrForbidden)
 	}
 	fn.SharedWith = append(fn.SharedWith, with...)
+	r.notifyLocked(KindFunction, string(fn.ID), *fn)
 	return nil
 }
 
@@ -190,6 +239,7 @@ func (r *Registry) PutFunction(fn *types.Function) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.functions[cp.ID] = &cp
+	r.notifyLocked(KindFunction, string(cp.ID), cp)
 	return nil
 }
 
@@ -245,7 +295,27 @@ func (r *Registry) RegisterEndpoint(owner types.UserID, name, description string
 	defer r.mu.Unlock()
 	r.endpoints[ep.ID] = ep
 	cp := *ep
+	r.notifyLocked(KindEndpoint, string(ep.ID), cp)
 	return &cp, nil
+}
+
+// PutEndpoint upserts a complete endpoint record, preserving its id.
+// Recovery replays journaled endpoints through here, and a shard
+// importing a drained peer's endpoints does the same.
+func (r *Registry) PutEndpoint(ep *types.Endpoint) error {
+	if ep.ID == "" {
+		return errors.New("registry: endpoint record has no id")
+	}
+	cp := *ep
+	cp.Labels = copyLabels(ep.Labels)
+	if cp.Registered.IsZero() {
+		cp.Registered = r.now()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.endpoints[cp.ID] = &cp
+	r.notifyLocked(KindEndpoint, string(cp.ID), cp)
+	return nil
 }
 
 func copyLabels(labels map[string]string) map[string]string {
@@ -293,6 +363,32 @@ func (r *Registry) Endpoints() []*types.Endpoint {
 	for _, ep := range r.endpoints {
 		cp := *ep
 		out = append(out, &cp)
+	}
+	return out
+}
+
+// Functions snapshots every function record — the anti-entropy
+// export a recovered peer pulls to converge on registrations it
+// missed while down.
+func (r *Registry) Functions() []*types.Function {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*types.Function, 0, len(r.functions))
+	for _, fn := range r.functions {
+		cp := *fn
+		cp.SharedWith = append([]types.UserID(nil), fn.SharedWith...)
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// Groups snapshots every group record.
+func (r *Registry) Groups() []*types.EndpointGroup {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*types.EndpointGroup, 0, len(r.groups))
+	for _, g := range r.groups {
+		out = append(out, copyGroup(g))
 	}
 	return out
 }
@@ -362,7 +458,27 @@ func (r *Registry) RegisterGroupFull(owner types.UserID, name, policy string, pu
 		}
 	}
 	r.groups[g.ID] = g
+	r.notifyLocked(KindGroup, string(g.ID), *copyGroup(g))
 	return copyGroup(g), nil
+}
+
+// PutGroup upserts a complete group record, preserving its id — the
+// recovery and handoff-import path. No membership authorization or
+// elastic-exclusivity validation is re-run: the record was validated
+// when first registered.
+func (r *Registry) PutGroup(g *types.EndpointGroup) error {
+	if g.ID == "" {
+		return errors.New("registry: group record has no id")
+	}
+	cp := copyGroup(g)
+	if cp.Registered.IsZero() {
+		cp.Registered = r.now()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groups[cp.ID] = cp
+	r.notifyLocked(KindGroup, string(cp.ID), *copyGroup(cp))
+	return nil
 }
 
 // elasticGroupOfLocked returns the elastic group the endpoint belongs
@@ -453,6 +569,7 @@ func (r *Registry) AddGroupMembers(actor types.UserID, id types.GroupID, members
 			g.Members = append(g.Members, m)
 		}
 	}
+	r.notifyLocked(KindGroup, string(g.ID), *copyGroup(g))
 	return copyGroup(g), nil
 }
 

@@ -308,13 +308,33 @@ func (r *Router) RouteBatch(req Request, n int) ([]types.EndpointID, error) {
 		}
 	}
 	quotas := apportion(n, weights)
+	return interleave(cands, quotas, n), nil
+}
+
+// interleave emits the batch's placements striped round-robin across
+// the members instead of in per-member runs. Runs concentrate
+// consecutive batch positions on one endpoint, so a member dying
+// mid-batch takes out a contiguous block of the caller's work (the
+// worst case for callers that pipeline on batch order); striping
+// spreads any single failure evenly across the batch. The quota split
+// is preserved exactly — only emission order changes.
+func interleave(cands []Candidate, quotas []int, n int) []types.EndpointID {
 	out := make([]types.EndpointID, 0, n)
-	for i, q := range quotas {
-		for j := 0; j < q; j++ {
-			out = append(out, cands[i].EndpointID)
+	remaining := append([]int(nil), quotas...)
+	for len(out) < n {
+		emitted := false
+		for i := range remaining {
+			if remaining[i] > 0 {
+				remaining[i]--
+				out = append(out, cands[i].EndpointID)
+				emitted = true
+			}
+		}
+		if !emitted {
+			break // quotas exhausted (sum < n cannot happen; guard anyway)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // bestAffinity keeps the candidates with the maximum selector match

@@ -395,6 +395,49 @@ func TestRouteBatchSaturatedFallsBackToCapacity(t *testing.T) {
 	}
 }
 
+// Batch placements stripe across members instead of running in
+// per-member blocks: a mid-batch endpoint failure then hits scattered
+// positions, not a contiguous run of the caller's work.
+func TestRouteBatchInterleavesMembers(t *testing.T) {
+	a, b, c := types.EndpointID("ep-a"), types.EndpointID("ep-b"), types.EndpointID("ep-c")
+	f := newFixture(RoundRobin, members(a, b, c)...)
+	for _, id := range []types.EndpointID{a, b, c} {
+		f.setStatus(id, true, 0, 0, 8)
+	}
+	got, err := f.router().RouteBatch(Request{Group: f.group}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := countBy(got)
+	if counts[a] != 4 || counts[b] != 4 || counts[c] != 4 {
+		t.Fatalf("split %v, want even 4/4/4", counts)
+	}
+	// No member may appear twice in a row while others still have
+	// quota: the longest run must be 1.
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatalf("consecutive placements on %s at %d: %v", got[i], i, got)
+		}
+	}
+	// Uneven quotas still stripe: the heavy member fills the tail only
+	// after the light members' quotas run dry.
+	f2 := newFixture(LeastOutstanding, members(a, b)...)
+	f2.setStatus(a, true, 0, 0, 9) // free 9
+	f2.setStatus(b, true, 0, 0, 3) // free 3
+	got, err = f2.router().RouteBatch(Request{Group: f2.group}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := countBy(got); c[a] != 9 || c[b] != 3 {
+		t.Fatalf("split %v, want a=9 b=3", c)
+	}
+	for i := 1; i < 6; i++ { // while both have quota, strict alternation
+		if got[i] == got[i-1] {
+			t.Fatalf("consecutive placements on %s at %d while both members had quota: %v", got[i], i, got)
+		}
+	}
+}
+
 // Selectors stay hard constraints for batches.
 func TestRouteBatchSelector(t *testing.T) {
 	a, b := types.EndpointID("ep-a"), types.EndpointID("ep-b")

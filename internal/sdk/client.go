@@ -231,6 +231,21 @@ func (c *Client) NewEndpoint(ctx context.Context, spec EndpointSpec) (*api.Regis
 	return &resp, nil
 }
 
+// ReattachEndpoint rejoins an existing endpoint after a service
+// restart: the durable control plane recovers the endpoint record and
+// restarts its forwarder, but on a fresh ephemeral port and with the
+// old agent credentials gone. Owner-only; the response carries the
+// new forwarder address and a fresh endpoint token, exactly like
+// registration.
+func (c *Client) ReattachEndpoint(ctx context.Context, id types.EndpointID) (*api.RegisterEndpointResponse, error) {
+	var resp api.RegisterEndpointResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/endpoints/"+string(id)+"/reattach", struct{}{}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // RegisterEndpoint registers an endpoint.
 //
 // Deprecated: use NewEndpoint.

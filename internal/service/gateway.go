@@ -77,19 +77,23 @@ func (s *Service) misdirected(w http.ResponseWriter, key string) {
 	})
 }
 
-// routeByKey resolves a key's owner and, when it is another shard,
-// proxies the request there (re-encoding body when non-nil). It
-// reports whether it wrote a response; false means this shard owns the
-// key and the caller should serve it.
+// routeByKey resolves a key's serving shard (ring ownership filtered
+// through the drain/handoff overrides — see keyOwner) and, when it is
+// another shard, proxies the request there (re-encoding body when
+// non-nil). It reports whether it wrote a response; false means this
+// shard serves the key and the caller should handle it. A hop-marked
+// request for a key this shard handed off is forwarded once more —
+// the importer serves it locally, so the chain terminates — while any
+// other hop-marked miss still trips the loop guard.
 func (s *Service) routeByKey(w http.ResponseWriter, r *http.Request, key string, body any) bool {
-	if !s.sharded() || s.cfg.Ring.Owns(key) {
+	if !s.sharded() || s.servesKey(key) {
 		return false
 	}
-	if s.hopFrom(r) != "" {
+	if s.hopFrom(r) != "" && !s.movedAway(key) {
 		s.misdirected(w, key)
 		return true
 	}
-	s.proxyTo(w, r, s.cfg.Ring.Owner(key), body)
+	s.proxyTo(w, r, s.keyOwner(key), body)
 	return true
 }
 
@@ -98,14 +102,14 @@ func (s *Service) routeByKey(w http.ResponseWriter, r *http.Request, key string,
 // owner's URL, preserving method and body. The loop guard still
 // applies to hop-marked requests.
 func (s *Service) redirectByKey(w http.ResponseWriter, r *http.Request, key string) bool {
-	if !s.sharded() || s.cfg.Ring.Owns(key) {
+	if !s.sharded() || s.servesKey(key) {
 		return false
 	}
-	if s.hopFrom(r) != "" {
+	if s.hopFrom(r) != "" && !s.movedAway(key) {
 		s.misdirected(w, key)
 		return true
 	}
-	target := s.cfg.Ring.Owner(key)
+	target := s.keyOwner(key)
 	s.mu.Lock()
 	s.redirected++
 	s.mu.Unlock()
@@ -255,16 +259,23 @@ func (s *Service) batchAcrossShards(w http.ResponseWriter, r *http.Request, req 
 			malformed = append(malformed, i)
 			continue
 		}
-		parts[s.cfg.Ring.Owner(key).ID] = append(parts[s.cfg.Ring.Owner(key).ID], i)
+		owner := s.keyOwner(key).ID
+		parts[owner] = append(parts[owner], i)
 	}
 	local := append(parts[selfID], malformed...)
 	if len(local) == len(req.Tasks) {
 		return false
 	}
 	if s.hopFrom(r) != "" {
-		// A forwarded sub-batch must be fully owned by the receiver.
-		s.misdirected(w, "batch")
-		return true
+		// A forwarded sub-batch must be fully served by the receiver —
+		// unless the misses are keys this shard handed off, which get
+		// their one bounded extra hop to the importer.
+		for _, t := range req.Tasks {
+			if key, ok := submitKey(t); ok && !s.servesKey(key) && !s.movedAway(key) {
+				s.misdirected(w, "batch")
+				return true
+			}
+		}
 	}
 
 	type part struct {
@@ -351,15 +362,22 @@ func (s *Service) waitAcrossShards(w http.ResponseWriter, r *http.Request, req a
 	parts := make(map[shard.ID][]types.TaskID)
 	selfID := s.cfg.Ring.SelfID()
 	for _, id := range req.TaskIDs {
-		owner := s.cfg.Ring.Owner(shard.TaskKey(id)).ID
+		owner := s.keyOwner(shard.TaskKey(id)).ID
 		parts[owner] = append(parts[owner], id)
 	}
 	if len(parts[selfID]) == len(req.TaskIDs) {
 		return false
 	}
 	if s.hopFrom(r) != "" {
-		s.misdirected(w, "wait")
-		return true
+		// A forwarded wait must be fully served here — except for ids
+		// this shard handed off, which re-scatter once to the importer
+		// (bounded: the importer serves them locally).
+		for _, id := range req.TaskIDs {
+			if key := shard.TaskKey(id); !s.servesKey(key) && !s.movedAway(key) {
+				s.misdirected(w, "wait")
+				return true
+			}
+		}
 	}
 
 	var mu sync.Mutex
@@ -419,6 +437,20 @@ func (s *Service) waitAcrossShards(w http.ResponseWriter, r *http.Request, req a
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return true
+}
+
+// --- anti-entropy export ---
+
+// handleExportFunctions serves GET /v1/shard/functions — the complete
+// function-record set, to hop-authenticated peers only (no user token
+// qualifies). Recovered shards pull it to converge after downtime;
+// see pullFunctions in recovery.go.
+func (s *Service) handleExportFunctions(w http.ResponseWriter, r *http.Request) {
+	if !s.sharded() || s.hopFrom(r) == "" {
+		writeJSON(w, http.StatusForbidden, api.ErrorResponse{Error: "service: shard-to-shard surface"})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FunctionExportResponse{Functions: s.Registry.Functions()})
 }
 
 // --- function replication ---

@@ -50,6 +50,7 @@ func (s *Service) buildMux() {
 	mux.Handle("POST /v1/functions/{id}/share", protect(auth.ScopeRegisterFunction, s.handleShareFunction))
 
 	mux.Handle("POST /v1/endpoints", protect(auth.ScopeManageEndpoints, s.handleRegisterEndpoint))
+	mux.Handle("POST /v1/endpoints/{id}/reattach", protect(auth.ScopeManageEndpoints, s.handleReattachEndpoint))
 	mux.Handle("GET /v1/endpoints/{id}/status", protect(auth.ScopeRun, s.handleEndpointStatus))
 
 	mux.Handle("POST /v1/groups", protect(auth.ScopeManageEndpoints, s.handleCreateGroup))
@@ -64,6 +65,12 @@ func (s *Service) buildMux() {
 	mux.Handle("GET /v1/tasks/{id}/result", protect(auth.ScopeRun, s.handleResult))
 	mux.Handle("GET /v1/events", protect(auth.ScopeRun, s.handleEvents))
 	mux.Handle("GET /v1/stats", protect(auth.ScopeRun, s.handleStats))
+	mux.Handle("GET /v1/metrics", protect(auth.ScopeRun, s.handleMetrics))
+
+	// Shard-to-shard surfaces: authenticated by hop token, not user
+	// scopes (the handlers enforce it).
+	mux.Handle("GET /v1/shard/functions", http.HandlerFunc(s.handleExportFunctions))
+	mux.Handle("POST /v1/shard/handoff", http.HandlerFunc(s.handleShardHandoff))
 
 	s.mux = mux
 }
@@ -276,6 +283,29 @@ func (s *Service) handleRegisterEndpoint(w http.ResponseWriter, r *http.Request)
 	})
 }
 
+// handleReattachEndpoint lets an agent rejoin an endpoint that
+// survived a service restart: the journal recovered the record and a
+// fresh forwarder, but the agent's credentials and forwarder address
+// died with the old process. Owner-only; returns the same shape as
+// registration so the agent boot path is identical either way.
+func (s *Service) handleReattachEndpoint(w http.ResponseWriter, r *http.Request) {
+	id := types.EndpointID(r.PathValue("id"))
+	if s.redirectByKey(w, r, shard.EndpointKey(id)) {
+		return
+	}
+	network, addr, token, err := s.ReissueEndpointToken(claimsOf(r).Subject, id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.RegisterEndpointResponse{
+		EndpointID:       id,
+		ForwarderNetwork: network,
+		ForwarderAddr:    addr,
+		EndpointToken:    token,
+	})
+}
+
 func (s *Service) handleEndpointStatus(w http.ResponseWriter, r *http.Request) {
 	id := types.EndpointID(r.PathValue("id"))
 	// Browser-facing status surface: redirect to the owner shard.
@@ -474,8 +504,15 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if res == nil {
-		// Not ready: 202 keeps polling semantics explicit.
-		writeJSON(w, http.StatusAccepted, api.StatusResponse{TaskID: id, Status: types.TaskQueued})
+		// Not ready: 202 keeps polling semantics explicit. Report the
+		// real lifecycle state when the record has one — a result that
+		// was already retrieved and purged answers with its terminal
+		// status rather than a misleading "queued".
+		status := types.TaskQueued
+		if st, err := s.Status(id); err == nil {
+			status = st
+		}
+		writeJSON(w, http.StatusAccepted, api.StatusResponse{TaskID: id, Status: status})
 		return
 	}
 	writeJSON(w, http.StatusOK, resultResponseOf(res))

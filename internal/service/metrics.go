@@ -1,0 +1,143 @@
+// Prometheus text exposition (GET /v1/metrics): the same counters
+// /v1/stats serves as JSON, rendered in the text format (version
+// 0.0.4) any Prometheus-compatible scraper ingests directly — no
+// client library, the format is just lines. Gauges and counters only;
+// per-endpoint series carry an "endpoint" label, and every series is
+// labeled with the reporting shard when sharded (each shard is its own
+// scrape target, like funcX's per-instance monitoring).
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// promWriter accumulates one exposition document. Metric families are
+// emitted grouped (single HELP/TYPE header per family) in the order
+// first added.
+type promWriter struct {
+	b      strings.Builder
+	shard  string
+	family string
+}
+
+// header opens a metric family.
+func (p *promWriter) header(name, typ, help string) {
+	if p.family == name {
+		return
+	}
+	p.family = name
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample emits one series of the open family. Labels alternate
+// key, value; the shard label is appended automatically.
+func (p *promWriter) sample(value float64, labels ...string) {
+	if p.shard != "" {
+		labels = append(labels, "shard", p.shard)
+	}
+	p.b.WriteString(p.family)
+	if len(labels) > 0 {
+		p.b.WriteByte('{')
+		for i := 0; i < len(labels); i += 2 {
+			if i > 0 {
+				p.b.WriteByte(',')
+			}
+			fmt.Fprintf(&p.b, "%s=%q", labels[i], labels[i+1])
+		}
+		p.b.WriteByte('}')
+	}
+	// %g renders integers without a trailing ".0" and large counters
+	// without exponent surprises up to 2^53, far past these counters.
+	fmt.Fprintf(&p.b, " %g\n", value)
+}
+
+func (p *promWriter) counter(name, help string, v float64, labels ...string) {
+	p.header(name, "counter", help)
+	p.sample(v, labels...)
+}
+
+func (p *promWriter) gauge(name, help string, v float64, labels ...string) {
+	p.header(name, "gauge", help)
+	p.sample(v, labels...)
+}
+
+// handleMetrics is GET /v1/metrics: StatsSnapshot in Prometheus text
+// exposition, including the WAL durability counters on instances with
+// a data dir. Always local, like /v1/stats — a fleet scrape config
+// lists every shard.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.StatsSnapshot()
+	p := &promWriter{shard: st.ShardID}
+
+	if st.Shards > 0 {
+		p.gauge("funcx_shards", "Number of shards in the ring.", float64(st.Shards))
+	}
+	p.counter("funcx_tasks_submitted_total", "Tasks accepted for execution.", float64(st.Submitted))
+	p.counter("funcx_tasks_memoized_total", "Submissions answered from the memo cache.", float64(st.MemoHits))
+	p.counter("funcx_tasks_rerouted_total", "Queued tasks moved to surviving group members.", float64(st.Rerouted))
+	p.counter("funcx_tasks_retried_total", "Reclaimed tasks redelivered.", float64(st.Retried))
+	p.counter("funcx_tasks_lost_total", "Tasks retired as lost.", float64(st.Lost))
+	p.counter("funcx_gateway_proxied_total", "Cross-shard requests proxied by this shard.", float64(st.Proxied))
+	p.counter("funcx_gateway_redirected_total", "Cross-shard requests redirected by this shard.", float64(st.Redirected))
+	p.counter("funcx_elastic_evaluations_total", "Fleet-autoscaler decision rounds.", float64(st.ElasticEvaluations))
+	p.gauge("funcx_event_streams", "Per-user event streams currently held.", float64(st.EventUsers))
+
+	for _, ep := range st.Endpoints {
+		p.gauge("funcx_endpoint_connected", "Whether the endpoint's agent is attached (1) or not (0).",
+			b2f(ep.Connected), "endpoint", string(ep.EndpointID))
+	}
+	for _, ep := range st.Endpoints {
+		p.gauge("funcx_endpoint_queued_tasks", "Live depth of the endpoint's task queue.",
+			float64(ep.Queued), "endpoint", string(ep.EndpointID))
+	}
+	for _, ep := range st.Endpoints {
+		p.gauge("funcx_endpoint_outstanding_tasks", "Dispatched-but-unfinished tasks on the endpoint.",
+			float64(ep.Outstanding), "endpoint", string(ep.EndpointID))
+	}
+	for _, ep := range st.Endpoints {
+		p.counter("funcx_endpoint_dispatched_total", "Tasks shipped to the endpoint's agent.",
+			float64(ep.Dispatched), "endpoint", string(ep.EndpointID))
+	}
+	for _, ep := range st.Endpoints {
+		p.counter("funcx_endpoint_completed_total", "Results stored for the endpoint.",
+			float64(ep.Completed), "endpoint", string(ep.EndpointID))
+	}
+	for _, ep := range st.Endpoints {
+		p.counter("funcx_endpoint_requeued_total", "Local requeues after agent disconnects.",
+			float64(ep.Requeued), "endpoint", string(ep.EndpointID))
+	}
+	for _, ep := range st.Endpoints {
+		p.counter("funcx_endpoint_reclaimed_total", "Leases reclaimed by the service.",
+			float64(ep.Reclaimed), "endpoint", string(ep.EndpointID))
+	}
+	for _, ep := range st.Endpoints {
+		p.gauge("funcx_endpoint_reclaim_rate", "Decaying reclaim/lost EWMA feeding the router penalty.",
+			ep.ReclaimRate, "endpoint", string(ep.EndpointID))
+	}
+
+	if st.WAL != nil {
+		p.counter("funcx_wal_appends_total", "Records appended to the write-ahead log.", float64(st.WAL.Appends))
+		p.counter("funcx_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", float64(st.WAL.AppendedBytes))
+		p.counter("funcx_wal_fsyncs_total", "Group-commit fsyncs issued.", float64(st.WAL.Fsyncs))
+		p.counter("funcx_wal_fsync_seconds_total", "Wall time spent inside group-commit fsyncs (fsync_seconds_total/fsyncs_total is the in-situ commit latency).", float64(st.WAL.FsyncNanos)/1e9)
+		p.counter("funcx_wal_rotations_total", "WAL segment rotations.", float64(st.WAL.Rotations))
+		p.counter("funcx_wal_snapshots_total", "Snapshots written since open.", float64(st.WAL.Snapshots))
+		p.gauge("funcx_wal_recovered", "Whether this instance booted by replaying a journal (1) or cold (0).", b2f(st.WAL.Recovered))
+		p.gauge("funcx_wal_recovered_records", "WAL records replayed at the last recovery.", float64(st.WAL.RecoveredRecords))
+		p.gauge("funcx_wal_recovered_snapshot_bytes", "Snapshot bytes loaded at the last recovery.", float64(st.WAL.RecoveredSnapshot))
+		p.gauge("funcx_wal_torn_records", "Torn/corrupt tail records discarded at the last recovery.", float64(st.WAL.TornRecords))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(p.b.String())) //nolint:errcheck // best-effort scrape response
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

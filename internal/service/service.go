@@ -30,6 +30,7 @@ import (
 	"funcx/internal/shard"
 	"funcx/internal/store"
 	"funcx/internal/types"
+	"funcx/internal/wal"
 	"funcx/internal/wire"
 )
 
@@ -116,6 +117,26 @@ type Config struct {
 	// carried extra backlog until the rate decays back to zero.
 	// Default 30 s.
 	ReclaimHalfLife time.Duration
+	// DataDir opts the service into durable state: a per-instance
+	// write-ahead log plus periodic snapshots live here, every store
+	// mutation is journaled, and a service opened over a non-empty
+	// DataDir recovers its registry, queues, results, leases, and
+	// event numbering before serving (see internal/wal and
+	// recovery.go). Empty keeps the classic pure in-memory store.
+	DataDir string
+	// WALSyncInterval is the journal's group-commit flush window:
+	// appends buffered within one window share a single fsync
+	// (default 2 ms). Smaller narrows the post-crash loss window at a
+	// throughput cost.
+	WALSyncInterval time.Duration
+	// SnapshotBytes/SnapshotOps bound how much journal tail may
+	// accumulate before the background snapshotter checkpoints full
+	// store state and truncates the log (defaults 8 MiB / 100k
+	// records); SnapshotInterval is how often the thresholds are
+	// checked (default 500 ms).
+	SnapshotBytes    int
+	SnapshotOps      int
+	SnapshotInterval time.Duration
 }
 
 // ErrPayloadTooLarge is returned for inputs beyond MaxPayloadSize;
@@ -159,6 +180,16 @@ type Service struct {
 	hopToken    string
 	submitSem   chan struct{}
 
+	// handoffMu guards the drain/handoff key overrides. movedKeys maps
+	// ring keys this shard handed to their importer (the gateway
+	// forwards their traffic there); importedKeys marks ring keys this
+	// shard imported and serves despite what the ring says. Both are
+	// journaled on a durable instance (drain.go) so the overrides
+	// survive a crash of either side.
+	handoffMu    sync.Mutex
+	movedKeys    map[string]shard.ID
+	importedKeys map[string]bool
+
 	mu sync.Mutex
 	// statusMu serializes lifecycle-status transitions so the
 	// dispatched write cannot regress a concurrently landed terminal
@@ -173,6 +204,12 @@ type Service struct {
 	// reclaims tracks a decaying per-endpoint reclaim/lost rate — the
 	// router's lease-aware penalty source.
 	reclaims map[types.EndpointID]*decayCounter
+
+	// seqMu orders event-seq boundary journal writes per owner;
+	// seqJournaled caches each owner's journaled boundary so only
+	// boundary crossings append (see seqJournalStride).
+	seqMu        sync.Mutex
+	seqJournaled map[types.UserID]uint64
 
 	submitted  int64
 	memoHits   int64
@@ -190,8 +227,26 @@ type inflightTask struct {
 	ts       time.Duration
 }
 
-// New creates a service ready to serve its Handler.
+// New creates a service ready to serve its Handler, panicking if the
+// configuration cannot be opened. Only persistence can fail — an
+// in-memory config (empty DataDir) never panics, preserving the
+// historical constructor for the common case. Durable deployments
+// should prefer Open and handle the error.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open creates a service ready to serve its Handler. With a DataDir
+// it opens (or recovers) the write-ahead log underneath the store and
+// rebuilds all control-plane state a crash destroyed — registry
+// records, queued tasks, in-flight leases, stored results, and
+// per-user event numbering — before the service accepts a single
+// request (the recovery sequence lives in recovery.go).
+func Open(cfg Config) (*Service, error) {
 	if cfg.ForwarderNetwork == "" {
 		cfg.ForwarderNetwork = "inproc"
 	}
@@ -229,16 +284,35 @@ func New(cfg Config) *Service {
 	if len(cfg.AuthKey) > 0 {
 		authority = auth.NewAuthorityWithKey(cfg.AuthKey)
 	}
+	st := store.New()
+	if cfg.DataDir != "" {
+		log, err := wal.Open(wal.Options{Dir: cfg.DataDir, SyncInterval: cfg.WALSyncInterval})
+		if err != nil {
+			return nil, fmt.Errorf("service: opening wal in %s: %w", cfg.DataDir, err)
+		}
+		st, err = store.NewPersistent(log, store.PersistOptions{
+			SnapshotBytes:    uint64(cfg.SnapshotBytes),
+			SnapshotOps:      uint64(cfg.SnapshotOps),
+			SnapshotInterval: cfg.SnapshotInterval,
+		})
+		if err != nil {
+			log.Close() //nolint:errcheck // already failing
+			return nil, fmt.Errorf("service: recovering store from %s: %w", cfg.DataDir, err)
+		}
+	}
 	s := &Service{
-		cfg:        cfg,
-		Authority:  authority,
-		Registry:   registry.New(),
-		Store:      store.New(),
-		Memo:       memo.NewCache(cfg.MemoSize),
-		Events:     events.New(events.Config{Ring: cfg.EventRing, IdleTTL: cfg.EventIdleTTL}),
-		forwarders: make(map[types.EndpointID]*forwarder.Forwarder),
-		inflight:   make(map[types.TaskID]inflightTask),
-		reclaims:   make(map[types.EndpointID]*decayCounter),
+		cfg:          cfg,
+		Authority:    authority,
+		Registry:     registry.New(),
+		Store:        st,
+		Memo:         memo.NewCache(cfg.MemoSize),
+		Events:       events.New(events.Config{Ring: cfg.EventRing, IdleTTL: cfg.EventIdleTTL}),
+		forwarders:   make(map[types.EndpointID]*forwarder.Forwarder),
+		inflight:     make(map[types.TaskID]inflightTask),
+		reclaims:     make(map[types.EndpointID]*decayCounter),
+		seqJournaled: make(map[types.UserID]uint64),
+		movedKeys:    make(map[string]shard.ID),
+		importedKeys: make(map[string]bool),
 	}
 	if cfg.Ring != nil {
 		// Sharded: records this shard creates must hash back to it, so
@@ -262,6 +336,17 @@ func New(cfg Config) *Service {
 	if cfg.SubmitConcurrency > 0 {
 		s.submitSem = make(chan struct{}, cfg.SubmitConcurrency)
 	}
+	// Registry recovery must precede the change-hook install: the
+	// recovered upserts would otherwise re-journal every record on
+	// every boot. New mutations after this point persist through the
+	// hook.
+	if err := s.recoverRegistry(); err != nil {
+		s.Store.Close()
+		return nil, err
+	}
+	if s.Store.Persistent() {
+		s.Registry.SetOnChange(s.persistRegistryRecord)
+	}
 	// Result-hash writes are the completion signal: the watch fires
 	// for forwarder-stored and memo-served results alike, publishing
 	// the terminal event (which wakes every blocked waiter).
@@ -278,12 +363,30 @@ func New(cfg Config) *Service {
 		Push:       s.pushAdvice,
 	})
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	// Runtime recovery: rebuild the in-flight map, seed event
+	// numbering, reconcile queued/leased tasks against landed results,
+	// and restart a forwarder for every journaled endpoint — all
+	// before the first background goroutine or request can observe
+	// half-recovered state.
+	if s.Store.Recovered() {
+		if err := s.recoverRuntime(); err != nil {
+			s.cancel()
+			s.Store.Close()
+			return nil, err
+		}
+	}
 	go s.Elastic.Run(s.ctx)
 	if cfg.EventIdleTTL > 0 {
 		go s.evictIdleEventStreams()
 	}
 	s.Store.StartJanitor(time.Second)
-	return s
+	// A recovered shard in a sharded deployment may have missed
+	// function replications while it was down: converge by pulling
+	// records from live peers (best effort, bounded per peer).
+	if s.sharded() && s.Store.Recovered() {
+		s.pullFunctions()
+	}
+	return s, nil
 }
 
 // evictIdleEventStreams periodically drops per-user event replay rings
@@ -351,12 +454,25 @@ func (s *Service) RegisterEndpoint(owner types.UserID, name, description string,
 		return nil, "", "", "", err
 	}
 
+	fwd, err := s.startForwarder(ep.ID)
+	if err != nil {
+		return nil, "", "", "", err
+	}
+	network, addr := fwd.Addr()
+	return ep, network, addr, token, nil
+}
+
+// startForwarder creates, starts, and tracks the forwarder serving an
+// endpoint. Registration and crash recovery share it: a forwarder is
+// runtime state, so a durable shard rebuilds one per journaled
+// endpoint record at boot.
+func (s *Service) startForwarder(epID types.EndpointID) (*forwarder.Forwarder, error) {
 	fwd := forwarder.New(forwarder.Config{
-		EndpointID:      ep.ID,
+		EndpointID:      epID,
 		Network:         s.cfg.ForwarderNetwork,
-		TaskQueue:       s.Store.Queue(store.TaskQueueName(string(ep.ID))),
-		Results:         s.Store.Hash("results"),
-		ResultTTL:       0, // purge is driven by retrieval below
+		TaskQueue:       s.Store.Queue(store.TaskQueueName(string(epID))),
+		Results:         s.Store.Hash(resultsHash),
+		ResultTTL:       0, // purge is driven by retrieval
 		HeartbeatPeriod: s.cfg.HeartbeatPeriod,
 		HeartbeatMisses: s.cfg.HeartbeatMisses,
 		DispatchLease:   s.cfg.DispatchLease,
@@ -364,18 +480,17 @@ func (s *Service) RegisterEndpoint(owner types.UserID, name, description string,
 		Lat:             s.cfg.ForwarderLat,
 		OnResult:        s.onResult,
 		OnDispatched:    s.onDispatched,
-		OnRunning:       func(id types.TaskID) { s.onRunning(id, ep.ID) },
+		OnRunning:       func(id types.TaskID) { s.onRunning(id, epID) },
 		OnOrphaned:      s.failover,
 		OnReclaim:       s.reclaim,
 	})
 	if err := fwd.Start(s.ctx); err != nil {
-		return nil, "", "", "", err
+		return nil, err
 	}
 	s.mu.Lock()
-	s.forwarders[ep.ID] = fwd
+	s.forwarders[epID] = fwd
 	s.mu.Unlock()
-	network, addr := fwd.Addr()
-	return ep, network, addr, token, nil
+	return fwd, nil
 }
 
 // verifyEndpointToken authenticates an agent registration.
@@ -389,6 +504,37 @@ func (s *Service) verifyEndpointToken(epID types.EndpointID, token string) error
 		return fmt.Errorf("auth: token client %q does not match endpoint %s", claims.ClientID, epID)
 	}
 	return nil
+}
+
+// ReissueEndpointToken rotates an endpoint's native client secret and
+// mints a fresh agent token, returning the forwarder attach point. An
+// agent re-attaching to a recovered shard uses this: the endpoint
+// record survived in the journal, but client secrets are in-memory
+// runtime state the crash destroyed. Owner-only (empty actor skips
+// the check for trusted in-process callers).
+func (s *Service) ReissueEndpointToken(actor types.UserID, id types.EndpointID) (network, addr, token string, err error) {
+	ep, err := s.Registry.Endpoint(id)
+	if err != nil {
+		return "", "", "", err
+	}
+	if actor != "" && ep.Owner != actor {
+		return "", "", "", fmt.Errorf("%w: only the owner may reissue endpoint credentials", registry.ErrForbidden)
+	}
+	clientID := "endpoint:" + string(id)
+	secret, err := s.Authority.RotateClient(clientID)
+	if err != nil {
+		return "", "", "", err
+	}
+	token, err = s.Authority.MintClient(clientID, secret, s.cfg.TokenTTL, auth.ScopeManageEndpoints)
+	if err != nil {
+		return "", "", "", err
+	}
+	f, ok := s.Forwarder(id)
+	if !ok {
+		return "", "", "", fmt.Errorf("%w: endpoint %s has no forwarder", registry.ErrNotFound, id)
+	}
+	network, addr = f.Addr()
+	return network, addr, token, nil
 }
 
 // Forwarder returns the forwarder serving an endpoint.
@@ -599,7 +745,7 @@ func (s *Service) failover(task *types.Task) bool {
 		s.inflight[task.ID] = info
 	}
 	s.mu.Unlock()
-	s.Events.Publish(task.Owner, types.TaskEvent{
+	s.publish(task.Owner, types.TaskEvent{
 		TaskID: task.ID, Status: types.TaskQueued, EndpointID: target, Time: time.Now(),
 	})
 	s.statusMu.Unlock()
@@ -623,7 +769,44 @@ const (
 	statusHash  = "status"
 	resultsHash = "results"
 	ownersHash  = "owners"
+	// eventSeqHash journals each user's newest event seq (decimal
+	// string) so a recovered shard resumes numbering past every seq it
+	// ever handed a client as a Last-Event-ID.
+	eventSeqHash = "eventseq"
 )
+
+// seqJournalStride coarsens event-seq persistence: instead of one
+// journal record per event, the journal holds the next stride
+// boundary past anything handed out, rewritten only when a seq
+// crosses it. Recovery then resumes numbering from the boundary —
+// always past every seq a client ever saw, at 1/64th the append
+// traffic. The stream may skip up to a stride across a restart, which
+// Last-Event-ID resumption tolerates (seqs need only be monotonic).
+const seqJournalStride = 64
+
+// publish puts one lifecycle event on the bus and, on a durable
+// instance, journals the owner's stream position. Every service-side
+// event publication goes through here — the persisted boundary is
+// what recovery seeds the bus with, so it must cover the newest
+// event.
+func (s *Service) publish(owner types.UserID, ev types.TaskEvent) {
+	seq := s.Events.Publish(owner, ev)
+	if !s.Store.Persistent() {
+		return
+	}
+	s.seqMu.Lock()
+	if seq <= s.seqJournaled[owner] {
+		s.seqMu.Unlock()
+		return
+	}
+	bound := (seq/seqJournalStride + 1) * seqJournalStride
+	s.seqJournaled[owner] = bound
+	// The Set happens under seqMu: journal writes for one owner must
+	// land in boundary order, or replay could finish on a stale lower
+	// boundary and recovery would re-issue seqs already handed out.
+	s.Store.Hash(eventSeqHash).Set(string(owner), []byte(strconv.FormatUint(bound, 10)))
+	s.seqMu.Unlock()
+}
 
 // Submission is one task submission: a function invocation bound for
 // either a concrete endpoint (EndpointID) or an endpoint group
@@ -940,7 +1123,7 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 	// never show them ahead of "queued". (A failed enqueue leaves one
 	// stray queued event for a task the caller was told failed — the
 	// benign side of the trade.)
-	s.Events.Publish(owner, types.TaskEvent{
+	s.publish(owner, types.TaskEvent{
 		TaskID: task.ID, Status: types.TaskQueued, EndpointID: epID, Time: time.Now(),
 	})
 	if err := s.Store.Queue(store.TaskQueueName(string(epID))).Push(data); err != nil {
@@ -1014,7 +1197,7 @@ func (s *Service) onDispatched(task *types.Task) {
 	// must take the lock before its status write, so it cannot reach
 	// the stream ahead of this one (events.Bus never re-enters the
 	// service, so the lock order is safe).
-	s.Events.Publish(task.Owner, types.TaskEvent{
+	s.publish(task.Owner, types.TaskEvent{
 		TaskID: task.ID, Status: types.TaskDispatched, EndpointID: task.EndpointID, Time: time.Now(),
 	})
 	s.statusMu.Unlock()
@@ -1057,12 +1240,12 @@ func (s *Service) onRunning(id types.TaskID, epID types.EndpointID) {
 	}
 	if types.TaskStatus(st) == types.TaskQueued {
 		s.Store.Hash(statusHash).Set(string(id), []byte(types.TaskDispatched))
-		s.Events.Publish(info.owner, types.TaskEvent{
+		s.publish(info.owner, types.TaskEvent{
 			TaskID: id, Status: types.TaskDispatched, EndpointID: epID, Time: time.Now(),
 		})
 	}
 	s.Store.Hash(statusHash).Set(string(id), []byte(types.TaskRunning))
-	s.Events.Publish(info.owner, types.TaskEvent{
+	s.publish(info.owner, types.TaskEvent{
 		TaskID: id, Status: types.TaskRunning, EndpointID: epID, Time: time.Now(),
 	})
 }
@@ -1120,7 +1303,7 @@ func (s *Service) reclaim(task *types.Task, reason string) bool {
 	}
 	s.Store.Hash(tasksHash).Set(string(task.ID), data)
 	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskQueued))
-	s.Events.Publish(task.Owner, types.TaskEvent{
+	s.publish(task.Owner, types.TaskEvent{
 		TaskID: task.ID, Status: types.TaskQueued, EndpointID: task.EndpointID, Time: time.Now(),
 	})
 	s.statusMu.Unlock()
@@ -1276,7 +1459,7 @@ func (s *Service) onResultStored(field string, value []byte) {
 		s.Store.Hash(statusHash).Set(field, []byte(status))
 	}
 	s.statusMu.Unlock()
-	s.Events.Publish(info.owner, types.TaskEvent{
+	s.publish(info.owner, types.TaskEvent{
 		TaskID: id, Status: status, EndpointID: info.endpoint, Result: value, Time: time.Now(),
 	})
 }
@@ -1506,6 +1689,15 @@ func (s *Service) StatsSnapshot() api.StatsResponse {
 		}
 		st.ReclaimRate = s.ReclaimRate(ep.ID)
 		resp.Endpoints = append(resp.Endpoints, st)
+	}
+	if ws, ok := s.Store.WALStats(); ok {
+		resp.WAL = &api.WALStats{
+			Appends: ws.Appends, AppendedBytes: ws.AppendedBytes,
+			Fsyncs: ws.Fsyncs, FsyncNanos: ws.FsyncNanos,
+			Rotations: ws.Rotations, Snapshots: ws.Snapshots,
+			Recovered: ws.Recovered, RecoveredRecords: ws.RecoveredRecords,
+			RecoveredSnapshot: ws.RecoveredSnapshot, TornRecords: ws.TornRecords,
+		}
 	}
 	return resp
 }

@@ -210,6 +210,25 @@ func (r *Ring) Owner(key string) ID {
 	return r.points[i].owner
 }
 
+// OwnerExcluding returns the shard that owns a key when exclude is
+// removed from the ring: the owner of the first virtual node at or
+// clockwise of the key's hash belonging to another shard. By the
+// minimal-movement property this is exactly where the key's ownership
+// lands if exclude leaves, so a draining shard can compute each key's
+// successor without rebuilding the ring. On a single-shard ring there
+// is nowhere to go and exclude itself is returned.
+func (r *Ring) OwnerExcluding(key string, exclude ID) ID {
+	h := r.hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for n := 0; n < len(r.points); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if p.owner != exclude {
+			return p.owner
+		}
+	}
+	return exclude
+}
+
 // Shares reports the fraction of the hash space each shard owns — the
 // quantity the bounded-load guard constrains.
 func (r *Ring) Shares() map[ID]float64 {
@@ -335,6 +354,12 @@ func (d *Directory) Owner(key string) Info { return d.byID[d.ring.Owner(key)] }
 
 // Owns reports whether this shard owns the key.
 func (d *Directory) Owns(key string) bool { return d.ring.Owner(key) == d.self }
+
+// OwnerExcluding returns the directory entry of the shard that owns a
+// key once exclude leaves the ring (see Ring.OwnerExcluding).
+func (d *Directory) OwnerExcluding(key string, exclude ID) Info {
+	return d.byID[d.ring.OwnerExcluding(key, exclude)]
+}
 
 // mintAttempts bounds aligned id minting; with N shards each draw
 // lands on self with probability ≈ 1/N, so 256 draws failing is

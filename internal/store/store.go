@@ -44,6 +44,10 @@ type Hash struct {
 	fields map[string]entry
 	now    func() time.Time
 	watch  func(field string, value []byte)
+
+	// set by a persistent Store; nil in pure in-memory mode
+	name string
+	j    *journal
 }
 
 // NewHash returns an empty hashset.
@@ -58,14 +62,25 @@ func (h *Hash) Set(field string, value []byte) {
 
 // SetTTL stores value under field, expiring after ttl (0 = never).
 func (h *Hash) SetTTL(field string, value []byte, ttl time.Duration) {
+	if h.j != nil {
+		h.j.lock()
+	}
 	h.mu.Lock()
 	e := entry{value: value}
 	if ttl > 0 {
 		e.expiry = h.now().Add(ttl)
 	}
 	h.fields[field] = e
+	if h.j != nil {
+		h.j.record(encodeHSet(h.name, field, value, e.expiry))
+	}
 	watch := h.watch
 	h.mu.Unlock()
+	if h.j != nil {
+		// Released before the watcher runs: watchers may re-enter the
+		// store and must not recurse into the freeze lock.
+		h.j.unlock()
+	}
 	if watch != nil {
 		watch(field, value)
 	}
@@ -97,10 +112,19 @@ func (h *Hash) Get(field string) ([]byte, bool) {
 
 // Del removes field, reporting whether it existed.
 func (h *Hash) Del(field string) bool {
+	if h.j != nil {
+		h.j.lock()
+		defer h.j.unlock()
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	_, ok := h.fields[field]
-	delete(h.fields, field)
+	if ok {
+		delete(h.fields, field)
+		if h.j != nil {
+			h.j.record(encodeHDel(h.name, field))
+		}
+	}
 	return ok
 }
 
@@ -164,6 +188,10 @@ type Queue struct {
 	pending map[uint64]queued
 	nextID  uint64
 	closed  bool
+
+	// set by a persistent Store; nil in pure in-memory mode
+	name string
+	j    *journal
 }
 
 type queued struct {
@@ -194,6 +222,10 @@ func (q *Queue) signalAll() {
 
 // Push appends an item to the tail of the queue.
 func (q *Queue) Push(data []byte) error {
+	if q.j != nil {
+		q.j.lock()
+		defer q.j.unlock()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -201,6 +233,9 @@ func (q *Queue) Push(data []byte) error {
 	}
 	q.nextID++
 	q.items.PushBack(queued{data: data, seq: q.nextID})
+	if q.j != nil {
+		q.j.record(encodeQItem(opQPush, q.name, data))
+	}
 	q.signalOne()
 	return nil
 }
@@ -208,6 +243,10 @@ func (q *Queue) Push(data []byte) error {
 // PushFront prepends an item to the head of the queue (used for ordered
 // requeue of failed deliveries).
 func (q *Queue) PushFront(data []byte) error {
+	if q.j != nil {
+		q.j.lock()
+		defer q.j.unlock()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -215,6 +254,9 @@ func (q *Queue) PushFront(data []byte) error {
 	}
 	q.nextID++
 	q.items.PushFront(queued{data: data, seq: q.nextID})
+	if q.j != nil {
+		q.j.record(encodeQItem(opQPushFront, q.name, data))
+	}
 	q.signalOne()
 	return nil
 }
@@ -233,15 +275,45 @@ func (q *Queue) PendingLen() int {
 	return len(q.pending)
 }
 
+// Pending returns a copy of the pending set, receipt -> item data.
+// Recovery uses it to reconcile in-flight deliveries after a restart.
+func (q *Queue) Pending() map[uint64][]byte {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[uint64][]byte, len(q.pending))
+	for r, it := range q.pending {
+		out[r] = it.data
+	}
+	return out
+}
+
+// Items returns the queued (not pending) item data in queue order.
+func (q *Queue) Items() [][]byte {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([][]byte, 0, q.items.Len())
+	for e := q.items.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(queued).data)
+	}
+	return out
+}
+
 // TryPop removes and returns the head item without blocking. ok is
 // false when the queue is empty.
 func (q *Queue) TryPop() (data []byte, ok bool) {
+	if q.j != nil {
+		q.j.lock()
+		defer q.j.unlock()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.items.Len() == 0 {
 		return nil, false
 	}
 	front := q.items.Remove(q.items.Front()).(queued)
+	if q.j != nil {
+		q.j.record(encodeQReceipt(opQPop, q.name, 0))
+	}
 	return front.data, true
 }
 
@@ -249,6 +321,10 @@ func (q *Queue) TryPop() (data []byte, ok bool) {
 // parked in the pending set until Ack or Nack. ok is false when the
 // queue is empty.
 func (q *Queue) TryPopReliable() (data []byte, receipt uint64, ok bool) {
+	if q.j != nil {
+		q.j.lock()
+		defer q.j.unlock()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.items.Len() == 0 {
@@ -258,6 +334,9 @@ func (q *Queue) TryPopReliable() (data []byte, receipt uint64, ok bool) {
 	q.nextID++
 	receipt = q.nextID
 	q.pending[receipt] = item
+	if q.j != nil {
+		q.j.record(encodeQReceipt(opQPop, q.name, receipt))
+	}
 	return item.data, receipt, true
 }
 
@@ -282,26 +361,49 @@ func (q *Queue) bpop(timeout time.Duration, reliable bool) ([]byte, uint64, erro
 		timerC = timer.C
 	}
 	for {
+		// The freeze lock is taken per-iteration, never across the
+		// wait below, so a blocked consumer cannot stall a snapshot.
+		if q.j != nil {
+			q.j.lock()
+		}
 		q.mu.Lock()
 		if q.items.Len() > 0 {
 			item := q.items.Remove(q.items.Front()).(queued)
 			if !reliable {
+				if q.j != nil {
+					q.j.record(encodeQReceipt(opQPop, q.name, 0))
+				}
 				q.mu.Unlock()
+				if q.j != nil {
+					q.j.unlock()
+				}
 				return item.data, 0, nil
 			}
 			q.nextID++
 			receipt := q.nextID
 			q.pending[receipt] = item
+			if q.j != nil {
+				q.j.record(encodeQReceipt(opQPop, q.name, receipt))
+			}
 			q.mu.Unlock()
+			if q.j != nil {
+				q.j.unlock()
+			}
 			return item.data, receipt, nil
 		}
 		if q.closed {
 			q.mu.Unlock()
+			if q.j != nil {
+				q.j.unlock()
+			}
 			return nil, 0, ErrClosed
 		}
 		ch := make(chan struct{})
 		elem := q.waiters.PushBack(ch)
 		q.mu.Unlock()
+		if q.j != nil {
+			q.j.unlock()
+		}
 
 		select {
 		case <-ch:
@@ -326,17 +428,28 @@ func (q *Queue) bpop(timeout time.Duration, reliable bool) ([]byte, uint64, erro
 
 // Ack permanently removes a pending item.
 func (q *Queue) Ack(receipt uint64) error {
+	if q.j != nil {
+		q.j.lock()
+		defer q.j.unlock()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if _, ok := q.pending[receipt]; !ok {
 		return ErrNotPending
 	}
 	delete(q.pending, receipt)
+	if q.j != nil {
+		q.j.record(encodeQReceipt(opQAck, q.name, receipt))
+	}
 	return nil
 }
 
 // Nack returns one pending item to the head of the queue (redelivery).
 func (q *Queue) Nack(receipt uint64) error {
+	if q.j != nil {
+		q.j.lock()
+		defer q.j.unlock()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	item, ok := q.pending[receipt]
@@ -345,6 +458,9 @@ func (q *Queue) Nack(receipt uint64) error {
 	}
 	delete(q.pending, receipt)
 	q.items.PushFront(item)
+	if q.j != nil {
+		q.j.record(encodeQReceipt(opQNack, q.name, receipt))
+	}
 	q.signalOne()
 	return nil
 }
@@ -354,16 +470,25 @@ func (q *Queue) Nack(receipt uint64) error {
 // forwarder's recovery action when an endpoint disconnects. It returns
 // the number of items requeued.
 func (q *Queue) RequeuePending() int {
+	if q.j != nil {
+		q.j.lock()
+		defer q.j.unlock()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.pending) == 0 {
 		return 0
 	}
 	items := make([]queued, 0, len(q.pending))
-	for _, it := range q.pending {
+	receipts := make([]uint64, 0, len(q.pending))
+	for r, it := range q.pending {
 		items = append(items, it)
+		receipts = append(receipts, r)
 	}
 	clear(q.pending)
+	if q.j != nil {
+		q.j.record(encodeQRequeue(q.name, receipts))
+	}
 	return q.requeueLocked(items)
 }
 
@@ -374,17 +499,26 @@ func (q *Queue) RequeuePending() int {
 // exactly the items they own, leaving other consumers' receipts
 // untouched. It returns the number of items requeued.
 func (q *Queue) RequeueReceipts(receipts ...uint64) int {
+	if q.j != nil {
+		q.j.lock()
+		defer q.j.unlock()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	items := make([]queued, 0, len(receipts))
+	moved := make([]uint64, 0, len(receipts))
 	for _, r := range receipts {
 		if it, ok := q.pending[r]; ok {
 			items = append(items, it)
+			moved = append(moved, r)
 			delete(q.pending, r)
 		}
 	}
 	if len(items) == 0 {
 		return 0
+	}
+	if q.j != nil {
+		q.j.record(encodeQRequeue(q.name, moved))
 	}
 	return q.requeueLocked(items)
 }
@@ -428,6 +562,12 @@ type Store struct {
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
+
+	// durable mode (NewPersistent); nil for in-memory stores
+	j        *journal
+	popts    PersistOptions
+	snapStop chan struct{}
+	snapDone chan struct{}
 }
 
 // New returns an empty store.
@@ -442,6 +582,7 @@ func (s *Store) Hash(name string) *Hash {
 	h, ok := s.hashes[name]
 	if !ok {
 		h = NewHash()
+		h.name, h.j = name, s.j
 		s.hashes[name] = h
 	}
 	return h
@@ -454,6 +595,7 @@ func (s *Store) Queue(name string) *Queue {
 	q, ok := s.queues[name]
 	if !ok {
 		q = NewQueue()
+		q.name, q.j = name, s.j
 		s.queues[name] = q
 	}
 	return q
@@ -524,8 +666,11 @@ func (s *Store) PurgeExpired() int {
 	return n
 }
 
-// Close stops the janitor and closes every queue.
+// Close stops the janitor and snapshotter, closes every queue, and —
+// in durable mode — flushes and closes the WAL, so a clean shutdown
+// loses nothing.
 func (s *Store) Close() {
+	s.stopSnapshotter()
 	s.StopJanitor()
 	s.mu.Lock()
 	s.closed = true
@@ -536,6 +681,9 @@ func (s *Store) Close() {
 	s.mu.Unlock()
 	for _, q := range queues {
 		q.Close()
+	}
+	if s.j != nil {
+		_ = s.j.log.Close()
 	}
 }
 

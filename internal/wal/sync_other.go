@@ -1,0 +1,11 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// datasync falls back to a full fsync where fdatasync is unavailable.
+func datasync(f *os.File) error { return f.Sync() }
+
+// preallocate falls back to a sparse size extension.
+func preallocate(f *os.File, size int64) error { return f.Truncate(size) }

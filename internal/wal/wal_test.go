@@ -1,0 +1,254 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTemp(t *testing.T, dir string) *Log {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, SyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func TestAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	l := openTemp(t, dir)
+	for i := 0; i < 100; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%03d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := openTemp(t, dir)
+	defer l2.Close()
+	if !l2.Recovered() {
+		t.Fatal("expected Recovered")
+	}
+	recs := l2.RecoveredRecords()
+	if len(recs) != 100 {
+		t.Fatalf("recovered %d records, want 100", len(recs))
+	}
+	for i, r := range recs {
+		want := fmt.Sprintf("rec-%03d", i)
+		if string(r) != want {
+			t.Fatalf("record %d = %q, want %q", i, r, want)
+		}
+	}
+	if l2.Stats().TornRecords != 0 {
+		t.Fatalf("unexpected torn records: %+v", l2.Stats())
+	}
+}
+
+func TestEmptyDirNotRecovered(t *testing.T) {
+	l := openTemp(t, t.TempDir())
+	defer l.Close()
+	if l.Recovered() {
+		t.Fatal("fresh dir must not report prior state")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l := openTemp(t, dir)
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop bytes off the segment's end, simulating a crash mid-write.
+	path := filepath.Join(dir, fmt.Sprintf("%s%016d%s", segmentPrefix, 1, segmentSuffix))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTemp(t, dir)
+	defer l2.Close()
+	recs := l2.RecoveredRecords()
+	if len(recs) != 9 {
+		t.Fatalf("recovered %d records after torn tail, want 9", len(recs))
+	}
+	if got := l2.Stats().TornRecords; got != 1 {
+		t.Fatalf("TornRecords = %d, want 1", got)
+	}
+}
+
+func TestCorruptTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	l := openTemp(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload bit in the final record: its CRC must reject it.
+	path := filepath.Join(dir, fmt.Sprintf("%s%016d%s", segmentPrefix, 1, segmentSuffix))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTemp(t, dir)
+	defer l2.Close()
+	if got := len(l2.RecoveredRecords()); got != 4 {
+		t.Fatalf("recovered %d records after corrupt tail, want 4", got)
+	}
+	if got := l2.Stats().TornRecords; got != 1 {
+		t.Fatalf("TornRecords = %d, want 1", got)
+	}
+}
+
+func TestSnapshotTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	l := openTemp(t, dir)
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte("pre")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := l.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	state := []byte("state-after-10")
+	if err := l.WriteSnapshot(seg, state); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("post-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pre-snapshot segment must have been pruned.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if idx, ok := parseIndexed(e.Name(), segmentPrefix, segmentSuffix); ok && idx < seg {
+			t.Fatalf("stale segment %s survived snapshot", e.Name())
+		}
+	}
+
+	l2 := openTemp(t, dir)
+	defer l2.Close()
+	if !bytes.Equal(l2.RecoveredSnapshot(), state) {
+		t.Fatalf("snapshot = %q, want %q", l2.RecoveredSnapshot(), state)
+	}
+	recs := l2.RecoveredRecords()
+	if len(recs) != 3 {
+		t.Fatalf("tail = %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if string(r) != fmt.Sprintf("post-%d", i) {
+			t.Fatalf("tail record %d = %q", i, r)
+		}
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l := openTemp(t, dir)
+	if err := l.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(seg, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the snapshot payload; recovery must ignore it and still
+	// replay the tail records (state restarts empty — the snapshot's
+	// segments are gone — but the scan must not fail).
+	path := filepath.Join(dir, fmt.Sprintf("%s%016d%s", snapshotPrefix, seg, snapshotSuffix))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTemp(t, dir)
+	defer l2.Close()
+	if l2.RecoveredSnapshot() != nil {
+		t.Fatal("corrupt snapshot must not be loaded")
+	}
+	if got := len(l2.RecoveredRecords()); got != 1 {
+		t.Fatalf("recovered %d tail records, want 1", got)
+	}
+}
+
+func TestGroupCommitFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l := openTemp(t, dir)
+	defer l.Close()
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// One fsync covered the append; Sync with a clean buffer is a no-op.
+	before := l.Stats().Fsyncs
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Fsyncs; got != before {
+		t.Fatalf("clean Sync issued an fsync: %d -> %d", before, got)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	l := openTemp(t, t.TempDir())
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
