@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,6 +26,7 @@ import (
 
 	"funcx/internal/api"
 	"funcx/internal/container"
+	"funcx/internal/debugserver"
 	"funcx/internal/endpoint"
 	"funcx/internal/fx"
 	"funcx/internal/manager"
@@ -48,10 +50,25 @@ func main() {
 		labelSpec  = flag.String("labels", "", "capability labels for router matching, comma-separated key=value (e.g. gpu=a100,site=anl)")
 		noAdvice   = flag.Bool("no-advice", false, "ignore scaling advice pushed by the service's fleet elasticity controller (scaling stays purely local)")
 		reattachID = flag.String("endpoint-id", "", "reattach to this existing endpoint instead of registering a new one (after a durable service restarts, its recovered endpoints keep their queued tasks)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and runtime metrics on this address (empty = disabled)")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug|info|warn|error (per-task records log at debug)")
 	)
 	flag.Parse()
 	if *token == "" {
 		log.Fatal("funcx-endpoint: -token is required (printed by funcx-service)")
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("funcx-endpoint: bad -log-level %q (use debug|info|warn|error)", *logLevel)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	if *debugAddr != "" {
+		dbg, stopDbg, err := debugserver.Start(*debugAddr)
+		if err != nil {
+			log.Fatalf("funcx-endpoint: %v", err)
+		}
+		defer stopDbg()
+		fmt.Printf("debug surface (pprof + runtime metrics) on http://%s/debug/\n", dbg)
 	}
 	labels, err := parseLabels(*labelSpec)
 	if err != nil {
@@ -94,6 +111,7 @@ func main() {
 		HeartbeatPeriod: *heartbeat,
 		BatchDispatch:   true,
 		DisableAdvice:   *noAdvice,
+		Logger:          logger,
 	})
 	if err := agent.Start(ctx); err != nil {
 		log.Fatalf("funcx-endpoint: starting agent: %v", err)

@@ -1,12 +1,13 @@
 // Command funcx-perf runs the control-plane benchmark suite (the
 // same bodies bench_test.go uses, from internal/perf) and writes a
 // machine-readable report. CI runs it via `make bench` to produce
-// BENCH_6.json: the submit hot path with the store in-memory vs
-// WAL-backed, and the batch-wait round trip.
+// BENCH_7.json: the submit hot path with the store in-memory vs
+// WAL-backed, the batch-wait round trip, and the per-task tracing
+// overhead (traced vs untraced submit throughput).
 //
 // Usage:
 //
-//	funcx-perf -out BENCH_6.json
+//	funcx-perf -out BENCH_7.json
 package main
 
 import (
@@ -52,6 +53,36 @@ type report struct {
 		WALOpsPerSec   float64 `json:"wal_ops_per_sec"`
 		Ratio          float64 `json:"ratio"`
 	} `json:"wal_overhead"`
+	// TraceOverhead is the cost of per-task tracing (the default: a
+	// timeline stamped per lifecycle stage, folded into histograms at
+	// retirement) against tracing disabled, measured two ways.
+	//
+	// The hot-path fields compare per-op submit latency
+	// (testing.Benchmark over the authenticated POST /v1/submit path)
+	// in interleaved traced/untraced rounds, aggregated over all
+	// rounds (ratio = untraced/traced ns per op). The PR-7 budget is
+	// ≤5% (ratio ≥ 0.95); note that on boxes with one or two cores the
+	// background lifecycle work — task/result codecs, GC of the
+	// retained timelines — shares the submit core and a few extra
+	// points land here that vanish when cores are free to absorb it.
+	//
+	// The throughput fields compare sustained end-to-end throughput
+	// with both fabrics held open and short measurement windows
+	// alternating untraced/traced (aggregate rate per side). This
+	// charges tracing for its whole lifecycle footprint — wire bytes,
+	// result deltas, histogram folds — so on boxes with few cores,
+	// where background lifecycle work steals submitter CPU directly,
+	// it reads a few points below the hot-path ratio.
+	TraceOverhead struct {
+		HotPathUntracedNsPerOp float64 `json:"hot_path_untraced_ns_per_op"`
+		HotPathTracedNsPerOp   float64 `json:"hot_path_traced_ns_per_op"`
+		HotPathRatio           float64 `json:"hot_path_ratio"`
+		TasksPerWindow         int     `json:"tasks_per_window"`
+		Windows                int     `json:"windows"`
+		UntracedOpsPerSec      float64 `json:"untraced_ops_per_sec"`
+		TracedOpsPerSec        float64 `json:"traced_ops_per_sec"`
+		Ratio                  float64 `json:"ratio"`
+	} `json:"trace_overhead"`
 }
 
 // pairedThroughput measures the WAL overhead ratio with interleaved
@@ -86,6 +117,57 @@ func pairedThroughput(tasks, count int) (inmem, walRate float64, err error) {
 	return inmem, walRate, nil
 }
 
+// pairedHotPath measures per-op submit latency with tracing off and
+// on in interleaved testing.Benchmark rounds, alternating which side
+// runs first, and reports the per-op time aggregated over all rounds.
+// A single round swings with GC and scheduler weather far more than
+// the few percent being measured, so unlike the WAL comparison no
+// single round is trusted — only the aggregate.
+func pairedHotPath(count int) (offNs, onNs float64) {
+	bench := func(traced bool) testing.BenchmarkResult {
+		runtime.GC()
+		return testing.Benchmark(func(b *testing.B) { perf.BenchSubmitTrace(b, traced) })
+	}
+	var offDur, onDur int64
+	var offN, onN int
+	for i := 0; i < count; i++ {
+		var rOff, rOn testing.BenchmarkResult
+		if i%2 == 0 {
+			rOff = bench(false)
+			rOn = bench(true)
+		} else {
+			rOn = bench(true)
+			rOff = bench(false)
+		}
+		o := float64(rOff.T.Nanoseconds()) / float64(rOff.N)
+		n := float64(rOn.T.Nanoseconds()) / float64(rOn.N)
+		fmt.Printf("  round %d: %8.0f ns/op untraced  %8.0f ns/op traced (%.2fx)\n", i+1, o, n, o/n)
+		offDur += rOff.T.Nanoseconds()
+		offN += rOff.N
+		onDur += rOn.T.Nanoseconds()
+		onN += rOn.N
+	}
+	return float64(offDur) / float64(offN), float64(onDur) / float64(onN)
+}
+
+// traceOverhead measures the tracing comparison with
+// perf.TraceOverheadPaired: both fabrics stay open for the whole
+// comparison and many short measurement windows alternate
+// untraced/traced, with the aggregate rate per side compared. The
+// per-round best-of pairing used for the WAL comparison is too coarse
+// here: tracing costs a few percent, and on a small box a single
+// monolithic run swings far more than that, so the overhead has to be
+// averaged across interleaved windows to be visible at all.
+func traceOverhead(tasks, count int) (perWindow, windows int, untraced, traced float64, err error) {
+	perWindow = tasks / 4
+	if perWindow < 16 {
+		perWindow = 16
+	}
+	windows = count * 4
+	untraced, traced, err = perf.TraceOverheadPaired(perWindow, windows)
+	return perWindow, windows, untraced, traced, err
+}
+
 func run(name string, fn func(b *testing.B)) benchResult {
 	r := testing.Benchmark(fn)
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
@@ -104,11 +186,12 @@ func run(name string, fn func(b *testing.B)) benchResult {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_6.json", "path for the JSON report")
-		floor = flag.Float64("wal-floor", 0, "fail unless WAL submit throughput >= floor * in-memory (0 disables)")
-		tasks = flag.Int("tasks", 4000, "tasks per throughput run")
-		count = flag.Int("count", 3, "interleaved throughput rounds (best ratio wins)")
-		bench = flag.Bool("bench", true, "run the testing.Benchmark suite before the throughput comparison")
+		out        = flag.String("out", "BENCH_7.json", "path for the JSON report")
+		floor      = flag.Float64("wal-floor", 0, "fail unless WAL submit throughput >= floor * in-memory (0 disables)")
+		traceFloor = flag.Float64("trace-floor", 0, "fail unless the traced submit hot path runs >= floor * the untraced per-op rate (0 disables)")
+		tasks      = flag.Int("tasks", 4000, "tasks per throughput run")
+		count      = flag.Int("count", 3, "interleaved throughput rounds (best ratio wins)")
+		bench      = flag.Bool("bench", true, "run the testing.Benchmark suite before the throughput comparison")
 	)
 	flag.Parse()
 
@@ -141,6 +224,29 @@ func main() {
 	fmt.Printf("submit throughput: %.0f/s in-memory, %.0f/s WAL — WAL is %.2fx in-memory\n",
 		inmem, walRate, rep.WALOverhead.Ratio)
 
+	offNs, onNs := pairedHotPath(*count)
+	rep.TraceOverhead.HotPathUntracedNsPerOp = offNs
+	rep.TraceOverhead.HotPathTracedNsPerOp = onNs
+	if onNs > 0 {
+		rep.TraceOverhead.HotPathRatio = offNs / onNs
+	}
+	fmt.Printf("submit hot path: %.0f ns/op untraced, %.0f ns/op traced — tracing is %.2fx untraced\n",
+		offNs, onNs, rep.TraceOverhead.HotPathRatio)
+
+	perWindow, windows, untraced, traced, err := traceOverhead(*tasks, *count)
+	if err != nil {
+		log.Fatalf("funcx-perf: tracing comparison: %v", err)
+	}
+	rep.TraceOverhead.TasksPerWindow = perWindow
+	rep.TraceOverhead.Windows = windows
+	rep.TraceOverhead.UntracedOpsPerSec = untraced
+	rep.TraceOverhead.TracedOpsPerSec = traced
+	if untraced > 0 {
+		rep.TraceOverhead.Ratio = traced / untraced
+	}
+	fmt.Printf("lifecycle throughput: %.0f/s untraced, %.0f/s traced — tracing is %.2fx untraced\n",
+		untraced, traced, rep.TraceOverhead.Ratio)
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatalf("funcx-perf: %v", err)
@@ -153,5 +259,9 @@ func main() {
 	if *floor > 0 && rep.WALOverhead.Ratio < *floor {
 		log.Fatalf("funcx-perf: WAL submit throughput %.2fx in-memory, below the %.2f floor",
 			rep.WALOverhead.Ratio, *floor)
+	}
+	if *traceFloor > 0 && rep.TraceOverhead.HotPathRatio < *traceFloor {
+		log.Fatalf("funcx-perf: traced submit hot path %.2fx untraced, below the %.2f floor",
+			rep.TraceOverhead.HotPathRatio, *traceFloor)
 	}
 }

@@ -1,0 +1,79 @@
+// Command funcx-promcheck validates a Prometheus text exposition
+// against the strict parser in internal/promtext: family headers,
+// label escaping, duplicate series, and histogram bucket invariants.
+// CI points it at a live /v1/metrics to fail the build on malformed
+// output before any scraper sees it.
+//
+// Usage:
+//
+//	funcx-promcheck -url http://127.0.0.1:8080/v1/metrics -token <token>
+//	some-producer | funcx-promcheck        # reads stdin when -url is empty
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"funcx/internal/promtext"
+)
+
+func main() {
+	var (
+		url   = flag.String("url", "", "exposition URL to fetch (empty = read stdin)")
+		token = flag.String("token", "", "bearer token for the fetch")
+	)
+	flag.Parse()
+
+	var body []byte
+	var err error
+	if *url == "" {
+		body, err = io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatalf("funcx-promcheck: reading stdin: %v", err)
+		}
+	} else {
+		body, err = fetch(*url, *token)
+		if err != nil {
+			log.Fatalf("funcx-promcheck: %v", err)
+		}
+	}
+
+	families, err := promtext.Parse(string(body))
+	if err != nil {
+		log.Fatalf("funcx-promcheck: INVALID exposition: %v", err)
+	}
+	samples := 0
+	for _, f := range families {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("funcx-promcheck: OK — %d families, %d samples\n", len(families), samples)
+}
+
+func fetch(url, token string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}

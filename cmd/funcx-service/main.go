@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -38,10 +39,20 @@ import (
 	"time"
 
 	"funcx/internal/auth"
+	"funcx/internal/debugserver"
 	"funcx/internal/service"
 	"funcx/internal/shard"
 	"funcx/internal/types"
 )
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("bad -log-level %q (use debug|info|warn|error)", s)
+	}
+	return lvl, nil
+}
 
 func main() {
 	var (
@@ -59,8 +70,17 @@ func main() {
 		snapBytes = flag.Int("snapshot-bytes", 0, "journal bytes before a snapshot truncates the WAL (0 = default 8MiB)")
 		snapOps   = flag.Int("snapshot-ops", 0, "journal records before a snapshot truncates the WAL (0 = default 100k)")
 		snapEvery = flag.Duration("snapshot-interval", 0, "how often snapshot thresholds are checked (0 = default 500ms)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and runtime metrics on this address (empty = disabled)")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug|info|warn|error (per-task records log at debug)")
+		noTrace   = flag.Bool("no-trace", false, "disable per-task lifecycle tracing (timelines, stage histograms, GET /v1/tasks/{id}/trace)")
 	)
 	flag.Parse()
+
+	lvl, err := parseLogLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("funcx-service: %v", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	cfg := service.Config{
 		ForwarderNetwork:  "tcp",
@@ -73,6 +93,8 @@ func main() {
 		SnapshotBytes:     *snapBytes,
 		SnapshotOps:       *snapOps,
 		SnapshotInterval:  *snapEvery,
+		DisableTrace:      *noTrace,
+		Logger:            logger,
 	}
 	if (*shardID == "") != (*ringPath == "") {
 		log.Fatal("funcx-service: -shard-id and -shard-ring must be set together")
@@ -109,6 +131,15 @@ func main() {
 		log.Fatalf("funcx-service: %v", err)
 	}
 	defer svc.Close()
+
+	if *debugAddr != "" {
+		dbg, stopDbg, err := debugserver.Start(*debugAddr)
+		if err != nil {
+			log.Fatalf("funcx-service: %v", err)
+		}
+		defer stopDbg()
+		fmt.Printf("debug surface (pprof + runtime metrics) on http://%s/debug/\n", dbg)
+	}
 
 	token := svc.MintUserToken(types.UserID(*operator), auth.ScopeAll)
 	fmt.Printf("funcx-service listening on http://%s\n", *addr)

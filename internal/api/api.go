@@ -7,6 +7,7 @@ package api
 import (
 	"time"
 
+	"funcx/internal/trace"
 	"funcx/internal/types"
 )
 
@@ -195,6 +196,88 @@ func (tb TimingBreakdown) Timing() types.Timing {
 	}
 }
 
+// TraceStamp is one lifecycle stage observation on a task timeline,
+// as an offset from the submit arrival on the service's monotonic
+// clock.
+type TraceStamp struct {
+	Stage       string `json:"stage"`
+	OffsetNanos int64  `json:"offset_ns"`
+}
+
+// TraceRemote carries the endpoint-side stage deltas shipped back with
+// the result: durations measured entirely on the endpoint machine's
+// clock, so clock skew between service and endpoint never corrupts
+// them.
+type TraceRemote struct {
+	ExecNanos         int64 `json:"exec_ns"`
+	ManagerQueueNanos int64 `json:"manager_queue_ns,omitempty"`
+	AgentQueueNanos   int64 `json:"agent_queue_ns,omitempty"`
+}
+
+// TraceDecomposition is the per-stage latency breakdown of one
+// completed task: the six stages partition TotalNanos exactly.
+type TraceDecomposition struct {
+	SubmitNanos   int64 `json:"submit_ns"`
+	QueueNanos    int64 `json:"queue_ns"`
+	DispatchNanos int64 `json:"dispatch_ns"`
+	ExecuteNanos  int64 `json:"execute_ns"`
+	ReturnNanos   int64 `json:"return_ns"`
+	PublishNanos  int64 `json:"publish_ns"`
+	TotalNanos    int64 `json:"total_ns"`
+}
+
+// TaskTraceResponse is a task's recorded timeline
+// (GET /v1/tasks/{id}/trace): the raw stage stamps, the endpoint-side
+// deltas when the result carried them, and — once the task retired —
+// the derived per-stage decomposition.
+type TaskTraceResponse struct {
+	TaskID     types.TaskID     `json:"task_id"`
+	EndpointID types.EndpointID `json:"endpoint_id,omitempty"`
+	GroupID    types.GroupID    `json:"group_id,omitempty"`
+	// Start is the submit arrival wall time anchoring the offsets.
+	Start time.Time `json:"start"`
+	// Done marks a retired task (its terminal event has published).
+	Done          bool                `json:"done"`
+	Stamps        []TraceStamp        `json:"stamps"`
+	Remote        *TraceRemote        `json:"remote,omitempty"`
+	Decomposition *TraceDecomposition `json:"decomposition,omitempty"`
+}
+
+// FromTimeline converts a recorded timeline to its wire shape,
+// deriving the decomposition for finished timelines.
+func FromTimeline(tl *trace.Timeline) TaskTraceResponse {
+	resp := TaskTraceResponse{
+		TaskID:     tl.TaskID,
+		EndpointID: tl.Endpoint,
+		GroupID:    tl.Group,
+		Start:      tl.Start,
+		Done:       tl.Done,
+		Stamps:     make([]TraceStamp, len(tl.Stamps)),
+	}
+	for i, st := range tl.Stamps {
+		resp.Stamps[i] = TraceStamp{Stage: string(st.Stage), OffsetNanos: int64(st.Offset)}
+	}
+	if tl.Remote != nil {
+		resp.Remote = &TraceRemote{
+			ExecNanos:         int64(tl.Remote.Exec),
+			ManagerQueueNanos: int64(tl.Remote.ManagerQueue),
+			AgentQueueNanos:   int64(tl.Remote.AgentQueue),
+		}
+	}
+	if d, ok := trace.Decompose(tl); ok {
+		resp.Decomposition = &TraceDecomposition{
+			SubmitNanos:   int64(d.Submit),
+			QueueNanos:    int64(d.Queue),
+			DispatchNanos: int64(d.Dispatch),
+			ExecuteNanos:  int64(d.Execute),
+			ReturnNanos:   int64(d.Return),
+			PublishNanos:  int64(d.Publish),
+			TotalNanos:    int64(d.Total),
+		}
+	}
+	return resp
+}
+
 // EndpointStatusResponse reports endpoint health
 // (GET /v1/endpoints/{id}/status).
 type EndpointStatusResponse struct {
@@ -305,6 +388,22 @@ type StatsResponse struct {
 	// EventUsers is the number of per-user event streams currently
 	// held by the bus.
 	EventUsers int `json:"event_users"`
+	// EventSubscribers/EventBufferedEvents/EventPendingDone/
+	// EventSeqTombstones are the rest of the event bus's gauge set:
+	// live subscriptions, events buffered across replay rings,
+	// tasks carrying completion registrations, and evicted users whose
+	// numbering is preserved. /v1/metrics reports the same values.
+	EventSubscribers    int `json:"event_subscribers"`
+	EventBufferedEvents int `json:"event_buffered_events"`
+	EventPendingDone    int `json:"event_pending_done"`
+	EventSeqTombstones  int `json:"event_seq_tombstones"`
+	// TraceActive/TraceCompleted are the trace collector's live
+	// timeline counts; TraceEvicted counts completed timelines dropped
+	// from the retention ring (their histograms already folded). All
+	// zero when tracing is disabled.
+	TraceActive    int   `json:"trace_active,omitempty"`
+	TraceCompleted int   `json:"trace_completed,omitempty"`
+	TraceEvicted   int64 `json:"trace_evicted,omitempty"`
 	// Endpoints carries one entry per registered endpoint, ordered by
 	// endpoint id for stable output.
 	Endpoints []EndpointStats `json:"endpoints"`

@@ -1,0 +1,63 @@
+// Package debugserver is the opt-in profiling surface behind the
+// -debug-addr flag of funcx-service and funcx-endpoint: net/http/pprof
+// plus a small runtime-metrics endpoint, on a listener separate from
+// the product API so profiling is never exposed through the
+// authenticated front door (and can be bound to localhost while the
+// API serves publicly).
+//
+//	GET /debug/pprof/            pprof index (heap, goroutine, ...)
+//	GET /debug/pprof/profile     CPU profile
+//	GET /debug/runtime           runtime gauges in Prometheus text form
+package debugserver
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Start serves the debug surface on addr, returning the bound address
+// (useful with ":0") and a stop function. An empty addr is a no-op:
+// callers pass the flag value through unconditionally.
+func Start(addr string) (string, func(), error) {
+	if addr == "" {
+		return "", func() {}, nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/runtime", handleRuntime)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("debugserver: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // closed by stop
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// handleRuntime reports process-level runtime gauges — goroutines,
+// heap, and GC activity — in the Prometheus text exposition, so the
+// same scraper that reads /v1/metrics can watch the runtime without a
+// pprof round trip.
+func handleRuntime(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	write := func(name, typ, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	write("go_goroutines", "gauge", "Live goroutines.", float64(runtime.NumGoroutine()))
+	write("go_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	write("go_heap_sys_bytes", "gauge", "Heap memory obtained from the OS.", float64(ms.HeapSys))
+	write("go_heap_objects", "gauge", "Allocated heap objects.", float64(ms.HeapObjects))
+	write("go_gc_cycles_total", "counter", "Completed GC cycles.", float64(ms.NumGC))
+	write("go_gc_pause_seconds_total", "counter", "Cumulative stop-the-world GC pause.", float64(ms.PauseTotalNs)/1e9)
+	write("go_next_gc_bytes", "gauge", "Heap size target of the next GC cycle.", float64(ms.NextGC))
+}

@@ -1,0 +1,49 @@
+package debugserver
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestStartServesPprofAndRuntime(t *testing.T) {
+	addr, stop, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	resp, err := http.Get("http://" + addr + "/debug/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/runtime: HTTP %d", resp.StatusCode)
+	}
+	for _, want := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_pause_seconds_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("runtime metrics missing %s:\n%s", want, body)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: HTTP %d", resp.StatusCode)
+	}
+}
+
+func TestStartEmptyAddrIsNoop(t *testing.T) {
+	addr, stop, err := Start("")
+	if err != nil || addr != "" {
+		t.Fatalf("empty addr: got %q, %v", addr, err)
+	}
+	stop()
+}

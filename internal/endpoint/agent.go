@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"time"
@@ -82,6 +83,11 @@ type Config struct {
 	DisableAdvice bool
 	// Seed seeds the randomized scheduler.
 	Seed int64
+	// Logger receives the agent's structured logs; every record carries
+	// the endpoint id, and per-task records (receipt, completion) log at
+	// Debug so a task id greps across the service and agent sides of a
+	// dispatch. Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // managerState is the agent's view of one registered manager.
@@ -111,6 +117,7 @@ type inflightTask struct {
 // Agent is the funcX endpoint agent.
 type Agent struct {
 	cfg Config
+	log *slog.Logger
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -163,8 +170,13 @@ func New(cfg Config) *Agent {
 	if cfg.Policy == "" {
 		cfg.Policy = ScheduleRandom
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	return &Agent{
 		cfg:      cfg,
+		log:      logger.With("endpoint_id", string(cfg.ID)),
 		managers: make(map[types.ManagerID]*managerState),
 		inflight: make(map[types.TaskID]*inflightTask),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
@@ -222,6 +234,7 @@ func (a *Agent) connect() error {
 	a.upstream = conn
 	a.connected = true
 	a.mu.Unlock()
+	a.log.Info("registered with forwarder", "service_addr", a.cfg.ServiceAddr)
 	a.wg.Add(1)
 	go a.upstreamLoop(conn)
 	return nil
@@ -433,6 +446,7 @@ func (a *Agent) enqueue(t *types.Task) {
 	a.queue = append(a.queue, t)
 	a.inflight[t.ID] = &inflightTask{task: t, arrived: time.Now()}
 	a.mu.Unlock()
+	a.log.Debug("task received", "task_id", string(t.ID), "function_id", string(t.FunctionID), "attempt", t.Attempt)
 	a.schedule()
 }
 
@@ -538,6 +552,7 @@ func (a *Agent) watchdog() {
 		}
 	}
 	for _, m := range lost {
+		a.log.Warn("manager lost", "manager_id", string(m.id), "outstanding", len(m.outstanding))
 		for _, t := range m.outstanding {
 			if t.AtMostOnce || (a.cfg.MaxAttempts > 0 && t.Attempt >= a.cfg.MaxAttempts) {
 				// Permanent failure: at-most-once tasks must never be
@@ -559,10 +574,12 @@ func (a *Agent) watchdog() {
 					Lost:      true,
 					Completed: time.Now(),
 				})})
+				a.log.Warn("task lost", "task_id", string(t.ID), "manager_id", string(m.id), "attempt", t.Attempt, "at_most_once", t.AtMostOnce)
 				continue
 			}
 			t.Attempt++
 			a.requeued++
+			a.log.Debug("task requeued after manager loss", "task_id", string(t.ID), "manager_id", string(m.id), "attempt", t.Attempt)
 			// Head-of-queue so recovered tasks run first.
 			a.queue = append([]*types.Task{t}, a.queue...)
 		}
@@ -613,6 +630,7 @@ func (a *Agent) manageConn(conn transport.Conn) {
 	a.mu.Lock()
 	a.managers[reg.ManagerID] = st
 	a.mu.Unlock()
+	a.log.Info("manager registered", "manager_id", string(reg.ManagerID))
 
 	for {
 		msg, err := conn.Recv(0)
@@ -676,9 +694,19 @@ func (a *Agent) finish(st *managerState, res *types.Result) {
 			te = 0
 		}
 		res.Timing.TE = te
+		if res.Trace != nil {
+			// Agent-queue trace delta: endpoint time outside the
+			// manager and worker, measured on this machine's clock.
+			aq := te - res.Trace.ManagerQueue
+			if aq < 0 {
+				aq = 0
+			}
+			res.Trace.AgentQueue = aq
+		}
 	}
 	a.completed++
 	a.mu.Unlock()
+	a.log.Debug("task completed", "task_id", string(res.TaskID), "manager_id", string(st.id), "failed", res.Err != "")
 	a.sendUpstream(res)
 }
 

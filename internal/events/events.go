@@ -164,6 +164,39 @@ func (b *Bus) Users() int {
 	return len(b.users)
 }
 
+// Stats is the bus's aggregate gauge snapshot, taken in one lock
+// acquisition for the observability surfaces (/v1/stats JSON and the
+// /v1/metrics Prometheus exposition report identical values).
+type Stats struct {
+	// Users is the number of per-user streams currently held.
+	Users int
+	// Subscribers is the number of live subscriptions across streams.
+	Subscribers int
+	// BufferedEvents is the total event count across replay rings.
+	BufferedEvents int
+	// PendingDone is how many tasks carry completion registrations.
+	PendingDone int
+	// SeqTombstones counts evicted users whose event numbering is
+	// preserved for Last-Event-ID continuity.
+	SeqTombstones int
+}
+
+// Stats snapshots the bus's gauges under one lock.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := Stats{
+		Users:         len(b.users),
+		PendingDone:   len(b.done),
+		SeqTombstones: len(b.lastSeq),
+	}
+	for _, s := range b.users {
+		st.Subscribers += len(s.subs)
+		st.BufferedEvents += s.n
+	}
+	return st
+}
+
 // slot returns the ring index holding the event with the given seq.
 // The ring grows lazily up to cfg.Ring so idle users stay cheap.
 func (st *stream) slot(seq uint64, ringCap int) int {

@@ -35,9 +35,14 @@ type env struct {
 	dir    string
 }
 
-func newEnv(wal bool) (*env, error) {
+func newEnv(wal bool) (*env, error) { return newEnvCfg(wal, false) }
+
+// newEnvCfg also controls tracing: noTrace boots the service with the
+// per-task trace collector disabled, the baseline of the
+// tracing-overhead comparison.
+func newEnvCfg(wal, noTrace bool) (*env, error) {
 	e := &env{}
-	cfg := service.Config{HeartbeatPeriod: 100 * time.Millisecond}
+	cfg := service.Config{HeartbeatPeriod: 100 * time.Millisecond, DisableTrace: noTrace}
 	if wal {
 		dir, err := os.MkdirTemp("", "funcx-perf-*")
 		if err != nil {
@@ -136,6 +141,22 @@ func BenchSubmit(b *testing.B, wal bool) {
 		b.Fatal(err)
 	}
 	defer e.Close()
+	benchSubmitEnv(b, e)
+}
+
+// BenchSubmitTrace is BenchSubmit with the store in-memory and
+// per-task tracing toggled — the profiling handle for the
+// tracing-overhead comparison.
+func BenchSubmitTrace(b *testing.B, traced bool) {
+	e, err := newEnvCfg(false, !traced)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	benchSubmitEnv(b, e)
+}
+
+func benchSubmitEnv(b *testing.B, e *env) {
 	ctx := context.Background()
 	// One client per worker goroutine: each holds its own HTTP
 	// connection, like independent SDK users.
@@ -184,6 +205,86 @@ func SubmitThroughput(wal bool, tasks int) (float64, error) {
 		return 0, err
 	}
 	defer e.Close()
+	return throughput(e, tasks)
+}
+
+// TraceThroughput is SubmitThroughput with the store in-memory and
+// tracing either enabled (the default service configuration, which
+// stamps a timeline per task and folds completed ones into stage
+// histograms) or disabled — the two sides of the tracing-overhead
+// ratio in BENCH_7.json.
+func TraceThroughput(traced bool, tasks int) (float64, error) {
+	e, err := newEnvCfg(false, !traced)
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	return throughput(e, tasks)
+}
+
+// TraceOverheadPaired measures the tracing overhead with both
+// configurations held open for the whole comparison and short
+// measurement windows interleaved untraced/traced/untraced/...
+// Aggregate rates come from the summed wall time per side, so both
+// sides sample the same machine weather — on small or shared boxes a
+// single window swings far more than the overhead being measured, and
+// comparing two monolithic runs reports that noise as overhead.
+func TraceOverheadPaired(tasksPerWindow, windows int) (untraced, traced float64, err error) {
+	off, err := newEnvCfg(false, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer off.Close()
+	on, err := newEnvCfg(false, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer on.Close()
+
+	var wallOff, wallOn float64
+	window := func(e *env) (float64, error) {
+		runtime.GC()
+		return throughputWindow(e, tasksPerWindow)
+	}
+	for w := 0; w < windows; w++ {
+		// Alternate which side runs first so slow drift (heap growth,
+		// background jitter) taxes both sides equally.
+		first, second := off, on
+		if w%2 == 1 {
+			first, second = on, off
+		}
+		s1, err := window(first)
+		if err != nil {
+			return 0, 0, err
+		}
+		s2, err := window(second)
+		if err != nil {
+			return 0, 0, err
+		}
+		if w%2 == 1 {
+			s1, s2 = s2, s1
+		}
+		wallOff += s1
+		wallOn += s2
+	}
+	total := float64(tasksPerWindow * windows)
+	return total / wallOff, total / wallOn, nil
+}
+
+// throughput drives the 16-lane submit storm against a booted env and
+// reports the rate.
+func throughput(e *env, tasks int) (float64, error) {
+	wall, err := throughputWindow(e, tasks)
+	if err != nil {
+		return 0, err
+	}
+	return float64(tasks/16*16) / wall, nil
+}
+
+// throughputWindow drives the 16-lane submit storm against a booted
+// env and returns the wall seconds the submit phase took; result
+// gathering is off the clock.
+func throughputWindow(e *env, tasks int) (float64, error) {
 	ctx := context.Background()
 	const lanes = 16
 	type lane struct {
@@ -225,7 +326,7 @@ func SubmitThroughput(wal bool, tasks int) (float64, error) {
 	if err := e.drain(ids); err != nil {
 		return 0, err
 	}
-	return float64(per*lanes) / wall.Seconds(), nil
+	return wall.Seconds(), nil
 }
 
 // BatchSize is how many tasks each BenchBatchWait iteration submits

@@ -1,0 +1,8 @@
+package perf
+
+import "testing"
+
+// BenchmarkSubmitTraced / BenchmarkSubmitUntraced isolate the
+// per-task tracing cost on the submit hot path for profiling.
+func BenchmarkSubmitTraced(b *testing.B)   { BenchSubmitTrace(b, true) }
+func BenchmarkSubmitUntraced(b *testing.B) { BenchSubmitTrace(b, false) }

@@ -1,0 +1,469 @@
+// Package promtext is a strict parser for the Prometheus text
+// exposition format (version 0.0.4) — the format /v1/metrics and
+// /debug/runtime emit. It exists so tests and the CI smoke check can
+// fail on malformed output (broken escaping, interleaved families,
+// non-cumulative histogram buckets) instead of a scraper discovering
+// it in production.
+//
+// Parse is deliberately stricter than real Prometheus servers:
+//
+//   - every sample must belong to a family declared with # TYPE, and
+//     families may not be re-opened once another family has started;
+//   - metric and label names must match the spec's character sets;
+//   - duplicate series (same name and label set) are errors;
+//   - histogram families must emit cumulative, non-decreasing buckets
+//     in increasing le order ending in a +Inf bucket whose value
+//     equals _count, plus exactly one _sum and _count per series set.
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one series line: a name, its label pairs, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: the header and its samples in order.
+type Family struct {
+	Name    string
+	Type    string // counter | gauge | histogram | summary | untyped
+	Help    string
+	Samples []Sample
+}
+
+// Get returns the family with the given name, or nil.
+func Get(families []Family, name string) *Family {
+	for i := range families {
+		if families[i].Name == name {
+			return &families[i]
+		}
+	}
+	return nil
+}
+
+// Sample returns the first sample whose labels include every pair in
+// match (extra labels, like the shard label, are ignored), or nil.
+func (f *Family) Sample(match map[string]string) *Sample {
+	for i := range f.Samples {
+		ok := true
+		for k, v := range match {
+			if f.Samples[i].Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return &f.Samples[i]
+		}
+	}
+	return nil
+}
+
+// Parse parses and validates one exposition document.
+func Parse(text string) ([]Family, error) {
+	p := parser{byName: make(map[string]*Family), series: make(map[string]bool)}
+	for i, line := range strings.Split(text, "\n") {
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w (%q)", i+1, err, line)
+		}
+	}
+	for i := range p.families {
+		if err := validateFamily(&p.families[i]); err != nil {
+			return nil, err
+		}
+	}
+	return p.families, nil
+}
+
+type parser struct {
+	families []Family
+	byName   map[string]*Family
+	closed   map[string]bool // families a later family has sealed
+	series   map[string]bool // dedup of name + sorted label set
+}
+
+func (p *parser) line(line string) error {
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return p.comment(line)
+	}
+	return p.sample(line)
+}
+
+// comment handles # HELP / # TYPE headers; other comments are skipped.
+func (p *parser) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	name := fields[2]
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	switch fields[1] {
+	case "HELP":
+		if f := p.byName[name]; f != nil {
+			return fmt.Errorf("duplicate HELP for family %s", name)
+		}
+		p.open(name)
+		if len(fields) == 4 {
+			p.byName[name].Help = fields[3]
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE needs a type")
+		}
+		typ := fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown type %q", typ)
+		}
+		f := p.byName[name]
+		if f == nil {
+			p.open(name)
+			f = p.byName[name]
+		} else if f.Type != "" {
+			return fmt.Errorf("duplicate TYPE for family %s", name)
+		} else if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		if f != &p.families[len(p.families)-1] {
+			return fmt.Errorf("family %s re-opened after another family started", name)
+		}
+		f.Type = typ
+	}
+	return nil
+}
+
+// open starts a new family, sealing all earlier ones against reuse.
+func (p *parser) open(name string) {
+	if p.closed == nil {
+		p.closed = make(map[string]bool)
+	}
+	for i := range p.families {
+		p.closed[p.families[i].Name] = true
+	}
+	p.families = append(p.families, Family{Name: name})
+	p.byName[name] = &p.families[len(p.families)-1]
+	// byName holds pointers into the slice: re-point survivors after
+	// a potential reallocation by append.
+	for i := range p.families {
+		p.byName[p.families[i].Name] = &p.families[i]
+	}
+}
+
+// sample parses one series line and attaches it to its family.
+func (p *parser) sample(line string) error {
+	s, err := parseSample(line)
+	if err != nil {
+		return err
+	}
+	fam := p.familyOf(s.Name)
+	if fam == nil {
+		return fmt.Errorf("sample %s has no preceding # TYPE header", s.Name)
+	}
+	if p.closed[fam.Name] {
+		return fmt.Errorf("family %s interleaved with a later family", fam.Name)
+	}
+	if !sampleNameAllowed(fam, s.Name) {
+		return fmt.Errorf("series %s not valid in %s family %s", s.Name, fam.Type, fam.Name)
+	}
+	key := seriesKey(s)
+	if p.series[key] {
+		return fmt.Errorf("duplicate series %s", key)
+	}
+	p.series[key] = true
+	fam.Samples = append(fam.Samples, s)
+	return nil
+}
+
+// familyOf maps a series name to its family, peeling histogram and
+// summary suffixes.
+func (p *parser) familyOf(name string) *Family {
+	if f := p.byName[name]; f != nil {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f := p.byName[base]; f != nil && (f.Type == "histogram" || f.Type == "summary") {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// sampleNameAllowed enforces the per-type series-name contract.
+func sampleNameAllowed(f *Family, name string) bool {
+	switch f.Type {
+	case "histogram", "summary":
+		return name == f.Name+"_bucket" || name == f.Name+"_sum" || name == f.Name+"_count" || name == f.Name
+	default:
+		return name == f.Name
+	}
+}
+
+// parseSample parses `name{label="value",...} value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid series name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		rest, err := parseLabels(line[i+1:], &s)
+		if err != nil {
+			return s, err
+		}
+		line = rest
+	} else {
+		line = line[i:]
+	}
+	if len(line) == 0 || line[0] != ' ' {
+		return s, fmt.Errorf("expected space before value")
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 1 && len(fields) != 2 {
+		return s, fmt.Errorf("expected value [timestamp], got %d fields", len(fields))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes `label="value",...}` and returns the remainder
+// of the line after the closing brace.
+func parseLabels(rest string, s *Sample) (string, error) {
+	for {
+		if len(rest) == 0 {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		if rest[0] == '}' {
+			return rest[1:], nil
+		}
+		i := 0
+		for i < len(rest) && isLabelChar(rest[i], i == 0) {
+			i++
+		}
+		name := rest[:i]
+		if !validLabelName(name) {
+			return "", fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := s.Labels[name]; dup {
+			return "", fmt.Errorf("duplicate label %q", name)
+		}
+		if i+1 >= len(rest) || rest[i] != '=' || rest[i+1] != '"' {
+			return "", fmt.Errorf(`label %q not followed by ="`, name)
+		}
+		value, after, err := parseQuoted(rest[i+2:])
+		if err != nil {
+			return "", err
+		}
+		s.Labels[name] = value
+		rest = after
+		if len(rest) > 0 && rest[0] == ',' {
+			rest = rest[1:]
+		} else if len(rest) == 0 || rest[0] != '}' {
+			return "", fmt.Errorf("expected , or } after label %q", name)
+		}
+	}
+}
+
+// parseQuoted consumes an escaped label value up to its closing quote.
+// The format escapes exactly backslash, double-quote, and newline.
+func parseQuoted(rest string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '"':
+			return b.String(), rest[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(rest) {
+				return "", "", fmt.Errorf("trailing backslash in label value")
+			}
+			switch rest[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf(`unknown escape \%c in label value`, rest[i])
+			}
+		case '\n':
+			return "", "", fmt.Errorf("raw newline in label value")
+		default:
+			b.WriteByte(rest[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// validateFamily runs the per-type semantic checks — for histograms,
+// the bucket invariants the scraper relies on.
+func validateFamily(f *Family) error {
+	if f.Type == "" {
+		return fmt.Errorf("family %s has HELP but no TYPE", f.Name)
+	}
+	if f.Type != "histogram" {
+		return nil
+	}
+	return validateHistogram(f)
+}
+
+// validateHistogram checks each series set (label set minus le) of a
+// histogram family: increasing le order, non-decreasing cumulative
+// counts, a terminal +Inf bucket agreeing with _count, and exactly one
+// _sum and _count.
+func validateHistogram(f *Family) error {
+	type set struct {
+		les          []float64
+		counts       []float64
+		count        float64
+		nCount, nSum int
+	}
+	sets := make(map[string]*set)
+	order := []string{}
+	get := func(s Sample) *set {
+		labels := make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			if k != "le" {
+				labels[k] = v
+			}
+		}
+		key := seriesKey(Sample{Name: f.Name, Labels: labels})
+		if sets[key] == nil {
+			sets[key] = &set{}
+			order = append(order, key)
+		}
+		return sets[key]
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, le)
+			}
+			g := get(s)
+			g.les = append(g.les, bound)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_sum":
+			get(s).nSum++
+		case f.Name + "_count":
+			g := get(s)
+			g.nCount++
+			g.count = s.Value
+		}
+	}
+	for _, key := range order {
+		g := sets[key]
+		if len(g.les) == 0 {
+			return fmt.Errorf("%s{%s}: no buckets", f.Name, key)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("%s{%s}: le out of order (%g after %g)", f.Name, key, g.les[i], g.les[i-1])
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("%s{%s}: bucket counts not cumulative (%g after %g)", f.Name, key, g.counts[i], g.counts[i-1])
+			}
+		}
+		last := len(g.les) - 1
+		if !math.IsInf(g.les[last], +1) {
+			return fmt.Errorf("%s{%s}: missing terminal +Inf bucket", f.Name, key)
+		}
+		if g.nCount != 1 || g.nSum != 1 {
+			return fmt.Errorf("%s{%s}: want exactly one _sum and _count, got %d and %d", f.Name, key, g.nSum, g.nCount)
+		}
+		if g.counts[last] != g.count {
+			return fmt.Errorf("%s{%s}: +Inf bucket %g != _count %g", f.Name, key, g.counts[last], g.count)
+		}
+	}
+	return nil
+}
+
+// seriesKey canonicalizes name + label set for duplicate detection.
+func seriesKey(s Sample) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ",%s=%q", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isNameChar(name[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isLabelChar(name[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	letter := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+	if first {
+		return letter
+	}
+	return letter || c >= '0' && c <= '9'
+}
+
+func isLabelChar(c byte, first bool) bool {
+	letter := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+	if first {
+		return letter
+	}
+	return letter || c >= '0' && c <= '9'
+}

@@ -1,0 +1,117 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodDoc = `# HELP funcx_tasks_submitted_total Tasks accepted.
+# TYPE funcx_tasks_submitted_total counter
+funcx_tasks_submitted_total{shard="s-1"} 42
+# HELP funcx_task_stage_seconds Per-stage latency.
+# TYPE funcx_task_stage_seconds histogram
+funcx_task_stage_seconds_bucket{stage="execute",le="0.001"} 1
+funcx_task_stage_seconds_bucket{stage="execute",le="0.01"} 3
+funcx_task_stage_seconds_bucket{stage="execute",le="+Inf"} 5
+funcx_task_stage_seconds_sum{stage="execute"} 0.25
+funcx_task_stage_seconds_count{stage="execute"} 5
+`
+
+func TestParseGoodDocument(t *testing.T) {
+	fams, err := Parse(goodDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2", len(fams))
+	}
+	c := Get(fams, "funcx_tasks_submitted_total")
+	if c == nil || c.Type != "counter" || len(c.Samples) != 1 || c.Samples[0].Value != 42 {
+		t.Fatalf("counter family mangled: %+v", c)
+	}
+	if got := c.Samples[0].Labels["shard"]; got != "s-1" {
+		t.Fatalf("shard label = %q", got)
+	}
+	h := Get(fams, "funcx_task_stage_seconds")
+	if h == nil || h.Type != "histogram" || len(h.Samples) != 5 {
+		t.Fatalf("histogram family mangled: %+v", h)
+	}
+	if s := h.Sample(map[string]string{"le": "+Inf"}); s == nil || s.Value != 5 {
+		t.Fatalf("+Inf bucket lookup: %+v", s)
+	}
+}
+
+func TestParseUnescapesLabelValues(t *testing.T) {
+	doc := "# HELP m x\n# TYPE m gauge\n" +
+		`m{v="a\"b\\c\nd"} 1` + "\n"
+	fams, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\"b\\c\nd"
+	if got := fams[0].Samples[0].Labels["v"]; got != want {
+		t.Fatalf("unescaped %q, want %q", got, want)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "orphan 1\n",
+		"duplicate series":    "# TYPE m gauge\nm{a=\"1\"} 1\nm{a=\"1\"} 2\n",
+		"duplicate TYPE":      "# TYPE m gauge\n# TYPE m counter\nm 1\n",
+		"bad label escape":    "# TYPE m gauge\nm{a=\"\\t\"} 1\n",
+		"unterminated labels": "# TYPE m gauge\nm{a=\"1\" 1\n",
+		"bad value":           "# TYPE m gauge\nm one\n",
+		"bad metric name":     "# TYPE 0m gauge\n0m 1\n",
+		"duplicate label":     "# TYPE m gauge\nm{a=\"1\",a=\"2\"} 1\n",
+		"wrong series name":   "# TYPE m gauge\nm_other 1\n",
+		"interleaved families": "# TYPE m gauge\nm 1\n" +
+			"# TYPE n gauge\nn 1\nm{x=\"2\"} 2\n",
+		"help only, no type": "# HELP m x\nm 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := Parse(doc); err == nil {
+			t.Errorf("%s: parse accepted malformed document", name)
+		}
+	}
+}
+
+func TestParseRejectsBrokenHistograms(t *testing.T) {
+	header := "# TYPE h histogram\n"
+	cases := map[string]string{
+		"missing +Inf": header +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative buckets": header +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"le out of order": header +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"inf disagrees with count": header +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"missing sum": header +
+			"h_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"bucket without le": header +
+			"h_bucket 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := Parse(doc); err == nil {
+			t.Errorf("%s: parse accepted broken histogram", name)
+		}
+	}
+	good := header + "h_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 4\nh_sum 1.5\nh_count 4\n"
+	if _, err := Parse(good); err != nil {
+		t.Fatalf("well-formed histogram rejected: %v", err)
+	}
+}
+
+func TestHistogramSetsSplitByLabels(t *testing.T) {
+	// Two label sets in one family validate independently: a +Inf
+	// missing from one set must be reported even though the other has
+	// it.
+	doc := "# TYPE h histogram\n" +
+		"h_bucket{ep=\"a\",le=\"+Inf\"} 1\nh_sum{ep=\"a\"} 1\nh_count{ep=\"a\"} 1\n" +
+		"h_bucket{ep=\"b\",le=\"1\"} 1\nh_sum{ep=\"b\"} 1\nh_count{ep=\"b\"} 1\n"
+	_, err := Parse(doc)
+	if err == nil || !strings.Contains(err.Error(), "+Inf") {
+		t.Fatalf("want missing +Inf for set b, got %v", err)
+	}
+}

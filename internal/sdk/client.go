@@ -520,6 +520,19 @@ func (c *Client) Status(ctx context.Context, id types.TaskID) (types.TaskStatus,
 	return resp.Status, nil
 }
 
+// TaskTrace fetches a task's recorded lifecycle timeline
+// (GET /v1/tasks/{id}/trace): per-stage stamps on the service clock,
+// endpoint-side deltas, and — once the task retired — the per-stage
+// latency decomposition. Traces are retained in a bounded ring, so old
+// tasks may report not found.
+func (c *Client) TaskTrace(ctx context.Context, id types.TaskID) (*api.TaskTraceResponse, error) {
+	var resp api.TaskTraceResponse
+	if _, err := c.do(ctx, http.MethodGet, "/v1/tasks/"+string(id)+"/trace", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Result is a completed task outcome.
 type Result struct {
 	TaskID types.TaskID

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"funcx/internal/api"
 	"funcx/internal/serial"
 	"funcx/internal/types"
 	"funcx/internal/wire"
@@ -25,6 +26,7 @@ import (
 // (POST /v1/tasks/wait), and on servers with neither API to bounded
 // per-task long-polls — the future's surface is the same either way.
 type Future struct {
+	c    *Client
 	id   types.TaskID
 	done chan struct{}
 	once sync.Once
@@ -32,8 +34,8 @@ type Future struct {
 	err  error
 }
 
-func newFuture(id types.TaskID) *Future {
-	return &Future{id: id, done: make(chan struct{})}
+func newFuture(c *Client, id types.TaskID) *Future {
+	return &Future{c: c, id: id, done: make(chan struct{})}
 }
 
 // TaskID returns the underlying task id.
@@ -72,6 +74,14 @@ func (f *Future) resolve(res *Result, err error) {
 	})
 }
 
+// Trace fetches the task's recorded lifecycle timeline from the
+// service (see Client.TaskTrace). Most useful after the future
+// resolves, when the timeline is complete and carries the per-stage
+// latency decomposition.
+func (f *Future) Trace(ctx context.Context) (*api.TaskTraceResponse, error) {
+	return f.c.TaskTrace(ctx, f.id)
+}
+
 // SubmitFuture submits one task and returns a future for its result,
 // starting the client's shared stream consumer on first use. Against a
 // sharded service the future is registered with the consumer pinned to
@@ -93,7 +103,7 @@ func (c *Client) SubmitFuture(ctx context.Context, spec SubmitSpec) (*Future, er
 	if err != nil {
 		return nil, err
 	}
-	f := newFuture(resp.TaskID)
+	f := newFuture(c, resp.TaskID)
 	st.register(f)
 	return f, nil
 }
@@ -121,7 +131,7 @@ func (c *Client) FutureOf(id types.TaskID) (*Future, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := newFuture(id)
+	f := newFuture(c, id)
 	st.register(f)
 	return f, nil
 }

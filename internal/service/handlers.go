@@ -62,6 +62,7 @@ func (s *Service) buildMux() {
 	mux.Handle("POST /v1/tasks/batch", s.limitSubmit(protect(auth.ScopeRun, s.handleBatchSubmit)))
 	mux.Handle("POST /v1/tasks/wait", protect(auth.ScopeRun, s.handleWaitTasks))
 	mux.Handle("GET /v1/tasks/{id}", protect(auth.ScopeRun, s.handleStatus))
+	mux.Handle("GET /v1/tasks/{id}/trace", protect(auth.ScopeRun, s.handleTaskTrace))
 	mux.Handle("GET /v1/tasks/{id}/result", protect(auth.ScopeRun, s.handleResult))
 	mux.Handle("GET /v1/events", protect(auth.ScopeRun, s.handleEvents))
 	mux.Handle("GET /v1/stats", protect(auth.ScopeRun, s.handleStats))
@@ -456,6 +457,23 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, api.StatusResponse{TaskID: id, Status: st})
+}
+
+// handleTaskTrace is GET /v1/tasks/{id}/trace: the task's recorded
+// lifecycle timeline. Timelines live in memory on the shard that
+// placed the task, so the request redirects to the task's owner shard
+// like the status surface.
+func (s *Service) handleTaskTrace(w http.ResponseWriter, r *http.Request) {
+	id := types.TaskID(r.PathValue("id"))
+	if s.redirectByKey(w, r, shard.TaskKey(id)) {
+		return
+	}
+	tl, err := s.TaskTrace(claimsOf(r).Subject, id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FromTimeline(tl))
 }
 
 // maxWait caps how long the server holds a blocking retrieval open;

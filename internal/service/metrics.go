@@ -10,6 +10,7 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -34,10 +35,17 @@ func (p *promWriter) header(name, typ, help string) {
 // sample emits one series of the open family. Labels alternate
 // key, value; the shard label is appended automatically.
 func (p *promWriter) sample(value float64, labels ...string) {
+	p.series(p.family, value, labels...)
+}
+
+// series emits one sample line under an explicit series name —
+// histogram families put _bucket/_sum/_count series inside one family
+// header, so the series name and the open family differ.
+func (p *promWriter) series(name string, value float64, labels ...string) {
 	if p.shard != "" {
 		labels = append(labels, "shard", p.shard)
 	}
-	p.b.WriteString(p.family)
+	p.b.WriteString(name)
 	if len(labels) > 0 {
 		p.b.WriteByte('{')
 		for i := 0; i < len(labels); i += 2 {
@@ -51,6 +59,19 @@ func (p *promWriter) sample(value float64, labels ...string) {
 	// %g renders integers without a trailing ".0" and large counters
 	// without exponent surprises up to 2^53, far past these counters.
 	fmt.Fprintf(&p.b, " %g\n", value)
+}
+
+// histogram emits one histogram series set — cumulative le buckets
+// with the mandatory +Inf terminal bucket, then _sum and _count —
+// under the open family. Labels alternate key, value as in sample.
+func (p *promWriter) histogram(name string, bounds []float64, cumulative []uint64, sum float64, count uint64, labels ...string) {
+	for i, bound := range bounds {
+		le := strconv.FormatFloat(bound, 'g', -1, 64)
+		p.series(name+"_bucket", float64(cumulative[i]), append(append([]string(nil), labels...), "le", le)...)
+	}
+	p.series(name+"_bucket", float64(count), append(append([]string(nil), labels...), "le", "+Inf")...)
+	p.series(name+"_sum", sum, labels...)
+	p.series(name+"_count", float64(count), labels...)
 }
 
 func (p *promWriter) counter(name, help string, v float64, labels ...string) {
@@ -83,6 +104,32 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("funcx_gateway_redirected_total", "Cross-shard requests redirected by this shard.", float64(st.Redirected))
 	p.counter("funcx_elastic_evaluations_total", "Fleet-autoscaler decision rounds.", float64(st.ElasticEvaluations))
 	p.gauge("funcx_event_streams", "Per-user event streams currently held.", float64(st.EventUsers))
+	p.gauge("funcx_event_subscribers", "Live event subscriptions across all streams.", float64(st.EventSubscribers))
+	p.gauge("funcx_event_buffered_events", "Events buffered across per-user replay rings.", float64(st.EventBufferedEvents))
+	p.gauge("funcx_event_pending_done", "Tasks carrying completion-wait registrations.", float64(st.EventPendingDone))
+	p.gauge("funcx_event_seq_tombstones", "Evicted users whose event numbering is preserved.", float64(st.EventSeqTombstones))
+
+	if s.Trace != nil {
+		p.gauge("funcx_trace_active_timelines", "In-flight task timelines being recorded.", float64(st.TraceActive))
+		p.gauge("funcx_trace_completed_timelines", "Completed task timelines retained for the trace API.", float64(st.TraceCompleted))
+		p.counter("funcx_trace_evicted_total", "Completed timelines dropped from the retention ring.", float64(st.TraceEvicted))
+		// Per-stage latency histograms folded from completed timelines:
+		// one series set per (stage, endpoint, group), cumulative le
+		// buckets in seconds. The "total" stage is end-to-end
+		// (submit arrival → terminal event published).
+		for _, h := range s.Trace.Histograms() {
+			p.header("funcx_task_stage_seconds", "histogram",
+				"Per-stage task latency decomposed from completed timelines (stages: submit, queue, dispatch, execute, return, publish, total).")
+			labels := []string{"stage", h.Stage}
+			if h.Endpoint != "" {
+				labels = append(labels, "endpoint", string(h.Endpoint))
+			}
+			if h.Group != "" {
+				labels = append(labels, "group", string(h.Group))
+			}
+			p.histogram("funcx_task_stage_seconds", h.Bounds, h.Cumulative, h.Sum, h.Count, labels...)
+		}
+	}
 
 	for _, ep := range st.Endpoints {
 		p.gauge("funcx_endpoint_connected", "Whether the endpoint's agent is attached (1) or not (0).",

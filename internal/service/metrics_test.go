@@ -1,0 +1,161 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"funcx/internal/api"
+	"funcx/internal/promtext"
+	"funcx/internal/trace"
+	"funcx/internal/types"
+)
+
+// scrape fetches /v1/metrics and strictly parses the exposition.
+func scrape(t *testing.T, url, token string) []promtext.Family {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, url+"/v1/metrics", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: HTTP %d", resp.StatusCode)
+	}
+	fams, err := promtext.Parse(string(body))
+	if err != nil {
+		t.Fatalf("exposition rejected by strict parser: %v\n%s", err, body)
+	}
+	return fams
+}
+
+// The exposition must parse strictly even with histogram families
+// present, and the stage histograms must carry the bucket invariants
+// (the parser enforces +Inf, cumulativity, and le ordering).
+func TestMetricsExpositionStrict(t *testing.T) {
+	svc, srv, token := testService(t)
+
+	// Synthesize two completed timelines through the collector, as the
+	// lifecycle hooks would.
+	for i, id := range []types.TaskID{"t-1", "t-2"} {
+		start := time.Now().Add(-time.Second)
+		svc.Trace.Begin(id, "ep-1", "", start)
+		for _, st := range []trace.Stage{
+			trace.StageRouted, trace.StageQueued, trace.StageDispatched,
+			trace.StageRunning, trace.StageResult, trace.StagePublished,
+		} {
+			svc.Trace.Stamp(id, st)
+		}
+		svc.Trace.Remote(id, &types.TraceDeltas{
+			Exec:         time.Duration(i+1) * time.Millisecond,
+			ManagerQueue: time.Millisecond,
+		})
+		svc.Trace.Finish(id)
+	}
+
+	fams := scrape(t, srv.URL, token)
+	h := promtext.Get(fams, "funcx_task_stage_seconds")
+	if h == nil {
+		t.Fatal("funcx_task_stage_seconds family missing")
+	}
+	if h.Type != "histogram" {
+		t.Fatalf("stage family type = %s", h.Type)
+	}
+	// All seven stages (six + total) for ep-1 should be present.
+	for _, stage := range []string{"submit", "queue", "dispatch", "execute", "return", "publish", "total"} {
+		s := h.Sample(map[string]string{"stage": stage, "endpoint": "ep-1", "le": "+Inf"})
+		if s == nil {
+			t.Fatalf("no +Inf bucket for stage %q", stage)
+		}
+		if s.Value != 2 {
+			t.Fatalf("stage %q +Inf bucket = %g, want 2", stage, s.Value)
+		}
+	}
+	if c := promtext.Get(fams, "funcx_trace_completed_timelines"); c == nil || c.Samples[0].Value != 2 {
+		t.Fatalf("trace_completed_timelines: %+v", c)
+	}
+}
+
+// Label values must round-trip through the exposition escaping.
+func TestPromWriterEscapesLabels(t *testing.T) {
+	p := &promWriter{}
+	nasty := "he said \"hi\\there\"\nand left"
+	p.gauge("m", "test metric", 1, "v", nasty)
+	fams, err := promtext.Parse(p.b.String())
+	if err != nil {
+		t.Fatalf("escaped output rejected: %v\n%s", err, p.b.String())
+	}
+	if got := fams[0].Samples[0].Labels["v"]; got != nasty {
+		t.Fatalf("label round-trip: %q, want %q", got, nasty)
+	}
+}
+
+// The histogram writer must emit cumulative buckets from the
+// collector's per-bucket counts, with the terminal +Inf equal to the
+// count.
+func TestPromWriterHistogramShape(t *testing.T) {
+	p := &promWriter{shard: "s-0"}
+	p.header("h", "histogram", "test")
+	p.histogram("h", []float64{0.001, 0.01, 0.1}, []uint64{1, 4, 4}, 0.5, 6, "stage", "execute")
+	fams, err := promtext.Parse(p.b.String())
+	if err != nil {
+		t.Fatalf("histogram output rejected: %v\n%s", err, p.b.String())
+	}
+	h := fams[0]
+	inf := h.Sample(map[string]string{"le": "+Inf"})
+	if inf == nil || inf.Value != 6 {
+		t.Fatalf("+Inf bucket: %+v", inf)
+	}
+	if s := h.Sample(map[string]string{"le": "0.01"}); s == nil || s.Value != 4 {
+		t.Fatalf("0.01 bucket: %+v", s)
+	}
+	for _, s := range h.Samples {
+		if s.Labels["shard"] != "s-0" {
+			t.Fatalf("sample missing shard label: %+v", s)
+		}
+	}
+}
+
+// /v1/metrics and /v1/stats must agree: they are two renderings of one
+// snapshot.
+func TestStatsMetricsParity(t *testing.T) {
+	svc, srv, token := testService(t)
+	registerTestEndpoint(t, srv, token, "ep-parity", nil)
+
+	svc.Trace.Begin("t-active", "ep-1", "", time.Now())
+
+	var stats api.StatsResponse
+	if code := doJSON(t, srv, token, http.MethodGet, "/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats = %d", code)
+	}
+	fams := scrape(t, srv.URL, token)
+
+	check := func(metric string, want float64) {
+		t.Helper()
+		f := promtext.Get(fams, metric)
+		if f == nil {
+			t.Fatalf("%s missing from /v1/metrics", metric)
+		}
+		if got := f.Samples[0].Value; got != want {
+			t.Fatalf("%s = %g, /v1/stats says %g", metric, got, want)
+		}
+	}
+	check("funcx_tasks_submitted_total", float64(stats.Submitted))
+	check("funcx_event_streams", float64(stats.EventUsers))
+	check("funcx_event_subscribers", float64(stats.EventSubscribers))
+	check("funcx_event_buffered_events", float64(stats.EventBufferedEvents))
+	check("funcx_event_pending_done", float64(stats.EventPendingDone))
+	check("funcx_event_seq_tombstones", float64(stats.EventSeqTombstones))
+	check("funcx_trace_active_timelines", float64(stats.TraceActive))
+	if stats.TraceActive != 1 {
+		t.Fatalf("trace_active = %d, want 1", stats.TraceActive)
+	}
+	f := promtext.Get(fams, "funcx_endpoint_connected")
+	if f == nil || len(f.Samples) != 1 {
+		t.Fatalf("endpoint gauge: %+v", f)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -29,6 +30,7 @@ import (
 	"funcx/internal/router"
 	"funcx/internal/shard"
 	"funcx/internal/store"
+	"funcx/internal/trace"
 	"funcx/internal/types"
 	"funcx/internal/wal"
 	"funcx/internal/wire"
@@ -137,6 +139,21 @@ type Config struct {
 	SnapshotBytes    int
 	SnapshotOps      int
 	SnapshotInterval time.Duration
+	// DisableTrace turns per-task lifecycle tracing off: no timelines
+	// are recorded, no stage histograms accumulate, and tasks carry no
+	// trace context to the endpoint stack. The default (tracing on) is
+	// cheap — a few map operations per task — but the knob exists so
+	// the tracing-overhead benchmark can measure exactly that cost.
+	DisableTrace bool
+	// TraceCapacity bounds how many completed task timelines the trace
+	// collector retains for GET /v1/tasks/{id}/trace (default 4096;
+	// older timelines are evicted, their histograms already folded).
+	TraceCapacity int
+	// Logger receives the service's structured logs (nil =
+	// slog.Default()). Per-task records log at Debug with task_id /
+	// endpoint_id attributes so one task greps across the service and
+	// agent sides of a dispatch; delivery give-ups log at Warn.
+	Logger *slog.Logger
 }
 
 // ErrPayloadTooLarge is returned for inputs beyond MaxPayloadSize;
@@ -166,6 +183,12 @@ type Service struct {
 	// seam behind blocking result retrieval, POST /v1/tasks/wait, and
 	// the GET /v1/events SSE stream (see internal/events).
 	Events *events.Bus
+	// Trace records per-task lifecycle timelines and folds finished
+	// ones into per-stage latency histograms (GET /v1/tasks/{id}/trace
+	// and the funcx_task_stage_seconds metrics family). Nil when
+	// DisableTrace is set; every method is nil-safe.
+	Trace *trace.Collector
+	log   *slog.Logger
 	muxState
 
 	ctx    context.Context
@@ -300,6 +323,13 @@ func Open(cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("service: recovering store from %s: %w", cfg.DataDir, err)
 		}
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if cfg.Ring != nil {
+		logger = logger.With("shard_id", string(cfg.ShardID))
+	}
 	s := &Service{
 		cfg:          cfg,
 		Authority:    authority,
@@ -307,12 +337,16 @@ func Open(cfg Config) (*Service, error) {
 		Store:        st,
 		Memo:         memo.NewCache(cfg.MemoSize),
 		Events:       events.New(events.Config{Ring: cfg.EventRing, IdleTTL: cfg.EventIdleTTL}),
+		log:          logger,
 		forwarders:   make(map[types.EndpointID]*forwarder.Forwarder),
 		inflight:     make(map[types.TaskID]inflightTask),
 		reclaims:     make(map[types.EndpointID]*decayCounter),
 		seqJournaled: make(map[types.UserID]uint64),
 		movedKeys:    make(map[string]shard.ID),
 		importedKeys: make(map[string]bool),
+	}
+	if !cfg.DisableTrace {
+		s.Trace = trace.NewCollector(cfg.TraceCapacity)
 	}
 	if cfg.Ring != nil {
 		// Sharded: records this shard creates must hash back to it, so
@@ -459,6 +493,8 @@ func (s *Service) RegisterEndpoint(owner types.UserID, name, description string,
 		return nil, "", "", "", err
 	}
 	network, addr := fwd.Addr()
+	s.log.Info("endpoint registered",
+		"endpoint_id", string(ep.ID), "owner", string(owner), "name", name)
 	return ep, network, addr, token, nil
 }
 
@@ -749,12 +785,15 @@ func (s *Service) failover(task *types.Task) bool {
 		TaskID: task.ID, Status: types.TaskQueued, EndpointID: target, Time: time.Now(),
 	})
 	s.statusMu.Unlock()
+	s.Trace.SetEndpoint(task.ID, target)
 	if err := s.Store.Queue(store.TaskQueueName(string(target))).Push(data); err != nil {
 		return false
 	}
 	s.mu.Lock()
 	s.rerouted++
 	s.mu.Unlock()
+	s.log.Info("task re-routed to surviving group member",
+		"task_id", string(task.ID), "endpoint_id", string(target), "group_id", string(task.GroupID))
 	return true
 }
 
@@ -1102,6 +1141,14 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 		Attempt:    1,
 		Submitted:  start,
 	}
+	if s.Trace != nil {
+		// The trace context travels inside the encoded task, so it must
+		// be set before EncodeTask below; the timeline anchors at the
+		// submit arrival time so the submit stage covers auth/validation.
+		task.Trace = &types.TraceContext{Sampled: true}
+		s.Trace.Begin(task.ID, epID, sub.GroupID, start)
+		s.Trace.Stamp(task.ID, trace.StageRouted)
+	}
 
 	// Store the task record and enqueue it for the endpoint, encoding
 	// once and sharing the bytes between record and queue (the encode
@@ -1126,14 +1173,19 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 	s.publish(owner, types.TaskEvent{
 		TaskID: task.ID, Status: types.TaskQueued, EndpointID: epID, Time: time.Now(),
 	})
+	s.Trace.Stamp(task.ID, trace.StageQueued)
 	if err := s.Store.Queue(store.TaskQueueName(string(epID))).Push(data); err != nil {
 		s.mu.Lock()
 		delete(s.inflight, task.ID)
 		s.submitted--
 		s.mu.Unlock()
 		s.Store.Hash(ownersHash).Del(string(task.ID))
+		s.Trace.Drop(task.ID)
 		return "", "", false, fmt.Errorf("service: enqueue: %w", err)
 	}
+	s.log.Debug("task placed",
+		"task_id", string(task.ID), "endpoint_id", string(epID),
+		"group_id", string(sub.GroupID), "function_id", string(sub.FunctionID))
 	return task.ID, epID, false, nil
 }
 
@@ -1157,6 +1209,8 @@ func (s *Service) onResult(res *types.Result) {
 		s.Store.Hash(statusHash).Set(string(res.TaskID), []byte(status))
 	}
 	s.statusMu.Unlock()
+	s.Trace.Stamp(res.TaskID, trace.StageResult)
+	s.Trace.Remote(res.TaskID, res.Trace)
 
 	// Feed the memoization cache when the task opted in.
 	if data, ok := s.Store.Hash(tasksHash).Get(string(res.TaskID)); ok {
@@ -1201,6 +1255,7 @@ func (s *Service) onDispatched(task *types.Task) {
 		TaskID: task.ID, Status: types.TaskDispatched, EndpointID: task.EndpointID, Time: time.Now(),
 	})
 	s.statusMu.Unlock()
+	s.Trace.Stamp(task.ID, trace.StageDispatched)
 }
 
 // terminalStatusOf maps a stored result to the terminal status it
@@ -1243,11 +1298,16 @@ func (s *Service) onRunning(id types.TaskID, epID types.EndpointID) {
 		s.publish(info.owner, types.TaskEvent{
 			TaskID: id, Status: types.TaskDispatched, EndpointID: epID, Time: time.Now(),
 		})
+		// The running signal outran the dispatch notification; the
+		// dispatch it proves happened is stamped now (first wins, so a
+		// late onDispatched cannot rewind it).
+		s.Trace.Stamp(id, trace.StageDispatched)
 	}
 	s.Store.Hash(statusHash).Set(string(id), []byte(types.TaskRunning))
 	s.publish(info.owner, types.TaskEvent{
 		TaskID: id, Status: types.TaskRunning, EndpointID: epID, Time: time.Now(),
 	})
+	s.Trace.Stamp(id, trace.StageRunning)
 }
 
 // reclaim is the forwarder's OnReclaim hook: a dispatched task's
@@ -1274,6 +1334,9 @@ func (s *Service) reclaim(task *types.Task, reason string) bool {
 	// load-aware routing steers new work away from a member that keeps
 	// dropping dispatches (the penalty decays back to zero on its own).
 	s.noteReclaim(task.EndpointID)
+	s.log.Warn("task reclaimed",
+		"task_id", string(task.ID), "endpoint_id", string(task.EndpointID),
+		"reason", reason, "attempt", task.Attempt)
 	if task.AtMostOnce {
 		s.lose(task, fmt.Sprintf("at-most-once task not redelivered after %s (attempt %d)", reason, task.Attempt))
 		return true
@@ -1395,6 +1458,8 @@ func (s *Service) retryBudget(task *types.Task) int {
 // so the terminal event publishes, waiters wake, and the caller's
 // future resolves with a typed error instead of hanging forever.
 func (s *Service) lose(task *types.Task, why string) {
+	s.log.Warn("task lost",
+		"task_id", string(task.ID), "endpoint_id", string(task.EndpointID), "reason", why)
 	s.statusMu.Lock()
 	if st, ok := s.Store.Hash(statusHash).Get(string(task.ID)); ok && types.TaskStatus(st).Terminal() {
 		s.statusMu.Unlock()
@@ -1462,6 +1527,12 @@ func (s *Service) onResultStored(field string, value []byte) {
 	s.publish(info.owner, types.TaskEvent{
 		TaskID: id, Status: status, EndpointID: info.endpoint, Result: value, Time: time.Now(),
 	})
+	// Finish after the terminal publish so the publish stage covers the
+	// event fan-out; folding the timeline into the stage histograms is
+	// what makes the task visible to GET /v1/tasks/{id}/trace.
+	s.Trace.Finish(id)
+	s.log.Debug("task retired",
+		"task_id", string(id), "endpoint_id", string(info.endpoint), "status", string(status))
 }
 
 // Status returns a task's lifecycle state.
@@ -1470,6 +1541,22 @@ func (s *Service) Status(id types.TaskID) (types.TaskStatus, error) {
 		return types.TaskStatus(b), nil
 	}
 	return "", fmt.Errorf("%w: task %s", registry.ErrNotFound, id)
+}
+
+// TaskTrace returns a task's recorded lifecycle timeline, access-checked
+// like every other retrieval surface (a task owned by another user is
+// reported as not found). Unknown ids — never submitted, traced out of
+// the retention ring, or submitted while tracing was disabled — are not
+// found either.
+func (s *Service) TaskTrace(actor types.UserID, id types.TaskID) (*trace.Timeline, error) {
+	if err := s.checkOwnership(actor, id); err != nil {
+		return nil, err
+	}
+	tl, ok := s.Trace.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: no trace for task %s", registry.ErrNotFound, id)
+	}
+	return tl, nil
 }
 
 // Result fetches a task result, optionally blocking up to wait for it.
@@ -1673,7 +1760,13 @@ func (s *Service) StatsSnapshot() api.StatsResponse {
 		resp.Shards = s.cfg.Ring.N()
 	}
 	resp.ElasticEvaluations = s.Elastic.Evaluations()
-	resp.EventUsers = s.Events.Users()
+	es := s.Events.Stats()
+	resp.EventUsers = es.Users
+	resp.EventSubscribers = es.Subscribers
+	resp.EventBufferedEvents = es.BufferedEvents
+	resp.EventPendingDone = es.PendingDone
+	resp.EventSeqTombstones = es.SeqTombstones
+	resp.TraceActive, resp.TraceCompleted, resp.TraceEvicted = s.Trace.Stats()
 	eps := s.Registry.Endpoints()
 	sort.Slice(eps, func(i, j int) bool { return eps[i].ID < eps[j].ID })
 	resp.Endpoints = make([]api.EndpointStats, 0, len(eps))

@@ -228,7 +228,13 @@ type Task struct {
 	AtMostOnce bool `json:"at_most_once,omitempty"`
 	// Submitted is when the service accepted the task.
 	Submitted time.Time `json:"submitted,omitzero"`
+	// Trace, when set, carries the compact trace context of a sampled
+	// task through every fabric layer (see TraceContext).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
+
+// Traced reports whether the task is sampled for per-stage tracing.
+func (t *Task) Traced() bool { return t.Trace != nil && t.Trace.Sampled }
 
 // Result is the outcome of one task execution.
 type Result struct {
@@ -251,6 +257,9 @@ type Result struct {
 	// loss in at-most-once mode). Err carries the explanation; the
 	// task's terminal status is TaskLost rather than TaskFailed.
 	Lost bool `json:"lost,omitempty"`
+	// Trace carries the endpoint-side stage deltas of a sampled task
+	// back to the service (see TraceDeltas).
+	Trace *TraceDeltas `json:"trace,omitempty"`
 }
 
 // Failed reports whether the result carries an execution error.
@@ -285,6 +294,33 @@ func (t Timing) Scale(n int) Timing {
 	}
 	d := time.Duration(n)
 	return Timing{TS: t.TS / d, TF: t.TF / d, TE: t.TE / d, TW: t.TW / d}
+}
+
+// TraceContext is the compact trace context a sampled task carries
+// through the fabric (service → forwarder → agent → manager → worker).
+// It travels inside the task frame so every layer can tell, without a
+// service round trip, whether the task's lifecycle should be stamped.
+type TraceContext struct {
+	// Sampled marks the task for per-stage latency tracing: the
+	// service records a timeline on its own monotonic clock, and the
+	// endpoint stack measures local stage deltas shipped back on the
+	// result (TraceDeltas), so cross-machine clock skew never enters
+	// a span.
+	Sampled bool `json:"sampled,omitempty"`
+}
+
+// TraceDeltas are the endpoint-side stage durations of one traced
+// task. Each component is measured as a local monotonic delta on the
+// machine that owns the stage — never as a wall-clock timestamp — and
+// shipped back with the result:
+//
+//	Exec         — function execution in the worker (== Timing.TW)
+//	ManagerQueue — manager accept → worker pickup on the node
+//	AgentQueue   — agent time outside the manager (queue + scheduling)
+type TraceDeltas struct {
+	Exec         time.Duration `json:"exec,omitempty"`
+	ManagerQueue time.Duration `json:"manager_queue,omitempty"`
+	AgentQueue   time.Duration `json:"agent_queue,omitempty"`
 }
 
 // Function is the registry record for a registered function (paper §3).

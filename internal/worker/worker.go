@@ -150,6 +150,12 @@ func (w *Worker) Execute(ctx context.Context, t *types.Task) *types.Result {
 	output, err := w.execute(ctx, t)
 	res.Completed = time.Now()
 	res.Timing.TW = res.Completed.Sub(start)
+	if t.Traced() {
+		// Worker stage delta for the sampled task's timeline, measured
+		// on this machine's clock only (trace deltas never carry
+		// wall-clock timestamps across machines).
+		res.Trace = &types.TraceDeltas{Exec: res.Timing.TW}
+	}
 	if err != nil {
 		res.Err = string(serial.EncodeError(err, string(t.ID)))
 		return res
