@@ -1,13 +1,15 @@
 // Command funcx-perf runs the control-plane benchmark suite (the
 // same bodies bench_test.go uses, from internal/perf) and writes a
 // machine-readable report. CI runs it via `make bench` to produce
-// BENCH_7.json: the submit hot path with the store in-memory vs
-// WAL-backed, the batch-wait round trip, and the per-task tracing
-// overhead (traced vs untraced submit throughput).
+// BENCH_8.json: the submit hot path with the store in-memory vs
+// WAL-backed, the batch-wait round trip, the per-task tracing
+// overhead (traced vs untraced submit throughput), and the
+// server-side workflow comparison (one DAG submission vs a
+// client-orchestrated 2-stage fan-in).
 //
 // Usage:
 //
-//	funcx-perf -out BENCH_7.json
+//	funcx-perf -out BENCH_8.json
 package main
 
 import (
@@ -83,6 +85,23 @@ type report struct {
 		TracedOpsPerSec        float64 `json:"traced_ops_per_sec"`
 		Ratio                  float64 `json:"ratio"`
 	} `json:"trace_overhead"`
+	// DAGComparison runs the same 2-stage fan-in workflow (N maps →
+	// one reduce) two ways on one fabric with a conservative 5 ms
+	// one-way client↔service WAN latency: as ONE server-side graph
+	// (internal edges released, bound, and routed inside the fabric)
+	// and client-orchestrated (every map output transits the client,
+	// which assembles and submits the reduce itself). Rounds
+	// interleave with alternating order; makespans are summed wall
+	// per side over all rounds. Both sides execute the identical task
+	// set on the same endpoint, so the ratio (baseline/dag) isolates
+	// internal-edge latency; the PR-8 acceptance floor is 1.5.
+	DAGComparison struct {
+		FanIn           int     `json:"fan_in"`
+		Rounds          int     `json:"rounds"`
+		DAGMakespanSec  float64 `json:"dag_makespan_sec"`
+		BaseMakespanSec float64 `json:"client_orchestrated_makespan_sec"`
+		Ratio           float64 `json:"ratio"`
+	} `json:"dag_comparison"`
 }
 
 // pairedThroughput measures the WAL overhead ratio with interleaved
@@ -186,11 +205,13 @@ func run(name string, fn func(b *testing.B)) benchResult {
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_7.json", "path for the JSON report")
+		out        = flag.String("out", "BENCH_8.json", "path for the JSON report")
 		floor      = flag.Float64("wal-floor", 0, "fail unless WAL submit throughput >= floor * in-memory (0 disables)")
 		traceFloor = flag.Float64("trace-floor", 0, "fail unless the traced submit hot path runs >= floor * the untraced per-op rate (0 disables)")
+		dagFloor   = flag.Float64("dag-floor", 0, "fail unless the client-orchestrated fan-in takes >= floor * the server-side DAG makespan (0 disables)")
 		tasks      = flag.Int("tasks", 4000, "tasks per throughput run")
 		count      = flag.Int("count", 3, "interleaved throughput rounds (best ratio wins)")
+		dagN       = flag.Int("dag-n", 100, "fan-in width of the DAG workflow comparison")
 		bench      = flag.Bool("bench", true, "run the testing.Benchmark suite before the throughput comparison")
 	)
 	flag.Parse()
@@ -247,6 +268,20 @@ func main() {
 	fmt.Printf("lifecycle throughput: %.0f/s untraced, %.0f/s traced — tracing is %.2fx untraced\n",
 		untraced, traced, rep.TraceOverhead.Ratio)
 
+	dagSec, baseSec, err := perf.DAGComparison(*dagN, *count)
+	if err != nil {
+		log.Fatalf("funcx-perf: dag comparison: %v", err)
+	}
+	rep.DAGComparison.FanIn = *dagN
+	rep.DAGComparison.Rounds = *count
+	rep.DAGComparison.DAGMakespanSec = dagSec
+	rep.DAGComparison.BaseMakespanSec = baseSec
+	if dagSec > 0 {
+		rep.DAGComparison.Ratio = baseSec / dagSec
+	}
+	fmt.Printf("fan-in %d workflow: %.0f ms server-side DAG, %.0f ms client-orchestrated — server-side is %.2fx faster on internal edges\n",
+		*dagN, dagSec*1000, baseSec*1000, rep.DAGComparison.Ratio)
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatalf("funcx-perf: %v", err)
@@ -263,5 +298,9 @@ func main() {
 	if *traceFloor > 0 && rep.TraceOverhead.HotPathRatio < *traceFloor {
 		log.Fatalf("funcx-perf: traced submit hot path %.2fx untraced, below the %.2f floor",
 			rep.TraceOverhead.HotPathRatio, *traceFloor)
+	}
+	if *dagFloor > 0 && rep.DAGComparison.Ratio < *dagFloor {
+		log.Fatalf("funcx-perf: server-side DAG only %.2fx the client-orchestrated fan-in, below the %.2f floor",
+			rep.DAGComparison.Ratio, *dagFloor)
 	}
 }

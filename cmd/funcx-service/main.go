@@ -73,6 +73,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and runtime metrics on this address (empty = disabled)")
 		logLevel  = flag.String("log-level", "info", "structured log level: debug|info|warn|error (per-task records log at debug)")
 		noTrace   = flag.Bool("no-trace", false, "disable per-task lifecycle tracing (timelines, stage histograms, GET /v1/tasks/{id}/trace)")
+		traceRate = flag.Float64("trace-sample", 0, "fraction of tasks recording trace timelines, deterministic by task-id hash; DAG nodes sample together by graph id (0 or >=1 traces everything, negative traces nothing)")
 	)
 	flag.Parse()
 
@@ -94,6 +95,7 @@ func main() {
 		SnapshotOps:       *snapOps,
 		SnapshotInterval:  *snapEvery,
 		DisableTrace:      *noTrace,
+		TraceSampleRate:   *traceRate,
 		Logger:            logger,
 	}
 	if (*shardID == "") != (*ringPath == "") {

@@ -100,6 +100,12 @@ type SubmitRequest struct {
 	// functions: agent loss fails it fast as "lost" instead of
 	// re-running it.
 	AtMostOnce bool `json:"at_most_once,omitempty"`
+	// DependsOn lists already-submitted tasks whose outputs this task
+	// consumes: the service holds the task until every parent lands,
+	// binds the parent outputs into the payload server-side (see
+	// internal/dag), and propagates a parent failure as a typed child
+	// failure. The task id is returned immediately.
+	DependsOn []types.TaskID `json:"depends_on,omitempty"`
 }
 
 // SubmitResponse returns the task id.
@@ -111,12 +117,96 @@ type SubmitResponse struct {
 	// Memoized indicates the result was served from cache at submit
 	// time and is immediately available.
 	Memoized bool `json:"memoized,omitempty"`
+	// DAGID is set for dependent submissions (DependsOn non-empty):
+	// the single-node graph holding the task until its parents land.
+	DAGID types.DAGID `json:"dag_id,omitempty"`
 	// ShardID/ShardURL name the service shard that owns the task in a
 	// sharded deployment (absent otherwise). The SDK pins the task's
 	// event stream to ShardURL: lifecycle events are published on the
 	// owner shard's bus, not the front door's.
 	ShardID  string `json:"shard_id,omitempty"`
 	ShardURL string `json:"shard_url,omitempty"`
+}
+
+// DAGNodeSpec declares one node of a dependency graph: a task
+// submission template plus the edges feeding it.
+type DAGNodeSpec struct {
+	// Key names the node uniquely within the graph.
+	Key        string            `json:"key"`
+	FunctionID types.FunctionID  `json:"function_id"`
+	EndpointID types.EndpointID  `json:"endpoint_id,omitempty"`
+	GroupID    types.GroupID     `json:"group_id,omitempty"`
+	Labels     map[string]string `json:"labels,omitempty"`
+	// Payload is the node's own arguments. Nodes with parents receive
+	// an envelope wrapping these args with the parent outputs (inline
+	// bytes, or dataref references for large outputs) — the binding
+	// happens inside the service, so no output bytes transit the
+	// client.
+	Payload []byte `json:"payload,omitempty"`
+	// DependsOn names parent nodes of this graph by key.
+	DependsOn []string `json:"depends_on,omitempty"`
+	// Requires names already-submitted tasks outside the graph whose
+	// outputs this node consumes (resolved cross-shard via the
+	// gateway when another shard owns them).
+	Requires   []types.TaskID `json:"requires,omitempty"`
+	Memoize    bool           `json:"memoize,omitempty"`
+	Walltime   time.Duration  `json:"walltime,omitempty"`
+	MaxRetries int            `json:"max_retries,omitempty"`
+	AtMostOnce bool           `json:"at_most_once,omitempty"`
+}
+
+// SubmitDAGRequest submits a whole dependency graph in one call
+// (POST /v1/dags). The graph is validated acyclic up front; every
+// node's task id is minted and returned immediately, while the
+// service releases nodes as their parents land.
+type SubmitDAGRequest struct {
+	Nodes []DAGNodeSpec `json:"nodes"`
+}
+
+// SubmitDAGResponse returns the graph id and the pre-minted task id
+// of every node, keyed by node key.
+type SubmitDAGResponse struct {
+	DAGID types.DAGID             `json:"dag_id"`
+	Tasks map[string]types.TaskID `json:"tasks"`
+	// Memoized lists nodes whose results were served wholesale from
+	// the memo cache at submit time (an unchanged subgraph
+	// short-circuits without dispatching).
+	Memoized []string `json:"memoized,omitempty"`
+	// ShardID/ShardURL name the shard owning the whole graph in a
+	// sharded deployment (DAG ids mint ring-aligned, so one shard owns
+	// every node).
+	ShardID  string `json:"shard_id,omitempty"`
+	ShardURL string `json:"shard_url,omitempty"`
+}
+
+// DAGNodeStatus is one node's live state inside a DAGStatusResponse.
+type DAGNodeStatus struct {
+	Key    string       `json:"key"`
+	TaskID types.TaskID `json:"task_id,omitempty"`
+	// State is the node's graph state: "held" (waiting on parents),
+	// "released" (handed to placement), or terminal
+	// ("success"/"failed"/"lost").
+	State string `json:"state"`
+	// External marks a parent task submitted outside the graph.
+	External   bool             `json:"external,omitempty"`
+	EndpointID types.EndpointID `json:"endpoint_id,omitempty"`
+	// Error is the serialized terminal error; dependency failures
+	// carry the typed dag_dependency_failed document.
+	Error    string `json:"error,omitempty"`
+	Memoized bool   `json:"memoized,omitempty"`
+	// Ref describes the node's output as a data reference when it was
+	// too large to bind inline ("globus://endpoint/name").
+	Ref string `json:"ref,omitempty"`
+}
+
+// DAGStatusResponse reports a graph's per-node status
+// (GET /v1/dags/{id}).
+type DAGStatusResponse struct {
+	DAGID types.DAGID `json:"dag_id"`
+	// Status summarizes the graph: "running", "success", or "failed".
+	Status types.TaskStatus `json:"status"`
+	// Nodes lists every node in topological order.
+	Nodes []DAGNodeStatus `json:"nodes"`
 }
 
 // BatchSubmitRequest submits many tasks at once (POST /v1/tasks/batch).
@@ -404,6 +494,22 @@ type StatsResponse struct {
 	TraceActive    int   `json:"trace_active,omitempty"`
 	TraceCompleted int   `json:"trace_completed,omitempty"`
 	TraceEvicted   int64 `json:"trace_evicted,omitempty"`
+	// DAG subsystem counters: graphs accepted, graphs retired, nodes
+	// held then released server-side (each release is an internal edge
+	// that cost the client zero requests), nodes failed by dependency
+	// propagation, nodes short-circuited wholesale by the memo cache,
+	// and graphs currently in flight.
+	DAGsSubmitted   int64 `json:"dags_submitted,omitempty"`
+	DAGsCompleted   int64 `json:"dags_completed,omitempty"`
+	DAGNodes        int64 `json:"dag_nodes,omitempty"`
+	DAGReleases     int64 `json:"dag_releases,omitempty"`
+	DAGDepFailures  int64 `json:"dag_dep_failures,omitempty"`
+	DAGMemoShortcut int64 `json:"dag_memo_shortcuts,omitempty"`
+	DAGsActive      int   `json:"dags_active,omitempty"`
+	// StreamPurged counts results dropped from the store early because
+	// their terminal event (with inline result) was delivered on the
+	// owner's live SSE stream — the ack-on-stream purge.
+	StreamPurged int64 `json:"stream_purged,omitempty"`
 	// Endpoints carries one entry per registered endpoint, ordered by
 	// endpoint id for stable output.
 	Endpoints []EndpointStats `json:"endpoints"`

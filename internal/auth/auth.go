@@ -46,6 +46,13 @@ const (
 	// carry ONLY this scope, and name the shard as their subject.
 	// User-facing surfaces never accept it.
 	ScopeShardHop Scope = "funcx:shard-hop"
+	// ScopeShardReplicate marks the replication/anti-entropy lane
+	// (function-record replicas, registry pulls) between shards.
+	// Minted like a hop token — by each shard for itself, this scope
+	// alone, subject "shard:<id>" — but distinct from ScopeShardHop so
+	// a stolen proxy credential cannot write replica records and a
+	// replication credential cannot ride the request gateway.
+	ScopeShardReplicate Scope = "funcx:shard-replicate"
 )
 
 // URN renders the scope in the Globus Auth URN form.

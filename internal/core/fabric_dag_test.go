@@ -1,0 +1,292 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"funcx/internal/dag"
+	"funcx/internal/fx"
+	"funcx/internal/sdk"
+	"funcx/internal/types"
+)
+
+// dispatchedTotal sums the per-endpoint dispatch counters — the ground
+// truth for "this run touched a worker" vs "served from the memo
+// cache without dispatch".
+func dispatchedTotal(t *testing.T, client *sdk.Client) int64 {
+	t.Helper()
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	var n int64
+	for _, ep := range st.Endpoints {
+		n += ep.Dispatched
+	}
+	return n
+}
+
+// TestDAGMemoComposition submits a map→reduce graph with memoization
+// on, then proves composition: resubmitting the unchanged graph
+// short-circuits every node from the memo cache with zero dispatches,
+// while changing one leaf re-executes only that leaf and its
+// descendants.
+func TestDAGMemoComposition(t *testing.T) {
+	f := newTestFabric(t)
+	ep, err := f.AddEndpoint(EndpointOptions{
+		Name:  "dag-memo-ep",
+		Owner: "alice", Managers: 2, WorkersPerManager: 2,
+		SleepScale:      0.01, // 1 s double() becomes 10 ms
+		HeartbeatPeriod: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("AddEndpoint: %v", err)
+	}
+	client := f.Client("alice")
+	ctx := context.Background()
+	doubleID, err := client.RegisterFunction(ctx, "double", fx.BodyDouble, types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatalf("RegisterFunction double: %v", err)
+	}
+	sumID, err := client.RegisterFunction(ctx, "dagsum", fx.BodyDAGSum, types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatalf("RegisterFunction dagsum: %v", err)
+	}
+
+	submitGraph := func(aArg float64) (*sdk.DAGHandle, *sdk.Result) {
+		t.Helper()
+		h, err := client.NewDAG().
+			Node("a", sdk.SubmitSpec{Function: doubleID, Endpoint: ep.ID, Payload: fx.SleepArgs(aArg), Memoize: true}).
+			Node("b", sdk.SubmitSpec{Function: doubleID, Endpoint: ep.ID, Payload: fx.SleepArgs(4), Memoize: true}).
+			Node("sum", sdk.SubmitSpec{Function: sumID, Endpoint: ep.ID, Memoize: true}, "a", "b").
+			Submit(ctx)
+		if err != nil {
+			t.Fatalf("SubmitDAG: %v", err)
+		}
+		res, err := h.Future("sum").Get(ctx)
+		if err != nil {
+			t.Fatalf("root future: %v", err)
+		}
+		if res.Err != nil {
+			t.Fatalf("root failed: %v", res.Err)
+		}
+		return h, res
+	}
+
+	// Run 1: everything executes.
+	before := dispatchedTotal(t, client)
+	_, res1 := submitGraph(3)
+	if v, err := fx.DecodeFloat(res1.Output); err != nil || v != 14 {
+		t.Fatalf("run 1 sum = %v (err %v), want 14", v, err)
+	}
+	if d := dispatchedTotal(t, client) - before; d != 3 {
+		t.Fatalf("run 1 dispatched %d tasks, want 3", d)
+	}
+
+	// Run 2: identical graph — the whole subgraph short-circuits from
+	// the memo cache with zero dispatches (the envelopes the service
+	// binds for children are byte-deterministic, so they hit too).
+	before = dispatchedTotal(t, client)
+	h2, res2 := submitGraph(3)
+	if v, err := fx.DecodeFloat(res2.Output); err != nil || v != 14 {
+		t.Fatalf("run 2 sum = %v (err %v), want 14", v, err)
+	}
+	if !res2.Memoized {
+		t.Fatal("run 2 root result not memoized")
+	}
+	if d := dispatchedTotal(t, client) - before; d != 0 {
+		t.Fatalf("run 2 dispatched %d tasks, want 0 (memo short-circuit)", d)
+	}
+	st2, err := h2.Status(ctx)
+	if err != nil {
+		t.Fatalf("DAGStatus run 2: %v", err)
+	}
+	for _, n := range st2.Nodes {
+		if !n.Memoized {
+			t.Errorf("run 2 node %q not marked memoized", n.Key)
+		}
+	}
+
+	// Run 3: change leaf "a" — only it and its descendant re-execute;
+	// the untouched leaf "b" still comes from the cache.
+	before = dispatchedTotal(t, client)
+	h3, res3 := submitGraph(5)
+	if v, err := fx.DecodeFloat(res3.Output); err != nil || v != 18 {
+		t.Fatalf("run 3 sum = %v (err %v), want 18", v, err)
+	}
+	if d := dispatchedTotal(t, client) - before; d != 2 {
+		t.Fatalf("run 3 dispatched %d tasks, want 2 (changed leaf + reduce)", d)
+	}
+	st3, err := h3.Status(ctx)
+	if err != nil {
+		t.Fatalf("DAGStatus run 3: %v", err)
+	}
+	for _, n := range st3.Nodes {
+		switch n.Key {
+		case "b":
+			if !n.Memoized {
+				t.Error("run 3: unchanged leaf b should be memoized")
+			}
+		default:
+			if n.Memoized {
+				t.Errorf("run 3: node %q should have re-executed", n.Key)
+			}
+		}
+	}
+}
+
+// TestDAGParentFailurePropagatesTyped proves a failed parent resolves
+// every descendant — transitively — with the typed dependency error,
+// and no future hangs.
+func TestDAGParentFailurePropagatesTyped(t *testing.T) {
+	f := newTestFabric(t)
+	ep, err := f.AddEndpoint(EndpointOptions{
+		Name:  "dag-fail-ep",
+		Owner: "alice", Managers: 1, WorkersPerManager: 2,
+		SleepScale:      0.01,
+		HeartbeatPeriod: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("AddEndpoint: %v", err)
+	}
+	client := f.Client("alice")
+	ctx := context.Background()
+	failID, err := client.RegisterFunction(ctx, "fail", fx.BodyFail, types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatalf("RegisterFunction fail: %v", err)
+	}
+	doubleID, err := client.RegisterFunction(ctx, "double", fx.BodyDouble, types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatalf("RegisterFunction double: %v", err)
+	}
+	sumID, err := client.RegisterFunction(ctx, "dagsum", fx.BodyDAGSum, types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatalf("RegisterFunction dagsum: %v", err)
+	}
+
+	h, err := client.NewDAG().
+		Node("bad", sdk.SubmitSpec{Function: failID, Endpoint: ep.ID}).
+		Node("mid", sdk.SubmitSpec{Function: doubleID, Endpoint: ep.ID}, "bad").
+		Node("leaf", sdk.SubmitSpec{Function: sumID, Endpoint: ep.ID}, "mid").
+		Submit(ctx)
+	if err != nil {
+		t.Fatalf("SubmitDAG: %v", err)
+	}
+
+	// Every future must resolve — a hung descendant is the bug this
+	// guards against.
+	wait, cancel := context.WithTimeout(ctx, 20*time.Second)
+	defer cancel()
+	for _, key := range []string{"bad", "mid", "leaf"} {
+		res, err := h.Future(key).Get(wait)
+		if err != nil {
+			t.Fatalf("future %q did not resolve: %v", key, err)
+		}
+		if res.Err == nil {
+			t.Fatalf("node %q unexpectedly succeeded", key)
+		}
+	}
+
+	st, err := h.Status(ctx)
+	if err != nil {
+		t.Fatalf("DAGStatus: %v", err)
+	}
+	if st.Status != types.TaskFailed {
+		t.Fatalf("graph status = %s, want %s", st.Status, types.TaskFailed)
+	}
+	wantParent := map[string]string{"mid": "bad", "leaf": "mid"}
+	for _, n := range st.Nodes {
+		if n.State != string(dag.StateFailed) {
+			t.Errorf("node %q state = %s, want failed", n.Key, n.State)
+		}
+		parent, dep := wantParent[n.Key]
+		de, ok := dag.ParseDependencyError(n.Error)
+		if dep {
+			if !ok {
+				t.Errorf("node %q error is not a typed dependency error: %q", n.Key, n.Error)
+				continue
+			}
+			if de.Parent != parent {
+				t.Errorf("node %q dependency parent = %q, want %q", n.Key, de.Parent, parent)
+			}
+			if de.ParentStatus != types.TaskFailed {
+				t.Errorf("node %q parent status = %s, want failed", n.Key, de.ParentStatus)
+			}
+		} else if ok {
+			t.Errorf("root failure of %q should not be a dependency error: %q", n.Key, n.Error)
+		}
+	}
+}
+
+// TestFutureThenChaining exercises the incremental composition
+// surface: Then/ThenAll submit dependent tasks against live futures,
+// the service holds them until the parents land and binds the parent
+// outputs server-side (the parents here are "external" single-task
+// parents, resolved through the same path cross-shard graphs use).
+func TestFutureThenChaining(t *testing.T) {
+	f := newTestFabric(t)
+	ep, err := f.AddEndpoint(EndpointOptions{
+		Name:  "dag-then-ep",
+		Owner: "alice", Managers: 2, WorkersPerManager: 2,
+		SleepScale:      0.01,
+		HeartbeatPeriod: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("AddEndpoint: %v", err)
+	}
+	client := f.Client("alice")
+	ctx := context.Background()
+	doubleID, err := client.RegisterFunction(ctx, "double", fx.BodyDouble, types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatalf("RegisterFunction double: %v", err)
+	}
+	sumID, err := client.RegisterFunction(ctx, "dagsum", fx.BodyDAGSum, types.ContainerSpec{}, nil)
+	if err != nil {
+		t.Fatalf("RegisterFunction dagsum: %v", err)
+	}
+
+	// Chain before the parent completes: the service holds the child.
+	parent, err := client.SubmitFuture(ctx, sdk.SubmitSpec{Function: doubleID, Endpoint: ep.ID, Payload: fx.SleepArgs(5)})
+	if err != nil {
+		t.Fatalf("SubmitFuture parent: %v", err)
+	}
+	child, err := parent.Then(ctx, sdk.SubmitSpec{Function: sumID, Endpoint: ep.ID})
+	if err != nil {
+		t.Fatalf("Then: %v", err)
+	}
+	res, err := child.Get(ctx)
+	if err != nil {
+		t.Fatalf("child future: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("child failed: %v", res.Err)
+	}
+	if v, err := fx.DecodeFloat(res.Output); err != nil || v != 10 {
+		t.Fatalf("then(double(5)) = %v (err %v), want 10", v, err)
+	}
+
+	// Fan-in over two live parents.
+	p1, err := client.SubmitFuture(ctx, sdk.SubmitSpec{Function: doubleID, Endpoint: ep.ID, Payload: fx.SleepArgs(3)})
+	if err != nil {
+		t.Fatalf("SubmitFuture p1: %v", err)
+	}
+	p2, err := client.SubmitFuture(ctx, sdk.SubmitSpec{Function: doubleID, Endpoint: ep.ID, Payload: fx.SleepArgs(4)})
+	if err != nil {
+		t.Fatalf("SubmitFuture p2: %v", err)
+	}
+	fanin, err := client.ThenAll(ctx, sdk.SubmitSpec{Function: sumID, Endpoint: ep.ID}, p1, p2)
+	if err != nil {
+		t.Fatalf("ThenAll: %v", err)
+	}
+	res, err = fanin.Get(ctx)
+	if err != nil {
+		t.Fatalf("fan-in future: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("fan-in failed: %v", res.Err)
+	}
+	if v, err := fx.DecodeFloat(res.Output); err != nil || v != 14 {
+		t.Fatalf("fan-in sum = %v (err %v), want 14", v, err)
+	}
+}

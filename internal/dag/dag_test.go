@@ -1,0 +1,222 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"funcx/internal/dataref"
+	"funcx/internal/types"
+)
+
+func spec(key string, deps ...string) NodeSpec {
+	return NodeSpec{Key: key, Spec: TaskSpec{Function: "fn"}, DependsOn: deps}
+}
+
+func mustNew(t *testing.T, specs ...NodeSpec) *Graph {
+	t.Helper()
+	g, err := New(types.NewDAGID(), "alice", specs, time.Unix(0, 0))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []NodeSpec
+		want  string
+	}{
+		{"empty", nil, "no nodes"},
+		{"empty key", []NodeSpec{spec("")}, "empty key"},
+		{"dup key", []NodeSpec{spec("a"), spec("a")}, "duplicate"},
+		{"unknown dep", []NodeSpec{spec("a", "ghost")}, "names no node"},
+		{"self dep", []NodeSpec{spec("a", "a")}, "cycle"},
+		{"two cycle", []NodeSpec{spec("a", "b"), spec("b", "a")}, "cycle"},
+		{"long cycle", []NodeSpec{spec("a", "c"), spec("b", "a"), spec("c", "b")}, "cycle"},
+	}
+	for _, tc := range cases {
+		_, err := New(types.NewDAGID(), "alice", tc.specs, time.Unix(0, 0))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	build := func() *Graph {
+		return mustNew(t, spec("m1"), spec("m2"), spec("m3"),
+			spec("mid", "m1", "m2"), spec("root", "mid", "m3"))
+	}
+	want := strings.Join(build().Order, ",")
+	for i := 0; i < 10; i++ {
+		if got := strings.Join(build().Order, ","); got != want {
+			t.Fatalf("order not deterministic: %s vs %s", got, want)
+		}
+	}
+	if want != "m1,m2,m3,mid,root" {
+		t.Fatalf("order = %s", want)
+	}
+}
+
+func TestReleaseOnParentsSuccess(t *testing.T) {
+	g := mustNew(t, spec("a"), spec("b"), spec("c", "a", "b"))
+	if !g.Ready("a") || !g.Ready("b") || g.Ready("c") {
+		t.Fatalf("initial readiness wrong: a=%v b=%v c=%v", g.Ready("a"), g.Ready("b"), g.Ready("c"))
+	}
+	g.MarkReleased("a", time.Unix(1, 0))
+	g.MarkReleased("b", time.Unix(1, 0))
+	tr := g.Complete("a", Outcome{Status: types.TaskSuccess, Output: []byte("1")})
+	if len(tr.Release) != 0 || len(tr.Fail) != 0 {
+		t.Fatalf("c released with parent b pending: %+v", tr)
+	}
+	tr = g.Complete("b", Outcome{Status: types.TaskSuccess, Output: []byte("2"), Endpoint: "ep-b"})
+	if len(tr.Release) != 1 || tr.Release[0] != "c" {
+		t.Fatalf("expected c released, got %+v", tr)
+	}
+	if g.Node("c").State != StateReleased {
+		t.Fatalf("c state = %s", g.Node("c").State)
+	}
+	if tr.Done {
+		t.Fatal("graph done with c outstanding")
+	}
+	tr = g.Complete("c", Outcome{Status: types.TaskSuccess})
+	if !tr.Done || g.Status() != types.TaskSuccess {
+		t.Fatalf("done=%v status=%s", tr.Done, g.Status())
+	}
+}
+
+func TestFailurePropagatesToDescendants(t *testing.T) {
+	g := mustNew(t, spec("a"), spec("b", "a"), spec("c", "b"), spec("side"))
+	g.MarkReleased("a", time.Unix(1, 0))
+	tr := g.Complete("a", Outcome{Status: types.TaskFailed, Err: "boom"})
+	if len(tr.Fail) != 1 || tr.Fail[0].Key != "b" || tr.Fail[0].Parent != "a" {
+		t.Fatalf("fail transition = %+v", tr)
+	}
+	// The service records b's synthetic failure, which cascades to c.
+	tr = g.Complete("b", Outcome{Status: types.TaskFailed, Err: NewDependencyError(g.ID, tr.Fail[0]).JSON()})
+	if len(tr.Fail) != 1 || tr.Fail[0].Key != "c" || tr.Fail[0].ParentStatus != types.TaskFailed {
+		t.Fatalf("cascade transition = %+v", tr)
+	}
+	tr = g.Complete("c", Outcome{Status: types.TaskFailed, Err: NewDependencyError(g.ID, tr.Fail[0]).JSON()})
+	if tr.Done {
+		t.Fatal("done with side pending")
+	}
+	g.MarkReleased("side", time.Unix(2, 0))
+	tr = g.Complete("side", Outcome{Status: types.TaskSuccess})
+	if !tr.Done || g.Status() != types.TaskFailed {
+		t.Fatalf("done=%v status=%s", tr.Done, g.Status())
+	}
+	de, ok := ParseDependencyError(g.Node("c").Error)
+	if !ok || de.Parent != "b" || de.DAGID != g.ID {
+		t.Fatalf("dependency error = %+v ok=%v", de, ok)
+	}
+}
+
+func TestCompleteIdempotent(t *testing.T) {
+	g := mustNew(t, spec("a"), spec("b", "a"))
+	g.MarkReleased("a", time.Unix(1, 0))
+	g.Complete("a", Outcome{Status: types.TaskSuccess, Output: []byte("x")})
+	tr := g.Complete("a", Outcome{Status: types.TaskFailed, Err: "late duplicate"})
+	if len(tr.Release) != 0 || len(tr.Fail) != 0 {
+		t.Fatalf("second completion acted: %+v", tr)
+	}
+	if g.Node("a").State != StateSuccess || string(g.Node("a").Output) != "x" {
+		t.Fatalf("first terminal overwritten: %s %q", g.Node("a").State, g.Node("a").Output)
+	}
+}
+
+func TestExternalParents(t *testing.T) {
+	ext := types.TaskID("task-ext-1")
+	g := mustNew(t, NodeSpec{Key: "child", Spec: TaskSpec{Function: "fn"}, Requires: []types.TaskID{ext}})
+	n := g.Node(string(ext))
+	if n == nil || !n.External || n.TaskID != ext {
+		t.Fatalf("external node = %+v", n)
+	}
+	if g.Ready("child") {
+		t.Fatal("child ready before external parent resolved")
+	}
+	tr := g.Complete(string(ext), Outcome{Status: types.TaskSuccess, Output: []byte("41")})
+	if len(tr.Release) != 1 || tr.Release[0] != "child" {
+		t.Fatalf("transition = %+v", tr)
+	}
+	// Done ignores unresolved externals once real nodes retire.
+	g.Complete("child", Outcome{Status: types.TaskSuccess})
+	if !g.Done() {
+		t.Fatal("graph not done")
+	}
+}
+
+func TestBindPayloadDeterministic(t *testing.T) {
+	build := func(out1, out2 string) []byte {
+		g := mustNew(t, spec("p1"), spec("p2"),
+			NodeSpec{Key: "sum", Spec: TaskSpec{Function: "fn", Payload: []byte(`{"bias":1}`)}, DependsOn: []string{"p1", "p2"}})
+		g.MarkReleased("p1", time.Unix(1, 0))
+		g.MarkReleased("p2", time.Unix(1, 0))
+		g.Complete("p1", Outcome{Status: types.TaskSuccess, Output: []byte(out1), Endpoint: "ep1"})
+		g.Complete("p2", Outcome{Status: types.TaskSuccess, Output: []byte(out2), Endpoint: "ep2"})
+		b, err := g.BindPayload("sum")
+		if err != nil {
+			t.Fatalf("BindPayload: %v", err)
+		}
+		return b
+	}
+	a := build("10", "20")
+	b := build("10", "20")
+	if string(a) != string(b) {
+		t.Fatalf("binding not deterministic:\n%s\n%s", a, b)
+	}
+	if c := build("10", "21"); string(c) == string(a) {
+		t.Fatal("binding ignores parent output change")
+	}
+	env, err := DecodeEnvelope(a)
+	if err != nil {
+		t.Fatalf("DecodeEnvelope: %v", err)
+	}
+	if len(env.Inputs) != 2 || env.Inputs[0].Key != "p1" || string(env.Inputs[1].Output) != "20" {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if string(env.Args) != `{"bias":1}` {
+		t.Fatalf("args = %s", env.Args)
+	}
+}
+
+func TestBindPayloadRef(t *testing.T) {
+	g := mustNew(t, spec("big"), spec("child", "big"))
+	g.MarkReleased("big", time.Unix(1, 0))
+	ref := &dataref.Ref{Endpoint: "ep1", Name: "out-big", Size: 1 << 20, Checksum: "abc"}
+	g.Complete("big", Outcome{Status: types.TaskSuccess, Ref: ref})
+	b, err := g.BindPayload("child")
+	if err != nil {
+		t.Fatalf("BindPayload: %v", err)
+	}
+	env, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatalf("DecodeEnvelope: %v", err)
+	}
+	if len(env.Inputs) != 1 || env.Inputs[0].Ref == nil || env.Inputs[0].Ref.Name != "out-big" {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if len(env.Inputs[0].Output) != 0 {
+		t.Fatal("inline bytes present alongside ref")
+	}
+}
+
+func TestRootPayloadUnwrapped(t *testing.T) {
+	g := mustNew(t, NodeSpec{Key: "root", Spec: TaskSpec{Function: "fn", Payload: []byte("raw")}})
+	b, err := g.BindPayload("root")
+	if err != nil || string(b) != "raw" {
+		t.Fatalf("root payload = %q err=%v", b, err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	g := mustNew(t, spec("a"), spec("b", "a"))
+	g.MarkReleased("a", time.Unix(1, 0))
+	g.Complete("a", Outcome{Status: types.TaskSuccess})
+	c := g.Counts()
+	if c[StateSuccess] != 1 || c[StateReleased] != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}

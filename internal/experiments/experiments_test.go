@@ -21,7 +21,7 @@ func TestNamesComplete(t *testing.T) {
 		"fig1", "table1", "fig4", "fig5strong", "fig5weak", "throughput",
 		"fig6", "fig7", "fig8", "table2", "batchexec", "fig9", "fig10",
 		"fig11", "table3", "router", "elastic", "streaming", "reliability",
-		"sharding", "durability", "latency",
+		"sharding", "durability", "latency", "dag",
 	}
 	names := Names()
 	got := map[string]bool{}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"funcx/internal/dag"
 	"funcx/internal/serial"
 )
 
@@ -123,6 +124,10 @@ var (
 	BodyDouble = []byte("def double(x):\n    import time\n    time.sleep(1)\n    return 2 * x\n")
 	// BodyFail always raises, for failure-path tests.
 	BodyFail = []byte("def fail():\n    raise RuntimeError('deliberate failure')\n")
+	// BodyDAGSum is the reduce stage of the workflow experiments: it
+	// receives a DAG input envelope (parent outputs bound server-side)
+	// and returns the sum of its numeric parent outputs.
+	BodyDAGSum = []byte("def dagsum(*inputs):\n    return sum(inputs)\n")
 )
 
 // SleepArgs encodes the argument of the sleep/stress/double functions.
@@ -161,6 +166,7 @@ func (r *Runtime) RegisterBuiltins() map[string]string {
 		"echo":   r.Register(BodyEcho, r.echo),
 		"double": r.Register(BodyDouble, r.double),
 		"fail":   r.Register(BodyFail, r.fail),
+		"dagsum": r.Register(BodyDAGSum, r.dagsum),
 	}
 	return hashes
 }
@@ -235,4 +241,28 @@ func (r *Runtime) double(ctx context.Context, payload []byte) ([]byte, error) {
 
 func (r *Runtime) fail(ctx context.Context, payload []byte) ([]byte, error) {
 	return nil, errors.New("deliberate failure")
+}
+
+// dagsum decodes a DAG input envelope and returns the sum of the
+// numeric parent outputs — the reduce leaf of the fan-in workflows.
+// Reference inputs (outputs too large to inline) are rejected: this
+// worker-side stand-in has no dataref stage hookup, and the workflow
+// experiments keep reduce inputs under the inline limit.
+func (r *Runtime) dagsum(ctx context.Context, payload []byte) ([]byte, error) {
+	env, err := dag.DecodeEnvelope(payload)
+	if err != nil {
+		return nil, fmt.Errorf("fx: dagsum expects a dag input envelope: %w", err)
+	}
+	sum := 0.0
+	for _, in := range env.Inputs {
+		if in.Ref != nil {
+			return nil, fmt.Errorf("fx: dagsum input %q is a data reference (%s); stage it before reducing", in.Key, in.Ref.String())
+		}
+		v, err := DecodeFloat(in.Output)
+		if err != nil {
+			return nil, fmt.Errorf("fx: dagsum input %q: %w", in.Key, err)
+		}
+		sum += v
+	}
+	return serial.Serialize(sum)
 }

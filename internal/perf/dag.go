@@ -1,0 +1,245 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"funcx/internal/core"
+	"funcx/internal/dag"
+	"funcx/internal/fx"
+	"funcx/internal/netlat"
+	"funcx/internal/sdk"
+	"funcx/internal/service"
+	"funcx/internal/types"
+)
+
+// dagMapSeconds is each map task's simulated compute. Both sides of
+// the comparison execute the identical task set on the same endpoint,
+// so this floor cancels out of the ratio — it only keeps the workflow
+// from being pure orchestration.
+const dagMapSeconds = 0.01
+
+// dagEnv is the workflow-comparison fixture: one fabric, one endpoint,
+// sleep (map stage) and dagsum (reduce stage) registered, and a
+// conservative 5 ms one-way client↔service WAN latency injected into
+// every SDK request. The paper's Table 1 client sits 18.2 ms from the
+// service; 5 ms understates the round trips the baseline pays, so the
+// measured advantage is a floor on the real one.
+// The two sides run as separate users: the DAG side holds an event
+// stream (futures resolve over it, and terminal results are purged on
+// that delivery), while the baseline is a classic polling client — an
+// open stream for the same user would consume its results.
+type dagEnv struct {
+	fab     *core.Fabric
+	ep      *core.Endpoint
+	client  *sdk.Client // DAG side ("perf")
+	base    *sdk.Client // baseline side ("perf-base")
+	sleepID types.FunctionID
+	sumID   types.FunctionID
+	// The baseline user's own registrations of the same bodies.
+	baseSleepID types.FunctionID
+	baseSumID   types.FunctionID
+}
+
+func newDAGEnv(seed int64) (*dagEnv, error) {
+	e := &dagEnv{}
+	fab, err := core.NewFabric(core.FabricConfig{
+		Service:   service.Config{HeartbeatPeriod: 100 * time.Millisecond},
+		ClientLat: netlat.NewLink(5*time.Millisecond, 500*time.Microsecond, seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.fab = fab
+	ep, err := fab.AddEndpoint(core.EndpointOptions{
+		Name: "dag-perf", Owner: "perf", Public: true,
+		Managers: 1, WorkersPerManager: 8, PrewarmWorkers: 8,
+		BatchDispatch:   true,
+		HeartbeatPeriod: 100 * time.Millisecond,
+	})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.ep = ep
+	if err := ep.WaitForWorkers(1, 5*time.Second); err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.client = fab.Client("perf")
+	e.base = fab.Client("perf-base")
+	ctx := context.Background()
+	if e.sleepID, err = e.client.RegisterFunction(ctx, "sleep", fx.BodySleep, types.ContainerSpec{}, nil); err != nil {
+		e.Close()
+		return nil, err
+	}
+	if e.sumID, err = e.client.RegisterFunction(ctx, "dagsum", fx.BodyDAGSum, types.ContainerSpec{}, nil); err != nil {
+		e.Close()
+		return nil, err
+	}
+	if e.baseSleepID, err = e.base.RegisterFunction(ctx, "sleep", fx.BodySleep, types.ContainerSpec{}, nil); err != nil {
+		e.Close()
+		return nil, err
+	}
+	if e.baseSumID, err = e.base.RegisterFunction(ctx, "dagsum", fx.BodyDAGSum, types.ContainerSpec{}, nil); err != nil {
+		e.Close()
+		return nil, err
+	}
+	// Warm both paths off the clock: containers, stream subscription,
+	// and the first graph's journal segment.
+	if _, err := e.runDAG(2); err != nil {
+		e.Close()
+		return nil, err
+	}
+	if _, err := e.runBaseline(2); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *dagEnv) Close() {
+	if e.client != nil {
+		e.client.Close()
+	}
+	if e.base != nil {
+		e.base.Close()
+	}
+	if e.fab != nil {
+		e.fab.Close()
+	}
+}
+
+func dagCheckSum(n int, out []byte) error {
+	v, err := fx.DecodeFloat(out)
+	if err != nil {
+		return fmt.Errorf("perf: decoding reduce output: %w", err)
+	}
+	if want := dagMapSeconds * float64(n); math.Abs(v-want) > 1e-9 {
+		return fmt.Errorf("perf: reduce = %v, want %v", v, want)
+	}
+	return nil
+}
+
+// runDAG runs the 2-stage fan-in (n maps → one reduce) as ONE
+// server-side graph and returns the makespan: submit → root result.
+// Internal edges are released, bound, and routed inside the fabric;
+// the client issues one submit request and holds one future.
+func (e *dagEnv) runDAG(n int) (float64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	start := time.Now()
+	b := e.client.NewDAG()
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("m%d", i)
+		b.Node(keys[i], sdk.SubmitSpec{Function: e.sleepID, Endpoint: e.ep.ID, Payload: fx.SleepArgs(dagMapSeconds)})
+	}
+	b.Node("reduce", sdk.SubmitSpec{Function: e.sumID, Endpoint: e.ep.ID}, keys...)
+	h, err := b.Submit(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("perf: submit dag: %w", err)
+	}
+	res, err := h.Future("reduce").Get(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("perf: dag root: %w", err)
+	}
+	if res.Err != nil {
+		return 0, fmt.Errorf("perf: dag root failed: %w", res.Err)
+	}
+	if err := dagCheckSum(n, res.Output); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// runBaseline runs the identical workflow client-orchestrated, the way
+// a scripting client drives today's FaaS services: submit every map,
+// gather all their outputs back over the WAN (batched — generous to
+// the baseline), assemble the reduce input client-side, submit the
+// reduce, and collect it. Every internal edge transits the client.
+func (e *dagEnv) runBaseline(n int) (float64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	start := time.Now()
+	ids := make([]types.TaskID, n)
+	for i := 0; i < n; i++ {
+		id, _, err := e.base.Submit(ctx, sdk.SubmitSpec{Function: e.baseSleepID, Endpoint: e.ep.ID, Payload: fx.SleepArgs(dagMapSeconds)})
+		if err != nil {
+			return 0, fmt.Errorf("perf: baseline map submit: %w", err)
+		}
+		ids[i] = id
+	}
+	results, err := e.base.GetResults(ctx, ids)
+	if err != nil {
+		return 0, fmt.Errorf("perf: baseline map collect: %w", err)
+	}
+	env := dag.Envelope{Inputs: make([]dag.Input, n)}
+	for i, res := range results {
+		if res == nil || res.Err != nil {
+			return 0, fmt.Errorf("perf: baseline map failed: %+v", res)
+		}
+		env.Inputs[i] = dag.Input{Key: fmt.Sprintf("m%d", i), Output: res.Output}
+	}
+	rid, _, err := e.base.Submit(ctx, sdk.SubmitSpec{Function: e.baseSumID, Endpoint: e.ep.ID, Payload: env.Encode()})
+	if err != nil {
+		return 0, fmt.Errorf("perf: baseline reduce submit: %w", err)
+	}
+	res, err := e.base.GetResult(ctx, rid)
+	if err != nil {
+		return 0, fmt.Errorf("perf: baseline reduce: %w", err)
+	}
+	if res.Err != nil {
+		return 0, fmt.Errorf("perf: baseline reduce failed: %w", res.Err)
+	}
+	if err := dagCheckSum(n, res.Output); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// DAGComparison measures server-side composition against the
+// client-orchestrated baseline: the same 2-stage fan-in (n maps → one
+// reduce) run both ways on one fabric, in interleaved rounds
+// alternating which side runs first so both sample the same machine
+// weather. Returned makespans are the summed wall per side divided by
+// rounds; since both sides execute the identical task set on the same
+// endpoint, the entire difference is edge-orchestration cost, so
+// baseline/dag is the internal-edge latency ratio.
+func DAGComparison(n, rounds int) (dagSec, baseSec float64, err error) {
+	e, err := newDAGEnv(1)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer e.Close()
+
+	var wallDAG, wallBase float64
+	for r := 0; r < rounds; r++ {
+		runtime.GC()
+		if r%2 == 0 {
+			d, err := e.runDAG(n)
+			if err != nil {
+				return 0, 0, err
+			}
+			b, err := e.runBaseline(n)
+			if err != nil {
+				return 0, 0, err
+			}
+			wallDAG, wallBase = wallDAG+d, wallBase+b
+		} else {
+			b, err := e.runBaseline(n)
+			if err != nil {
+				return 0, 0, err
+			}
+			d, err := e.runDAG(n)
+			if err != nil {
+				return 0, 0, err
+			}
+			wallDAG, wallBase = wallDAG+d, wallBase+b
+		}
+	}
+	return wallDAG / float64(rounds), wallBase / float64(rounds), nil
+}

@@ -159,6 +159,13 @@ type Request struct {
 	// exclude the dead endpoint even if its status still reads
 	// connected).
 	Exclude map[types.EndpointID]bool
+	// Prefer, when set, pins placement to this endpoint as long as it
+	// survives the selector and connectivity stages — data-gravity
+	// affinity for DAG children, which run where their parent's output
+	// already lives. It is a preference, not a constraint: when the
+	// preferred member is excluded, filtered, or disconnected the
+	// group's policy decides as usual.
+	Prefer types.EndpointID
 }
 
 // Router is the placement engine. It is stateless apart from the
@@ -231,6 +238,13 @@ func (r *Router) Route(req Request) (types.EndpointID, error) {
 		}
 	}
 	cands = preferConnected(cands)
+	if req.Prefer != "" {
+		for i := range cands {
+			if cands[i].EndpointID == req.Prefer {
+				return req.Prefer, nil
+			}
+		}
+	}
 
 	switch policy {
 	case RoundRobin:

@@ -401,6 +401,12 @@ type SubmitSpec struct {
 	// functions: once shipped to an endpoint it is never redelivered,
 	// and endpoint loss resolves it fast with ErrTaskLost.
 	AtMostOnce bool
+	// DependsOn holds this task back until the named tasks land
+	// terminal: the service forms a single-node dependency graph, binds
+	// the parents' outputs into a dag input envelope server-side, and
+	// only then places the task. Parent failure resolves the task with
+	// a typed dependency error instead of running it.
+	DependsOn []types.TaskID
 }
 
 // Submit submits one task, returning its id and the endpoint it was
@@ -424,6 +430,7 @@ func (c *Client) submit(ctx context.Context, spec SubmitSpec) (api.SubmitRespons
 		Payload: spec.Payload, Labels: spec.Labels,
 		Memoize: spec.Memoize, BatchN: spec.BatchN,
 		Walltime: spec.Walltime, MaxRetries: spec.MaxRetries, AtMostOnce: spec.AtMostOnce,
+		DependsOn: spec.DependsOn,
 	}, &resp)
 	return resp, err
 }
@@ -558,6 +565,9 @@ func (r *Result) Value(out any) (any, error) {
 // TryResult fetches a result without blocking; ErrNotReady when the
 // task is still running.
 func (c *Client) TryResult(ctx context.Context, id types.TaskID) (*Result, error) {
+	if res, ok := c.takeStashed(id); ok {
+		return res, nil
+	}
 	return c.result(ctx, id, 0)
 }
 
@@ -570,6 +580,11 @@ func (c *Client) GetResult(ctx context.Context, id types.TaskID) (*Result, error
 // getResultAt is GetResult against an explicit shard base URL.
 func (c *Client) getResultAt(ctx context.Context, base string, id types.TaskID) (*Result, error) {
 	for {
+		// An open event stream may have consumed the terminal event
+		// (purging the store copy): the stash is then the only copy.
+		if res, ok := c.takeStashed(id); ok {
+			return res, nil
+		}
 		res, err := c.resultAt(ctx, base, id, c.WaitHint)
 		if err == nil {
 			return res, nil
@@ -639,8 +654,28 @@ func (c *Client) WaitTasks(ctx context.Context, ids []types.TaskID, wait time.Du
 	return c.waitTasksAt(ctx, "", ids, wait)
 }
 
-// waitTasksAt is WaitTasks against an explicit shard base URL.
+// waitTasksAt is WaitTasks against an explicit shard base URL. Ids
+// whose results already arrived on an open event stream (and were
+// purged server-side on that delivery) resolve from the stash without
+// touching the wire; only the remainder is waited on.
 func (c *Client) waitTasksAt(ctx context.Context, base string, ids []types.TaskID, wait time.Duration) ([]*Result, []types.TaskID, error) {
+	var stashed []*Result
+	remaining := make([]types.TaskID, 0, len(ids))
+	for _, id := range ids {
+		if res, ok := c.takeStashed(id); ok {
+			stashed = append(stashed, res)
+		} else {
+			remaining = append(remaining, id)
+		}
+	}
+	if len(remaining) == 0 {
+		return stashed, nil, nil
+	}
+	done, pending, err := c.waitTasksWire(ctx, base, remaining, wait)
+	return append(stashed, done...), pending, err
+}
+
+func (c *Client) waitTasksWire(ctx context.Context, base string, ids []types.TaskID, wait time.Duration) ([]*Result, []types.TaskID, error) {
 	if len(ids) <= maxWaitIDs {
 		return c.waitTasksOnce(ctx, base, ids, wait)
 	}

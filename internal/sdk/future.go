@@ -224,6 +224,15 @@ type streamer struct {
 	// legacy-server last resort), so repeated resolution rounds never
 	// spawn duplicate polls for the same task.
 	polling map[types.TaskID]bool
+	// stash holds terminal results that arrived on the stream before
+	// their future registered. The server purges a result's store copy
+	// once its inline event is delivered on the owner's stream
+	// (ack-on-stream), so the event bytes may be the only copy left —
+	// dropping them would strand a late-registered future. Bounded
+	// FIFO (stashOrder) so tasks that never register cannot pin
+	// unbounded memory.
+	stash      map[types.TaskID]*Result
+	stashOrder []types.TaskID
 	// stopped marks the consumer shut down: late registrations (a
 	// SubmitFuture racing Close) resolve with ErrClosed instead of
 	// landing in a map nothing drains.
@@ -251,6 +260,7 @@ func (c *Client) ensureStreamer(base string) (*streamer, error) {
 			futures: make(map[types.TaskID]*Future),
 			verify:  make(map[types.TaskID]bool),
 			polling: make(map[types.TaskID]bool),
+			stash:   make(map[types.TaskID]*Result),
 			kick:    make(chan struct{}, 1),
 			fbKick:  make(chan struct{}, 1),
 		}
@@ -305,6 +315,14 @@ func (st *streamer) register(f *Future) {
 		f.resolve(nil, ErrClosed)
 		return
 	}
+	// A stashed result means the terminal event already arrived on the
+	// stream (and its store copy may be purged): resolve immediately.
+	if res, ok := st.stash[f.id]; ok {
+		delete(st.stash, f.id)
+		st.mu.Unlock()
+		f.resolve(res, nil)
+		return
+	}
 	// Every registration is verified with a batched non-blocking
 	// wait: if the task completed before this point (even before the
 	// subscription existed), the verifier resolves it.
@@ -325,23 +343,69 @@ func (st *streamer) wake() {
 	}
 }
 
-// resolveOrStash routes one terminal result to its registered future.
-// Results for unregistered tasks are dropped, not stashed: pinning
-// payloads for futures that may never register is unbounded memory,
-// and a future registered after its terminal event is resolved by
-// the registration-time verify (the stored result is still
-// retrievable — stream delivery does not purge it).
+// stashCap bounds the unmatched-result stash per consumer.
+const stashCap = 4096
+
+// resolveOrStash routes one terminal result to its registered future,
+// stashing results for tasks with no future yet. The stash matters
+// since the ack-on-stream purge: delivering an inline result on the
+// owner's event stream drops its store copy early, so a future
+// registered *after* the event (FutureOf on a batch id, a reconnect
+// replay) may find nothing left to wait on — the stashed event bytes
+// are its result. The stash is bounded FIFO; evicted tasks fall back
+// to the registration-time verify, which still resolves them whenever
+// the server retains results (purge disabled or TTL-deferred).
 func (st *streamer) resolveOrStash(id types.TaskID, res *Result) {
 	st.mu.Lock()
 	f, ok := st.futures[id]
 	if ok {
 		delete(st.futures, id)
 		delete(st.verify, id)
+	} else if _, dup := st.stash[id]; !dup {
+		// Pop stale order entries (ids already taken by a poll or a
+		// registration) before evicting a live one.
+		for len(st.stashOrder) >= stashCap {
+			victim := st.stashOrder[0]
+			st.stashOrder = st.stashOrder[1:]
+			if _, live := st.stash[victim]; live {
+				delete(st.stash, victim)
+				break
+			}
+		}
+		st.stash[id] = res
+		st.stashOrder = append(st.stashOrder, id)
 	}
 	st.mu.Unlock()
 	if ok {
 		f.resolve(res, nil)
 	}
+}
+
+// takeStashed removes and returns a result the ack-on-stream purge
+// left only in a streamer's stash. The polling paths (TryResult,
+// GetResult, WaitTasks) consult it before going to the wire: once a
+// client holds an open event stream, terminal results for its user
+// ride that stream and their store copies are purged, so a poll that
+// ignored the stash would wait on a result the client already has.
+func (c *Client) takeStashed(id types.TaskID) (*Result, bool) {
+	c.mu.Lock()
+	sts := make([]*streamer, 0, len(c.streamers))
+	for _, st := range c.streamers {
+		sts = append(sts, st)
+	}
+	c.mu.Unlock()
+	for _, st := range sts {
+		st.mu.Lock()
+		res, ok := st.stash[id]
+		if ok {
+			delete(st.stash, id)
+		}
+		st.mu.Unlock()
+		if ok {
+			return res, true
+		}
+	}
+	return nil, false
 }
 
 // pendingIDs snapshots the unresolved future ids.

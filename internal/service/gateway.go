@@ -46,10 +46,12 @@ const ShardHopTokenHeader = "X-FuncX-Shard-Token"
 // deployment.
 func (s *Service) sharded() bool { return s.cfg.Ring != nil }
 
-// hopFrom returns the origin shard id of a *verified* shard-to-shard
-// hop, or "" for public requests (including requests carrying a hop
-// header the token does not back up).
-func (s *Service) hopFrom(r *http.Request) string {
+// shardLaneFrom returns the origin shard id of a *verified*
+// shard-to-shard request on the given internal lane, or "" for public
+// requests (including requests carrying a hop header the token does
+// not back up). The token must carry exactly the lane's scope — a
+// credential for one lane does not open the other.
+func (s *Service) shardLaneFrom(r *http.Request, scope auth.Scope) string {
 	id := r.Header.Get(ShardHopHeader)
 	if id == "" || !s.sharded() {
 		return ""
@@ -61,10 +63,21 @@ func (s *Service) hopFrom(r *http.Request) string {
 	if string(claims.Subject) != "shard:"+id {
 		return ""
 	}
-	if len(claims.Scopes) != 1 || claims.Scopes[0] != auth.ScopeShardHop {
+	if len(claims.Scopes) != 1 || claims.Scopes[0] != scope {
 		return ""
 	}
 	return id
+}
+
+// hopFrom verifies the request-gateway lane (proxied user requests).
+func (s *Service) hopFrom(r *http.Request) string {
+	return s.shardLaneFrom(r, auth.ScopeShardHop)
+}
+
+// replicateFrom verifies the replication/anti-entropy lane (function
+// replicas, registry pulls).
+func (s *Service) replicateFrom(r *http.Request) string {
+	return s.shardLaneFrom(r, auth.ScopeShardReplicate)
 }
 
 // misdirected answers a hop-marked request for a key this shard does
@@ -117,14 +130,20 @@ func (s *Service) redirectByKey(w http.ResponseWriter, r *http.Request, key stri
 	return true
 }
 
-// buildHopRequest constructs one shard-to-shard request on behalf of
+// buildHopRequest constructs one request-gateway hop on behalf of the
+// original caller (the relay and scatter-gather paths).
+func (s *Service) buildHopRequest(ctx context.Context, r *http.Request, target shard.Info, method, pathAndQuery string, body any) (*http.Request, error) {
+	return s.buildLaneRequest(ctx, r, target, method, pathAndQuery, body, s.hopToken)
+}
+
+// buildLaneRequest constructs one shard-to-shard request on behalf of
 // the original caller: body re-encoded when non-nil, the caller's
 // Authorization forwarded (the owner re-authenticates against the
-// shared signing key), and the hop header plus this shard's signed
-// hop token attached for the receiver's loop guard. The single place
-// hop headers are set — the relay, scatter-gather, and replication
-// paths all go through it.
-func (s *Service) buildHopRequest(ctx context.Context, r *http.Request, target shard.Info, method, pathAndQuery string, body any) (*http.Request, error) {
+// shared signing key), and the shard header plus the given lane token
+// attached for the receiver's verification. The single place shard
+// headers are set — the relay, scatter-gather, and replication paths
+// all go through it.
+func (s *Service) buildLaneRequest(ctx context.Context, r *http.Request, target shard.Info, method, pathAndQuery string, body any, token string) (*http.Request, error) {
 	var reqBody io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -142,7 +161,7 @@ func (s *Service) buildHopRequest(ctx context.Context, r *http.Request, target s
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ShardHopHeader, string(s.cfg.Ring.SelfID()))
-	req.Header.Set(ShardHopTokenHeader, s.hopToken)
+	req.Header.Set(ShardHopTokenHeader, token)
 	return req, nil
 }
 
@@ -181,7 +200,13 @@ func (s *Service) proxyTo(w http.ResponseWriter, r *http.Request, target shard.I
 // scatter-gather paths and function replication, where the response
 // must be merged rather than relayed.
 func (s *Service) forwardJSON(ctx context.Context, r *http.Request, target shard.Info, method, path string, body, out any) (int, error) {
-	req, err := s.buildHopRequest(ctx, r, target, method, path, body)
+	return s.forwardJSONLane(ctx, r, target, method, path, body, out, s.hopToken)
+}
+
+// forwardJSONLane is forwardJSON with an explicit lane credential
+// (the replication paths pass the replicate token).
+func (s *Service) forwardJSONLane(ctx context.Context, r *http.Request, target shard.Info, method, path string, body, out any, token string) (int, error) {
+	req, err := s.buildLaneRequest(ctx, r, target, method, path, body, token)
 	if err != nil {
 		return 0, err
 	}
@@ -442,11 +467,12 @@ func (s *Service) waitAcrossShards(w http.ResponseWriter, r *http.Request, req a
 // --- anti-entropy export ---
 
 // handleExportFunctions serves GET /v1/shard/functions — the complete
-// function-record set, to hop-authenticated peers only (no user token
-// qualifies). Recovered shards pull it to converge after downtime;
-// see pullFunctions in recovery.go.
+// function-record set, to replicate-authenticated peers only (neither
+// a user token nor a request-gateway hop token qualifies). Recovered
+// shards pull it to converge after downtime; see pullFunctions in
+// recovery.go.
 func (s *Service) handleExportFunctions(w http.ResponseWriter, r *http.Request) {
-	if !s.sharded() || s.hopFrom(r) == "" {
+	if !s.sharded() || s.replicateFrom(r) == "" {
 		writeJSON(w, http.StatusForbidden, api.ErrorResponse{Error: "service: shard-to-shard surface"})
 		return
 	}
@@ -481,7 +507,7 @@ func (s *Service) replicateFunction(r *http.Request, method, path string, body a
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
 			defer cancel()
-			s.forwardJSON(ctx, r, peer, method, path, body, nil) //nolint:errcheck // best-effort broadcast
+			s.forwardJSONLane(ctx, r, peer, method, path, body, nil, s.replicateToken) //nolint:errcheck // best-effort broadcast
 		}(peer)
 	}
 	wg.Wait()

@@ -62,6 +62,16 @@ func hopHeaders(svc *Service, from string) map[string]string {
 	}
 }
 
+// replicateHeaders marks a request as replication-lane traffic: the
+// function-replica surfaces accept only this scope, not hop tokens.
+func replicateHeaders(svc *Service, from string) map[string]string {
+	return map[string]string{
+		ShardHopHeader: from,
+		ShardHopTokenHeader: svc.Authority.Mint(
+			types.UserID("shard:"+from), time.Hour, auth.ScopeShardReplicate),
+	}
+}
+
 func doRequest(t *testing.T, method, url, token string, hop map[string]string, body any) *http.Response {
 	t.Helper()
 	var buf bytes.Buffer
@@ -196,15 +206,22 @@ func TestGatewayFunctionReplicaGuards(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("public function_id: got %d, want 400", resp.StatusCode)
 	}
-	// Hop-marked replica for someone else's function id: forbidden.
-	resp = doRequest(t, http.MethodPost, ts.URL+"/v1/functions", attacker, hopHeaders(svc, "shard-b"),
+	// A request-gateway hop token must not open the replication lane:
+	// the surface is gated on the dedicated replicate scope.
+	resp = doRequest(t, http.MethodPost, ts.URL+"/v1/functions", owner, hopHeaders(svc, "shard-b"),
+		api.RegisterFunctionRequest{Name: "f", Body: []byte("evil"), FunctionID: reg.FunctionID})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("hop token on replica surface: got %d, want 400", resp.StatusCode)
+	}
+	// Replicate-marked replica for someone else's function id: forbidden.
+	resp = doRequest(t, http.MethodPost, ts.URL+"/v1/functions", attacker, replicateHeaders(svc, "shard-b"),
 		api.RegisterFunctionRequest{Name: "f", Body: []byte("evil"), FunctionID: reg.FunctionID})
 	if resp.StatusCode != http.StatusForbidden {
 		t.Fatalf("replica overwrite by non-owner: got %d, want 403", resp.StatusCode)
 	}
-	// Hop-marked replica by the owner installs verbatim.
+	// Replicate-marked replica by the owner installs verbatim.
 	otherID := types.NewFunctionID()
-	resp = doRequest(t, http.MethodPost, ts.URL+"/v1/functions", owner, hopHeaders(svc, "shard-b"),
+	resp = doRequest(t, http.MethodPost, ts.URL+"/v1/functions", owner, replicateHeaders(svc, "shard-b"),
 		api.RegisterFunctionRequest{Name: "g", Body: []byte("def g():\n    return 2\n"), FunctionID: otherID})
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("replica install: got %d, want 201", resp.StatusCode)

@@ -12,6 +12,7 @@ import (
 
 	"funcx/internal/api"
 	"funcx/internal/auth"
+	"funcx/internal/dag"
 	"funcx/internal/events"
 	"funcx/internal/registry"
 	"funcx/internal/shard"
@@ -60,6 +61,8 @@ func (s *Service) buildMux() {
 
 	mux.Handle("POST /v1/tasks", s.limitSubmit(protect(auth.ScopeRun, s.handleSubmit)))
 	mux.Handle("POST /v1/tasks/batch", s.limitSubmit(protect(auth.ScopeRun, s.handleBatchSubmit)))
+	mux.Handle("POST /v1/dags", s.limitSubmit(protect(auth.ScopeRun, s.handleSubmitDAG)))
+	mux.Handle("GET /v1/dags/{id}", protect(auth.ScopeRun, s.handleDAGStatus))
 	mux.Handle("POST /v1/tasks/wait", protect(auth.ScopeRun, s.handleWaitTasks))
 	mux.Handle("GET /v1/tasks/{id}", protect(auth.ScopeRun, s.handleStatus))
 	mux.Handle("GET /v1/tasks/{id}/trace", protect(auth.ScopeRun, s.handleTaskTrace))
@@ -182,7 +185,7 @@ func (s *Service) handleRegisterFunction(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	if req.FunctionID != "" {
-		if !s.sharded() || s.hopFrom(r) == "" {
+		if !s.sharded() || s.replicateFrom(r) == "" {
 			writeError(w, fmt.Errorf("%w: function_id is reserved for shard replication", ErrInvalidRequest))
 			return
 		}
@@ -240,8 +243,8 @@ func (s *Service) handleUpdateFunction(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Broadcast the update so every shard's replica converges; a
-	// hop-marked request is itself a broadcast and stops here.
-	if s.hopFrom(r) == "" {
+	// replicate-marked request is itself a broadcast and stops here.
+	if s.replicateFrom(r) == "" {
 		s.replicateFunction(r, http.MethodPut, "/v1/functions/"+string(id), req)
 	}
 	writeJSON(w, http.StatusOK, api.RegisterFunctionResponse{
@@ -260,7 +263,7 @@ func (s *Service) handleShareFunction(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if s.hopFrom(r) == "" {
+	if s.replicateFrom(r) == "" {
 		s.replicateFunction(r, http.MethodPost, "/v1/functions/"+string(id)+"/share", req)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "shared"})
@@ -341,6 +344,20 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if key, ok := submitKey(req); ok && s.routeByKey(w, r, key, req) {
 		return
 	}
+	if len(req.DependsOn) > 0 {
+		// A dependent submission is a one-node graph with external
+		// parents: the service holds it until every parent lands, then
+		// binds their outputs into its payload server-side.
+		id, dagID, memoized, err := s.SubmitChained(claimsOf(r).Subject, submissionOf(req), req.DependsOn)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp := api.SubmitResponse{TaskID: id, DAGID: dagID, Memoized: memoized}
+		s.stampShard(&resp)
+		writeJSON(w, http.StatusAccepted, resp)
+		return
+	}
 	id, epID, memoized, err := s.SubmitTaskAt(claimsOf(r).Subject, submissionOf(req), arrivalOf(r))
 	if err != nil {
 		writeError(w, err)
@@ -349,6 +366,69 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	resp := api.SubmitResponse{TaskID: id, EndpointID: epID, Memoized: memoized}
 	s.stampShard(&resp)
 	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleSubmitDAG is POST /v1/dags: one request submits a whole
+// dependency graph, which the service then drives internally — every
+// edge (release, output binding, routing) is traversed inside the
+// fabric with zero client round-trips. The graph routes to the shard
+// owning the first node's target, and its id is minted ring-aligned
+// there so any front door can route GET /v1/dags/{id} from the id.
+func (s *Service) handleSubmitDAG(w http.ResponseWriter, r *http.Request) {
+	var req api.SubmitDAGRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Nodes) == 0 {
+		writeError(w, fmt.Errorf("%w: dag needs at least one node", ErrInvalidRequest))
+		return
+	}
+	if key, ok := submitKey(api.SubmitRequest{
+		GroupID: req.Nodes[0].GroupID, EndpointID: req.Nodes[0].EndpointID,
+	}); ok && s.routeByKey(w, r, key, req) {
+		return
+	}
+	specs := make([]dag.NodeSpec, len(req.Nodes))
+	for i, n := range req.Nodes {
+		specs[i] = dag.NodeSpec{
+			Key: n.Key,
+			Spec: dag.TaskSpec{
+				Function: n.FunctionID, Endpoint: n.EndpointID, Group: n.GroupID,
+				Labels: n.Labels, Payload: n.Payload, Memoize: n.Memoize,
+				Walltime: n.Walltime, MaxRetries: n.MaxRetries, AtMostOnce: n.AtMostOnce,
+			},
+			DependsOn: n.DependsOn,
+			Requires:  n.Requires,
+		}
+	}
+	id, tasks, memoized, err := s.SubmitDAG(claimsOf(r).Subject, specs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := api.SubmitDAGResponse{DAGID: id, Tasks: tasks, Memoized: memoized}
+	if s.sharded() {
+		self := s.cfg.Ring.Self()
+		resp.ShardID = string(self.ID)
+		resp.ShardURL = self.BaseURL
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleDAGStatus is GET /v1/dags/{id}: the graph's live per-node
+// state, served by the shard holding the graph (proxied there from any
+// front door — the id is ring-aligned by construction).
+func (s *Service) handleDAGStatus(w http.ResponseWriter, r *http.Request) {
+	id := types.DAGID(r.PathValue("id"))
+	if s.routeByKey(w, r, shard.DAGKey(id), nil) {
+		return
+	}
+	resp, err := s.DAGStatus(claimsOf(r).Subject, id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, *resp)
 }
 
 func (s *Service) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
@@ -626,6 +706,21 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		fl.Flush()
 		lastSeq = ev.Seq
+		// Ack-on-stream purge: a terminal event carrying the inline
+		// result just reached the owner's own stream, so the stored
+		// bytes have been delivered — schedule them out of the store
+		// instead of waiting for an explicit result fetch. Streams
+		// are per-user, not per-client, so the purge keeps a grace
+		// TTL for any sibling client still polling. The presence
+		// check keeps replayed events from double-counting.
+		if ev.Status.Terminal() && len(ev.Result) > 0 {
+			if _, present := s.Store.Hash(resultsHash).Get(string(ev.TaskID)); present {
+				s.purgeAfterStream(ev.TaskID)
+				s.mu.Lock()
+				s.streamPurged++
+				s.mu.Unlock()
+			}
+		}
 		return true
 	}
 	for _, ev := range replay {

@@ -102,6 +102,14 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("funcx_tasks_lost_total", "Tasks retired as lost.", float64(st.Lost))
 	p.counter("funcx_gateway_proxied_total", "Cross-shard requests proxied by this shard.", float64(st.Proxied))
 	p.counter("funcx_gateway_redirected_total", "Cross-shard requests redirected by this shard.", float64(st.Redirected))
+	p.counter("funcx_dag_submitted_total", "Dependency graphs accepted.", float64(st.DAGsSubmitted))
+	p.counter("funcx_dag_completed_total", "Dependency graphs that reached a terminal state.", float64(st.DAGsCompleted))
+	p.counter("funcx_dag_nodes_total", "Graph nodes accepted across all dependency graphs.", float64(st.DAGNodes))
+	p.counter("funcx_dag_releases_total", "Dependent nodes released server-side by parent completions (internal edges).", float64(st.DAGReleases))
+	p.counter("funcx_dag_dependency_failures_total", "Typed dependency failures propagated to held descendants.", float64(st.DAGDepFailures))
+	p.counter("funcx_dag_memo_shortcuts_total", "Graph nodes short-circuited wholesale from the memo cache at submit.", float64(st.DAGMemoShortcut))
+	p.gauge("funcx_dag_active", "Dependency graphs currently holding or running nodes.", float64(st.DAGsActive))
+	p.counter("funcx_stream_purged_total", "Results purged early after inline delivery on the owner's event stream.", float64(st.StreamPurged))
 	p.counter("funcx_elastic_evaluations_total", "Fleet-autoscaler decision rounds.", float64(st.ElasticEvaluations))
 	p.gauge("funcx_event_streams", "Per-user event streams currently held.", float64(st.EventUsers))
 	p.gauge("funcx_event_subscribers", "Live event subscriptions across all streams.", float64(st.EventSubscribers))

@@ -88,6 +88,13 @@ func recoverKind[T any](s *Service, kind string, put func(*T) error) error {
 // endpoint. Runs after the registry is recovered and before any
 // background goroutine starts.
 func (s *Service) recoverRuntime() error {
+	// Dependency graphs first: recoverDAGs rebuilds the graph tables
+	// from the journal and reports the node ids the generic sweeps
+	// below must leave alone — held nodes have owner/status records but
+	// no task record (by design, they were never placed), and the
+	// inflight sweep would otherwise retire them as lost.
+	dagHeld := s.recoverDAGs()
+
 	// In-flight map: every owner-recorded task without a stored result
 	// is still live from its caller's perspective — the terminal event
 	// never published, so whatever happens to the task next (delivery,
@@ -97,6 +104,9 @@ func (s *Service) recoverRuntime() error {
 	tasksH := s.Store.Hash(tasksHash)
 	s.mu.Lock()
 	for _, id := range owners.Keys() {
+		if dagHeld[types.TaskID(id)] {
+			continue
+		}
 		if _, done := results.Get(id); done {
 			continue
 		}
@@ -141,6 +151,10 @@ func (s *Service) recoverRuntime() error {
 			return fmt.Errorf("service: restarting forwarder for endpoint %s: %w", ep.ID, err)
 		}
 	}
+	// Re-drive recovered graphs last: re-releases need live forwarders
+	// to place into, and transitions that landed pre-crash re-apply
+	// through the ordinary completion path.
+	s.resumeDAGs()
 	return nil
 }
 
@@ -240,7 +254,7 @@ func (s *Service) pullFunctions() {
 				return
 			}
 			req.Header.Set(ShardHopHeader, string(s.cfg.Ring.SelfID()))
-			req.Header.Set(ShardHopTokenHeader, s.hopToken)
+			req.Header.Set(ShardHopTokenHeader, s.replicateToken)
 			resp, err := s.proxyClient.Do(req)
 			if err != nil {
 				return

@@ -21,6 +21,8 @@ import (
 
 	"funcx/internal/api"
 	"funcx/internal/auth"
+	"funcx/internal/dag"
+	"funcx/internal/dataref"
 	"funcx/internal/elastic"
 	"funcx/internal/events"
 	"funcx/internal/forwarder"
@@ -149,6 +151,19 @@ type Config struct {
 	// collector retains for GET /v1/tasks/{id}/trace (default 4096;
 	// older timelines are evicted, their histograms already folded).
 	TraceCapacity int
+	// TraceSampleRate samples which tasks record trace timelines:
+	// 0 (unset) or >=1 traces everything (the historical behavior),
+	// negative traces nothing, and a fraction in (0,1) traces that
+	// share of tasks — chosen deterministically by task-id hash, so
+	// retries of one task always agree, and keyed by graph id for DAG
+	// nodes, so a workflow's tasks sample together and a sampled graph
+	// yields a complete cross-node timeline.
+	TraceSampleRate float64
+	// DAGInlineLimit is the largest parent output (bytes) bound inline
+	// into a dependent task's payload; larger outputs register in the
+	// dataref fabric and travel as references (0 = 64 KiB default,
+	// negative = always inline).
+	DAGInlineLimit int
 	// Logger receives the service's structured logs (nil =
 	// slog.Default()). Per-task records log at Debug with task_id /
 	// endpoint_id attributes so one task greps across the service and
@@ -201,7 +216,25 @@ type Service struct {
 	// when unlimited). All are set once in New.
 	proxyClient *http.Client
 	hopToken    string
-	submitSem   chan struct{}
+	// replicateToken authenticates this shard's replication /
+	// anti-entropy traffic (function replicas, registry pulls) —
+	// minted like the hop token but carrying only ScopeShardReplicate,
+	// so the two internal lanes cannot impersonate each other.
+	replicateToken string
+	submitSem      chan struct{}
+
+	// Datarefs models the out-of-band data plane DAG parent outputs
+	// larger than DAGInlineLimit travel through (see internal/dataref).
+	Datarefs *dataref.Fabric
+
+	// dagMu guards the dependency-graph tables. It may be taken alone
+	// or over s.mu, and NEVER across a resultsHash write (the results
+	// watch re-enters the DAG path). dags holds every graph (finished
+	// ones stay for GET /v1/dags/{id}); dagByTask routes a stored
+	// result to the graph nodes waiting on that task id.
+	dagMu     sync.Mutex
+	dags      map[types.DAGID]*dag.Graph
+	dagByTask map[types.TaskID][]dagRef
 
 	// handoffMu guards the drain/handoff key overrides. movedKeys maps
 	// ring keys this shard handed to their importer (the gateway
@@ -241,6 +274,23 @@ type Service struct {
 	lost       int64
 	proxied    int64
 	redirected int64
+
+	// DAG counters. dagReleases counts dependent-node placements driven
+	// by parent completions — the server-side internal-edge traversals
+	// that would each have been a client round-trip under SDK
+	// orchestration. dagMemoHits counts nodes short-circuited wholesale
+	// from the memo cache at submit; dagDepFailures counts typed
+	// dependency-failure propagations.
+	dagsSubmitted  int64
+	dagsCompleted  int64
+	dagNodes       int64
+	dagReleases    int64
+	dagDepFailures int64
+	dagMemoHits    int64
+	// streamPurged counts results whose bytes were dropped early
+	// because the terminal event carrying them was delivered on the
+	// owner's SSE stream (ack-on-stream purge).
+	streamPurged int64
 }
 
 // inflightTask is the service-side record of one accepted task.
@@ -344,6 +394,9 @@ func Open(cfg Config) (*Service, error) {
 		seqJournaled: make(map[types.UserID]uint64),
 		movedKeys:    make(map[string]shard.ID),
 		importedKeys: make(map[string]bool),
+		Datarefs:     dataref.NewFabric(),
+		dags:         make(map[types.DAGID]*dag.Graph),
+		dagByTask:    make(map[types.TaskID][]dagRef),
 	}
 	if !cfg.DisableTrace {
 		s.Trace = trace.NewCollector(cfg.TraceCapacity)
@@ -366,6 +419,11 @@ func Open(cfg Config) (*Service, error) {
 		// carries only the hop scope, so no user token qualifies.
 		s.hopToken = authority.Mint(types.UserID("shard:"+string(cfg.ShardID)),
 			10*365*24*time.Hour, auth.ScopeShardHop)
+		// The replication lane gets its own credential: same shape as
+		// the hop token, disjoint scope, so neither lane's token opens
+		// the other's surfaces.
+		s.replicateToken = authority.Mint(types.UserID("shard:"+string(cfg.ShardID)),
+			10*365*24*time.Hour, auth.ScopeShardReplicate)
 	}
 	if cfg.SubmitConcurrency > 0 {
 		s.submitSem = make(chan struct{}, cfg.SubmitConcurrency)
@@ -812,6 +870,13 @@ const (
 	// string) so a recovered shard resumes numbering past every seq it
 	// ever handed a client as a Last-Event-ID.
 	eventSeqHash = "eventseq"
+	// dagsHash journals dependency-graph records (wire.EncodeDAG);
+	// dagOutputsHash retains each DAG parent's output bytes from the
+	// moment its result lands until its graph finishes, so a recovered
+	// service can re-bind pending edges (and re-register large outputs
+	// in the in-memory dataref fabric).
+	dagsHash       = "dags"
+	dagOutputsHash = "dagout"
 )
 
 // seqJournalStride coarsens event-seq persistence: instead of one
@@ -1015,6 +1080,15 @@ type preparedSubmission struct {
 	// routed pins a placement decided by a batch routing pass; place
 	// skips its per-task Route when set.
 	routed types.EndpointID
+	// id, when set, pre-assigns the task id (DAG nodes mint ids at
+	// graph submission so futures can register before release).
+	id types.TaskID
+	// dagID marks a DAG node placement: trace sampling keys on it so a
+	// graph's nodes sample as a unit.
+	dagID types.DAGID
+	// prefer asks group routing to favor this member when live —
+	// DAG children lean toward the endpoint holding their inputs.
+	prefer types.EndpointID
 }
 
 // prepare performs all fallible validation of one submission — payload
@@ -1087,9 +1161,13 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 	// before placement so a cache hit neither consumes a routing
 	// decision (round-robin cursor, load skew) nor reports an
 	// endpoint that never saw the task.
+	id := p.id
+	if id == "" {
+		id = s.mintTaskID()
+	}
+
 	if sub.Memoize {
 		if cached, ok := s.Memo.Lookup(fn.BodyHash, sub.Payload); ok {
-			id := s.mintTaskID()
 			cached.TaskID = id
 			cached.Completed = time.Now()
 			cached.Timing = types.Timing{TS: time.Since(start)}
@@ -1113,7 +1191,7 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 			epID = p.routed
 		} else {
 			var err error
-			epID, err = s.Router.Route(router.Request{Group: p.group, Selector: sub.Labels})
+			epID, err = s.Router.Route(router.Request{Group: p.group, Selector: sub.Labels, Prefer: p.prefer})
 			if errors.Is(err, router.ErrNoSelectorMatch) {
 				return "", "", false, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
 			}
@@ -1124,7 +1202,7 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 	}
 
 	task := &types.Task{
-		ID:         s.mintTaskID(),
+		ID:         id,
 		FunctionID: sub.FunctionID,
 		EndpointID: epID,
 		GroupID:    sub.GroupID,
@@ -1141,7 +1219,7 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 		Attempt:    1,
 		Submitted:  start,
 	}
-	if s.Trace != nil {
+	if s.Trace != nil && s.traceSampled(p, task.ID) {
 		// The trace context travels inside the encoded task, so it must
 		// be set before EncodeTask below; the timeline anchors at the
 		// submit arrival time so the submit stage covers auth/validation.
@@ -1524,13 +1602,21 @@ func (s *Service) onResultStored(field string, value []byte) {
 		s.Store.Hash(statusHash).Set(field, []byte(status))
 	}
 	s.statusMu.Unlock()
+	// DAG step: when any graph is waiting on this task, journal its
+	// output and apply the transitions now, but execute the unlocked
+	// releases/failures only after the terminal publish — each action
+	// stores a result of its own and recurses through this hook.
+	dagID, dagAfter := s.applyDAGResult(id, status, info.endpoint, value)
 	s.publish(info.owner, types.TaskEvent{
-		TaskID: id, Status: status, EndpointID: info.endpoint, Result: value, Time: time.Now(),
+		TaskID: id, Status: status, EndpointID: info.endpoint, Result: value, DAGID: dagID, Time: time.Now(),
 	})
 	// Finish after the terminal publish so the publish stage covers the
 	// event fan-out; folding the timeline into the stage histograms is
 	// what makes the task visible to GET /v1/tasks/{id}/trace.
 	s.Trace.Finish(id)
+	if dagAfter != nil {
+		dagAfter()
+	}
 	s.log.Debug("task retired",
 		"task_id", string(id), "endpoint_id", string(info.endpoint), "status", string(status))
 }
@@ -1725,6 +1811,35 @@ func (s *Service) purgeAfterRead(id types.TaskID) {
 	s.Store.Hash(ownersHash).Del(string(id))
 }
 
+// streamPurgeGrace is the retention window applied to results purged
+// on stream delivery when no ResultTTL is configured. Stream delivery
+// is passive — the event reached *a* stream held by the owning user,
+// but another client of the same user may still be polling for the
+// result — so stream-triggered purges always leave a grace window
+// instead of deleting immediately.
+const streamPurgeGrace = 30 * time.Second
+
+// purgeAfterStream schedules cleanup of a result that was delivered
+// inline on the owner's event stream. Unlike purgeAfterRead it never
+// deletes immediately: the stored bytes survive for the configured
+// ResultTTL (or streamPurgeGrace when none is set) so concurrent
+// pollers of the same user can still retrieve them.
+func (s *Service) purgeAfterStream(id types.TaskID) {
+	ttl := s.cfg.ResultTTL
+	if ttl <= 0 {
+		ttl = streamPurgeGrace
+	}
+	if b, ok := s.Store.Hash(resultsHash).Get(string(id)); ok {
+		s.Store.Hash(resultsHash).SetTTL(string(id), b, ttl)
+		if tb, ok := s.Store.Hash(tasksHash).Get(string(id)); ok {
+			s.Store.Hash(tasksHash).SetTTL(string(id), tb, ttl)
+		}
+		if o, ok := s.Store.Hash(ownersHash).Get(string(id)); ok {
+			s.Store.Hash(ownersHash).SetTTL(string(id), o, ttl)
+		}
+	}
+}
+
 // mintTaskID generates a task id. A sharded service mints ids its own
 // shard owns on the ring, so any front door can route a result, wait,
 // or status request for a bare task id to the owner without a lookup.
@@ -1753,8 +1868,13 @@ func (s *Service) StatsSnapshot() api.StatsResponse {
 		Submitted: s.submitted, MemoHits: s.memoHits, Rerouted: s.rerouted,
 		Retried: s.retried, Lost: s.lost,
 		Proxied: s.proxied, Redirected: s.redirected,
+		DAGsSubmitted: s.dagsSubmitted, DAGsCompleted: s.dagsCompleted,
+		DAGNodes: s.dagNodes, DAGReleases: s.dagReleases,
+		DAGDepFailures: s.dagDepFailures, DAGMemoShortcut: s.dagMemoHits,
+		StreamPurged: s.streamPurged,
 	}
 	s.mu.Unlock()
+	resp.DAGsActive = s.DAGsActive()
 	if s.cfg.Ring != nil {
 		resp.ShardID = string(s.cfg.Ring.SelfID())
 		resp.Shards = s.cfg.Ring.N()

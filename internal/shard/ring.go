@@ -286,6 +286,12 @@ func EndpointKey(id types.EndpointID) string { return "e:" + string(id) }
 // a bare task id to its owner.
 func TaskKey(id types.TaskID) string { return "t:" + string(id) }
 
+// DAGKey is the ring key for a dependency-graph id. The accepting
+// shard mints DAG ids aligned to itself (and mints every node's task
+// id locally), so a whole graph lives on one shard and any shard can
+// route a status request for a bare DAG id to its owner.
+func DAGKey(id types.DAGID) string { return "d:" + string(id) }
+
 // --- directory ---
 
 // Directory is one shard's view of the deployment: the shared ring

@@ -68,6 +68,10 @@ type (
 	// GroupID identifies an endpoint group — a named fleet of
 	// endpoints the router places tasks across.
 	GroupID string
+	// DAGID identifies a submitted dependency graph — a workflow of
+	// tasks the service releases as their parents retire (see
+	// internal/dag).
+	DAGID string
 )
 
 // NewTaskID returns a fresh task identifier.
@@ -81,6 +85,12 @@ func NewEndpointID() EndpointID { return EndpointID(NewUUID()) }
 
 // NewGroupID returns a fresh endpoint-group identifier.
 func NewGroupID() GroupID { return GroupID(NewUUID()) }
+
+// NewDAGID returns a fresh dependency-graph identifier.
+func NewDAGID() DAGID { return DAGID(NewUUID()) }
+
+// Short returns the first 8 characters, for compact logging.
+func (d DAGID) Short() string { return UUID(d).Short() }
 
 // TaskStatus is the lifecycle state of a task as tracked by the service.
 type TaskStatus string
@@ -108,6 +118,20 @@ const (
 	// endpoint was lost mid-flight. A synthetic result carrying
 	// Result.Lost is stored so every retrieval surface resolves.
 	TaskLost TaskStatus = "lost"
+)
+
+// DAG lifecycle states, published on the owner's event stream with
+// TaskID set to the graph id. They are deliberately outside the task
+// Terminal() set so task-oriented consumers (SDK streamers, waiters)
+// pass them through untouched.
+const (
+	// DAGRunning means the graph was accepted and its roots released.
+	DAGRunning TaskStatus = "dag-running"
+	// DAGSuccess means every node in the graph succeeded.
+	DAGSuccess TaskStatus = "dag-success"
+	// DAGFailed means the graph retired with at least one failed or
+	// lost node (dependency failures propagated to its descendants).
+	DAGFailed TaskStatus = "dag-failed"
 )
 
 // Terminal reports whether the status is final (success, failed, or
@@ -139,6 +163,9 @@ type TaskEvent struct {
 	// not pin result bytes — and are reconciled via POST
 	// /v1/tasks/wait.
 	Result []byte `json:"result,omitempty"`
+	// DAGID marks events of tasks running as nodes of a dependency
+	// graph (and the graph's own lifecycle events).
+	DAGID DAGID `json:"dag_id,omitempty"`
 	// Time is when the transition was observed by the service.
 	Time time.Time `json:"time,omitzero"`
 }

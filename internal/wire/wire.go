@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"funcx/internal/dag"
 	"funcx/internal/types"
 )
 
@@ -182,6 +183,25 @@ func DecodeEvent(data []byte) (*types.TaskEvent, error) {
 		return nil, fmt.Errorf("wire: decoding event: %w", err)
 	}
 	return &e, nil
+}
+
+// EncodeDAG frames a dependency-graph record for the store (the
+// journaled graph state the service recovers pending edges from).
+func EncodeDAG(g *dag.Graph) []byte {
+	b, err := json.Marshal(g)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshaling dag: %v", err))
+	}
+	return b
+}
+
+// DecodeDAG unframes a dependency-graph record.
+func DecodeDAG(data []byte) (*dag.Graph, error) {
+	var g dag.Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("wire: decoding dag: %w", err)
+	}
+	return &g, nil
 }
 
 // EncodeStatus frames an endpoint status report.
