@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fmt vet bench smoke experiments
+.PHONY: build test race fmt vet lint fuzz bench smoke experiments
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,24 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project's own static-analysis suite (internal/analysis
+# via cmd/funcx-vet): exhaustive protocol/opcode switches, the
+# monotonic-clock trace discipline, statusMu-guarded lifecycle
+# publishes, the metric-family registry, context flow through request
+# paths, and select-guarded channel sends on hot paths. Nonzero on any
+# unsuppressed finding; see README "Static analysis".
+lint:
+	$(GO) run ./cmd/funcx-vet ./...
+
+# fuzz runs the native fuzz targets for the hand-rolled parsers as a
+# short smoke, the same budget CI uses. The checked-in corpora under
+# each package's testdata/fuzz/ also replay in plain `go test`.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/promtext
+	$(GO) test -fuzz=FuzzReplay -fuzztime=$(FUZZTIME) ./internal/wal
 
 # bench runs the control-plane benchmark suite (submit hot path
 # in-memory vs WAL, batch wait, tracing overhead, server-side DAG vs

@@ -74,6 +74,7 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "structured log level: debug|info|warn|error (per-task records log at debug)")
 		noTrace   = flag.Bool("no-trace", false, "disable per-task lifecycle tracing (timelines, stage histograms, GET /v1/tasks/{id}/trace)")
 		traceRate = flag.Float64("trace-sample", 0, "fraction of tasks recording trace timelines, deterministic by task-id hash; DAG nodes sample together by graph id (0 or >=1 traces everything, negative traces nothing)")
+		dagKeep   = flag.Duration("dag-retention", 0, "how long a finished DAG stays queryable via GET /v1/dags/{id} before eviction (0 = 15m default, negative = retain forever)")
 	)
 	flag.Parse()
 
@@ -96,6 +97,7 @@ func main() {
 		SnapshotInterval:  *snapEvery,
 		DisableTrace:      *noTrace,
 		TraceSampleRate:   *traceRate,
+		DAGRetention:      *dagKeep,
 		Logger:            logger,
 	}
 	if (*shardID == "") != (*ringPath == "") {

@@ -1,0 +1,80 @@
+// funcx-vet runs the project's static-analysis suite
+// (internal/analysis) over the given package patterns and exits
+// nonzero when any unsuppressed finding remains. It is wired into
+// `make lint` and CI; see the README "Static analysis" section for
+// what each analyzer enforces and how `//funcx:ignore` directives
+// work.
+//
+// Usage:
+//
+//	funcx-vet [-v] [-list] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"funcx/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also print suppressed findings with their justifications")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("C", ".", "directory to run in (module root)")
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "funcx-vet:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, suite, analysis.Options{CheckIgnores: true})
+	unsuppressed := 0
+	perAnalyzer := make(map[string][2]int) // name -> {unsuppressed, suppressed}
+	for _, d := range diags {
+		counts := perAnalyzer[d.Analyzer]
+		if d.Suppressed {
+			counts[1]++
+			if *verbose {
+				fmt.Println(d)
+			}
+		} else {
+			counts[0]++
+			unsuppressed++
+			fmt.Println(d)
+		}
+		perAnalyzer[d.Analyzer] = counts
+	}
+
+	if *verbose {
+		names := make([]string, 0, len(perAnalyzer))
+		for name := range perAnalyzer {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := perAnalyzer[name]
+			fmt.Fprintf(os.Stderr, "%-16s %d finding(s), %d suppressed\n", name, c[0], c[1])
+		}
+	}
+
+	if unsuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "funcx-vet: %d unsuppressed finding(s) in %d package(s)\n", unsuppressed, len(pkgs))
+		os.Exit(1)
+	}
+}

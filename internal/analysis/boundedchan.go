@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AnalyzerBoundedChan enforces the PR 4 agent-outbox discipline on
+// the fabric's hot paths: a bare `ch <- v` in service, forwarder,
+// endpoint, manager, or events code blocks the sender forever if the
+// receiver is gone or slow — a stalled agent outbox once wedged the
+// whole dispatch loop this way. Sends in these packages must sit
+// inside a select (pairing them with a shutdown/timeout arm or a
+// drop-path default); a send that is provably bounded for another
+// reason carries a justified ignore directive.
+var AnalyzerBoundedChan = &Analyzer{
+	Name: "boundedchan",
+	Doc:  "channel sends on hot paths are select-guarded, never bare",
+	Run:  runBoundedChan,
+}
+
+var boundedChanPackages = []string{
+	"funcx/internal/service",
+	"funcx/internal/forwarder",
+	"funcx/internal/endpoint",
+	"funcx/internal/manager",
+	"funcx/internal/events",
+}
+
+func runBoundedChan(pass *Pass) {
+	if !pkgPathIn(pass.Path, boundedChanPackages...) {
+		return
+	}
+	for _, file := range pass.Files {
+		// Sends appearing as a select clause's comm statement are the
+		// guarded form; collect them first, then flag the rest.
+		guarded := make(map[*ast.SendStmt]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			for _, clause := range sel.Body.List {
+				if comm, ok := clause.(*ast.CommClause); ok {
+					if send, ok := comm.Comm.(*ast.SendStmt); ok {
+						guarded[send] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if !guarded[send] {
+				pass.Reportf(send.Pos(), "bare channel send on a hot path; wrap it in a select with a shutdown/timeout/drop arm")
+			}
+			return true
+		})
+	}
+}

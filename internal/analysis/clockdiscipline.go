@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerClockDiscipline enforces the monotonic-clock trace
+// discipline from PR 7. Two rules:
+//
+//  1. internal/trace never reads the wall clock: no time.Now or
+//     time.Since anywhere in the package. Timelines stamp offsets
+//     against the injected anchor (time.Since over a captured anchor
+//     lives at the collector boundary, not in this package), so a
+//     wall-clock read here is exactly the skew bug the subsystem was
+//     built to prevent.
+//  2. Delta computation across wire-crossing timestamps is forbidden
+//     in the fabric packages: `time.Since(x)` or `y.Sub(x)` where x
+//     is a time.Time field of a struct that travels over the wire
+//     (types.Task, types.Result, types.TaskEvent, types.ScalingAdvice,
+//     types.EndpointStatus) mixes two machines' wall clocks — JSON
+//     serialization strips the monotonic reading, so the difference
+//     measures clock skew, not elapsed time. Endpoint stages ship
+//     back as local monotonic deltas (types.TraceDeltas) instead.
+var AnalyzerClockDiscipline = &Analyzer{
+	Name: "clockdiscipline",
+	Doc:  "no wall-clock reads in trace stamp paths; no deltas across wire-crossing timestamps",
+	Run:  runClockDiscipline,
+}
+
+// clockStampPackages never touch the wall clock at all.
+var clockStampPackages = []string{"funcx/internal/trace"}
+
+// clockDeltaPackages may read the wall clock but must not difference
+// wire-carried timestamps.
+var clockDeltaPackages = []string{
+	"funcx/internal/service",
+	"funcx/internal/forwarder",
+	"funcx/internal/manager",
+	"funcx/internal/endpoint",
+	"funcx/internal/worker",
+}
+
+// wireTimeStructs are the types.* structs whose time.Time fields cross
+// machine boundaries in JSON.
+var wireTimeStructs = map[string]bool{
+	"Task":           true,
+	"Result":         true,
+	"TaskEvent":      true,
+	"ScalingAdvice":  true,
+	"EndpointStatus": true,
+}
+
+func runClockDiscipline(pass *Pass) {
+	stampScope := pkgPathIn(pass.Path, clockStampPackages...)
+	deltaScope := pkgPathIn(pass.Path, clockDeltaPackages...)
+	if !stampScope && !deltaScope {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if stampScope {
+				if name := timeFuncName(pass.Info, call); name == "Now" || name == "Since" {
+					pass.Reportf(call.Pos(), "wall-clock read (time.%s) in a trace stamp path; stamp offsets against the injected monotonic anchor", name)
+				}
+				return true
+			}
+			// Delta rules.
+			if timeFuncName(pass.Info, call) == "Since" && len(call.Args) == 1 {
+				if recv, field, ok := wireTimestampField(pass.Info, call.Args[0]); ok {
+					pass.Reportf(call.Pos(), "time.Since over wire-crossing timestamp %s.%s measures clock skew, not elapsed time; ship a local monotonic delta instead", recv, field)
+				}
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sub" && len(call.Args) == 1 {
+				if t, ok := pass.Info.Types[sel.X]; ok && isTimeTime(t.Type) {
+					if recv, field, ok := wireTimestampField(pass.Info, sel.X); ok {
+						pass.Reportf(call.Pos(), "Sub on wire-crossing timestamp %s.%s mixes two machines' wall clocks; ship a local monotonic delta instead", recv, field)
+					} else if recv, field, ok := wireTimestampField(pass.Info, call.Args[0]); ok {
+						pass.Reportf(call.Pos(), "Sub against wire-crossing timestamp %s.%s mixes two machines' wall clocks; ship a local monotonic delta instead", recv, field)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// timeFuncName returns the function name when call is a direct call
+// into package time ("Now", "Since", ...), else "".
+func timeFuncName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return ""
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return ""
+	}
+	return obj.Name()
+}
+
+// wireTimestampField reports whether expr selects a time.Time field of
+// one of the wire-crossing types.* structs, returning the struct and
+// field names.
+func wireTimestampField(info *types.Info, expr ast.Expr) (recv, field string, ok bool) {
+	sel, isSel := expr.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	selection, isField := info.Selections[sel]
+	if !isField || selection.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	if !isTimeTime(selection.Type()) {
+		return "", "", false
+	}
+	named := namedOf(selection.Recv())
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "funcx/internal/types" {
+		return "", "", false
+	}
+	if !wireTimeStructs[named.Obj().Name()] {
+		return "", "", false
+	}
+	return named.Obj().Name(), sel.Sel.Name, true
+}
+
+func isTimeTime(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Time"
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCtxFlow forbids minting fresh root contexts inside the
+// request-handling packages: a `context.Background()` or
+// `context.TODO()` in service, forwarder, or sdk code detaches the
+// work from the caller's deadline and cancellation, so a hung
+// downstream call can no longer be abandoned by the client that
+// asked for it. Contexts must flow from the caller; the few
+// legitimate roots (the service's own lifetime context minted in
+// Open, the SDK's client-scoped stream consumer) carry justified
+// ignore directives.
+var AnalyzerCtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "no context.Background/TODO in request paths; contexts flow from the caller",
+	Run:  runCtxFlow,
+}
+
+var ctxFlowPackages = []string{
+	"funcx/internal/service",
+	"funcx/internal/forwarder",
+	"funcx/internal/sdk",
+}
+
+func runCtxFlow(pass *Pass) {
+	if !pkgPathIn(pass.Path, ctxFlowPackages...) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel]
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			if name := obj.Name(); name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(), "context.%s mints a root context in a request path; thread the caller's context instead", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerExhaustive enforces `//funcx:exhaustive` contracts on value
+// switches. A directive
+//
+//	//funcx:exhaustive <pkgpath>.<TypeName> [ignore=ConstA,ConstB]
+//	//funcx:exhaustive <pkgpath>.<prefix>* [ignore=...]
+//
+// on the line above a switch requires every package-level constant of
+// the named type (or every constant whose name starts with prefix) to
+// appear as a case, except those consciously excluded via ignore=.
+// Deleting a dispatch arm for a wire frame type or a WAL op code — or
+// adding a new constant without deciding where it dispatches — fails
+// the build.
+var AnalyzerExhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "annotated protocol/opcode switches must cover every constant of their family",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	for _, file := range pass.Files {
+		dirs := Directives(pass.Fset, file)
+		matched := make(map[int]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			d, ok := DirectiveAt(dirs, pass.Fset, sw.Pos(), "exhaustive")
+			if !ok {
+				return true
+			}
+			matched[d.Line] = true
+			checkExhaustiveSwitch(pass, sw, d)
+			return true
+		})
+		for _, d := range dirs {
+			if d.Name == "exhaustive" && !matched[d.Line] {
+				pass.Reportf(d.Pos, "exhaustive directive is not attached to a switch statement")
+			}
+		}
+	}
+}
+
+func checkExhaustiveSwitch(pass *Pass, sw *ast.SwitchStmt, d Directive) {
+	familyRef, opts, _ := strings.Cut(d.Args, " ")
+	ignored := make(map[string]bool)
+	for _, opt := range strings.Fields(opts) {
+		if v, ok := strings.CutPrefix(opt, "ignore="); ok {
+			for _, name := range strings.Split(v, ",") {
+				if name != "" {
+					ignored[name] = true
+				}
+			}
+		} else {
+			pass.Reportf(sw.Pos(), "exhaustive directive has unknown option %q", opt)
+		}
+	}
+	dot := strings.LastIndex(familyRef, ".")
+	if dot < 0 {
+		pass.Reportf(sw.Pos(), "exhaustive directive needs a <pkgpath>.<TypeName> or <pkgpath>.<prefix>* family, got %q", familyRef)
+		return
+	}
+	famPath, famName := familyRef[:dot], familyRef[dot+1:]
+	famPkg := findPackage(pass.Pkg, famPath)
+	if famPkg == nil {
+		pass.Reportf(sw.Pos(), "exhaustive family package %q is not imported here", famPath)
+		return
+	}
+	family := familyConstants(famPkg, famName)
+	if len(family) == 0 {
+		pass.Reportf(sw.Pos(), "exhaustive family %q has no constants in %s", famName, famPath)
+		return
+	}
+
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range clause.List {
+			if c := constOf(pass.Info, expr); c != nil && c.Pkg() != nil && c.Pkg().Path() == famPath {
+				covered[c.Name()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, name := range family {
+		switch {
+		case covered[name] && ignored[name]:
+			pass.Reportf(sw.Pos(), "ignore-listed constant %s is handled by the switch; drop it from ignore=", name)
+		case !covered[name] && !ignored[name]:
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch on family %s is missing cases for %s (handle them or add to ignore= with intent)",
+			familyRef, strings.Join(missing, ", "))
+	}
+	for name := range ignored {
+		if !constHasName(family, name) {
+			pass.Reportf(sw.Pos(), "ignore-listed constant %s does not exist in family %s", name, familyRef)
+		}
+	}
+}
+
+// findPackage resolves an import path to its *types.Package: the
+// current package, or any (transitive) import.
+func findPackage(root *types.Package, path string) *types.Package {
+	if root.Path() == path {
+		return root
+	}
+	seen := map[*types.Package]bool{root: true}
+	queue := root.Imports()
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if p.Path() == path {
+			return p
+		}
+		queue = append(queue, p.Imports()...)
+	}
+	return nil
+}
+
+// familyConstants returns the sorted names of the package-level
+// constants in the family: those of named type `name`, or — when name
+// ends in '*' — those whose name begins with the prefix.
+func familyConstants(pkg *types.Package, name string) []string {
+	prefix, prefixMode := strings.CutSuffix(name, "*")
+	scope := pkg.Scope()
+	var out []string
+	for _, n := range scope.Names() {
+		c, ok := scope.Lookup(n).(*types.Const)
+		if !ok {
+			continue
+		}
+		if prefixMode {
+			if strings.HasPrefix(n, prefix) {
+				out = append(out, n)
+			}
+			continue
+		}
+		if named, ok := c.Type().(*types.Named); ok &&
+			named.Obj().Name() == name && named.Obj().Pkg() == pkg {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func constHasName(family []string, name string) bool {
+	for _, n := range family {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

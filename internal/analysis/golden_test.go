@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The golden harness type-checks testdata packages against the real
+// module's export data, so seeded violations can reference actual
+// funcx packages (types, api, transport) and the path-scoped
+// analyzers can be exercised under their production import paths.
+
+var (
+	goldenLookupOnce sync.Once
+	goldenLookup     *ExportLookup
+	goldenLookupErr  error
+)
+
+func exportLookup(t *testing.T) *ExportLookup {
+	t.Helper()
+	goldenLookupOnce.Do(func() {
+		goldenLookup, goldenLookupErr = NewExportLookup("../..", "./...")
+	})
+	if goldenLookupErr != nil {
+		t.Fatalf("building export lookup: %v", goldenLookupErr)
+	}
+	return goldenLookup
+}
+
+// loadGolden parses and type-checks testdata/src/<dir> under the given
+// import path.
+func loadGolden(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	root := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(root, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", root)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: exportLookup(t).Importer(fset)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", dir, err)
+	}
+	return &Package{Path: importPath, Dir: root, Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// wantComment matches `// want "regex"` markers in testdata.
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// runGolden runs one analyzer over a testdata package and matches the
+// unsuppressed diagnostics against the `// want "regex"` markers,
+// line by line: every want must be hit, every diagnostic must be
+// wanted.
+func runGolden(t *testing.T, a *Analyzer, dir, importPath string, opts Options) {
+	t.Helper()
+	pkg := loadGolden(t, dir, importPath)
+	diags := Run([]*Package{pkg}, []*Analyzer{a}, opts)
+
+	type want struct {
+		re  *regexp.Regexp
+		hit bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> patterns
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					re, err := regexp.Compile(strings.ReplaceAll(m[1], `\"`, `"`))
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					key := posKey(pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		key := posKey(d.Position.Filename, d.Position.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.hit && w.re.MatchString(d.Analyzer+": "+d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.hit {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+func posKey(file string, line int) string {
+	return filepath.Base(file) + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// A Package is one loaded, parsed, and type-checked package ready for
+// analysis. Test files are excluded (analyzers enforce production
+// invariants; tests use wall clocks and bare sends freely).
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes
+// the JSON object stream.
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", args, err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportLookup resolves import paths to compiled export data via the
+// build cache. Since Go 1.20 the standard library ships as source
+// only, so stdlib paths need export data from the cache exactly like
+// module packages do; misses fall back to a one-package `go list
+// -export` call.
+type ExportLookup struct {
+	dir string
+	mu  sync.Mutex
+	m   map[string]string
+}
+
+// NewExportLookup seeds the lookup with export data for every package
+// reachable from the patterns (typically "./...").
+func NewExportLookup(dir string, patterns ...string) (*ExportLookup, error) {
+	args := append([]string{"-export", "-deps", "-json=ImportPath,Export"}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	l := &ExportLookup{dir: dir, m: make(map[string]string, len(pkgs))}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.m[p.ImportPath] = p.Export
+		}
+	}
+	return l, nil
+}
+
+// Lookup implements the gc importer's lookup contract.
+func (l *ExportLookup) Lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.m[path]
+	l.mu.Unlock()
+	if !ok {
+		pkgs, err := goList(l.dir, "-export", "-json=ImportPath,Export", path)
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %w", path, err)
+		}
+		for _, p := range pkgs {
+			if p.ImportPath == path && p.Export != "" {
+				file = p.Export
+			}
+		}
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		l.mu.Lock()
+		l.m[path] = file
+		l.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+// Importer returns a types.Importer backed by the lookup.
+func (l *ExportLookup) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", l.Lookup)
+}
+
+// newInfo allocates the types.Info maps analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// Load discovers packages matching the patterns under dir, parses
+// their non-test files, and type-checks them from source against
+// export data for their dependencies.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	lookup, err := NewExportLookup(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := lookup.Importer(fset)
+	var out []*Package
+	for _, root := range roots {
+		if root.Standard || len(root.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range root.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(root.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(root.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", root.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:  root.ImportPath,
+			Dir:   root.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerMetricNames is the static sibling of the runtime promtext
+// validation: every `funcx_*` family the metrics writer emits must be
+// declared exactly once in the central registry (the map literal
+// marked `//funcx:metric-registry`), carry a Prometheus-legal name,
+// use the declared kind, and — when it mirrors a /v1/stats counter —
+// name a real field of the api stats surface, so the exposition and
+// the JSON stats API cannot drift apart silently.
+var AnalyzerMetricNames = &Analyzer{
+	Name: "metricnames",
+	Doc:  "every funcx_* metric family is declared once in the registry, legally named, and stats-backed",
+	Run:  runMetricNames,
+}
+
+var metricNamePackages = []string{"funcx/internal/service"}
+
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// registryEntry is one parsed registry declaration.
+type registryEntry struct {
+	pos     token.Pos
+	kind    string
+	stats   string
+	emitted bool
+}
+
+func runMetricNames(pass *Pass) {
+	if !pkgPathIn(pass.Path, metricNamePackages...) {
+		return
+	}
+	registry, regPos := metricRegistry(pass)
+
+	type emission struct {
+		pos  token.Pos
+		name string
+		kind string
+	}
+	var emissions []emission
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := stringLit(call.Args[0])
+			if !ok || !strings.HasPrefix(name, "funcx_") {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "counter", "gauge":
+				emissions = append(emissions, emission{call.Args[0].Pos(), name, sel.Sel.Name})
+			case "header":
+				kind := ""
+				if len(call.Args) > 1 {
+					kind, _ = stringLit(call.Args[1])
+				}
+				emissions = append(emissions, emission{call.Args[0].Pos(), name, kind})
+			}
+			return true
+		})
+	}
+
+	if registry == nil {
+		if len(emissions) > 0 {
+			pass.Reportf(emissions[0].pos, "package emits funcx_* metric families but declares no //funcx:metric-registry map")
+		}
+		return
+	}
+
+	for _, e := range emissions {
+		entry, ok := registry[e.name]
+		if !ok {
+			pass.Reportf(e.pos, "metric family %q is not declared in the //funcx:metric-registry map", e.name)
+			continue
+		}
+		entry.emitted = true
+		if entry.kind != e.kind {
+			pass.Reportf(e.pos, "metric family %q emitted as %s but registered as %s", e.name, e.kind, entry.kind)
+		}
+	}
+
+	for name, entry := range registry {
+		if !promNameRE.MatchString(name) || !strings.HasPrefix(name, "funcx_") {
+			pass.Reportf(entry.pos, "metric family %q is not a legal funcx_-prefixed Prometheus name", name)
+		}
+		if entry.kind == "counter" && !strings.HasSuffix(name, "_total") {
+			pass.Reportf(entry.pos, "counter family %q must end in _total", name)
+		}
+		if !entry.emitted {
+			pass.Reportf(entry.pos, "registered metric family %q is never emitted by the metrics writer", name)
+		}
+		if entry.stats != "" {
+			if err := checkStatsRef(pass.Pkg, entry.stats); err != "" {
+				pass.Reportf(entry.pos, "metric family %q: %s", name, err)
+			}
+		}
+	}
+	_ = regPos
+}
+
+// metricRegistry locates the map literal tagged //funcx:metric-registry
+// and parses its entries. Returns nil when the package declares none.
+func metricRegistry(pass *Pass) (map[string]*registryEntry, token.Pos) {
+	for _, file := range pass.Files {
+		dirs := Directives(pass.Fset, file)
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				continue
+			}
+			if _, ok := DirectiveAt(dirs, pass.Fset, gen.Pos(), "metric-registry"); !ok {
+				continue
+			}
+			reg := make(map[string]*registryEntry)
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					lit, ok := val.(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						name, ok := stringLit(kv.Key)
+						if !ok {
+							continue
+						}
+						entry := &registryEntry{pos: kv.Key.Pos()}
+						if inner, ok := kv.Value.(*ast.CompositeLit); ok {
+							for _, f := range inner.Elts {
+								fkv, ok := f.(*ast.KeyValueExpr)
+								if !ok {
+									continue
+								}
+								fieldName, _ := fkv.Key.(*ast.Ident)
+								v, _ := stringLit(fkv.Value)
+								if fieldName == nil {
+									continue
+								}
+								switch fieldName.Name {
+								case "kind":
+									entry.kind = v
+								case "stats":
+									entry.stats = v
+								}
+							}
+						}
+						reg[name] = entry
+					}
+				}
+			}
+			return reg, gen.Pos()
+		}
+	}
+	return nil, token.NoPos
+}
+
+// checkStatsRef validates a "Struct.Field" reference against the
+// funcx/internal/api stats surface. Returns an error description or
+// "".
+func checkStatsRef(pkg *types.Package, ref string) string {
+	structName, fieldName, ok := strings.Cut(ref, ".")
+	if !ok {
+		return "stats reference " + strconv.Quote(ref) + " is not of the form Struct.Field"
+	}
+	switch structName {
+	case "StatsResponse", "EndpointStats", "WALStats":
+	default:
+		return "stats reference names unknown struct " + strconv.Quote(structName)
+	}
+	api := findPackage(pkg, "funcx/internal/api")
+	if api == nil {
+		return "funcx/internal/api is not imported; cannot verify stats reference"
+	}
+	obj := api.Scope().Lookup(structName)
+	if obj == nil {
+		return "struct " + structName + " not found in funcx/internal/api"
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return structName + " is not a struct"
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == fieldName {
+			return ""
+		}
+	}
+	return "stats field api." + structName + "." + fieldName + " does not exist; the exposition and /v1/stats have drifted"
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

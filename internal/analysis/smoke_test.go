@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestLoadSmoke(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/transport", "./internal/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		t.Logf("loaded %s (%d files)", p.Path, len(p.Files))
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+}

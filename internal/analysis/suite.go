@@ -1,0 +1,13 @@
+package analysis
+
+// All returns the full funcx-vet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerExhaustive,
+		AnalyzerClockDiscipline,
+		AnalyzerStatusGuard,
+		AnalyzerMetricNames,
+		AnalyzerCtxFlow,
+		AnalyzerBoundedChan,
+	}
+}

@@ -1,0 +1,11 @@
+// Seeded violation: a bare channel send on a hot path blocks forever
+// when the receiver is gone.
+package endpoint
+
+func push(ch chan int, done chan struct{}) {
+	ch <- 1 // want "bare channel send"
+	select {
+	case ch <- 2:
+	case <-done:
+	}
+}

@@ -1,0 +1,14 @@
+// Corrected form: every send is select-guarded with a shutdown or
+// drop arm.
+package endpoint
+
+func push(ch chan int, done chan struct{}) {
+	select {
+	case ch <- 1:
+	case <-done:
+	}
+	select {
+	case ch <- 2:
+	default: // drop path
+	}
+}

@@ -1,0 +1,16 @@
+// Seeded violation: durations computed across wire-crossing
+// timestamps. JSON strips the monotonic reading, so these deltas
+// measure clock skew between machines, not elapsed time.
+package manager
+
+import (
+	"time"
+
+	"funcx/internal/types"
+)
+
+func skew(t *types.Task, r *types.Result) time.Duration {
+	d := time.Since(t.Submitted)      // want "wire-crossing timestamp Task.Submitted"
+	d += r.Completed.Sub(t.Submitted) // want "wire-crossing timestamp Result.Completed"
+	return d
+}

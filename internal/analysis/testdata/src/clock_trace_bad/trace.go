@@ -1,0 +1,16 @@
+// Seeded violation: wall-clock reads inside the trace package, the
+// exact skew bug the monotonic stamp discipline forbids.
+package trace
+
+import "time"
+
+type Timeline struct {
+	Start  time.Time
+	Stamps []time.Duration
+}
+
+func stamp(tl *Timeline) {
+	now := time.Now() // want "wall-clock read"
+	_ = now
+	tl.Stamps = append(tl.Stamps, time.Since(tl.Start)) // want "wall-clock read"
+}

@@ -1,0 +1,14 @@
+// Corrected form: the trace package never touches the clock; offsets
+// arrive from the caller, measured against the injected anchor.
+package trace
+
+import "time"
+
+type Timeline struct {
+	Start  time.Time
+	Stamps []time.Duration
+}
+
+func stamp(tl *Timeline, offset time.Duration) {
+	tl.Stamps = append(tl.Stamps, offset)
+}

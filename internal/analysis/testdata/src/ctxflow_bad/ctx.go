@@ -1,0 +1,10 @@
+// Seeded violation: root contexts minted inside a request path.
+package forwarder
+
+import "context"
+
+func handle() context.Context {
+	ctx := context.Background() // want "context.Background mints a root context"
+	_ = context.TODO()          // want "context.TODO mints a root context"
+	return ctx
+}

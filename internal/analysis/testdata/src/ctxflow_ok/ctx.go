@@ -1,0 +1,12 @@
+// Corrected form: the context flows in from the caller and derived
+// contexts chain from it.
+package forwarder
+
+import (
+	"context"
+	"time"
+)
+
+func handle(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second)
+}

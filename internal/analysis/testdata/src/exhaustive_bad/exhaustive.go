@@ -1,0 +1,58 @@
+// Seeded violations for the exhaustive analyzer: a missing typed-
+// family arm, a missing prefix-family arm, a phantom ignore entry,
+// an ignore entry that is actually handled, and a missing arm on a
+// real cross-package family (transport.MsgType).
+package exhaustive
+
+import "funcx/internal/transport"
+
+type MsgType uint8
+
+const (
+	MsgA MsgType = iota + 1
+	MsgB
+	MsgC
+)
+
+const (
+	opX byte = iota + 1
+	opY
+)
+
+func dispatch(t MsgType) string {
+	//funcx:exhaustive funcx/test/exhaustive.MsgType
+	switch t { // want "missing cases for MsgC"
+	case MsgA:
+		return "a"
+	case MsgB:
+		return "b"
+	}
+	return ""
+}
+
+func replay(code byte) bool {
+	//funcx:exhaustive funcx/test/exhaustive.op* ignore=opZ
+	switch code { // want "missing cases for opY" // want "opZ does not exist"
+	case opX:
+		return true
+	}
+	return false
+}
+
+func staleIgnore(t MsgType) bool {
+	//funcx:exhaustive funcx/test/exhaustive.MsgType ignore=MsgA,MsgC
+	switch t { // want "MsgA is handled by the switch"
+	case MsgA, MsgB:
+		return true
+	}
+	return false
+}
+
+func wireDispatch(t transport.MsgType) bool {
+	//funcx:exhaustive funcx/internal/transport.MsgType ignore=MsgRegisterAck,MsgTaskBatch,MsgResult,MsgHeartbeat,MsgCapacity,MsgTaskRequest,MsgSuspend,MsgShutdown,MsgStatus,MsgAdvice,MsgRunning
+	switch t { // want "missing cases for MsgTask"
+	case transport.MsgRegister:
+		return true
+	}
+	return false
+}

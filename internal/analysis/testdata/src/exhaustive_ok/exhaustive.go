@@ -1,0 +1,51 @@
+// Corrected forms of the exhaustive_bad violations: every family
+// member is either handled or consciously ignore-listed.
+package exhaustive
+
+import "funcx/internal/transport"
+
+type MsgType uint8
+
+const (
+	MsgA MsgType = iota + 1
+	MsgB
+	MsgC
+)
+
+const (
+	opX byte = iota + 1
+	opY
+)
+
+func dispatch(t MsgType) string {
+	//funcx:exhaustive funcx/test/exhaustive.MsgType
+	switch t {
+	case MsgA:
+		return "a"
+	case MsgB:
+		return "b"
+	case MsgC:
+		return "c"
+	}
+	return ""
+}
+
+func replay(code byte) bool {
+	//funcx:exhaustive funcx/test/exhaustive.op* ignore=opY
+	switch code {
+	case opX:
+		return true
+	}
+	return false
+}
+
+func wireDispatch(t transport.MsgType) bool {
+	//funcx:exhaustive funcx/internal/transport.MsgType ignore=MsgRegisterAck,MsgTaskBatch,MsgResult,MsgHeartbeat,MsgCapacity,MsgTaskRequest,MsgSuspend,MsgShutdown,MsgStatus,MsgAdvice,MsgRunning
+	switch t {
+	case transport.MsgRegister:
+		return true
+	case transport.MsgTask:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+// One line that violates two analyzers: the ignore directive above it
+// names only ctxflow, so boundedchan must still fire — directives
+// suppress exactly their named analyzer. The stale directive below
+// suppresses nothing and is itself a finding when ignore checking is
+// on.
+package service
+
+import "context"
+
+func mixed(ch chan context.Context) {
+	//funcx:ignore ctxflow seeded justification: this root context is the test fixture.
+	ch <- context.Background()
+}
+
+func clean(ch chan int) {
+	//funcx:ignore ctxflow stale: nothing on the next line triggers ctxflow.
+	select {
+	case ch <- 1:
+	default:
+	}
+}

@@ -1,0 +1,35 @@
+// Seeded violations for the metric-registry contract: an emission
+// missing from the registry, a kind mismatch, a ghost registration,
+// an illegal family name, a counter without _total, and a stats
+// reference naming a field the api surface no longer has.
+package service
+
+import "funcx/internal/api"
+
+type promWriter struct{}
+
+func (p *promWriter) header(name, typ, help string)        {}
+func (p *promWriter) counter(name, help string, v float64) {}
+func (p *promWriter) gauge(name, help string, v float64)   {}
+
+type metricFamily struct{ kind, stats string }
+
+//funcx:metric-registry
+var metricFamilies = map[string]metricFamily{
+	"funcx_good_total":  {kind: "counter", stats: "StatsResponse.Submitted"},
+	"funcx_ghost":       {kind: "gauge"},                                     // want "never emitted"
+	"funcx_bad_counter": {kind: "counter"},                                   // want "must end in _total"
+	"funcx-illegal":     {kind: "gauge"},                                     // want "not a legal" // want "never emitted"
+	"funcx_drifted":     {kind: "gauge", stats: "StatsResponse.NoSuchField"}, // want "does not exist"
+	"funcx_wrongkind":   {kind: "gauge"},
+}
+
+var _ = api.StatsResponse{}
+
+func emit(p *promWriter) {
+	p.counter("funcx_good_total", "good", 1)
+	p.counter("funcx_bad_counter", "bad suffix", 1)
+	p.gauge("funcx_drifted", "drifted stats ref", 1)
+	p.counter("funcx_unregistered_total", "missing from registry", 1) // want "not declared"
+	p.counter("funcx_wrongkind", "kind mismatch", 1)                  // want "emitted as counter but registered as gauge"
+}

@@ -1,0 +1,29 @@
+// Corrected form: every emitted family is registered with the right
+// kind, every registration is emitted, names are legal, and stats
+// references resolve against the real api structs.
+package service
+
+import "funcx/internal/api"
+
+type promWriter struct{}
+
+func (p *promWriter) header(name, typ, help string)        {}
+func (p *promWriter) counter(name, help string, v float64) {}
+func (p *promWriter) gauge(name, help string, v float64)   {}
+
+type metricFamily struct{ kind, stats string }
+
+//funcx:metric-registry
+var metricFamilies = map[string]metricFamily{
+	"funcx_good_total":    {kind: "counter", stats: "StatsResponse.Submitted"},
+	"funcx_depth":         {kind: "gauge", stats: "EndpointStats.Queued"},
+	"funcx_stage_seconds": {kind: "histogram"},
+}
+
+var _ = api.StatsResponse{}
+
+func emit(p *promWriter) {
+	p.counter("funcx_good_total", "good", 1)
+	p.gauge("funcx_depth", "depth", 1)
+	p.header("funcx_stage_seconds", "histogram", "stages")
+}

@@ -1,0 +1,44 @@
+// Seeded violations: status-record writes and lifecycle publishes
+// reachable without holding statusMu, including a lock released on
+// the fall-through path and a goroutine launched under the lock.
+package service
+
+import "sync"
+
+const statusHash = "status"
+
+type hashT struct{}
+
+func (hashT) Set(k string, v []byte) {}
+func (hashT) Del(k string)           {}
+
+type storeT struct{}
+
+func (storeT) Hash(name string) hashT { return hashT{} }
+
+type Service struct {
+	statusMu sync.Mutex
+	Store    storeT
+}
+
+func (s *Service) publish(ev string) {}
+
+func (s *Service) unguarded(id string) {
+	s.Store.Hash(statusHash).Set(id, nil) // want "status-record Set outside statusMu"
+	s.publish("queued")                   // want "lifecycle publish outside statusMu"
+}
+
+func (s *Service) releasedTooEarly(id string) {
+	s.statusMu.Lock()
+	s.Store.Hash(statusHash).Set(id, nil)
+	s.statusMu.Unlock()
+	s.publish("late") // want "lifecycle publish outside statusMu"
+}
+
+func (s *Service) goroutineUnderLock(id string) {
+	s.statusMu.Lock()
+	defer s.statusMu.Unlock()
+	go func() {
+		s.Store.Hash(statusHash).Del(id) // want "status-record Del outside statusMu"
+	}()
+}

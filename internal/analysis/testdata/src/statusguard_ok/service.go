@@ -1,0 +1,56 @@
+// Corrected forms: deferred unlock, early-exit unlock that keeps the
+// fall-through guarded, a caller-holds helper, and writes to an
+// untracked hash.
+package service
+
+import "sync"
+
+const (
+	statusHash  = "status"
+	resultsHash = "results"
+)
+
+type hashT struct{}
+
+func (hashT) Set(k string, v []byte) {}
+func (hashT) Del(k string)           {}
+
+type storeT struct{}
+
+func (storeT) Hash(name string) hashT { return hashT{} }
+
+type Service struct {
+	statusMu sync.Mutex
+	Store    storeT
+}
+
+func (s *Service) publish(ev string) {}
+
+func (s *Service) guarded(id string) {
+	s.statusMu.Lock()
+	defer s.statusMu.Unlock()
+	s.Store.Hash(statusHash).Set(id, nil)
+	s.publish("queued")
+}
+
+func (s *Service) earlyExit(id string, terminal bool) {
+	s.statusMu.Lock()
+	if terminal {
+		s.statusMu.Unlock()
+		return
+	}
+	s.Store.Hash(statusHash).Set(id, nil)
+	s.publish("dispatched")
+	s.statusMu.Unlock()
+}
+
+// helper's contract is that every caller already holds statusMu.
+//
+//funcx:holds statusMu
+func (s *Service) helper(id string) {
+	s.Store.Hash(statusHash).Del(id)
+}
+
+func (s *Service) untracked(id string) {
+	s.Store.Hash(resultsHash).Set(id, nil)
+}

@@ -506,6 +506,9 @@ type StatsResponse struct {
 	DAGDepFailures  int64 `json:"dag_dep_failures,omitempty"`
 	DAGMemoShortcut int64 `json:"dag_memo_shortcuts,omitempty"`
 	DAGsActive      int   `json:"dags_active,omitempty"`
+	// DAGsEvicted counts finished graphs dropped from the DAG table
+	// after outliving Config.DAGRetention.
+	DAGsEvicted int64 `json:"dags_evicted,omitempty"`
 	// StreamPurged counts results dropped from the store early because
 	// their terminal event (with inline result) was delivered on the
 	// owner's live SSE stream — the ack-on-stream purge.

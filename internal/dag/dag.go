@@ -45,13 +45,18 @@ func (s State) Terminal() bool {
 	return s == StateSuccess || s == StateFailed || s == StateLost
 }
 
-// stateOf maps a task's terminal status onto a node state.
+// stateOf maps a task's terminal status onto a node state. Callers
+// only pass terminal statuses; non-terminal input degrades to the
+// default success arm.
 func stateOf(st types.TaskStatus) State {
+	//funcx:exhaustive funcx/internal/types.TaskStatus ignore=TaskPending,TaskQueued,TaskDispatched,TaskRunning,DAGRunning,DAGSuccess,DAGFailed
 	switch st {
 	case types.TaskFailed:
 		return StateFailed
 	case types.TaskLost:
 		return StateLost
+	case types.TaskSuccess:
+		return StateSuccess
 	default:
 		return StateSuccess
 	}

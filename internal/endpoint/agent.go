@@ -390,6 +390,9 @@ func (a *Agent) upstreamLoop(conn transport.Conn) {
 			a.mu.Unlock()
 			return
 		}
+		// Frames the agent consumes from the service's forwarder;
+		// the rest are agent-originated or handshake-only.
+		//funcx:exhaustive funcx/internal/transport.MsgType ignore=MsgRegister,MsgRegisterAck,MsgResult,MsgCapacity,MsgTaskRequest,MsgSuspend,MsgStatus,MsgRunning
 		switch msg.Type {
 		case transport.MsgTask:
 			t, err := wire.DecodeTask(msg.Payload)
@@ -644,6 +647,9 @@ func (a *Agent) manageConn(conn transport.Conn) {
 		a.mu.Lock()
 		st.lastSeen = time.Now()
 		a.mu.Unlock()
+		// Frames the agent relays or absorbs from a manager; the rest
+		// are manager-bound or handshake-only.
+		//funcx:exhaustive funcx/internal/transport.MsgType ignore=MsgRegister,MsgRegisterAck,MsgTask,MsgTaskBatch,MsgTaskRequest,MsgSuspend,MsgShutdown,MsgStatus,MsgAdvice
 		switch msg.Type {
 		case transport.MsgHeartbeat:
 			// lastSeen already refreshed.

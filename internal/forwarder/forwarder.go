@@ -356,6 +356,9 @@ func (f *Forwarder) handleAgent(conn transport.Conn) {
 		f.mu.Lock()
 		f.lastSeen = time.Now()
 		f.mu.Unlock()
+		// Frames the service-side forwarder consumes from an agent;
+		// everything else is agent-bound or handshake-only.
+		//funcx:exhaustive funcx/internal/transport.MsgType ignore=MsgRegister,MsgRegisterAck,MsgTask,MsgTaskBatch,MsgCapacity,MsgTaskRequest,MsgSuspend,MsgShutdown,MsgAdvice
 		switch msg.Type {
 		case transport.MsgHeartbeat:
 			// lastSeen refreshed above.

@@ -254,6 +254,7 @@ func (c *Client) ensureStreamer(base string) (*streamer, error) {
 		c.streamers = make(map[string]*streamer)
 	}
 	if c.streamers[base] == nil {
+		//funcx:ignore ctxflow the stream consumer is client-scoped by design: it outlives any single call and is torn down by Client.Close.
 		ctx, cancel := context.WithCancel(context.Background())
 		st := &streamer{
 			c: c, base: base, ctx: ctx, cancel: cancel,

@@ -138,6 +138,7 @@ func (s *Service) SubmitDAG(owner types.UserID, specs []dag.NodeSpec) (types.DAG
 	for _, key := range g.Order {
 		if n := g.Node(key); !n.External {
 			s.Store.Hash(ownersHash).Set(string(n.TaskID), []byte(owner))
+			//funcx:ignore statusguard pre-go-live: the graph is not yet in s.dags and these node ids are unknown to every dispatcher, so nothing can race the held record.
 			s.Store.Hash(statusHash).Set(string(n.TaskID), []byte(types.TaskPending))
 		}
 	}
@@ -162,11 +163,13 @@ func (s *Service) SubmitDAG(owner types.UserID, specs []dag.NodeSpec) (types.DAG
 
 	for _, key := range g.Order {
 		if n := g.Node(key); !n.External {
+			//funcx:ignore statusguard every node is still Held (no release has run), so no concurrent transition can reorder against these pending events.
 			s.publish(owner, types.TaskEvent{
 				TaskID: n.TaskID, Status: types.TaskPending, DAGID: id, Time: now,
 			})
 		}
 	}
+	//funcx:ignore statusguard DAG lifecycle event for a graph id, not a task status transition; graph state is serialized by dagMu.
 	s.publish(owner, types.TaskEvent{
 		TaskID: types.TaskID(id), Status: types.DAGRunning, DAGID: id, Time: now,
 	})
@@ -487,10 +490,12 @@ func (s *Service) finishDAG(d dagDone) {
 	if d.status != types.TaskSuccess {
 		status = types.DAGFailed
 	}
+	//funcx:ignore statusguard DAG terminal event for a graph id, not a task status record; finishDAG runs once per graph, gated by the node transitions under dagMu that led here.
 	s.publish(d.owner, types.TaskEvent{
 		TaskID: types.TaskID(d.id), Status: status, DAGID: d.id, Time: time.Now(),
 	})
 	s.dagMu.Lock()
+	s.dagDoneAt[d.id] = time.Now()
 	if g := s.dags[d.id]; g != nil {
 		for _, key := range g.Order {
 			n := g.Node(key)
@@ -507,6 +512,57 @@ func (s *Service) finishDAG(d dagDone) {
 	}
 	s.dagMu.Unlock()
 	s.log.Info("dag finished", "dag_id", string(d.id), "status", string(status))
+}
+
+// evictFinishedDAGs periodically drops finished graphs that have been
+// queryable past cfg.DAGRetention, so a long-lived shard's DAG table
+// (and its journaled dag records) stays bounded by the active set plus
+// one retention window of history. An evicted id thereafter answers
+// GET /v1/dags/{id} with 404, exactly like an id that never existed.
+func (s *Service) evictFinishedDAGs() {
+	interval := max(s.cfg.DAGRetention/4, time.Second)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.sweepFinishedDAGs(time.Now().Add(-s.cfg.DAGRetention))
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// sweepFinishedDAGs evicts every graph that finished before cutoff:
+// the in-memory record, any residual routing refs, and the journaled
+// dag record (so a later recovery does not resurrect it). Returns how
+// many graphs were evicted.
+func (s *Service) sweepFinishedDAGs(cutoff time.Time) int {
+	dagsH := s.Store.Hash(dagsHash)
+	s.dagMu.Lock()
+	evicted := 0
+	for id, done := range s.dagDoneAt {
+		if !done.Before(cutoff) {
+			continue
+		}
+		if g := s.dags[id]; g != nil {
+			for _, key := range g.Order {
+				s.dropTaskRefLocked(g.Node(key).TaskID, id)
+			}
+		}
+		delete(s.dags, id)
+		delete(s.dagDoneAt, id)
+		dagsH.Del(string(id))
+		evicted++
+	}
+	s.dagMu.Unlock()
+	if evicted > 0 {
+		s.mu.Lock()
+		s.dagsEvicted += int64(evicted)
+		s.mu.Unlock()
+		s.log.Debug("evicted finished dags", "count", evicted)
+	}
+	return evicted
 }
 
 // dropTaskRefLocked removes one graph's ref from a task's waiter list
@@ -789,6 +845,12 @@ func (s *Service) recoverDAGs() map[types.TaskID]bool {
 			}
 		}
 		s.dags[g.ID] = g
+		if g.Done() {
+			// A graph recovered already-terminal has no finishDAG ahead
+			// of it: stamp it now so the retention sweeper still evicts
+			// it one window after the restart.
+			s.dagDoneAt[g.ID] = time.Now()
+		}
 	}
 	return skip
 }
@@ -831,6 +893,9 @@ func (s *Service) resumeDAGs() {
 				continue
 			}
 			id := string(n.TaskID)
+			// Resume decisions for live nodes; terminal states were
+			// skipped above.
+			//funcx:exhaustive funcx/internal/dag.State ignore=StateSuccess,StateFailed,StateLost
 			switch n.State {
 			case dag.StateReleased:
 				if b, ok := results.Get(id); ok {

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"funcx/internal/api"
+	"funcx/internal/auth"
+	"funcx/internal/dag"
+	"funcx/internal/types"
+)
+
+// finishedGraph registers a single-node terminal graph the way the
+// submit + completion paths would leave it: journaled in dagsHash,
+// present in the table, stamped by finishDAG.
+func finishedGraph(t *testing.T, svc *Service, i int) types.DAGID {
+	t.Helper()
+	id := types.DAGID(fmt.Sprintf("dag-evict-%d", i))
+	g, err := dag.New(id, "alice", []dag.NodeSpec{{Key: "only"}}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Node("only")
+	n.TaskID = types.TaskID(fmt.Sprintf("task-evict-%d", i))
+	g.MarkReleased("only", time.Now())
+	g.Complete("only", dag.Outcome{Status: types.TaskSuccess, At: time.Now()})
+	svc.dagMu.Lock()
+	svc.dags[id] = g
+	// A residual routing ref, as a crash mid-completion can leave.
+	svc.dagByTask[n.TaskID] = append(svc.dagByTask[n.TaskID], dagRef{id: id, key: "only"})
+	svc.persistDAGLocked(g)
+	svc.dagMu.Unlock()
+	svc.finishDAG(dagDone{id: id, owner: "alice", status: types.TaskSuccess})
+	return id
+}
+
+// TestDAGRetentionBoundsGraphTable proves the DAG table stays bounded:
+// graphs finished longer than DAGRetention ago are evicted from the
+// in-memory table, their routing refs, and the journal; the eviction
+// counter advances; and GET /v1/dags/{id} answers 404 afterwards.
+func TestDAGRetentionBoundsGraphTable(t *testing.T) {
+	svc := New(Config{HeartbeatPeriod: 50 * time.Millisecond, DAGRetention: 10 * time.Millisecond})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	token := svc.MintUserToken("alice", auth.ScopeAll)
+
+	const n = 8
+	ids := make([]types.DAGID, 0, n)
+	for i := range n {
+		ids = append(ids, finishedGraph(t, svc, i))
+	}
+
+	// While inside the retention window the graphs stay queryable.
+	var status api.DAGStatusResponse
+	if code := doJSON(t, srv, token, "GET", "/v1/dags/"+string(ids[0]), nil, &status); code != http.StatusOK {
+		t.Fatalf("GET before eviction: %d", code)
+	}
+	if svc.sweepFinishedDAGs(time.Now().Add(-time.Hour)) != 0 {
+		t.Fatal("sweep evicted graphs still inside the retention window")
+	}
+
+	// Past the window every finished graph goes, refs and journal
+	// record included.
+	if got := svc.sweepFinishedDAGs(time.Now()); got != n {
+		t.Fatalf("sweep evicted %d graphs, want %d", got, n)
+	}
+	svc.dagMu.Lock()
+	tableLen, refLen, doneLen := len(svc.dags), len(svc.dagByTask), len(svc.dagDoneAt)
+	_, journaled := svc.Store.Hash(dagsHash).Get(string(ids[0]))
+	svc.dagMu.Unlock()
+	if tableLen != 0 || refLen != 0 || doneLen != 0 {
+		t.Fatalf("residual DAG state after sweep: dags=%d dagByTask=%d dagDoneAt=%d", tableLen, refLen, doneLen)
+	}
+	if journaled {
+		t.Fatal("evicted graph still journaled in dagsHash")
+	}
+
+	for _, id := range ids {
+		if code := doJSON(t, srv, token, "GET", "/v1/dags/"+string(id), nil, nil); code != http.StatusNotFound {
+			t.Fatalf("GET %s after eviction: %d, want 404", id, code)
+		}
+	}
+	st := svc.StatsSnapshot()
+	if st.DAGsEvicted != n {
+		t.Fatalf("DAGsEvicted = %d, want %d", st.DAGsEvicted, n)
+	}
+}

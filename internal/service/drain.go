@@ -306,6 +306,7 @@ func (s *Service) handoffBatch(dst shard.ID, eps []*types.Endpoint, groups []*ty
 		delete(s.inflight, id)
 		s.mu.Unlock()
 		s.Store.Hash(tasksHash).Del(t.ID)
+		//funcx:ignore statusguard drain export: the task now lives on the destination shard and this shard is quiesced for its keys; the delete is a handoff, not a transition.
 		s.Store.Hash(statusHash).Del(t.ID)
 		s.Store.Hash(ownersHash).Del(t.ID)
 	}
@@ -391,6 +392,7 @@ func (s *Service) importHandoff(req *api.ShardHandoffRequest) (*api.ShardHandoff
 		if status == "" {
 			status = string(types.TaskQueued)
 		}
+		//funcx:ignore statusguard handoff import: the task is not yet enqueued on this shard (Push below), so no local transition can race the imported status.
 		s.Store.Hash(statusHash).Set(t.ID, []byte(status))
 		if err := s.Store.Queue(store.TaskQueueName(string(task.EndpointID))).Push(t.Data); err != nil {
 			return nil, fmt.Errorf("service: enqueueing imported task %s: %w", id, err)

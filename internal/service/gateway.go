@@ -505,7 +505,10 @@ func (s *Service) replicateFunction(r *http.Request, method, path string, body a
 		wg.Add(1)
 		go func(peer shard.Info) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
+			// Parented on the service's lifetime, not the inbound
+			// request: the broadcast must finish even if the client
+			// hangs up, but must not outlive shutdown.
+			ctx, cancel := context.WithTimeout(s.ctx, replicateTimeout)
 			defer cancel()
 			s.forwardJSONLane(ctx, r, peer, method, path, body, nil, s.replicateToken) //nolint:errcheck // best-effort broadcast
 		}(peer)

@@ -596,7 +596,7 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	// Ownership is enforced: a capability UUID alone no longer grants
 	// access to another user's result (404, like the event stream's
 	// strict per-user model).
-	res, err := s.ResultFor(claimsOf(r).Subject, id, clampWait(r.URL.Query().Get("wait")))
+	res, err := s.ResultFor(r.Context(), claimsOf(r).Subject, id, clampWait(r.URL.Query().Get("wait")))
 	if err != nil {
 		writeError(w, err)
 		return

@@ -109,6 +109,7 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("funcx_dag_dependency_failures_total", "Typed dependency failures propagated to held descendants.", float64(st.DAGDepFailures))
 	p.counter("funcx_dag_memo_shortcuts_total", "Graph nodes short-circuited wholesale from the memo cache at submit.", float64(st.DAGMemoShortcut))
 	p.gauge("funcx_dag_active", "Dependency graphs currently holding or running nodes.", float64(st.DAGsActive))
+	p.counter("funcx_dag_evicted_total", "Finished graphs evicted from the DAG table after their retention window.", float64(st.DAGsEvicted))
 	p.counter("funcx_stream_purged_total", "Results purged early after inline delivery on the owner's event stream.", float64(st.StreamPurged))
 	p.counter("funcx_elastic_evaluations_total", "Fleet-autoscaler decision rounds.", float64(st.ElasticEvaluations))
 	p.gauge("funcx_event_streams", "Per-user event streams currently held.", float64(st.EventUsers))

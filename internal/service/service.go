@@ -164,6 +164,13 @@ type Config struct {
 	// dataref fabric and travel as references (0 = 64 KiB default,
 	// negative = always inline).
 	DAGInlineLimit int
+	// DAGRetention is how long a finished graph stays queryable via
+	// GET /v1/dags/{id} after its terminal event. Past the window the
+	// graph is evicted from the in-memory table and the journal, so a
+	// long-lived shard's DAG table stays bounded by its active set
+	// plus one retention window of history (0 = 15 minute default,
+	// negative = retain forever, the historical behavior).
+	DAGRetention time.Duration
 	// Logger receives the service's structured logs (nil =
 	// slog.Default()). Per-task records log at Debug with task_id /
 	// endpoint_id attributes so one task greps across the service and
@@ -230,11 +237,14 @@ type Service struct {
 	// dagMu guards the dependency-graph tables. It may be taken alone
 	// or over s.mu, and NEVER across a resultsHash write (the results
 	// watch re-enters the DAG path). dags holds every graph (finished
-	// ones stay for GET /v1/dags/{id}); dagByTask routes a stored
-	// result to the graph nodes waiting on that task id.
+	// ones stay for GET /v1/dags/{id} until DAGRetention expires);
+	// dagByTask routes a stored result to the graph nodes waiting on
+	// that task id; dagDoneAt stamps when each graph finished so the
+	// retention sweeper knows what to evict.
 	dagMu     sync.Mutex
 	dags      map[types.DAGID]*dag.Graph
 	dagByTask map[types.TaskID][]dagRef
+	dagDoneAt map[types.DAGID]time.Time
 
 	// handoffMu guards the drain/handoff key overrides. movedKeys maps
 	// ring keys this shard handed to their importer (the gateway
@@ -283,6 +293,7 @@ type Service struct {
 	// dependency-failure propagations.
 	dagsSubmitted  int64
 	dagsCompleted  int64
+	dagsEvicted    int64
 	dagNodes       int64
 	dagReleases    int64
 	dagDepFailures int64
@@ -344,6 +355,9 @@ func Open(cfg Config) (*Service, error) {
 	if cfg.EventIdleTTL == 0 {
 		cfg.EventIdleTTL = 15 * time.Minute
 	}
+	if cfg.DAGRetention == 0 {
+		cfg.DAGRetention = 15 * time.Minute
+	}
 	if cfg.DispatchLease <= 0 {
 		cfg.DispatchLease = 4 * time.Duration(cfg.HeartbeatMisses) * cfg.HeartbeatPeriod
 	}
@@ -397,6 +411,7 @@ func Open(cfg Config) (*Service, error) {
 		Datarefs:     dataref.NewFabric(),
 		dags:         make(map[types.DAGID]*dag.Graph),
 		dagByTask:    make(map[types.TaskID][]dagRef),
+		dagDoneAt:    make(map[types.DAGID]time.Time),
 	}
 	if !cfg.DisableTrace {
 		s.Trace = trace.NewCollector(cfg.TraceCapacity)
@@ -454,6 +469,7 @@ func Open(cfg Config) (*Service, error) {
 		Status:     s.routingStatus,
 		Push:       s.pushAdvice,
 	})
+	//funcx:ignore ctxflow Open mints the service's root lifetime context; there is no caller context at process start.
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	// Runtime recovery: rebuild the in-flight map, seed event
 	// numbering, reconcile queued/leased tasks against landed results,
@@ -470,6 +486,9 @@ func Open(cfg Config) (*Service, error) {
 	go s.Elastic.Run(s.ctx)
 	if cfg.EventIdleTTL > 0 {
 		go s.evictIdleEventStreams()
+	}
+	if cfg.DAGRetention > 0 {
+		go s.evictFinishedDAGs()
 	}
 	s.Store.StartJanitor(time.Second)
 	// A recovered shard in a sharded deployment may have missed
@@ -1179,6 +1198,7 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 			s.inflight[id] = inflightTask{owner: owner, endpoint: epID, ts: cached.Timing.TS}
 			s.mu.Unlock()
 			s.Store.Hash(ownersHash).Set(string(id), []byte(owner))
+			//funcx:ignore statusguard fresh task id served wholly from the memo cache: it is never enqueued, so no concurrent writer can race this terminal write.
 			s.Store.Hash(statusHash).Set(string(id), []byte(types.TaskSuccess))
 			s.Store.Hash(resultsHash).Set(string(id), wire.EncodeResult(&cached))
 			return id, epID, true, nil
@@ -1242,12 +1262,14 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 	s.mu.Unlock()
 	s.Store.Hash(ownersHash).Set(string(task.ID), []byte(owner))
 	s.Store.Hash(tasksHash).Set(string(task.ID), data)
+	//funcx:ignore statusguard pre-enqueue: the id only becomes poppable at the Push below, so no concurrent transition exists yet.
 	s.Store.Hash(statusHash).Set(string(task.ID), []byte(types.TaskQueued))
 	// Published before the enqueue: the instant the task is poppable
 	// its dispatched/terminal events can land, and the stream must
 	// never show them ahead of "queued". (A failed enqueue leaves one
 	// stray queued event for a task the caller was told failed — the
 	// benign side of the trade.)
+	//funcx:ignore statusguard pre-enqueue: the id only becomes poppable at the Push below, so no concurrent transition can reorder against this queued event.
 	s.publish(owner, types.TaskEvent{
 		TaskID: task.ID, Status: types.TaskQueued, EndpointID: epID, Time: time.Now(),
 	})
@@ -1607,6 +1629,7 @@ func (s *Service) onResultStored(field string, value []byte) {
 	// releases/failures only after the terminal publish — each action
 	// stores a result of its own and recurses through this hook.
 	dagID, dagAfter := s.applyDAGResult(id, status, info.endpoint, value)
+	//funcx:ignore statusguard the terminal status was resolved first-wins under statusMu above; publishing outside keeps the DAG cascade off the lock.
 	s.publish(info.owner, types.TaskEvent{
 		TaskID: id, Status: status, EndpointID: info.endpoint, Result: value, DAGID: dagID, Time: time.Now(),
 	})
@@ -1648,9 +1671,11 @@ func (s *Service) TaskTrace(actor types.UserID, id types.TaskID) (*trace.Timelin
 // Result fetches a task result, optionally blocking up to wait for it.
 // Retrieved results are scheduled for purge from the store (§4.1).
 // Blocking is unified on the task event bus (WaitTasks): no
-// per-connection waiter state survives the call.
-func (s *Service) Result(id types.TaskID, wait time.Duration) (*types.Result, error) {
-	done, _ := s.WaitTasks(context.Background(), []types.TaskID{id}, wait)
+// per-connection waiter state survives the call. The caller's context
+// bounds the block, so an abandoned HTTP retrieval releases its waiter
+// immediately.
+func (s *Service) Result(ctx context.Context, id types.TaskID, wait time.Duration) (*types.Result, error) {
+	done, _ := s.WaitTasks(ctx, []types.TaskID{id}, wait)
 	if len(done) == 0 {
 		return nil, nil // not ready
 	}
@@ -1663,11 +1688,11 @@ func (s *Service) Result(id types.TaskID, wait time.Duration) (*types.Result, er
 // its output, matching the event stream's strict per-user model. The
 // HTTP retrieval surfaces call this; trusted in-process callers use
 // Result directly.
-func (s *Service) ResultFor(actor types.UserID, id types.TaskID, wait time.Duration) (*types.Result, error) {
+func (s *Service) ResultFor(ctx context.Context, actor types.UserID, id types.TaskID, wait time.Duration) (*types.Result, error) {
 	if err := s.checkOwnership(actor, id); err != nil {
 		return nil, err
 	}
-	return s.Result(id, wait)
+	return s.Result(ctx, id, wait)
 }
 
 // WaitTasksFor is WaitTasks with per-user access control: when actor
@@ -1869,7 +1894,8 @@ func (s *Service) StatsSnapshot() api.StatsResponse {
 		Retried: s.retried, Lost: s.lost,
 		Proxied: s.proxied, Redirected: s.redirected,
 		DAGsSubmitted: s.dagsSubmitted, DAGsCompleted: s.dagsCompleted,
-		DAGNodes: s.dagNodes, DAGReleases: s.dagReleases,
+		DAGsEvicted: s.dagsEvicted,
+		DAGNodes:    s.dagNodes, DAGReleases: s.dagReleases,
 		DAGDepFailures: s.dagDepFailures, DAGMemoShortcut: s.dagMemoHits,
 		StreamPurged: s.streamPurged,
 	}

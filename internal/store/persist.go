@@ -301,6 +301,9 @@ func (s *Store) applyRecord(rec []byte) error {
 		return fmt.Errorf("empty record")
 	}
 	r := &opReader{b: rec, off: 1}
+	// Replay arm for every WAL op code: an op that can be encoded must
+	// be replayable, or recovery silently drops journaled mutations.
+	//funcx:exhaustive funcx/internal/store.op*
 	switch rec[0] {
 	case opHSet:
 		name, field, value := r.string(), r.string(), r.bytes()

@@ -69,6 +69,7 @@ const (
 
 // String returns the protocol name of the message type.
 func (t MsgType) String() string {
+	//funcx:exhaustive funcx/internal/transport.MsgType
 	switch t {
 	case MsgRegister:
 		return "REGISTER"

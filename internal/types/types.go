@@ -137,7 +137,19 @@ const (
 // Terminal reports whether the status is final (success, failed, or
 // lost).
 func (s TaskStatus) Terminal() bool {
-	return s == TaskSuccess || s == TaskFailed || s == TaskLost
+	// Every status decides terminality explicitly: adding a status
+	// without choosing a side here fails `make lint`. The DAG* values
+	// are graph lifecycle markers on the event stream, deliberately
+	// never terminal for the task-status machinery.
+	//funcx:exhaustive funcx/internal/types.TaskStatus
+	switch s {
+	case TaskSuccess, TaskFailed, TaskLost:
+		return true
+	case TaskPending, TaskQueued, TaskDispatched, TaskRunning,
+		DAGRunning, DAGSuccess, DAGFailed:
+		return false
+	}
+	return false
 }
 
 // TaskEvent is one task lifecycle transition on its owner's event
