@@ -36,18 +36,21 @@ fuzz:
 	$(GO) test -fuzz=FuzzReplay -fuzztime=$(FUZZTIME) ./internal/wal
 
 # bench runs the control-plane benchmark suite (submit hot path
-# in-memory vs WAL, batch wait, tracing overhead, server-side DAG vs
-# client-orchestrated fan-in) and writes BENCH_8.json. The floors are
-# regression tripwires: the measured WAL ratio sits around 0.7x, so
-# anything under 0.5x means the group commit stopped amortizing. The
-# tracing budget is ≤5% on the submit hot path; on a single-core box
-# the background lifecycle work (task and result codecs, GC) shares
-# the submit core and the measured ratio reads ~0.9x, so the tripwire
-# is 0.85 — a lock or fsync landing on the traced submit path shows up
-# as 0.5x, not 0.9x. The DAG comparison measures ~7x; 1.5 is the
-# point where server-side composition stops paying for itself.
+# in-memory vs WAL, batch wait, tracing overhead, OTLP export
+# overhead, server-side DAG vs client-orchestrated fan-in) and writes
+# BENCH_10.json. The floors are regression tripwires: the measured WAL
+# ratio sits around 0.7x, so anything under 0.5x means the group
+# commit stopped amortizing. The tracing budget is ≤5% on the submit
+# hot path; on a single-core box the background lifecycle work (task
+# and result codecs, GC) shares the submit core and the measured ratio
+# reads ~0.9x, so the tripwire is 0.85 — a lock or fsync landing on
+# the traced submit path shows up as 0.5x, not 0.9x. OTLP export gets
+# the same 0.85 floor: the submit path only ever pays a drop-oldest
+# channel send, so anything below it means export work leaked onto the
+# hot path. The DAG comparison measures ~7x; 1.5 is the point where
+# server-side composition stops paying for itself.
 bench:
-	$(GO) run ./cmd/funcx-perf -out BENCH_8.json -wal-floor 0.5 -trace-floor 0.85 -dag-floor 1.5
+	$(GO) run ./cmd/funcx-perf -out BENCH_10.json -wal-floor 0.5 -trace-floor 0.85 -otlp-floor 0.85 -dag-floor 1.5
 
 # smoke runs the durability experiment (WAL crash recovery + shard
 # drain) and the dag workflow experiment (server-side composition,

@@ -1,15 +1,16 @@
 // Command funcx-perf runs the control-plane benchmark suite (the
 // same bodies bench_test.go uses, from internal/perf) and writes a
 // machine-readable report. CI runs it via `make bench` to produce
-// BENCH_8.json: the submit hot path with the store in-memory vs
+// BENCH_10.json: the submit hot path with the store in-memory vs
 // WAL-backed, the batch-wait round trip, the per-task tracing
-// overhead (traced vs untraced submit throughput), and the
-// server-side workflow comparison (one DAG submission vs a
+// overhead (traced vs untraced submit throughput), the OTLP span
+// export overhead (export on vs off against a stub collector), and
+// the server-side workflow comparison (one DAG submission vs a
 // client-orchestrated 2-stage fan-in).
 //
 // Usage:
 //
-//	funcx-perf -out BENCH_8.json
+//	funcx-perf -out BENCH_10.json
 package main
 
 import (
@@ -85,6 +86,18 @@ type report struct {
 		TracedOpsPerSec        float64 `json:"traced_ops_per_sec"`
 		Ratio                  float64 `json:"ratio"`
 	} `json:"trace_overhead"`
+	// OTLPOverhead compares per-op submit latency with OTLP span
+	// export on (timelines batched and POSTed to a stub collector)
+	// against export disabled, in the same interleaved-rounds shape as
+	// the tracing hot path. Export rides the Collector.OnFinish hook
+	// behind a drop-oldest queue, so the submit path only ever pays a
+	// channel send; the PR-10 floor is 0.85 (ratio = disabled/enabled
+	// ns per op).
+	OTLPOverhead struct {
+		HotPathDisabledNsPerOp float64 `json:"hot_path_disabled_ns_per_op"`
+		HotPathEnabledNsPerOp  float64 `json:"hot_path_enabled_ns_per_op"`
+		HotPathRatio           float64 `json:"hot_path_ratio"`
+	} `json:"otlp_overhead"`
 	// DAGComparison runs the same 2-stage fan-in workflow (N maps →
 	// one reduce) two ways on one fabric with a conservative 5 ms
 	// one-way client↔service WAN latency: as ONE server-side graph
@@ -136,16 +149,17 @@ func pairedThroughput(tasks, count int) (inmem, walRate float64, err error) {
 	return inmem, walRate, nil
 }
 
-// pairedHotPath measures per-op submit latency with tracing off and
+// pairedHotPath measures per-op submit latency with a feature off and
 // on in interleaved testing.Benchmark rounds, alternating which side
 // runs first, and reports the per-op time aggregated over all rounds.
 // A single round swings with GC and scheduler weather far more than
 // the few percent being measured, so unlike the WAL comparison no
-// single round is trusted — only the aggregate.
-func pairedHotPath(count int) (offNs, onNs float64) {
-	bench := func(traced bool) testing.BenchmarkResult {
+// single round is trusted — only the aggregate. Both the tracing and
+// the OTLP-export comparisons run through it.
+func pairedHotPath(count int, offLabel, onLabel string, body func(b *testing.B, on bool)) (offNs, onNs float64) {
+	bench := func(on bool) testing.BenchmarkResult {
 		runtime.GC()
-		return testing.Benchmark(func(b *testing.B) { perf.BenchSubmitTrace(b, traced) })
+		return testing.Benchmark(func(b *testing.B) { body(b, on) })
 	}
 	var offDur, onDur int64
 	var offN, onN int
@@ -160,7 +174,7 @@ func pairedHotPath(count int) (offNs, onNs float64) {
 		}
 		o := float64(rOff.T.Nanoseconds()) / float64(rOff.N)
 		n := float64(rOn.T.Nanoseconds()) / float64(rOn.N)
-		fmt.Printf("  round %d: %8.0f ns/op untraced  %8.0f ns/op traced (%.2fx)\n", i+1, o, n, o/n)
+		fmt.Printf("  round %d: %8.0f ns/op %s  %8.0f ns/op %s (%.2fx)\n", i+1, o, offLabel, n, onLabel, o/n)
 		offDur += rOff.T.Nanoseconds()
 		offN += rOff.N
 		onDur += rOn.T.Nanoseconds()
@@ -205,9 +219,10 @@ func run(name string, fn func(b *testing.B)) benchResult {
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_8.json", "path for the JSON report")
+		out        = flag.String("out", "BENCH_10.json", "path for the JSON report")
 		floor      = flag.Float64("wal-floor", 0, "fail unless WAL submit throughput >= floor * in-memory (0 disables)")
 		traceFloor = flag.Float64("trace-floor", 0, "fail unless the traced submit hot path runs >= floor * the untraced per-op rate (0 disables)")
+		otlpFloor  = flag.Float64("otlp-floor", 0, "fail unless the export-enabled submit hot path runs >= floor * the export-disabled per-op rate (0 disables)")
 		dagFloor   = flag.Float64("dag-floor", 0, "fail unless the client-orchestrated fan-in takes >= floor * the server-side DAG makespan (0 disables)")
 		tasks      = flag.Int("tasks", 4000, "tasks per throughput run")
 		count      = flag.Int("count", 3, "interleaved throughput rounds (best ratio wins)")
@@ -245,7 +260,7 @@ func main() {
 	fmt.Printf("submit throughput: %.0f/s in-memory, %.0f/s WAL — WAL is %.2fx in-memory\n",
 		inmem, walRate, rep.WALOverhead.Ratio)
 
-	offNs, onNs := pairedHotPath(*count)
+	offNs, onNs := pairedHotPath(*count, "untraced", "traced", perf.BenchSubmitTrace)
 	rep.TraceOverhead.HotPathUntracedNsPerOp = offNs
 	rep.TraceOverhead.HotPathTracedNsPerOp = onNs
 	if onNs > 0 {
@@ -253,6 +268,15 @@ func main() {
 	}
 	fmt.Printf("submit hot path: %.0f ns/op untraced, %.0f ns/op traced — tracing is %.2fx untraced\n",
 		offNs, onNs, rep.TraceOverhead.HotPathRatio)
+
+	noExpNs, expNs := pairedHotPath(*count, "export off", "export on", perf.BenchSubmitOTLP)
+	rep.OTLPOverhead.HotPathDisabledNsPerOp = noExpNs
+	rep.OTLPOverhead.HotPathEnabledNsPerOp = expNs
+	if expNs > 0 {
+		rep.OTLPOverhead.HotPathRatio = noExpNs / expNs
+	}
+	fmt.Printf("submit hot path: %.0f ns/op export off, %.0f ns/op export on — OTLP export is %.2fx disabled\n",
+		noExpNs, expNs, rep.OTLPOverhead.HotPathRatio)
 
 	perWindow, windows, untraced, traced, err := traceOverhead(*tasks, *count)
 	if err != nil {
@@ -298,6 +322,10 @@ func main() {
 	if *traceFloor > 0 && rep.TraceOverhead.HotPathRatio < *traceFloor {
 		log.Fatalf("funcx-perf: traced submit hot path %.2fx untraced, below the %.2f floor",
 			rep.TraceOverhead.HotPathRatio, *traceFloor)
+	}
+	if *otlpFloor > 0 && rep.OTLPOverhead.HotPathRatio < *otlpFloor {
+		log.Fatalf("funcx-perf: export-enabled submit hot path %.2fx export-disabled, below the %.2f floor",
+			rep.OTLPOverhead.HotPathRatio, *otlpFloor)
 	}
 	if *dagFloor > 0 && rep.DAGComparison.Ratio < *dagFloor {
 		log.Fatalf("funcx-perf: server-side DAG only %.2fx the client-orchestrated fan-in, below the %.2f floor",

@@ -8,6 +8,11 @@
 //
 //	funcx-promcheck -url http://127.0.0.1:8080/v1/metrics -token <token>
 //	some-producer | funcx-promcheck        # reads stdin when -url is empty
+//
+// With -exemplars it additionally requires that every populated
+// funcx_task_stage_seconds bucket carries an OpenMetrics exemplar
+// (value-in-bounds is already enforced by the parser), so CI catches a
+// scrape that silently lost its task-id links.
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"funcx/internal/promtext"
@@ -24,8 +31,9 @@ import (
 
 func main() {
 	var (
-		url   = flag.String("url", "", "exposition URL to fetch (empty = read stdin)")
-		token = flag.String("token", "", "bearer token for the fetch")
+		url       = flag.String("url", "", "exposition URL to fetch (empty = read stdin)")
+		token     = flag.String("token", "", "bearer token for the fetch")
+		exemplars = flag.Bool("exemplars", false, "require exemplars on populated funcx_task_stage_seconds buckets")
 	)
 	flag.Parse()
 
@@ -51,7 +59,65 @@ func main() {
 	for _, f := range families {
 		samples += len(f.Samples)
 	}
-	fmt.Printf("funcx-promcheck: OK — %d families, %d samples\n", len(families), samples)
+	nex := 0
+	if *exemplars {
+		nex, err = checkExemplars(families)
+		if err != nil {
+			log.Fatalf("funcx-promcheck: MISSING exemplars: %v", err)
+		}
+	}
+	fmt.Printf("funcx-promcheck: OK — %d families, %d samples", len(families), samples)
+	if *exemplars {
+		fmt.Printf(", %d exemplars", nex)
+	}
+	fmt.Println()
+}
+
+// checkExemplars walks funcx_task_stage_seconds and requires an
+// exemplar on every bucket that holds at least one observation of its
+// own (cumulative value above the preceding bucket's). A document
+// without the family — a fleet that has run no tasks yet — passes
+// vacuously.
+func checkExemplars(families []promtext.Family) (int, error) {
+	f := promtext.Get(families, "funcx_task_stage_seconds")
+	if f == nil {
+		return 0, nil
+	}
+	n := 0
+	prev := map[string]float64{} // series set (labels minus le) → last cumulative
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if s.Name != "funcx_task_stage_seconds_bucket" {
+			continue
+		}
+		key := setKey(s.Labels)
+		incr := s.Value - prev[key]
+		prev[key] = s.Value
+		if s.Exemplar != nil {
+			n++
+			continue
+		}
+		if incr > 0 {
+			return n, fmt.Errorf("bucket %v holds %g observations but no exemplar", s.Labels, incr)
+		}
+	}
+	return n, nil
+}
+
+// setKey canonicalizes a bucket's series set (its labels minus le).
+func setKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
 }
 
 func fetch(url, token string) ([]byte, error) {

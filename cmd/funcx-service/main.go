@@ -75,6 +75,7 @@ func main() {
 		noTrace   = flag.Bool("no-trace", false, "disable per-task lifecycle tracing (timelines, stage histograms, GET /v1/tasks/{id}/trace)")
 		traceRate = flag.Float64("trace-sample", 0, "fraction of tasks recording trace timelines, deterministic by task-id hash; DAG nodes sample together by graph id (0 or >=1 traces everything, negative traces nothing)")
 		dagKeep   = flag.Duration("dag-retention", 0, "how long a finished DAG stays queryable via GET /v1/dags/{id} before eviction (0 = 15m default, negative = retain forever)")
+		otlp      = flag.String("otlp", "", "OTLP/HTTP collector base URL for span export (spans POST to <url>/v1/traces; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -99,6 +100,7 @@ func main() {
 		TraceSampleRate:   *traceRate,
 		DAGRetention:      *dagKeep,
 		Logger:            logger,
+		OTLPEndpoint:      *otlp,
 	}
 	if (*shardID == "") != (*ringPath == "") {
 		log.Fatal("funcx-service: -shard-id and -shard-ring must be set together")
@@ -137,12 +139,12 @@ func main() {
 	defer svc.Close()
 
 	if *debugAddr != "" {
-		dbg, stopDbg, err := debugserver.Start(*debugAddr)
+		dbg, stopDbg, err := debugserver.StartReady(*debugAddr, svc.Ready)
 		if err != nil {
 			log.Fatalf("funcx-service: %v", err)
 		}
 		defer stopDbg()
-		fmt.Printf("debug surface (pprof + runtime metrics) on http://%s/debug/\n", dbg)
+		fmt.Printf("debug surface (pprof + runtime metrics + healthz/readyz) on http://%s/\n", dbg)
 	}
 
 	token := svc.MintUserToken(types.UserID(*operator), auth.ScopeAll)
@@ -159,6 +161,9 @@ func main() {
 	if cfg.Ring != nil {
 		fmt.Printf("shard %s in a %d-shard ring (any shard is a valid front door)\n",
 			cfg.ShardID, cfg.Ring.N())
+	}
+	if *otlp != "" {
+		fmt.Printf("exporting OTLP spans to %s/v1/traces\n", *otlp)
 	}
 	fmt.Printf("operator token (%s, all scopes):\n%s\n", *operator, token)
 

@@ -513,6 +513,19 @@ type StatsResponse struct {
 	// their terminal event (with inline result) was delivered on the
 	// owner's live SSE stream — the ack-on-stream purge.
 	StreamPurged int64 `json:"stream_purged,omitempty"`
+	// OTLP exporter counters, present when the instance runs with an
+	// OTLP endpoint configured: spans delivered in accepted batches,
+	// completed timelines lost (displaced from the bounded queue or
+	// carried by refused batches), failed export batches, and the live
+	// export-queue depth.
+	OTLPExported     int64 `json:"otlp_spans_exported,omitempty"`
+	OTLPDropped      int64 `json:"otlp_timelines_dropped,omitempty"`
+	OTLPExportErrors int64 `json:"otlp_export_errors,omitempty"`
+	OTLPQueueDepth   int   `json:"otlp_queue_depth,omitempty"`
+	// FleetScrapeErrors counts peer shards that failed to answer a
+	// GET /v1/metrics/fleet scatter-gather — dead shards are reported
+	// here rather than failing the merged scrape.
+	FleetScrapeErrors int64 `json:"fleet_scrape_errors,omitempty"`
 	// Endpoints carries one entry per registered endpoint, ordered by
 	// endpoint id for stable output.
 	Endpoints []EndpointStats `json:"endpoints"`

@@ -8,6 +8,8 @@
 //	GET /debug/pprof/            pprof index (heap, goroutine, ...)
 //	GET /debug/pprof/profile     CPU profile
 //	GET /debug/runtime           runtime gauges in Prometheus text form
+//	GET /healthz                 liveness: 200 while the process serves
+//	GET /readyz                  readiness: 200/503 from the ready probe
 package debugserver
 
 import (
@@ -23,6 +25,15 @@ import (
 // (useful with ":0") and a stop function. An empty addr is a no-op:
 // callers pass the flag value through unconditionally.
 func Start(addr string) (string, func(), error) {
+	return StartReady(addr, nil)
+}
+
+// StartReady is Start with fleet health probes wired in: GET /healthz
+// is pure liveness (200 while the process serves), and GET /readyz
+// answers from ready() — funcx-service passes Service.Ready so
+// deployments gate traffic until a recovering shard's WAL replay and
+// ring membership hold. A nil ready is always ready.
+func StartReady(addr string, ready func() (bool, string)) (string, func(), error) {
 	if addr == "" {
 		return "", func() {}, nil
 	}
@@ -33,6 +44,21 @@ func Start(addr string) (string, func(), error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /debug/runtime", handleRuntime)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ok, msg := true, "ready"
+		if ready != nil {
+			ok, msg = ready()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, msg)
+	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("debugserver: listen %s: %w", addr, err)

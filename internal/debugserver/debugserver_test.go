@@ -47,3 +47,57 @@ func TestStartEmptyAddrIsNoop(t *testing.T) {
 	}
 	stop()
 }
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	addr, stop, err := StartReady("127.0.0.1:0", func() (bool, string) { return false, "still recovering" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if code, body := get(t, "http://"+addr+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q; liveness must not depend on readiness", code, body)
+	}
+}
+
+func TestReadyzReflectsProbe(t *testing.T) {
+	ready := false
+	addr, stop, err := StartReady("127.0.0.1:0", func() (bool, string) {
+		if ready {
+			return true, "ready"
+		}
+		return false, "wal replaying"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if code, body := get(t, "http://"+addr+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "wal replaying") {
+		t.Fatalf("not-ready readyz = %d %q", code, body)
+	}
+	ready = true
+	if code, _ := get(t, "http://"+addr+"/readyz"); code != http.StatusOK {
+		t.Fatalf("ready readyz = %d", code)
+	}
+}
+
+func TestReadyzNilProbeAlwaysReady(t *testing.T) {
+	addr, stop, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if code, _ := get(t, "http://"+addr+"/readyz"); code != http.StatusOK {
+		t.Fatalf("nil-probe readyz = %d", code)
+	}
+}

@@ -107,6 +107,16 @@ type managerState struct {
 	suspended   bool
 }
 
+// traceIDOf returns the task's service-propagated trace id for
+// log↔span correlation ("" for unsampled tasks): the agent logs the
+// exact id under which the service exports the task's spans.
+func traceIDOf(t *types.Task) string {
+	if t != nil && t.Trace != nil {
+		return t.Trace.TraceID
+	}
+	return ""
+}
+
 // inflightTask tracks a task between arrival at the agent and result
 // departure, for the TE timing component and loss recovery.
 type inflightTask struct {
@@ -449,7 +459,7 @@ func (a *Agent) enqueue(t *types.Task) {
 	a.queue = append(a.queue, t)
 	a.inflight[t.ID] = &inflightTask{task: t, arrived: time.Now()}
 	a.mu.Unlock()
-	a.log.Debug("task received", "task_id", string(t.ID), "function_id", string(t.FunctionID), "attempt", t.Attempt)
+	a.log.Debug("task received", "task_id", string(t.ID), "function_id", string(t.FunctionID), "attempt", t.Attempt, "trace_id", traceIDOf(t))
 	a.schedule()
 }
 
@@ -577,12 +587,12 @@ func (a *Agent) watchdog() {
 					Lost:      true,
 					Completed: time.Now(),
 				})})
-				a.log.Warn("task lost", "task_id", string(t.ID), "manager_id", string(m.id), "attempt", t.Attempt, "at_most_once", t.AtMostOnce)
+				a.log.Warn("task lost", "task_id", string(t.ID), "manager_id", string(m.id), "attempt", t.Attempt, "at_most_once", t.AtMostOnce, "trace_id", traceIDOf(t))
 				continue
 			}
 			t.Attempt++
 			a.requeued++
-			a.log.Debug("task requeued after manager loss", "task_id", string(t.ID), "manager_id", string(m.id), "attempt", t.Attempt)
+			a.log.Debug("task requeued after manager loss", "task_id", string(t.ID), "manager_id", string(m.id), "attempt", t.Attempt, "trace_id", traceIDOf(t))
 			// Head-of-queue so recovered tasks run first.
 			a.queue = append([]*types.Task{t}, a.queue...)
 		}
@@ -690,9 +700,11 @@ func (a *Agent) capacityBudget(c *types.Capacity) int {
 // finish processes a result from a manager: stamps TE timing, clears
 // bookkeeping, forwards upstream.
 func (a *Agent) finish(st *managerState, res *types.Result) {
+	var traceID string
 	a.mu.Lock()
 	delete(st.outstanding, res.TaskID)
 	if fl, ok := a.inflight[res.TaskID]; ok {
+		traceID = traceIDOf(fl.task)
 		delete(a.inflight, res.TaskID)
 		// TE: time inside the endpoint excluding execution (§5.1).
 		te := time.Since(fl.arrived) - res.Timing.TW
@@ -712,7 +724,7 @@ func (a *Agent) finish(st *managerState, res *types.Result) {
 	}
 	a.completed++
 	a.mu.Unlock()
-	a.log.Debug("task completed", "task_id", string(res.TaskID), "manager_id", string(st.id), "failed", res.Err != "")
+	a.log.Debug("task completed", "task_id", string(res.TaskID), "manager_id", string(st.id), "failed", res.Err != "", "trace_id", traceID)
 	a.sendUpstream(res)
 }
 

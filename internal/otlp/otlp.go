@@ -1,0 +1,236 @@
+// Package otlp is a zero-dependency OTLP/HTTP-JSON trace exporter:
+// completed trace.Timelines convert to OpenTelemetry spans — one root
+// span per task plus one child span per decomposed lifecycle stage —
+// POSTed in batches to an OTLP collector's /v1/traces endpoint as
+// protobuf-JSON (the OTLP/HTTP JSON encoding), built by hand against
+// the stable trace protocol so the repo's no-external-deps discipline
+// holds (same stance as internal/promtext and internal/analysis).
+//
+// The exporter is strictly off the task lifecycle hot path: Enqueue
+// never blocks (a bounded drop-oldest queue absorbs bursts and a
+// wedged collector), and all batching, encoding, and HTTP happen on
+// the exporter's own goroutine. DAG nodes share a graph-id-derived
+// trace id (trace.TraceID), so a sampled workflow reassembles into a
+// single distributed trace in any OTLP backend.
+package otlp
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"funcx/internal/trace"
+)
+
+// Config parameterizes an Exporter. Zero values select defaults.
+type Config struct {
+	// Endpoint is the collector's base URL; spans POST to
+	// Endpoint + "/v1/traces".
+	Endpoint string
+	// Queue bounds the completed-timeline queue (default 1024). When
+	// full, the oldest queued timeline is dropped to admit the new one.
+	Queue int
+	// BatchSize is the max timelines per export POST (default 64).
+	BatchSize int
+	// FlushInterval bounds how long a partial batch waits (default 2s).
+	FlushInterval time.Duration
+	// ServiceName is the OTLP resource service.name (default
+	// "funcx-service").
+	ServiceName string
+	// ShardID, when set, is attached as the funcx.shard resource and
+	// root-span attribute.
+	ShardID string
+	// Client is the HTTP client for exports (default: 5s timeout).
+	Client *http.Client
+	// Logger receives export-failure warnings (nil = silent).
+	Logger *slog.Logger
+}
+
+// Stats is a point-in-time snapshot of exporter counters.
+type Stats struct {
+	// Exported counts spans delivered in accepted batches.
+	Exported int64
+	// Dropped counts timelines lost: displaced from the full queue or
+	// carried by a batch the collector refused.
+	Dropped int64
+	// ExportErrors counts batches that failed to reach the collector
+	// (transport error or non-2xx status).
+	ExportErrors int64
+	// QueueDepth is the live number of queued timelines.
+	QueueDepth int
+}
+
+// Exporter ships completed timelines to an OTLP collector in the
+// background. Create with New; feed via Enqueue (typically wired as
+// trace.Collector.OnFinish); stop with Close.
+type Exporter struct {
+	cfg    Config
+	queue  chan *trace.Timeline
+	cancel context.CancelFunc
+	ctx    context.Context
+	done   chan struct{}
+
+	exported atomic.Int64
+	dropped  atomic.Int64
+	errors   atomic.Int64
+}
+
+// New starts an exporter's background goroutine and returns it.
+func New(cfg Config) *Exporter {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 2 * time.Second
+	}
+	if cfg.ServiceName == "" {
+		cfg.ServiceName = "funcx-service"
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	e := &Exporter{
+		cfg:   cfg,
+		queue: make(chan *trace.Timeline, cfg.Queue),
+		done:  make(chan struct{}),
+	}
+	e.ctx, e.cancel = context.WithCancel(context.Background())
+	go e.run()
+	return e
+}
+
+// Enqueue hands a completed timeline to the exporter without ever
+// blocking: when the queue is full the oldest queued timeline is
+// dropped to make room, and if racing producers refill the freed slot
+// the new timeline is dropped instead. Safe to call from the task
+// retirement path — a wedged collector can only ever cost spans,
+// never task latency.
+func (e *Exporter) Enqueue(tl *trace.Timeline) {
+	if e == nil || tl == nil {
+		return
+	}
+	select {
+	case e.queue <- tl:
+		return
+	default:
+	}
+	// Full: displace the oldest entry, then retry once.
+	select {
+	case <-e.queue:
+		e.dropped.Add(1)
+	default:
+	}
+	select {
+	case e.queue <- tl:
+	default:
+		e.dropped.Add(1)
+	}
+}
+
+// Stats snapshots the exporter's counters.
+func (e *Exporter) Stats() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	return Stats{
+		Exported:     e.exported.Load(),
+		Dropped:      e.dropped.Load(),
+		ExportErrors: e.errors.Load(),
+		QueueDepth:   len(e.queue),
+	}
+}
+
+// Close stops the exporter after draining and flushing whatever is
+// already queued. Blocks until the background goroutine exits.
+func (e *Exporter) Close() {
+	if e == nil {
+		return
+	}
+	e.cancel()
+	<-e.done
+}
+
+// run is the export loop: batch up to BatchSize timelines, flush on
+// size or FlushInterval, drain on shutdown.
+func (e *Exporter) run() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.cfg.FlushInterval)
+	defer ticker.Stop()
+	batch := make([]*trace.Timeline, 0, e.cfg.BatchSize)
+	flush := func() {
+		if len(batch) > 0 {
+			e.export(batch)
+			batch = batch[:0]
+		}
+	}
+	for {
+		select {
+		case tl := <-e.queue:
+			batch = append(batch, tl)
+			if len(batch) >= e.cfg.BatchSize {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		case <-e.ctx.Done():
+			for {
+				select {
+				case tl := <-e.queue:
+					batch = append(batch, tl)
+					if len(batch) >= e.cfg.BatchSize {
+						flush()
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// export POSTs one batch. Failures count every carried timeline as
+// dropped — the exporter never retries (the collector is expected to
+// sit behind its own durable pipeline; task telemetry is best-effort).
+func (e *Exporter) export(batch []*trace.Timeline) {
+	body, spans := Payload(batch, e.cfg.ServiceName, e.cfg.ShardID)
+	if spans == 0 {
+		return
+	}
+	// Detached from e.ctx so the shutdown drain can still flush; the
+	// client timeout bounds it regardless.
+	req, err := http.NewRequest(http.MethodPost, e.cfg.Endpoint+"/v1/traces", bytes.NewReader(body))
+	if err != nil {
+		e.errors.Add(1)
+		e.dropped.Add(int64(len(batch)))
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.cfg.Client.Do(req)
+	if err != nil {
+		e.exportFailed(len(batch), err.Error())
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		e.exportFailed(len(batch), "collector status "+strconv.Itoa(resp.StatusCode))
+		return
+	}
+	e.exported.Add(int64(spans))
+}
+
+func (e *Exporter) exportFailed(timelines int, reason string) {
+	e.errors.Add(1)
+	e.dropped.Add(int64(timelines))
+	if e.cfg.Logger != nil {
+		e.cfg.Logger.Warn("otlp export failed",
+			"endpoint", e.cfg.Endpoint, "timelines", timelines, "reason", reason)
+	}
+}

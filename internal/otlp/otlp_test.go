@@ -1,0 +1,245 @@
+package otlp
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"funcx/internal/trace"
+	"funcx/internal/types"
+)
+
+// testTimeline builds a completed timeline with every lifecycle stage
+// stamped at 1ms intervals (received at 0, published at 5ms).
+func testTimeline(id types.TaskID, dag types.DAGID) *trace.Timeline {
+	tl := &trace.Timeline{
+		TaskID:   id,
+		Endpoint: "ep-1",
+		Group:    "group-1",
+		Function: "fn-1",
+		DAGID:    dag,
+		Start:    time.Unix(1700000000, 0),
+		Done:     true,
+	}
+	for i, s := range []trace.Stage{
+		trace.StageReceived, trace.StageQueued, trace.StageDispatched,
+		trace.StageRunning, trace.StageResult, trace.StagePublished,
+	} {
+		tl.Stamps = append(tl.Stamps, trace.Stamp{Stage: s, Offset: time.Duration(i) * time.Millisecond})
+	}
+	return tl
+}
+
+func TestSpansStructure(t *testing.T) {
+	tl := testTimeline("task-1", "")
+	spans, ok := Spans(tl, "shard-0")
+	if !ok {
+		t.Fatal("Spans: complete timeline did not decompose")
+	}
+	if len(spans) != 7 {
+		t.Fatalf("got %d spans, want 7 (root + 6 stages)", len(spans))
+	}
+	root := spans[0]
+	if root.Name != "funcx.task" || root.Kind != KindServer {
+		t.Fatalf("root span: name=%q kind=%d", root.Name, root.Kind)
+	}
+	if root.ParentSpanID != "" {
+		t.Fatalf("root span has parent %q", root.ParentSpanID)
+	}
+	wantTrace := trace.TraceID("task-1", "")
+	if root.TraceID != wantTrace {
+		t.Fatalf("root trace id %q, want %q", root.TraceID, wantTrace)
+	}
+	attrs := map[string]string{}
+	for _, kv := range root.Attributes {
+		attrs[kv.Key] = kv.Value.StringValue
+	}
+	for key, want := range map[string]string{
+		"funcx.task_id":  "task-1",
+		"funcx.endpoint": "ep-1",
+		"funcx.function": "fn-1",
+		"funcx.group":    "group-1",
+		"funcx.shard":    "shard-0",
+	} {
+		if attrs[key] != want {
+			t.Errorf("root attr %s = %q, want %q", key, attrs[key], want)
+		}
+	}
+	if _, has := attrs["funcx.dag_id"]; has {
+		t.Error("root span of a non-DAG task carries funcx.dag_id")
+	}
+
+	wantStages := []string{"submit", "queue", "dispatch", "execute", "return", "publish"}
+	cursor := root.StartTimeUnixNano
+	for i, sp := range spans[1:] {
+		if sp.Name != "funcx."+wantStages[i] {
+			t.Errorf("child %d: name %q, want funcx.%s", i, sp.Name, wantStages[i])
+		}
+		if sp.Kind != KindInternal {
+			t.Errorf("child %d: kind %d, want %d", i, sp.Kind, KindInternal)
+		}
+		if sp.ParentSpanID != root.SpanID {
+			t.Errorf("child %d: parent %q, want root %q", i, sp.ParentSpanID, root.SpanID)
+		}
+		if sp.TraceID != root.TraceID {
+			t.Errorf("child %d: trace id %q differs from root", i, sp.TraceID)
+		}
+		if sp.StartTimeUnixNano != cursor {
+			t.Errorf("child %d: starts at %s, want previous end %s", i, sp.StartTimeUnixNano, cursor)
+		}
+		cursor = sp.EndTimeUnixNano
+	}
+	// The stage spans tile the root window exactly.
+	if cursor != root.EndTimeUnixNano {
+		t.Errorf("last child ends at %s, root ends at %s", cursor, root.EndTimeUnixNano)
+	}
+}
+
+func TestSpansDAGLinkage(t *testing.T) {
+	a, okA := Spans(testTimeline("node-a", "dag-1"), "")
+	b, okB := Spans(testTimeline("node-b", "dag-1"), "")
+	if !okA || !okB {
+		t.Fatal("DAG timelines did not decompose")
+	}
+	if a[0].TraceID != b[0].TraceID {
+		t.Fatalf("nodes of one DAG got different trace ids: %q vs %q", a[0].TraceID, b[0].TraceID)
+	}
+	if a[0].TraceID != trace.TraceID("node-a", "dag-1") {
+		t.Fatalf("trace id %q not derived from the graph id", a[0].TraceID)
+	}
+	if a[0].SpanID == b[0].SpanID {
+		t.Fatal("distinct tasks share a span id")
+	}
+	other, _ := Spans(testTimeline("node-a", "dag-2"), "")
+	if other[0].TraceID == a[0].TraceID {
+		t.Fatal("different DAGs share a trace id")
+	}
+}
+
+func TestSpansIncompleteTimeline(t *testing.T) {
+	tl := &trace.Timeline{TaskID: "t-1", Start: time.Unix(1700000000, 0)}
+	tl.Stamps = []trace.Stamp{{Stage: trace.StageReceived}}
+	if _, ok := Spans(tl, ""); ok {
+		t.Fatal("Spans: in-flight timeline decomposed")
+	}
+	if body, n := Payload([]*trace.Timeline{tl}, "svc", ""); body != nil || n != 0 {
+		t.Fatalf("Payload of undecomposable batch: %d spans", n)
+	}
+}
+
+// TestExporterEndToEnd drives two DAG-linked timelines through a real
+// exporter into a stub collector and reassembles the export: both
+// tasks' spans must land under one trace id, inside a well-formed
+// OTLP envelope.
+func TestExporterEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	var reqs []ExportRequest
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/traces" {
+			t.Errorf("collector got path %s", r.URL.Path)
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("collector got Content-Type %s", ct)
+		}
+		var req ExportRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("collector: bad body: %v", err)
+		}
+		mu.Lock()
+		reqs = append(reqs, req)
+		mu.Unlock()
+	}))
+	defer collector.Close()
+
+	e := New(Config{Endpoint: collector.URL, ServiceName: "svc-under-test", ShardID: "shard-7"})
+	e.Enqueue(testTimeline("node-a", "dag-9"))
+	e.Enqueue(testTimeline("node-b", "dag-9"))
+	e.Close() // drains and flushes
+
+	mu.Lock()
+	defer mu.Unlock()
+	spans := []Span{}
+	for _, req := range reqs {
+		for _, rs := range req.ResourceSpans {
+			attrs := map[string]string{}
+			for _, kv := range rs.Resource.Attributes {
+				attrs[kv.Key] = kv.Value.StringValue
+			}
+			if attrs["service.name"] != "svc-under-test" || attrs["funcx.shard"] != "shard-7" {
+				t.Errorf("resource attributes %v", attrs)
+			}
+			for _, ss := range rs.ScopeSpans {
+				if ss.Scope.Name != "funcx/internal/otlp" {
+					t.Errorf("scope %q", ss.Scope.Name)
+				}
+				spans = append(spans, ss.Spans...)
+			}
+		}
+	}
+	if len(spans) != 14 {
+		t.Fatalf("collector received %d spans, want 14 (2 tasks x 7)", len(spans))
+	}
+	traces := map[string]int{}
+	roots := 0
+	for _, sp := range spans {
+		traces[sp.TraceID]++
+		if sp.ParentSpanID == "" {
+			roots++
+		}
+	}
+	if len(traces) != 1 {
+		t.Fatalf("DAG exported as %d traces, want 1: %v", len(traces), traces)
+	}
+	if roots != 2 {
+		t.Fatalf("%d root spans, want 2", roots)
+	}
+	if st := e.Stats(); st.Exported != 14 || st.Dropped != 0 || st.ExportErrors != 0 {
+		t.Fatalf("stats after clean export: %+v", st)
+	}
+}
+
+// TestEnqueueDropOldest wedges the collector and floods a tiny queue:
+// Enqueue must stay non-blocking (drop-oldest), and the losses must be
+// counted.
+func TestEnqueueDropOldest(t *testing.T) {
+	release := make(chan struct{})
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer collector.Close()
+	defer close(release)
+
+	e := New(Config{
+		Endpoint:  collector.URL,
+		Queue:     4,
+		BatchSize: 1,
+		Client:    &http.Client{Timeout: 100 * time.Millisecond},
+	})
+	const n = 64
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		e.Enqueue(testTimeline(types.TaskID("flood-"+string(rune('a'+i%26))), ""))
+	}
+	elapsed := time.Since(start)
+	// 64 enqueues against a wedged collector must not wait on HTTP:
+	// anything near the client timeout means Enqueue blocked.
+	if elapsed > 50*time.Millisecond {
+		t.Fatalf("flooding a wedged exporter took %v; Enqueue blocked", elapsed)
+	}
+	if st := e.Stats(); st.Dropped == 0 {
+		t.Fatalf("queue of 4 absorbed %d timelines without drops: %+v", n, st)
+	}
+	e.Close()
+}
+
+func TestNilExporterSafe(t *testing.T) {
+	var e *Exporter
+	e.Enqueue(testTimeline("t", "")) // must not panic
+	if st := e.Stats(); st != (Stats{}) {
+		t.Fatalf("nil exporter stats %+v", st)
+	}
+	e.Close()
+}

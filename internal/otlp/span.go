@@ -1,0 +1,171 @@
+package otlp
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"funcx/internal/trace"
+)
+
+// The OTLP/HTTP JSON wire shapes (trace service ExportTraceServiceRequest),
+// hand-modeled after the stable OpenTelemetry trace protocol. Proto3
+// JSON maps fixed64 nanosecond timestamps to decimal strings and span
+// ids to hex strings — both honored here so any OTLP collector accepts
+// the payload. Exported so tests and stub collectors can decode what
+// the exporter emits.
+
+// ExportRequest is the POST body of an OTLP/HTTP trace export.
+type ExportRequest struct {
+	ResourceSpans []ResourceSpans `json:"resourceSpans"`
+}
+
+// ResourceSpans groups spans under one emitting resource.
+type ResourceSpans struct {
+	Resource   Resource     `json:"resource"`
+	ScopeSpans []ScopeSpans `json:"scopeSpans"`
+}
+
+// Resource identifies the emitting entity (service.name etc.).
+type Resource struct {
+	Attributes []KeyValue `json:"attributes,omitempty"`
+}
+
+// ScopeSpans groups spans under one instrumentation scope.
+type ScopeSpans struct {
+	Scope Scope  `json:"scope"`
+	Spans []Span `json:"spans"`
+}
+
+// Scope names the instrumentation that produced the spans.
+type Scope struct {
+	Name string `json:"name"`
+}
+
+// Span kinds (proto enum values) used by this exporter.
+const (
+	KindInternal = 1
+	KindServer   = 2
+)
+
+// Span is one OTLP span.
+type Span struct {
+	TraceID           string     `json:"traceId"`
+	SpanID            string     `json:"spanId"`
+	ParentSpanID      string     `json:"parentSpanId,omitempty"`
+	Name              string     `json:"name"`
+	Kind              int        `json:"kind,omitempty"`
+	StartTimeUnixNano string     `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string     `json:"endTimeUnixNano"`
+	Attributes        []KeyValue `json:"attributes,omitempty"`
+}
+
+// KeyValue is one OTLP attribute.
+type KeyValue struct {
+	Key   string   `json:"key"`
+	Value AnyValue `json:"value"`
+}
+
+// AnyValue is the OTLP attribute value union (string-only here).
+type AnyValue struct {
+	StringValue string `json:"stringValue"`
+}
+
+func str(key, val string) KeyValue {
+	return KeyValue{Key: key, Value: AnyValue{StringValue: val}}
+}
+
+func nanos(n int64) string {
+	return strconv.FormatInt(n, 10)
+}
+
+// Spans converts one completed timeline into its OTLP span set: a
+// root "funcx.task" span covering received→published, plus one child
+// span per decomposed stage laid end to end across the root's window
+// (the stages partition the total exactly — see trace.Decompose).
+// ok is false when the timeline is missing terminal stamps.
+func Spans(tl *trace.Timeline, shardID string) ([]Span, bool) {
+	d, ok := trace.Decompose(tl)
+	if !ok {
+		return nil, false
+	}
+	traceID := trace.TraceID(tl.TaskID, tl.DAGID)
+	rootID := trace.SpanID(string(tl.TaskID))
+	start := tl.Start.UnixNano()
+
+	attrs := []KeyValue{
+		str("funcx.task_id", string(tl.TaskID)),
+		str("funcx.endpoint", string(tl.Endpoint)),
+	}
+	if tl.Function != "" {
+		attrs = append(attrs, str("funcx.function", string(tl.Function)))
+	}
+	if tl.Group != "" {
+		attrs = append(attrs, str("funcx.group", string(tl.Group)))
+	}
+	if tl.DAGID != "" {
+		attrs = append(attrs, str("funcx.dag_id", string(tl.DAGID)))
+	}
+	if shardID != "" {
+		attrs = append(attrs, str("funcx.shard", shardID))
+	}
+
+	out := make([]Span, 0, 7)
+	out = append(out, Span{
+		TraceID:           traceID,
+		SpanID:            rootID,
+		Name:              "funcx.task",
+		Kind:              KindServer,
+		StartTimeUnixNano: nanos(start),
+		EndTimeUnixNano:   nanos(start + int64(d.Total)),
+		Attributes:        attrs,
+	})
+	cursor := start
+	for _, st := range d.Stages() {
+		end := cursor + int64(st.D)
+		out = append(out, Span{
+			TraceID:           traceID,
+			SpanID:            trace.SpanID(string(tl.TaskID) + "/" + st.Name),
+			ParentSpanID:      rootID,
+			Name:              "funcx." + st.Name,
+			Kind:              KindInternal,
+			StartTimeUnixNano: nanos(cursor),
+			EndTimeUnixNano:   nanos(end),
+			Attributes:        []KeyValue{str("funcx.stage", st.Name)},
+		})
+		cursor = end
+	}
+	return out, true
+}
+
+// Payload builds the JSON export body for a batch of timelines and
+// returns it with the number of spans it carries (0 when nothing in
+// the batch decomposes).
+func Payload(batch []*trace.Timeline, serviceName, shardID string) ([]byte, int) {
+	spans := make([]Span, 0, len(batch)*7)
+	for _, tl := range batch {
+		if s, ok := Spans(tl, shardID); ok {
+			spans = append(spans, s...)
+		}
+	}
+	if len(spans) == 0 {
+		return nil, 0
+	}
+	res := Resource{Attributes: []KeyValue{str("service.name", serviceName)}}
+	if shardID != "" {
+		res.Attributes = append(res.Attributes, str("funcx.shard", shardID))
+	}
+	req := ExportRequest{ResourceSpans: []ResourceSpans{{
+		Resource: res,
+		ScopeSpans: []ScopeSpans{{
+			Scope: Scope{Name: "funcx/internal/otlp"},
+			Spans: spans,
+		}},
+	}}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		// Statically impossible for these types; keep the exporter
+		// total rather than panicking on the export goroutine.
+		return nil, 0
+	}
+	return body, len(spans)
+}

@@ -1,6 +1,6 @@
 // Package perf holds the control-plane benchmark bodies shared by
 // `go test -bench` (bench_test.go) and cmd/funcx-perf, the harness
-// that runs them standalone and emits BENCH_6.json. Keeping the
+// that runs them standalone and emits BENCH_10.json. Keeping the
 // bodies here means the CI artifact and the developer benchmarks
 // measure exactly the same code paths.
 package perf
@@ -8,6 +8,9 @@ package perf
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
@@ -41,8 +44,14 @@ func newEnv(wal bool) (*env, error) { return newEnvCfg(wal, false) }
 // per-task trace collector disabled, the baseline of the
 // tracing-overhead comparison.
 func newEnvCfg(wal, noTrace bool) (*env, error) {
-	e := &env{}
 	cfg := service.Config{HeartbeatPeriod: 100 * time.Millisecond, DisableTrace: noTrace}
+	return newEnvService(cfg, wal)
+}
+
+// newEnvService boots a fabric over an explicit service config (wal
+// adds a journaled temp data dir).
+func newEnvService(cfg service.Config, wal bool) (*env, error) {
+	e := &env{}
 	if wal {
 		dir, err := os.MkdirTemp("", "funcx-perf-*")
 		if err != nil {
@@ -144,6 +153,30 @@ func BenchSubmit(b *testing.B, wal bool) {
 	benchSubmitEnv(b, e)
 }
 
+// BenchSubmitOTLP is BenchSubmit with tracing on and OTLP span export
+// toggled against a stub collector that accepts every batch — the
+// profiling handle for the export-overhead comparison. Export must
+// stay off the hot path: Finish hands each completed timeline to the
+// exporter's never-blocking queue, so enabled-vs-disabled should be
+// dominated by noise.
+func BenchSubmitOTLP(b *testing.B, export bool) {
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck // drain and accept
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer collector.Close()
+	cfg := service.Config{HeartbeatPeriod: 100 * time.Millisecond}
+	if export {
+		cfg.OTLPEndpoint = collector.URL
+	}
+	e, err := newEnvService(cfg, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	benchSubmitEnv(b, e)
+}
+
 // BenchSubmitTrace is BenchSubmit with the store in-memory and
 // per-task tracing toggled — the profiling handle for the
 // tracing-overhead comparison.
@@ -212,7 +245,7 @@ func SubmitThroughput(wal bool, tasks int) (float64, error) {
 // tracing either enabled (the default service configuration, which
 // stamps a timeline per task and folds completed ones into stage
 // histograms) or disabled — the two sides of the tracing-overhead
-// ratio in BENCH_7.json.
+// ratio in BENCH_10.json.
 func TraceThroughput(traced bool, tasks int) (float64, error) {
 	e, err := newEnvCfg(false, !traced)
 	if err != nil {

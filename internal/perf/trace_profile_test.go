@@ -6,3 +6,9 @@ import "testing"
 // per-task tracing cost on the submit hot path for profiling.
 func BenchmarkSubmitTraced(b *testing.B)   { BenchSubmitTrace(b, true) }
 func BenchmarkSubmitUntraced(b *testing.B) { BenchSubmitTrace(b, false) }
+
+// BenchmarkSubmitOTLPOn / BenchmarkSubmitOTLPOff isolate the OTLP
+// span-export cost on the same hot path (export drains to a stub
+// collector; the submit path only pays the OnFinish channel send).
+func BenchmarkSubmitOTLPOn(b *testing.B)  { BenchSubmitOTLP(b, true) }
+func BenchmarkSubmitOTLPOff(b *testing.B) { BenchSubmitOTLP(b, false) }

@@ -1,58 +1,14 @@
 package promtext
 
 import (
-	"sort"
-	"strconv"
-	"strings"
 	"testing"
 )
 
-// render writes families back out in the exposition format, with label
-// keys sorted so the output is deterministic. It is the inverse the
-// fuzzer closes the loop with: any document Parse accepts must render
-// to a form Parse accepts again, and that form must be a fixed point.
-func render(families []Family) string {
-	var b strings.Builder
-	for _, f := range families {
-		if f.Help != "" {
-			b.WriteString("# HELP " + f.Name + " " + f.Help + "\n")
-		}
-		b.WriteString("# TYPE " + f.Name + " " + f.Type + "\n")
-		for _, s := range f.Samples {
-			b.WriteString(s.Name)
-			if len(s.Labels) > 0 {
-				keys := make([]string, 0, len(s.Labels))
-				for k := range s.Labels {
-					keys = append(keys, k)
-				}
-				sort.Strings(keys)
-				b.WriteByte('{')
-				for i, k := range keys {
-					if i > 0 {
-						b.WriteByte(',')
-					}
-					b.WriteString(k + `="` + escapeLabel(s.Labels[k]) + `"`)
-				}
-				b.WriteByte('}')
-			}
-			b.WriteByte(' ')
-			b.WriteString(strconv.FormatFloat(s.Value, 'g', -1, 64))
-			b.WriteByte('\n')
-		}
-	}
-	return b.String()
-}
-
-func escapeLabel(v string) string {
-	v = strings.ReplaceAll(v, `\`, `\\`)
-	v = strings.ReplaceAll(v, `"`, `\"`)
-	return strings.ReplaceAll(v, "\n", `\n`)
-}
-
 // FuzzParse feeds the strict exposition parser arbitrary documents: it
 // must never panic, and any document it accepts must survive a
-// render/reparse cycle with an identical canonical form (timestamps
-// are validated then dropped, so they canonicalize away).
+// Render/reparse cycle with an identical canonical form (sample
+// timestamps are validated then dropped, so they canonicalize away;
+// exemplars — labels, value, and timestamp — round-trip).
 func FuzzParse(f *testing.F) {
 	f.Add("")
 	f.Add("# HELP funcx_tasks_submitted_total Tasks accepted.\n# TYPE funcx_tasks_submitted_total counter\nfuncx_tasks_submitted_total 42\n")
@@ -65,17 +21,23 @@ func FuzzParse(f *testing.F) {
 	f.Add("# TYPE m counter\nm{a=\"x\\\\y\\\"z\\nw\"} 1\n")
 	f.Add("# TYPE m counter\nm NaN\n")
 	f.Add("# TYPE a counter\na 1\n# TYPE b counter\na 2\n")
+	f.Add("# TYPE funcx_task_stage_seconds histogram\n" +
+		"funcx_task_stage_seconds_bucket{stage=\"queue\",le=\"0.1\"} 1 # {task_id=\"t-1\",trace_id=\"0af7651916cd43dd8448eb211c80319c\"} 0.05\n" +
+		"funcx_task_stage_seconds_bucket{stage=\"queue\",le=\"+Inf\"} 2\n" +
+		"funcx_task_stage_seconds_sum{stage=\"queue\"} 0.3\n" +
+		"funcx_task_stage_seconds_count{stage=\"queue\"} 2\n")
+	f.Add("# TYPE c_total counter\nc_total 5 # {trace_id=\"abc\"} 3 1700000000.5\n")
 	f.Fuzz(func(t *testing.T, text string) {
 		families, err := Parse(text)
 		if err != nil {
 			return
 		}
-		doc := render(families)
+		doc := Render(families)
 		reparsed, err := Parse(doc)
 		if err != nil {
 			t.Fatalf("accepted document failed to reparse after render: %v\noriginal: %q\nrendered: %q", err, text, doc)
 		}
-		if doc2 := render(reparsed); doc != doc2 {
+		if doc2 := Render(reparsed); doc != doc2 {
 			t.Fatalf("render/reparse is not a fixed point:\n first %q\nsecond %q", doc, doc2)
 		}
 	})

@@ -1,0 +1,148 @@
+package promtext
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Merge folds per-shard exposition documents into one fleet document:
+// counter values and histogram components (_bucket, _sum, _count) sum
+// across shards after dropping shardLabel from their label sets, while
+// gauge, summary, and untyped samples keep their per-shard series
+// verbatim (a queue depth summed across shards is meaningful to no
+// one; a per-shard gauge still is). Family order follows first
+// appearance across the docs; a family appearing with two different
+// types is an error. For merged histogram buckets, the first exemplar
+// seen for a bucket wins. The result revalidates before returning, so
+// a successful Merge always Renders to a Parse-clean document.
+func Merge(docs [][]Family, shardLabel string) ([]Family, error) {
+	var out []Family
+	byName := map[string]int{}
+	// summed maps a merged family index to its summable series:
+	// seriesKey (shard label stripped) → sample index in the family.
+	summed := map[int]map[string]int{}
+	kept := map[int]map[string]bool{}
+
+	for _, doc := range docs {
+		for fi := range doc {
+			f := &doc[fi]
+			idx, ok := byName[f.Name]
+			if !ok {
+				idx = len(out)
+				byName[f.Name] = idx
+				out = append(out, Family{Name: f.Name, Type: f.Type, Help: f.Help})
+				summed[idx] = map[string]int{}
+				kept[idx] = map[string]bool{}
+			}
+			m := &out[idx]
+			if m.Type != f.Type {
+				return nil, fmt.Errorf("family %s: type %s on one shard, %s on another", f.Name, m.Type, f.Type)
+			}
+			if m.Help == "" {
+				m.Help = f.Help
+			}
+			sum := f.Type == "counter" || f.Type == "histogram"
+			for _, s := range f.Samples {
+				if !sum {
+					key := seriesKey(s)
+					if kept[idx][key] {
+						continue
+					}
+					kept[idx][key] = true
+					m.Samples = append(m.Samples, s)
+					continue
+				}
+				stripped := Sample{Name: s.Name, Labels: make(map[string]string, len(s.Labels)), Value: s.Value, Exemplar: s.Exemplar}
+				for k, v := range s.Labels {
+					if k != shardLabel {
+						stripped.Labels[k] = v
+					}
+				}
+				key := seriesKey(stripped)
+				if si, ok := summed[idx][key]; ok {
+					m.Samples[si].Value += stripped.Value
+					if m.Samples[si].Exemplar == nil {
+						m.Samples[si].Exemplar = stripped.Exemplar
+					}
+				} else {
+					summed[idx][key] = len(m.Samples)
+					m.Samples = append(m.Samples, stripped)
+				}
+			}
+		}
+	}
+	for i := range out {
+		if err := validateFamily(&out[i]); err != nil {
+			return nil, fmt.Errorf("merged document invalid: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Render writes families back out as text exposition — 0.0.4 plus the
+// OpenMetrics exemplar extension — such that Parse(Render(f))
+// round-trips. Label keys are emitted in sorted order.
+func Render(families []Family) string {
+	var b strings.Builder
+	for i := range families {
+		f := &families[i]
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Samples {
+			b.WriteString(s.Name)
+			writeLabels(&b, s.Labels)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			if s.Exemplar != nil {
+				b.WriteString(" # ")
+				writeLabels(&b, s.Exemplar.Labels)
+				b.WriteByte(' ')
+				b.WriteString(formatValue(s.Exemplar.Value))
+				if s.Exemplar.HasTimestamp {
+					b.WriteByte(' ')
+					b.WriteString(formatValue(s.Exemplar.Timestamp))
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func writeLabels(b *strings.Builder, labels map[string]string) {
+	if len(labels) == 0 {
+		b.WriteString("{}")
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// escapeLabelValue applies the format's three escapes (backslash,
+// double-quote, newline).
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,205 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, doc string) []Family {
+	t.Helper()
+	fams, err := Parse(doc)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, doc)
+	}
+	return fams
+}
+
+func TestParseExemplar(t *testing.T) {
+	doc := "# TYPE c_total counter\n" +
+		`c_total 5 # {trace_id="abc",task_id="t-1"} 3 1700000000.5` + "\n" +
+		"# TYPE h histogram\n" +
+		`h_bucket{le="1"} 2 # {task_id="t-2"} 0.7` + "\n" +
+		`h_bucket{le="+Inf"} 2` + "\n" +
+		"h_sum 1.2\nh_count 2\n"
+	fams := mustParse(t, doc)
+	c := Get(fams, "c_total")
+	if c == nil || c.Samples[0].Exemplar == nil {
+		t.Fatal("counter exemplar lost in parse")
+	}
+	ex := c.Samples[0].Exemplar
+	if ex.Labels["trace_id"] != "abc" || ex.Labels["task_id"] != "t-1" {
+		t.Fatalf("exemplar labels %v", ex.Labels)
+	}
+	if ex.Value != 3 || !ex.HasTimestamp || ex.Timestamp != 1700000000.5 {
+		t.Fatalf("exemplar value/timestamp: %+v", ex)
+	}
+	h := Get(fams, "h")
+	if h.Samples[0].Exemplar == nil || h.Samples[0].Exemplar.Value != 0.7 {
+		t.Fatalf("bucket exemplar: %+v", h.Samples[0].Exemplar)
+	}
+	if h.Samples[0].Exemplar.HasTimestamp {
+		t.Fatal("phantom timestamp on bucket exemplar")
+	}
+}
+
+func TestParseRejectsBadExemplars(t *testing.T) {
+	cases := map[string]string{
+		"exemplar on gauge": "# TYPE g gauge\n" +
+			`g 1 # {task_id="t"} 1` + "\n",
+		"exemplar on histogram sum": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\n" +
+			`h_sum 1 # {task_id="t"} 1` + "\nh_count 1\n",
+		"exemplar value above bucket bound": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1 # {task_id="t"} 5` + "\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 1\n",
+		"exemplar value below bucket's lower bound": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\n" +
+			`h_bucket{le="2"} 2 # {task_id="t"} 0.5` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 2\nh_count 2\n",
+		"exemplar without braces": "# TYPE c_total counter\n" +
+			"c_total 1 # 2\n",
+		"exemplar without value": "# TYPE c_total counter\n" +
+			`c_total 1 # {task_id="t"}` + "\n",
+		"exemplar bad timestamp": "# TYPE c_total counter\n" +
+			`c_total 1 # {task_id="t"} 1 nope` + "\n",
+	}
+	for name, doc := range cases {
+		if _, err := Parse(doc); err == nil {
+			t.Errorf("%s: parse accepted invalid exemplar", name)
+		}
+	}
+}
+
+func TestMergeSumsCountersAndHistograms(t *testing.T) {
+	shard := func(id, submitted, b1, bInf, sum, count string) string {
+		return "# TYPE funcx_tasks_submitted_total counter\n" +
+			`funcx_tasks_submitted_total{shard="` + id + `"} ` + submitted + "\n" +
+			"# TYPE funcx_task_stage_seconds histogram\n" +
+			`funcx_task_stage_seconds_bucket{shard="` + id + `",stage="submit",le="1"} ` + b1 + "\n" +
+			`funcx_task_stage_seconds_bucket{shard="` + id + `",stage="submit",le="+Inf"} ` + bInf + "\n" +
+			`funcx_task_stage_seconds_sum{shard="` + id + `",stage="submit"} ` + sum + "\n" +
+			`funcx_task_stage_seconds_count{shard="` + id + `",stage="submit"} ` + count + "\n"
+	}
+	merged, err := Merge([][]Family{
+		mustParse(t, shard("s-0", "10", "3", "4", "2.5", "4")),
+		mustParse(t, shard("s-1", "32", "1", "1", "0.25", "1")),
+	}, "shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Get(merged, "funcx_tasks_submitted_total")
+	if len(c.Samples) != 1 || c.Samples[0].Value != 42 {
+		t.Fatalf("counter not summed: %+v", c.Samples)
+	}
+	if _, has := c.Samples[0].Labels["shard"]; has {
+		t.Fatal("shard label survived the merge of a counter")
+	}
+	h := Get(merged, "funcx_task_stage_seconds")
+	want := map[string]float64{"1": 4, "+Inf": 5}
+	for _, s := range h.Samples {
+		if s.Name == "funcx_task_stage_seconds_bucket" {
+			if s.Value != want[s.Labels["le"]] {
+				t.Errorf("bucket le=%s merged to %g, want %g", s.Labels["le"], s.Value, want[s.Labels["le"]])
+			}
+		}
+		if s.Name == "funcx_task_stage_seconds_count" && s.Value != 5 {
+			t.Errorf("count merged to %g, want 5", s.Value)
+		}
+		if s.Name == "funcx_task_stage_seconds_sum" && s.Value != 2.75 {
+			t.Errorf("sum merged to %g, want 2.75", s.Value)
+		}
+	}
+}
+
+func TestMergeKeepsGaugesPerShard(t *testing.T) {
+	doc := func(id string, v string) string {
+		return "# TYPE funcx_endpoint_queued_tasks gauge\n" +
+			`funcx_endpoint_queued_tasks{shard="` + id + `"} ` + v + "\n"
+	}
+	merged, err := Merge([][]Family{
+		mustParse(t, doc("s-0", "7")),
+		mustParse(t, doc("s-1", "9")),
+	}, "shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Get(merged, "funcx_endpoint_queued_tasks")
+	if len(g.Samples) != 2 {
+		t.Fatalf("gauge series collapsed: %+v", g.Samples)
+	}
+	seen := map[string]float64{}
+	for _, s := range g.Samples {
+		seen[s.Labels["shard"]] = s.Value
+	}
+	if seen["s-0"] != 7 || seen["s-1"] != 9 {
+		t.Fatalf("per-shard gauge values %v", seen)
+	}
+}
+
+func TestMergeTypeConflict(t *testing.T) {
+	a := mustParse(t, "# TYPE m_total counter\nm_total 1\n")
+	b := []Family{{Name: "m_total", Type: "gauge", Samples: []Sample{{Name: "m_total", Value: 1}}}}
+	if _, err := Merge([][]Family{a, b}, "shard"); err == nil {
+		t.Fatal("type conflict accepted")
+	}
+}
+
+func TestMergePreservesFirstExemplar(t *testing.T) {
+	doc := func(id, trace string) string {
+		return "# TYPE h histogram\n" +
+			`h_bucket{shard="` + id + `",le="1"} 1 # {trace_id="` + trace + `"} 0.5` + "\n" +
+			`h_bucket{shard="` + id + `",le="+Inf"} 1` + "\n" +
+			`h_sum{shard="` + id + `"} 0.5` + "\n" +
+			`h_count{shard="` + id + `"} 1` + "\n"
+	}
+	merged, err := Merge([][]Family{
+		mustParse(t, doc("s-0", "first")),
+		mustParse(t, doc("s-1", "second")),
+	}, "shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Get(merged, "h")
+	var got *Exemplar
+	for _, s := range h.Samples {
+		if s.Name == "h_bucket" && s.Labels["le"] == "1" {
+			got = s.Exemplar
+		}
+	}
+	if got == nil || got.Labels["trace_id"] != "first" {
+		t.Fatalf("merged exemplar %+v, want the first shard's", got)
+	}
+}
+
+func TestRenderRoundTrips(t *testing.T) {
+	doc := "# HELP c_total Total things.\n# TYPE c_total counter\n" +
+		`c_total{q="a\"b\\c\nd"} 5 # {task_id="t-1",trace_id="abc"} 3` + "\n" +
+		"# TYPE g gauge\ng 7\n" +
+		"# TYPE h histogram\n" +
+		`h_bucket{le="1"} 2 # {task_id="t-2"} 0.25 1700000000` + "\n" +
+		`h_bucket{le="+Inf"} 3` + "\n" +
+		"h_sum 4.5\nh_count 3\n"
+	fams := mustParse(t, doc)
+	rendered := Render(fams)
+	again, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("Render output does not re-parse: %v\n%s", err, rendered)
+	}
+	if len(again) != len(fams) {
+		t.Fatalf("round trip changed family count %d → %d", len(fams), len(again))
+	}
+	if Render(again) != rendered {
+		t.Fatalf("Render not a fixpoint:\n%s\nvs\n%s", rendered, Render(again))
+	}
+	c := Get(again, "c_total")
+	if c.Samples[0].Labels["q"] != "a\"b\\c\nd" {
+		t.Fatalf("escaping mangled: %q", c.Samples[0].Labels["q"])
+	}
+	h := Get(again, "h")
+	if h.Samples[0].Exemplar == nil || !h.Samples[0].Exemplar.HasTimestamp {
+		t.Fatal("exemplar timestamp lost in round trip")
+	}
+	if !strings.Contains(rendered, "# HELP c_total Total things.") {
+		t.Fatal("HELP line lost")
+	}
+}

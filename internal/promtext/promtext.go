@@ -29,6 +29,22 @@ type Sample struct {
 	Name   string
 	Labels map[string]string
 	Value  float64
+	// Exemplar is the sample's OpenMetrics exemplar, if one followed
+	// the value (` # {labels} value [timestamp]`). Only counter and
+	// histogram bucket samples may carry one.
+	Exemplar *Exemplar
+}
+
+// Exemplar is one OpenMetrics exemplar: a labeled reference observation
+// attached to a counter or histogram bucket sample — here, the task and
+// trace ids that landed in a latency bucket.
+type Exemplar struct {
+	Labels map[string]string
+	Value  float64
+	// HasTimestamp reports whether the optional exemplar timestamp
+	// (seconds, possibly fractional) was present.
+	HasTimestamp bool
+	Timestamp    float64
 }
 
 // Family is one metric family: the header and its samples in order.
@@ -238,6 +254,17 @@ func parseSample(line string) (Sample, error) {
 	if len(line) == 0 || line[0] != ' ' {
 		return s, fmt.Errorf("expected space before value")
 	}
+	// An OpenMetrics exemplar may follow the value: ` # {labels} value
+	// [timestamp]`. The value/timestamp portion contains no quoted
+	// strings, so the first " # " is unambiguously the separator.
+	if i := strings.Index(line, " # "); i >= 0 {
+		ex, err := parseExemplar(line[i+3:])
+		if err != nil {
+			return s, err
+		}
+		s.Exemplar = ex
+		line = line[:i]
+	}
 	fields := strings.Fields(line)
 	if len(fields) != 1 && len(fields) != 2 {
 		return s, fmt.Errorf("expected value [timestamp], got %d fields", len(fields))
@@ -253,6 +280,38 @@ func parseSample(line string) (Sample, error) {
 		}
 	}
 	return s, nil
+}
+
+// parseExemplar parses `{label="value",...} value [timestamp]` — the
+// portion of a sample line after the ` # ` exemplar separator.
+func parseExemplar(text string) (*Exemplar, error) {
+	if len(text) == 0 || text[0] != '{' {
+		return nil, fmt.Errorf("exemplar must start with a label set")
+	}
+	var tmp Sample
+	tmp.Labels = map[string]string{}
+	rest, err := parseLabels(text[1:], &tmp)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar labels: %w", err)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 && len(fields) != 2 {
+		return nil, fmt.Errorf("exemplar: expected value [timestamp], got %d fields", len(fields))
+	}
+	ex := &Exemplar{Labels: tmp.Labels}
+	ex.Value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		// OpenMetrics exemplar timestamps are seconds, fractional ok.
+		ex.Timestamp, err = strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
+		ex.HasTimestamp = true
+	}
+	return ex, nil
 }
 
 // parseLabels consumes `label="value",...}` and returns the remainder
@@ -331,6 +390,17 @@ func validateFamily(f *Family) error {
 	if f.Type == "" {
 		return fmt.Errorf("family %s has HELP but no TYPE", f.Name)
 	}
+	// OpenMetrics allows exemplars only on counters and histogram
+	// buckets.
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if s.Exemplar == nil {
+			continue
+		}
+		if f.Type != "counter" && !(f.Type == "histogram" && s.Name == f.Name+"_bucket") {
+			return fmt.Errorf("%s: exemplar on %s series %s", f.Name, f.Type, s.Name)
+		}
+	}
 	if f.Type != "histogram" {
 		return nil
 	}
@@ -345,6 +415,7 @@ func validateHistogram(f *Family) error {
 	type set struct {
 		les          []float64
 		counts       []float64
+		exes         []*Exemplar
 		count        float64
 		nCount, nSum int
 	}
@@ -378,6 +449,7 @@ func validateHistogram(f *Family) error {
 			g := get(s)
 			g.les = append(g.les, bound)
 			g.counts = append(g.counts, s.Value)
+			g.exes = append(g.exes, s.Exemplar)
 		case f.Name + "_sum":
 			get(s).nSum++
 		case f.Name + "_count":
@@ -408,6 +480,20 @@ func validateHistogram(f *Family) error {
 		}
 		if g.counts[last] != g.count {
 			return fmt.Errorf("%s{%s}: +Inf bucket %g != _count %g", f.Name, key, g.counts[last], g.count)
+		}
+		// An exemplar must fall within its bucket's bounds: value ≤ le
+		// and above the preceding bound — otherwise the linked task
+		// never landed in the bucket that claims it.
+		for i, ex := range g.exes {
+			if ex == nil {
+				continue
+			}
+			if ex.Value > g.les[i] {
+				return fmt.Errorf("%s{%s}: exemplar value %g above its bucket bound le=%g", f.Name, key, ex.Value, g.les[i])
+			}
+			if i > 0 && ex.Value <= g.les[i-1] {
+				return fmt.Errorf("%s{%s}: exemplar value %g not above the preceding bound le=%g", f.Name, key, ex.Value, g.les[i-1])
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,95 @@
+// Fleet metrics federation (GET /v1/metrics/fleet): one scrape target
+// observing the whole fabric. The serving shard renders its own
+// exposition (exemplars on), scatter-gathers every peer's /v1/metrics
+// through the gateway hop lane, and merges the documents with
+// promtext.Merge — counters and histograms sum across shards, gauges
+// keep their per-shard series. A dead shard costs one increment of
+// funcx_fleet_scrape_errors_total, never the scrape.
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"funcx/internal/promtext"
+	"funcx/internal/shard"
+)
+
+// fleetScrapeTimeout bounds each peer's share of a fleet scatter-gather.
+const fleetScrapeTimeout = 5 * time.Second
+
+// fleetShardLabel is the per-shard label Merge strips from summed
+// families — the label promWriter stamps on every sharded series.
+const fleetShardLabel = "shard"
+
+// handleFleetMetrics is GET /v1/metrics/fleet.
+func (s *Service) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	local, err := promtext.Parse(s.renderMetrics(true))
+	if err != nil {
+		http.Error(w, "service: local exposition invalid: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	docs := [][]promtext.Family{local}
+	if s.sharded() {
+		type peerDoc struct {
+			id  shard.ID
+			fam []promtext.Family
+			err error
+		}
+		peers := s.cfg.Ring.Peers()
+		ch := make(chan peerDoc, len(peers))
+		for _, peer := range peers {
+			go func(peer shard.Info) {
+				fam, err := s.scrapePeerMetrics(r, peer)
+				//funcx:ignore boundedchan ch is buffered to len(peers) and each scrape goroutine sends exactly once, so this send can never block.
+				ch <- peerDoc{id: peer.ID, fam: fam, err: err}
+			}(peer)
+		}
+		for range peers {
+			d := <-ch
+			if d.err != nil {
+				s.fleetScrapeErrors.Add(1)
+				s.log.Warn("fleet metrics scrape failed", "peer", string(d.id), "err", d.err)
+				continue
+			}
+			docs = append(docs, d.fam)
+		}
+	}
+	merged, err := promtext.Merge(docs, fleetShardLabel)
+	if err != nil {
+		http.Error(w, "service: fleet merge failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(promtext.Render(merged))) //nolint:errcheck // best-effort scrape response
+}
+
+// scrapePeerMetrics fetches and parses one peer's exemplar-annotated
+// exposition through the hop lane (the peer re-authenticates the
+// caller's forwarded token; the hop marker just keeps the request off
+// the redirect path).
+func (s *Service) scrapePeerMetrics(r *http.Request, peer shard.Info) ([]promtext.Family, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), fleetScrapeTimeout)
+	defer cancel()
+	req, err := s.buildHopRequest(ctx, r, peer, http.MethodGet, "/v1/metrics?exemplars=1", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.proxyClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer %s: status %d", peer.ID, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	return promtext.Parse(string(body))
+}

@@ -70,6 +70,7 @@ func (s *Service) buildMux() {
 	mux.Handle("GET /v1/events", protect(auth.ScopeRun, s.handleEvents))
 	mux.Handle("GET /v1/stats", protect(auth.ScopeRun, s.handleStats))
 	mux.Handle("GET /v1/metrics", protect(auth.ScopeRun, s.handleMetrics))
+	mux.Handle("GET /v1/metrics/fleet", protect(auth.ScopeRun, s.handleFleetMetrics))
 
 	// Shard-to-shard surfaces: authenticated by hop token, not user
 	// scopes (the handlers enforce it).

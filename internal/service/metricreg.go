@@ -46,6 +46,11 @@ var metricFamilies = map[string]metricFamily{
 	"funcx_trace_completed_timelines":     {kind: "gauge", stats: "StatsResponse.TraceCompleted"},
 	"funcx_trace_evicted_total":           {kind: "counter", stats: "StatsResponse.TraceEvicted"},
 	"funcx_task_stage_seconds":            {kind: "histogram"},
+	"funcx_otlp_spans_exported_total":     {kind: "counter", stats: "StatsResponse.OTLPExported"},
+	"funcx_otlp_timelines_dropped_total":  {kind: "counter", stats: "StatsResponse.OTLPDropped"},
+	"funcx_otlp_export_errors_total":      {kind: "counter", stats: "StatsResponse.OTLPExportErrors"},
+	"funcx_otlp_queue_depth":              {kind: "gauge", stats: "StatsResponse.OTLPQueueDepth"},
+	"funcx_fleet_scrape_errors_total":     {kind: "counter", stats: "StatsResponse.FleetScrapeErrors"},
 	"funcx_endpoint_connected":            {kind: "gauge", stats: "EndpointStats.Connected"},
 	"funcx_endpoint_queued_tasks":         {kind: "gauge", stats: "EndpointStats.Queued"},
 	"funcx_endpoint_outstanding_tasks":    {kind: "gauge", stats: "EndpointStats.Outstanding"},

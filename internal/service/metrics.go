@@ -12,6 +12,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"funcx/internal/trace"
 )
 
 // promWriter accumulates one exposition document. Metric families are
@@ -42,6 +44,12 @@ func (p *promWriter) sample(value float64, labels ...string) {
 // histogram families put _bucket/_sum/_count series inside one family
 // header, so the series name and the open family differ.
 func (p *promWriter) series(name string, value float64, labels ...string) {
+	p.seriesExemplar(name, value, "", labels...)
+}
+
+// seriesExemplar is series with a pre-rendered OpenMetrics exemplar
+// suffix appended after the value ("" for none).
+func (p *promWriter) seriesExemplar(name string, value float64, exemplar string, labels ...string) {
 	if p.shard != "" {
 		labels = append(labels, "shard", p.shard)
 	}
@@ -58,20 +66,38 @@ func (p *promWriter) series(name string, value float64, labels ...string) {
 	}
 	// %g renders integers without a trailing ".0" and large counters
 	// without exponent surprises up to 2^53, far past these counters.
-	fmt.Fprintf(&p.b, " %g\n", value)
+	fmt.Fprintf(&p.b, " %g", value)
+	p.b.WriteString(exemplar)
+	p.b.WriteByte('\n')
 }
 
 // histogram emits one histogram series set — cumulative le buckets
 // with the mandatory +Inf terminal bucket, then _sum and _count —
 // under the open family. Labels alternate key, value as in sample.
-func (p *promWriter) histogram(name string, bounds []float64, cumulative []uint64, sum float64, count uint64, labels ...string) {
+// exemplars (nil to omit) pairs with bounds plus a final +Inf entry,
+// per trace.Snapshot.
+func (p *promWriter) histogram(name string, bounds []float64, cumulative []uint64, sum float64, count uint64, exemplars []trace.Exemplar, labels ...string) {
 	for i, bound := range bounds {
 		le := strconv.FormatFloat(bound, 'g', -1, 64)
-		p.series(name+"_bucket", float64(cumulative[i]), append(append([]string(nil), labels...), "le", le)...)
+		p.seriesExemplar(name+"_bucket", float64(cumulative[i]), exemplarSuffix(exemplars, i),
+			append(append([]string(nil), labels...), "le", le)...)
 	}
-	p.series(name+"_bucket", float64(count), append(append([]string(nil), labels...), "le", "+Inf")...)
+	p.seriesExemplar(name+"_bucket", float64(count), exemplarSuffix(exemplars, len(bounds)),
+		append(append([]string(nil), labels...), "le", "+Inf")...)
 	p.series(name+"_sum", sum, labels...)
 	p.series(name+"_count", float64(count), labels...)
+}
+
+// exemplarSuffix renders one bucket's exemplar in OpenMetrics syntax —
+// ` # {trace_id="...",task_id="..."} value` — or "" when the bucket
+// has none.
+func exemplarSuffix(exemplars []trace.Exemplar, i int) string {
+	if i >= len(exemplars) || exemplars[i].TaskID == "" {
+		return ""
+	}
+	e := exemplars[i]
+	return fmt.Sprintf(` # {trace_id=%q,task_id=%q} %s`,
+		e.TraceID, string(e.TaskID), strconv.FormatFloat(e.Value, 'g', -1, 64))
 }
 
 func (p *promWriter) counter(name, help string, v float64, labels ...string) {
@@ -87,8 +113,33 @@ func (p *promWriter) gauge(name, help string, v float64, labels ...string) {
 // handleMetrics is GET /v1/metrics: StatsSnapshot in Prometheus text
 // exposition, including the WAL durability counters on instances with
 // a data dir. Always local, like /v1/stats — a fleet scrape config
-// lists every shard.
+// lists every shard, or scrapes the merged view at /v1/metrics/fleet.
+// Exemplars on the stage histograms are opt-in: Accept-negotiated via
+// application/openmetrics-text, or forced with ?exemplars=1.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	exemplars := metricsWantExemplars(r)
+	doc := s.renderMetrics(exemplars)
+	ct := "text/plain; version=0.0.4; charset=utf-8"
+	if exemplars {
+		ct = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(doc)) //nolint:errcheck // best-effort scrape response
+}
+
+// metricsWantExemplars reports whether a scrape asked for the
+// exemplar-annotated view.
+func metricsWantExemplars(r *http.Request) bool {
+	if r.URL.Query().Get("exemplars") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+}
+
+// renderMetrics builds the exposition document (the fleet handler
+// renders locally with exemplars on, then merges peers' documents).
+func (s *Service) renderMetrics(exemplars bool) string {
 	st := s.StatsSnapshot()
 	p := &promWriter{shard: st.ShardID}
 
@@ -136,8 +187,22 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			if h.Group != "" {
 				labels = append(labels, "group", string(h.Group))
 			}
-			p.histogram("funcx_task_stage_seconds", h.Bounds, h.Cumulative, h.Sum, h.Count, labels...)
+			var ex []trace.Exemplar
+			if exemplars {
+				ex = h.Exemplars
+			}
+			p.histogram("funcx_task_stage_seconds", h.Bounds, h.Cumulative, h.Sum, h.Count, ex, labels...)
 		}
+	}
+
+	if s.Exporter != nil {
+		p.counter("funcx_otlp_spans_exported_total", "Spans delivered to the OTLP collector in accepted batches.", float64(st.OTLPExported))
+		p.counter("funcx_otlp_timelines_dropped_total", "Completed timelines lost to the drop-oldest export queue or to refused batches.", float64(st.OTLPDropped))
+		p.counter("funcx_otlp_export_errors_total", "OTLP export batches that failed to reach the collector.", float64(st.OTLPExportErrors))
+		p.gauge("funcx_otlp_queue_depth", "Completed timelines waiting in the OTLP export queue.", float64(st.OTLPQueueDepth))
+	}
+	if st.Shards > 0 {
+		p.counter("funcx_fleet_scrape_errors_total", "Peer shards that failed to answer a fleet metrics scatter-gather.", float64(st.FleetScrapeErrors))
 	}
 
 	for _, ep := range st.Endpoints {
@@ -186,9 +251,7 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.gauge("funcx_wal_torn_records", "Torn/corrupt tail records discarded at the last recovery.", float64(st.WAL.TornRecords))
 	}
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	w.Write([]byte(p.b.String())) //nolint:errcheck // best-effort scrape response
+	return p.b.String()
 }
 
 func b2f(b bool) float64 {

@@ -100,7 +100,7 @@ func TestPromWriterEscapesLabels(t *testing.T) {
 func TestPromWriterHistogramShape(t *testing.T) {
 	p := &promWriter{shard: "s-0"}
 	p.header("h", "histogram", "test")
-	p.histogram("h", []float64{0.001, 0.01, 0.1}, []uint64{1, 4, 4}, 0.5, 6, "stage", "execute")
+	p.histogram("h", []float64{0.001, 0.01, 0.1}, []uint64{1, 4, 4}, 0.5, 6, nil, "stage", "execute")
 	fams, err := promtext.Parse(p.b.String())
 	if err != nil {
 		t.Fatalf("histogram output rejected: %v\n%s", err, p.b.String())

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"funcx/internal/api"
@@ -28,6 +29,7 @@ import (
 	"funcx/internal/forwarder"
 	"funcx/internal/memo"
 	"funcx/internal/netlat"
+	"funcx/internal/otlp"
 	"funcx/internal/registry"
 	"funcx/internal/router"
 	"funcx/internal/shard"
@@ -176,6 +178,16 @@ type Config struct {
 	// endpoint_id attributes so one task greps across the service and
 	// agent sides of a dispatch; delivery give-ups log at Warn.
 	Logger *slog.Logger
+	// OTLPEndpoint enables OTLP/HTTP-JSON span export: completed trace
+	// timelines convert to OpenTelemetry spans POSTed in batches to
+	// <endpoint>/v1/traces (see internal/otlp). Export rides a bounded
+	// drop-oldest queue strictly off the task lifecycle — a wedged
+	// collector costs spans, never task latency. Empty disables
+	// export; requires tracing enabled.
+	OTLPEndpoint string
+	// OTLPQueue bounds the exporter's completed-timeline queue
+	// (0 = 1024 default).
+	OTLPQueue int
 }
 
 // ErrPayloadTooLarge is returned for inputs beyond MaxPayloadSize;
@@ -210,7 +222,13 @@ type Service struct {
 	// and the funcx_task_stage_seconds metrics family). Nil when
 	// DisableTrace is set; every method is nil-safe.
 	Trace *trace.Collector
-	log   *slog.Logger
+	// Exporter ships completed timelines to an OTLP collector on its
+	// own goroutine (nil unless Config.OTLPEndpoint is set).
+	Exporter *otlp.Exporter
+	// fleetScrapeErrors counts peer shards that failed a
+	// GET /v1/metrics/fleet scatter-gather.
+	fleetScrapeErrors atomic.Int64
+	log               *slog.Logger
 	muxState
 
 	ctx    context.Context
@@ -415,6 +433,18 @@ func Open(cfg Config) (*Service, error) {
 	}
 	if !cfg.DisableTrace {
 		s.Trace = trace.NewCollector(cfg.TraceCapacity)
+		if cfg.OTLPEndpoint != "" {
+			s.Exporter = otlp.New(otlp.Config{
+				Endpoint: cfg.OTLPEndpoint,
+				Queue:    cfg.OTLPQueue,
+				ShardID:  string(cfg.ShardID),
+				Logger:   logger,
+			})
+			// Finish hands every completed timeline to the exporter's
+			// never-blocking Enqueue; all batching and HTTP happen on
+			// the exporter's goroutine.
+			s.Trace.OnFinish = s.Exporter.Enqueue
+		}
 	}
 	if cfg.Ring != nil {
 		// Sharded: records this shard creates must hash back to it, so
@@ -530,6 +560,9 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	for _, f := range fwds {
 		f.Stop()
+	}
+	if s.Exporter != nil {
+		s.Exporter.Close()
 	}
 	s.Store.Close()
 }
@@ -1243,8 +1276,10 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 		// The trace context travels inside the encoded task, so it must
 		// be set before EncodeTask below; the timeline anchors at the
 		// submit arrival time so the submit stage covers auth/validation.
-		task.Trace = &types.TraceContext{Sampled: true}
-		s.Trace.Begin(task.ID, epID, sub.GroupID, start)
+		// The propagated trace id is the exact id the OTLP exporter
+		// derives, so agent-side logs correlate with exported spans.
+		task.Trace = &types.TraceContext{Sampled: true, TraceID: trace.TraceID(task.ID, p.dagID)}
+		s.Trace.BeginLinked(task.ID, epID, sub.GroupID, sub.FunctionID, p.dagID, start)
 		s.Trace.Stamp(task.ID, trace.StageRouted)
 	}
 
@@ -1285,7 +1320,8 @@ func (s *Service) place(owner types.UserID, p *preparedSubmission, start time.Ti
 	}
 	s.log.Debug("task placed",
 		"task_id", string(task.ID), "endpoint_id", string(epID),
-		"group_id", string(sub.GroupID), "function_id", string(sub.FunctionID))
+		"group_id", string(sub.GroupID), "function_id", string(sub.FunctionID),
+		"trace_id", trace.TraceID(task.ID, p.dagID))
 	return task.ID, epID, false, nil
 }
 
@@ -1641,7 +1677,8 @@ func (s *Service) onResultStored(field string, value []byte) {
 		dagAfter()
 	}
 	s.log.Debug("task retired",
-		"task_id", string(id), "endpoint_id", string(info.endpoint), "status", string(status))
+		"task_id", string(id), "endpoint_id", string(info.endpoint), "status", string(status),
+		"trace_id", trace.TraceID(id, dagID))
 }
 
 // Status returns a task's lifecycle state.
@@ -1913,6 +1950,14 @@ func (s *Service) StatsSnapshot() api.StatsResponse {
 	resp.EventPendingDone = es.PendingDone
 	resp.EventSeqTombstones = es.SeqTombstones
 	resp.TraceActive, resp.TraceCompleted, resp.TraceEvicted = s.Trace.Stats()
+	if s.Exporter != nil {
+		est := s.Exporter.Stats()
+		resp.OTLPExported = est.Exported
+		resp.OTLPDropped = est.Dropped
+		resp.OTLPExportErrors = est.ExportErrors
+		resp.OTLPQueueDepth = est.QueueDepth
+	}
+	resp.FleetScrapeErrors = s.fleetScrapeErrors.Load()
 	eps := s.Registry.Endpoints()
 	sort.Slice(eps, func(i, j int) bool { return eps[i].ID < eps[j].ID })
 	resp.Endpoints = make([]api.EndpointStats, 0, len(eps))
@@ -1939,6 +1984,29 @@ func (s *Service) StatsSnapshot() api.StatsResponse {
 		}
 	}
 	return resp
+}
+
+// Ready reports whether this instance should receive traffic — the
+// debug server's /readyz probe. Not ready while shutting down, when a
+// durable instance's WAL is not open (recovery runs synchronously in
+// Open, so an open WAL means replay completed), or when a sharded
+// instance's own id is missing from the ring it loaded.
+func (s *Service) Ready() (bool, string) {
+	if s.ctx.Err() != nil {
+		return false, "shutting down"
+	}
+	if s.cfg.DataDir != "" {
+		if _, ok := s.Store.WALStats(); !ok {
+			return false, "wal not open"
+		}
+	}
+	if s.sharded() {
+		self := s.cfg.Ring.SelfID()
+		if _, ok := s.cfg.Ring.Lookup(self); !ok {
+			return false, fmt.Sprintf("shard %s not in ring", self)
+		}
+	}
+	return true, "ready"
 }
 
 // Rerouted returns how many queued tasks the failover path has moved

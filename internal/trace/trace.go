@@ -14,12 +14,51 @@
 package trace
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"funcx/internal/types"
 )
+
+// fnv64a hashes a string with FNV-64a — the same hash trace sampling
+// uses, so id derivation and sampling stay keyed identically.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// TraceID derives the 16-byte OpenTelemetry trace id (32 hex chars)
+// for a task. The derivation keys on the graph id for DAG nodes and on
+// the task id otherwise — the same key selection trace sampling uses —
+// so every node of a sampled workflow shares one trace id and the
+// workflow renders as a single distributed trace.
+func TraceID(id types.TaskID, dagID types.DAGID) string {
+	key := string(id)
+	if dagID != "" {
+		key = string(dagID)
+	}
+	hi := fnv64a(key)
+	lo := fnv64a("trace\x00" + key)
+	if hi == 0 && lo == 0 {
+		lo = 1 // the all-zero trace id is invalid in OTLP
+	}
+	return fmt.Sprintf("%016x%016x", hi, lo)
+}
+
+// SpanID derives the 8-byte OpenTelemetry span id (16 hex chars) for a
+// named span within a task's trace.
+func SpanID(key string) string {
+	h := fnv64a("span\x00" + key)
+	if h == 0 {
+		h = 1 // the all-zero span id is invalid in OTLP
+	}
+	return fmt.Sprintf("%016x", h)
+}
 
 // Stage names one stamped point in a task's service-side timeline.
 type Stage string
@@ -58,6 +97,12 @@ type Timeline struct {
 	TaskID   types.TaskID
 	Endpoint types.EndpointID
 	Group    types.GroupID
+	// Function is the invoked function — carried for span attributes.
+	Function types.FunctionID
+	// DAGID links a DAG node's timeline to its graph: exported spans
+	// and exemplars derive the trace id from it (see TraceID), so a
+	// workflow's nodes share one trace.
+	DAGID types.DAGID
 	// Start is the wall-clock anchor (submit arrival). Its embedded
 	// monotonic reading is what every offset is measured against.
 	Start time.Time
@@ -203,6 +248,27 @@ type Histogram struct {
 	inf    uint64    // observations above the last bound
 	sum    float64
 	count  uint64
+	// exemplars remembers, per bucket (last entry = +Inf), the most
+	// recent linked observation; allocated lazily on the first one.
+	exemplars []bucketExemplar
+}
+
+// bucketExemplar is one bucket's remembered observation: enough to
+// derive (task id, trace id, value) at snapshot time without any
+// per-observe string work.
+type bucketExemplar struct {
+	id  types.TaskID
+	dag types.DAGID
+	v   float64
+}
+
+// Exemplar links one histogram bucket to a recent sample task — the
+// OpenMetrics exemplar surfaced on funcx_task_stage_seconds, letting
+// an operator jump from a slow bucket to an offending task's trace.
+type Exemplar struct {
+	TaskID  types.TaskID
+	TraceID string
+	Value   float64
 }
 
 // NewHistogram creates a histogram over the given upper bounds
@@ -219,11 +285,24 @@ func NewHistogram(bounds []float64) *Histogram {
 
 // Observe records one value (seconds).
 func (h *Histogram) Observe(v float64) {
+	h.ObserveLinked(v, "", "")
+}
+
+// ObserveLinked records one value (seconds) and, when a task id is
+// given, remembers it as the receiving bucket's exemplar (most recent
+// observation wins).
+func (h *Histogram) ObserveLinked(v float64, id types.TaskID, dag types.DAGID) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	if i < len(h.bounds) {
 		h.counts[i]++
 	} else {
 		h.inf++
+	}
+	if id != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]bucketExemplar, len(h.bounds)+1)
+		}
+		h.exemplars[i] = bucketExemplar{id: id, dag: dag, v: v}
 	}
 	h.sum += v
 	h.count++
@@ -241,6 +320,11 @@ type Snapshot struct {
 	Cumulative []uint64
 	Sum        float64
 	Count      uint64
+	// Exemplars pairs with Bounds plus a final +Inf entry: each slot
+	// is the bucket's most recent linked observation, zero-valued
+	// (empty TaskID) when the bucket never saw one. Trace ids are
+	// derived at snapshot time via TraceID.
+	Exemplars []Exemplar
 }
 
 // histKey identifies one histogram series.
@@ -276,6 +360,16 @@ type cshard struct {
 type Collector struct {
 	shards []cshard
 	bounds []float64
+
+	// OnFinish, when set, receives every completed timeline right
+	// after Finish folds it — the feed point for the OTLP exporter.
+	// Set it once, before the collector sees traffic. The callback
+	// runs outside the shard lock but on the task-retirement path, so
+	// it must never block (the exporter's Enqueue is drop-oldest for
+	// exactly this reason). The timeline is no longer mutated after
+	// the call, but Get may clone it concurrently — treat it as
+	// read-only.
+	OnFinish func(*Timeline)
 }
 
 // NewCollector creates a collector retaining up to capacity completed
@@ -318,6 +412,13 @@ func (c *Collector) shard(id types.TaskID) *cshard {
 // Begin opens a timeline anchored at start (the submit's arrival) and
 // stamps StageReceived at offset zero.
 func (c *Collector) Begin(id types.TaskID, ep types.EndpointID, group types.GroupID, start time.Time) {
+	c.BeginLinked(id, ep, group, "", "", start)
+}
+
+// BeginLinked is Begin carrying the function and (for DAG nodes) the
+// graph id, so the completed timeline can export spans and exemplars
+// linked by the graph-derived trace id.
+func (c *Collector) BeginLinked(id types.TaskID, ep types.EndpointID, group types.GroupID, fn types.FunctionID, dagID types.DAGID, start time.Time) {
 	if c == nil {
 		return
 	}
@@ -325,6 +426,8 @@ func (c *Collector) Begin(id types.TaskID, ep types.EndpointID, group types.Grou
 		TaskID:   id,
 		Endpoint: ep,
 		Group:    group,
+		Function: fn,
+		DAGID:    dagID,
 		Start:    start,
 	}
 	tl.buf[0] = Stamp{Stage: StageReceived}
@@ -405,9 +508,9 @@ func (c *Collector) Finish(id types.TaskID) {
 	}
 	sh := c.shard(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	tl, ok := sh.active[id]
 	if !ok {
+		sh.mu.Unlock()
 		return
 	}
 	delete(sh.active, id)
@@ -420,13 +523,13 @@ func (c *Collector) Finish(id types.TaskID) {
 	if d, ok := Decompose(tl); ok {
 		// Folded inline rather than via Stages() — Finish is on the
 		// per-task retirement path and the slice alloc adds up.
-		sh.observeLocked(c.bounds, "submit", tl.Endpoint, tl.Group, d.Submit)
-		sh.observeLocked(c.bounds, "queue", tl.Endpoint, tl.Group, d.Queue)
-		sh.observeLocked(c.bounds, "dispatch", tl.Endpoint, tl.Group, d.Dispatch)
-		sh.observeLocked(c.bounds, "execute", tl.Endpoint, tl.Group, d.Execute)
-		sh.observeLocked(c.bounds, "return", tl.Endpoint, tl.Group, d.Return)
-		sh.observeLocked(c.bounds, "publish", tl.Endpoint, tl.Group, d.Publish)
-		sh.observeLocked(c.bounds, "total", tl.Endpoint, tl.Group, d.Total)
+		sh.observeLocked(c.bounds, "submit", tl, d.Submit)
+		sh.observeLocked(c.bounds, "queue", tl, d.Queue)
+		sh.observeLocked(c.bounds, "dispatch", tl, d.Dispatch)
+		sh.observeLocked(c.bounds, "execute", tl, d.Execute)
+		sh.observeLocked(c.bounds, "return", tl, d.Return)
+		sh.observeLocked(c.bounds, "publish", tl, d.Publish)
+		sh.observeLocked(c.bounds, "total", tl, d.Total)
 	}
 
 	// Ring insert with eviction.
@@ -437,16 +540,22 @@ func (c *Collector) Finish(id types.TaskID) {
 	sh.ring[sh.ringPos] = id
 	sh.ringPos = (sh.ringPos + 1) % len(sh.ring)
 	sh.completed[id] = tl
+	hook := c.OnFinish
+	sh.mu.Unlock()
+
+	if hook != nil {
+		hook(tl)
+	}
 }
 
-func (sh *cshard) observeLocked(bounds []float64, stage string, ep types.EndpointID, g types.GroupID, d time.Duration) {
-	k := histKey{stage: stage, endpoint: ep, group: g}
+func (sh *cshard) observeLocked(bounds []float64, stage string, tl *Timeline, d time.Duration) {
+	k := histKey{stage: stage, endpoint: tl.Endpoint, group: tl.Group}
 	h, ok := sh.hists[k]
 	if !ok {
 		h = NewHistogram(bounds)
 		sh.hists[k] = h
 	}
-	h.Observe(d.Seconds())
+	h.ObserveLinked(d.Seconds(), tl.TaskID, tl.DAGID)
 }
 
 // Get returns a copy of a task's timeline — in flight or completed —
@@ -478,10 +587,11 @@ func (c *Collector) Histograms() []Snapshot {
 	// Merge per-shard histograms by key: scrape-time cost, so the
 	// lifecycle hot path never crosses shards.
 	type agg struct {
-		counts []uint64
-		inf    uint64
-		sum    float64
-		count  uint64
+		counts    []uint64
+		inf       uint64
+		sum       float64
+		count     uint64
+		exemplars []bucketExemplar
 	}
 	merged := make(map[histKey]*agg)
 	for i := range c.shards {
@@ -490,7 +600,10 @@ func (c *Collector) Histograms() []Snapshot {
 		for k, h := range sh.hists {
 			a, ok := merged[k]
 			if !ok {
-				a = &agg{counts: make([]uint64, len(h.counts))}
+				a = &agg{
+					counts:    make([]uint64, len(h.counts)),
+					exemplars: make([]bucketExemplar, len(h.counts)+1),
+				}
 				merged[k] = a
 			}
 			for j, n := range h.counts {
@@ -499,6 +612,11 @@ func (c *Collector) Histograms() []Snapshot {
 			a.inf += h.inf
 			a.sum += h.sum
 			a.count += h.count
+			for j, e := range h.exemplars {
+				if e.id != "" {
+					a.exemplars[j] = e
+				}
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -510,6 +628,12 @@ func (c *Collector) Histograms() []Snapshot {
 			run += n
 			cum[i] = run
 		}
+		ex := make([]Exemplar, len(a.exemplars))
+		for i, e := range a.exemplars {
+			if e.id != "" {
+				ex[i] = Exemplar{TaskID: e.id, TraceID: TraceID(e.id, e.dag), Value: e.v}
+			}
+		}
 		out = append(out, Snapshot{
 			Stage:      k.stage,
 			Endpoint:   k.endpoint,
@@ -518,6 +642,7 @@ func (c *Collector) Histograms() []Snapshot {
 			Cumulative: cum,
 			Sum:        a.sum,
 			Count:      a.count,
+			Exemplars:  ex,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

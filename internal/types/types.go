@@ -346,6 +346,11 @@ type TraceContext struct {
 	// result (TraceDeltas), so cross-machine clock skew never enters
 	// a span.
 	Sampled bool `json:"sampled,omitempty"`
+	// TraceID is the 32-hex-char OpenTelemetry trace id the service
+	// derived for this task (keyed by graph id for DAG nodes, task id
+	// otherwise), propagated so endpoint-side log records correlate
+	// with the service's exported spans by one grep.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // TraceDeltas are the endpoint-side stage durations of one traced
